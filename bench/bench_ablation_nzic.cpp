@@ -1,0 +1,60 @@
+// Ablation: validator policy on nonzero NSEC3 iterations (footnote 2 /
+// Daniluk et al.): most validators treat NZIC as advisory (svm), a minority
+// as fatal (sb). This bench re-groks identical replicas under both policies
+// and reports how the snapshot-status distribution shifts — the
+// implementation-dependence the paper flags.
+#include <cstdio>
+#include <map>
+
+#include "analyzer/grok.h"
+#include "bench_common.h"
+#include "zreplicator/replicate.h"
+#include "zreplicator/spec_corpus.h"
+
+int main(int argc, char** argv) {
+  const auto args = dfx::bench::parse_args(argc, argv);
+  dfx::zreplicator::SpecCorpusOptions options;
+  options.count = args.count;
+  options.seed = args.seed;
+  options.s1_artifact_rate = 0;
+  options.s2_artifact_rate = 0;
+  options.s2_variant_rate = 0;
+  const auto specs = dfx::zreplicator::generate_eval_specs(options);
+
+  std::map<dfx::analyzer::SnapshotStatus, std::int64_t> lenient;
+  std::map<dfx::analyzer::SnapshotStatus, std::int64_t> strict;
+  std::int64_t total = 0;
+  std::uint64_t seed = args.seed;
+  for (const auto& eval : specs) {
+    auto replication = dfx::zreplicator::replicate(eval.spec, ++seed);
+    if (!replication.complete) continue;
+    ++total;
+    const auto data = dfx::analyzer::probe(
+        replication.sandbox->farm(), replication.sandbox->chain(),
+        replication.sandbox->child_apex(),
+        replication.sandbox->clock().now());
+    dfx::analyzer::GrokConfig lenient_config;
+    dfx::analyzer::GrokConfig strict_config;
+    strict_config.nzic_is_fatal = true;
+    lenient[dfx::analyzer::grok(data, lenient_config).status] += 1;
+    strict[dfx::analyzer::grok(data, strict_config).status] += 1;
+  }
+
+  std::printf("Ablation — NZIC validator policy (n=%lld erroneous zones)\n",
+              static_cast<long long>(total));
+  std::printf("%s\n", std::string(64, '-').c_str());
+  std::printf("  status     lenient (RFC 9276 SHOULD)   strict (fatal)\n");
+  for (const auto status :
+       {dfx::analyzer::SnapshotStatus::kSignedValid,
+        dfx::analyzer::SnapshotStatus::kSignedValidMisconfig,
+        dfx::analyzer::SnapshotStatus::kSignedBogus,
+        dfx::analyzer::SnapshotStatus::kInsecure}) {
+    std::printf("  %-9s %12lld %22lld\n",
+                dfx::analyzer::status_name(status).c_str(),
+                static_cast<long long>(lenient[status]),
+                static_cast<long long>(strict[status]));
+  }
+  std::printf("  (a strict validator turns every NZIC-only zone from svm "
+              "into SERVFAIL)\n");
+  return 0;
+}

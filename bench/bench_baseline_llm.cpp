@@ -1,0 +1,65 @@
+// Appendix A.2 comparison: DResolver vs the naive-LLM-style baseline on
+// identical replicated zones. The baseline reproduces the observed GPT-4o
+// failure modes (generic re-sign advice, DS "replacement" instead of
+// removal, dropped parameters), so its fix rate collapses on delegation-
+// and parameter-sensitive scenarios.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "dfixer/autofix.h"
+#include "dfixer/baseline.h"
+#include "zreplicator/replicate.h"
+#include "zreplicator/spec_corpus.h"
+
+int main(int argc, char** argv) {
+  const auto args = dfx::bench::parse_args(argc, argv);
+  dfx::zreplicator::SpecCorpusOptions options;
+  options.count = args.count;
+  options.seed = args.seed;
+  const auto specs = dfx::zreplicator::generate_eval_specs(options);
+
+  std::int64_t replicated = 0;
+  std::int64_t dfixer_fixed = 0;
+  std::int64_t baseline_fixed = 0;
+  std::int64_t dfixer_iters = 0;
+  std::int64_t baseline_iters = 0;
+  std::uint64_t seed = args.seed;
+  for (const auto& eval : specs) {
+    ++seed;
+    // Run both tools on *identically seeded* replicas.
+    auto a = dfx::zreplicator::replicate(eval.spec, seed);
+    if (!a.complete) continue;
+    auto b = dfx::zreplicator::replicate(eval.spec, seed);
+    ++replicated;
+    const auto da = dfx::dfixer::auto_fix(*a.sandbox);
+    const auto db = dfx::dfixer::auto_fix_with(
+        *b.sandbox, &dfx::dfixer::baseline_resolve);
+    if (da.success) dfixer_fixed += 1;
+    if (db.success) baseline_fixed += 1;
+    dfixer_iters += static_cast<std::int64_t>(da.iterations.size());
+    baseline_iters += static_cast<std::int64_t>(db.iterations.size());
+  }
+
+  std::printf("Appendix A.2 — DFixer vs naive-LLM baseline (n=%lld "
+              "replicated zones)\n",
+              static_cast<long long>(replicated));
+  std::printf("%s\n", std::string(72, '-').c_str());
+  const auto rate = [&](std::int64_t fixed) {
+    return replicated == 0 ? 0.0
+                           : 100.0 * static_cast<double>(fixed) /
+                                 static_cast<double>(replicated);
+  };
+  std::printf("  DFixer   fix rate: %6.2f%%   mean iterations: %.2f\n",
+              rate(dfixer_fixed),
+              replicated == 0 ? 0.0
+                              : static_cast<double>(dfixer_iters) /
+                                    static_cast<double>(replicated));
+  std::printf("  Baseline fix rate: %6.2f%%   mean iterations: %.2f\n",
+              rate(baseline_fixed),
+              replicated == 0 ? 0.0
+                              : static_cast<double>(baseline_iters) /
+                                    static_cast<double>(replicated));
+  std::printf("  (paper: DFixer 99.99%%; the baseline misses DS-removal and "
+              "parameter-sensitive scenarios)\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared helpers for the per-table/figure bench binaries: CLI parsing and
+// corpus construction. Every binary accepts:
+//   --scale <f>   corpus scale relative to the paper (default 0.1)
+//   --seed <n>    RNG seed (default 20240925)
+//   --count <n>   evaluation-pipeline sample count (table 6/7 benches)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "dataset/generator.h"
+
+namespace dfx::bench {
+
+struct Args {
+  double scale = 0.1;
+  std::uint64_t seed = 20240925;
+  std::size_t count = 1500;
+};
+
+inline Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (std::strcmp(argv[i], "--scale") == 0) {
+      args.scale = std::atof(next());
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      args.seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--count") == 0) {
+      args.count = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--scale f] [--seed n] [--count n]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+inline dataset::Corpus make_corpus(const Args& args) {
+  dataset::GeneratorOptions options;
+  options.scale = args.scale;
+  options.seed = args.seed;
+  return dataset::generate_corpus(options);
+}
+
+}  // namespace dfx::bench

@@ -1,0 +1,13 @@
+// Regenerates fig1 of the paper from a calibrated synthetic corpus.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "measure/report.h"
+
+int main(int argc, char** argv) {
+  const auto args = dfx::bench::parse_args(argc, argv);
+  const auto corpus = dfx::bench::make_corpus(args);
+  const auto result = dfx::measure::compute_fig1(corpus);
+  std::printf("%s", dfx::measure::render_fig1(result).c_str());
+  return 0;
+}

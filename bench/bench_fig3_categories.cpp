@@ -1,0 +1,14 @@
+// Regenerates Figure 3 (error-category share) of the paper.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "measure/report.h"
+
+int main(int argc, char** argv) {
+  const auto args = dfx::bench::parse_args(argc, argv);
+  const auto corpus = dfx::bench::make_corpus(args);
+  const auto table3 = dfx::measure::compute_table3(corpus);
+  const auto result = dfx::measure::compute_fig3(table3);
+  std::printf("%s", dfx::measure::render_fig3(result).c_str());
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Regenerates Figure 4 (fix-time distributions per marked error) of the
+// paper, including the DNSSEC-deployment black box.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "measure/report.h"
+
+int main(int argc, char** argv) {
+  const auto args = dfx::bench::parse_args(argc, argv);
+  const auto corpus = dfx::bench::make_corpus(args);
+  const auto rows = dfx::measure::compute_fig4(corpus);
+  const auto deploy = dfx::measure::compute_deploy_time(corpus);
+  std::printf("%s", dfx::measure::render_fig4(rows, deploy).c_str());
+  return 0;
+}

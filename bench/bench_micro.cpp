@@ -1,0 +1,172 @@
+// Micro-benchmarks for the substrate: hashing, signing, zone signing, and
+// the probe+grok analysis path (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "analyzer/grok.h"
+#include "dfixer/autofix.h"
+#include "crypto/algorithm.h"
+#include "crypto/sha1.h"
+#include "crypto/sha2.h"
+#include "dnscore/message.h"
+#include "util/rng.h"
+#include "zone/nsec3.h"
+#include "zone/signer.h"
+#include "zreplicator/replicate.h"
+
+namespace {
+
+using namespace dfx;
+
+Bytes make_payload(std::size_t size) {
+  Rng rng(7);
+  Bytes out(size);
+  rng.fill(out);
+  return out;
+}
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes payload = make_payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Sha1(benchmark::State& state) {
+  const Bytes payload = make_payload(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha1::digest(payload));
+  }
+}
+BENCHMARK(BM_Sha1);
+
+void BM_Nsec3Hash(benchmark::State& state) {
+  const auto name = dns::Name::of("www.example.com.");
+  const Bytes salt = {0xAB, 0xCD};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        zone::nsec3_hash(name, salt,
+                         static_cast<std::uint16_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_Nsec3Hash)->Arg(0)->Arg(10)->Arg(150);
+
+void BM_RsaSignVerify(benchmark::State& state) {
+  Rng rng(11);
+  const auto key =
+      crypto::generate_key(rng, crypto::DnssecAlgorithm::kRsaSha256);
+  const Bytes payload = make_payload(512);
+  for (auto _ : state) {
+    const Bytes sig = crypto::sign_message(key, payload);
+    benchmark::DoNotOptimize(crypto::verify_message(
+        key.algorithm, key.public_key, payload, sig));
+  }
+}
+BENCHMARK(BM_RsaSignVerify);
+
+void BM_SchnorrSignVerify(benchmark::State& state) {
+  Rng rng(12);
+  const auto key =
+      crypto::generate_key(rng, crypto::DnssecAlgorithm::kEcdsaP256Sha256);
+  const Bytes payload = make_payload(512);
+  for (auto _ : state) {
+    const Bytes sig = crypto::sign_message(key, payload);
+    benchmark::DoNotOptimize(crypto::verify_message(
+        key.algorithm, key.public_key, payload, sig));
+  }
+}
+BENCHMARK(BM_SchnorrSignVerify);
+
+void BM_SignZone(benchmark::State& state) {
+  Rng rng(13);
+  const auto apex = dns::Name::of("bench.example.");
+  zone::Zone unsigned_zone(apex);
+  dns::SoaRdata soa;
+  soa.mname = apex.child("ns1");
+  soa.rname = apex.child("hostmaster");
+  unsigned_zone.add(apex, dns::RRType::kSOA, 3600, soa);
+  unsigned_zone.add(apex, dns::RRType::kNS, 3600,
+                    dns::NsRdata{apex.child("ns1")});
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    dns::ARdata a;
+    a.address = {10, 0, 0, static_cast<std::uint8_t>(i)};
+    unsigned_zone.add(apex.child("host" + std::to_string(i)),
+                      dns::RRType::kA, 3600, a);
+  }
+  zone::KeyStore keys(apex);
+  keys.generate(rng, zone::KeyRole::kKsk,
+                crypto::DnssecAlgorithm::kEcdsaP256Sha256, 0);
+  keys.generate(rng, zone::KeyRole::kZsk,
+                crypto::DnssecAlgorithm::kEcdsaP256Sha256, 0);
+  zone::SigningConfig config;
+  config.denial = zone::DenialMode::kNsec3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        zone::sign_zone(unsigned_zone, keys, config, kDatasetStart));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SignZone)->Arg(10)->Arg(100);
+
+void BM_ProbeGrok(benchmark::State& state) {
+  zreplicator::SnapshotSpec spec;
+  analyzer::KeyMeta ksk;
+  ksk.flags = 0x0101;
+  ksk.algorithm = 13;
+  analyzer::KeyMeta zsk;
+  zsk.flags = 0x0100;
+  zsk.algorithm = 13;
+  spec.meta.keys = {ksk, zsk};
+  auto replication = zreplicator::replicate(spec, 99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(replication.sandbox->analyze());
+  }
+}
+BENCHMARK(BM_ProbeGrok);
+
+void BM_ReplicateAndFix(benchmark::State& state) {
+  zreplicator::SnapshotSpec spec;
+  analyzer::KeyMeta ksk;
+  ksk.flags = 0x0101;
+  ksk.algorithm = 13;
+  analyzer::KeyMeta zsk;
+  zsk.flags = 0x0100;
+  zsk.algorithm = 13;
+  spec.meta.keys = {ksk, zsk};
+  spec.meta.uses_nsec3 = true;
+  spec.meta.nsec3_iterations = 10;
+  spec.intended_errors = {analyzer::ErrorCode::kNonzeroIterationCount};
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto replication = zreplicator::replicate(spec, ++seed);
+    benchmark::DoNotOptimize(dfixer::auto_fix(*replication.sandbox));
+  }
+}
+BENCHMARK(BM_ReplicateAndFix);
+
+void BM_MessageRoundTrip(benchmark::State& state) {
+  dns::Message msg;
+  msg.header.qr = true;
+  msg.questions.push_back(
+      {dns::Name::of("www.example.com."), dns::RRType::kA,
+       dns::RRClass::kIN});
+  for (int i = 0; i < 8; ++i) {
+    dns::ARdata a;
+    a.address = {192, 0, 2, static_cast<std::uint8_t>(i)};
+    msg.answers.push_back({dns::Name::of("www.example.com."),
+                           dns::RRType::kA, dns::RRClass::kIN, 300,
+                           dns::Rdata(a)});
+  }
+  for (auto _ : state) {
+    const Bytes wire = dns::encode_message(msg);
+    benchmark::DoNotOptimize(dns::decode_message(wire));
+  }
+}
+BENCHMARK(BM_MessageRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,15 @@
+// Regenerates Table 4 (state-transition matrix) of the paper, plus §3.6's
+// sv→sb→sv round-trip statistic.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "measure/report.h"
+
+int main(int argc, char** argv) {
+  const auto args = dfx::bench::parse_args(argc, argv);
+  const auto corpus = dfx::bench::make_corpus(args);
+  const auto matrix = dfx::measure::compute_table4(corpus);
+  const auto roundtrip = dfx::measure::compute_roundtrip(corpus);
+  std::printf("%s", dfx::measure::render_table4(matrix, roundtrip).c_str());
+  return 0;
+}

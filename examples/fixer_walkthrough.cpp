@@ -1,0 +1,77 @@
+// The paper's Figure 8 scenario, end to end: a zone whose only KSK carries
+// the REVOKE flag while the parent's DS still points at it. Shows the
+// DNSViz-style diagnosis, DResolver's remediation plan with exact BIND
+// commands ("suggest only" mode), then auto-applies it and re-verifies.
+#include <cstdio>
+
+#include "analyzer/ede.h"
+#include "dfixer/autofix.h"
+#include "dfixer/translate.h"
+#include "zreplicator/injector.h"
+#include "zreplicator/replicate.h"
+
+using namespace dfx;
+
+int main() {
+  // Build a clean replica with one KSK + one ZSK, then revoke the KSK.
+  zreplicator::SnapshotSpec spec;
+  analyzer::KeyMeta ksk;
+  ksk.flags = 0x0101;
+  ksk.algorithm = 8;  // RSASHA256
+  analyzer::KeyMeta zsk;
+  zsk.flags = 0x0100;
+  zsk.algorithm = 8;
+  spec.meta.keys = {ksk, zsk};
+  spec.meta.uses_nsec3 = true;
+  spec.intended_errors = {analyzer::ErrorCode::kRevokedKey};
+  auto replication = zreplicator::replicate(spec, 20251028);
+  if (!replication.complete) {
+    std::printf("replication failed: %s\n",
+                replication.failure_reason.c_str());
+    return 1;
+  }
+  auto& sandbox = *replication.sandbox;
+
+  std::printf("=== Diagnosis (dnsviz probe + grok) ===\n");
+  const auto snapshot = sandbox.analyze();
+  std::printf("status: %s\n",
+              analyzer::status_name(snapshot.status).c_str());
+  for (const auto& e : snapshot.errors) {
+    std::printf("  [error]     %-32s %s\n",
+                analyzer::error_code_name(e.code).c_str(), e.detail.c_str());
+  }
+  for (const auto& e : snapshot.companions) {
+    std::printf("  [companion] %-32s %s\n",
+                analyzer::error_code_name(e.code).c_str(), e.detail.c_str());
+  }
+
+  std::printf("\n=== What a validating resolver would return (RFC 8914) ===\n");
+  for (const auto& entry : analyzer::ede_for_snapshot(snapshot)) {
+    std::printf("  SERVFAIL + EDE %d (%s): %s\n",
+                static_cast<int>(entry.code),
+                analyzer::ede_code_name(entry.code).c_str(),
+                entry.extra_text.c_str());
+  }
+
+  std::printf("\n=== DFixer: suggest-only mode ===\n%s",
+              dfixer::suggest(sandbox).c_str());
+  std::printf("\n=== The same plan for a Knot DNS operator (§5.6) ===\n%s",
+              dfixer::translate_plan(dfixer::resolve(snapshot),
+                                     dfixer::ServerFlavor::kKnot)
+                  .c_str());
+
+  std::printf("\n=== DFixer: auto-apply mode ===\n");
+  const auto report = dfixer::auto_fix(sandbox);
+  for (const auto& iteration : report.iterations) {
+    std::printf("iteration %d (%zu instructions): %s\n",
+                iteration.iteration, iteration.plan.instructions.size(),
+                iteration.plan.root_cause.c_str());
+    for (const auto& instruction : iteration.plan.instructions) {
+      std::printf("  * %s\n", instruction.description.c_str());
+    }
+  }
+  std::printf("\nfinal status: %s, success=%s\n",
+              analyzer::status_name(report.final_snapshot.status).c_str(),
+              report.success ? "yes" : "no");
+  return report.success ? 0 : 1;
+}

@@ -1,0 +1,113 @@
+#include "analyzer/ede.h"
+
+#include <algorithm>
+
+namespace dfx::analyzer {
+
+std::string ede_code_name(EdeCode code) {
+  switch (code) {
+    case EdeCode::kOther: return "Other";
+    case EdeCode::kUnsupportedDnskeyAlgorithm:
+      return "Unsupported DNSKEY Algorithm";
+    case EdeCode::kUnsupportedDsDigestType:
+      return "Unsupported DS Digest Type";
+    case EdeCode::kDnssecIndeterminate: return "DNSSEC Indeterminate";
+    case EdeCode::kDnssecBogus: return "DNSSEC Bogus";
+    case EdeCode::kSignatureExpired: return "Signature Expired";
+    case EdeCode::kSignatureNotYetValid: return "Signature Not Yet Valid";
+    case EdeCode::kDnskeyMissing: return "DNSKEY Missing";
+    case EdeCode::kRrsigsMissing: return "RRSIGs Missing";
+    case EdeCode::kNoZoneKeyBitSet: return "No Zone Key Bit Set";
+    case EdeCode::kNsecMissing: return "NSEC Missing";
+  }
+  return "?";
+}
+
+std::string ede_purpose(EdeCode code) {
+  switch (code) {
+    case EdeCode::kSignatureExpired:
+      return "The resolver attempted to perform DNSSEC validation, but a "
+             "signature in the validation chain was expired.";
+    case EdeCode::kSignatureNotYetValid:
+      return "The resolver attempted to perform DNSSEC validation, but a "
+             "signature in the validation chain was not yet valid.";
+    case EdeCode::kDnskeyMissing:
+      return "A DS record existed at a parent, but no supported matching "
+             "DNSKEY record could be found for the child.";
+    case EdeCode::kRrsigsMissing:
+      return "The resolver attempted to perform DNSSEC validation, but no "
+             "RRSIGs could be found for at least one RRset where RRSIGs "
+             "were expected.";
+    case EdeCode::kNsecMissing:
+      return "The resolver attempted to perform DNSSEC validation, but the "
+             "requested data was missing and a covering NSEC or NSEC3 "
+             "record was not provided.";
+    case EdeCode::kDnssecBogus:
+      return "The resolver attempted to perform DNSSEC validation, but "
+             "validation ended in the BOGUS state.";
+    default:
+      return "See RFC 8914.";
+  }
+}
+
+EdeCode ede_for_error(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kExpiredSignature:
+      return EdeCode::kSignatureExpired;
+    case ErrorCode::kNotYetValidSignature:
+      return EdeCode::kSignatureNotYetValid;
+    case ErrorCode::kMissingKskForAlgorithm:
+    case ErrorCode::kMissingDnskeyForDs:
+      return EdeCode::kDnskeyMissing;
+    case ErrorCode::kMissingSignature:
+    case ErrorCode::kMissingSignatureForAlgorithm:
+      return EdeCode::kRrsigsMissing;
+    case ErrorCode::kMissingNonexistenceProof:
+    case ErrorCode::kBadNonexistenceProof:
+    case ErrorCode::kIncorrectClosestEncloserProof:
+    case ErrorCode::kInconsistentAncestorForNxdomain:
+    case ErrorCode::kIncorrectLastNsec:
+      return EdeCode::kNsecMissing;
+    case ErrorCode::kUnsupportedNsec3Algorithm:
+      return EdeCode::kDnssecIndeterminate;
+    // Advisory violations do not surface as EDEs on their own.
+    case ErrorCode::kNonzeroIterationCount:
+    case ErrorCode::kOriginalTtlExceedsRrsetTtl:
+    case ErrorCode::kTtlBeyondExpiration:
+    case ErrorCode::kIncompleteAlgorithmSetup:
+      return EdeCode::kOther;
+    default:
+      return EdeCode::kDnssecBogus;
+  }
+}
+
+std::vector<EdeEntry> ede_for_snapshot(const Snapshot& snapshot) {
+  std::vector<EdeEntry> out;
+  if (snapshot.status != SnapshotStatus::kSignedBogus) return out;
+  const auto add = [&](EdeCode code, const std::string& extra) {
+    if (code == EdeCode::kOther) return;
+    for (const auto& existing : out) {
+      if (existing.code == code) return;
+    }
+    out.push_back({code, extra});
+  };
+  std::vector<ErrorInstance> all = snapshot.errors;
+  all.insert(all.end(), snapshot.companions.begin(),
+             snapshot.companions.end());
+  for (const auto& e : all) {
+    add(ede_for_error(e.code), e.detail);
+  }
+  // Specific codes first; Bogus as the trailing catch-all.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const EdeEntry& a, const EdeEntry& b) {
+                     return (a.code != EdeCode::kDnssecBogus) >
+                            (b.code != EdeCode::kDnssecBogus);
+                   });
+  if (out.empty()) {
+    out.push_back({EdeCode::kDnssecBogus,
+                   "validation ended in the BOGUS state"});
+  }
+  return out;
+}
+
+}  // namespace dfx::analyzer

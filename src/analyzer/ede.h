@@ -1,0 +1,55 @@
+// Extended DNS Errors (RFC 8914) mapping.
+//
+// The paper motivates its measurement with Nosyk et al.'s EDE study (3.1M
+// domains emitting EDEs). This module closes the loop: given a grokked
+// snapshot, produce the EDE codes a validating resolver would attach to its
+// SERVFAIL — useful for cross-checking our taxonomy against resolver-side
+// telemetry and exposed by dfixer_cli.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analyzer/snapshot.h"
+
+namespace dfx::analyzer {
+
+/// The RFC 8914 info-codes a DNSSEC validator can emit (subset relevant to
+/// validation failures).
+enum class EdeCode : std::uint16_t {
+  kOther = 0,
+  kUnsupportedDnskeyAlgorithm = 1,
+  kUnsupportedDsDigestType = 2,
+  kDnssecIndeterminate = 5,
+  kDnssecBogus = 6,
+  kSignatureExpired = 7,
+  kSignatureNotYetValid = 8,
+  kDnskeyMissing = 9,
+  kRrsigsMissing = 10,
+  kNoZoneKeyBitSet = 11,
+  kNsecMissing = 12,
+};
+
+std::string ede_code_name(EdeCode code);
+std::string ede_purpose(EdeCode code);  // RFC 8914 "Purpose" text
+
+/// One emitted EDE: the info-code plus EXTRA-TEXT a resolver would attach.
+struct EdeEntry {
+  EdeCode code;
+  std::string extra_text;
+
+  bool operator==(const EdeEntry& o) const { return code == o.code; }
+};
+
+/// The EDE option(s) a validating resolver would return for this snapshot.
+/// Empty unless the snapshot is bogus (sv/svm/is resolve fine; lm/ic fail
+/// before validation). Ordered most-specific first; kDnssecBogus appears
+/// once as the catch-all when a more specific code does not apply.
+std::vector<EdeEntry> ede_for_snapshot(const Snapshot& snapshot);
+
+/// The most specific EDE for a single error code (kDnssecBogus when no
+/// dedicated code exists; advisory-only codes map to kOther).
+EdeCode ede_for_error(ErrorCode code);
+
+}  // namespace dfx::analyzer

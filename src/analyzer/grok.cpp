@@ -1,0 +1,1006 @@
+#include "analyzer/grok.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/codec.h"
+#include "zone/nsec3.h"
+#include "zone/signer.h"
+
+namespace dfx::analyzer {
+namespace {
+
+enum class TrustState { kSecure, kInsecure, kBogus };
+
+/// An RRset plus the RRSIGs covering it, pulled out of a response section.
+struct RRsetView {
+  dns::RRset rrset;
+  std::vector<dns::RrsigRdata> sigs;
+  bool present = false;
+};
+
+RRsetView extract(const std::vector<dns::ResourceRecord>& section,
+                  const dns::Name& owner, dns::RRType type) {
+  RRsetView view;
+  view.rrset = dns::RRset(owner, type, 0);
+  bool ttl_set = false;
+  for (const auto& rr : section) {
+    if (rr.owner != owner) continue;
+    if (rr.type == type) {
+      if (!ttl_set) {
+        view.rrset.set_ttl(rr.ttl);
+        ttl_set = true;
+      }
+      view.rrset.add(rr.rdata);
+      view.present = true;
+    } else if (rr.type == dns::RRType::kRRSIG) {
+      const auto* sig = std::get_if<dns::RrsigRdata>(&rr.rdata);
+      if (sig != nullptr && sig->type_covered == type) {
+        view.sigs.push_back(*sig);
+      }
+    }
+  }
+  return view;
+}
+
+/// All NSEC or NSEC3 views (any owner) in a response's authority section.
+std::vector<RRsetView> extract_proofs(const authserver::QueryResult& result,
+                                      dns::RRType type) {
+  std::vector<RRsetView> out;
+  std::set<std::string> seen;
+  for (const auto& rr : result.authorities) {
+    if (rr.type != type) continue;
+    const std::string key = rr.owner.to_string();
+    if (!seen.insert(key).second) continue;
+    out.push_back(extract(result.authorities, rr.owner, type));
+  }
+  return out;
+}
+
+bool nsec_covers(const dns::Name& owner, const dns::Name& next,
+                 const dns::Name& name) {
+  if (owner < next) return owner < name && name < next;
+  return name > owner || name < next;
+}
+
+bool hash_covers(const Bytes& owner_hash, const Bytes& next_hash,
+                 const Bytes& target) {
+  if (owner_hash < next_hash) {
+    return owner_hash < target && target < next_hash;
+  }
+  return target > owner_hash || target < next_hash;
+}
+
+/// Expected signature length plausibility by algorithm family.
+bool plausible_signature_length(std::uint8_t algorithm, std::size_t size) {
+  const auto info = crypto::algorithm_info(algorithm);
+  if (!info) return size > 0;
+  if (info->rsa_family) return size >= 24;  // smallest real modulus we emit
+  return size == 16;                        // Schnorr-64 signatures
+}
+
+/// Plausibility of DNSKEY public key material by algorithm family.
+bool plausible_key_length(std::uint8_t algorithm, ByteView public_key) {
+  const auto info = crypto::algorithm_info(algorithm);
+  if (!info) return !public_key.empty();
+  if (info->rsa_family) {
+    crypto::RsaPublicKey pub;
+    if (!crypto::RsaPublicKey::decode(public_key, pub)) return false;
+    return pub.n.bit_length() >= 128;
+  }
+  return public_key.size() == 8;
+}
+
+std::size_t observed_key_bits(const dns::DnskeyRdata& key) {
+  const auto info = crypto::algorithm_info(key.algorithm);
+  if (info && info->rsa_family) {
+    crypto::RsaPublicKey pub;
+    if (crypto::RsaPublicKey::decode(key.public_key, pub)) {
+      return pub.n.bit_length();
+    }
+    return key.public_key.size() * 8;
+  }
+  if (info) return info->default_key_bits;
+  return key.public_key.size() * 8;
+}
+
+/// Collector with de-duplication on (code, zone).
+class ErrorSink {
+ public:
+  void add(ErrorCode code, const dns::Name& zone, std::string detail) {
+    ErrorInstance e{code, zone, std::move(detail)};
+    auto& dst = category_of(code) == ErrorCategory::kCompanion ? companions_
+                                                               : errors_;
+    for (const auto& existing : dst) {
+      if (existing == e) return;
+    }
+    dst.push_back(std::move(e));
+  }
+
+  bool has(ErrorCode code) const {
+    const auto& src = category_of(code) == ErrorCategory::kCompanion
+                          ? companions_
+                          : errors_;
+    return std::any_of(src.begin(), src.end(), [&](const ErrorInstance& e) {
+      return e.code == code;
+    });
+  }
+
+  std::vector<ErrorInstance> errors_;
+  std::vector<ErrorInstance> companions_;
+};
+
+/// Validation context for one zone in the chain.
+struct ZoneChecker {
+  const ZoneProbe& zp;
+  const GrokConfig& config;
+  UnixTime now;
+  ErrorSink& sink;
+
+  // Filled during checking.
+  std::vector<dns::DnskeyRdata> dnskeys{};  // union across servers
+  std::vector<dns::DsRdata> ds_set{};       // union across parent servers
+  std::vector<bool> ds_valid{};             // parallel to ds_set
+  bool ds_absence_proven = false;
+  std::vector<const dns::DnskeyRdata*> sep_keys{};  // DS-validated keys
+  bool any_validation_failure = false;
+
+  const dns::Name& apex() const { return zp.apex; }
+
+  void note_failure() { any_validation_failure = true; }
+
+  // ---- DNSKEY gathering & key-level checks -----------------------------
+
+  void gather_dnskeys() {
+    std::vector<std::set<Bytes>> per_server;
+    for (const auto& sp : zp.servers) {
+      if (!sp.reachable) continue;
+      std::set<Bytes> wires;
+      const auto view =
+          extract(sp.dnskey.answers, apex(), dns::RRType::kDNSKEY);
+      for (const auto& rdata : view.rrset.rdatas()) {
+        wires.insert(dns::rdata_to_wire(rdata));
+        const auto* key = std::get_if<dns::DnskeyRdata>(&rdata);
+        if (key == nullptr) continue;
+        const bool known = std::any_of(
+            dnskeys.begin(), dnskeys.end(), [&](const dns::DnskeyRdata& k) {
+              return dns::rdata_to_wire(dns::Rdata(k)) ==
+                     dns::rdata_to_wire(dns::Rdata(*key));
+            });
+        if (!known) dnskeys.push_back(*key);
+      }
+      per_server.push_back(std::move(wires));
+    }
+    // Inconsistency across servers.
+    for (std::size_t i = 1; i < per_server.size(); ++i) {
+      if (per_server[i] != per_server[0]) {
+        sink.add(ErrorCode::kInconsistentDnskeyBetweenServers, apex(),
+                 "DNSKEY RRset differs between authoritative servers");
+        note_failure();
+        break;
+      }
+    }
+    // Key-level checks.
+    for (const auto& key : dnskeys) {
+      if (!plausible_key_length(key.algorithm, key.public_key)) {
+        sink.add(ErrorCode::kBadKeyLength, apex(),
+                 "DNSKEY key_tag=" + std::to_string(key.key_tag()) +
+                     " has an invalid key length for algorithm " +
+                     std::to_string(key.algorithm));
+        note_failure();
+      }
+    }
+  }
+
+  void gather_ds() {
+    std::set<Bytes> seen;
+    for (const auto& result : zp.parent_ds) {
+      const auto view = extract(result.answers, apex(), dns::RRType::kDS);
+      for (const auto& rdata : view.rrset.rdatas()) {
+        if (!seen.insert(dns::rdata_to_wire(rdata)).second) continue;
+        const auto* ds = std::get_if<dns::DsRdata>(&rdata);
+        if (ds != nullptr) ds_set.push_back(*ds);
+      }
+      if (!view.present &&
+          (result.rcode == dns::RCode::kNoError ||
+           result.rcode == dns::RCode::kNXDomain)) {
+        // Negative answer for DS; proof quality checked by caller when
+        // the parent is signed.
+        ds_absence_proven =
+            ds_absence_proven || !result.negative_proofs().empty();
+      }
+    }
+  }
+
+  // ---- DS ↔ DNSKEY linkage ---------------------------------------------
+
+  void validate_ds(const dns::Name& parent_apex) {
+    (void)parent_apex;
+    ds_valid.assign(ds_set.size(), false);
+    for (std::size_t di = 0; di < ds_set.size(); ++di) {
+      const auto& ds = ds_set[di];
+      const dns::DnskeyRdata* matched = nullptr;
+      bool algorithm_present = false;
+      bool revoked_link = false;
+      std::uint16_t revoked_tag = 0;
+      for (const auto& key : dnskeys) {
+        if (key.algorithm != ds.algorithm) continue;
+        algorithm_present = true;
+        if (key.key_tag() == ds.key_tag) {
+          matched = &key;
+          break;
+        }
+        // A DS created before the key was revoked references the
+        // pre-revocation tag; detect that linkage explicitly.
+        if (key.is_revoked()) {
+          dns::DnskeyRdata unrevoked = key;
+          unrevoked.flags &= static_cast<std::uint16_t>(~0x0080);
+          if (unrevoked.key_tag() == ds.key_tag) {
+            revoked_link = true;
+            revoked_tag = key.key_tag();
+          }
+        }
+      }
+      const std::string ds_id = "DS key_tag=" + std::to_string(ds.key_tag) +
+                                " algorithm=" + std::to_string(ds.algorithm);
+      if (matched == nullptr) {
+        if (revoked_link) {
+          sink.add(ErrorCode::kRevokedKey, apex(),
+                   ds_id + " is linked to a revoked DNSKEY (key_tag=" +
+                       std::to_string(revoked_tag) + ")");
+          sink.add(ErrorCode::kNoSecureEntryPoint, apex(),
+                   ds_id + " provides no secure entry point (key revoked)");
+        } else if (!algorithm_present) {
+          sink.add(ErrorCode::kMissingKskForAlgorithm, apex(),
+                   ds_id + " references an algorithm with no DNSKEY");
+        } else if (dnskeys.empty()) {
+          sink.add(ErrorCode::kMissingDnskeyForDs, apex(),
+                   ds_id + " has no DNSKEY RRset to match");
+        } else {
+          sink.add(ErrorCode::kMissingDnskeyForDs, apex(),
+                   ds_id + " matches no DNSKEY");
+        }
+        continue;
+      }
+      if (matched->is_revoked()) {
+        sink.add(ErrorCode::kRevokedKey, apex(),
+                 ds_id + " references a DNSKEY with the REVOKE flag set");
+        sink.add(ErrorCode::kNoSecureEntryPoint, apex(),
+                 ds_id + " provides no secure entry point (key revoked)");
+        continue;
+      }
+      const auto digest_type =
+          static_cast<crypto::DigestType>(ds.digest_type);
+      const Bytes expected = crypto::ds_digest(
+          digest_type, apex().to_canonical_wire(),
+          dns::rdata_to_wire(dns::Rdata(*matched)));
+      if (expected.empty()) continue;  // unsupported digest type: DS ignored
+      if (expected != ds.digest) {
+        sink.add(ErrorCode::kInvalidDigest, apex(),
+                 ds_id + " digest does not match the DNSKEY");
+        continue;
+      }
+      sep_keys.push_back(matched);
+      ds_valid[di] = true;
+    }
+    if (!ds_set.empty() && dnskeys.empty()) {
+      sink.add(ErrorCode::kMissingDnskeyForDs, apex(),
+               "DS present at the parent but the zone has no DNSKEY RRset");
+      note_failure();
+    }
+    if (!ds_set.empty() && sep_keys.empty()) {
+      sink.add(ErrorCode::kNoSecureEntryPoint, apex(),
+               "no DS record establishes a secure entry point");
+      note_failure();
+    }
+  }
+
+  // ---- RRSIG validation --------------------------------------------------
+
+  /// Validate the signatures over one RRset. `allowed_keys` is the key set
+  /// a valid path may use. Returns true if at least one signature fully
+  /// validates. Emits per-signature anomalies.
+  bool check_rrset(const RRsetView& view,
+                   const std::vector<const dns::DnskeyRdata*>& allowed_keys,
+                   bool require_signature) {
+    if (!view.present) return true;  // nothing to validate
+    if (view.sigs.empty()) {
+      if (require_signature) {
+        sink.add(ErrorCode::kMissingSignature, apex(),
+                 "no RRSIG covering " + view.rrset.owner().to_string() + "/" +
+                     dns::rrtype_to_string(view.rrset.type()));
+        note_failure();
+      }
+      return !require_signature;
+    }
+    bool any_valid = false;
+    for (const auto& sig : view.sigs) {
+      bool sig_ok = true;
+      const std::string sig_id =
+          "RRSIG " + view.rrset.owner().to_string() + "/" +
+          dns::rrtype_to_string(view.rrset.type()) +
+          " key_tag=" + std::to_string(sig.key_tag);
+      if (sig.expiration < now) {
+        sink.add(ErrorCode::kExpiredSignature, apex(),
+                 sig_id + " expired at " + format_dnssec_time(sig.expiration));
+        sig_ok = false;
+      }
+      if (sig.inception > now) {
+        sink.add(ErrorCode::kNotYetValidSignature, apex(),
+                 sig_id + " not valid before " +
+                     format_dnssec_time(sig.inception));
+        sig_ok = false;
+      }
+      if (sig.signer != apex()) {
+        sink.add(ErrorCode::kIncorrectSigner, apex(),
+                 sig_id + " signer " + sig.signer.to_string() +
+                     " is not the zone apex");
+        sig_ok = false;
+      }
+      // RFC 4034 §3.1.3: labels excludes a leading "*"; a count *below* the
+      // owner's marks a wildcard-synthesized answer, a count above it is
+      // plainly invalid.
+      const std::size_t expected_labels =
+          view.rrset.owner().label_count() -
+          (view.rrset.owner().leftmost_label() == "*" ? 1 : 0);
+      dns::Name signing_owner = view.rrset.owner();
+      if (sig.labels > expected_labels) {
+        sink.add(ErrorCode::kIncorrectSignatureLabels, apex(),
+                 sig_id + " labels field " + std::to_string(sig.labels) +
+                     " exceeds the owner's label count " +
+                     std::to_string(expected_labels));
+        sig_ok = false;
+      } else if (sig.labels < expected_labels) {
+        // Wildcard expansion: rebuild the source of synthesis and verify
+        // against it.
+        dns::Name closest = view.rrset.owner();
+        while (closest.label_count() > sig.labels) closest = closest.parent();
+        signing_owner = closest.child("*");
+      }
+      if (!plausible_signature_length(sig.algorithm,
+                                      sig.signature.size())) {
+        sink.add(ErrorCode::kBadSignatureLength, apex(),
+                 sig_id + " has an implausible signature length " +
+                     std::to_string(sig.signature.size()));
+        sig_ok = false;
+      }
+      if (sig.original_ttl < view.rrset.ttl()) {
+        sink.add(ErrorCode::kOriginalTtlExceedsRrsetTtl, apex(),
+                 sig_id + " original TTL " +
+                     std::to_string(sig.original_ttl) +
+                     " is below the served RRset TTL " +
+                     std::to_string(view.rrset.ttl()));
+        // warning-level: does not invalidate the signature
+      }
+      if (sig.expiration > now &&
+          static_cast<UnixTime>(view.rrset.ttl()) > sig.expiration - now) {
+        sink.add(ErrorCode::kTtlBeyondExpiration, apex(),
+                 sig_id + " allows caching beyond signature expiration");
+      }
+      // Find the signing key among the allowed keys.
+      const dns::DnskeyRdata* signer = nullptr;
+      for (const auto* key : allowed_keys) {
+        if (key->key_tag() == sig.key_tag &&
+            key->algorithm == sig.algorithm) {
+          signer = key;
+          break;
+        }
+      }
+      if (signer == nullptr) {
+        bool known_elsewhere = std::any_of(
+            dnskeys.begin(), dnskeys.end(), [&](const dns::DnskeyRdata& k) {
+              return k.key_tag() == sig.key_tag &&
+                     k.algorithm == sig.algorithm;
+            });
+        if (!known_elsewhere) {
+          sink.add(ErrorCode::kInvalidSignature, apex(),
+                   sig_id + " was made by a key not in the DNSKEY RRset");
+        }
+        continue;
+      }
+      if (sig_ok) {
+        // For wildcard expansions the signed owner differs from the served
+        // owner; verify against the reconstructed source of synthesis.
+        dns::RRset canonical(signing_owner, view.rrset.type(),
+                             view.rrset.ttl());
+        for (const auto& rdata : view.rrset.rdatas()) canonical.add(rdata);
+        if (!zone::verify_rrsig(canonical, sig, *signer)) {
+          sink.add(ErrorCode::kInvalidSignature, apex(),
+                   sig_id + " failed cryptographic verification");
+          sig_ok = false;
+        }
+      }
+      any_valid = any_valid || sig_ok;
+    }
+    if (!any_valid) note_failure();
+    return any_valid;
+  }
+
+  /// Per-zone RFC 4035 algorithm-completeness check over the data RRsets.
+  void check_algorithm_completeness(
+      const std::vector<const RRsetView*>& signed_sets) {
+    std::set<std::uint8_t> dnskey_algorithms;
+    for (const auto& key : dnskeys) {
+      if (key.is_revoked()) continue;
+      dnskey_algorithms.insert(key.algorithm);
+    }
+    if (dnskey_algorithms.size() < 2 && ds_set.empty()) {
+      // Single-algorithm zones cannot have an incomplete setup unless the
+      // DS side disagrees (handled below).
+    }
+    for (const auto* view : signed_sets) {
+      if (!view->present || view->sigs.empty()) continue;
+      std::set<std::uint8_t> sig_algorithms;
+      for (const auto& sig : view->sigs) sig_algorithms.insert(sig.algorithm);
+      for (std::uint8_t alg : dnskey_algorithms) {
+        if (!sig_algorithms.contains(alg)) {
+          sink.add(ErrorCode::kIncompleteAlgorithmSetup, apex(),
+                   "RRset " + view->rrset.owner().to_string() + "/" +
+                       dns::rrtype_to_string(view->rrset.type()) +
+                       " lacks an RRSIG with algorithm " +
+                       std::to_string(alg));
+        }
+      }
+    }
+    // DS algorithms must sign the DNSKEY RRset.
+    std::set<std::uint8_t> ds_algorithms;
+    for (const auto& ds : ds_set) ds_algorithms.insert(ds.algorithm);
+    for (const auto& sp : zp.servers) {
+      if (!sp.reachable) continue;
+      const auto view =
+          extract(sp.dnskey.answers, apex(), dns::RRType::kDNSKEY);
+      std::set<std::uint8_t> sig_algorithms;
+      for (const auto& sig : view.sigs) sig_algorithms.insert(sig.algorithm);
+      for (std::uint8_t alg : ds_algorithms) {
+        if (!sig_algorithms.contains(alg) && view.present) {
+          sink.add(ErrorCode::kMissingSignatureForAlgorithm, apex(),
+                   "no RRSIG with DS algorithm " + std::to_string(alg) +
+                       " covers the DNSKEY RRset");
+        }
+      }
+      break;  // one representative server suffices for this zone-level check
+    }
+  }
+};
+
+/// Validate the negative responses (NXDOMAIN and NODATA probes) from one
+/// server of a signed zone. Emits NSEC/NSEC3 error codes and downgrades
+/// `zone_state` for critical failures.
+void validate_negative(ZoneChecker& checker, const ServerProbe& sp,
+                       const dns::Name& apex,
+                       const std::vector<const dns::DnskeyRdata*>& all_keys,
+                       TrustState& zone_state, const GrokConfig& config) {
+  ErrorSink& sink = checker.sink;
+  const auto fail = [&](ErrorCode code, std::string detail) {
+    sink.add(code, apex, std::move(detail));
+    if (code != ErrorCode::kNonzeroIterationCount || config.nzic_is_fatal) {
+      zone_state = TrustState::kBogus;
+    }
+  };
+  const auto warn = [&](ErrorCode code, std::string detail) {
+    sink.add(code, apex, std::move(detail));
+  };
+
+  // Which denial mechanism does the zone use?
+  const auto nsec3_nx = extract_proofs(sp.nxdomain, dns::RRType::kNSEC3);
+  const auto nsec_nx = extract_proofs(sp.nxdomain, dns::RRType::kNSEC);
+  const bool uses_nsec3 = !nsec3_nx.empty();
+
+  // The NSEC3PARAM record advertises the chain parameters: a nonzero
+  // iteration count is a violation even when negative proofs are absent.
+  {
+    const auto param_view =
+        extract(sp.nsec3param.answers, apex, dns::RRType::kNSEC3PARAM);
+    for (const auto& rdata : param_view.rrset.rdatas()) {
+      const auto* param = std::get_if<dns::Nsec3ParamRdata>(&rdata);
+      if (param != nullptr && param->iterations > 0) {
+        warn(ErrorCode::kNonzeroIterationCount,
+             "NSEC3PARAM iterations=" + std::to_string(param->iterations) +
+                 " (RFC 9276 requires 0)");
+        if (config.nzic_is_fatal) zone_state = TrustState::kBogus;
+      }
+    }
+  }
+
+  // Validate proof signatures (tampered-but-unsigned proofs surface as
+  // ordinary signature failures).
+  for (const auto* group : {&nsec3_nx, &nsec_nx}) {
+    for (const auto& view : *group) {
+      if (!checker.check_rrset(view, all_keys, true)) {
+        zone_state = TrustState::kBogus;
+      }
+    }
+  }
+
+  if (sp.nxdomain.rcode == dns::RCode::kNXDomain && nsec3_nx.empty() &&
+      nsec_nx.empty()) {
+    fail(ErrorCode::kMissingNonexistenceProof,
+         "NXDOMAIN response carries no NSEC or NSEC3 records");
+    return;
+  }
+
+  const dns::Name nx_name = apex.child("dnsviz-nxdomain-probe");
+
+  if (uses_nsec3) {
+    // --- NSEC3 record sanity ---------------------------------------------
+    struct Entry {
+      Bytes owner_hash;
+      const dns::Nsec3Rdata* rdata;
+      dns::Name owner;
+    };
+    std::vector<Entry> entries;
+    bool params_ok = true;
+    std::optional<bool> opt_out_seen;
+    // Sanity checks run over every NSEC3 seen in any negative response of
+    // this server (the NXDOMAIN probes and the NODATA probe): chain-level
+    // inconsistencies like mixed opt-out flags are visible only across the
+    // union.
+    std::vector<RRsetView> sanity_views = nsec3_nx;
+    for (const auto& view :
+         extract_proofs(sp.nxdomain_last, dns::RRType::kNSEC3)) {
+      sanity_views.push_back(view);
+    }
+    for (const auto& view : extract_proofs(sp.nodata, dns::RRType::kNSEC3)) {
+      sanity_views.push_back(view);
+    }
+    std::set<std::string> seen_owner;
+    for (const auto& view : sanity_views) {
+      if (!seen_owner.insert(view.rrset.owner().to_string()).second) {
+        continue;
+      }
+      const bool in_nxdomain = std::any_of(
+          nsec3_nx.begin(), nsec3_nx.end(), [&](const RRsetView& v) {
+            return v.rrset.owner() == view.rrset.owner();
+          });
+      for (const auto& rdata : view.rrset.rdatas()) {
+        const auto* n3 = std::get_if<dns::Nsec3Rdata>(&rdata);
+        if (n3 == nullptr) continue;
+        if (n3->hash_algorithm != 1) {
+          fail(ErrorCode::kUnsupportedNsec3Algorithm,
+               "NSEC3 hash algorithm " +
+                   std::to_string(n3->hash_algorithm) + " is not defined");
+          params_ok = false;
+        }
+        if (n3->iterations > 0) {
+          warn(ErrorCode::kNonzeroIterationCount,
+               "NSEC3 iterations=" + std::to_string(n3->iterations) +
+                   " (RFC 9276 requires 0)");
+          if (config.nzic_is_fatal) zone_state = TrustState::kBogus;
+        }
+        if (n3->next_hashed.size() != 20) {
+          fail(ErrorCode::kInvalidNsec3Hash,
+               "NSEC3 next-hashed field has length " +
+                   std::to_string(n3->next_hashed.size()) +
+                   ", expected 20 (SHA-1)");
+          params_ok = false;
+        }
+        auto decoded = base32hex_decode(view.rrset.owner().leftmost_label());
+        if (!decoded || decoded->size() != 20) {
+          fail(ErrorCode::kInvalidNsec3OwnerName,
+               "NSEC3 owner label " + view.rrset.owner().leftmost_label() +
+                   " is not a valid SHA-1 base32hex hash");
+          params_ok = false;
+          continue;
+        }
+        if (opt_out_seen.has_value() && *opt_out_seen != n3->opt_out()) {
+          fail(ErrorCode::kIncorrectOptOutFlag,
+               "NSEC3 records disagree on the opt-out flag");
+        }
+        opt_out_seen = n3->opt_out();
+        if (in_nxdomain) {
+          entries.push_back({*std::move(decoded), n3, view.rrset.owner()});
+        }
+      }
+    }
+    if (!params_ok || entries.empty()) return;
+    const Bytes& salt = entries.front().rdata->salt;
+    const std::uint16_t iterations = entries.front().rdata->iterations;
+    const auto hash_of = [&](const dns::Name& name) {
+      return zone::nsec3_hash(name, salt, iterations);
+    };
+    const auto find_match = [&](const dns::Name& name) -> const Entry* {
+      const Bytes h = hash_of(name);
+      for (const auto& e : entries) {
+        if (e.owner_hash == h) return &e;
+      }
+      return nullptr;
+    };
+    const auto find_cover = [&](const dns::Name& name) -> const Entry* {
+      const Bytes h = hash_of(name);
+      for (const auto& e : entries) {
+        if (hash_covers(e.owner_hash, e.rdata->next_hashed, h)) return &e;
+      }
+      return nullptr;
+    };
+
+    if (sp.nxdomain.rcode == dns::RCode::kNXDomain) {
+      // Closest-encloser proof (RFC 5155 §8.4). For the probe name the
+      // closest encloser is the apex and the next closer is the probe name.
+      const Entry* ce = nullptr;
+      dns::Name ce_name = nx_name;
+      while (ce_name.label_count() >= apex.label_count()) {
+        if (ce_name.label_count() < nx_name.label_count()) {
+          ce = find_match(ce_name);
+          if (ce != nullptr) break;
+        }
+        if (ce_name.is_root()) break;
+        ce_name = ce_name.parent();
+      }
+      if (ce == nullptr) {
+        if (find_cover(nx_name) != nullptr) {
+          fail(ErrorCode::kInconsistentAncestorForNxdomain,
+               "no NSEC3 record matches any ancestor of the denied name");
+        } else {
+          fail(ErrorCode::kBadNonexistenceProof,
+               "NSEC3 records neither match nor cover the denied name");
+        }
+        return;
+      }
+      dns::Name next_closer = nx_name;
+      while (next_closer.label_count() > ce_name.label_count() + 1) {
+        next_closer = next_closer.parent();
+      }
+      const Entry* nc_cover = find_cover(next_closer);
+      if (nc_cover == nullptr) {
+        fail(ErrorCode::kIncorrectClosestEncloserProof,
+             "no NSEC3 record covers the next-closer name " +
+                 next_closer.to_string());
+        return;
+      }
+      const dns::Name wildcard = ce_name.child("*");
+      if (find_cover(wildcard) == nullptr &&
+          find_match(wildcard) == nullptr && !nc_cover->rdata->opt_out()) {
+        fail(ErrorCode::kBadNonexistenceProof,
+             "no NSEC3 record denies the wildcard " + wildcard.to_string());
+      }
+    }
+
+    // NODATA probe (apex MX): the matching NSEC3's bitmap is authoritative.
+    const auto nodata_proofs = extract_proofs(sp.nodata, dns::RRType::kNSEC3);
+    for (const auto& view : nodata_proofs) {
+      if (!checker.check_rrset(view, all_keys, true)) {
+        zone_state = TrustState::kBogus;
+      }
+      for (const auto& rdata : view.rrset.rdatas()) {
+        const auto* n3 = std::get_if<dns::Nsec3Rdata>(&rdata);
+        if (n3 == nullptr) continue;
+        auto decoded = base32hex_decode(view.rrset.owner().leftmost_label());
+        if (!decoded || *decoded != hash_of(apex)) continue;
+        if (n3->types.contains(dns::RRType::kMX)) {
+          fail(ErrorCode::kIncorrectTypeBitmap,
+               "NSEC3 bitmap asserts MX exists at the apex, but the server "
+               "answered NODATA");
+        }
+        if (!n3->types.contains(dns::RRType::kSOA) ||
+            !n3->types.contains(dns::RRType::kNS)) {
+          fail(ErrorCode::kIncorrectTypeBitmap,
+               "NSEC3 bitmap at the apex omits SOA/NS");
+        }
+      }
+    }
+    if (sp.nodata.rcode == dns::RCode::kNoError &&
+        nodata_proofs.empty() &&
+        extract_proofs(sp.nodata, dns::RRType::kNSEC).empty()) {
+      fail(ErrorCode::kMissingNonexistenceProof,
+           "NODATA response carries no NSEC or NSEC3 records");
+    }
+    return;
+  }
+
+  // --- NSEC ----------------------------------------------------------------
+  if (sp.nxdomain.rcode == dns::RCode::kNXDomain) {
+    bool covered = false;
+    for (const auto& view : nsec_nx) {
+      for (const auto& rdata : view.rrset.rdatas()) {
+        const auto* nsec = std::get_if<dns::NsecRdata>(&rdata);
+        if (nsec == nullptr) continue;
+        if (nsec_covers(view.rrset.owner(), nsec->next, nx_name)) {
+          covered = true;
+        }
+      }
+    }
+    if (!covered) {
+      fail(ErrorCode::kBadNonexistenceProof,
+           "no NSEC record covers the denied name " + nx_name.to_string());
+    }
+    // Wrap-around sanity via the sorts-last probe: the covering NSEC there
+    // must be the final chain record pointing back to the apex.
+    const auto last_proofs =
+        extract_proofs(sp.nxdomain_last, dns::RRType::kNSEC);
+    const dns::Name last_name = apex.child("zzzzzzzz-dnsviz-last");
+    for (const auto& view : last_proofs) {
+      if (!checker.check_rrset(view, all_keys, true)) {
+        zone_state = TrustState::kBogus;
+      }
+      for (const auto& rdata : view.rrset.rdatas()) {
+        const auto* nsec = std::get_if<dns::NsecRdata>(&rdata);
+        if (nsec == nullptr) continue;
+        if (nsec_covers(view.rrset.owner(), nsec->next, last_name) &&
+            view.rrset.owner() > nsec->next && nsec->next != apex) {
+          fail(ErrorCode::kIncorrectLastNsec,
+               "the final NSEC record points to " + nsec->next.to_string() +
+                   " instead of the zone apex");
+        }
+      }
+    }
+  }
+
+  // NODATA bitmap check.
+  const auto nodata_proofs = extract_proofs(sp.nodata, dns::RRType::kNSEC);
+  for (const auto& view : nodata_proofs) {
+    if (!checker.check_rrset(view, all_keys, true)) {
+      zone_state = TrustState::kBogus;
+    }
+    if (view.rrset.owner() != apex) continue;
+    for (const auto& rdata : view.rrset.rdatas()) {
+      const auto* nsec = std::get_if<dns::NsecRdata>(&rdata);
+      if (nsec == nullptr) continue;
+      if (nsec->types.contains(dns::RRType::kMX)) {
+        fail(ErrorCode::kIncorrectTypeBitmap,
+             "NSEC bitmap asserts MX exists at the apex, but the server "
+             "answered NODATA");
+      }
+      if (!nsec->types.contains(dns::RRType::kSOA) ||
+          !nsec->types.contains(dns::RRType::kNS)) {
+        fail(ErrorCode::kIncorrectTypeBitmap,
+             "NSEC bitmap at the apex omits SOA/NS");
+      }
+    }
+  }
+  if (sp.nodata.rcode == dns::RCode::kNoError && nodata_proofs.empty() &&
+      extract_proofs(sp.nodata, dns::RRType::kNSEC3).empty()) {
+    fail(ErrorCode::kMissingNonexistenceProof,
+         "NODATA response carries no NSEC or NSEC3 records");
+  }
+}
+
+/// Extract the zone meta-parameters ZReplicator mirrors (Fig. 7 step 2).
+ZoneMeta extract_meta(const ZoneProbe& zp, const ZoneChecker& checker) {
+  ZoneMeta meta;
+  meta.apex = zp.apex;
+  meta.server_count = static_cast<int>(zp.servers.size());
+  for (const auto& key : checker.dnskeys) {
+    KeyMeta km;
+    km.flags = key.flags;
+    km.algorithm = key.algorithm;
+    km.key_tag = key.key_tag();
+    km.key_bits = observed_key_bits(key);
+    km.length_plausible = plausible_key_length(key.algorithm, key.public_key);
+    meta.keys.push_back(km);
+  }
+  for (std::size_t di = 0; di < checker.ds_set.size(); ++di) {
+    const auto& ds = checker.ds_set[di];
+    DsMeta dm;
+    dm.key_tag = ds.key_tag;
+    dm.algorithm = ds.algorithm;
+    dm.digest_type = ds.digest_type;
+    dm.digest_hex = hex_encode(ds.digest);
+    dm.matches_dnskey = std::any_of(
+        checker.dnskeys.begin(), checker.dnskeys.end(),
+        [&](const dns::DnskeyRdata& k) {
+          return k.key_tag() == ds.key_tag && k.algorithm == ds.algorithm;
+        });
+    dm.valid = di < checker.ds_valid.size() && checker.ds_valid[di];
+    meta.ds_records.push_back(dm);
+  }
+  // Denial mechanism from the observed proofs.
+  for (const auto& sp : zp.servers) {
+    if (!sp.reachable) continue;
+    const auto nsec3 = extract_proofs(sp.nxdomain, dns::RRType::kNSEC3);
+    if (!nsec3.empty()) {
+      meta.uses_nsec3 = true;
+      for (const auto& rdata : nsec3.front().rrset.rdatas()) {
+        const auto* n3 = std::get_if<dns::Nsec3Rdata>(&rdata);
+        if (n3 != nullptr) {
+          meta.nsec3_iterations = n3->iterations;
+          meta.nsec3_salt_hex = hex_encode(n3->salt);
+          meta.nsec3_opt_out = n3->opt_out();
+          break;
+        }
+      }
+    }
+    const auto soa = extract(sp.soa.answers, zp.apex, dns::RRType::kSOA);
+    if (soa.present) meta.max_ttl = soa.rrset.ttl();
+    break;
+  }
+  return meta;
+}
+
+}  // namespace
+
+Snapshot grok(const ProbeData& data, const GrokConfig& config) {
+  Snapshot snapshot;
+  snapshot.query_domain = data.query_domain;
+  snapshot.time = data.time;
+  if (data.chain.empty()) {
+    snapshot.status = SnapshotStatus::kLame;
+    return snapshot;
+  }
+  snapshot.query_zone = data.chain.back().apex;
+
+  ErrorSink sink;
+  TrustState state = TrustState::kSecure;  // root anchors the chain
+  bool chain_lame = false;
+  bool chain_incomplete = false;
+
+  for (std::size_t zi = 0; zi < data.chain.size(); ++zi) {
+    const ZoneProbe& zp = data.chain[zi];
+    const bool is_target = zi + 1 == data.chain.size();
+
+    // Lameness: every server unreachable.
+    const bool all_lame = std::all_of(
+        zp.servers.begin(), zp.servers.end(),
+        [](const ServerProbe& sp) { return !sp.reachable; });
+    if (zp.servers.empty() || all_lame) {
+      sink.add(ErrorCode::kLameDelegation, zp.apex,
+               "no authoritative server for the zone responds");
+      chain_lame = true;
+      break;
+    }
+
+    // Delegation completeness: the parent must publish NS for the child.
+    if (zi > 0) {
+      bool parent_has_ns = false;
+      for (const auto& result : zp.parent_ns) {
+        const auto view = extract(result.authorities, zp.apex,
+                                  dns::RRType::kNS);
+        const auto direct =
+            extract(result.answers, zp.apex, dns::RRType::kNS);
+        if (view.present || direct.present) {
+          parent_has_ns = true;
+          break;
+        }
+      }
+      if (!parent_has_ns) {
+        sink.add(ErrorCode::kMissingNsInParent, zp.apex,
+                 "the parent zone has no NS records for this delegation");
+        chain_incomplete = true;
+        break;
+      }
+    }
+
+    ZoneChecker checker{zp, config, data.time, sink};
+    checker.gather_dnskeys();
+    if (zi > 0) checker.gather_ds();
+
+    const bool zone_signed = !checker.dnskeys.empty();
+
+    // Trust-state transition at the delegation.
+    const TrustState parent_state = state;
+    TrustState zone_state = state;
+    if (state == TrustState::kSecure && zi > 0) {
+      if (checker.ds_set.empty()) {
+        // Insecure delegation; the proof of DS absence must be present.
+        // (Attribute a bad proof to the *parent* zone: its NSEC(3) chain.)
+        if (!checker.ds_absence_proven && zone_signed) {
+          sink.add(ErrorCode::kBadNonexistenceProof,
+                   data.chain[zi - 1].apex,
+                   "the parent provides no valid proof of DS absence for " +
+                       zp.apex.to_string());
+          zone_state = TrustState::kBogus;
+
+        } else {
+          zone_state = TrustState::kInsecure;
+        }
+      } else {
+        checker.validate_ds(data.chain[zi - 1].apex);
+        if (checker.sep_keys.empty()) {
+          zone_state = TrustState::kBogus;
+        }
+      }
+    } else if (zi == 0 && !zone_signed) {
+      zone_state = TrustState::kInsecure;
+    }
+
+    if (zone_signed) {
+      // Validate the DNSKEY RRset per server.
+      std::vector<const dns::DnskeyRdata*> dnskey_signers;
+      if (zi == 0 || checker.ds_set.empty() ||
+          parent_state != TrustState::kSecure) {
+        // Trust-anchor zone, island of trust, or a signed zone below an
+        // insecure cut: there is no DS-anchored SEP, so internal
+        // consistency is checked against the zone's own key set.
+        for (const auto& key : checker.dnskeys) {
+          dnskey_signers.push_back(&key);
+        }
+      } else {
+        dnskey_signers = checker.sep_keys;
+      }
+      std::vector<const dns::DnskeyRdata*> all_keys;
+      for (const auto& key : checker.dnskeys) all_keys.push_back(&key);
+
+      std::vector<RRsetView> views_storage;
+      // data_views keeps pointers into views_storage: size it once so the
+      // buffer never reallocates.
+      views_storage.reserve(zp.servers.size() * 4);
+      std::vector<const RRsetView*> data_views;
+      for (const auto& sp : zp.servers) {
+        if (!sp.reachable) continue;
+        const auto dnskey_view =
+            extract(sp.dnskey.answers, zp.apex, dns::RRType::kDNSKEY);
+        const bool dnskey_ok =
+            checker.check_rrset(dnskey_view, dnskey_signers, true);
+        if (!dnskey_ok) zone_state = TrustState::kBogus;
+
+        for (auto [section, owner, type] :
+             {std::tuple{&sp.soa.answers, zp.apex, dns::RRType::kSOA},
+              std::tuple{&sp.ns.answers, zp.apex, dns::RRType::kNS},
+              std::tuple{&sp.apex_a.answers, zp.apex, dns::RRType::kA}}) {
+          views_storage.push_back(extract(*section, owner, type));
+          auto& view = views_storage.back();
+          if (!view.present) continue;
+          const bool ok = checker.check_rrset(view, all_keys, true);
+          if (!ok) zone_state = TrustState::kBogus;
+          data_views.push_back(&view);
+        }
+
+        // A wildcard may turn the NXDOMAIN probe into a synthesized
+        // positive answer; validate it (the labels-field logic inside
+        // check_rrset reconstructs the source of synthesis) and require
+        // the accompanying next-closer proof (RFC 4035 §3.1.3.3).
+        views_storage.push_back(extract(sp.nxdomain.answers,
+                                        nx_probe_name(zp.apex),
+                                        dns::RRType::kA));
+        {
+          auto& wc_view = views_storage.back();
+          if (wc_view.present) {
+            if (!checker.check_rrset(wc_view, all_keys, true)) {
+              zone_state = TrustState::kBogus;
+            }
+            if (sp.nxdomain.negative_proofs().empty()) {
+              sink.add(ErrorCode::kMissingNonexistenceProof, zp.apex,
+                       "wildcard-synthesized answer lacks the proof that "
+                       "the query name itself does not exist");
+              zone_state = TrustState::kBogus;
+            }
+          }
+        }
+
+        // Negative responses.
+        validate_negative(checker, sp, zp.apex, all_keys, zone_state,
+                          config);
+      }
+      checker.check_algorithm_completeness(data_views);
+      if (checker.any_validation_failure &&
+          zone_state == TrustState::kSecure) {
+        zone_state = TrustState::kBogus;
+      }
+    }
+
+    if (is_target) {
+      snapshot.target_meta = extract_meta(zp, checker);
+    }
+    state = zone_state;
+    if (state == TrustState::kBogus && !zone_signed &&
+        checker.ds_set.empty()) {
+      state = TrustState::kInsecure;
+    }
+    // Everything below an insecure cut is plain DNS for a validator,
+    // whatever its internal DNSSEC state looks like.
+    if (parent_state == TrustState::kInsecure) {
+      state = TrustState::kInsecure;
+    }
+  }
+
+  snapshot.errors = sink.errors_;
+  snapshot.companions = sink.companions_;
+
+  // Final categorisation (§3.2.1).
+  if (chain_lame) {
+    snapshot.status = SnapshotStatus::kLame;
+  } else if (chain_incomplete) {
+    snapshot.status = SnapshotStatus::kIncomplete;
+  } else if (state == TrustState::kBogus) {
+    snapshot.status = SnapshotStatus::kSignedBogus;
+  } else if (state == TrustState::kInsecure) {
+    snapshot.status = SnapshotStatus::kInsecure;
+  } else if (!snapshot.errors.empty()) {
+    snapshot.status = SnapshotStatus::kSignedValidMisconfig;
+  } else {
+    snapshot.status = SnapshotStatus::kSignedValid;
+  }
+  return snapshot;
+}
+
+}  // namespace dfx::analyzer

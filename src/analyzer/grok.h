@@ -1,0 +1,21 @@
+// The grok stage: interpret probe data, build the chain of trust from the
+// (sandbox) root to the query domain, and emit error codes wherever
+// validation fails — our equivalent of `dnsviz grok`.
+#pragma once
+
+#include "analyzer/probe.h"
+#include "analyzer/snapshot.h"
+
+namespace dfx::analyzer {
+
+struct GrokConfig {
+  /// A minority of validators treat nonzero NSEC3 iterations as fatal
+  /// (Daniluk et al., RFC 9276); DNSViz itself reports it as a warning-
+  /// level violation, which is the default here.
+  bool nzic_is_fatal = false;
+};
+
+/// Validate a probed chain and produce the diagnostic snapshot.
+Snapshot grok(const ProbeData& data, const GrokConfig& config = {});
+
+}  // namespace dfx::analyzer

@@ -1,0 +1,69 @@
+#include "analyzer/probe.h"
+
+namespace dfx::analyzer {
+namespace {
+
+// A label that never exists in replicated zones; used for the negative
+// response probe, mirroring DNSViz's random non-existent sub-label query.
+constexpr const char* kNxLabel = "dnsviz-nxdomain-probe";
+// Sorts after every label that appears in replicated zones (0xFA > any
+// ASCII letter), so its covering NSEC is the wrap-around record.
+constexpr const char* kNxLastLabel = "zzzzzzzz-dnsviz-last";
+
+ServerProbe probe_server(const authserver::AuthServer& server,
+                         const dns::Name& apex) {
+  ServerProbe out;
+  out.server = server.name();
+  out.dnskey = server.query(apex, dns::RRType::kDNSKEY);
+  out.reachable = out.dnskey.reachable;
+  if (!out.reachable) return out;
+  out.soa = server.query(apex, dns::RRType::kSOA);
+  out.ns = server.query(apex, dns::RRType::kNS);
+  out.apex_a = server.query(apex, dns::RRType::kA);
+  out.nsec3param = server.query(apex, dns::RRType::kNSEC3PARAM);
+  out.nxdomain = server.query(apex.child(kNxLabel), dns::RRType::kA);
+  out.nxdomain_last = server.query(apex.child(kNxLastLabel), dns::RRType::kA);
+  out.nodata = server.query(apex, dns::RRType::kMX);
+  return out;
+}
+
+}  // namespace
+
+dns::Name nx_probe_name(const dns::Name& apex) {
+  return apex.child(kNxLabel);
+}
+
+ProbeData probe(const authserver::ServerFarm& farm,
+                const std::vector<dns::Name>& zone_chain,
+                const dns::Name& query_domain, UnixTime now) {
+  ProbeData data;
+  data.query_domain = query_domain;
+  data.time = now;
+  for (std::size_t i = 0; i < zone_chain.size(); ++i) {
+    ZoneProbe zp;
+    zp.apex = zone_chain[i];
+    for (const auto* server : farm.servers_for(zp.apex)) {
+      zp.servers.push_back(probe_server(*server, zp.apex));
+    }
+    if (i > 0) {
+      const dns::Name& parent_apex = zone_chain[i - 1];
+      for (const auto* server : farm.servers_for(parent_apex)) {
+        ServerProbe pp;
+        pp.server = server->name();
+        pp.reachable = !server->lame();
+        zp.parent_servers.push_back(pp);
+        // Ask the parent-side view explicitly: a server may host both sides
+        // of the cut, but the prober needs the delegation as the parent
+        // publishes it.
+        zp.parent_ds.push_back(
+            server->query_in_zone(parent_apex, zp.apex, dns::RRType::kDS));
+        zp.parent_ns.push_back(
+            server->query_in_zone(parent_apex, zp.apex, dns::RRType::kNS));
+      }
+    }
+    data.chain.push_back(std::move(zp));
+  }
+  return data;
+}
+
+}  // namespace dfx::analyzer

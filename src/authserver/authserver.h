@@ -1,0 +1,94 @@
+// In-memory authoritative nameserver.
+//
+// Serves one or more zones with full positive/negative/referral answer
+// logic, including NSEC and NSEC3 proof selection. Each server holds its
+// own *copy* of zone data, so multi-server inconsistencies (a key error
+// class in the paper) arise naturally when only one copy is updated.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dnscore/name.h"
+#include "dnscore/rr.h"
+#include "dnscore/rrset.h"
+#include "zone/zone.h"
+
+namespace dfx::authserver {
+
+/// The server's reply to one question.
+struct QueryResult {
+  bool reachable = true;  // false models a lame/unresponsive server
+  dns::RCode rcode = dns::RCode::kNoError;
+  bool authoritative = false;
+  std::vector<dns::ResourceRecord> answers;
+  std::vector<dns::ResourceRecord> authorities;
+  std::vector<dns::ResourceRecord> additionals;
+
+  /// All NSEC/NSEC3 records (with RRSIGs) in the authority section.
+  std::vector<dns::ResourceRecord> negative_proofs() const;
+};
+
+class AuthServer {
+ public:
+  explicit AuthServer(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Unresponsive mode: every query times out (lame delegation modelling).
+  void set_lame(bool lame) { lame_ = lame; }
+  bool lame() const { return lame_; }
+
+  /// Install (or replace) a zone copy on this server.
+  void load_zone(zone::Zone zone);
+
+  /// Drop a zone.
+  void unload_zone(const dns::Name& apex);
+
+  bool serves(const dns::Name& apex) const;
+  const zone::Zone* zone_data(const dns::Name& apex) const;
+  zone::Zone* mutable_zone_data(const dns::Name& apex);
+
+  /// Answer a question with standard authoritative-server semantics.
+  QueryResult query(const dns::Name& qname, dns::RRType qtype) const;
+
+  /// Answer from one specific hosted zone (the parent-side view a prober
+  /// gets from servers that are authoritative only for the parent).
+  QueryResult query_in_zone(const dns::Name& zone_apex, const dns::Name& qname,
+                            dns::RRType qtype) const;
+
+ private:
+  const zone::Zone* best_zone_for(const dns::Name& qname,
+                                  dns::RRType qtype) const;
+  QueryResult answer_from(const zone::Zone& zone, const dns::Name& qname,
+                          dns::RRType qtype) const;
+
+  void answer_positive(const zone::Zone& zone, const dns::Name& qname,
+                       dns::RRType qtype, QueryResult& result) const;
+  void answer_nodata(const zone::Zone& zone, const dns::Name& qname,
+                     QueryResult& result) const;
+  void answer_nxdomain(const zone::Zone& zone, const dns::Name& qname,
+                       QueryResult& result) const;
+  void answer_wildcard(const zone::Zone& zone, const dns::Name& qname,
+                       const dns::Name& wildcard, dns::RRType qtype,
+                       QueryResult& result) const;
+  void answer_referral(const zone::Zone& zone, const dns::Name& cut,
+                       QueryResult& result) const;
+
+  void add_rrset_with_sigs(const zone::Zone& zone, const dns::Name& owner,
+                           dns::RRType type,
+                           std::vector<dns::ResourceRecord>& section) const;
+  void add_nsec_proofs(const zone::Zone& zone, const dns::Name& qname,
+                       bool nxdomain, QueryResult& result) const;
+  void add_nsec3_proofs(const zone::Zone& zone, const dns::Name& qname,
+                        bool nxdomain, QueryResult& result) const;
+
+  std::string name_;
+  bool lame_ = false;
+  std::map<dns::Name, zone::Zone, dns::Name::Less> zones_;
+};
+
+}  // namespace dfx::authserver

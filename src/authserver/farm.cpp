@@ -1,0 +1,80 @@
+#include "authserver/farm.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dfx::authserver {
+
+AuthServer& ServerFarm::server(const std::string& name) {
+  auto it = servers_.find(name);
+  if (it == servers_.end()) {
+    it = servers_.emplace(name, std::make_unique<AuthServer>(name)).first;
+  }
+  return *it->second;
+}
+
+const AuthServer* ServerFarm::find_server(const std::string& name) const {
+  const auto it = servers_.find(name);
+  return it == servers_.end() ? nullptr : it->second.get();
+}
+
+void ServerFarm::host_zone(const std::string& server_name, zone::Zone zone) {
+  const dns::Name apex = zone.apex();
+  server(server_name).load_zone(std::move(zone));
+  auto& hosts = hosting_[apex];
+  if (std::find(hosts.begin(), hosts.end(), server_name) == hosts.end()) {
+    hosts.push_back(server_name);
+  }
+}
+
+void ServerFarm::sync_zone(const zone::Zone& zone) {
+  const auto it = hosting_.find(zone.apex());
+  if (it == hosting_.end()) {
+    throw std::invalid_argument("sync_zone: zone not hosted anywhere: " +
+                                zone.apex().to_string());
+  }
+  for (const auto& name : it->second) {
+    server(name).load_zone(zone);
+  }
+}
+
+void ServerFarm::push_to_one(const std::string& server_name,
+                             const zone::Zone& zone) {
+  const auto it = hosting_.find(zone.apex());
+  if (it == hosting_.end() ||
+      std::find(it->second.begin(), it->second.end(), server_name) ==
+          it->second.end()) {
+    throw std::invalid_argument("push_to_one: " + server_name +
+                                " does not host " + zone.apex().to_string());
+  }
+  server(server_name).load_zone(zone);
+}
+
+std::vector<AuthServer*> ServerFarm::servers_for(const dns::Name& apex) {
+  std::vector<AuthServer*> out;
+  const auto it = hosting_.find(apex);
+  if (it == hosting_.end()) return out;
+  for (const auto& name : it->second) out.push_back(&server(name));
+  return out;
+}
+
+std::vector<const AuthServer*> ServerFarm::servers_for(
+    const dns::Name& apex) const {
+  std::vector<const AuthServer*> out;
+  const auto it = hosting_.find(apex);
+  if (it == hosting_.end()) return out;
+  for (const auto& name : it->second) {
+    const auto* srv = find_server(name);
+    if (srv != nullptr) out.push_back(srv);
+  }
+  return out;
+}
+
+std::vector<std::string> ServerFarm::server_names() const {
+  std::vector<std::string> out;
+  out.reserve(servers_.size());
+  for (const auto& [name, _] : servers_) out.push_back(name);
+  return out;
+}
+
+}  // namespace dfx::authserver

@@ -1,0 +1,43 @@
+// ServerFarm: the set of authoritative servers in a sandbox, plus the
+// zone → servers hosting map the prober consults.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "authserver/authserver.h"
+#include "dnscore/name.h"
+#include "zone/zone.h"
+
+namespace dfx::authserver {
+
+class ServerFarm {
+ public:
+  /// Create (or fetch) a server by name.
+  AuthServer& server(const std::string& name);
+  const AuthServer* find_server(const std::string& name) const;
+
+  /// Register that `server_name` hosts `apex` (and load the data onto it).
+  void host_zone(const std::string& server_name, zone::Zone zone);
+
+  /// Push a fresh zone copy to *all* servers hosting it (zone transfer).
+  void sync_zone(const zone::Zone& zone);
+
+  /// Push to a single server only — the other copies go stale, which is how
+  /// inter-server inconsistencies are injected.
+  void push_to_one(const std::string& server_name, const zone::Zone& zone);
+
+  /// Servers hosting a given zone apex.
+  std::vector<AuthServer*> servers_for(const dns::Name& apex);
+  std::vector<const AuthServer*> servers_for(const dns::Name& apex) const;
+
+  std::vector<std::string> server_names() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<AuthServer>> servers_;
+  std::map<dns::Name, std::vector<std::string>, dns::Name::Less> hosting_;
+};
+
+}  // namespace dfx::authserver

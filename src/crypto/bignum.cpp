@@ -1,0 +1,449 @@
+#include "crypto/bignum.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dfx::crypto {
+namespace {
+
+constexpr std::uint64_t kBase = 1ULL << 32;
+
+// Small primes for fast trial division before Miller-Rabin.
+constexpr std::uint32_t kSmallPrimes[] = {
+    3,  5,  7,  11, 13, 17, 19, 23, 29, 31, 37, 41, 43,  47,  53,  59,
+    61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137};
+
+}  // namespace
+
+BigNum::BigNum(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(static_cast<std::uint32_t>(v));
+  if (v >> 32 != 0) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+}
+
+void BigNum::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigNum BigNum::from_bytes(ByteView data) {
+  BigNum out;
+  // Bytes are big-endian; limbs little-endian.
+  std::size_t i = data.size();
+  while (i > 0) {
+    std::uint32_t limb = 0;
+    int shift = 0;
+    while (shift < 32 && i > 0) {
+      limb |= static_cast<std::uint32_t>(data[--i]) << shift;
+      shift += 8;
+    }
+    out.limbs_.push_back(limb);
+  }
+  out.trim();
+  return out;
+}
+
+Bytes BigNum::to_bytes() const {
+  if (limbs_.empty()) return {0};
+  Bytes out;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int b = 3; b >= 0; --b) {
+      out.push_back(static_cast<std::uint8_t>(limbs_[i] >> (b * 8)));
+    }
+  }
+  // Strip leading zero bytes.
+  std::size_t start = 0;
+  while (start + 1 < out.size() && out[start] == 0) ++start;
+  return Bytes(out.begin() + static_cast<std::ptrdiff_t>(start), out.end());
+}
+
+Bytes BigNum::to_bytes_padded(std::size_t size) const {
+  Bytes raw = to_bytes();
+  if (raw.size() == 1 && raw[0] == 0) raw.clear();
+  if (raw.size() > size) {
+    return Bytes(raw.end() - static_cast<std::ptrdiff_t>(size), raw.end());
+  }
+  Bytes out(size - raw.size(), 0);
+  append(out, raw);
+  return out;
+}
+
+BigNum BigNum::from_hex(std::string_view hex) {
+  BigNum out;
+  for (char c : hex) {
+    int v;
+    if (c >= '0' && c <= '9') {
+      v = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      v = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      v = c - 'A' + 10;
+    } else {
+      throw std::invalid_argument("BigNum::from_hex: bad digit");
+    }
+    out = (out << 4) + BigNum(static_cast<std::uint64_t>(v));
+  }
+  return out;
+}
+
+std::string BigNum::to_hex() const {
+  if (limbs_.empty()) return "0";
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int nib = 7; nib >= 0; --nib) {
+      out.push_back(digits[(limbs_[i] >> (nib * 4)) & 0xF]);
+    }
+  }
+  const std::size_t nz = out.find_first_not_of('0');
+  return nz == std::string::npos ? "0" : out.substr(nz);
+}
+
+std::size_t BigNum::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  std::uint32_t top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+int BigNum::cmp(const BigNum& o) const {
+  if (limbs_.size() != o.limbs_.size()) {
+    return limbs_.size() < o.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != o.limbs_[i]) return limbs_[i] < o.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigNum BigNum::operator+(const BigNum& o) const {
+  BigNum out;
+  const std::size_t n = std::max(limbs_.size(), o.limbs_.size());
+  out.limbs_.reserve(n + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < o.limbs_.size()) sum += o.limbs_[i];
+    out.limbs_.push_back(static_cast<std::uint32_t>(sum));
+    carry = sum >> 32;
+  }
+  if (carry != 0) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+BigNum BigNum::operator-(const BigNum& o) const {
+  if (*this < o) throw std::underflow_error("BigNum subtraction underflow");
+  BigNum out;
+  out.limbs_.reserve(limbs_.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
+    if (i < o.limbs_.size()) diff -= o.limbs_[i];
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_.push_back(static_cast<std::uint32_t>(diff));
+  }
+  out.trim();
+  return out;
+}
+
+BigNum BigNum::operator*(const BigNum& o) const {
+  if (limbs_.empty() || o.limbs_.empty()) return {};
+  BigNum out;
+  out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
+      std::uint64_t cur = out.limbs_[i + j] + carry +
+                          static_cast<std::uint64_t>(limbs_[i]) * o.limbs_[j];
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + o.limbs_.size();
+    while (carry != 0) {
+      std::uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigNum BigNum::operator<<(std::size_t bits) const {
+  if (limbs_.empty() || bits == 0) {
+    BigNum out = *this;
+    if (bits == 0) return out;
+  }
+  if (limbs_.empty()) return {};
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  BigNum out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+BigNum BigNum::operator>>(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) return {};
+  BigNum out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  out.trim();
+  return out;
+}
+
+void BigNum::divmod(const BigNum& num, const BigNum& den, BigNum& quot,
+                    BigNum& rem) {
+  if (den.is_zero()) throw std::domain_error("BigNum division by zero");
+  quot = BigNum();
+  rem = BigNum();
+  if (num < den) {
+    rem = num;
+    return;
+  }
+  // Single-limb divisor: straightforward short division.
+  if (den.limbs_.size() == 1) {
+    const std::uint64_t d = den.limbs_[0];
+    quot.limbs_.assign(num.limbs_.size(), 0);
+    std::uint64_t carry = 0;
+    for (std::size_t i = num.limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = (carry << 32) | num.limbs_[i];
+      quot.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      carry = cur % d;
+    }
+    quot.trim();
+    rem = BigNum(carry);
+    return;
+  }
+  // Knuth TAOCP vol. 2, Algorithm D, with 32-bit limbs.
+  const std::size_t n = den.limbs_.size();
+  const std::size_t m = num.limbs_.size() - n;
+  // D1: normalise so the divisor's top limb has its high bit set.
+  int shift = 0;
+  {
+    std::uint32_t top = den.limbs_.back();
+    while ((top & 0x80000000u) == 0) {
+      top <<= 1;
+      ++shift;
+    }
+  }
+  const BigNum u_norm = num << static_cast<std::size_t>(shift);
+  const BigNum v_norm = den << static_cast<std::size_t>(shift);
+  std::vector<std::uint32_t> u = u_norm.limbs_;
+  if (u.size() < n + m + 1) u.resize(n + m + 1, 0);
+  const std::vector<std::uint32_t>& v = v_norm.limbs_;
+
+  quot.limbs_.assign(m + 1, 0);
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // D3: estimate q_hat from the top two limbs.
+    const std::uint64_t numerator =
+        (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    std::uint64_t q_hat = numerator / v[n - 1];
+    std::uint64_t r_hat = numerator % v[n - 1];
+    while (q_hat >= kBase ||
+           q_hat * v[n - 2] > ((r_hat << 32) | u[j + n - 2])) {
+      --q_hat;
+      r_hat += v[n - 1];
+      if (r_hat >= kBase) break;
+    }
+    // D4: multiply-and-subtract.
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = q_hat * v[i] + carry;
+      carry = p >> 32;
+      const std::int64_t t = static_cast<std::int64_t>(u[i + j]) -
+                             static_cast<std::int64_t>(p & 0xFFFFFFFFULL) -
+                             borrow;
+      u[i + j] = static_cast<std::uint32_t>(t);
+      borrow = t < 0 ? 1 : 0;
+    }
+    const std::int64_t t = static_cast<std::int64_t>(u[j + n]) -
+                           static_cast<std::int64_t>(carry) - borrow;
+    u[j + n] = static_cast<std::uint32_t>(t);
+    // D5/D6: if we subtracted too much, add the divisor back once.
+    if (t < 0) {
+      --q_hat;
+      std::uint64_t add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t s =
+            static_cast<std::uint64_t>(u[i + j]) + v[i] + add_carry;
+        u[i + j] = static_cast<std::uint32_t>(s);
+        add_carry = s >> 32;
+      }
+      u[j + n] = static_cast<std::uint32_t>(u[j + n] + add_carry);
+    }
+    quot.limbs_[j] = static_cast<std::uint32_t>(q_hat);
+  }
+  quot.trim();
+  // D8: denormalise the remainder.
+  rem.limbs_.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  rem.trim();
+  rem = rem >> static_cast<std::size_t>(shift);
+}
+
+BigNum BigNum::operator%(const BigNum& o) const {
+  BigNum q, r;
+  divmod(*this, o, q, r);
+  return r;
+}
+
+BigNum BigNum::operator/(const BigNum& o) const {
+  BigNum q, r;
+  divmod(*this, o, q, r);
+  return q;
+}
+
+BigNum BigNum::modexp(const BigNum& base, const BigNum& exp, const BigNum& m) {
+  if (m.is_zero()) throw std::domain_error("modexp: zero modulus");
+  BigNum result(1);
+  BigNum b = base % m;
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    const bool bit = ((exp.limbs_[i / 32] >> (i % 32)) & 1U) != 0;
+    if (bit) result = (result * b) % m;
+    b = (b * b) % m;
+  }
+  return result;
+}
+
+BigNum BigNum::gcd(BigNum a, BigNum b) {
+  while (!b.is_zero()) {
+    BigNum r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigNum BigNum::modinv(const BigNum& a, const BigNum& m) {
+  // Extended Euclid on non-negative values, tracking coefficients with an
+  // explicit sign since BigNum is unsigned.
+  BigNum old_r = a % m;
+  BigNum r = m;
+  BigNum old_s(1);
+  BigNum s;
+  bool old_s_neg = false;
+  bool s_neg = false;
+  while (!r.is_zero()) {
+    BigNum q, rem;
+    divmod(old_r, r, q, rem);
+    // new_s = old_s - q * s (signed)
+    BigNum qs = q * s;
+    BigNum new_s;
+    bool new_s_neg;
+    if (old_s_neg == s_neg) {
+      if (old_s >= qs) {
+        new_s = old_s - qs;
+        new_s_neg = old_s_neg;
+      } else {
+        new_s = qs - old_s;
+        new_s_neg = !old_s_neg;
+      }
+    } else {
+      new_s = old_s + qs;
+      new_s_neg = old_s_neg;
+    }
+    old_r = std::move(r);
+    r = std::move(rem);
+    old_s = std::move(s);
+    old_s_neg = s_neg;
+    s = std::move(new_s);
+    s_neg = new_s_neg;
+  }
+  if (old_r != BigNum(1)) return {};  // not invertible
+  BigNum inv = old_s % m;
+  if (old_s_neg && !inv.is_zero()) inv = m - inv;
+  return inv;
+}
+
+BigNum BigNum::random_below(Rng& rng, const BigNum& bound) {
+  if (bound.is_zero()) throw std::invalid_argument("random_below: zero bound");
+  const std::size_t bytes = (bound.bit_length() + 7) / 8;
+  Bytes buf(bytes);
+  while (true) {
+    rng.fill(buf);
+    BigNum candidate = from_bytes(buf);
+    if (candidate < bound) return candidate;
+  }
+}
+
+BigNum BigNum::random_bits(Rng& rng, std::size_t bits) {
+  if (bits == 0) return {};
+  const std::size_t bytes = (bits + 7) / 8;
+  Bytes buf(bytes);
+  rng.fill(buf);
+  // Clear excess top bits, then force the top bit on.
+  const std::size_t excess = bytes * 8 - bits;
+  buf[0] = static_cast<std::uint8_t>(buf[0] & (0xFF >> excess));
+  buf[0] = static_cast<std::uint8_t>(buf[0] | (0x80 >> excess));
+  return from_bytes(buf);
+}
+
+bool BigNum::is_probable_prime(const BigNum& n, Rng& rng, int rounds) {
+  if (n < BigNum(2)) return false;
+  if (n == BigNum(2)) return true;
+  if (!n.is_odd()) return false;
+  for (std::uint32_t p : kSmallPrimes) {
+    const BigNum bp(p);
+    if (n == bp) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+  // Write n-1 = d * 2^r.
+  const BigNum n_minus_1 = n - BigNum(1);
+  BigNum d = n_minus_1;
+  std::size_t r = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++r;
+  }
+  for (int round = 0; round < rounds; ++round) {
+    const BigNum a = BigNum(2) + random_below(rng, n - BigNum(4));
+    BigNum x = modexp(a, d, n);
+    if (x == BigNum(1) || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t i = 1; i < r; ++i) {
+      x = (x * x) % n;
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigNum BigNum::generate_prime(Rng& rng, std::size_t bits) {
+  if (bits < 8) throw std::invalid_argument("generate_prime: too small");
+  while (true) {
+    BigNum candidate = random_bits(rng, bits);
+    if (!candidate.is_odd()) candidate = candidate + BigNum(1);
+    if (is_probable_prime(candidate, rng, 16)) return candidate;
+  }
+}
+
+}  // namespace dfx::crypto

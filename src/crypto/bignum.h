@@ -1,0 +1,85 @@
+// Arbitrary-precision unsigned integers, from scratch.
+//
+// Just enough number theory for a genuine (if deliberately small-modulus)
+// RSA: add/sub/mul, division with remainder, modular exponentiation via
+// square-and-multiply, gcd / modular inverse, and Miller-Rabin primality.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace dfx::crypto {
+
+/// Unsigned big integer stored as little-endian 32-bit limbs.
+class BigNum {
+ public:
+  BigNum() = default;
+  explicit BigNum(std::uint64_t v);
+
+  /// Big-endian byte import/export (the DNS wire convention).
+  static BigNum from_bytes(ByteView data);
+  Bytes to_bytes() const;
+  /// Export padded/truncated to exactly `size` bytes (fixed-width fields).
+  Bytes to_bytes_padded(std::size_t size) const;
+
+  static BigNum from_hex(std::string_view hex);
+  std::string to_hex() const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1) != 0; }
+  std::size_t bit_length() const;
+
+  bool operator==(const BigNum& o) const { return limbs_ == o.limbs_; }
+  bool operator!=(const BigNum& o) const { return limbs_ != o.limbs_; }
+  bool operator<(const BigNum& o) const { return cmp(o) < 0; }
+  bool operator<=(const BigNum& o) const { return cmp(o) <= 0; }
+  bool operator>(const BigNum& o) const { return cmp(o) > 0; }
+  bool operator>=(const BigNum& o) const { return cmp(o) >= 0; }
+
+  BigNum operator+(const BigNum& o) const;
+  /// Subtraction requires *this >= o (unsigned arithmetic).
+  BigNum operator-(const BigNum& o) const;
+  BigNum operator*(const BigNum& o) const;
+  BigNum operator%(const BigNum& o) const;
+  BigNum operator/(const BigNum& o) const;
+
+  BigNum operator<<(std::size_t bits) const;
+  BigNum operator>>(std::size_t bits) const;
+
+  /// Quotient and remainder in one pass.
+  static void divmod(const BigNum& num, const BigNum& den, BigNum& quot,
+                     BigNum& rem);
+
+  /// (base ^ exp) mod m, m > 0.
+  static BigNum modexp(const BigNum& base, const BigNum& exp, const BigNum& m);
+
+  /// Modular inverse of a mod m; returns zero BigNum when gcd(a, m) != 1.
+  static BigNum modinv(const BigNum& a, const BigNum& m);
+
+  static BigNum gcd(BigNum a, BigNum b);
+
+  /// Uniform in [0, bound).
+  static BigNum random_below(Rng& rng, const BigNum& bound);
+
+  /// Random integer with exactly `bits` bits (top bit set).
+  static BigNum random_bits(Rng& rng, std::size_t bits);
+
+  /// Miller-Rabin with `rounds` random bases.
+  static bool is_probable_prime(const BigNum& n, Rng& rng, int rounds = 20);
+
+  /// Generate a random prime with exactly `bits` bits.
+  static BigNum generate_prime(Rng& rng, std::size_t bits);
+
+  int cmp(const BigNum& o) const;
+
+ private:
+  void trim();
+
+  std::vector<std::uint32_t> limbs_;  // little-endian, no trailing zeros
+};
+
+}  // namespace dfx::crypto

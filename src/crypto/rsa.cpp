@@ -1,0 +1,92 @@
+#include "crypto/rsa.h"
+
+#include <stdexcept>
+
+namespace dfx::crypto {
+namespace {
+
+// Deterministic PKCS#1-v1.5-style padding (no OID blob; the digest already
+// identifies the hash in our algorithm registry): 0x00 0x01 FF..FF 0x00 H.
+BigNum pad_digest(ByteView digest, std::size_t modulus_bytes) {
+  if (digest.size() + 11 > modulus_bytes) {
+    throw std::invalid_argument("rsa: digest too large for modulus");
+  }
+  Bytes em(modulus_bytes, 0xFF);
+  em[0] = 0x00;
+  em[1] = 0x01;
+  em[modulus_bytes - digest.size() - 1] = 0x00;
+  std::copy(digest.begin(), digest.end(),
+            em.end() - static_cast<std::ptrdiff_t>(digest.size()));
+  return BigNum::from_bytes(em);
+}
+
+}  // namespace
+
+Bytes RsaPublicKey::encode() const {
+  // RFC 3110 wire form: 1-byte exponent length (we keep e small), exponent,
+  // modulus.
+  Bytes exp = e.to_bytes();
+  if (exp.size() > 255) throw std::invalid_argument("rsa: exponent too large");
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(exp.size()));
+  append(out, exp);
+  Bytes mod = n.to_bytes();
+  append(out, mod);
+  return out;
+}
+
+bool RsaPublicKey::decode(ByteView data, RsaPublicKey& out) {
+  if (data.size() < 3) return false;
+  const std::size_t explen = data[0];
+  if (explen == 0 || data.size() < 1 + explen + 1) return false;
+  out.e = BigNum::from_bytes(data.subspan(1, explen));
+  out.n = BigNum::from_bytes(data.subspan(1 + explen));
+  return !out.n.is_zero();
+}
+
+RsaPrivateKey rsa_generate(Rng& rng, std::size_t modulus_bits) {
+  if (modulus_bits < 128) {
+    throw std::invalid_argument("rsa_generate: modulus too small");
+  }
+  const BigNum e(65537);
+  while (true) {
+    const BigNum p = BigNum::generate_prime(rng, modulus_bits / 2);
+    const BigNum q =
+        BigNum::generate_prime(rng, modulus_bits - modulus_bits / 2);
+    if (p == q) continue;
+    const BigNum n = p * q;
+    const BigNum phi = (p - BigNum(1)) * (q - BigNum(1));
+    if (BigNum::gcd(e, phi) != BigNum(1)) continue;
+    const BigNum d = BigNum::modinv(e, phi);
+    if (d.is_zero()) continue;
+    RsaPrivateKey key;
+    key.pub.n = n;
+    key.pub.e = e;
+    key.d = d;
+    return key;
+  }
+}
+
+Bytes rsa_sign(const RsaPrivateKey& key, ByteView digest) {
+  const std::size_t k = (key.pub.n.bit_length() + 7) / 8;
+  const BigNum m = pad_digest(digest, k);
+  const BigNum s = BigNum::modexp(m, key.d, key.pub.n);
+  return s.to_bytes_padded(k);
+}
+
+bool rsa_verify(const RsaPublicKey& key, ByteView digest, ByteView signature) {
+  const std::size_t k = (key.n.bit_length() + 7) / 8;
+  if (signature.size() != k) return false;
+  const BigNum s = BigNum::from_bytes(signature);
+  if (s >= key.n) return false;
+  const BigNum m = BigNum::modexp(s, key.e, key.n);
+  BigNum expected;
+  try {
+    expected = pad_digest(digest, k);
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  return m == expected;
+}
+
+}  // namespace dfx::crypto

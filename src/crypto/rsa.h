@@ -1,0 +1,43 @@
+// Genuine textbook-RSA over our own bignum, used for the RSA-family DNSSEC
+// algorithm numbers (5, 7, 8, 10).
+//
+// Signing is s = pad(hash(m))^d mod n, verification recomputes and compares.
+// Moduli default to 512 bits for speed (the evaluation pipeline generates
+// thousands of keys); the *nominal* key size a zone claims is tracked
+// separately in the DNSKEY metadata so "Bad Key Length" scenarios can be
+// modelled without paying for 4096-bit arithmetic.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/bignum.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace dfx::crypto {
+
+struct RsaPublicKey {
+  BigNum n;  // modulus
+  BigNum e;  // public exponent
+
+  /// DNSKEY public-key field per RFC 3110: [explen?] exp | modulus.
+  Bytes encode() const;
+  static bool decode(ByteView data, RsaPublicKey& out);
+};
+
+struct RsaPrivateKey {
+  RsaPublicKey pub;
+  BigNum d;  // private exponent
+};
+
+/// Generate an RSA key pair with the given *actual* modulus size in bits.
+RsaPrivateKey rsa_generate(Rng& rng, std::size_t modulus_bits);
+
+/// Sign a message digest (any hash output); returns the signature bytes,
+/// fixed-width at the modulus size.
+Bytes rsa_sign(const RsaPrivateKey& key, ByteView digest);
+
+/// Verify a signature over a digest.
+bool rsa_verify(const RsaPublicKey& key, ByteView digest, ByteView signature);
+
+}  // namespace dfx::crypto

@@ -1,0 +1,45 @@
+// Schnorr signatures over a 64-bit prime-order subgroup.
+//
+// Stands in for the elliptic-curve DNSSEC algorithms (13 ECDSAP256SHA256,
+// 14 ECDSAP384SHA384, 15 Ed25519, 16 Ed448). The scheme is genuinely
+// asymmetric — verification uses only the public key, and signatures break
+// under any tampering with the key, the message, or the signature — which is
+// exactly the behaviour the DNSSEC validation path depends on. It is of
+// course not secure at 64 bits; DESIGN.md records the substitution.
+//
+// Group: multiplicative subgroup of Z_p*, p = 2q+1 a safe prime, generator g
+// of the order-q subgroup. Signature (per algorithm-specific domain tag):
+//   k  = H(priv || msg) mod q          (deterministic nonce, RFC 6979 style)
+//   r  = g^k mod p
+//   e  = H(tag || r || pub || msg) mod q
+//   s  = k + e * priv mod q
+// Verify: r' = g^s * pub^{-e}, accept iff e == H(tag || r' || pub || msg).
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace dfx::crypto {
+
+struct SchnorrKeyPair {
+  std::uint64_t priv = 0;  // secret scalar in [1, q)
+  std::uint64_t pub = 0;   // g^priv mod p
+};
+
+/// Domain-separation tag lets distinct DNSSEC algorithm numbers produce
+/// incompatible signatures even for identical keys.
+SchnorrKeyPair schnorr_generate(Rng& rng);
+
+Bytes schnorr_sign(const SchnorrKeyPair& key, ByteView message,
+                   std::uint8_t domain_tag);
+
+bool schnorr_verify(std::uint64_t pub, ByteView message, ByteView signature,
+                    std::uint8_t domain_tag);
+
+/// Public key wire encoding (8 bytes big-endian).
+Bytes schnorr_encode_pub(std::uint64_t pub);
+bool schnorr_decode_pub(ByteView data, std::uint64_t& out);
+
+}  // namespace dfx::crypto

@@ -1,0 +1,36 @@
+// SHA-1 (FIPS 180-4), implemented from scratch.
+//
+// SHA-1 is cryptographically broken for collision resistance but is still
+// the digest for DS digest type 1 and part of DNSSEC algorithms 5/7, and it
+// is the hash NSEC3 mandates (RFC 5155 only defines hash algorithm 1 =
+// SHA-1), so a faithful DNSSEC substrate needs it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace dfx::crypto {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+
+  Sha1();
+
+  void update(ByteView data);
+  std::array<std::uint8_t, kDigestSize> finish();
+
+  static Bytes digest(ByteView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t h_[5];
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+}  // namespace dfx::crypto

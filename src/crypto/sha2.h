@@ -1,0 +1,58 @@
+// SHA-2 family (FIPS 180-4): SHA-224/256 (32-bit core) and SHA-384/512
+// (64-bit core), implemented from scratch.
+//
+// SHA-256 backs DS digest type 2 and RSASHA256/ECDSAP256SHA256; SHA-384
+// backs DS digest type 4 and ECDSAP384SHA384; SHA-512 backs RSASHA512.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace dfx::crypto {
+
+/// 32-bit-word core shared by SHA-224 and SHA-256.
+class Sha256Core {
+ public:
+  /// `variant224` selects SHA-224 initial values and a 28-byte digest.
+  explicit Sha256Core(bool variant224);
+
+  void update(ByteView data);
+  Bytes finish();  // 32 bytes (or 28 for SHA-224)
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t h_[8];
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bits_ = 0;
+  bool variant224_;
+};
+
+/// 64-bit-word core shared by SHA-384 and SHA-512.
+class Sha512Core {
+ public:
+  /// `variant384` selects SHA-384 initial values and a 48-byte digest.
+  explicit Sha512Core(bool variant384);
+
+  void update(ByteView data);
+  Bytes finish();  // 64 bytes (or 48 for SHA-384)
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint64_t h_[8];
+  std::uint8_t buffer_[128];
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bits_ = 0;  // messages < 2^64 bits, ample for DNS
+  bool variant384_;
+};
+
+Bytes sha224(ByteView data);
+Bytes sha256(ByteView data);
+Bytes sha384(ByteView data);
+Bytes sha512(ByteView data);
+
+}  // namespace dfx::crypto

@@ -1,0 +1,101 @@
+#include "dataset/calibration.h"
+
+#include <cmath>
+
+namespace dfx::dataset {
+
+const std::vector<ErrorPrevalenceRow>& table3_calibration() {
+  using EC = ErrorCode;
+  // Shares from Table 3 of the paper (snapshots of 747,455; domains of
+  // 319,277).
+  static const std::vector<ErrorPrevalenceRow> rows = {
+      {EC::kMissingKskForAlgorithm, 0.0840, 0.0790},
+      {EC::kInvalidDigest, 0.0015, 0.0015},
+      {EC::kInconsistentDnskeyBetweenServers, 0.0260, 0.0200},
+      {EC::kRevokedKey, 0.0004, 0.00014},
+      {EC::kBadKeyLength, 0.0001, 0.00007},
+      {EC::kIncompleteAlgorithmSetup, 0.0090, 0.0050},
+      {EC::kMissingSignature, 0.0520, 0.0570},
+      {EC::kExpiredSignature, 0.0160, 0.0140},
+      {EC::kInvalidSignature, 0.0140, 0.0100},
+      {EC::kIncorrectSigner, 0.0030, 0.0020},
+      {EC::kNotYetValidSignature, 0.0009, 0.0004},
+      {EC::kIncorrectSignatureLabels, 0.0001, 0.00008},
+      {EC::kBadSignatureLength, 0.00006, 0.00004},
+      {EC::kOriginalTtlExceedsRrsetTtl, 0.0070, 0.0060},
+      {EC::kTtlBeyondExpiration, 0.0030, 0.0030},
+      {EC::kMissingNonexistenceProof, 0.0870, 0.0560},
+      {EC::kIncorrectTypeBitmap, 0.0240, 0.0130},
+      {EC::kBadNonexistenceProof, 0.0130, 0.0100},
+      {EC::kIncorrectLastNsec, 0.0005, 0.0007},
+      {EC::kNonzeroIterationCount, 0.2880, 0.1970},
+      {EC::kInconsistentAncestorForNxdomain, 0.0030, 0.0044},
+      {EC::kIncorrectClosestEncloserProof, 0.0017, 0.0013},
+      {EC::kInvalidNsec3Hash, 0.0006, 0.0006},
+      {EC::kInvalidNsec3OwnerName, 0.0004, 0.0005},
+      {EC::kIncorrectOptOutFlag, 0.0002, 0.0002},
+      {EC::kUnsupportedNsec3Algorithm, 0.00004, 0.00003},
+  };
+  return rows;
+}
+
+const std::vector<TransitionCell>& table4_calibration() {
+  using SS = SnapshotStatus;
+  static const std::vector<TransitionCell> cells = {
+      {SS::kSignedValid, SS::kSignedValidMisconfig, 1310, 34.2},
+      {SS::kSignedValid, SS::kSignedBogus, 4064, 133.7},
+      {SS::kSignedValid, SS::kInsecure, 804, 58.6},
+      {SS::kSignedValidMisconfig, SS::kSignedValid, 3132, 73.4},
+      {SS::kSignedValidMisconfig, SS::kSignedBogus, 5573, 104.2},
+      {SS::kSignedValidMisconfig, SS::kInsecure, 1486, 71.8},
+      {SS::kSignedBogus, SS::kSignedValid, 8052, 0.7},
+      {SS::kSignedBogus, SS::kSignedValidMisconfig, 8065, 0.87},
+      {SS::kSignedBogus, SS::kInsecure, 3922, 1.6},
+      {SS::kInsecure, SS::kSignedValid, 2150, 2.7},
+      {SS::kInsecure, SS::kSignedValidMisconfig, 2097, 3.3},
+      {SS::kInsecure, SS::kSignedBogus, 2001, 1.8},
+  };
+  return cells;
+}
+
+const std::vector<FixTimeCalibration>& fig4_calibration() {
+  using EC = ErrorCode;
+  // Medians/p80s read off Figure 4's boxes plus §3.6's prose: delegation
+  // errors 2-3 days (p80), inconsistent DNSKEY ~4 days, expired/invalid
+  // signatures ~10 days, TTL mismatch ~60 days, NZIC ~250 days (p80).
+  static const std::vector<FixTimeCalibration> rows = {
+      {EC::kInvalidDigest, 18.0, 60.0},               // ①
+      {EC::kIncompleteAlgorithmSetup, 26.0, 96.0},    // ②
+      {EC::kInconsistentDnskeyBetweenServers, 30.0, 96.0},  // ③
+      {EC::kExpiredSignature, 48.0, 240.0},           // ④
+      {EC::kMissingKskForAlgorithm, 20.0, 72.0},      // ⑤
+      {EC::kInvalidSignature, 52.0, 240.0},           // ⑥
+      {EC::kMissingNonexistenceProof, 40.0, 160.0},   // ⑦
+      {EC::kOriginalTtlExceedsRrsetTtl, 340.0, 1440.0},  // ⑧ (~60 days p80)
+      {EC::kNonzeroIterationCount, 1400.0, 6000.0},   // ⑨ (~250 days p80)
+  };
+  return rows;
+}
+
+double fig1_present_share(int bin) {
+  // 20% at the top bin, decaying toward a ~2.5% floor in the tail.
+  return 0.025 + 0.175 * std::exp(-static_cast<double>(bin) / 12.0);
+}
+
+double fig1_signed_share(int bin) {
+  // Ever-signed domains appear in the logs across the whole spectrum,
+  // staying above 30%.
+  return 0.31 + 0.12 * std::exp(-static_cast<double>(bin) / 25.0);
+}
+
+double fig1_misconfigured_share(int bin) {
+  // Misconfiguration is comparatively less common among popular domains.
+  return 0.16 + 0.14 * (1.0 - std::exp(-static_cast<double>(bin) / 30.0));
+}
+
+const Calibration& default_calibration() {
+  static const Calibration calibration{};
+  return calibration;
+}
+
+}  // namespace dfx::dataset

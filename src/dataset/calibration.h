@@ -1,0 +1,122 @@
+// Calibration constants: every marginal the paper reports about the DNSViz
+// historical dataset, used (a) by the corpus generator as generation
+// targets and (b) by the benches to print the paper-vs-measured columns.
+//
+// Substitution note (DESIGN.md): the real dataset is DNS-OARC-private; the
+// generator reproduces its *joint structure* from these published numbers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analyzer/errorcode.h"
+#include "analyzer/snapshot.h"
+#include "util/simclock.h"
+
+namespace dfx::dataset {
+
+using analyzer::ErrorCode;
+using analyzer::SnapshotStatus;
+
+/// Table 1 — dataset overview.
+struct Table1Calibration {
+  std::int64_t root_snapshots = 6234;
+  std::int64_t tld_snapshots = 356136;
+  std::int64_t sld_snapshots = 747455;
+  std::int64_t tld_domains = 4196;
+  std::int64_t sld_domains = 319277;
+  std::int64_t tld_multi_snapshot = 2349;
+  std::int64_t sld_multi_snapshot = 84962;
+  double tld_cd_share = 0.273;  // CD among multi-snapshot TLDs
+  double sld_cd_share = 0.255;
+};
+
+/// Table 3 — error prevalence: share of SLD+ snapshots / domains.
+struct ErrorPrevalenceRow {
+  ErrorCode code;
+  double snapshot_share;  // of 747,455
+  double domain_share;    // of 319,277
+};
+const std::vector<ErrorPrevalenceRow>& table3_calibration();
+
+/// Paper totals for Table 3's last row.
+constexpr double kTable3AnyErrorSnapshotShare = 0.397;
+constexpr double kTable3AnyErrorDomainShare = 0.256;
+
+/// Table 4 — state-transition adjacency (CD consecutive snapshot pairs).
+struct TransitionCell {
+  SnapshotStatus from;
+  SnapshotStatus to;
+  std::int64_t count;
+  double median_hours;
+};
+const std::vector<TransitionCell>& table4_calibration();
+
+/// Table 2 — causes of sv→sb / sv→is transitions.
+struct NegativeTransitionCalibration {
+  std::int64_t sv_sb_total = 4064;
+  double sv_sb_ns_update = 0.067;
+  double sv_sb_key_rollover = 0.452;
+  double sv_sb_algo_rollover = 0.303;
+  std::int64_t sv_is_total = 804;
+  double sv_is_ns_update = 0.07;
+  double sv_is_key_rollover = 0.30;
+  double sv_is_algo_rollover = 0.18;
+};
+
+/// Table 5 — never-resolved fractions.
+struct UnresolvedCalibration {
+  std::int64_t sb_domains = 15209;
+  double sb_unresolved = 0.18;
+  std::int64_t svm_domains = 9052;
+  double svm_unresolved = 0.619;
+  std::int64_t is_domains = 7149;
+  double is_unresolved = 0.365;
+};
+
+/// Figure 4 — fix-time medians (hours) for the marked error codes ①–⑨,
+/// split by criticality, plus the DNSSEC-deployment time (black box).
+struct FixTimeCalibration {
+  ErrorCode code;
+  double median_hours;   // typical time from t1 to t2
+  double p80_hours;      // 80th percentile
+};
+const std::vector<FixTimeCalibration>& fig4_calibration();
+constexpr double kDnssecDeployMedianHours = 30.0;  // "more than a day"
+
+/// Figure 5 — share of domains whose median inter-snapshot gap < 1 day.
+constexpr double kFig5MedianGapUnderOneDay = 0.65;
+
+/// Figure 2 — first→last state flows for CD domains.
+struct FirstLastCalibration {
+  std::int64_t sb_first = 10668;
+  double sb_to_valid = 0.67;  // ended sv or svm
+  std::int64_t is_first = 3907;
+  double is_to_signed = 0.62;
+  std::int64_t valid_first = 6925;  // sv or svm first
+  double valid_to_is = 0.094;
+  double valid_to_sb = 0.084;
+};
+
+/// Figure 1 — Tranco-bin coverage model (100 bins of 10k ranks each).
+/// present(b):     share of the bin's domains appearing in DNSViz logs;
+/// signed(b):      share of *ever-signed* domains appearing in the logs;
+/// misconfig(b):   share of present+signed domains ever misconfigured.
+double fig1_present_share(int bin);     // ~0.20 at bin 0, decaying
+double fig1_signed_share(int bin);      // >0.30 across all bins
+double fig1_misconfigured_share(int bin);
+
+/// The whole calibration bundle.
+struct Calibration {
+  Table1Calibration table1;
+  NegativeTransitionCalibration table2;
+  UnresolvedCalibration table5;
+  FirstLastCalibration fig2;
+};
+
+const Calibration& default_calibration();
+
+}  // namespace dfx::dataset

@@ -1,0 +1,23 @@
+// Corpus generator: synthesizes a DNSViz-like longitudinal dataset whose
+// joint structure reproduces every marginal the paper reports (see
+// calibration.h). Fully deterministic given the seed.
+#pragma once
+
+#include "dataset/calibration.h"
+#include "dataset/corpus.h"
+#include "util/rng.h"
+
+namespace dfx::dataset {
+
+struct GeneratorOptions {
+  /// Linear scale on domain/snapshot counts (1.0 = the paper's 1.1M
+  /// snapshots; bench default 0.1 runs in seconds).
+  double scale = 0.1;
+  std::uint64_t seed = 20240925;
+  UnixTime start = kDatasetStart;
+  UnixTime end = kDatasetEnd;
+};
+
+Corpus generate_corpus(const GeneratorOptions& options);
+
+}  // namespace dfx::dataset

@@ -1,0 +1,44 @@
+// The iterative fix loop of Figure 6: probe/grok → DResolver → apply →
+// re-verify, until no DNSSEC error remains or progress stops.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfixer/dresolver.h"
+#include "dfixer/host.h"
+
+namespace dfx::dfixer {
+
+struct IterationLog {
+  int iteration = 0;  // 1-based
+  RemediationPlan plan;
+  /// Errors that were present when the plan was generated.
+  std::vector<analyzer::ErrorInstance> errors_before;
+  bool all_commands_applied = true;
+};
+
+struct FixReport {
+  std::vector<IterationLog> iterations;
+  analyzer::Snapshot final_snapshot;
+  /// True when the final snapshot carries no DNSSEC errors at all.
+  bool success = false;
+  /// Set when DFixer stopped because the remaining errors are outside the
+  /// child operator's control (e.g. a bogus parent zone).
+  bool blocked_on_ancestor = false;
+};
+
+/// Run the auto-apply loop. The paper observes convergence within four
+/// iterations for every replicated zone; the default cap leaves headroom.
+FixReport auto_fix(CommandHost& host, int max_iterations = 8);
+
+/// Pluggable-resolver variant (used to evaluate the naive-LLM baseline
+/// against DResolver under identical conditions).
+using ResolverFn = RemediationPlan (*)(const analyzer::Snapshot&);
+FixReport auto_fix_with(CommandHost& host, ResolverFn resolver,
+                        int max_iterations = 8);
+
+/// Suggest-only mode: analyze once and render the first iteration's plan.
+std::string suggest(CommandHost& host);
+
+}  // namespace dfx::dfixer

@@ -1,0 +1,46 @@
+#include "dfixer/baseline.h"
+
+namespace dfx::dfixer {
+
+RemediationPlan baseline_resolve(const analyzer::Snapshot& snapshot) {
+  using zone::Instruction;
+  using zone::InstructionKind;
+  RemediationPlan plan;
+  if (snapshot.errors.empty()) return plan;
+  plan.root_cause = "generic diagnosis (baseline)";
+
+  // 1. Unconditional re-sign suggestion — even for pure delegation faults,
+  //    where it is irrelevant (Appendix A.2, finding 2).
+  zone::SignZoneParams params;
+  params.zone = snapshot.target_meta.apex;
+  params.nsec3 = snapshot.target_meta.uses_nsec3;
+  // Finding 3: essential parameters are dropped — the baseline resets the
+  // NSEC3 parameters instead of carrying the zone's own values.
+  params.nsec3_iterations = 0;
+  params.nsec3_salt_hex = "-";
+  Instruction sign;
+  sign.kind = InstructionKind::kSignZone;
+  sign.description = "Re-sign your zone (verify your keys are correct)";
+  sign.commands = {zone::cmd_signzone(params)};
+  plan.instructions.push_back(std::move(sign));
+
+  // 2. DS handling: "replace" by uploading a fresh DS for whatever KSK is
+  //    visible — never removing the extraneous records, which is the actual
+  //    minimal fix (Appendix A.2, finding 1).
+  for (const auto& key : snapshot.target_meta.keys) {
+    if (!key.is_ksk()) continue;
+    Instruction upload;
+    upload.kind = InstructionKind::kUploadDs;
+    upload.description =
+        "Submit a DS for key_tag=" + std::to_string(key.key_tag) +
+        " to your registrar and delete the old one";
+    upload.commands = {zone::cmd_upload_ds(snapshot.target_meta.apex,
+                                           key.key_tag,
+                                           crypto::DigestType::kSha256)};
+    plan.instructions.push_back(std::move(upload));
+    break;
+  }
+  return plan;
+}
+
+}  // namespace dfx::dfixer

@@ -1,0 +1,24 @@
+// The naive-LLM baseline from Appendix A.2, made deterministic.
+//
+// The paper probes GPT-4o with DNSViz output and observes characteristic
+// failures: generic advice, ignored error interdependencies, parent/child
+// confusion, and a bias toward "re-sign the zone" / "replace the DS" even
+// when the minimal fix is removal. This module reproduces those failure
+// modes as a rule set so the comparison in the evaluation is repeatable:
+// the baseline maps every snapshot to the *same* shallow playbook instead
+// of DResolver's dependency-aware plan.
+#pragma once
+
+#include "dfixer/dresolver.h"
+
+namespace dfx::dfixer {
+
+/// Produce the baseline's plan for a snapshot. Mirrors the observed GPT-4o
+/// behaviour:
+///  - always recommends re-signing, whatever the root cause;
+///  - "replaces" (uploads) DS records rather than removing extraneous ones;
+///  - acts on ancestor-zone errors it was told to ignore;
+///  - never sequences key retirement (no settime/wait steps).
+RemediationPlan baseline_resolve(const analyzer::Snapshot& snapshot);
+
+}  // namespace dfx::dfixer

@@ -1,0 +1,468 @@
+#include "dfixer/dresolver.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace dfx::dfixer {
+namespace {
+
+using analyzer::ErrorCode;
+using analyzer::ErrorInstance;
+using analyzer::Snapshot;
+using zone::BindCommand;
+using zone::Instruction;
+using zone::InstructionKind;
+
+// --- Zone-context helpers (parameters come from the zone itself) ----------
+
+crypto::DnssecAlgorithm pick_algorithm(const analyzer::ZoneMeta& meta) {
+  // Prefer the algorithm the zone already uses (most common among plausible
+  // keys), falling back to the DS algorithm, then to RSASHA256.
+  std::map<std::uint8_t, int> counts;
+  for (const auto& key : meta.keys) {
+    if (!key.length_plausible) continue;
+    const auto info = crypto::algorithm_info(key.algorithm);
+    if (info && info->supported_by_bind) counts[key.algorithm]++;
+  }
+  if (!counts.empty()) {
+    const auto best = std::max_element(
+        counts.begin(), counts.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    return static_cast<crypto::DnssecAlgorithm>(best->first);
+  }
+  for (const auto& ds : meta.ds_records) {
+    const auto info = crypto::algorithm_info(ds.algorithm);
+    if (info && info->supported_by_bind) {
+      return static_cast<crypto::DnssecAlgorithm>(ds.algorithm);
+    }
+  }
+  return crypto::DnssecAlgorithm::kRsaSha256;
+}
+
+std::size_t pick_key_bits(const analyzer::ZoneMeta& meta,
+                          crypto::DnssecAlgorithm alg) {
+  const auto info = crypto::algorithm_info(alg);
+  for (const auto& key : meta.keys) {
+    if (key.algorithm != static_cast<std::uint8_t>(alg) ||
+        !key.length_plausible) {
+      continue;
+    }
+    // Observed RSA moduli below any real-world deployment size come from
+    // the simulation substrate, not from operator intent: recommend the
+    // algorithm's standard size instead.
+    if (info && info->rsa_family && key.key_bits < 1024) break;
+    if (key.key_bits >= 128) return key.key_bits;
+  }
+  return info ? info->default_key_bits : 2048;
+}
+
+crypto::DigestType pick_digest(const analyzer::ZoneMeta& meta) {
+  for (const auto& ds : meta.ds_records) {
+    const auto type = static_cast<crypto::DigestType>(ds.digest_type);
+    if (crypto::digest_length(type) != 0) return type;
+  }
+  return crypto::DigestType::kSha256;
+}
+
+zone::SignZoneParams sign_params(const analyzer::ZoneMeta& meta,
+                                 bool force_zero_iterations) {
+  zone::SignZoneParams params;
+  params.zone = meta.apex;
+  params.nsec3 = meta.uses_nsec3;
+  params.nsec3_iterations =
+      force_zero_iterations ? 0 : meta.nsec3_iterations;
+  params.nsec3_salt_hex = force_zero_iterations || meta.nsec3_salt_hex.empty()
+                              ? "-"
+                              : meta.nsec3_salt_hex;
+  params.opt_out = meta.nsec3_opt_out;
+  return params;
+}
+
+Instruction instr(InstructionKind kind, std::string description,
+                  std::vector<BindCommand> commands) {
+  Instruction out;
+  out.kind = kind;
+  out.description = std::move(description);
+  out.commands = std::move(commands);
+  return out;
+}
+
+Instruction sign_instruction(const analyzer::ZoneMeta& meta,
+                             bool zero_iterations) {
+  const auto params = sign_params(meta, zero_iterations);
+  std::string desc = "Re-sign the zone";
+  if (zero_iterations && meta.uses_nsec3) {
+    desc += " with NSEC3 iterations set to 0 and an empty salt (RFC 9276)";
+  } else if (meta.uses_nsec3) {
+    desc += " (NSEC3, preserving the current chain parameters)";
+  } else {
+    desc += " (NSEC)";
+  }
+  return instr(InstructionKind::kSignZone, std::move(desc),
+               {zone::cmd_signzone(params)});
+}
+
+// --- Root-cause handlers ---------------------------------------------------
+
+/// Emit "remove DS" instructions for every non-validating DS record.
+void remove_bad_ds(const Snapshot& snapshot, RemediationPlan& plan) {
+  for (const auto& ds : snapshot.target_meta.ds_records) {
+    if (ds.valid) continue;
+    plan.instructions.push_back(
+        instr(InstructionKind::kRemoveIncorrectDs,
+              "Remove the DS record (key_tag=" + std::to_string(ds.key_tag) +
+                  ", algorithm=" + std::to_string(ds.algorithm) +
+                  ") from the parent zone: it does not validate any DNSKEY",
+              {zone::cmd_remove_ds(snapshot.target_meta.apex, ds.key_tag,
+                                   ds.digest_hex)}));
+  }
+}
+
+bool has_valid_sep(const Snapshot& snapshot) {
+  return std::any_of(snapshot.target_meta.ds_records.begin(),
+                     snapshot.target_meta.ds_records.end(),
+                     [](const analyzer::DsMeta& ds) { return ds.valid; });
+}
+
+/// A usable (plausible, non-revoked, BIND-supported) KSK in the zone.
+const analyzer::KeyMeta* existing_good_ksk(const Snapshot& snapshot) {
+  for (const auto& key : snapshot.target_meta.keys) {
+    if (!key.is_ksk() || key.is_revoked() || !key.length_plausible) continue;
+    const auto info = crypto::algorithm_info(key.algorithm);
+    if (info && info->supported_by_bind) return &key;
+  }
+  return nullptr;
+}
+
+void plan_generate_ksk_and_publish(const Snapshot& snapshot,
+                                   RemediationPlan& plan) {
+  const auto& meta = snapshot.target_meta;
+  const auto alg = pick_algorithm(meta);
+  const auto bits = pick_key_bits(meta, alg);
+  const auto digest = pick_digest(meta);
+  plan.instructions.push_back(instr(
+      InstructionKind::kGenerateKsk,
+      "Generate a new KSK key pair (" + crypto::algorithm_mnemonic(alg) +
+          ", " + std::to_string(bits) + " bits)",
+      {zone::cmd_keygen(meta.apex, alg, bits, /*ksk=*/true),
+       zone::cmd_dsfromkey(meta.apex, /*key_tag=*/0, digest)}));
+  plan.instructions.push_back(
+      instr(InstructionKind::kUploadDs,
+            "Upload the DS record of the new KSK to the parent zone via "
+            "your registrar",
+            {zone::cmd_upload_ds(meta.apex, /*key_tag=*/0, digest)}));
+}
+
+void handle_missing_dnskey(const Snapshot& snapshot, RemediationPlan& plan) {
+  plan.root_cause =
+      "DS records exist at the parent, but the zone publishes no DNSKEY "
+      "that any of them can validate";
+  const auto& meta = snapshot.target_meta;
+  const bool any_keys = !meta.keys.empty();
+  if (const auto* ksk = existing_good_ksk(snapshot); ksk != nullptr) {
+    // The zone still has a healthy KSK — the DS at the parent is simply
+    // stale. Re-link rather than re-key.
+    const auto digest = pick_digest(meta);
+    plan.instructions.push_back(instr(
+        InstructionKind::kUploadDs,
+        "Generate the DS record from the existing KSK (key_tag=" +
+            std::to_string(ksk->key_tag) + ") and upload it to the parent",
+        {zone::cmd_dsfromkey(meta.apex, ksk->key_tag, digest),
+         zone::cmd_upload_ds(meta.apex, ksk->key_tag, digest)}));
+    remove_bad_ds(snapshot, plan);
+    return;
+  }
+  plan_generate_ksk_and_publish(snapshot, plan);
+  if (!any_keys) {
+    const auto alg = pick_algorithm(meta);
+    plan.instructions.push_back(
+        instr(InstructionKind::kGenerateZsk,
+              "Generate a ZSK key pair (" + crypto::algorithm_mnemonic(alg) +
+                  ")",
+              {zone::cmd_keygen(meta.apex, alg, pick_key_bits(meta, alg),
+                                /*ksk=*/false)}));
+  }
+  plan.instructions.push_back(sign_instruction(meta, false));
+  remove_bad_ds(snapshot, plan);
+}
+
+void handle_revoked_key(const Snapshot& snapshot, RemediationPlan& plan) {
+  const auto& meta = snapshot.target_meta;
+  plan.root_cause = "a DNSKEY with the REVOKE flag is referenced by the "
+                    "delegation (or is the zone's only KSK)";
+  // Locate the revoked key(s).
+  std::vector<const analyzer::KeyMeta*> revoked;
+  for (const auto& key : meta.keys) {
+    if (key.is_revoked()) revoked.push_back(&key);
+  }
+  const bool have_alternative =
+      has_valid_sep(snapshot) && existing_good_ksk(snapshot) != nullptr;
+  if (!have_alternative) {
+    // Figure 8 flow: introduce a fresh KSK before retiring the revoked one.
+    plan_generate_ksk_and_publish(snapshot, plan);
+    plan.instructions.push_back(sign_instruction(meta, false));
+  }
+  remove_bad_ds(snapshot, plan);
+  plan.instructions.push_back(
+      instr(InstructionKind::kWaitTtl,
+            "Wait at least one full TTL (" + std::to_string(meta.max_ttl) +
+                "s) so the removed DS expires from validator caches",
+            {zone::cmd_wait_ttl(meta.max_ttl)}));
+  for (const auto* key : revoked) {
+    plan.instructions.push_back(instr(
+        InstructionKind::kRemoveRevokedKey,
+        "Delete the revoked DNSKEY (key_tag=" + std::to_string(key->key_tag) +
+            ") from the zone",
+        {zone::cmd_settime_delete(meta.apex, key->key_tag, snapshot.time)}));
+  }
+  plan.instructions.push_back(sign_instruction(meta, false));
+}
+
+void handle_bad_key_length(const Snapshot& snapshot, RemediationPlan& plan) {
+  const auto& meta = snapshot.target_meta;
+  plan.root_cause = "a DNSKEY has key material with an impossible length";
+  for (const auto& key : meta.keys) {
+    if (key.length_plausible) continue;
+    const bool is_ksk = key.is_ksk();
+    const auto alg = pick_algorithm(meta);
+    plan.instructions.push_back(instr(
+        is_ksk ? InstructionKind::kGenerateKsk : InstructionKind::kGenerateZsk,
+        std::string("Generate a replacement ") + (is_ksk ? "KSK" : "ZSK") +
+            " (" + crypto::algorithm_mnemonic(alg) + ")",
+        {zone::cmd_keygen(meta.apex, alg, pick_key_bits(meta, alg), is_ksk)}));
+    if (is_ksk) {
+      plan.instructions.push_back(
+          instr(InstructionKind::kUploadDs,
+                "Upload the DS record of the replacement KSK",
+                {zone::cmd_upload_ds(meta.apex, 0, pick_digest(meta))}));
+    }
+    plan.instructions.push_back(instr(
+        InstructionKind::kRemoveRevokedKey,
+        "Remove the invalid DNSKEY (key_tag=" + std::to_string(key.key_tag) +
+            ")",
+        {zone::cmd_settime_delete(meta.apex, key.key_tag, snapshot.time)}));
+  }
+  plan.instructions.push_back(sign_instruction(meta, false));
+  remove_bad_ds(snapshot, plan);
+}
+
+void handle_ds_mismatch(const Snapshot& snapshot, RemediationPlan& plan) {
+  plan.root_cause =
+      "one or more DS records at the parent do not validate any DNSKEY";
+  if (has_valid_sep(snapshot)) {
+    // A valid chain already exists; the extraneous DS is the whole problem.
+    remove_bad_ds(snapshot, plan);
+    return;
+  }
+  const auto* ksk = existing_good_ksk(snapshot);
+  if (ksk != nullptr) {
+    // The key is fine; the parent just points at the wrong thing.
+    const auto digest = pick_digest(snapshot.target_meta);
+    plan.instructions.push_back(instr(
+        InstructionKind::kUploadDs,
+        "Generate the DS record from the existing KSK (key_tag=" +
+            std::to_string(ksk->key_tag) + ") and upload it to the parent",
+        {zone::cmd_dsfromkey(snapshot.target_meta.apex, ksk->key_tag, digest),
+         zone::cmd_upload_ds(snapshot.target_meta.apex, ksk->key_tag,
+                             digest)}));
+    remove_bad_ds(snapshot, plan);
+    return;
+  }
+  plan_generate_ksk_and_publish(snapshot, plan);
+  plan.instructions.push_back(sign_instruction(snapshot.target_meta, false));
+  remove_bad_ds(snapshot, plan);
+}
+
+void handle_inconsistent_dnskey(const Snapshot& snapshot,
+                                RemediationPlan& plan) {
+  plan.root_cause =
+      "authoritative servers serve different DNSKEY RRsets (stale copy)";
+  plan.instructions.push_back(
+      instr(InstructionKind::kSyncAuthServers,
+            "Synchronize the signed zone to every authoritative server and "
+            "reload",
+            {zone::cmd_sync_servers(snapshot.target_meta.apex)}));
+}
+
+void handle_ttl(const Snapshot& snapshot, RemediationPlan& plan) {
+  plan.root_cause = "record TTLs are inconsistent with the RRSIG validity "
+                    "window";
+  const std::uint32_t new_ttl =
+      snapshot.target_meta.max_ttl > 3600 ? 3600 : 300;
+  plan.instructions.push_back(
+      instr(InstructionKind::kReduceTtl,
+            "Reduce the TTL of the offending records to " +
+                std::to_string(new_ttl) + "s",
+            {zone::cmd_reduce_ttl(snapshot.target_meta.apex, "ALL",
+                                  new_ttl)}));
+  plan.instructions.push_back(sign_instruction(snapshot.target_meta, false));
+}
+
+}  // namespace
+
+std::vector<BindCommand> RemediationPlan::commands() const {
+  std::vector<BindCommand> out;
+  for (const auto& instruction : instructions) {
+    out.insert(out.end(), instruction.commands.begin(),
+               instruction.commands.end());
+  }
+  return out;
+}
+
+std::string RemediationPlan::render() const {
+  std::string out = "Root cause: " + root_cause + "\n";
+  int n = 0;
+  for (const auto& instruction : instructions) {
+    out += "  (" + std::to_string(++n) + ") " + instruction.description + "\n";
+    for (const auto& cmd : instruction.commands) {
+      out += "      $ " + cmd.render() + "\n";
+    }
+  }
+  return out;
+}
+
+int dependency_rank(ErrorCode code) {
+  using EC = ErrorCode;
+  switch (code) {
+    // Key-material faults cascade into everything else: fix first.
+    case EC::kMissingDnskeyForDs:
+      return 0;
+    case EC::kRevokedKey:
+      return 1;
+    case EC::kBadKeyLength:
+      return 2;
+    // Delegation (DS) faults.
+    case EC::kMissingKskForAlgorithm:
+    case EC::kInvalidDigest:
+    case EC::kNoSecureEntryPoint:
+      return 3;
+    // Server synchronisation.
+    case EC::kInconsistentDnskeyBetweenServers:
+      return 4;
+    // Signature-level faults (one re-sign clears the group).
+    case EC::kMissingSignature:
+    case EC::kExpiredSignature:
+    case EC::kInvalidSignature:
+    case EC::kIncorrectSigner:
+    case EC::kNotYetValidSignature:
+    case EC::kIncorrectSignatureLabels:
+    case EC::kBadSignatureLength:
+    case EC::kIncompleteAlgorithmSetup:
+    case EC::kMissingSignatureForAlgorithm:
+      return 5;
+    // Negative-proof structural faults.
+    case EC::kMissingNonexistenceProof:
+    case EC::kIncorrectTypeBitmap:
+    case EC::kBadNonexistenceProof:
+    case EC::kIncorrectLastNsec:
+    case EC::kInconsistentAncestorForNxdomain:
+    case EC::kIncorrectClosestEncloserProof:
+    case EC::kInvalidNsec3Hash:
+    case EC::kInvalidNsec3OwnerName:
+    case EC::kIncorrectOptOutFlag:
+    case EC::kUnsupportedNsec3Algorithm:
+      return 6;
+    // Advisory-grade NSEC3 parameter violation.
+    case EC::kNonzeroIterationCount:
+      return 7;
+    // TTL hygiene.
+    case EC::kTtlBeyondExpiration:
+    case EC::kOriginalTtlExceedsRrsetTtl:
+      return 8;
+    case EC::kLameDelegation:
+    case EC::kMissingNsInParent:
+      return 9;
+  }
+  return 10;
+}
+
+RemediationPlan resolve(const Snapshot& snapshot) {
+  RemediationPlan plan;
+  // Only the query zone's errors are in the child operator's remit.
+  std::vector<ErrorInstance> actionable = snapshot.target_zone_errors();
+  for (const auto& c : snapshot.companions) {
+    if (c.zone == snapshot.query_zone) actionable.push_back(c);
+  }
+  if (actionable.empty()) return plan;
+
+  const auto top = std::min_element(
+      actionable.begin(), actionable.end(),
+      [](const ErrorInstance& a, const ErrorInstance& b) {
+        return dependency_rank(a.code) < dependency_rank(b.code);
+      });
+
+  switch (dependency_rank(top->code)) {
+    case 0:
+      handle_missing_dnskey(snapshot, plan);
+      break;
+    case 1:
+      handle_revoked_key(snapshot, plan);
+      break;
+    case 2:
+      handle_bad_key_length(snapshot, plan);
+      break;
+    case 3:
+      handle_ds_mismatch(snapshot, plan);
+      break;
+    case 4:
+      handle_inconsistent_dnskey(snapshot, plan);
+      break;
+    case 5:
+      plan.root_cause = "signatures are missing, expired or invalid; "
+                        "re-signing regenerates them";
+      plan.instructions.push_back(sign_instruction(snapshot.target_meta,
+                                                   false));
+      break;
+    case 6:
+      plan.root_cause =
+          "the NSEC/NSEC3 chain is incomplete or inconsistent; re-signing "
+          "rebuilds the whole chain";
+      plan.instructions.push_back(sign_instruction(snapshot.target_meta,
+                                                   false));
+      break;
+    case 7:
+      plan.root_cause = "NSEC3 iteration count is nonzero (RFC 9276)";
+      plan.instructions.push_back(sign_instruction(snapshot.target_meta,
+                                                   true));
+      break;
+    case 8:
+      handle_ttl(snapshot, plan);
+      break;
+    default:
+      break;  // lame/incomplete delegations are out of DNSSEC scope
+  }
+  return plan;
+}
+
+RemediationPlan resolve_with_cds(const analyzer::Snapshot& snapshot) {
+  RemediationPlan plan = resolve(snapshot);
+  if (!has_valid_sep(snapshot)) return plan;  // cannot bootstrap (RFC 8078)
+  const bool has_ds_step = std::any_of(
+      plan.instructions.begin(), plan.instructions.end(),
+      [](const Instruction& instruction) {
+        return instruction.kind == InstructionKind::kUploadDs ||
+               instruction.kind == InstructionKind::kRemoveIncorrectDs;
+      });
+  if (!has_ds_step) return plan;
+  RemediationPlan automated;
+  automated.root_cause = plan.root_cause;
+  bool cds_emitted = false;
+  for (auto& instruction : plan.instructions) {
+    if (instruction.kind != InstructionKind::kUploadDs &&
+        instruction.kind != InstructionKind::kRemoveIncorrectDs) {
+      automated.instructions.push_back(std::move(instruction));
+      continue;
+    }
+    if (cds_emitted) continue;  // one CDS publication covers the DS set
+    cds_emitted = true;
+    automated.instructions.push_back(
+        instr(InstructionKind::kUploadDs,
+              "Publish CDS/CDNSKEY records; the parent's parental agent "
+              "synchronizes the DS set automatically (RFC 7344)",
+              {zone::cmd_publish_cds(snapshot.target_meta.apex)}));
+  }
+  return automated;
+}
+
+}  // namespace dfx::dfixer

@@ -1,0 +1,58 @@
+// DResolver: root-cause analysis over a snapshot's error codes.
+//
+// Grok reports every symptom; many are cascades of one underlying fault
+// (the paper's example: a single extraneous DS can raise a dozen codes).
+// DResolver topologically orders the observed codes along a curated
+// dependency graph, picks the top root cause, consults companion errors and
+// zone state, and emits a remediation plan: ordered high-level instructions
+// each expanded into exact BIND commands with parameters taken from the
+// zone's own meta-parameters.
+//
+// One call resolves one root-cause group; independent faults are handled
+// across iterations (Figure 6), which is what populates the per-iteration
+// instruction distribution of Table 7.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analyzer/snapshot.h"
+#include "zone/bindcmd.h"
+
+namespace dfx::dfixer {
+
+/// A full remediation plan for one iteration.
+struct RemediationPlan {
+  /// Which root cause this plan addresses (for reporting).
+  std::string root_cause;
+  std::vector<zone::Instruction> instructions;
+
+  bool empty() const { return instructions.empty(); }
+
+  /// All commands in execution order.
+  std::vector<zone::BindCommand> commands() const;
+
+  /// Human-readable rendering (the "suggest only" output).
+  std::string render() const;
+};
+
+/// The topological rank of an error code in the dependency graph: lower
+/// rank = closer to the root cause, fixed first. Exposed for tests and for
+/// the ablation bench.
+int dependency_rank(analyzer::ErrorCode code);
+
+/// Produce the plan for the highest-ranked root cause present in the
+/// snapshot's *target zone* errors. Returns an empty plan when no DNSSEC
+/// error is present (or none is actionable by the child-zone operator).
+RemediationPlan resolve(const analyzer::Snapshot& snapshot);
+
+/// CDS-automation variant (RFC 7344/8078 — the mechanism §5.5.2 of the
+/// paper notes it could not rely on in the wild): when the existing chain
+/// of trust still validates, every manual registrar DS step in the plan is
+/// replaced by one "publish CDS/CDNSKEY" instruction; the parental agent
+/// then synchronizes the DS set. Falls back to the manual plan when the
+/// delegation is already broken (CDS cannot bootstrap trust).
+RemediationPlan resolve_with_cds(const analyzer::Snapshot& snapshot);
+
+}  // namespace dfx::dfixer

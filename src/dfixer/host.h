@@ -1,0 +1,27 @@
+// CommandHost: where DFixer's commands take effect.
+//
+// In "suggest only" mode nothing implements this — the rendered commands go
+// to the operator. In "auto-apply" mode the ZReplicator sandbox implements
+// it, applying each command to the replicated zones and re-running
+// probe/grok, exactly the loop in Figure 6 of the paper.
+#pragma once
+
+#include "analyzer/snapshot.h"
+#include "zone/bindcmd.h"
+
+namespace dfx::dfixer {
+
+class CommandHost {
+ public:
+  virtual ~CommandHost() = default;
+
+  /// Apply one command to the environment. Returns false when the command
+  /// cannot be applied (e.g. it targets a zone outside the operator's
+  /// control); the fixer records this and stops iterating on that path.
+  virtual bool apply(const zone::BindCommand& command) = 0;
+
+  /// Re-run probe + grok against the current environment state.
+  virtual analyzer::Snapshot analyze() = 0;
+};
+
+}  // namespace dfx::dfixer

@@ -1,0 +1,198 @@
+#include "dfixer/translate.h"
+
+namespace dfx::dfixer {
+namespace {
+
+using zone::BindCommand;
+using zone::CommandKind;
+
+std::string arg_or(const BindCommand& cmd, const std::string& key,
+                   const std::string& dflt) {
+  const auto it = cmd.args.find(key);
+  return it == cmd.args.end() ? dflt : it->second;
+}
+
+std::vector<std::string> translate_nsd(const BindCommand& cmd) {
+  // NSD has no signer of its own; the ldns examples utilities fill the gap
+  // (ldns-keygen, ldns-signzone, ldns-key2ds), exactly as §5.6 validates.
+  switch (cmd.kind) {
+    case CommandKind::kDnssecKeygen:
+      return {"cd <key_dir> && ldns-keygen" +
+              std::string(arg_or(cmd, "ksk", "0") == "1" ? " -k" : "") +
+              " -a " + arg_or(cmd, "algorithm", "RSASHA256") + " -b " +
+              arg_or(cmd, "bits", "2048") + " " + arg_or(cmd, "zone", ".")};
+    case CommandKind::kDnssecSignzone: {
+      std::string line = "cd <zone_dir> && ldns-signzone";
+      if (arg_or(cmd, "nsec3", "0") == "1") {
+        line += " -n -t " + arg_or(cmd, "iterations", "0");
+        const std::string salt = arg_or(cmd, "salt", "-");
+        line += " -s " + (salt == "-" ? std::string("\"\"") : salt);
+        if (arg_or(cmd, "optout", "0") == "1") line += " -p";
+      }
+      line += " " + arg_or(cmd, "zone_file", "db.unsigned") +
+              " <key_dir>/K" + arg_or(cmd, "zone", ".") + "*";
+      return {line, "nsd-control reload " + arg_or(cmd, "zone", ".")};
+    }
+    case CommandKind::kDnssecSettime:
+      // ldns has no settime; retiring a key means excluding its files from
+      // the next ldns-signzone invocation.
+      return {"mv <key_dir>/K" + arg_or(cmd, "zone", ".") + "+NNN+" +
+              arg_or(cmd, "key_tag", "00000") +
+              ".* <key_dir>/retired/  # exclude from future signings"};
+    case CommandKind::kDnssecDsFromKey:
+      return {"ldns-key2ds -n -" + arg_or(cmd, "digest", "2") +
+              " <key_dir>/K" + arg_or(cmd, "zone", ".") + "+NNN+" +
+              arg_or(cmd, "key_tag", "00000") + ".key"};
+    case CommandKind::kSyncServers:
+      return {"rsync <zone_dir>/" + arg_or(cmd, "zone_file", "db.signed") +
+              " <secondary>:<zone_dir>/ && ssh <secondary> nsd-control "
+              "reload " +
+              arg_or(cmd, "zone", ".")};
+    case CommandKind::kRemoveKeyFile:
+      return {"rm <key_dir>/K" + arg_or(cmd, "zone", ".") + "+NNN+" +
+              arg_or(cmd, "key_tag", "00000") + ".{key,private}"};
+    case CommandKind::kPublishCds:
+      // ldns-signzone has no CDS option; the records are added to the zone
+      // file before signing.
+      return {"# add CDS/CDNSKEY records for the active KSKs to the zone "
+              "file, then re-sign (ldns-signzone) — the parent's parental "
+              "agent does the rest (RFC 7344)"};
+    default:
+      return {cmd.render()};  // manual steps are server-agnostic
+  }
+}
+
+std::vector<std::string> translate_powerdns(const BindCommand& cmd) {
+  const std::string zone = arg_or(cmd, "zone", ".");
+  switch (cmd.kind) {
+    case CommandKind::kDnssecKeygen:
+      return {"pdnsutil add-zone-key " + zone + " " +
+              (arg_or(cmd, "ksk", "0") == "1" ? "ksk" : "zsk") + " " +
+              arg_or(cmd, "bits", "2048") + " active " +
+              arg_or(cmd, "algorithm", "rsasha256")};
+    case CommandKind::kDnssecSignzone: {
+      // §5.6: pdnsutil cannot fix a pre-signed zone in place; the validated
+      // workaround repairs the zone with the BIND tools and re-imports it.
+      std::vector<std::string> lines;
+      lines.push_back("# pre-signed zones cannot be re-signed in place "
+                      "(PowerDNS issue #8892); repair externally and "
+                      "re-import:");
+      lines.push_back(cmd.render());
+      lines.push_back("pdnsutil load-zone " + zone +
+                      " <zone_dir>/db." + zone + "signed");
+      if (arg_or(cmd, "nsec3", "0") == "1") {
+        const std::string salt = arg_or(cmd, "salt", "-");
+        lines.push_back("pdnsutil set-nsec3 " + zone + " '1 " +
+                        (arg_or(cmd, "optout", "0") == "1" ? "1" : "0") +
+                        " " + arg_or(cmd, "iterations", "0") + " " +
+                        (salt == "-" ? "-" : salt) + "'");
+      } else {
+        lines.push_back("pdnsutil unset-nsec3 " + zone);
+      }
+      lines.push_back("pdnsutil rectify-zone " + zone);
+      return lines;
+    }
+    case CommandKind::kDnssecSettime:
+      return {"pdnsutil deactivate-zone-key " + zone + " <key_id_of_tag_" +
+              arg_or(cmd, "key_tag", "00000") + ">"};
+    case CommandKind::kDnssecDsFromKey:
+      return {"pdnsutil export-zone-ds " + zone};
+    case CommandKind::kSyncServers:
+      return {"pdnsutil increase-serial " + zone +
+              "  # secondaries transfer via AXFR"};
+    case CommandKind::kRemoveKeyFile:
+      return {"pdnsutil remove-zone-key " + zone + " <key_id_of_tag_" +
+              arg_or(cmd, "key_tag", "00000") + ">"};
+    case CommandKind::kPublishCds:
+      return {"pdnsutil set-publish-cds " + zone,
+              "pdnsutil set-publish-cdnskey " + zone};
+    default:
+      return {cmd.render()};
+  }
+}
+
+std::vector<std::string> translate_knot(const BindCommand& cmd) {
+  const std::string zone = arg_or(cmd, "zone", ".");
+  switch (cmd.kind) {
+    case CommandKind::kDnssecKeygen:
+      return {"keymgr " + zone + " generate algorithm=" +
+              arg_or(cmd, "algorithm", "RSASHA256") +
+              " size=" + arg_or(cmd, "bits", "2048") +
+              " ksk=" + (arg_or(cmd, "ksk", "0") == "1" ? "yes" : "no")};
+    case CommandKind::kDnssecSignzone: {
+      std::vector<std::string> lines;
+      if (arg_or(cmd, "nsec3", "0") == "1") {
+        lines.push_back("# policy section: nsec3: on, nsec3-iterations: " +
+                        arg_or(cmd, "iterations", "0") + ", nsec3-salt-" +
+                        "length per salt " + arg_or(cmd, "salt", "-"));
+      } else {
+        lines.push_back("# policy section: nsec3: off");
+      }
+      lines.push_back("knotc zone-sign " + zone);
+      return lines;
+    }
+    case CommandKind::kDnssecSettime:
+      return {"keymgr " + zone + " set <key_id_of_tag_" +
+              arg_or(cmd, "key_tag", "00000") + "> retire=+0 remove=+0"};
+    case CommandKind::kDnssecDsFromKey:
+      return {"keymgr " + zone + " ds"};
+    case CommandKind::kSyncServers:
+      return {"knotc zone-notify " + zone};
+    case CommandKind::kRemoveKeyFile:
+      return {"keymgr " + zone + " delete <key_id_of_tag_" +
+              arg_or(cmd, "key_tag", "00000") + ">"};
+    case CommandKind::kPublishCds:
+      return {"# policy section: cds-cdnskey-publish: always",
+              "knotc zone-sign " + zone};
+    default:
+      return {cmd.render()};
+  }
+}
+
+}  // namespace
+
+std::string server_flavor_name(ServerFlavor flavor) {
+  switch (flavor) {
+    case ServerFlavor::kBind:
+      return "BIND";
+    case ServerFlavor::kNsd:
+      return "NSD";
+    case ServerFlavor::kPowerDns:
+      return "PowerDNS";
+    case ServerFlavor::kKnot:
+      return "Knot DNS";
+  }
+  return "?";
+}
+
+std::vector<std::string> translate_command(const zone::BindCommand& command,
+                                           ServerFlavor flavor) {
+  switch (flavor) {
+    case ServerFlavor::kBind:
+      return {command.render()};
+    case ServerFlavor::kNsd:
+      return translate_nsd(command);
+    case ServerFlavor::kPowerDns:
+      return translate_powerdns(command);
+    case ServerFlavor::kKnot:
+      return translate_knot(command);
+  }
+  return {command.render()};
+}
+
+std::string translate_plan(const RemediationPlan& plan, ServerFlavor flavor) {
+  std::string out = "Root cause: " + plan.root_cause + "\n(" +
+                    server_flavor_name(flavor) + " vocabulary)\n";
+  int n = 0;
+  for (const auto& instruction : plan.instructions) {
+    out += "  (" + std::to_string(++n) + ") " + instruction.description + "\n";
+    for (const auto& cmd : instruction.commands) {
+      for (const auto& line : translate_command(cmd, flavor)) {
+        out += "      $ " + line + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dfx::dfixer

@@ -1,0 +1,39 @@
+// §5.6 extensibility: translate DFixer's BIND command sequences to other
+// authoritative-server toolchains.
+//
+// The paper validates that the error-to-command logic ports to NSD (via the
+// ldns utilities), PowerDNS (pdnsutil, with the pre-signed-zone caveat) and
+// Knot DNS (keymgr + policy configuration) — "any authoritative software
+// that exposes zone signing, key generation and key (de)activation with
+// basic parameter customization can host DFixer's repair plan with a thin
+// translation layer". This module is that layer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfixer/dresolver.h"
+#include "zone/bindcmd.h"
+
+namespace dfx::dfixer {
+
+enum class ServerFlavor : std::uint8_t {
+  kBind,      // the native vocabulary (dnssec-keygen / dnssec-signzone / ...)
+  kNsd,       // ldns-keygen / ldns-signzone / ldns-key2ds
+  kPowerDns,  // pdnsutil (pre-signed zones cannot be fixed in place: the
+              // translation emits the BIND-side repair + re-import, the
+              // workaround §5.6 describes)
+  kKnot,      // keymgr + knotc, NSEC3/lifetime via the policy section
+};
+
+std::string server_flavor_name(ServerFlavor flavor);
+
+/// Translate one command. Returns one or more CLI lines (a single BIND
+/// command occasionally maps to a short sequence, e.g. pdnsutil re-import).
+std::vector<std::string> translate_command(const zone::BindCommand& command,
+                                           ServerFlavor flavor);
+
+/// Render a whole remediation plan in the target vocabulary.
+std::string translate_plan(const RemediationPlan& plan, ServerFlavor flavor);
+
+}  // namespace dfx::dfixer

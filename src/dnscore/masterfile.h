@@ -1,0 +1,38 @@
+// Master-file (RFC 1035 §5) zone data codec: parse and print the textual
+// zone format that dnssec-signzone consumes and produces.
+//
+// Supported: $ORIGIN, $TTL, relative names, '@', per-record TTLs, comments,
+// and the presentation syntax of every RRType in rdata.h. Multi-line
+// parentheses are supported for SOA.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "dnscore/name.h"
+#include "dnscore/rrset.h"
+
+namespace dfx::dns {
+
+struct MasterFileError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// Parse zone-file text. `default_origin` seeds $ORIGIN; records are
+/// returned in file order.
+std::variant<std::vector<ResourceRecord>, MasterFileError> parse_master_file(
+    std::string_view text, const Name& default_origin,
+    std::uint32_t default_ttl = 3600);
+
+/// Render records as zone-file text (absolute names, one per line).
+std::string print_master_file(const std::vector<ResourceRecord>& records);
+
+/// Parse the presentation form of a single RDATA given its type and origin
+/// for relative names. Returns error message on failure.
+std::variant<Rdata, std::string> parse_rdata_text(
+    RRType type, const std::vector<std::string>& fields, const Name& origin);
+
+}  // namespace dfx::dns

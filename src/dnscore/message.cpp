@@ -1,0 +1,164 @@
+#include "dnscore/message.h"
+
+#include "dnscore/wire.h"
+#include "util/strings.h"
+
+namespace dfx::dns {
+namespace {
+
+/// Writes names with RFC 1035 §4.1.4 compression. Pointers may only target
+/// prior occurrences; the table maps the textual suffix to its offset.
+class NameCompressor {
+ public:
+  void write_name(Bytes& out, const Name& name) {
+    // Try to find the longest known suffix.
+    const auto& labels = name.labels();
+    for (std::size_t skip = 0; skip < labels.size(); ++skip) {
+      const std::string suffix = suffix_key(name, skip);
+      const auto it = table_.find(suffix);
+      if (it != table_.end() && it->second < 0x3FFF) {
+        // Emit leading labels then a pointer.
+        emit_labels(out, name, skip);
+        append_u16(out, static_cast<std::uint16_t>(0xC000 | it->second));
+        return;
+      }
+    }
+    // No suffix known: emit everything and remember offsets.
+    emit_labels(out, name, labels.size());
+    out.push_back(0);
+  }
+
+ private:
+  static std::string suffix_key(const Name& name, std::size_t skip) {
+    const auto& labels = name.labels();
+    std::vector<std::string> parts;
+    for (std::size_t i = skip; i < labels.size(); ++i) {
+      parts.push_back(to_lower(labels[i]));
+    }
+    return join(parts, ".");
+  }
+
+  void emit_labels(Bytes& out, const Name& name, std::size_t count) {
+    const auto& labels = name.labels();
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t offset = out.size();
+      if (offset < 0x3FFF) {
+        table_.emplace(suffix_key(name, i), offset);
+      }
+      out.push_back(static_cast<std::uint8_t>(labels[i].size()));
+      append(out, as_bytes(labels[i]));
+    }
+  }
+
+  std::map<std::string, std::size_t> table_;
+};
+
+void write_record(Bytes& out, NameCompressor& comp,
+                  const ResourceRecord& rr) {
+  comp.write_name(out, rr.owner);
+  append_u16(out, static_cast<std::uint16_t>(rr.type));
+  append_u16(out, static_cast<std::uint16_t>(rr.rrclass));
+  append_u32(out, rr.ttl);
+  // RDATA embedded names are written uncompressed (required for DNSSEC
+  // types, simplest-correct for the rest).
+  const Bytes rdata = rdata_to_wire(rr.rdata);
+  append_u16(out, static_cast<std::uint16_t>(rdata.size()));
+  append(out, rdata);
+}
+
+std::optional<ResourceRecord> read_record(WireReader& r) {
+  ResourceRecord rr;
+  auto owner = r.read_name();
+  if (!owner) return std::nullopt;
+  rr.owner = *std::move(owner);
+  rr.type = static_cast<RRType>(r.read_u16());
+  rr.rrclass = static_cast<RRClass>(r.read_u16());
+  rr.ttl = r.read_u32();
+  const std::uint16_t rdlength = r.read_u16();
+  const Bytes rdata_wire = r.read_bytes(rdlength);
+  if (!r.ok()) return std::nullopt;
+  auto rdata = rdata_from_wire(rr.type, rdata_wire);
+  if (!rdata) return std::nullopt;
+  rr.rdata = *std::move(rdata);
+  return rr;
+}
+
+}  // namespace
+
+Bytes encode_message(const Message& msg) {
+  Bytes out;
+  append_u16(out, msg.header.id);
+  std::uint16_t flags = 0;
+  if (msg.header.qr) flags |= 0x8000;
+  flags |= static_cast<std::uint16_t>((msg.header.opcode & 0xF) << 11);
+  if (msg.header.aa) flags |= 0x0400;
+  if (msg.header.tc) flags |= 0x0200;
+  if (msg.header.rd) flags |= 0x0100;
+  if (msg.header.ra) flags |= 0x0080;
+  if (msg.header.ad) flags |= 0x0020;
+  if (msg.header.cd) flags |= 0x0010;
+  flags |= static_cast<std::uint16_t>(msg.header.rcode) & 0xF;
+  append_u16(out, flags);
+  append_u16(out, static_cast<std::uint16_t>(msg.questions.size()));
+  append_u16(out, static_cast<std::uint16_t>(msg.answers.size()));
+  append_u16(out, static_cast<std::uint16_t>(msg.authorities.size()));
+  append_u16(out, static_cast<std::uint16_t>(msg.additionals.size()));
+
+  NameCompressor comp;
+  for (const auto& q : msg.questions) {
+    comp.write_name(out, q.qname);
+    append_u16(out, static_cast<std::uint16_t>(q.qtype));
+    append_u16(out, static_cast<std::uint16_t>(q.qclass));
+  }
+  for (const auto& rr : msg.answers) write_record(out, comp, rr);
+  for (const auto& rr : msg.authorities) write_record(out, comp, rr);
+  for (const auto& rr : msg.additionals) write_record(out, comp, rr);
+  return out;
+}
+
+std::optional<Message> decode_message(ByteView wire) {
+  WireReader r(wire);
+  Message msg;
+  msg.header.id = r.read_u16();
+  const std::uint16_t flags = r.read_u16();
+  if (!r.ok()) return std::nullopt;
+  msg.header.qr = (flags & 0x8000) != 0;
+  msg.header.opcode = static_cast<std::uint8_t>((flags >> 11) & 0xF);
+  msg.header.aa = (flags & 0x0400) != 0;
+  msg.header.tc = (flags & 0x0200) != 0;
+  msg.header.rd = (flags & 0x0100) != 0;
+  msg.header.ra = (flags & 0x0080) != 0;
+  msg.header.ad = (flags & 0x0020) != 0;
+  msg.header.cd = (flags & 0x0010) != 0;
+  msg.header.rcode = static_cast<RCode>(flags & 0xF);
+  const std::uint16_t qd = r.read_u16();
+  const std::uint16_t an = r.read_u16();
+  const std::uint16_t ns = r.read_u16();
+  const std::uint16_t ar = r.read_u16();
+  if (!r.ok()) return std::nullopt;
+  for (int i = 0; i < qd; ++i) {
+    Question q;
+    auto qname = r.read_name();
+    if (!qname) return std::nullopt;
+    q.qname = *std::move(qname);
+    q.qtype = static_cast<RRType>(r.read_u16());
+    q.qclass = static_cast<RRClass>(r.read_u16());
+    if (!r.ok()) return std::nullopt;
+    msg.questions.push_back(std::move(q));
+  }
+  const auto read_section = [&](int count,
+                                std::vector<ResourceRecord>& section) {
+    for (int i = 0; i < count; ++i) {
+      auto rr = read_record(r);
+      if (!rr) return false;
+      section.push_back(*std::move(rr));
+    }
+    return true;
+  };
+  if (!read_section(an, msg.answers)) return std::nullopt;
+  if (!read_section(ns, msg.authorities)) return std::nullopt;
+  if (!read_section(ar, msg.additionals)) return std::nullopt;
+  return msg;
+}
+
+}  // namespace dfx::dns

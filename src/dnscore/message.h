@@ -1,0 +1,54 @@
+// DNS message format (RFC 1035 §4) with name compression.
+//
+// The in-process authoritative servers exchange typed structures for speed,
+// but the full wire codec is implemented (and tested) so the substrate is a
+// complete DNS library; the probe engine round-trips responses through it
+// in wire-check mode.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dnscore/name.h"
+#include "dnscore/rr.h"
+#include "dnscore/rrset.h"
+#include "util/bytes.h"
+
+namespace dfx::dns {
+
+struct Header {
+  std::uint16_t id = 0;
+  bool qr = false;  // response flag
+  std::uint8_t opcode = 0;
+  bool aa = false;  // authoritative answer
+  bool tc = false;
+  bool rd = false;
+  bool ra = false;
+  bool ad = false;  // authenticated data
+  bool cd = false;  // checking disabled
+  RCode rcode = RCode::kNoError;
+};
+
+struct Question {
+  Name qname;
+  RRType qtype = RRType::kA;
+  RRClass qclass = RRClass::kIN;
+};
+
+struct Message {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authorities;
+  std::vector<ResourceRecord> additionals;
+};
+
+/// Encode with owner-name compression across all sections.
+Bytes encode_message(const Message& msg);
+
+/// Decode; nullopt on malformed input.
+std::optional<Message> decode_message(ByteView wire);
+
+}  // namespace dfx::dns

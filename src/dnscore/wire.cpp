@@ -1,0 +1,238 @@
+#include "dnscore/wire.h"
+
+namespace dfx::dns {
+
+std::uint8_t WireReader::read_u8() {
+  if (pos_ + 1 > data_.size()) {
+    ok_ = false;
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+std::uint16_t WireReader::read_u16() {
+  if (pos_ + 2 > data_.size()) {
+    ok_ = false;
+    pos_ = data_.size();
+    return 0;
+  }
+  const std::uint16_t v = dfx::read_u16(data_, pos_);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t WireReader::read_u32() {
+  if (pos_ + 4 > data_.size()) {
+    ok_ = false;
+    pos_ = data_.size();
+    return 0;
+  }
+  const std::uint32_t v = dfx::read_u32(data_, pos_);
+  pos_ += 4;
+  return v;
+}
+
+Bytes WireReader::read_bytes(std::size_t n) {
+  if (pos_ + n > data_.size()) {
+    ok_ = false;
+    pos_ = data_.size();
+    return {};
+  }
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+void WireReader::seek(std::size_t pos) {
+  if (pos > data_.size()) {
+    ok_ = false;
+    return;
+  }
+  pos_ = pos;
+}
+
+std::optional<Name> WireReader::read_name() {
+  std::string text;
+  std::size_t jumps = 0;
+  std::size_t pos = pos_;
+  bool jumped = false;
+  while (true) {
+    if (pos >= data_.size()) {
+      ok_ = false;
+      return std::nullopt;
+    }
+    const std::uint8_t len = data_[pos];
+    if (len == 0) {
+      if (!jumped) pos_ = pos + 1;
+      if (text.empty()) return Name::root();
+      return Name::parse(text);
+    }
+    if ((len & 0xC0) == 0xC0) {
+      if (pos + 1 >= data_.size() || ++jumps > 64) {
+        ok_ = false;
+        return std::nullopt;
+      }
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3F) << 8) | data_[pos + 1];
+      if (target >= pos) {  // forward/self pointers are malformed
+        ok_ = false;
+        return std::nullopt;
+      }
+      if (!jumped) pos_ = pos + 2;
+      jumped = true;
+      pos = target;
+      continue;
+    }
+    if ((len & 0xC0) != 0 || pos + 1 + len > data_.size()) {
+      ok_ = false;
+      return std::nullopt;
+    }
+    if (!text.empty()) text.push_back('.');
+    text.append(reinterpret_cast<const char*>(data_.data() + pos + 1), len);
+    pos += 1 + len;
+  }
+}
+
+std::optional<Rdata> rdata_from_wire(RRType type, ByteView wire) {
+  WireReader r(wire);
+  const auto finish = [&](Rdata value) -> std::optional<Rdata> {
+    if (!r.ok() || r.remaining() != 0) return std::nullopt;
+    return value;
+  };
+  switch (type) {
+    case RRType::kA: {
+      ARdata a;
+      const Bytes b = r.read_bytes(4);
+      if (!r.ok()) return std::nullopt;
+      std::copy(b.begin(), b.end(), a.address.begin());
+      return finish(a);
+    }
+    case RRType::kAAAA: {
+      AaaaRdata a;
+      const Bytes b = r.read_bytes(16);
+      if (!r.ok()) return std::nullopt;
+      std::copy(b.begin(), b.end(), a.address.begin());
+      return finish(a);
+    }
+    case RRType::kNS: {
+      NsRdata ns;
+      auto name = r.read_name();
+      if (!name) return std::nullopt;
+      ns.nsdname = *std::move(name);
+      return finish(ns);
+    }
+    case RRType::kCNAME: {
+      CnameRdata c;
+      auto name = r.read_name();
+      if (!name) return std::nullopt;
+      c.target = *std::move(name);
+      return finish(c);
+    }
+    case RRType::kSOA: {
+      SoaRdata soa;
+      auto mname = r.read_name();
+      auto rname = r.read_name();
+      if (!mname || !rname) return std::nullopt;
+      soa.mname = *std::move(mname);
+      soa.rname = *std::move(rname);
+      soa.serial = r.read_u32();
+      soa.refresh = r.read_u32();
+      soa.retry = r.read_u32();
+      soa.expire = r.read_u32();
+      soa.minimum = r.read_u32();
+      return finish(soa);
+    }
+    case RRType::kMX: {
+      MxRdata mx;
+      mx.preference = r.read_u16();
+      auto name = r.read_name();
+      if (!name) return std::nullopt;
+      mx.exchange = *std::move(name);
+      return finish(mx);
+    }
+    case RRType::kTXT: {
+      TxtRdata txt;
+      while (r.ok() && r.remaining() > 0) {
+        const std::uint8_t len = r.read_u8();
+        const Bytes b = r.read_bytes(len);
+        if (!r.ok()) return std::nullopt;
+        txt.strings.push_back(to_string(b));
+      }
+      if (txt.strings.empty()) return std::nullopt;
+      return finish(txt);
+    }
+    case RRType::kDNSKEY: {
+      DnskeyRdata k;
+      k.flags = r.read_u16();
+      k.protocol = r.read_u8();
+      k.algorithm = r.read_u8();
+      k.public_key = r.read_bytes(r.remaining());
+      return finish(k);
+    }
+    case RRType::kDS: {
+      DsRdata ds;
+      ds.key_tag = r.read_u16();
+      ds.algorithm = r.read_u8();
+      ds.digest_type = r.read_u8();
+      ds.digest = r.read_bytes(r.remaining());
+      if (ds.digest.empty()) return std::nullopt;
+      return finish(ds);
+    }
+    case RRType::kRRSIG: {
+      RrsigRdata sig;
+      sig.type_covered = static_cast<RRType>(r.read_u16());
+      sig.algorithm = r.read_u8();
+      sig.labels = r.read_u8();
+      sig.original_ttl = r.read_u32();
+      sig.expiration = r.read_u32();
+      sig.inception = r.read_u32();
+      sig.key_tag = r.read_u16();
+      auto signer = r.read_name();
+      if (!signer) return std::nullopt;
+      sig.signer = *std::move(signer);
+      sig.signature = r.read_bytes(r.remaining());
+      return finish(sig);
+    }
+    case RRType::kNSEC: {
+      NsecRdata n;
+      auto next = r.read_name();
+      if (!next) return std::nullopt;
+      n.next = *std::move(next);
+      n.types = decode_type_bitmap(r.read_bytes(r.remaining()));
+      return finish(n);
+    }
+    case RRType::kNSEC3: {
+      Nsec3Rdata n;
+      n.hash_algorithm = r.read_u8();
+      n.flags = r.read_u8();
+      n.iterations = r.read_u16();
+      n.salt = r.read_bytes(r.read_u8());
+      n.next_hashed = r.read_bytes(r.read_u8());
+      if (n.next_hashed.empty()) return std::nullopt;
+      n.types = decode_type_bitmap(r.read_bytes(r.remaining()));
+      return finish(n);
+    }
+    case RRType::kNSEC3PARAM: {
+      Nsec3ParamRdata p;
+      p.hash_algorithm = r.read_u8();
+      p.flags = r.read_u8();
+      p.iterations = r.read_u16();
+      p.salt = r.read_bytes(r.read_u8());
+      return finish(p);
+    }
+    case RRType::kCDS: {
+      auto inner = rdata_from_wire(RRType::kDS, wire);
+      if (!inner) return std::nullopt;
+      return Rdata(CdsRdata{std::get<DsRdata>(*inner)});
+    }
+    case RRType::kCDNSKEY: {
+      auto inner = rdata_from_wire(RRType::kDNSKEY, wire);
+      if (!inner) return std::nullopt;
+      return Rdata(CdnskeyRdata{std::get<DnskeyRdata>(*inner)});
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace dfx::dns

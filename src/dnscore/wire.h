@@ -1,0 +1,47 @@
+// Wire-format reader/writer and RDATA wire decoding.
+//
+// rdata_to_wire (canonical encode) lives with the Rdata types; this header
+// adds the inverse direction plus a bounds-checked cursor both the message
+// codec and tests use.
+#pragma once
+
+#include <optional>
+
+#include "dnscore/name.h"
+#include "dnscore/rdata.h"
+#include "dnscore/rr.h"
+#include "util/bytes.h"
+
+namespace dfx::dns {
+
+/// Bounds-checked read cursor over a wire buffer.
+class WireReader {
+ public:
+  explicit WireReader(ByteView data) : data_(data) {}
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool ok() const { return ok_; }
+
+  std::uint8_t read_u8();
+  std::uint16_t read_u16();
+  std::uint32_t read_u32();
+  Bytes read_bytes(std::size_t n);
+
+  /// Read a (possibly compressed) domain name; compression pointers may
+  /// reference earlier message offsets only.
+  std::optional<Name> read_name();
+
+  void seek(std::size_t pos);
+
+ private:
+  ByteView data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Decode the RDATA of `type` from its wire form. Returns nullopt for
+/// malformed data or unknown types.
+std::optional<Rdata> rdata_from_wire(RRType type, ByteView wire);
+
+}  // namespace dfx::dns

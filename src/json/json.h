@@ -1,0 +1,90 @@
+// Minimal JSON value model, parser and serializer.
+//
+// DNSViz snapshots are JSON documents; the dataset, analyzer and examples
+// exchange snapshots in a compatible schema. This is a strict parser for the
+// JSON subset those documents use (no comments, UTF-8 pass-through).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace dfx::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+// std::map keeps key order deterministic, which keeps serialized snapshots
+// byte-stable across runs.
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(double d) : data_(d) {}
+  Value(std::int64_t i) : data_(i) {}
+  Value(int i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(std::uint64_t i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<Array>(data_); }
+  bool is_object() const { return std::holds_alternative<Object>(data_); }
+
+  bool as_bool() const { return std::get<bool>(data_); }
+  std::int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  const Array& as_array() const { return std::get<Array>(data_); }
+  Array& as_array() { return std::get<Array>(data_); }
+  const Object& as_object() const { return std::get<Object>(data_); }
+  Object& as_object() { return std::get<Object>(data_); }
+
+  /// Object field lookup; returns nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+
+  /// Convenience accessors with defaults for optional snapshot fields.
+  std::int64_t get_int(std::string_view key, std::int64_t dflt) const;
+  double get_double(std::string_view key, double dflt) const;
+  std::string get_string(std::string_view key, std::string dflt) const;
+  bool get_bool(std::string_view key, bool dflt) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      data_;
+};
+
+struct ParseError {
+  std::size_t offset = 0;
+  std::string message;
+};
+
+/// Parse a complete JSON document; trailing garbage is an error.
+std::variant<Value, ParseError> parse(std::string_view text);
+
+/// Parse, throwing std::runtime_error on failure (for tests/tools).
+Value parse_or_throw(std::string_view text);
+
+/// Serialize compactly (no whitespace).
+std::string serialize(const Value& v);
+
+/// Serialize with 2-space indentation.
+std::string serialize_pretty(const Value& v);
+
+}  // namespace dfx::json

@@ -1,0 +1,409 @@
+#include "measure/measure.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dfx::measure {
+namespace {
+
+using dataset::DomainTimeline;
+using dataset::SnapshotRow;
+
+bool is_dnssec_state(SnapshotStatus s) {
+  return s == SnapshotStatus::kSignedValid ||
+         s == SnapshotStatus::kSignedValidMisconfig ||
+         s == SnapshotStatus::kSignedBogus || s == SnapshotStatus::kInsecure;
+}
+
+bool is_valid_state(SnapshotStatus s) {
+  return s == SnapshotStatus::kSignedValid ||
+         s == SnapshotStatus::kSignedValidMisconfig;
+}
+
+bool is_signed_state(SnapshotStatus s) {
+  return is_valid_state(s) || s == SnapshotStatus::kSignedBogus;
+}
+
+}  // namespace
+
+double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2]
+                    : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double idx = p * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Table1 compute_table1(const Corpus& corpus) {
+  Table1 out;
+  for (const auto& d : corpus.domains) {
+    LevelStats* stats = nullptr;
+    switch (d.level) {
+      case DomainLevel::kRoot: stats = &out.root; break;
+      case DomainLevel::kTld: stats = &out.tld; break;
+      case DomainLevel::kSld: stats = &out.sld; break;
+    }
+    stats->snapshots += static_cast<std::int64_t>(d.snapshots.size());
+    stats->domains += 1;
+    if (d.multi_snapshot()) {
+      stats->multi_snapshot += 1;
+      if (d.is_changing()) {
+        stats->changing += 1;
+      } else {
+        stats->stable += 1;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Fig1Bin> compute_fig1(const Corpus& corpus) {
+  constexpr int kBins = 100;
+  const std::uint64_t bin_size =
+      std::max<std::uint64_t>(1, corpus.universe_size / kBins);
+  std::vector<std::int64_t> present(kBins, 0);
+  std::vector<std::int64_t> present_signed(kBins, 0);
+  std::vector<std::int64_t> misconfigured(kBins, 0);
+  for (const auto& d : corpus.domains) {
+    if (!d.tranco_rank) continue;
+    const auto b = static_cast<int>(
+        std::min<std::uint64_t>((*d.tranco_rank - 1) / bin_size, kBins - 1));
+    present[static_cast<std::size_t>(b)] += 1;
+    if (d.ever_signed) {
+      present_signed[static_cast<std::size_t>(b)] += 1;
+      const bool ever_misconfigured = std::any_of(
+          d.snapshots.begin(), d.snapshots.end(), [](const SnapshotRow& s) {
+            return !s.errors.empty() ||
+                   s.status == SnapshotStatus::kSignedBogus;
+          });
+      if (ever_misconfigured) misconfigured[static_cast<std::size_t>(b)] += 1;
+    }
+  }
+  std::vector<Fig1Bin> out;
+  out.reserve(kBins);
+  for (int b = 0; b < kBins; ++b) {
+    Fig1Bin bin;
+    bin.bin = b;
+    bin.present_share = static_cast<double>(present[static_cast<std::size_t>(
+                            b)]) /
+                        static_cast<double>(bin_size);
+    const auto universe_signed =
+        b < static_cast<int>(corpus.universe_signed_per_bin.size())
+            ? corpus.universe_signed_per_bin[static_cast<std::size_t>(b)]
+            : 0;
+    bin.signed_share =
+        universe_signed == 0
+            ? 0.0
+            : static_cast<double>(
+                  present_signed[static_cast<std::size_t>(b)]) /
+                  static_cast<double>(universe_signed);
+    bin.misconfigured_share =
+        present_signed[static_cast<std::size_t>(b)] == 0
+            ? 0.0
+            : static_cast<double>(misconfigured[static_cast<std::size_t>(b)]) /
+                  static_cast<double>(
+                      present_signed[static_cast<std::size_t>(b)]);
+    out.push_back(bin);
+  }
+  return out;
+}
+
+Fig2Flows compute_fig2(const Corpus& corpus) {
+  Fig2Flows out;
+  for (const auto& d : corpus.domains) {
+    if (d.level != DomainLevel::kSld || !d.is_changing()) continue;
+    const SnapshotStatus first = d.snapshots.front().status;
+    const SnapshotStatus last = d.snapshots.back().status;
+    if (!is_dnssec_state(first) || !is_dnssec_state(last)) continue;
+    out.counts[first][last] += 1;
+    if (first == SnapshotStatus::kSignedBogus) {
+      out.sb_first += 1;
+      if (is_valid_state(last)) out.sb_recovered += 1;
+    } else if (first == SnapshotStatus::kInsecure) {
+      out.is_first += 1;
+      if (is_signed_state(last)) out.is_signed_later += 1;
+    } else if (is_valid_state(first)) {
+      out.valid_first += 1;
+      if (last == SnapshotStatus::kInsecure) out.valid_to_is += 1;
+      if (last == SnapshotStatus::kSignedBogus) out.valid_to_sb += 1;
+    }
+  }
+  return out;
+}
+
+Table2 compute_table2(const Corpus& corpus) {
+  Table2 out;
+  for (const auto& d : corpus.domains) {
+    if (d.level != DomainLevel::kSld) continue;
+    for (std::size_t i = 1; i < d.snapshots.size(); ++i) {
+      const auto& prev = d.snapshots[i - 1];
+      const auto& cur = d.snapshots[i];
+      if (!is_valid_state(prev.status)) continue;
+      const bool to_sb = cur.status == SnapshotStatus::kSignedBogus;
+      const bool to_is = cur.status == SnapshotStatus::kInsecure;
+      if (!to_sb && !to_is) continue;
+      const bool ns_change = cur.ns_id != prev.ns_id;
+      const bool alg_change = cur.algorithm_id != prev.algorithm_id;
+      const bool key_change = cur.key_id != prev.key_id && !alg_change;
+      if (to_sb) {
+        out.sv_sb_total += 1;
+        if (ns_change) out.sv_sb_ns += 1;
+        if (key_change) out.sv_sb_key += 1;
+        if (alg_change) out.sv_sb_algo += 1;
+      } else {
+        out.sv_is_total += 1;
+        if (ns_change) out.sv_is_ns += 1;
+        if (key_change) out.sv_is_key += 1;
+        if (alg_change) out.sv_is_algo += 1;
+      }
+    }
+  }
+  return out;
+}
+
+Table3 compute_table3(const Corpus& corpus) {
+  Table3 out;
+  std::map<ErrorCode, std::int64_t> snapshot_counts;
+  std::map<ErrorCode, std::int64_t> domain_counts;
+  for (const auto& d : corpus.domains) {
+    if (d.level != DomainLevel::kSld) continue;
+    out.total_domains += 1;
+    std::set<ErrorCode> domain_codes;
+    bool domain_any = false;
+    for (const auto& s : d.snapshots) {
+      out.total_snapshots += 1;
+      if (!s.errors.empty()) out.any_error_snapshots += 1;
+      for (const auto code : s.errors) {
+        snapshot_counts[code] += 1;
+        domain_codes.insert(code);
+        domain_any = true;
+      }
+    }
+    for (const auto code : domain_codes) domain_counts[code] += 1;
+    if (domain_any) out.any_error_domains += 1;
+  }
+  for (const auto code : analyzer::table3_codes()) {
+    Table3Row row;
+    row.code = code;
+    row.snapshots = snapshot_counts[code];
+    row.domains = domain_counts[code];
+    out.rows.push_back(row);
+  }
+  return out;
+}
+
+std::vector<Fig3Category> compute_fig3(const Table3& table3) {
+  std::map<analyzer::ErrorCategory, std::int64_t> by_category;
+  for (const auto& row : table3.rows) {
+    by_category[analyzer::category_of(row.code)] += row.snapshots;
+  }
+  std::vector<Fig3Category> out;
+  for (const auto& [category, count] : by_category) {
+    Fig3Category c;
+    c.category = category;
+    c.snapshot_share = table3.total_snapshots == 0
+                           ? 0.0
+                           : static_cast<double>(count) /
+                                 static_cast<double>(table3.total_snapshots);
+    out.push_back(c);
+  }
+  return out;
+}
+
+Table4 compute_table4(const Corpus& corpus) {
+  std::map<SnapshotStatus,
+           std::map<SnapshotStatus, std::vector<double>>>
+      durations;
+  for (const auto& d : corpus.domains) {
+    if (d.level != DomainLevel::kSld || !d.is_changing()) continue;
+    for (std::size_t i = 1; i < d.snapshots.size(); ++i) {
+      const auto& prev = d.snapshots[i - 1];
+      const auto& cur = d.snapshots[i];
+      if (prev.status == cur.status) continue;
+      if (!is_dnssec_state(prev.status) || !is_dnssec_state(cur.status)) {
+        continue;
+      }
+      durations[prev.status][cur.status].push_back(
+          static_cast<double>(cur.time - prev.time) / kHour);
+    }
+  }
+  Table4 out;
+  for (auto& [from, row] : durations) {
+    for (auto& [to, values] : row) {
+      Table4Cell cell;
+      cell.count = static_cast<std::int64_t>(values.size());
+      cell.median_hours = median(values);
+      out[from][to] = cell;
+    }
+  }
+  return out;
+}
+
+RoundTripStats compute_roundtrip(const Corpus& corpus) {
+  RoundTripStats out;
+  std::vector<double> down;
+  std::vector<double> up;
+  for (const auto& d : corpus.domains) {
+    if (d.level != DomainLevel::kSld) continue;
+    // Find sv→sb followed by sb→sv/svm.
+    std::optional<std::size_t> down_at;
+    for (std::size_t i = 1; i < d.snapshots.size(); ++i) {
+      const auto& prev = d.snapshots[i - 1];
+      const auto& cur = d.snapshots[i];
+      if (is_valid_state(prev.status) &&
+          cur.status == SnapshotStatus::kSignedBogus && !down_at) {
+        down_at = i;
+        down.push_back(static_cast<double>(cur.time - prev.time) / kHour);
+      } else if (down_at && cur.status != SnapshotStatus::kSignedBogus &&
+                 is_valid_state(cur.status)) {
+        up.push_back(
+            static_cast<double>(cur.time - d.snapshots[i - 1].time) / kHour);
+        out.domains += 1;
+        break;
+      }
+    }
+  }
+  out.down_median_hours = median(down);
+  out.up_median_hours = median(up);
+  return out;
+}
+
+std::vector<Fig4Row> compute_fig4(const Corpus& corpus) {
+  // t1: first snapshot where the error is present (critical when the
+  // snapshot is sb); t2: first subsequent snapshot that is sv and free of
+  // the error.
+  std::map<ErrorCode, std::vector<double>> durations;
+  for (const auto& d : corpus.domains) {
+    if (d.level != DomainLevel::kSld) continue;
+    std::map<ErrorCode, UnixTime> first_seen;
+    for (const auto& s : d.snapshots) {
+      for (const auto code : s.errors) {
+        first_seen.try_emplace(code, s.time);
+      }
+      if (s.status == SnapshotStatus::kSignedValid) {
+        for (auto it = first_seen.begin(); it != first_seen.end();) {
+          if (!s.errors.contains(it->first)) {
+            durations[it->first].push_back(
+                static_cast<double>(s.time - it->second) / kHour);
+            it = first_seen.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+  }
+  std::vector<Fig4Row> out;
+  for (const auto& cal : dataset::fig4_calibration()) {
+    Fig4Row row;
+    row.code = cal.code;
+    row.marker = analyzer::paper_marker(cal.code).value_or(0);
+    row.critical = analyzer::is_critical(cal.code);
+    auto it = durations.find(cal.code);
+    if (it != durations.end()) {
+      row.fixes = static_cast<std::int64_t>(it->second.size());
+      row.median_hours = median(it->second);
+      row.p80_hours = percentile(it->second, 0.8);
+    }
+    out.push_back(row);
+  }
+  return out;
+}
+
+DeployTime compute_deploy_time(const Corpus& corpus) {
+  DeployTime out;
+  std::vector<double> durations;
+  for (const auto& d : corpus.domains) {
+    if (d.level != DomainLevel::kSld) continue;
+    std::optional<UnixTime> insecure_at;
+    for (const auto& s : d.snapshots) {
+      if (s.status == SnapshotStatus::kInsecure && !insecure_at) {
+        insecure_at = s.time;
+      } else if (insecure_at && is_signed_state(s.status)) {
+        durations.push_back(static_cast<double>(s.time - *insecure_at) /
+                            kHour);
+        break;
+      }
+    }
+  }
+  out.domains = static_cast<std::int64_t>(durations.size());
+  out.median_hours = median(durations);
+  return out;
+}
+
+Fig5 compute_fig5(const Corpus& corpus) {
+  std::vector<double> medians_days;
+  for (const auto& d : corpus.domains) {
+    if (d.level != DomainLevel::kSld || d.snapshots.size() < 2) continue;
+    std::vector<double> gaps;
+    for (std::size_t i = 1; i < d.snapshots.size(); ++i) {
+      gaps.push_back(static_cast<double>(d.snapshots[i].time -
+                                         d.snapshots[i - 1].time) /
+                     kDay);
+    }
+    medians_days.push_back(median(gaps));
+  }
+  Fig5 out;
+  std::sort(medians_days.begin(), medians_days.end());
+  const double n = static_cast<double>(medians_days.size());
+  for (double day : {0.25, 0.5, 1.0, 2.0, 4.0, 7.0, 14.0, 30.0, 90.0,
+                     365.0}) {
+    const auto it = std::upper_bound(medians_days.begin(),
+                                     medians_days.end(), day);
+    out.cdf_days.push_back(day);
+    out.cdf_share.push_back(
+        n == 0 ? 0.0
+               : static_cast<double>(it - medians_days.begin()) / n);
+  }
+  const auto one_day = std::upper_bound(medians_days.begin(),
+                                        medians_days.end(), 1.0);
+  out.under_one_day =
+      n == 0 ? 0.0
+             : static_cast<double>(one_day - medians_days.begin()) / n;
+  return out;
+}
+
+std::vector<Table5Row> compute_table5(const Corpus& corpus) {
+  std::map<SnapshotStatus, Table5Row> rows;
+  for (const auto status :
+       {SnapshotStatus::kSignedBogus, SnapshotStatus::kSignedValidMisconfig,
+        SnapshotStatus::kInsecure}) {
+    rows[status].status = status;
+  }
+  for (const auto& d : corpus.domains) {
+    // Resolution behaviour is only observable where something changed:
+    // Table 5's totals are consistent with the CD subset, not all 319K
+    // domains (e.g. svm-ever 9,052 while NZIC alone touches 62,870).
+    if (d.level != DomainLevel::kSld || !d.is_changing()) continue;
+    const SnapshotStatus last = d.snapshots.back().status;
+    for (auto& [status, row] : rows) {
+      const bool ever = std::any_of(
+          d.snapshots.begin(), d.snapshots.end(),
+          [&](const SnapshotRow& s) { return s.status == status; });
+      if (!ever) continue;
+      row.domains_with_state += 1;
+      // "Not resolved" — the domain *remained in that status* per its
+      // latest snapshot (§3.6: 18% of once-sb domains stayed sb; 36.5% of
+      // once-insecure domains never re-enabled signing).
+      if (last == status) row.not_resolved += 1;
+    }
+  }
+  std::vector<Table5Row> out;
+  for (const auto& [status, row] : rows) out.push_back(row);
+  std::sort(out.begin(), out.end(), [](const Table5Row& a, const Table5Row& b) {
+    return static_cast<int>(a.status) < static_cast<int>(b.status);
+  });
+  return out;
+}
+
+}  // namespace dfx::measure

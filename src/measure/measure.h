@@ -1,0 +1,175 @@
+// Measurement analyses: compute every table and figure of the paper's §3
+// from a corpus. Each function returns a typed result; report.h renders
+// them side-by-side with the paper's numbers.
+#pragma once
+
+#include <array>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dataset/calibration.h"
+#include "dataset/corpus.h"
+
+namespace dfx::measure {
+
+using analyzer::ErrorCode;
+using analyzer::SnapshotStatus;
+using dataset::Corpus;
+using dataset::DomainLevel;
+
+// ---- Table 1: dataset overview --------------------------------------------
+
+struct LevelStats {
+  std::int64_t snapshots = 0;
+  std::int64_t domains = 0;
+  std::int64_t multi_snapshot = 0;
+  std::int64_t changing = 0;  // CD
+  std::int64_t stable = 0;    // SD
+};
+
+struct Table1 {
+  LevelStats root;
+  LevelStats tld;
+  LevelStats sld;
+};
+
+Table1 compute_table1(const Corpus& corpus);
+
+// ---- Figure 1: Tranco-bin coverage ----------------------------------------
+
+struct Fig1Bin {
+  int bin = 0;                    // 0..99 (bins of universe/100 ranks)
+  double present_share = 0.0;     // dataset domains / universe bin size
+  double signed_share = 0.0;      // dataset signed / universe signed
+  double misconfigured_share = 0.0;  // misconfigured / present signed
+};
+
+std::vector<Fig1Bin> compute_fig1(const Corpus& corpus);
+
+// ---- Figure 2: CD first→last flows ----------------------------------------
+
+struct Fig2Flows {
+  /// counts[first][last] over SLD+ CD domains.
+  std::map<SnapshotStatus, std::map<SnapshotStatus, std::int64_t>> counts;
+  std::int64_t sb_first = 0;
+  std::int64_t sb_recovered = 0;     // ended sv or svm
+  std::int64_t is_first = 0;
+  std::int64_t is_signed_later = 0;  // ended signed
+  std::int64_t valid_first = 0;
+  std::int64_t valid_to_is = 0;
+  std::int64_t valid_to_sb = 0;
+};
+
+Fig2Flows compute_fig2(const Corpus& corpus);
+
+// ---- Table 2: causes of negative transitions -------------------------------
+
+struct Table2 {
+  std::int64_t sv_sb_total = 0;
+  std::int64_t sv_sb_ns = 0;
+  std::int64_t sv_sb_key = 0;
+  std::int64_t sv_sb_algo = 0;
+  std::int64_t sv_is_total = 0;
+  std::int64_t sv_is_ns = 0;
+  std::int64_t sv_is_key = 0;
+  std::int64_t sv_is_algo = 0;
+};
+
+Table2 compute_table2(const Corpus& corpus);
+
+// ---- Table 3 / Figure 3: error prevalence ----------------------------------
+
+struct Table3Row {
+  ErrorCode code;
+  std::int64_t snapshots = 0;
+  std::int64_t domains = 0;
+};
+
+struct Table3 {
+  std::vector<Table3Row> rows;  // in Table-3 order
+  std::int64_t total_snapshots = 0;  // SLD+ snapshots
+  std::int64_t total_domains = 0;
+  std::int64_t any_error_snapshots = 0;
+  std::int64_t any_error_domains = 0;
+};
+
+Table3 compute_table3(const Corpus& corpus);
+
+struct Fig3Category {
+  analyzer::ErrorCategory category;
+  double snapshot_share = 0.0;
+};
+
+std::vector<Fig3Category> compute_fig3(const Table3& table3);
+
+// ---- Table 4: transition adjacency matrix ----------------------------------
+
+struct Table4Cell {
+  std::int64_t count = 0;
+  double median_hours = 0.0;
+};
+
+/// Indexed by the four DNSSEC states (sv, svm, sb, is).
+using Table4 = std::map<SnapshotStatus, std::map<SnapshotStatus, Table4Cell>>;
+
+Table4 compute_table4(const Corpus& corpus);
+
+/// §3.6's paired statistic: domains that went sv→sb→sv, with medians of
+/// both leg durations.
+struct RoundTripStats {
+  std::int64_t domains = 0;
+  double down_median_hours = 0.0;
+  double up_median_hours = 0.0;
+};
+
+RoundTripStats compute_roundtrip(const Corpus& corpus);
+
+// ---- Figure 4: fix times per marked error -----------------------------------
+
+struct Fig4Row {
+  ErrorCode code;
+  int marker = 0;  // ①..⑨
+  bool critical = false;
+  std::int64_t fixes = 0;
+  double median_hours = 0.0;
+  double p80_hours = 0.0;
+};
+
+std::vector<Fig4Row> compute_fig4(const Corpus& corpus);
+
+/// The black box in Figure 4: time from first insecure snapshot to first
+/// signed snapshot (DNSSEC deployment).
+struct DeployTime {
+  std::int64_t domains = 0;
+  double median_hours = 0.0;
+};
+DeployTime compute_deploy_time(const Corpus& corpus);
+
+// ---- Figure 5: inter-snapshot gaps ------------------------------------------
+
+struct Fig5 {
+  /// CDF of the per-domain median gap, evaluated at day boundaries.
+  std::vector<double> cdf_days;        // x values (days)
+  std::vector<double> cdf_share;      // P(median gap <= x)
+  double under_one_day = 0.0;
+};
+
+Fig5 compute_fig5(const Corpus& corpus);
+
+// ---- Table 5: never-resolved fractions --------------------------------------
+
+struct Table5Row {
+  SnapshotStatus status;
+  std::int64_t domains_with_state = 0;
+  std::int64_t not_resolved = 0;
+};
+
+std::vector<Table5Row> compute_table5(const Corpus& corpus);
+
+// ---- helpers ----------------------------------------------------------------
+
+double median(std::vector<double> values);
+double percentile(std::vector<double> values, double p);
+
+}  // namespace dfx::measure

@@ -1,0 +1,352 @@
+#include "measure/report.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace dfx::measure {
+namespace {
+
+std::string line(char c, int n) { return std::string(static_cast<std::size_t>(n), c) + "\n"; }
+
+std::string pct(double v) { return fmt_fixed(v * 100.0, 2) + "%"; }
+
+std::string fmt_row(const char* label, std::int64_t measured,
+                    std::int64_t paper, double scale) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "  %-28s %12s   paper %12s (x%.2f scale)\n",
+                label, fmt_thousands(measured).c_str(),
+                fmt_thousands(paper).c_str(), scale);
+  return buf;
+}
+
+std::string status_label(SnapshotStatus s) {
+  return analyzer::status_name(s);
+}
+
+}  // namespace
+
+std::string render_table1(const Table1& t, double scale) {
+  const auto& cal = dataset::default_calibration().table1;
+  std::string out = "Table 1 — Overview of the (synthetic) DNSViz dataset\n";
+  out += line('-', 72);
+  out += fmt_row("Root snapshots", t.root.snapshots,
+                 static_cast<std::int64_t>(cal.root_snapshots * scale), scale);
+  out += fmt_row("TLD snapshots", t.tld.snapshots,
+                 static_cast<std::int64_t>(cal.tld_snapshots * scale), scale);
+  out += fmt_row("SLD+ snapshots", t.sld.snapshots,
+                 static_cast<std::int64_t>(cal.sld_snapshots * scale), scale);
+  out += fmt_row("TLD domains", t.tld.domains,
+                 static_cast<std::int64_t>(cal.tld_domains * scale), scale);
+  out += fmt_row("SLD+ domains", t.sld.domains,
+                 static_cast<std::int64_t>(cal.sld_domains * scale), scale);
+  out += fmt_row("SLD+ w/ >= 2 snapshots", t.sld.multi_snapshot,
+                 static_cast<std::int64_t>(cal.sld_multi_snapshot * scale),
+                 scale);
+  const double cd_share =
+      t.sld.multi_snapshot == 0
+          ? 0.0
+          : static_cast<double>(t.sld.changing) /
+                static_cast<double>(t.sld.multi_snapshot);
+  out += "  SLD+ CD share                " + pct(cd_share) + "   paper " +
+         pct(cal.sld_cd_share) + "\n";
+  const double tld_cd_share =
+      t.tld.multi_snapshot == 0
+          ? 0.0
+          : static_cast<double>(t.tld.changing) /
+                static_cast<double>(t.tld.multi_snapshot);
+  out += "  TLD CD share                 " + pct(tld_cd_share) + "   paper " +
+         pct(cal.tld_cd_share) + "\n";
+  return out;
+}
+
+std::string render_fig1(const std::vector<Fig1Bin>& bins) {
+  std::string out =
+      "Figure 1 — Tranco-bin coverage (per 10k-rank bin; measured vs model "
+      "target)\n";
+  out += line('-', 78);
+  out += "  bin   present   (target)   signed    (target)   misconfig "
+         "(target)\n";
+  for (const auto& b : bins) {
+    if (b.bin % 10 != 0 && b.bin != 99) continue;  // print every 10th bin
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "  %3d   %6.2f%%   (%5.2f%%)   %6.2f%%   (%5.2f%%)   "
+                  "%6.2f%%   (%5.2f%%)\n",
+                  b.bin, b.present_share * 100,
+                  dataset::fig1_present_share(b.bin) * 100,
+                  b.signed_share * 100,
+                  dataset::fig1_signed_share(b.bin) * 100,
+                  b.misconfigured_share * 100,
+                  dataset::fig1_misconfigured_share(b.bin) * 100);
+    out += buf;
+  }
+  return out;
+}
+
+std::string render_fig2(const Fig2Flows& flows) {
+  const auto& cal = dataset::default_calibration().fig2;
+  std::string out =
+      "Figure 2 — CD domains: first vs last snapshot state flows\n";
+  out += line('-', 72);
+  out += "  first\\last        sv        svm       sb        is\n";
+  for (const auto from :
+       {SnapshotStatus::kSignedValid, SnapshotStatus::kSignedValidMisconfig,
+        SnapshotStatus::kSignedBogus, SnapshotStatus::kInsecure}) {
+    char buf[160];
+    const auto row = flows.counts.find(from);
+    std::int64_t cells[4] = {0, 0, 0, 0};
+    if (row != flows.counts.end()) {
+      int i = 0;
+      for (const auto to :
+           {SnapshotStatus::kSignedValid,
+            SnapshotStatus::kSignedValidMisconfig,
+            SnapshotStatus::kSignedBogus, SnapshotStatus::kInsecure}) {
+        const auto cell = row->second.find(to);
+        cells[i++] = cell == row->second.end() ? 0 : cell->second;
+      }
+    }
+    std::snprintf(buf, sizeof buf, "  %-10s %9s %9s %9s %9s\n",
+                  status_label(from).c_str(),
+                  fmt_thousands(cells[0]).c_str(),
+                  fmt_thousands(cells[1]).c_str(),
+                  fmt_thousands(cells[2]).c_str(),
+                  fmt_thousands(cells[3]).c_str());
+    out += buf;
+  }
+  const double recovered =
+      flows.sb_first == 0 ? 0.0
+                          : static_cast<double>(flows.sb_recovered) /
+                                static_cast<double>(flows.sb_first);
+  const double newly_signed =
+      flows.is_first == 0 ? 0.0
+                          : static_cast<double>(flows.is_signed_later) /
+                                static_cast<double>(flows.is_first);
+  const double to_is =
+      flows.valid_first == 0 ? 0.0
+                             : static_cast<double>(flows.valid_to_is) /
+                                   static_cast<double>(flows.valid_first);
+  const double to_sb =
+      flows.valid_first == 0 ? 0.0
+                             : static_cast<double>(flows.valid_to_sb) /
+                                   static_cast<double>(flows.valid_first);
+  out += "  sb -> valid        " + pct(recovered) + "   paper " +
+         pct(cal.sb_to_valid) + "\n";
+  out += "  is -> signed       " + pct(newly_signed) + "   paper " +
+         pct(cal.is_to_signed) + "\n";
+  out += "  valid -> is        " + pct(to_is) + "   paper " +
+         pct(cal.valid_to_is) + "\n";
+  out += "  valid -> sb        " + pct(to_sb) + "   paper " +
+         pct(cal.valid_to_sb) + "\n";
+  return out;
+}
+
+std::string render_table2(const Table2& t) {
+  const auto& cal = dataset::default_calibration().table2;
+  std::string out = "Table 2 — Causes of negative transitions\n";
+  out += line('-', 72);
+  const auto row = [&](const char* label, std::int64_t n, std::int64_t total,
+                       double paper) {
+    const double share =
+        total == 0 ? 0.0
+                   : static_cast<double>(n) / static_cast<double>(total);
+    return std::string("  ") + label + "  " + fmt_thousands(n) + " (" +
+           pct(share) + ")   paper " + pct(paper) + "\n";
+  };
+  out += "  sv->sb total: " + fmt_thousands(t.sv_sb_total) + "\n";
+  out += row("  NS update     ", t.sv_sb_ns, t.sv_sb_total,
+             cal.sv_sb_ns_update);
+  out += row("  Key rollover  ", t.sv_sb_key, t.sv_sb_total,
+             cal.sv_sb_key_rollover);
+  out += row("  Algo rollover ", t.sv_sb_algo, t.sv_sb_total,
+             cal.sv_sb_algo_rollover);
+  out += "  sv->is total: " + fmt_thousands(t.sv_is_total) + "\n";
+  out += row("  NS update     ", t.sv_is_ns, t.sv_is_total,
+             cal.sv_is_ns_update);
+  out += row("  Key rollover  ", t.sv_is_key, t.sv_is_total,
+             cal.sv_is_key_rollover);
+  out += row("  Algo rollover ", t.sv_is_algo, t.sv_is_total,
+             cal.sv_is_algo_rollover);
+  return out;
+}
+
+std::string render_table3(const Table3& t) {
+  std::string out = "Table 3 — Error prevalence (SLD+)\n";
+  out += line('-', 96);
+  out += "  subcategory                            snapshots (share | paper) "
+         "    domains (share | paper)\n";
+  std::map<ErrorCode, dataset::ErrorPrevalenceRow> cal;
+  for (const auto& row : dataset::table3_calibration()) {
+    cal[row.code] = row;
+  }
+  for (const auto& row : t.rows) {
+    const double snap_share =
+        t.total_snapshots == 0
+            ? 0.0
+            : static_cast<double>(row.snapshots) /
+                  static_cast<double>(t.total_snapshots);
+    const double dom_share =
+        t.total_domains == 0
+            ? 0.0
+            : static_cast<double>(row.domains) /
+                  static_cast<double>(t.total_domains);
+    char buf[200];
+    std::snprintf(buf, sizeof buf,
+                  "  %-38s %9s (%6.2f%% | %6.2f%%)   %9s (%6.2f%% | "
+                  "%6.2f%%)\n",
+                  analyzer::error_code_name(row.code).c_str(),
+                  fmt_thousands(row.snapshots).c_str(), snap_share * 100,
+                  cal[row.code].snapshot_share * 100,
+                  fmt_thousands(row.domains).c_str(), dom_share * 100,
+                  cal[row.code].domain_share * 100);
+    out += buf;
+  }
+  const double any_snap =
+      t.total_snapshots == 0
+          ? 0.0
+          : static_cast<double>(t.any_error_snapshots) /
+                static_cast<double>(t.total_snapshots);
+  const double any_dom = t.total_domains == 0
+                             ? 0.0
+                             : static_cast<double>(t.any_error_domains) /
+                                   static_cast<double>(t.total_domains);
+  out += "  w/ at least one error: snapshots " + pct(any_snap) + " (paper " +
+         pct(dataset::kTable3AnyErrorSnapshotShare) + "), domains " +
+         pct(any_dom) + " (paper " +
+         pct(dataset::kTable3AnyErrorDomainShare) + ")\n";
+  return out;
+}
+
+std::string render_fig3(const std::vector<Fig3Category>& categories) {
+  std::string out = "Figure 3 — Error-category share of SLD+ snapshots\n";
+  out += line('-', 60);
+  for (const auto& c : categories) {
+    char buf[120];
+    std::snprintf(buf, sizeof buf, "  %-14s %7.2f%%\n",
+                  analyzer::error_category_name(c.category).c_str(),
+                  c.snapshot_share * 100);
+    out += buf;
+  }
+  return out;
+}
+
+std::string render_table4(const Table4& t, const RoundTripStats& roundtrip) {
+  std::string out =
+      "Table 4 — State-transition adjacency matrix (count / median hours)\n";
+  out += line('-', 84);
+  out += "  from\\to          sv              svm             sb              "
+         "is\n";
+  std::map<std::pair<SnapshotStatus, SnapshotStatus>,
+           dataset::TransitionCell>
+      cal;
+  for (const auto& cell : dataset::table4_calibration()) {
+    cal[{cell.from, cell.to}] = cell;
+  }
+  for (const auto from :
+       {SnapshotStatus::kSignedValid, SnapshotStatus::kSignedValidMisconfig,
+        SnapshotStatus::kSignedBogus, SnapshotStatus::kInsecure}) {
+    std::string row = "  " + status_label(from) + std::string(6, ' ');
+    row.resize(12, ' ');
+    for (const auto to :
+         {SnapshotStatus::kSignedValid,
+          SnapshotStatus::kSignedValidMisconfig,
+          SnapshotStatus::kSignedBogus, SnapshotStatus::kInsecure}) {
+      char buf[64];
+      if (from == to) {
+        std::snprintf(buf, sizeof buf, "%-16s", "   -");
+      } else {
+        Table4Cell cell;
+        const auto fit = t.find(from);
+        if (fit != t.end()) {
+          const auto tit = fit->second.find(to);
+          if (tit != fit->second.end()) cell = tit->second;
+        }
+        std::snprintf(buf, sizeof buf, "%6s/%-8s ",
+                      fmt_thousands(cell.count).c_str(),
+                      (fmt_fixed(cell.median_hours, 1) + "h").c_str());
+      }
+      row += buf;
+    }
+    out += row + "\n";
+  }
+  out += "  (paper medians: sb->sv 0.7h, sv->sb 133.7h; see calibration)\n";
+  out += "  round-trip sv->sb->sv domains: " +
+         fmt_thousands(roundtrip.domains) + ", down median " +
+         fmt_fixed(roundtrip.down_median_hours, 1) + "h, up median " +
+         fmt_fixed(roundtrip.up_median_hours, 1) +
+         "h (paper: 1,856 / 238.6h / 0.6h)\n";
+  return out;
+}
+
+std::string render_fig4(const std::vector<Fig4Row>& rows,
+                        const DeployTime& deploy) {
+  std::string out =
+      "Figure 4 — Resolution time per marked error (median / p80 hours)\n";
+  out += line('-', 88);
+  std::map<ErrorCode, dataset::FixTimeCalibration> cal;
+  for (const auto& c : dataset::fig4_calibration()) cal[c.code] = c;
+  for (const auto& row : rows) {
+    char buf[200];
+    std::snprintf(buf, sizeof buf,
+                  "  %d %-34s %-12s fixes=%-7s median %8.1fh (paper %8.1fh) "
+                  " p80 %8.1fh (paper %8.1fh)\n",
+                  row.marker, analyzer::error_code_name(row.code).c_str(),
+                  row.critical ? "[critical]" : "[advisory]",
+                  fmt_thousands(row.fixes).c_str(), row.median_hours,
+                  cal[row.code].median_hours, row.p80_hours,
+                  cal[row.code].p80_hours);
+    out += buf;
+  }
+  out += "  DNSSEC deployment (is -> signed): " +
+         fmt_thousands(deploy.domains) + " domains, median " +
+         fmt_fixed(deploy.median_hours, 1) + "h (paper: > 24h)\n";
+  return out;
+}
+
+std::string render_fig5(const Fig5& f) {
+  std::string out =
+      "Figure 5 — CDF of per-domain median inter-snapshot gap\n";
+  out += line('-', 56);
+  for (std::size_t i = 0; i < f.cdf_days.size(); ++i) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "  <= %6.2f days : %6.2f%%\n",
+                  f.cdf_days[i], f.cdf_share[i] * 100);
+    out += buf;
+  }
+  out += "  share under one day: " + pct(f.under_one_day) + " (paper " +
+         pct(dataset::kFig5MedianGapUnderOneDay) + ")\n";
+  return out;
+}
+
+std::string render_table5(const std::vector<Table5Row>& rows) {
+  const auto& cal = dataset::default_calibration().table5;
+  std::string out = "Table 5 — Domains that never resolved their state\n";
+  out += line('-', 72);
+  for (const auto& row : rows) {
+    double paper_share = 0.0;
+    if (row.status == SnapshotStatus::kSignedBogus) {
+      paper_share = cal.sb_unresolved;
+    } else if (row.status == SnapshotStatus::kSignedValidMisconfig) {
+      paper_share = cal.svm_unresolved;
+    } else {
+      paper_share = cal.is_unresolved;
+    }
+    const double share =
+        row.domains_with_state == 0
+            ? 0.0
+            : static_cast<double>(row.not_resolved) /
+                  static_cast<double>(row.domains_with_state);
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "  %-4s with state %9s   not resolved %9s (%6.2f%% | paper "
+                  "%6.2f%%)\n",
+                  status_label(row.status).c_str(),
+                  fmt_thousands(row.domains_with_state).c_str(),
+                  fmt_thousands(row.not_resolved).c_str(), share * 100,
+                  paper_share * 100);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace dfx::measure

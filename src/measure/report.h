@@ -1,0 +1,23 @@
+// Renderers: print each computed table/figure next to the paper's numbers
+// (the bench binaries' output).
+#pragma once
+
+#include <string>
+
+#include "measure/measure.h"
+
+namespace dfx::measure {
+
+std::string render_table1(const Table1& t, double scale);
+std::string render_fig1(const std::vector<Fig1Bin>& bins);
+std::string render_fig2(const Fig2Flows& flows);
+std::string render_table2(const Table2& t);
+std::string render_table3(const Table3& t);
+std::string render_fig3(const std::vector<Fig3Category>& categories);
+std::string render_table4(const Table4& t, const RoundTripStats& roundtrip);
+std::string render_fig4(const std::vector<Fig4Row>& rows,
+                        const DeployTime& deploy);
+std::string render_fig5(const Fig5& f);
+std::string render_table5(const std::vector<Table5Row>& rows);
+
+}  // namespace dfx::measure

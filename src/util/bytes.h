@@ -1,0 +1,65 @@
+// Byte-buffer aliases and small helpers shared across the project.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dfx {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// View the raw bytes of a string without copying.
+inline ByteView as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// Copy a string's bytes into a fresh buffer.
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Copy raw bytes into a std::string (useful for map keys and logs).
+inline std::string to_string(ByteView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+/// Append the contents of `src` to `dst`.
+inline void append(Bytes& dst, ByteView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Append a single byte.
+inline void append_u8(Bytes& dst, std::uint8_t v) { dst.push_back(v); }
+
+/// Append a big-endian 16-bit integer.
+inline void append_u16(Bytes& dst, std::uint16_t v) {
+  dst.push_back(static_cast<std::uint8_t>(v >> 8));
+  dst.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Append a big-endian 32-bit integer.
+inline void append_u32(Bytes& dst, std::uint32_t v) {
+  dst.push_back(static_cast<std::uint8_t>(v >> 24));
+  dst.push_back(static_cast<std::uint8_t>(v >> 16));
+  dst.push_back(static_cast<std::uint8_t>(v >> 8));
+  dst.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Read a big-endian 16-bit integer at `off` (caller guarantees bounds).
+inline std::uint16_t read_u16(ByteView b, std::size_t off) {
+  return static_cast<std::uint16_t>((b[off] << 8) | b[off + 1]);
+}
+
+/// Read a big-endian 32-bit integer at `off` (caller guarantees bounds).
+inline std::uint32_t read_u32(ByteView b, std::size_t off) {
+  return (static_cast<std::uint32_t>(b[off]) << 24) |
+         (static_cast<std::uint32_t>(b[off + 1]) << 16) |
+         (static_cast<std::uint32_t>(b[off + 2]) << 8) |
+         static_cast<std::uint32_t>(b[off + 3]);
+}
+
+}  // namespace dfx

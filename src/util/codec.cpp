@@ -1,0 +1,150 @@
+#include "util/codec.h"
+
+#include <array>
+#include <cctype>
+
+namespace dfx {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+constexpr char kBase32Hex[] = "0123456789ABCDEFGHIJKLMNOPQRSTUV";
+constexpr char kBase64[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+int base32hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'V') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'v') return c - 'a' + 10;
+  return -1;
+}
+
+int base64_value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+
+}  // namespace
+
+std::string hex_encode(ByteView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+std::optional<Bytes> hex_decode(std::string_view text) {
+  if (text == "-") return Bytes{};
+  if (text.size() % 2 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(text.size() / 2);
+  for (std::size_t i = 0; i < text.size(); i += 2) {
+    const int hi = hex_value(text[i]);
+    const int lo = hex_value(text[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string base32hex_encode(ByteView data) {
+  std::string out;
+  out.reserve((data.size() * 8 + 4) / 5);
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  for (std::uint8_t b : data) {
+    buffer = (buffer << 8) | b;
+    bits += 8;
+    while (bits >= 5) {
+      bits -= 5;
+      out.push_back(kBase32Hex[(buffer >> bits) & 0x1F]);
+    }
+  }
+  if (bits > 0) {
+    out.push_back(kBase32Hex[(buffer << (5 - bits)) & 0x1F]);
+  }
+  return out;
+}
+
+std::optional<Bytes> base32hex_decode(std::string_view text) {
+  Bytes out;
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  for (char c : text) {
+    if (c == '=') break;  // padding: remainder must be zero bits
+    const int v = base32hex_value(c);
+    if (v < 0) return std::nullopt;
+    buffer = (buffer << 5) | static_cast<std::uint32_t>(v);
+    bits += 5;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((buffer >> bits) & 0xFF));
+    }
+  }
+  return out;
+}
+
+std::string base64_encode(ByteView data) {
+  std::string out;
+  out.reserve(((data.size() + 2) / 3) * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                            data[i + 2];
+    out.push_back(kBase64[(v >> 18) & 0x3F]);
+    out.push_back(kBase64[(v >> 12) & 0x3F]);
+    out.push_back(kBase64[(v >> 6) & 0x3F]);
+    out.push_back(kBase64[v & 0x3F]);
+  }
+  const std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    const std::uint32_t v = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kBase64[(v >> 18) & 0x3F]);
+    out.push_back(kBase64[(v >> 12) & 0x3F]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rem == 2) {
+    const std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(kBase64[(v >> 18) & 0x3F]);
+    out.push_back(kBase64[(v >> 12) & 0x3F]);
+    out.push_back(kBase64[(v >> 6) & 0x3F]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::optional<Bytes> base64_decode(std::string_view text) {
+  Bytes out;
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) continue;
+    if (c == '=') break;
+    const int v = base64_value(c);
+    if (v < 0) return std::nullopt;
+    buffer = (buffer << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((buffer >> bits) & 0xFF));
+    }
+  }
+  return out;
+}
+
+}  // namespace dfx

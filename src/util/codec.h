@@ -1,0 +1,34 @@
+// Text codecs used throughout DNS/DNSSEC presentation formats:
+// hex (base16), base32hex (RFC 4648 §7, used by NSEC3 owner names) and
+// base64 (used by DNSKEY/RRSIG presentation).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace dfx {
+
+/// Lower-case hex encoding ("deadbeef").
+std::string hex_encode(ByteView data);
+
+/// Decode hex; returns nullopt on odd length or non-hex characters.
+/// Accepts upper- or lower-case. "-" decodes to an empty buffer (DNS
+/// presentation convention for an empty NSEC3 salt).
+std::optional<Bytes> hex_decode(std::string_view text);
+
+/// Base32hex without padding, upper-case, as used for NSEC3 owner labels.
+std::string base32hex_encode(ByteView data);
+
+/// Decode base32hex (case-insensitive, no padding required).
+std::optional<Bytes> base32hex_decode(std::string_view text);
+
+/// Standard base64 with padding.
+std::string base64_encode(ByteView data);
+
+/// Decode base64; whitespace is skipped, padding optional.
+std::optional<Bytes> base64_decode(std::string_view text);
+
+}  // namespace dfx

@@ -1,0 +1,111 @@
+#include "util/rng.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace dfx {
+namespace {
+
+// splitmix64: seeds the xoshiro state from a single 64-bit value.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : state_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::uniform: bound == 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = bound * (UINT64_MAX / bound);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % bound;
+}
+
+std::int64_t Rng::uniform_range(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_range: lo > hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? next_u64() : uniform(span));
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) { return uniform01() < p; }
+
+double Rng::exponential(double mean) {
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::lognormal(double median, double sigma) {
+  // Box-Muller normal, then exponentiate around log(median).
+  double u1 = uniform01();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform01();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  return std::exp(std::log(median) + sigma * z);
+}
+
+void Rng::fill(std::span<std::uint8_t> out) {
+  std::size_t i = 0;
+  while (i < out.size()) {
+    std::uint64_t v = next_u64();
+    for (int b = 0; b < 8 && i < out.size(); ++b, ++i) {
+      out[i] = static_cast<std::uint8_t>(v);
+      v >>= 8;
+    }
+  }
+}
+
+std::size_t Rng::weighted_pick(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) throw std::invalid_argument("weighted_pick: zero total");
+  double target = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork(std::string_view label) {
+  return Rng(next_u64() ^ fnv1a(label));
+}
+
+}  // namespace dfx

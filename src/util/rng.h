@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// All randomness in the project flows through an explicit Rng so that every
+// experiment, test and benchmark is reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace dfx {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean);
+
+  /// Log-normal sample parameterised by the *median* and sigma of log-space.
+  /// Used to model heavy-tailed fix-time distributions.
+  double lognormal(double median, double sigma);
+
+  /// Fill `out` with random bytes.
+  void fill(std::span<std::uint8_t> out);
+
+  /// Pick an index according to non-negative weights (sum must be > 0).
+  std::size_t weighted_pick(std::span<const double> weights);
+
+  /// Derive an independent child generator (stable given the same label).
+  Rng fork(std::string_view label);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace dfx

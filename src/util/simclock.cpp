@@ -1,0 +1,87 @@
+#include "util/simclock.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace dfx {
+namespace {
+
+constexpr bool is_leap(int y) {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+constexpr int kDaysInMonth[12] = {31, 28, 31, 30, 31, 30,
+                                  31, 31, 30, 31, 30, 31};
+
+int days_in_month(int y, int m) {
+  if (m == 2 && is_leap(y)) return 29;
+  return kDaysInMonth[m - 1];
+}
+
+}  // namespace
+
+void SimClock::advance(UnixTime delta) {
+  if (delta < 0) throw std::invalid_argument("SimClock::advance: negative");
+  now_ += delta;
+}
+
+void SimClock::advance_to(UnixTime t) {
+  if (t < now_) throw std::invalid_argument("SimClock::advance_to: backward");
+  now_ = t;
+}
+
+std::string format_dnssec_time(UnixTime t) {
+  // Civil-time conversion without <ctime> to stay locale/thread safe.
+  std::int64_t days = t / kDay;
+  std::int64_t secs = t % kDay;
+  if (secs < 0) {
+    secs += kDay;
+    days -= 1;
+  }
+  int year = 1970;
+  while (true) {
+    const int ydays = is_leap(year) ? 366 : 365;
+    if (days >= ydays) {
+      days -= ydays;
+      ++year;
+    } else {
+      break;
+    }
+  }
+  int month = 1;
+  while (days >= days_in_month(year, month)) {
+    days -= days_in_month(year, month);
+    ++month;
+  }
+  const int day = static_cast<int>(days) + 1;
+  const int hh = static_cast<int>(secs / 3600);
+  const int mm = static_cast<int>((secs % 3600) / 60);
+  const int ss = static_cast<int>(secs % 60);
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%04d%02d%02d%02d%02d%02d", year, month, day,
+                hh, mm, ss);
+  return buf;
+}
+
+UnixTime parse_dnssec_time(const std::string& text) {
+  if (text.size() != 14) return -1;
+  for (char c : text) {
+    if (c < '0' || c > '9') return -1;
+  }
+  const int year = std::stoi(text.substr(0, 4));
+  const int month = std::stoi(text.substr(4, 2));
+  const int day = std::stoi(text.substr(6, 2));
+  const int hh = std::stoi(text.substr(8, 2));
+  const int mm = std::stoi(text.substr(10, 2));
+  const int ss = std::stoi(text.substr(12, 2));
+  if (year < 1970 || month < 1 || month > 12) return -1;
+  if (day < 1 || day > days_in_month(year, month)) return -1;
+  if (hh > 23 || mm > 59 || ss > 59) return -1;
+  std::int64_t days = 0;
+  for (int y = 1970; y < year; ++y) days += is_leap(y) ? 366 : 365;
+  for (int m = 1; m < month; ++m) days += days_in_month(year, m);
+  days += day - 1;
+  return days * kDay + hh * 3600 + mm * 60 + ss;
+}
+
+}  // namespace dfx

@@ -1,0 +1,50 @@
+// Simulated time.
+//
+// The whole system runs against a logical clock so that signature validity
+// windows, TTL waits and longitudinal snapshot timelines are deterministic.
+// Times are UNIX seconds (UTC), the same unit RRSIG inception/expiration use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dfx {
+
+using UnixTime = std::int64_t;
+
+constexpr UnixTime kSecond = 1;
+constexpr UnixTime kMinute = 60;
+constexpr UnixTime kHour = 3600;
+constexpr UnixTime kDay = 86400;
+
+/// A monotone simulated clock. Components that need "now" take a SimClock
+/// (or a plain UnixTime) explicitly; there is no global time.
+class SimClock {
+ public:
+  explicit SimClock(UnixTime start) : now_(start) {}
+
+  UnixTime now() const { return now_; }
+
+  /// Advance time; negative deltas are rejected.
+  void advance(UnixTime delta);
+
+  /// Jump to an absolute time >= now.
+  void advance_to(UnixTime t);
+
+ private:
+  UnixTime now_;
+};
+
+/// Render a UNIX timestamp as the YYYYMMDDHHMMSS form used by RRSIG
+/// presentation format and dnssec-settime.
+std::string format_dnssec_time(UnixTime t);
+
+/// Parse the YYYYMMDDHHMMSS form; returns -1 on malformed input.
+UnixTime parse_dnssec_time(const std::string& text);
+
+/// 2020-03-11 00:00:00 UTC — the first day of the paper's dataset.
+constexpr UnixTime kDatasetStart = 1583884800;
+/// 2024-09-25 00:00:00 UTC — the last day of the paper's dataset.
+constexpr UnixTime kDatasetEnd = 1727222400;
+
+}  // namespace dfx

@@ -1,0 +1,37 @@
+// Small string utilities shared by parsers and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dfx {
+
+/// Split on a single delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Split on runs of ASCII whitespace; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view text);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// ASCII lower-case copy.
+std::string to_lower(std::string_view text);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Join items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Format a double with fixed decimals (printf "%.*f").
+std::string fmt_fixed(double v, int decimals);
+
+/// Format like "12,345" with thousands separators (report tables).
+std::string fmt_thousands(std::int64_t v);
+
+}  // namespace dfx

@@ -1,0 +1,216 @@
+#include "zone/bindcmd.h"
+
+namespace dfx::zone {
+namespace {
+
+std::string arg_or(const std::map<std::string, std::string>& args,
+                   const std::string& key, const std::string& dflt) {
+  const auto it = args.find(key);
+  return it == args.end() ? dflt : it->second;
+}
+
+}  // namespace
+
+std::string instruction_kind_name(InstructionKind kind) {
+  switch (kind) {
+    case InstructionKind::kSignZone:
+      return "Sign the zone";
+    case InstructionKind::kRemoveIncorrectDs:
+      return "Remove the incorrect DS record";
+    case InstructionKind::kUploadDs:
+      return "Upload the DS record";
+    case InstructionKind::kGenerateKsk:
+      return "Generate a KSK";
+    case InstructionKind::kSyncAuthServers:
+      return "Synchronize the DNS authoritative server";
+    case InstructionKind::kGenerateZsk:
+      return "Generate ZSK";
+    case InstructionKind::kReduceTtl:
+      return "Reduce TTL of a specific record";
+    case InstructionKind::kRemoveRevokedKey:
+      return "Remove the revoked key";
+    case InstructionKind::kDeactivateKey:
+      return "Deactivate the key";
+    case InstructionKind::kWaitTtl:
+      return "Wait out the TTL";
+  }
+  return "Unknown instruction";
+}
+
+std::string BindCommand::render() const {
+  switch (kind) {
+    case CommandKind::kDnssecKeygen:
+      return "cd <key_dir> && dnssec-keygen" +
+             std::string(arg_or(args, "ksk", "0") == "1" ? " -f KSK" : "") +
+             " -a " + arg_or(args, "algorithm", "RSASHA256") + " -b " +
+             arg_or(args, "bits", "2048") + " -n ZONE " +
+             arg_or(args, "zone", ".");
+    case CommandKind::kDnssecSignzone: {
+      std::string out = "cd <key_dir> && dnssec-signzone -N INCREMENT";
+      if (arg_or(args, "nsec3", "0") == "1") {
+        out += " -3 " + arg_or(args, "salt", "-");
+        out += " -H " + arg_or(args, "iterations", "0");
+        if (arg_or(args, "optout", "0") == "1") out += " -A";
+      }
+      out += " -S -o " + arg_or(args, "zone", ".") +
+             " -t <zone_dir>/" + arg_or(args, "zone_file", "db.unsigned");
+      return out;
+    }
+    case CommandKind::kDnssecSettime:
+      return "dnssec-settime -" + arg_or(args, "flag", "D") + " " +
+             arg_or(args, "when", "now") + " <key_dir>/K" +
+             arg_or(args, "zone", ".") + "+NNN+" +
+             arg_or(args, "key_tag", "00000") + ".key";
+    case CommandKind::kDnssecDsFromKey:
+      return "cd <key_dir> && dnssec-dsfromkey -" +
+             arg_or(args, "digest", "2") + " K" + arg_or(args, "zone", ".") +
+             "+NNN+" + arg_or(args, "key_tag", "00000") + ".key";
+    case CommandKind::kUploadDsToParent:
+      return "[manual] Upload the DS record for key_tag=" +
+             arg_or(args, "key_tag", "?") + " of zone " +
+             arg_or(args, "zone", "?") +
+             " to the parent zone via your registrar";
+    case CommandKind::kRemoveDsFromParent:
+      return "[manual] Remove the DS record referencing key_tag=" +
+             arg_or(args, "key_tag", "?") + " of zone " +
+             arg_or(args, "zone", "?") + " from the parent via your registrar";
+    case CommandKind::kSyncServers:
+      return "rsync <zone_dir>/" + arg_or(args, "zone_file", "db.signed") +
+             " <secondary>:<zone_dir>/ && ssh <secondary> rndc reload " +
+             arg_or(args, "zone", ".");
+    case CommandKind::kReduceTtl:
+      return "[edit] Set the TTL of " + arg_or(args, "owner", "?") + " " +
+             arg_or(args, "type", "?") + " to " + arg_or(args, "ttl", "?") +
+             " in the zone file, then re-sign";
+    case CommandKind::kWaitTtl:
+      return "[wait] Wait " + arg_or(args, "seconds", "?") +
+             "s for the old records to expire from resolver caches";
+    case CommandKind::kRemoveKeyFile:
+      return "rm <key_dir>/K" + arg_or(args, "zone", ".") + "+NNN+" +
+             arg_or(args, "key_tag", "00000") + ".{key,private}";
+    case CommandKind::kPublishCds:
+      return "dnssec-signzone ... -P (publish CDS/CDNSKEY for " +
+             arg_or(args, "zone", ".") +
+             "; the parent's parental agent synchronizes the DS set per "
+             "RFC 7344)";
+  }
+  return "<unknown command>";
+}
+
+BindCommand cmd_keygen(const dns::Name& zone, crypto::DnssecAlgorithm alg,
+                       std::size_t bits, bool ksk) {
+  BindCommand cmd;
+  cmd.kind = CommandKind::kDnssecKeygen;
+  cmd.args["zone"] = zone.to_string();
+  cmd.args["algorithm"] = crypto::algorithm_mnemonic(alg);
+  cmd.args["algorithm_number"] = std::to_string(static_cast<int>(alg));
+  cmd.args["bits"] = std::to_string(bits);
+  cmd.args["ksk"] = ksk ? "1" : "0";
+  return cmd;
+}
+
+BindCommand cmd_signzone(const SignZoneParams& params) {
+  BindCommand cmd;
+  cmd.kind = CommandKind::kDnssecSignzone;
+  cmd.args["zone"] = params.zone.to_string();
+  cmd.args["zone_file"] = "db." + params.zone.to_string() + "unsigned";
+  cmd.args["nsec3"] = params.nsec3 ? "1" : "0";
+  cmd.args["iterations"] = std::to_string(params.nsec3_iterations);
+  cmd.args["salt"] = params.nsec3_salt_hex;
+  cmd.args["optout"] = params.opt_out ? "1" : "0";
+  return cmd;
+}
+
+BindCommand cmd_settime_delete(const dns::Name& zone, std::uint16_t key_tag,
+                               UnixTime when) {
+  BindCommand cmd;
+  cmd.kind = CommandKind::kDnssecSettime;
+  cmd.args["flag"] = "D";
+  cmd.args["zone"] = zone.to_string();
+  cmd.args["key_tag"] = std::to_string(key_tag);
+  cmd.args["when"] = format_dnssec_time(when);
+  return cmd;
+}
+
+BindCommand cmd_settime_revoke(const dns::Name& zone, std::uint16_t key_tag,
+                               UnixTime when) {
+  BindCommand cmd;
+  cmd.kind = CommandKind::kDnssecSettime;
+  cmd.args["flag"] = "R";
+  cmd.args["zone"] = zone.to_string();
+  cmd.args["key_tag"] = std::to_string(key_tag);
+  cmd.args["when"] = format_dnssec_time(when);
+  return cmd;
+}
+
+BindCommand cmd_dsfromkey(const dns::Name& zone, std::uint16_t key_tag,
+                          crypto::DigestType digest) {
+  BindCommand cmd;
+  cmd.kind = CommandKind::kDnssecDsFromKey;
+  cmd.args["zone"] = zone.to_string();
+  cmd.args["key_tag"] = std::to_string(key_tag);
+  cmd.args["digest"] = std::to_string(static_cast<int>(digest));
+  return cmd;
+}
+
+BindCommand cmd_upload_ds(const dns::Name& zone, std::uint16_t key_tag,
+                          crypto::DigestType digest) {
+  BindCommand cmd;
+  cmd.kind = CommandKind::kUploadDsToParent;
+  cmd.args["zone"] = zone.to_string();
+  cmd.args["key_tag"] = std::to_string(key_tag);
+  cmd.args["digest"] = std::to_string(static_cast<int>(digest));
+  return cmd;
+}
+
+BindCommand cmd_remove_ds(const dns::Name& zone, std::uint16_t key_tag,
+                          const std::string& digest_hex) {
+  BindCommand cmd;
+  cmd.kind = CommandKind::kRemoveDsFromParent;
+  cmd.args["zone"] = zone.to_string();
+  cmd.args["key_tag"] = std::to_string(key_tag);
+  if (!digest_hex.empty()) cmd.args["digest_hex"] = digest_hex;
+  return cmd;
+}
+
+BindCommand cmd_sync_servers(const dns::Name& zone) {
+  BindCommand cmd;
+  cmd.kind = CommandKind::kSyncServers;
+  cmd.args["zone"] = zone.to_string();
+  cmd.args["zone_file"] = "db." + zone.to_string() + "signed";
+  return cmd;
+}
+
+BindCommand cmd_reduce_ttl(const dns::Name& owner, const std::string& type,
+                           std::uint32_t new_ttl) {
+  BindCommand cmd;
+  cmd.kind = CommandKind::kReduceTtl;
+  cmd.args["owner"] = owner.to_string();
+  cmd.args["type"] = type;
+  cmd.args["ttl"] = std::to_string(new_ttl);
+  return cmd;
+}
+
+BindCommand cmd_wait_ttl(std::uint32_t ttl_seconds) {
+  BindCommand cmd;
+  cmd.kind = CommandKind::kWaitTtl;
+  cmd.args["seconds"] = std::to_string(ttl_seconds);
+  return cmd;
+}
+
+BindCommand cmd_publish_cds(const dns::Name& zone) {
+  BindCommand cmd;
+  cmd.kind = CommandKind::kPublishCds;
+  cmd.args["zone"] = zone.to_string();
+  return cmd;
+}
+
+BindCommand cmd_remove_key_file(const dns::Name& zone, std::uint16_t key_tag) {
+  BindCommand cmd;
+  cmd.kind = CommandKind::kRemoveKeyFile;
+  cmd.args["zone"] = zone.to_string();
+  cmd.args["key_tag"] = std::to_string(key_tag);
+  return cmd;
+}
+
+}  // namespace dfx::zone

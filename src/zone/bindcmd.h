@@ -1,0 +1,106 @@
+// The BIND command vocabulary DFixer emits.
+//
+// Every remediation step is represented both ways the paper needs it:
+//  - render() produces the exact CLI string an operator would run
+//    (dnssec-keygen, dnssec-signzone, dnssec-settime, dnssec-dsfromkey,
+//    plus the manual registrar/ops steps), and
+//  - the executor in the evaluation harness applies the same state change
+//    to a sandboxed zone ("auto-apply" mode).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/algorithm.h"
+#include "dnscore/name.h"
+#include "util/simclock.h"
+
+namespace dfx::zone {
+
+/// High-level instruction classes, matching Table 7 of the paper.
+enum class InstructionKind : std::uint8_t {
+  kSignZone,
+  kRemoveIncorrectDs,
+  kUploadDs,
+  kGenerateKsk,
+  kSyncAuthServers,
+  kGenerateZsk,
+  kReduceTtl,
+  kRemoveRevokedKey,
+  // Supporting steps referenced by Figure 8 but folded into the above in
+  // Table 7 accounting:
+  kDeactivateKey,
+  kWaitTtl,
+};
+
+std::string instruction_kind_name(InstructionKind kind);
+
+/// Concrete command kinds (one instruction may expand to several commands).
+enum class CommandKind : std::uint8_t {
+  kDnssecKeygen,
+  kDnssecSignzone,
+  kDnssecSettime,
+  kDnssecDsFromKey,
+  kUploadDsToParent,    // manual, via registrar
+  kRemoveDsFromParent,  // manual, via registrar
+  kSyncServers,         // rsync + rndc reload on the secondary
+  kReduceTtl,           // edit zone file TTL
+  kWaitTtl,             // wait out a cache TTL
+  kRemoveKeyFile,       // delete K*.key/.private
+  kPublishCds,          // RFC 7344: publish CDS/CDNSKEY, parental agent
+                        // synchronizes the DS set (no registrar step)
+};
+
+/// One executable step: kind + named parameters.
+struct BindCommand {
+  CommandKind kind = CommandKind::kDnssecSignzone;
+  /// Named parameters, e.g. {"zone","par.a.com."},{"algorithm","RSASHA256"}.
+  std::map<std::string, std::string> args;
+
+  /// Exact CLI (or manual-step description) string.
+  std::string render() const;
+};
+
+/// One high-level instruction with its expansion into commands.
+struct Instruction {
+  InstructionKind kind = InstructionKind::kSignZone;
+  std::string description;  // operator-facing sentence
+  std::vector<BindCommand> commands;
+};
+
+// ---- Command builders (parameters populated from zone context) ----------
+
+BindCommand cmd_keygen(const dns::Name& zone, crypto::DnssecAlgorithm alg,
+                       std::size_t bits, bool ksk);
+
+struct SignZoneParams {
+  dns::Name zone;
+  bool nsec3 = false;
+  std::uint16_t nsec3_iterations = 0;
+  std::string nsec3_salt_hex = "-";
+  bool opt_out = false;
+};
+BindCommand cmd_signzone(const SignZoneParams& params);
+
+BindCommand cmd_settime_delete(const dns::Name& zone, std::uint16_t key_tag,
+                               UnixTime when);
+BindCommand cmd_settime_revoke(const dns::Name& zone, std::uint16_t key_tag,
+                               UnixTime when);
+BindCommand cmd_dsfromkey(const dns::Name& zone, std::uint16_t key_tag,
+                          crypto::DigestType digest);
+BindCommand cmd_upload_ds(const dns::Name& zone, std::uint16_t key_tag,
+                          crypto::DigestType digest);
+/// `digest_hex` (optional) pins the exact DS record when several share a
+/// key tag; empty removes every DS with the tag.
+BindCommand cmd_remove_ds(const dns::Name& zone, std::uint16_t key_tag,
+                          const std::string& digest_hex = "");
+BindCommand cmd_sync_servers(const dns::Name& zone);
+BindCommand cmd_reduce_ttl(const dns::Name& owner, const std::string& type,
+                           std::uint32_t new_ttl);
+BindCommand cmd_wait_ttl(std::uint32_t ttl_seconds);
+BindCommand cmd_remove_key_file(const dns::Name& zone, std::uint16_t key_tag);
+BindCommand cmd_publish_cds(const dns::Name& zone);
+
+}  // namespace dfx::zone

@@ -1,0 +1,25 @@
+// NSEC3 hashing (RFC 5155 §5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dnscore/name.h"
+#include "util/bytes.h"
+
+namespace dfx::zone {
+
+/// Iterated SHA-1 hash of a name: H(x) = SHA1(x || salt), applied
+/// `iterations + 1` times over the canonical wire form of `name`.
+Bytes nsec3_hash(const dns::Name& name, ByteView salt,
+                 std::uint16_t iterations);
+
+/// The base32hex label form used as the NSEC3 owner name.
+std::string nsec3_hash_label(const dns::Name& name, ByteView salt,
+                             std::uint16_t iterations);
+
+/// Owner name of an NSEC3 record: hash-label prepended to the zone apex.
+dns::Name nsec3_owner(const dns::Name& name, const dns::Name& apex,
+                      ByteView salt, std::uint16_t iterations);
+
+}  // namespace dfx::zone

@@ -1,0 +1,146 @@
+#include "zone/zone.h"
+
+namespace dfx::zone {
+
+void Zone::add(const dns::ResourceRecord& record) {
+  add(record.owner, record.type, record.ttl, record.rdata);
+}
+
+void Zone::add(const dns::Name& owner, dns::RRType type, std::uint32_t ttl,
+               dns::Rdata rdata) {
+  auto& by_type = records_[owner];
+  auto it = by_type.find(type);
+  if (it == by_type.end()) {
+    dns::RRset rrset(owner, type, ttl);
+    rrset.add(std::move(rdata));
+    by_type.emplace(type, std::move(rrset));
+  } else {
+    it->second.add(std::move(rdata));
+  }
+}
+
+void Zone::put(dns::RRset rrset) {
+  auto& by_type = records_[rrset.owner()];
+  by_type.insert_or_assign(rrset.type(), std::move(rrset));
+}
+
+bool Zone::remove(const dns::Name& owner, dns::RRType type) {
+  auto it = records_.find(owner);
+  if (it == records_.end()) return false;
+  const bool removed = it->second.erase(type) > 0;
+  if (it->second.empty()) records_.erase(it);
+  return removed;
+}
+
+bool Zone::remove_rdata(const dns::Name& owner, dns::RRType type,
+                        const dns::Rdata& rdata) {
+  auto it = records_.find(owner);
+  if (it == records_.end()) return false;
+  auto tit = it->second.find(type);
+  if (tit == it->second.end()) return false;
+  const bool removed = tit->second.remove(rdata);
+  if (tit->second.empty()) it->second.erase(tit);
+  if (it->second.empty()) records_.erase(it);
+  return removed;
+}
+
+void Zone::remove_name(const dns::Name& owner) { records_.erase(owner); }
+
+const dns::RRset* Zone::find(const dns::Name& owner, dns::RRType type) const {
+  const auto it = records_.find(owner);
+  if (it == records_.end()) return nullptr;
+  const auto tit = it->second.find(type);
+  return tit == it->second.end() ? nullptr : &tit->second;
+}
+
+dns::RRset* Zone::find(const dns::Name& owner, dns::RRType type) {
+  auto it = records_.find(owner);
+  if (it == records_.end()) return nullptr;
+  auto tit = it->second.find(type);
+  return tit == it->second.end() ? nullptr : &tit->second;
+}
+
+std::vector<const dns::RRset*> Zone::at(const dns::Name& owner) const {
+  std::vector<const dns::RRset*> out;
+  const auto it = records_.find(owner);
+  if (it == records_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [type, rrset] : it->second) out.push_back(&rrset);
+  return out;
+}
+
+bool Zone::name_exists(const dns::Name& name) const {
+  return records_.find(name) != records_.end();
+}
+
+bool Zone::name_or_descendant_exists(const dns::Name& name) const {
+  // Canonical order puts descendants of `name` immediately after it.
+  auto it = records_.lower_bound(name);
+  return it != records_.end() && it->first.is_subdomain_of(name);
+}
+
+std::vector<dns::Name> Zone::owner_names() const {
+  std::vector<dns::Name> out;
+  out.reserve(records_.size());
+  for (const auto& [name, _] : records_) out.push_back(name);
+  return out;
+}
+
+std::vector<const dns::RRset*> Zone::all_rrsets() const {
+  std::vector<const dns::RRset*> out;
+  for (const auto& [name, by_type] : records_) {
+    for (const auto& [type, rrset] : by_type) out.push_back(&rrset);
+  }
+  return out;
+}
+
+bool Zone::is_delegation(const dns::Name& name) const {
+  if (name == apex_) return false;
+  return find(name, dns::RRType::kNS) != nullptr;
+}
+
+std::optional<dns::Name> Zone::covering_delegation(
+    const dns::Name& name) const {
+  dns::Name cur = name;
+  while (cur != apex_ && cur.label_count() > apex_.label_count()) {
+    if (is_delegation(cur)) return cur;
+    cur = cur.parent();
+  }
+  return std::nullopt;
+}
+
+std::vector<dns::ResourceRecord> Zone::to_records() const {
+  std::vector<dns::ResourceRecord> out;
+  // Apex SOA first (zone-file convention), then everything else canonical.
+  if (const auto* soa_set = find(apex_, dns::RRType::kSOA)) {
+    const auto recs = soa_set->to_records();
+    out.insert(out.end(), recs.begin(), recs.end());
+  }
+  for (const auto* rrset : all_rrsets()) {
+    if (rrset->owner() == apex_ && rrset->type() == dns::RRType::kSOA) {
+      continue;
+    }
+    const auto recs = rrset->to_records();
+    out.insert(out.end(), recs.begin(), recs.end());
+  }
+  return out;
+}
+
+const dns::SoaRdata* Zone::soa() const {
+  const auto* rrset = find(apex_, dns::RRType::kSOA);
+  if (rrset == nullptr || rrset->empty()) return nullptr;
+  return std::get_if<dns::SoaRdata>(&rrset->rdatas().front());
+}
+
+void Zone::bump_serial() {
+  auto* rrset = find(apex_, dns::RRType::kSOA);
+  if (rrset == nullptr || rrset->empty()) return;
+  auto rdatas = rrset->rdatas();
+  auto soa = std::get<dns::SoaRdata>(rdatas.front());
+  soa.serial += 1;
+  dns::RRset updated(apex_, dns::RRType::kSOA, rrset->ttl());
+  updated.add(soa);
+  put(std::move(updated));
+}
+
+}  // namespace dfx::zone

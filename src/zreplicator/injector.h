@@ -1,0 +1,25 @@
+// Error injectors: one per Table-3 error code (Figure 7, step 3).
+//
+// Each injector perturbs the sandbox's child zone (or its delegation in the
+// parent) so that probe + grok report exactly the intended code — plus, for
+// some scenarios, benign companions, which is fine: the replication metric
+// is IE ⊆ GE. Injectors that modify signed records re-sign the affected
+// RRset with the zone's own keys so that *only* the intended anomaly shows.
+#pragma once
+
+#include "analyzer/errorcode.h"
+#include "zreplicator/sandbox.h"
+
+namespace dfx::zreplicator {
+
+/// Inject one error into the sandbox's child zone. Returns false when the
+/// scenario cannot be realised (these are exactly the replication-failure
+/// mechanics of §5.5.1).
+bool inject_error(Sandbox& sandbox, analyzer::ErrorCode code);
+
+/// The canonical order in which multiple errors are injected (some
+/// injections rebuild state that later ones then perturb).
+std::vector<analyzer::ErrorCode> injection_order(
+    const std::set<analyzer::ErrorCode>& codes);
+
+}  // namespace dfx::zreplicator

@@ -1,0 +1,31 @@
+// The replication driver (Figure 7 steps 3–5): SnapshotSpec → sandbox with
+// the intended errors injected → generated error set (GE).
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "zreplicator/spec.h"
+#include "zreplicator/sandbox.h"
+
+namespace dfx::zreplicator {
+
+struct ReplicationResult {
+  /// The sandbox (present when the zone could be built at all).
+  std::unique_ptr<Sandbox> sandbox;
+  /// GE: errors grok reports on the replica (empty when nothing was built).
+  std::set<analyzer::ErrorCode> generated;
+  /// Why replication failed or was partial, for the report.
+  std::string failure_reason;
+  /// Every intended error was generated (IE ⊆ GE, the paper's RR event).
+  bool complete = false;
+};
+
+/// Replicate one snapshot spec. Unsupported key algorithms are substituted
+/// with unused BIND-supported ones (§5.5.1); specs that exhaust the
+/// algorithm space, or that stem from buggy-nameserver artifacts, fail.
+ReplicationResult replicate(const SnapshotSpec& spec, std::uint64_t seed,
+                            UnixTime now = kDatasetStart);
+
+}  // namespace dfx::zreplicator

@@ -1,0 +1,25 @@
+#include "zreplicator/spec.h"
+
+#include "util/strings.h"
+
+namespace dfx::zreplicator {
+
+SnapshotSpec SnapshotSpec::from_snapshot(const analyzer::Snapshot& snapshot) {
+  SnapshotSpec spec;
+  for (const auto& e : snapshot.errors) {
+    if (e.zone == snapshot.query_zone) spec.intended_errors.insert(e.code);
+  }
+  spec.meta = snapshot.target_meta;
+  return spec;
+}
+
+std::string combination_key(const std::set<analyzer::ErrorCode>& errors) {
+  std::vector<std::string> parts;
+  parts.reserve(errors.size());
+  for (const auto code : errors) {
+    parts.push_back(std::to_string(static_cast<int>(code)));
+  }
+  return join(parts, ",");
+}
+
+}  // namespace dfx::zreplicator

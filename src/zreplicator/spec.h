@@ -1,0 +1,52 @@
+// SnapshotSpec: what ZReplicator extracts from one DNSViz JSON snapshot
+// (Figure 7, step 2) — the intended error set plus the zone meta-parameters
+// needed to rebuild an equivalent zone locally.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "analyzer/errorcode.h"
+#include "analyzer/snapshot.h"
+
+namespace dfx::zreplicator {
+
+struct SnapshotSpec {
+  /// IE: the DNSSEC errors the original snapshot exhibited (Table 3 codes).
+  std::set<analyzer::ErrorCode> intended_errors;
+
+  /// Zone meta-parameters mirrored into the replica.
+  analyzer::ZoneMeta meta;
+
+  /// The replicated parent zone itself is bogus (DS at the grandparent but
+  /// no DNSKEY): the scenario behind the paper's five unfixable zones.
+  bool parent_bogus = false;
+
+  /// The original error stems from a buggy-nameserver artifact that a
+  /// correct implementation cannot serve (§5.5.1) — replication will fail
+  /// entirely (GE = ∅).
+  bool buggy_artifact = false;
+
+  /// Codes whose *original manifestation* relied on a buggy-nameserver
+  /// variant (e.g. a negative-proof anomaly or an impossible DNSKEY bit
+  /// length only a broken server would load). The injector refuses these,
+  /// producing the paper's partial-replication outcomes (GE ⊂ IE).
+  std::set<analyzer::ErrorCode> unreplicable_variants;
+
+  /// The parent's only usable DS was removed (stale DS remains): DFixer
+  /// must regenerate and upload a DS for the existing KSK.
+  bool stale_ds_only = false;
+
+  /// The KSK's key files were lost after a rollover, leaving DS records
+  /// that match nothing: DFixer must generate a fresh KSK.
+  bool ksk_missing = false;
+
+  /// Build a spec directly from a grokked snapshot (parse step of Fig. 7).
+  static SnapshotSpec from_snapshot(const analyzer::Snapshot& snapshot);
+};
+
+/// Canonical key for an error combination (sorted code list) — the paper
+/// reports 2,058 unique combinations.
+std::string combination_key(const std::set<analyzer::ErrorCode>& errors);
+
+}  // namespace dfx::zreplicator

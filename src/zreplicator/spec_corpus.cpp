@@ -1,0 +1,144 @@
+#include "zreplicator/spec_corpus.h"
+
+#include <algorithm>
+
+#include "dataset/calibration.h"
+
+namespace dfx::zreplicator {
+namespace {
+
+using analyzer::ErrorCode;
+
+/// Sample one non-NZIC error combination from the Table-3 mix.
+std::set<ErrorCode> sample_combination(Rng& rng) {
+  std::vector<ErrorCode> codes;
+  std::vector<double> weights;
+  for (const auto& row : dataset::table3_calibration()) {
+    if (row.code == ErrorCode::kNonzeroIterationCount) continue;
+    codes.push_back(row.code);
+    weights.push_back(row.snapshot_share);
+  }
+  std::set<ErrorCode> out;
+  const int n = 1 + static_cast<int>(rng.uniform(3));
+  for (int i = 0; i < n; ++i) {
+    out.insert(codes[rng.weighted_pick(weights)]);
+  }
+  // S2 includes snapshots where NZIC rides along other errors.
+  if (rng.chance(0.30)) out.insert(ErrorCode::kNonzeroIterationCount);
+  return out;
+}
+
+/// Meta-parameters: key sets mirroring the wild (mostly 1 KSK + 1 ZSK,
+/// sometimes multi-key or retired algorithms needing substitution).
+analyzer::ZoneMeta sample_meta(Rng& rng, bool nsec3) {
+  analyzer::ZoneMeta meta;
+  const std::uint8_t algo_pool[] = {8, 13, 8, 13, 8, 13, 5, 7, 10, 14, 15};
+  const std::uint8_t retired_pool[] = {3, 6, 12};
+  const std::uint8_t algorithm =
+      algo_pool[rng.uniform(std::size(algo_pool))];
+  analyzer::KeyMeta ksk;
+  ksk.flags = 0x0101;
+  ksk.algorithm = algorithm;
+  analyzer::KeyMeta zsk;
+  zsk.flags = 0x0100;
+  zsk.algorithm = algorithm;
+  meta.keys = {ksk, zsk};
+  // A minority of zones carry extra keys (rollovers in flight) or retired
+  // algorithms that force substitution.
+  if (rng.chance(0.18)) {
+    analyzer::KeyMeta extra = zsk;
+    extra.algorithm = algo_pool[rng.uniform(std::size(algo_pool))];
+    meta.keys.push_back(extra);
+  }
+  if (rng.chance(0.04)) {
+    analyzer::KeyMeta retired = zsk;
+    retired.algorithm = retired_pool[rng.uniform(std::size(retired_pool))];
+    meta.keys.push_back(retired);
+  }
+  meta.uses_nsec3 = nsec3;
+  if (nsec3) {
+    meta.nsec3_iterations = static_cast<std::uint16_t>(rng.uniform(21));
+    if (rng.chance(0.4)) meta.nsec3_salt_hex = "8d4557157f54153f";
+  }
+  meta.max_ttl = rng.chance(0.8) ? 3600 : 86400;
+  meta.server_count = 2;
+  return meta;
+}
+
+}  // namespace
+
+std::vector<EvalSpec> generate_eval_specs(const SpecCorpusOptions& options) {
+  Rng rng(options.seed);
+  std::vector<EvalSpec> out;
+  out.reserve(options.count);
+  for (std::size_t i = 0; i < options.count; ++i) {
+    EvalSpec eval;
+    eval.s1 = rng.chance(options.s1_share);
+    if (eval.s1) {
+      eval.spec.intended_errors = {ErrorCode::kNonzeroIterationCount};
+      eval.spec.meta = sample_meta(rng, /*nsec3=*/true);
+      if (eval.spec.meta.nsec3_iterations == 0) {
+        eval.spec.meta.nsec3_iterations = 1;
+      }
+      eval.spec.buggy_artifact = rng.chance(options.s1_artifact_rate);
+    } else {
+      eval.spec.intended_errors = sample_combination(rng);
+      const bool nsec3 =
+          eval.spec.intended_errors.contains(
+              ErrorCode::kNonzeroIterationCount) ||
+          std::any_of(eval.spec.intended_errors.begin(),
+                      eval.spec.intended_errors.end(), [](ErrorCode c) {
+                        return analyzer::category_of(c) ==
+                               analyzer::ErrorCategory::kNsec3Only;
+                      }) ||
+          rng.chance(0.5);
+      eval.spec.meta = sample_meta(rng, nsec3);
+      if (eval.spec.intended_errors.contains(
+              ErrorCode::kNonzeroIterationCount) &&
+          eval.spec.meta.nsec3_iterations == 0) {
+        eval.spec.meta.nsec3_iterations = 1;
+      }
+      eval.spec.buggy_artifact = rng.chance(options.s2_artifact_rate);
+      if (!eval.spec.buggy_artifact &&
+          rng.chance(options.s2_variant_rate)) {
+        // One of the intended errors was a buggy-nameserver variant.
+        const auto& errors = eval.spec.intended_errors;
+        const auto idx = rng.uniform(errors.size());
+        auto it = errors.begin();
+        std::advance(it, static_cast<std::ptrdiff_t>(idx));
+        eval.spec.unreplicable_variants.insert(*it);
+      }
+      eval.spec.parent_bogus = rng.chance(options.parent_bogus_rate);
+      // Operational twists behind Table 7's key-management instructions.
+      const auto& ie = eval.spec.intended_errors;
+      // A minority of real zones carry catch-all wildcards. Negative-proof
+      // injections rely on the NXDOMAIN probe, which a wildcard absorbs, so
+      // those combinations stay wildcard-free.
+      const bool negative_proof_sensitive = std::any_of(
+          ie.begin(), ie.end(), [](ErrorCode c) {
+            const auto category = analyzer::category_of(c);
+            return category == analyzer::ErrorCategory::kNsecCommon ||
+                   category == analyzer::ErrorCategory::kNsecOnly ||
+                   category == analyzer::ErrorCategory::kNsec3Only;
+          });
+      if (!negative_proof_sensitive) {
+        eval.spec.meta.has_wildcard = rng.chance(0.06);
+      }
+      const bool key_sensitive =
+          ie.contains(ErrorCode::kRevokedKey) ||
+          ie.contains(ErrorCode::kInvalidDigest) ||
+          ie.contains(ErrorCode::kBadKeyLength);
+      if (!key_sensitive) {
+        if (rng.chance(0.10)) {
+          eval.spec.ksk_missing = true;
+        } else if (rng.chance(0.22)) {
+          eval.spec.stale_ds_only = true;
+        }
+      }
+    }
+    out.push_back(std::move(eval));
+  }
+  return out;
+}
+
+}  // namespace dfx::zreplicator

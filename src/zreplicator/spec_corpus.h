@@ -1,0 +1,38 @@
+// Evaluation-spec generator: samples SnapshotSpecs with the error-
+// combination structure of the paper's 296,813 erroneous snapshots,
+// including the S1 (NZIC-only) / S2 split and the replication-failure
+// drivers of §5.5.1 at their reported rates.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+#include "zreplicator/spec.h"
+
+namespace dfx::zreplicator {
+
+struct EvalSpec {
+  SnapshotSpec spec;
+  bool s1 = false;  // NZIC is the only intended error
+};
+
+struct SpecCorpusOptions {
+  std::size_t count = 2000;
+  std::uint64_t seed = 42;
+  /// Paper shares driving the sampler.
+  double s1_share = 0.568;  // 168,482 / 296,813
+  /// S1 replication-failure probability (paper: 1 - 98.81%).
+  double s1_artifact_rate = 0.0119;
+  /// S2 failure split: total 21.29%, of which 32.82% generate nothing
+  /// (artifacts) and 67.18% generate a subset. Partial failures also arise
+  /// *organically* from contradictory error combinations (≈10% of S2), so
+  /// the modelled variant rate only covers the remainder.
+  double s2_artifact_rate = 0.047;
+  double s2_variant_rate = 0.115;
+  /// Parent-zone-bogus rate (paper: 5 unfixable of ~101K fixed S2 zones).
+  double parent_bogus_rate = 0.00005;
+};
+
+std::vector<EvalSpec> generate_eval_specs(const SpecCorpusOptions& options);
+
+}  // namespace dfx::zreplicator

@@ -1,0 +1,125 @@
+// DNSSEC algorithm registry, key tags, and DS digest tests.
+#include <gtest/gtest.h>
+
+#include "crypto/algorithm.h"
+#include "dnscore/name.h"
+#include "dnscore/rdata.h"
+#include "util/codec.h"
+#include "util/rng.h"
+
+namespace dfx::crypto {
+namespace {
+
+TEST(AlgorithmRegistry, KnowsPaperAlgorithms) {
+  for (int number : {3, 5, 6, 7, 8, 10, 12, 13, 14, 15, 16}) {
+    EXPECT_TRUE(algorithm_info(static_cast<std::uint8_t>(number)).has_value())
+        << number;
+  }
+  EXPECT_FALSE(algorithm_info(static_cast<std::uint8_t>(99)).has_value());
+}
+
+TEST(AlgorithmRegistry, RetiredAlgorithmsAreUnsupported) {
+  for (int number : {3, 6, 12}) {
+    const auto info = algorithm_info(static_cast<std::uint8_t>(number));
+    ASSERT_TRUE(info.has_value());
+    EXPECT_FALSE(info->supported_by_bind) << info->mnemonic;
+  }
+  const auto supported = bind_supported_algorithms();
+  EXPECT_EQ(supported.size(), 8u);  // 5, 7, 8, 10, 13, 14, 15, 16
+}
+
+TEST(AlgorithmRegistry, Mnemonics) {
+  EXPECT_EQ(algorithm_mnemonic(DnssecAlgorithm::kRsaSha256), "RSASHA256");
+  EXPECT_EQ(algorithm_mnemonic(DnssecAlgorithm::kEcdsaP256Sha256),
+            "ECDSAP256SHA256");
+  EXPECT_EQ(algorithm_mnemonic(DnssecAlgorithm::kDsaNsec3Sha1),
+            "DSA-NSEC3-SHA1");
+}
+
+TEST(Keygen, RefusesUnsupportedAlgorithms) {
+  Rng rng(1);
+  EXPECT_THROW(generate_key(rng, DnssecAlgorithm::kGost),
+               std::invalid_argument);
+  EXPECT_THROW(generate_key(rng, DnssecAlgorithm::kDsa),
+               std::invalid_argument);
+}
+
+TEST(Keygen, SignVerifyAcrossAllSupportedAlgorithms) {
+  Rng rng(2);
+  const Bytes msg = to_bytes("rrset canonical form");
+  for (const auto alg : bind_supported_algorithms()) {
+    const auto key = generate_key(rng, alg);
+    const Bytes sig = sign_message(key, msg);
+    EXPECT_TRUE(verify_message(alg, key.public_key, msg, sig))
+        << algorithm_mnemonic(alg);
+    // Tampering breaks it.
+    Bytes bad = sig;
+    bad[0] ^= 1;
+    EXPECT_FALSE(verify_message(alg, key.public_key, msg, bad))
+        << algorithm_mnemonic(alg);
+  }
+}
+
+TEST(Keygen, CrossAlgorithmSignaturesRejected) {
+  Rng rng(3);
+  const Bytes msg = to_bytes("data");
+  const auto k13 = generate_key(rng, DnssecAlgorithm::kEcdsaP256Sha256);
+  const Bytes sig = sign_message(k13, msg);
+  EXPECT_FALSE(verify_message(DnssecAlgorithm::kEd25519, k13.public_key, msg,
+                              sig));
+}
+
+TEST(KeyTag, Rfc4034AppendixBAlgorithm) {
+  // Independent reimplementation check on a fixed RDATA.
+  const Bytes rdata = {0x01, 0x01, 0x03, 0x08, 0xAB, 0xCD, 0xEF};
+  std::uint32_t ac = 0;
+  for (std::size_t i = 0; i < rdata.size(); ++i) {
+    ac += (i & 1) ? rdata[i] : static_cast<std::uint32_t>(rdata[i]) << 8;
+  }
+  ac += (ac >> 16) & 0xFFFF;
+  EXPECT_EQ(key_tag(rdata), static_cast<std::uint16_t>(ac & 0xFFFF));
+}
+
+TEST(KeyTag, ChangesWithRevokeFlag) {
+  Rng rng(4);
+  const auto material = generate_key(rng, DnssecAlgorithm::kEcdsaP256Sha256);
+  dns::DnskeyRdata key;
+  key.flags = 0x0101;
+  key.algorithm = 13;
+  key.public_key = material.public_key;
+  const auto tag = key.key_tag();
+  key.flags |= 0x0080;  // REVOKE
+  EXPECT_NE(key.key_tag(), tag);
+}
+
+TEST(DsDigest, LengthsPerType) {
+  EXPECT_EQ(digest_length(DigestType::kSha1), 20u);
+  EXPECT_EQ(digest_length(DigestType::kSha256), 32u);
+  EXPECT_EQ(digest_length(DigestType::kSha384), 48u);
+  EXPECT_EQ(digest_length(DigestType::kGost), 0u);
+}
+
+TEST(DsDigest, SensitiveToOwnerAndKey) {
+  Rng rng(5);
+  const auto key = generate_key(rng, DnssecAlgorithm::kEcdsaP256Sha256);
+  const auto owner1 = dns::Name::of("example.com.").to_canonical_wire();
+  const auto owner2 = dns::Name::of("example.net.").to_canonical_wire();
+  const Bytes d1 = ds_digest(DigestType::kSha256, owner1, key.public_key);
+  const Bytes d2 = ds_digest(DigestType::kSha256, owner2, key.public_key);
+  EXPECT_EQ(d1.size(), 32u);
+  EXPECT_NE(d1, d2);
+  // Unsupported digest types yield empty (DS ignored by validators).
+  EXPECT_TRUE(ds_digest(DigestType::kGost, owner1, key.public_key).empty());
+}
+
+TEST(DsDigest, CaseInsensitiveOwner) {
+  Rng rng(6);
+  const auto key = generate_key(rng, DnssecAlgorithm::kEcdsaP256Sha256);
+  const auto lower = dns::Name::of("example.com.").to_canonical_wire();
+  const auto upper = dns::Name::of("EXAMPLE.COM.").to_canonical_wire();
+  EXPECT_EQ(ds_digest(DigestType::kSha256, lower, key.public_key),
+            ds_digest(DigestType::kSha256, upper, key.public_key));
+}
+
+}  // namespace
+}  // namespace dfx::crypto

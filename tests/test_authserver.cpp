@@ -1,0 +1,214 @@
+// Authoritative-server answer-logic tests: positive answers, referrals,
+// negative answers with proofs, lameness, and the parent-side view.
+#include <gtest/gtest.h>
+
+#include "authserver/farm.h"
+#include "zone/signer.h"
+
+namespace dfx::authserver {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+constexpr UnixTime kNow = kDatasetStart;
+
+struct Fixture {
+  Name parent_apex = Name::of("test.");
+  Name apex = Name::of("example.test.");
+  zone::KeyStore keys{apex};
+  zone::Zone signed_zone{apex};
+  zone::Zone parent{parent_apex};
+  ServerFarm farm;
+  Rng rng{55};
+
+  explicit Fixture(zone::DenialMode denial = zone::DenialMode::kNsec) {
+    zone::Zone unsigned_zone(apex);
+    dns::SoaRdata soa;
+    soa.mname = apex.child("ns1");
+    soa.rname = apex.child("hostmaster");
+    unsigned_zone.add(apex, RRType::kSOA, 3600, soa);
+    unsigned_zone.add(apex, RRType::kNS, 3600,
+                      dns::NsRdata{apex.child("ns1")});
+    dns::ARdata a;
+    a.address = {192, 0, 2, 1};
+    unsigned_zone.add(apex.child("ns1"), RRType::kA, 3600, a);
+    unsigned_zone.add(apex.child("www"), RRType::kA, 3600, a);
+    unsigned_zone.add(apex.child("alias"), RRType::kCNAME, 3600,
+                      dns::CnameRdata{apex.child("www")});
+    keys.generate(rng, zone::KeyRole::kKsk,
+                  crypto::DnssecAlgorithm::kEcdsaP256Sha256, kNow);
+    keys.generate(rng, zone::KeyRole::kZsk,
+                  crypto::DnssecAlgorithm::kEcdsaP256Sha256, kNow);
+    zone::SigningConfig config;
+    config.denial = denial;
+    signed_zone = zone::sign_zone(unsigned_zone, keys, config, kNow);
+
+    dns::SoaRdata psoa;
+    psoa.mname = parent_apex.child("ns1");
+    psoa.rname = parent_apex.child("hostmaster");
+    parent.add(parent_apex, RRType::kSOA, 3600, psoa);
+    parent.add(parent_apex, RRType::kNS, 3600,
+               dns::NsRdata{parent_apex.child("ns1")});
+    parent.add(apex, RRType::kNS, 3600, dns::NsRdata{apex.child("ns1")});
+    const auto* ksk = keys.active_with_role(kNow, zone::KeyRole::kKsk)[0];
+    parent.add(apex, RRType::kDS, 3600,
+               zone::make_ds(*ksk, crypto::DigestType::kSha256));
+
+    farm.host_zone("ns1", signed_zone);
+    farm.host_zone("ns1", parent);
+  }
+
+  AuthServer& server() { return farm.server("ns1"); }
+};
+
+TEST(AuthServer, PositiveAnswerWithSignatures) {
+  Fixture f;
+  const auto result = f.server().query(f.apex.child("www"), RRType::kA);
+  EXPECT_EQ(result.rcode, dns::RCode::kNoError);
+  EXPECT_TRUE(result.authoritative);
+  bool saw_a = false;
+  bool saw_rrsig = false;
+  for (const auto& rr : result.answers) {
+    saw_a = saw_a || rr.type == RRType::kA;
+    saw_rrsig = saw_rrsig || rr.type == RRType::kRRSIG;
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_rrsig);
+}
+
+TEST(AuthServer, CnameAnswersOtherTypes) {
+  Fixture f;
+  const auto result = f.server().query(f.apex.child("alias"), RRType::kA);
+  EXPECT_EQ(result.rcode, dns::RCode::kNoError);
+  ASSERT_FALSE(result.answers.empty());
+  EXPECT_EQ(result.answers.front().type, RRType::kCNAME);
+}
+
+TEST(AuthServer, NxdomainCarriesNsecProofs) {
+  Fixture f;
+  const auto result =
+      f.server().query(f.apex.child("no-such-name"), RRType::kA);
+  EXPECT_EQ(result.rcode, dns::RCode::kNXDomain);
+  const auto proofs = result.negative_proofs();
+  bool saw_nsec = false;
+  for (const auto& rr : proofs) saw_nsec |= rr.type == RRType::kNSEC;
+  EXPECT_TRUE(saw_nsec);
+  // SOA in authority for negative caching.
+  bool saw_soa = false;
+  for (const auto& rr : result.authorities) saw_soa |= rr.type == RRType::kSOA;
+  EXPECT_TRUE(saw_soa);
+}
+
+TEST(AuthServer, NxdomainCarriesNsec3ClosestEncloserProof) {
+  Fixture f(zone::DenialMode::kNsec3);
+  const auto result =
+      f.server().query(f.apex.child("no-such-name"), RRType::kA);
+  EXPECT_EQ(result.rcode, dns::RCode::kNXDomain);
+  int nsec3_count = 0;
+  for (const auto& rr : result.authorities) {
+    if (rr.type == RRType::kNSEC3) ++nsec3_count;
+  }
+  // Closest-encloser match + next-closer cover + wildcard cover (some may
+  // coincide, but at least one record must be present).
+  EXPECT_GE(nsec3_count, 1);
+}
+
+TEST(AuthServer, NodataCarriesMatchingProof) {
+  Fixture f;
+  const auto result = f.server().query(f.apex, RRType::kMX);
+  EXPECT_EQ(result.rcode, dns::RCode::kNoError);
+  EXPECT_TRUE(result.answers.empty());
+  bool saw_apex_nsec = false;
+  for (const auto& rr : result.authorities) {
+    if (rr.type == RRType::kNSEC && rr.owner == f.apex) saw_apex_nsec = true;
+  }
+  EXPECT_TRUE(saw_apex_nsec);
+}
+
+TEST(AuthServer, LameServerDoesNotRespond) {
+  Fixture f;
+  f.server().set_lame(true);
+  const auto result = f.server().query(f.apex, RRType::kSOA);
+  EXPECT_FALSE(result.reachable);
+}
+
+TEST(AuthServer, RefusesUnhostedZones) {
+  Fixture f;
+  const auto result =
+      f.server().query(dns::Name::of("other.org."), RRType::kA);
+  EXPECT_EQ(result.rcode, dns::RCode::kRefused);
+}
+
+TEST(AuthServer, ApexDsServedFromParentSide) {
+  Fixture f;
+  // The server hosts both sides of the cut; a DS query for the child apex
+  // must be answered from the parent zone.
+  const auto result = f.server().query(f.apex, RRType::kDS);
+  EXPECT_EQ(result.rcode, dns::RCode::kNoError);
+  bool saw_ds = false;
+  for (const auto& rr : result.answers) saw_ds |= rr.type == RRType::kDS;
+  EXPECT_TRUE(saw_ds);
+}
+
+TEST(AuthServer, QueryInZoneForcesParentView) {
+  Fixture f;
+  const auto result =
+      f.server().query_in_zone(f.parent_apex, f.apex, RRType::kNS);
+  // From the parent's perspective this is a referral: NS in authority.
+  bool saw_delegation_ns = false;
+  for (const auto& rr : result.authorities) {
+    if (rr.type == RRType::kNS && rr.owner == f.apex) {
+      saw_delegation_ns = true;
+    }
+  }
+  EXPECT_TRUE(saw_delegation_ns);
+  // And the zone apex itself answers authoritatively.
+  const auto direct = f.server().query_in_zone(f.apex, f.apex, RRType::kNS);
+  EXPECT_FALSE(direct.answers.empty());
+}
+
+TEST(AuthServer, ReferralIncludesDsAndGlue) {
+  Fixture f;
+  const auto result = f.server().query_in_zone(
+      f.parent_apex, f.apex.child("www"), RRType::kA);
+  EXPECT_FALSE(result.authoritative);
+  bool saw_ns = false;
+  bool saw_ds = false;
+  for (const auto& rr : result.authorities) {
+    saw_ns |= rr.type == RRType::kNS;
+    saw_ds |= rr.type == RRType::kDS;
+  }
+  EXPECT_TRUE(saw_ns);
+  EXPECT_TRUE(saw_ds);
+}
+
+TEST(ServerFarm, SyncAndDivergence) {
+  Fixture f;
+  f.farm.host_zone("ns2", f.signed_zone);
+  // Mutate a copy and push to one server only.
+  zone::Zone altered = f.signed_zone;
+  altered.remove(f.apex, RRType::kDNSKEY);
+  f.farm.push_to_one("ns2", altered);
+  EXPECT_NE(f.farm.server("ns1").zone_data(f.apex)->find(f.apex,
+                                                         RRType::kDNSKEY),
+            nullptr);
+  EXPECT_EQ(f.farm.server("ns2").zone_data(f.apex)->find(f.apex,
+                                                         RRType::kDNSKEY),
+            nullptr);
+  // sync_zone restores convergence.
+  f.farm.sync_zone(f.signed_zone);
+  EXPECT_NE(f.farm.server("ns2").zone_data(f.apex)->find(f.apex,
+                                                         RRType::kDNSKEY),
+            nullptr);
+}
+
+TEST(ServerFarm, ServersForListsHosts) {
+  Fixture f;
+  f.farm.host_zone("ns2", f.signed_zone);
+  EXPECT_EQ(f.farm.servers_for(f.apex).size(), 2u);
+  EXPECT_EQ(f.farm.servers_for(dns::Name::of("nope.")).size(), 0u);
+}
+
+}  // namespace
+}  // namespace dfx::authserver

@@ -1,0 +1,89 @@
+// Naive-LLM baseline tests: the Appendix A.2 failure modes must be
+// reproducible and measurable against DResolver.
+#include <gtest/gtest.h>
+
+#include "dfixer/autofix.h"
+#include "dfixer/baseline.h"
+#include "zreplicator/replicate.h"
+
+namespace dfx::dfixer {
+namespace {
+
+using analyzer::ErrorCode;
+
+zreplicator::SnapshotSpec spec_with(std::set<ErrorCode> errors,
+                                    bool nsec3 = false) {
+  zreplicator::SnapshotSpec spec;
+  analyzer::KeyMeta ksk;
+  ksk.flags = 0x0101;
+  ksk.algorithm = 13;
+  analyzer::KeyMeta zsk;
+  zsk.flags = 0x0100;
+  zsk.algorithm = 13;
+  spec.meta.keys = {ksk, zsk};
+  spec.meta.uses_nsec3 = nsec3;
+  spec.intended_errors = std::move(errors);
+  return spec;
+}
+
+TEST(Baseline, AlwaysLeadsWithResign) {
+  auto r = zreplicator::replicate(
+      spec_with({ErrorCode::kInvalidDigest}), 60);
+  ASSERT_TRUE(r.complete);
+  const auto plan = baseline_resolve(r.sandbox->analyze());
+  ASSERT_FALSE(plan.instructions.empty());
+  EXPECT_EQ(plan.instructions[0].kind, zone::InstructionKind::kSignZone);
+}
+
+TEST(Baseline, NeverRemovesDs) {
+  auto r = zreplicator::replicate(
+      spec_with({ErrorCode::kMissingKskForAlgorithm}), 61);
+  ASSERT_TRUE(r.complete);
+  const auto plan = baseline_resolve(r.sandbox->analyze());
+  for (const auto& instruction : plan.instructions) {
+    EXPECT_NE(instruction.kind, zone::InstructionKind::kRemoveIncorrectDs);
+  }
+}
+
+TEST(Baseline, FailsOnExtraneousDsWhereDFixerSucceeds) {
+  // The paper's key counterexample: the minimal fix is DS *removal*; the
+  // baseline "replaces" the DS and re-signs, never clearing the error.
+  const auto spec = spec_with({ErrorCode::kMissingKskForAlgorithm});
+  auto a = zreplicator::replicate(spec, 62);
+  auto b = zreplicator::replicate(spec, 62);
+  ASSERT_TRUE(a.complete);
+  const auto dfixer_report = auto_fix(*a.sandbox);
+  const auto baseline_report = auto_fix_with(*b.sandbox, &baseline_resolve);
+  EXPECT_TRUE(dfixer_report.success);
+  EXPECT_FALSE(baseline_report.success);
+}
+
+TEST(Baseline, StillFixesSimpleSignatureExpiry) {
+  // Re-signing is the right fix here, so the baseline gets it too.
+  const auto spec = spec_with({ErrorCode::kExpiredSignature});
+  auto r = zreplicator::replicate(spec, 63);
+  ASSERT_TRUE(r.complete);
+  const auto report = auto_fix_with(*r.sandbox, &baseline_resolve);
+  EXPECT_TRUE(report.success);
+}
+
+TEST(Baseline, DropsNsec3ParametersLikeTheLlm) {
+  // Appendix A.2 finding 3: essential parameters are lost. A zone with a
+  // deliberate nonzero-iteration NSEC3 config is re-signed with defaults.
+  auto spec = spec_with({ErrorCode::kExpiredSignature}, /*nsec3=*/true);
+  spec.meta.nsec3_iterations = 7;
+  auto r = zreplicator::replicate(spec, 64);
+  ASSERT_TRUE(r.complete);
+  const auto plan = baseline_resolve(r.sandbox->analyze());
+  ASSERT_FALSE(plan.instructions.empty());
+  EXPECT_EQ(plan.instructions[0].commands[0].args.at("iterations"), "0");
+}
+
+TEST(Baseline, EmptyPlanOnCleanZone) {
+  auto r = zreplicator::replicate(spec_with({}), 65);
+  ASSERT_TRUE(r.complete);
+  EXPECT_TRUE(baseline_resolve(r.sandbox->analyze()).empty());
+}
+
+}  // namespace
+}  // namespace dfx::dfixer

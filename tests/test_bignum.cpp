@@ -1,0 +1,166 @@
+// Bignum arithmetic tests: identities, division invariants, modular
+// arithmetic against independently computed values, primality.
+#include <gtest/gtest.h>
+
+#include "crypto/bignum.h"
+#include "util/rng.h"
+
+namespace dfx::crypto {
+namespace {
+
+TEST(BigNum, ConstructionAndHex) {
+  EXPECT_TRUE(BigNum().is_zero());
+  EXPECT_EQ(BigNum(0x123456789ABCDEFULL).to_hex(), "123456789abcdef");
+  EXPECT_EQ(BigNum::from_hex("0"), BigNum());
+  EXPECT_EQ(BigNum::from_hex("ff"), BigNum(255));
+  EXPECT_EQ(BigNum::from_hex("00000010"), BigNum(16));
+}
+
+TEST(BigNum, ByteRoundTrip) {
+  const Bytes data = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09};
+  EXPECT_EQ(BigNum::from_bytes(data).to_bytes(), data);
+  // Leading zeros are stripped on export.
+  const Bytes padded = {0x00, 0x00, 0x7F};
+  EXPECT_EQ(BigNum::from_bytes(padded).to_bytes(), (Bytes{0x7F}));
+  // Fixed-width export pads on the left.
+  EXPECT_EQ(BigNum(0x1234).to_bytes_padded(4), (Bytes{0, 0, 0x12, 0x34}));
+}
+
+TEST(BigNum, ComparisonOrdering) {
+  EXPECT_LT(BigNum(1), BigNum(2));
+  EXPECT_LT(BigNum(0xFFFFFFFFULL), BigNum(0x100000000ULL));
+  EXPECT_GT(BigNum::from_hex("10000000000000000"), BigNum::from_hex("ffff"));
+}
+
+TEST(BigNum, AddSubIdentity) {
+  Rng rng(100);
+  for (int i = 0; i < 500; ++i) {
+    const BigNum a = BigNum::random_bits(rng, 1 + rng.uniform(300));
+    const BigNum b = BigNum::random_bits(rng, 1 + rng.uniform(300));
+    const BigNum sum = a + b;
+    EXPECT_EQ(sum - a, b);
+    EXPECT_EQ(sum - b, a);
+  }
+}
+
+TEST(BigNum, SubtractionUnderflowThrows) {
+  EXPECT_THROW(BigNum(1) - BigNum(2), std::underflow_error);
+}
+
+TEST(BigNum, MulDistributesOverAdd) {
+  Rng rng(101);
+  for (int i = 0; i < 300; ++i) {
+    const BigNum a = BigNum::random_bits(rng, 1 + rng.uniform(200));
+    const BigNum b = BigNum::random_bits(rng, 1 + rng.uniform(200));
+    const BigNum c = BigNum::random_bits(rng, 1 + rng.uniform(200));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TEST(BigNum, KnownProduct) {
+  // 0xFFFFFFFFFFFFFFFF^2 = 0xFFFFFFFFFFFFFFFE0000000000000001.
+  const BigNum v = BigNum::from_hex("ffffffffffffffff");
+  EXPECT_EQ((v * v).to_hex(), "fffffffffffffffe0000000000000001");
+}
+
+TEST(BigNum, ShiftsAreInverse) {
+  Rng rng(102);
+  for (int i = 0; i < 200; ++i) {
+    const BigNum a = BigNum::random_bits(rng, 1 + rng.uniform(256));
+    const std::size_t s = rng.uniform(130);
+    EXPECT_EQ((a << s) >> s, a);
+  }
+}
+
+TEST(BigNum, DivModInvariantSweep) {
+  Rng rng(103);
+  for (int i = 0; i < 3000; ++i) {
+    const BigNum a = BigNum::random_bits(rng, 1 + rng.uniform(512));
+    const BigNum b = BigNum::random_bits(rng, 1 + rng.uniform(256));
+    if (b.is_zero()) continue;
+    BigNum q;
+    BigNum r;
+    BigNum::divmod(a, b, q, r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r, b);
+  }
+}
+
+TEST(BigNum, DivisionByZeroThrows) {
+  BigNum q, r;
+  EXPECT_THROW(BigNum::divmod(BigNum(1), BigNum(), q, r), std::domain_error);
+}
+
+TEST(BigNum, SingleLimbDivision) {
+  EXPECT_EQ((BigNum::from_hex("123456789abcdef0") / BigNum(7)).to_hex(),
+            "299c335ccf668fd");
+  EXPECT_EQ(BigNum::from_hex("123456789abcdef0") % BigNum(7), BigNum(5));
+}
+
+TEST(BigNum, ModExpKnownValues) {
+  // 2^10 mod 1000 = 24.
+  EXPECT_EQ(BigNum::modexp(BigNum(2), BigNum(10), BigNum(1000)), BigNum(24));
+  // Fermat: a^(p-1) = 1 mod p for prime p = 2^31-1.
+  const BigNum p(2147483647);
+  EXPECT_EQ(BigNum::modexp(BigNum(12345), p - BigNum(1), p), BigNum(1));
+  // Cross-checked with Python pow():
+  EXPECT_EQ(BigNum::modexp(BigNum::from_hex("123456789abcdef0aa55"),
+                           BigNum(65537),
+                           BigNum::from_hex("fedcba987654321fff1"))
+                .to_hex(),
+            "347c0c053c45833422e");
+}
+
+TEST(BigNum, ModInvIsInverse) {
+  Rng rng(104);
+  const BigNum m = BigNum::generate_prime(rng, 96);
+  for (int i = 0; i < 50; ++i) {
+    const BigNum a = BigNum(2) + BigNum::random_below(rng, m - BigNum(3));
+    const BigNum inv = BigNum::modinv(a, m);
+    ASSERT_FALSE(inv.is_zero());
+    EXPECT_EQ((a * inv) % m, BigNum(1));
+  }
+}
+
+TEST(BigNum, ModInvOfNonInvertible) {
+  EXPECT_TRUE(BigNum::modinv(BigNum(6), BigNum(12)).is_zero());
+}
+
+TEST(BigNum, GcdBasics) {
+  EXPECT_EQ(BigNum::gcd(BigNum(48), BigNum(18)), BigNum(6));
+  EXPECT_EQ(BigNum::gcd(BigNum(17), BigNum(5)), BigNum(1));
+  EXPECT_EQ(BigNum::gcd(BigNum(0), BigNum(9)), BigNum(9));
+}
+
+TEST(BigNum, MillerRabinClassifiesSmallNumbers) {
+  Rng rng(105);
+  // Primes.
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 104729ULL, 2147483647ULL}) {
+    EXPECT_TRUE(BigNum::is_probable_prime(BigNum(p), rng)) << p;
+  }
+  // Composites, including Carmichael numbers.
+  for (std::uint64_t c : {1ULL, 4ULL, 561ULL, 1729ULL, 104730ULL,
+                          2147483647ULL * 3ULL}) {
+    EXPECT_FALSE(BigNum::is_probable_prime(BigNum(c), rng)) << c;
+  }
+}
+
+TEST(BigNum, GeneratePrimeHasExactBitLength) {
+  Rng rng(106);
+  for (std::size_t bits : {64u, 96u, 128u}) {
+    const BigNum p = BigNum::generate_prime(rng, bits);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(BigNum::is_probable_prime(p, rng));
+  }
+}
+
+TEST(BigNum, RandomBelowStaysBelow) {
+  Rng rng(107);
+  const BigNum bound = BigNum::from_hex("10000000000000001");
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(BigNum::random_below(rng, bound), bound);
+  }
+}
+
+}  // namespace
+}  // namespace dfx::crypto

@@ -1,0 +1,99 @@
+// BIND command model tests: rendered CLI strings and instruction names.
+#include <gtest/gtest.h>
+
+#include "zone/bindcmd.h"
+
+namespace dfx::zone {
+namespace {
+
+const dns::Name kZone = dns::Name::of("example.com.");
+
+TEST(BindCommand, KeygenRendersKskFlag) {
+  const auto ksk = cmd_keygen(kZone, crypto::DnssecAlgorithm::kRsaSha256,
+                              2048, true);
+  const std::string text = ksk.render();
+  EXPECT_NE(text.find("dnssec-keygen"), std::string::npos);
+  EXPECT_NE(text.find("-f KSK"), std::string::npos);
+  EXPECT_NE(text.find("-a RSASHA256"), std::string::npos);
+  EXPECT_NE(text.find("-b 2048"), std::string::npos);
+  EXPECT_NE(text.find("example.com."), std::string::npos);
+
+  const auto zsk = cmd_keygen(kZone, crypto::DnssecAlgorithm::kRsaSha256,
+                              1024, false);
+  EXPECT_EQ(zsk.render().find("-f KSK"), std::string::npos);
+}
+
+TEST(BindCommand, SignzoneRendersNsec3Parameters) {
+  SignZoneParams params;
+  params.zone = kZone;
+  params.nsec3 = true;
+  params.nsec3_iterations = 0;
+  params.nsec3_salt_hex = "-";
+  const std::string text = cmd_signzone(params).render();
+  EXPECT_NE(text.find("dnssec-signzone"), std::string::npos);
+  EXPECT_NE(text.find("-3 -"), std::string::npos);
+  EXPECT_NE(text.find("-H 0"), std::string::npos);
+  EXPECT_NE(text.find("-N INCREMENT"), std::string::npos);
+
+  params.nsec3 = false;
+  EXPECT_EQ(cmd_signzone(params).render().find("-3"), std::string::npos);
+}
+
+TEST(BindCommand, SettimeUsesDnssecTimeFormat) {
+  const auto cmd = cmd_settime_delete(kZone, 4242, kDatasetStart);
+  const std::string text = cmd.render();
+  EXPECT_NE(text.find("dnssec-settime -D 20200311000000"),
+            std::string::npos);
+  EXPECT_NE(text.find("4242"), std::string::npos);
+}
+
+TEST(BindCommand, DsFromKeyRendersDigestFlag) {
+  const auto cmd = cmd_dsfromkey(kZone, 4242, crypto::DigestType::kSha256);
+  EXPECT_NE(cmd.render().find("dnssec-dsfromkey -2"), std::string::npos);
+}
+
+TEST(BindCommand, ManualStepsAreMarked) {
+  EXPECT_NE(cmd_upload_ds(kZone, 1, crypto::DigestType::kSha256)
+                .render()
+                .find("[manual]"),
+            std::string::npos);
+  EXPECT_NE(cmd_remove_ds(kZone, 1).render().find("[manual]"),
+            std::string::npos);
+  EXPECT_NE(cmd_wait_ttl(3600).render().find("[wait] Wait 3600s"),
+            std::string::npos);
+}
+
+TEST(BindCommand, SyncRendersRsyncAndReload) {
+  const std::string text = cmd_sync_servers(kZone).render();
+  EXPECT_NE(text.find("rsync"), std::string::npos);
+  EXPECT_NE(text.find("rndc reload"), std::string::npos);
+}
+
+TEST(InstructionKind, NamesMatchTable7) {
+  EXPECT_EQ(instruction_kind_name(InstructionKind::kSignZone),
+            "Sign the zone");
+  EXPECT_EQ(instruction_kind_name(InstructionKind::kRemoveIncorrectDs),
+            "Remove the incorrect DS record");
+  EXPECT_EQ(instruction_kind_name(InstructionKind::kUploadDs),
+            "Upload the DS record");
+  EXPECT_EQ(instruction_kind_name(InstructionKind::kGenerateKsk),
+            "Generate a KSK");
+  EXPECT_EQ(instruction_kind_name(InstructionKind::kSyncAuthServers),
+            "Synchronize the DNS authoritative server");
+  EXPECT_EQ(instruction_kind_name(InstructionKind::kGenerateZsk),
+            "Generate ZSK");
+  EXPECT_EQ(instruction_kind_name(InstructionKind::kReduceTtl),
+            "Reduce TTL of a specific record");
+  EXPECT_EQ(instruction_kind_name(InstructionKind::kRemoveRevokedKey),
+            "Remove the revoked key");
+}
+
+TEST(BindCommand, RemoveDsCarriesDigestSelector) {
+  const auto cmd = cmd_remove_ds(kZone, 7, "aabbcc");
+  EXPECT_EQ(cmd.args.at("digest_hex"), "aabbcc");
+  const auto no_digest = cmd_remove_ds(kZone, 7);
+  EXPECT_EQ(no_digest.args.count("digest_hex"), 0u);
+}
+
+}  // namespace
+}  // namespace dfx::zone

@@ -1,0 +1,158 @@
+// CDS/CDNSKEY (RFC 7344/8078) extension tests: record types, publication
+// by the signer, the sandbox parental agent, and the CDS-automated DFixer
+// variant — including the RFC 8078 no-bootstrap rule that explains why the
+// paper could not rely on CDS for repair.
+#include <gtest/gtest.h>
+
+#include "dfixer/autofix.h"
+#include "dnscore/wire.h"
+#include "dfixer/dresolver.h"
+#include "zreplicator/injector.h"
+#include "zreplicator/replicate.h"
+
+namespace dfx {
+namespace {
+
+using analyzer::ErrorCode;
+using dns::Name;
+using dns::RRType;
+
+zreplicator::SnapshotSpec base_spec() {
+  zreplicator::SnapshotSpec spec;
+  analyzer::KeyMeta ksk;
+  ksk.flags = 0x0101;
+  ksk.algorithm = 13;
+  analyzer::KeyMeta zsk;
+  zsk.flags = 0x0100;
+  zsk.algorithm = 13;
+  spec.meta.keys = {ksk, zsk};
+  return spec;
+}
+
+TEST(CdsRecords, WireAndTextRoundTrip) {
+  dns::DsRdata inner;
+  inner.key_tag = 4242;
+  inner.algorithm = 13;
+  inner.digest_type = 2;
+  inner.digest = Bytes(32, 0xCD);
+  const dns::Rdata cds{dns::CdsRdata{inner}};
+  EXPECT_EQ(dns::rdata_type(cds), RRType::kCDS);
+  // CDS wire form is identical to DS wire form (RFC 7344 §3.1)...
+  EXPECT_EQ(dns::rdata_to_wire(cds), dns::rdata_to_wire(dns::Rdata(inner)));
+  // ...but decodes back as CDS when asked for type 59.
+  const auto decoded = dns::rdata_from_wire(RRType::kCDS, dns::rdata_to_wire(cds));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(std::holds_alternative<dns::CdsRdata>(*decoded));
+  EXPECT_EQ(dns::rrtype_to_string(RRType::kCDS), "CDS");
+  EXPECT_EQ(dns::rrtype_to_string(RRType::kCDNSKEY), "CDNSKEY");
+}
+
+TEST(CdsPublication, SignerPublishesForActiveKsks) {
+  auto r = zreplicator::replicate(base_spec(), 70);
+  auto& sandbox = *r.sandbox;
+  auto& mz = sandbox.managed(sandbox.child_apex());
+  mz.config.publish_cds = true;
+  sandbox.resign_and_sync(sandbox.child_apex());
+  const auto* cds = mz.signed_zone.find(sandbox.child_apex(), RRType::kCDS);
+  ASSERT_NE(cds, nullptr);
+  EXPECT_EQ(cds->size(), 1u);  // one active KSK
+  const auto& rdata = std::get<dns::CdsRdata>(cds->rdatas().front());
+  const auto* ksk =
+      mz.keys.active_with_role(sandbox.clock().now(), zone::KeyRole::kKsk)[0];
+  EXPECT_EQ(rdata.ds.key_tag, ksk->tag());
+  // CDNSKEY travels with it, and both are signed.
+  EXPECT_NE(mz.signed_zone.find(sandbox.child_apex(), RRType::kCDNSKEY),
+            nullptr);
+  // The zone still validates (CDS is ordinary authoritative data).
+  EXPECT_EQ(sandbox.analyze().status,
+            analyzer::SnapshotStatus::kSignedValid);
+}
+
+TEST(ParentalAgent, SynchronizesDsFromCds) {
+  auto r = zreplicator::replicate(base_spec(), 71);
+  auto& sandbox = *r.sandbox;
+  // Plant an extraneous DS, then publish CDS and poll.
+  ASSERT_TRUE(zreplicator::inject_error(
+      sandbox, ErrorCode::kMissingKskForAlgorithm));
+  EXPECT_TRUE(sandbox.analyze().has_error(
+      ErrorCode::kMissingKskForAlgorithm));
+  auto& mz = sandbox.managed(sandbox.child_apex());
+  mz.config.publish_cds = true;
+  sandbox.resign_and_sync(sandbox.child_apex());
+  ASSERT_TRUE(sandbox.poll_cds(sandbox.child_apex()));
+  const auto snapshot = sandbox.analyze();
+  EXPECT_EQ(snapshot.status, analyzer::SnapshotStatus::kSignedValid)
+      << "the CDS-derived DS set should have replaced the stale one";
+}
+
+TEST(ParentalAgent, RefusesBootstrapOverBrokenChain) {
+  // RFC 8078 conservatism: when no current DS validates, CDS is ignored —
+  // exactly why the paper's DFixer falls back to manual registrar steps.
+  auto spec = base_spec();
+  spec.stale_ds_only = true;  // only a dangling DS remains at the parent
+  auto r = zreplicator::replicate(spec, 72);
+  auto& sandbox = *r.sandbox;
+  auto& mz = sandbox.managed(sandbox.child_apex());
+  mz.config.publish_cds = true;
+  sandbox.resign_and_sync(sandbox.child_apex());
+  EXPECT_FALSE(sandbox.poll_cds(sandbox.child_apex()));
+}
+
+TEST(ResolveWithCds, CollapsesDsStepsWhenChainValid) {
+  auto spec = base_spec();
+  spec.intended_errors = {ErrorCode::kMissingKskForAlgorithm};
+  auto r = zreplicator::replicate(spec, 73);
+  ASSERT_TRUE(r.complete);
+  const auto snapshot = r.sandbox->analyze();
+  const auto manual = dfixer::resolve(snapshot);
+  const auto automated = dfixer::resolve_with_cds(snapshot);
+  // Manual plan: registrar removal steps. Automated: one CDS publication.
+  EXPECT_GE(manual.instructions.size(), 1u);
+  ASSERT_EQ(automated.instructions.size(), 1u);
+  ASSERT_EQ(automated.instructions[0].commands.size(), 1u);
+  EXPECT_EQ(automated.instructions[0].commands[0].kind,
+            zone::CommandKind::kPublishCds);
+}
+
+TEST(ResolveWithCds, FallsBackToManualWhenChainBroken) {
+  auto spec = base_spec();
+  spec.intended_errors = {ErrorCode::kRevokedKey};
+  auto r = zreplicator::replicate(spec, 74);
+  ASSERT_TRUE(r.complete);
+  const auto snapshot = r.sandbox->analyze();
+  const auto automated = dfixer::resolve_with_cds(snapshot);
+  bool any_cds = false;
+  bool any_manual_ds = false;
+  for (const auto& instruction : automated.instructions) {
+    for (const auto& cmd : instruction.commands) {
+      any_cds |= cmd.kind == zone::CommandKind::kPublishCds;
+      any_manual_ds |=
+          cmd.kind == zone::CommandKind::kUploadDsToParent ||
+          cmd.kind == zone::CommandKind::kRemoveDsFromParent;
+    }
+  }
+  EXPECT_FALSE(any_cds);
+  EXPECT_TRUE(any_manual_ds);
+}
+
+TEST(ResolveWithCds, EndToEndFixWithoutManualSteps) {
+  auto spec = base_spec();
+  spec.intended_errors = {ErrorCode::kMissingKskForAlgorithm,
+                          ErrorCode::kExpiredSignature};
+  auto r = zreplicator::replicate(spec, 75);
+  ASSERT_TRUE(r.complete) << r.failure_reason;
+  const auto report =
+      dfixer::auto_fix_with(*r.sandbox, &dfixer::resolve_with_cds);
+  EXPECT_TRUE(report.success);
+  for (const auto& iteration : report.iterations) {
+    for (const auto& instruction : iteration.plan.instructions) {
+      for (const auto& cmd : instruction.commands) {
+        EXPECT_NE(cmd.kind, zone::CommandKind::kUploadDsToParent);
+        EXPECT_NE(cmd.kind, zone::CommandKind::kRemoveDsFromParent);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dfx

@@ -1,0 +1,91 @@
+// Codec tests: RFC 4648 vectors plus property-style round-trip sweeps.
+#include <gtest/gtest.h>
+
+#include "util/codec.h"
+#include "util/rng.h"
+
+namespace dfx {
+namespace {
+
+TEST(Hex, EncodesKnownVectors) {
+  EXPECT_EQ(hex_encode(to_bytes("")), "");
+  EXPECT_EQ(hex_encode(to_bytes("foobar")), "666f6f626172");
+  EXPECT_EQ(hex_encode(Bytes{0x00, 0xFF, 0x10}), "00ff10");
+}
+
+TEST(Hex, DecodesBothCases) {
+  EXPECT_EQ(hex_decode("00FF10"), (Bytes{0x00, 0xFF, 0x10}));
+  EXPECT_EQ(hex_decode("00ff10"), (Bytes{0x00, 0xFF, 0x10}));
+}
+
+TEST(Hex, DashDecodesToEmpty) {
+  // DNS presentation convention for an empty NSEC3 salt.
+  const auto decoded = hex_decode("-");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_FALSE(hex_decode("abc").has_value());   // odd length
+  EXPECT_FALSE(hex_decode("zz").has_value());    // non-hex
+  EXPECT_FALSE(hex_decode("0g").has_value());
+}
+
+TEST(Base32Hex, Rfc4648Vectors) {
+  // RFC 4648 §10 (unpadded form, upper case).
+  EXPECT_EQ(base32hex_encode(to_bytes("")), "");
+  EXPECT_EQ(base32hex_encode(to_bytes("f")), "CO");
+  EXPECT_EQ(base32hex_encode(to_bytes("fo")), "CPNG");
+  EXPECT_EQ(base32hex_encode(to_bytes("foo")), "CPNMU");
+  EXPECT_EQ(base32hex_encode(to_bytes("foob")), "CPNMUOG");
+  EXPECT_EQ(base32hex_encode(to_bytes("fooba")), "CPNMUOJ1");
+  EXPECT_EQ(base32hex_encode(to_bytes("foobar")), "CPNMUOJ1E8");
+}
+
+TEST(Base32Hex, DecodeIsCaseInsensitive) {
+  EXPECT_EQ(base32hex_decode("cpnmuoj1e8"), to_bytes("foobar"));
+  EXPECT_EQ(base32hex_decode("CPNMUOJ1E8"), to_bytes("foobar"));
+}
+
+TEST(Base32Hex, RejectsInvalidCharacters) {
+  EXPECT_FALSE(base32hex_decode("WXYZ!").has_value());  // W..Z not in b32hex
+}
+
+TEST(Base64, Rfc4648Vectors) {
+  EXPECT_EQ(base64_encode(to_bytes("")), "");
+  EXPECT_EQ(base64_encode(to_bytes("f")), "Zg==");
+  EXPECT_EQ(base64_encode(to_bytes("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(to_bytes("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(to_bytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(to_bytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(to_bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeSkipsWhitespaceAndPadding) {
+  EXPECT_EQ(base64_decode("Zm9v\nYmFy"), to_bytes("foobar"));
+  EXPECT_EQ(base64_decode("Zm9vYg=="), to_bytes("foob"));
+  EXPECT_EQ(base64_decode("Zm9vYg"), to_bytes("foob"));  // padding optional
+}
+
+TEST(Base64, RejectsInvalidCharacters) {
+  EXPECT_FALSE(base64_decode("Zm9v*mFy").has_value());
+}
+
+class CodecRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CodecRoundTrip, AllCodecsInvertOnRandomBuffers) {
+  Rng rng(GetParam() * 2654435761ULL + 1);
+  Bytes data(GetParam());
+  rng.fill(data);
+  EXPECT_EQ(hex_decode(hex_encode(data)), data);
+  EXPECT_EQ(base32hex_decode(base32hex_encode(data)), data);
+  EXPECT_EQ(base64_decode(base64_encode(data)), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CodecRoundTrip,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 7, 8, 19, 20,
+                                           32, 33, 63, 64, 65, 255, 256,
+                                           1000));
+
+}  // namespace
+}  // namespace dfx

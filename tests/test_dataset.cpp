@@ -1,0 +1,154 @@
+// Corpus generator tests: determinism, quota adherence, timeline sanity,
+// and the JSON round-trip.
+#include <gtest/gtest.h>
+
+#include "dataset/generator.h"
+
+namespace dfx::dataset {
+namespace {
+
+GeneratorOptions small_options() {
+  GeneratorOptions options;
+  options.scale = 0.01;
+  options.seed = 99;
+  return options;
+}
+
+TEST(Generator, DeterministicGivenSeed) {
+  const Corpus a = generate_corpus(small_options());
+  const Corpus b = generate_corpus(small_options());
+  ASSERT_EQ(a.domains.size(), b.domains.size());
+  EXPECT_EQ(a.total_snapshots(), b.total_snapshots());
+  for (std::size_t i = 0; i < a.domains.size(); i += 97) {
+    EXPECT_EQ(a.domains[i].snapshots.size(), b.domains[i].snapshots.size());
+    if (!a.domains[i].snapshots.empty()) {
+      EXPECT_EQ(a.domains[i].snapshots[0].time,
+                b.domains[i].snapshots[0].time);
+      EXPECT_EQ(a.domains[i].snapshots[0].status,
+                b.domains[i].snapshots[0].status);
+    }
+  }
+}
+
+TEST(Generator, DomainCountsScale) {
+  const Corpus corpus = generate_corpus(small_options());
+  std::int64_t sld = 0;
+  std::int64_t tld = 0;
+  std::int64_t root = 0;
+  for (const auto& d : corpus.domains) {
+    switch (d.level) {
+      case DomainLevel::kSld: ++sld; break;
+      case DomainLevel::kTld: ++tld; break;
+      case DomainLevel::kRoot: ++root; break;
+    }
+  }
+  EXPECT_EQ(root, 1);
+  EXPECT_NEAR(static_cast<double>(sld), 319277 * 0.01, 10);
+  EXPECT_NEAR(static_cast<double>(tld), 4196 * 0.01, 5);
+}
+
+TEST(Generator, TimelinesAreTimeOrdered) {
+  const Corpus corpus = generate_corpus(small_options());
+  for (const auto& d : corpus.domains) {
+    for (std::size_t i = 1; i < d.snapshots.size(); ++i) {
+      EXPECT_LE(d.snapshots[i - 1].time, d.snapshots[i].time) << d.name;
+    }
+  }
+}
+
+TEST(Generator, ErrorsConsistentWithStatus) {
+  const Corpus corpus = generate_corpus(small_options());
+  for (const auto& d : corpus.domains) {
+    for (const auto& s : d.snapshots) {
+      switch (s.status) {
+        case analyzer::SnapshotStatus::kSignedValid:
+        case analyzer::SnapshotStatus::kInsecure:
+        case analyzer::SnapshotStatus::kLame:
+        case analyzer::SnapshotStatus::kIncomplete:
+          EXPECT_TRUE(s.errors.empty()) << d.name;
+          break;
+        case analyzer::SnapshotStatus::kSignedValidMisconfig:
+          EXPECT_FALSE(s.errors.empty()) << d.name;
+          for (const auto code : s.errors) {
+            EXPECT_FALSE(analyzer::is_critical(code))
+                << analyzer::error_code_name(code);
+          }
+          break;
+        case analyzer::SnapshotStatus::kSignedBogus:
+          EXPECT_FALSE(s.errors.empty()) << d.name;
+          break;
+      }
+    }
+  }
+}
+
+TEST(Generator, EverSignedFlagMatchesHistory) {
+  const Corpus corpus = generate_corpus(small_options());
+  for (const auto& d : corpus.domains) {
+    const bool any_signed = std::any_of(
+        d.snapshots.begin(), d.snapshots.end(), [](const SnapshotRow& s) {
+          return s.status == analyzer::SnapshotStatus::kSignedValid ||
+                 s.status ==
+                     analyzer::SnapshotStatus::kSignedValidMisconfig ||
+                 s.status == analyzer::SnapshotStatus::kSignedBogus;
+        });
+    if (d.level == DomainLevel::kSld) {
+      EXPECT_EQ(d.ever_signed, any_signed) << d.name;
+    }
+  }
+}
+
+TEST(Generator, RanksAreUniqueAndInUniverse) {
+  const Corpus corpus = generate_corpus(small_options());
+  std::set<std::uint32_t> seen;
+  for (const auto& d : corpus.domains) {
+    if (!d.tranco_rank) continue;
+    EXPECT_TRUE(seen.insert(*d.tranco_rank).second) << "duplicate rank";
+    EXPECT_GE(*d.tranco_rank, 1u);
+    EXPECT_LE(*d.tranco_rank, corpus.universe_size);
+  }
+  EXPECT_GT(seen.size(), 100u);
+}
+
+TEST(Generator, ChangingDomainsActuallyChange) {
+  const Corpus corpus = generate_corpus(small_options());
+  std::int64_t cd = 0;
+  std::int64_t multi = 0;
+  for (const auto& d : corpus.domains) {
+    if (d.level != DomainLevel::kSld || !d.multi_snapshot()) continue;
+    ++multi;
+    if (d.is_changing()) ++cd;
+  }
+  ASSERT_GT(multi, 0);
+  const double share = static_cast<double>(cd) / static_cast<double>(multi);
+  EXPECT_GT(share, 0.15);
+  EXPECT_LT(share, 0.35);  // paper: 25.5%
+}
+
+TEST(CorpusJson, RoundTrips) {
+  GeneratorOptions options;
+  options.scale = 0.002;
+  const Corpus corpus = generate_corpus(options);
+  const auto doc = corpus_to_json(corpus);
+  const auto text = json::serialize(doc);
+  const auto reparsed = corpus_from_json(json::parse_or_throw(text));
+  ASSERT_TRUE(reparsed.has_value());
+  ASSERT_EQ(reparsed->domains.size(), corpus.domains.size());
+  EXPECT_EQ(reparsed->universe_size, corpus.universe_size);
+  EXPECT_EQ(reparsed->total_snapshots(), corpus.total_snapshots());
+  for (std::size_t i = 0; i < corpus.domains.size(); i += 53) {
+    const auto& a = corpus.domains[i];
+    const auto& b = reparsed->domains[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.tranco_rank, b.tranco_rank);
+    ASSERT_EQ(a.snapshots.size(), b.snapshots.size());
+    for (std::size_t j = 0; j < a.snapshots.size(); ++j) {
+      EXPECT_EQ(a.snapshots[j].status, b.snapshots[j].status);
+      EXPECT_EQ(a.snapshots[j].errors, b.snapshots[j].errors);
+      EXPECT_EQ(a.snapshots[j].ns_id, b.snapshots[j].ns_id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dfx::dataset

@@ -1,0 +1,231 @@
+// DResolver tests: dependency ranking, root-cause selection, and the plans
+// produced for each scenario (parameters must come from the zone context).
+#include <gtest/gtest.h>
+
+#include "dfixer/dresolver.h"
+
+namespace dfx::dfixer {
+namespace {
+
+using analyzer::ErrorCode;
+using analyzer::Snapshot;
+using zone::InstructionKind;
+
+Snapshot base_snapshot() {
+  Snapshot s;
+  s.query_domain = dns::Name::of("chd.par.a.com.");
+  s.query_zone = s.query_domain;
+  s.time = kDatasetStart;
+  s.target_meta.apex = s.query_zone;
+  analyzer::KeyMeta ksk;
+  ksk.flags = 0x0101;
+  ksk.algorithm = 13;
+  ksk.key_tag = 1000;
+  analyzer::KeyMeta zsk;
+  zsk.flags = 0x0100;
+  zsk.algorithm = 13;
+  zsk.key_tag = 2000;
+  s.target_meta.keys = {ksk, zsk};
+  analyzer::DsMeta ds;
+  ds.key_tag = 1000;
+  ds.algorithm = 13;
+  ds.digest_type = 2;
+  ds.valid = true;
+  ds.matches_dnskey = true;
+  s.target_meta.ds_records = {ds};
+  return s;
+}
+
+void add_error(Snapshot& s, ErrorCode code, const std::string& detail = "") {
+  s.errors.push_back({code, s.query_zone, detail});
+}
+
+bool has_instruction(const RemediationPlan& plan, InstructionKind kind) {
+  for (const auto& instruction : plan.instructions) {
+    if (instruction.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(DependencyRank, KeyFaultsPrecedeSignatureFaults) {
+  EXPECT_LT(dependency_rank(ErrorCode::kRevokedKey),
+            dependency_rank(ErrorCode::kExpiredSignature));
+  EXPECT_LT(dependency_rank(ErrorCode::kInvalidDigest),
+            dependency_rank(ErrorCode::kMissingSignature));
+  EXPECT_LT(dependency_rank(ErrorCode::kMissingSignature),
+            dependency_rank(ErrorCode::kNonzeroIterationCount));
+  EXPECT_LT(dependency_rank(ErrorCode::kNonzeroIterationCount),
+            dependency_rank(ErrorCode::kTtlBeyondExpiration));
+}
+
+TEST(Resolve, EmptyPlanWhenNoErrors) {
+  const Snapshot s = base_snapshot();
+  EXPECT_TRUE(resolve(s).empty());
+}
+
+TEST(Resolve, AncestorErrorsAreOutOfScope) {
+  Snapshot s = base_snapshot();
+  s.errors.push_back({ErrorCode::kExpiredSignature,
+                      dns::Name::of("par.a.com."), "parent problem"});
+  EXPECT_TRUE(resolve(s).empty());
+}
+
+TEST(Resolve, SignatureErrorsYieldOneResign) {
+  Snapshot s = base_snapshot();
+  add_error(s, ErrorCode::kExpiredSignature);
+  add_error(s, ErrorCode::kMissingSignature);
+  add_error(s, ErrorCode::kInvalidSignature);
+  const auto plan = resolve(s);
+  ASSERT_EQ(plan.instructions.size(), 1u);
+  EXPECT_EQ(plan.instructions[0].kind, InstructionKind::kSignZone);
+}
+
+TEST(Resolve, NzicSignsWithZeroIterations) {
+  Snapshot s = base_snapshot();
+  s.target_meta.uses_nsec3 = true;
+  s.target_meta.nsec3_iterations = 10;
+  s.target_meta.nsec3_salt_hex = "aabb";
+  add_error(s, ErrorCode::kNonzeroIterationCount);
+  const auto plan = resolve(s);
+  ASSERT_EQ(plan.instructions.size(), 1u);
+  const auto& cmd = plan.instructions[0].commands.at(0);
+  EXPECT_EQ(cmd.args.at("iterations"), "0");
+  EXPECT_EQ(cmd.args.at("salt"), "-");
+  EXPECT_EQ(cmd.args.at("nsec3"), "1");
+}
+
+TEST(Resolve, SignatureFixPreservesNsec3Parameters) {
+  Snapshot s = base_snapshot();
+  s.target_meta.uses_nsec3 = true;
+  s.target_meta.nsec3_iterations = 5;
+  s.target_meta.nsec3_salt_hex = "cafe";
+  add_error(s, ErrorCode::kExpiredSignature);
+  const auto plan = resolve(s);
+  const auto& cmd = plan.instructions[0].commands.at(0);
+  EXPECT_EQ(cmd.args.at("iterations"), "5");
+  EXPECT_EQ(cmd.args.at("salt"), "cafe");
+}
+
+TEST(Resolve, ExtraneousDsRemovedWhenValidSepExists) {
+  Snapshot s = base_snapshot();
+  analyzer::DsMeta bad;
+  bad.key_tag = 4242;
+  bad.algorithm = 14;
+  bad.valid = false;
+  bad.digest_hex = "dead";
+  s.target_meta.ds_records.push_back(bad);
+  add_error(s, ErrorCode::kMissingKskForAlgorithm);
+  const auto plan = resolve(s);
+  ASSERT_EQ(plan.instructions.size(), 1u);
+  EXPECT_EQ(plan.instructions[0].kind, InstructionKind::kRemoveIncorrectDs);
+  const auto& cmd = plan.instructions[0].commands.at(0);
+  EXPECT_EQ(cmd.args.at("key_tag"), "4242");
+  EXPECT_EQ(cmd.args.at("digest_hex"), "dead");
+  // Minimal fix: no re-sign, no keygen (Appendix A.2's counterexample).
+  EXPECT_FALSE(has_instruction(plan, InstructionKind::kSignZone));
+  EXPECT_FALSE(has_instruction(plan, InstructionKind::kGenerateKsk));
+}
+
+TEST(Resolve, StaleDsUploadsFromExistingKsk) {
+  Snapshot s = base_snapshot();
+  s.target_meta.ds_records[0].valid = false;
+  s.target_meta.ds_records[0].matches_dnskey = false;
+  s.target_meta.ds_records[0].key_tag = 9999;
+  add_error(s, ErrorCode::kInvalidDigest);
+  const auto plan = resolve(s);
+  EXPECT_TRUE(has_instruction(plan, InstructionKind::kUploadDs));
+  EXPECT_TRUE(has_instruction(plan, InstructionKind::kRemoveIncorrectDs));
+  EXPECT_FALSE(has_instruction(plan, InstructionKind::kGenerateKsk));
+}
+
+TEST(Resolve, RevokedOnlyKskFollowsFigure8) {
+  Snapshot s = base_snapshot();
+  s.target_meta.keys[0].flags |= 0x0080;  // revoke the only KSK
+  s.target_meta.ds_records[0].valid = false;
+  s.target_meta.max_ttl = 3600;
+  add_error(s, ErrorCode::kRevokedKey);
+  s.companions.push_back(
+      {ErrorCode::kNoSecureEntryPoint, s.query_zone, ""});
+  const auto plan = resolve(s);
+  // The Figure 8 sequence: generate KSK, upload DS, (sign), remove DS,
+  // wait TTL, delete revoked key, final sign.
+  EXPECT_TRUE(has_instruction(plan, InstructionKind::kGenerateKsk));
+  EXPECT_TRUE(has_instruction(plan, InstructionKind::kUploadDs));
+  EXPECT_TRUE(has_instruction(plan, InstructionKind::kRemoveIncorrectDs));
+  EXPECT_TRUE(has_instruction(plan, InstructionKind::kWaitTtl));
+  EXPECT_TRUE(has_instruction(plan, InstructionKind::kRemoveRevokedKey));
+  EXPECT_TRUE(has_instruction(plan, InstructionKind::kSignZone));
+  // Ordering: keygen strictly before DS removal, removal before key delete.
+  std::size_t gen = 99, rm = 99, del = 99;
+  for (std::size_t i = 0; i < plan.instructions.size(); ++i) {
+    if (plan.instructions[i].kind == InstructionKind::kGenerateKsk) gen = i;
+    if (plan.instructions[i].kind == InstructionKind::kRemoveIncorrectDs &&
+        rm == 99) {
+      rm = i;
+    }
+    if (plan.instructions[i].kind == InstructionKind::kRemoveRevokedKey) {
+      del = i;
+    }
+  }
+  EXPECT_LT(gen, rm);
+  EXPECT_LT(rm, del);
+}
+
+TEST(Resolve, InconsistentServersGetSync) {
+  Snapshot s = base_snapshot();
+  add_error(s, ErrorCode::kInconsistentDnskeyBetweenServers);
+  const auto plan = resolve(s);
+  ASSERT_EQ(plan.instructions.size(), 1u);
+  EXPECT_EQ(plan.instructions[0].kind, InstructionKind::kSyncAuthServers);
+}
+
+TEST(Resolve, TtlErrorsReduceThenSign) {
+  Snapshot s = base_snapshot();
+  s.target_meta.max_ttl = 86400;
+  add_error(s, ErrorCode::kTtlBeyondExpiration);
+  const auto plan = resolve(s);
+  ASSERT_EQ(plan.instructions.size(), 2u);
+  EXPECT_EQ(plan.instructions[0].kind, InstructionKind::kReduceTtl);
+  EXPECT_EQ(plan.instructions[1].kind, InstructionKind::kSignZone);
+}
+
+TEST(Resolve, TopRankedRootCauseWinsOverCascades) {
+  Snapshot s = base_snapshot();
+  // Revoked key plus a pile of cascaded signature errors: the plan must
+  // address the key, not the symptoms.
+  s.target_meta.keys[0].flags |= 0x0080;
+  s.target_meta.ds_records[0].valid = false;
+  add_error(s, ErrorCode::kExpiredSignature);
+  add_error(s, ErrorCode::kMissingSignature);
+  add_error(s, ErrorCode::kRevokedKey);
+  const auto plan = resolve(s);
+  EXPECT_NE(plan.root_cause.find("REVOKE"), std::string::npos);
+  EXPECT_TRUE(has_instruction(plan, InstructionKind::kRemoveRevokedKey));
+}
+
+TEST(Resolve, PlanRendersCommands) {
+  Snapshot s = base_snapshot();
+  add_error(s, ErrorCode::kExpiredSignature);
+  const auto plan = resolve(s);
+  const std::string text = plan.render();
+  EXPECT_NE(text.find("Root cause:"), std::string::npos);
+  EXPECT_NE(text.find("dnssec-signzone"), std::string::npos);
+}
+
+TEST(Resolve, BadKeyLengthReplacesKey) {
+  Snapshot s = base_snapshot();
+  analyzer::KeyMeta bogus;
+  bogus.flags = 0x0100;
+  bogus.algorithm = 13;
+  bogus.key_tag = 3333;
+  bogus.length_plausible = false;
+  s.target_meta.keys.push_back(bogus);
+  add_error(s, ErrorCode::kBadKeyLength);
+  const auto plan = resolve(s);
+  EXPECT_TRUE(has_instruction(plan, InstructionKind::kGenerateZsk));
+  EXPECT_TRUE(has_instruction(plan, InstructionKind::kRemoveRevokedKey));
+  EXPECT_TRUE(has_instruction(plan, InstructionKind::kSignZone));
+}
+
+}  // namespace
+}  // namespace dfx::dfixer

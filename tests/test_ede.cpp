@@ -1,0 +1,97 @@
+// Extended DNS Errors (RFC 8914) mapping tests.
+#include <gtest/gtest.h>
+
+#include "analyzer/ede.h"
+#include "zreplicator/replicate.h"
+
+namespace dfx::analyzer {
+namespace {
+
+zreplicator::SnapshotSpec spec_with(std::set<ErrorCode> errors) {
+  zreplicator::SnapshotSpec spec;
+  KeyMeta ksk;
+  ksk.flags = 0x0101;
+  ksk.algorithm = 13;
+  KeyMeta zsk;
+  zsk.flags = 0x0100;
+  zsk.algorithm = 13;
+  spec.meta.keys = {ksk, zsk};
+  spec.intended_errors = std::move(errors);
+  return spec;
+}
+
+TEST(Ede, PerCodeMapping) {
+  EXPECT_EQ(ede_for_error(ErrorCode::kExpiredSignature),
+            EdeCode::kSignatureExpired);
+  EXPECT_EQ(ede_for_error(ErrorCode::kNotYetValidSignature),
+            EdeCode::kSignatureNotYetValid);
+  EXPECT_EQ(ede_for_error(ErrorCode::kMissingSignature),
+            EdeCode::kRrsigsMissing);
+  EXPECT_EQ(ede_for_error(ErrorCode::kMissingKskForAlgorithm),
+            EdeCode::kDnskeyMissing);
+  EXPECT_EQ(ede_for_error(ErrorCode::kMissingNonexistenceProof),
+            EdeCode::kNsecMissing);
+  EXPECT_EQ(ede_for_error(ErrorCode::kInvalidSignature),
+            EdeCode::kDnssecBogus);
+  // Advisory violations alone do not cause SERVFAIL, hence no EDE.
+  EXPECT_EQ(ede_for_error(ErrorCode::kNonzeroIterationCount),
+            EdeCode::kOther);
+}
+
+TEST(Ede, NamesAndPurposes) {
+  EXPECT_EQ(ede_code_name(EdeCode::kSignatureExpired), "Signature Expired");
+  EXPECT_EQ(ede_code_name(EdeCode::kDnssecBogus), "DNSSEC Bogus");
+  EXPECT_FALSE(ede_purpose(EdeCode::kNsecMissing).empty());
+}
+
+TEST(Ede, NoEdeForHealthyOrAdvisoryZones) {
+  auto r = zreplicator::replicate(spec_with({}), 80);
+  EXPECT_TRUE(ede_for_snapshot(r.sandbox->analyze()).empty());
+  auto spec = spec_with({ErrorCode::kNonzeroIterationCount});
+  spec.meta.uses_nsec3 = true;
+  spec.meta.nsec3_iterations = 5;
+  auto r2 = zreplicator::replicate(spec, 81);
+  ASSERT_TRUE(r2.complete);
+  // svm: resolvers answer fine, so no EDE.
+  EXPECT_TRUE(ede_for_snapshot(r2.sandbox->analyze()).empty());
+}
+
+TEST(Ede, BogusZonesEmitSpecificCodes) {
+  auto r = zreplicator::replicate(
+      spec_with({ErrorCode::kExpiredSignature}), 82);
+  ASSERT_TRUE(r.complete);
+  const auto entries = ede_for_snapshot(r.sandbox->analyze());
+  ASSERT_FALSE(entries.empty());
+  EXPECT_EQ(entries.front().code, EdeCode::kSignatureExpired);
+}
+
+TEST(Ede, SpecificCodesPrecedeGenericBogus) {
+  auto r = zreplicator::replicate(
+      spec_with({ErrorCode::kInvalidSignature,
+                 ErrorCode::kMissingSignature}),
+      83);
+  ASSERT_TRUE(r.complete);
+  const auto entries = ede_for_snapshot(r.sandbox->analyze());
+  ASSERT_GE(entries.size(), 2u);
+  EXPECT_NE(entries.front().code, EdeCode::kDnssecBogus);
+  bool bogus_last_or_absent = true;
+  for (std::size_t i = 0; i + 1 < entries.size(); ++i) {
+    bogus_last_or_absent &= entries[i].code != EdeCode::kDnssecBogus;
+  }
+  EXPECT_TRUE(bogus_last_or_absent);
+}
+
+TEST(Ede, DeduplicatesCodes) {
+  auto r = zreplicator::replicate(
+      spec_with({ErrorCode::kExpiredSignature}), 84);
+  ASSERT_TRUE(r.complete);
+  const auto entries = ede_for_snapshot(r.sandbox->analyze());
+  std::set<EdeCode> seen;
+  for (const auto& entry : entries) {
+    EXPECT_TRUE(seen.insert(entry.code).second)
+        << ede_code_name(entry.code);
+  }
+}
+
+}  // namespace
+}  // namespace dfx::analyzer

@@ -1,0 +1,117 @@
+// Sandbox artifact export tests: the on-disk BIND files round-trip through
+// the master-file parser.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "dnscore/masterfile.h"
+#include "zreplicator/replicate.h"
+
+namespace dfx::zreplicator {
+namespace {
+
+namespace fs = std::filesystem;
+
+SnapshotSpec clean_spec() {
+  SnapshotSpec spec;
+  analyzer::KeyMeta ksk;
+  ksk.flags = 0x0101;
+  ksk.algorithm = 13;
+  analyzer::KeyMeta zsk;
+  zsk.flags = 0x0100;
+  zsk.algorithm = 13;
+  spec.meta.keys = {ksk, zsk};
+  return spec;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct TempDir {
+  fs::path path;
+  TempDir() : path(fs::temp_directory_path() /
+                   ("dfx-export-" + std::to_string(::getpid()))) {}
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+TEST(Export, WritesAllZoneAndKeyFiles) {
+  auto r = replicate(clean_spec(), 500);
+  TempDir dir;
+  const auto written = r.sandbox->export_to_directory(dir.path.string());
+  // 3 zones × (unsigned + signed) + 6 key files (2 per zone).
+  EXPECT_EQ(written.size(), 12u);
+  int key_files = 0;
+  int zone_files = 0;
+  for (const auto& path : written) {
+    EXPECT_TRUE(fs::exists(path)) << path;
+    const auto name = fs::path(path).filename().string();
+    if (name.rfind("K", 0) == 0) ++key_files;
+    if (name.rfind("db.", 0) == 0) ++zone_files;
+  }
+  EXPECT_EQ(key_files, 6);
+  EXPECT_EQ(zone_files, 6);
+}
+
+TEST(Export, SignedZoneFileParsesBack) {
+  auto r = replicate(clean_spec(), 501);
+  TempDir dir;
+  r.sandbox->export_to_directory(dir.path.string());
+  const auto apex = r.sandbox->child_apex();
+  const std::string text =
+      slurp((dir.path / ("db." + apex.to_string() + "signed")).string());
+  auto parsed = dns::parse_master_file(text, apex);
+  auto* records = std::get_if<std::vector<dns::ResourceRecord>>(&parsed);
+  ASSERT_NE(records, nullptr)
+      << std::get<dns::MasterFileError>(parsed).message;
+  // Everything the in-memory signed zone holds is in the file.
+  const auto& mz = r.sandbox->managed(apex);
+  std::size_t expected = 0;
+  for (const auto* rrset : mz.signed_zone.all_rrsets()) {
+    expected += rrset->size();
+  }
+  EXPECT_EQ(records->size(), expected);
+  bool saw_rrsig = false;
+  bool saw_dnskey = false;
+  bool saw_nsec = false;
+  for (const auto& record : *records) {
+    saw_rrsig |= record.type == dns::RRType::kRRSIG;
+    saw_dnskey |= record.type == dns::RRType::kDNSKEY;
+    saw_nsec |= record.type == dns::RRType::kNSEC ||
+                record.type == dns::RRType::kNSEC3;
+  }
+  EXPECT_TRUE(saw_rrsig);
+  EXPECT_TRUE(saw_dnskey);
+  EXPECT_TRUE(saw_nsec);
+}
+
+TEST(Export, KeyFilesCarryParsableDnskeys) {
+  auto r = replicate(clean_spec(), 502);
+  TempDir dir;
+  const auto written = r.sandbox->export_to_directory(dir.path.string());
+  const auto apex = r.sandbox->child_apex();
+  int parsed_keys = 0;
+  for (const auto& path : written) {
+    const auto name = fs::path(path).filename().string();
+    if (name.rfind("Kchd.", 0) != 0) continue;
+    auto parsed = dns::parse_master_file(slurp(path), apex);
+    auto* records = std::get_if<std::vector<dns::ResourceRecord>>(&parsed);
+    ASSERT_NE(records, nullptr);
+    ASSERT_EQ(records->size(), 1u);
+    EXPECT_EQ((*records)[0].type, dns::RRType::kDNSKEY);
+    ++parsed_keys;
+  }
+  EXPECT_EQ(parsed_keys, 2);
+}
+
+}  // namespace
+}  // namespace dfx::zreplicator

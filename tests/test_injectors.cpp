@@ -1,0 +1,211 @@
+// Injector-level tests: each injector produces exactly its intended error
+// (IE ⊆ GE) with the expected snapshot status, on both denial modes where
+// applicable.
+#include <gtest/gtest.h>
+
+#include "zreplicator/injector.h"
+#include "zreplicator/replicate.h"
+
+namespace dfx::zreplicator {
+namespace {
+
+using analyzer::ErrorCode;
+using analyzer::SnapshotStatus;
+
+struct Case {
+  ErrorCode code;
+  bool nsec3;
+  SnapshotStatus expected_status;
+};
+
+class InjectorCase : public ::testing::TestWithParam<Case> {};
+
+TEST_P(InjectorCase, ProducesIntendedErrorAndStatus) {
+  const Case& c = GetParam();
+  SnapshotSpec spec;
+  analyzer::KeyMeta ksk;
+  ksk.flags = 0x0101;
+  ksk.algorithm = 13;
+  analyzer::KeyMeta zsk;
+  zsk.flags = 0x0100;
+  zsk.algorithm = 13;
+  spec.meta.keys = {ksk, zsk};
+  spec.meta.uses_nsec3 = c.nsec3;
+  spec.intended_errors = {c.code};
+  auto result = replicate(spec, 5000 + 2 * static_cast<int>(c.code) +
+                                    (c.nsec3 ? 1 : 0));
+  ASSERT_TRUE(result.complete) << result.failure_reason;
+  const auto snapshot = result.sandbox->analyze();
+  EXPECT_TRUE(snapshot.has_error(c.code));
+  EXPECT_EQ(snapshot.status, c.expected_status);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StatusMatrix, InjectorCase,
+    ::testing::Values(
+        // Critical errors that break every path → sb.
+        Case{ErrorCode::kExpiredSignature, false, SnapshotStatus::kSignedBogus},
+        Case{ErrorCode::kExpiredSignature, true, SnapshotStatus::kSignedBogus},
+        Case{ErrorCode::kNotYetValidSignature, false,
+             SnapshotStatus::kSignedBogus},
+        Case{ErrorCode::kMissingSignature, false,
+             SnapshotStatus::kSignedBogus},
+        Case{ErrorCode::kInvalidSignature, true,
+             SnapshotStatus::kSignedBogus},
+        Case{ErrorCode::kIncorrectSigner, false,
+             SnapshotStatus::kSignedBogus},
+        Case{ErrorCode::kRevokedKey, false, SnapshotStatus::kSignedBogus},
+        Case{ErrorCode::kMissingNonexistenceProof, false,
+             SnapshotStatus::kSignedBogus},
+        Case{ErrorCode::kMissingNonexistenceProof, true,
+             SnapshotStatus::kSignedBogus},
+        Case{ErrorCode::kBadNonexistenceProof, false,
+             SnapshotStatus::kSignedBogus},
+        Case{ErrorCode::kBadNonexistenceProof, true,
+             SnapshotStatus::kSignedBogus},
+        Case{ErrorCode::kIncorrectTypeBitmap, true,
+             SnapshotStatus::kSignedBogus},
+        Case{ErrorCode::kIncorrectLastNsec, false,
+             SnapshotStatus::kSignedBogus},
+        Case{ErrorCode::kInconsistentDnskeyBetweenServers, false,
+             SnapshotStatus::kSignedBogus},
+        Case{ErrorCode::kInconsistentAncestorForNxdomain, true,
+             SnapshotStatus::kSignedBogus},
+        Case{ErrorCode::kIncorrectClosestEncloserProof, true,
+             SnapshotStatus::kSignedBogus},
+        Case{ErrorCode::kInvalidNsec3Hash, true,
+             SnapshotStatus::kSignedBogus},
+        Case{ErrorCode::kInvalidNsec3OwnerName, true,
+             SnapshotStatus::kSignedBogus},
+        Case{ErrorCode::kUnsupportedNsec3Algorithm, true,
+             SnapshotStatus::kSignedBogus},
+        // Violations that leave a valid path → svm.
+        Case{ErrorCode::kNonzeroIterationCount, true,
+             SnapshotStatus::kSignedValidMisconfig},
+        Case{ErrorCode::kMissingKskForAlgorithm, false,
+             SnapshotStatus::kSignedValidMisconfig},
+        Case{ErrorCode::kInvalidDigest, false,
+             SnapshotStatus::kSignedValidMisconfig},
+        Case{ErrorCode::kBadKeyLength, false,
+             SnapshotStatus::kSignedBogus},
+        Case{ErrorCode::kIncompleteAlgorithmSetup, false,
+             SnapshotStatus::kSignedValidMisconfig},
+        Case{ErrorCode::kOriginalTtlExceedsRrsetTtl, false,
+             SnapshotStatus::kSignedValidMisconfig},
+        Case{ErrorCode::kTtlBeyondExpiration, false,
+             SnapshotStatus::kSignedValidMisconfig}));
+
+TEST(InjectionOrder, WholeZoneResignsComeFirstOneServerPushLast) {
+  const std::set<ErrorCode> codes = {
+      ErrorCode::kInvalidSignature, ErrorCode::kExpiredSignature,
+      ErrorCode::kInconsistentDnskeyBetweenServers,
+      ErrorCode::kRevokedKey};
+  const auto order = injection_order(codes);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.front(), ErrorCode::kExpiredSignature);
+  EXPECT_EQ(order.back(), ErrorCode::kInconsistentDnskeyBetweenServers);
+}
+
+TEST(Injector, CompanionCodesAreNotDirectlyInjectable) {
+  SnapshotSpec spec;
+  analyzer::KeyMeta ksk;
+  ksk.flags = 0x0101;
+  ksk.algorithm = 13;
+  spec.meta.keys = {ksk};
+  auto result = replicate(spec, 1);
+  ASSERT_NE(result.sandbox, nullptr);
+  EXPECT_FALSE(
+      inject_error(*result.sandbox, ErrorCode::kNoSecureEntryPoint));
+  EXPECT_FALSE(inject_error(*result.sandbox, ErrorCode::kLameDelegation));
+}
+
+TEST(Injector, MultipleErrorsCompose) {
+  SnapshotSpec spec;
+  analyzer::KeyMeta ksk;
+  ksk.flags = 0x0101;
+  ksk.algorithm = 13;
+  analyzer::KeyMeta zsk;
+  zsk.flags = 0x0100;
+  zsk.algorithm = 13;
+  spec.meta.keys = {ksk, zsk};
+  spec.meta.uses_nsec3 = true;
+  spec.meta.nsec3_iterations = 5;
+  spec.intended_errors = {ErrorCode::kNonzeroIterationCount,
+                          ErrorCode::kMissingKskForAlgorithm,
+                          ErrorCode::kInvalidSignature};
+  auto result = replicate(spec, 31337);
+  ASSERT_TRUE(result.complete) << result.failure_reason;
+  for (const auto code : spec.intended_errors) {
+    EXPECT_TRUE(result.generated.contains(code))
+        << analyzer::error_code_name(code);
+  }
+}
+
+TEST(Replicate, NsecAndNsec3OnlyMixIsIrreplicable) {
+  SnapshotSpec spec;
+  analyzer::KeyMeta ksk;
+  ksk.flags = 0x0101;
+  ksk.algorithm = 13;
+  spec.meta.keys = {ksk};
+  spec.intended_errors = {ErrorCode::kIncorrectLastNsec,
+                          ErrorCode::kNonzeroIterationCount};
+  const auto result = replicate(spec, 2);
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.sandbox, nullptr);
+  EXPECT_NE(result.failure_reason.find("NSEC"), std::string::npos);
+}
+
+TEST(Replicate, RetiredAlgorithmsAreSubstituted) {
+  SnapshotSpec spec;
+  analyzer::KeyMeta ksk;
+  ksk.flags = 0x0101;
+  ksk.algorithm = 6;  // DSA-NSEC3-SHA1, BIND-unsupported
+  analyzer::KeyMeta zsk;
+  zsk.flags = 0x0100;
+  zsk.algorithm = 12;  // GOST, BIND-unsupported
+  spec.meta.keys = {ksk, zsk};
+  const auto result = replicate(spec, 3);
+  ASSERT_NE(result.sandbox, nullptr);
+  const auto snapshot = result.sandbox->analyze();
+  EXPECT_EQ(snapshot.status, SnapshotStatus::kSignedValid);
+  for (const auto& key : snapshot.target_meta.keys) {
+    const auto info = crypto::algorithm_info(key.algorithm);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_TRUE(info->supported_by_bind);
+  }
+}
+
+TEST(Replicate, AlgorithmExhaustionFailsReplication) {
+  SnapshotSpec spec;
+  // More retired algorithms than there are free supported slots.
+  for (int i = 0; i < 9; ++i) {
+    analyzer::KeyMeta key;
+    key.flags = i == 0 ? 0x0101 : 0x0100;
+    key.algorithm = 6;  // every one needs a substitution
+    spec.meta.keys.push_back(key);
+  }
+  const auto result = replicate(spec, 4);
+  EXPECT_FALSE(result.complete);
+  EXPECT_NE(result.failure_reason.find("exhausted"), std::string::npos);
+}
+
+TEST(Replicate, UnreplicableVariantYieldsPartialGeneration) {
+  SnapshotSpec spec;
+  analyzer::KeyMeta ksk;
+  ksk.flags = 0x0101;
+  ksk.algorithm = 13;
+  analyzer::KeyMeta zsk;
+  zsk.flags = 0x0100;
+  zsk.algorithm = 13;
+  spec.meta.keys = {ksk, zsk};
+  spec.intended_errors = {ErrorCode::kExpiredSignature,
+                          ErrorCode::kBadKeyLength};
+  spec.unreplicable_variants = {ErrorCode::kBadKeyLength};
+  const auto result = replicate(spec, 5);
+  EXPECT_FALSE(result.complete);
+  EXPECT_TRUE(result.generated.contains(ErrorCode::kExpiredSignature));
+  EXPECT_FALSE(result.generated.contains(ErrorCode::kBadKeyLength));
+}
+
+}  // namespace
+}  // namespace dfx::zreplicator

@@ -1,0 +1,90 @@
+// JSON parser/serializer tests.
+#include <gtest/gtest.h>
+
+#include "json/json.h"
+
+namespace dfx::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_or_throw("null").is_null());
+  EXPECT_TRUE(parse_or_throw("true").as_bool());
+  EXPECT_FALSE(parse_or_throw("false").as_bool());
+  EXPECT_EQ(parse_or_throw("42").as_int(), 42);
+  EXPECT_EQ(parse_or_throw("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(parse_or_throw("3.5").as_double(), 3.5);
+  EXPECT_DOUBLE_EQ(parse_or_throw("1e3").as_double(), 1000.0);
+  EXPECT_EQ(parse_or_throw("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, Escapes) {
+  EXPECT_EQ(parse_or_throw(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(parse_or_throw(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse_or_throw(R"("é")").as_string(), "\xC3\xA9");
+}
+
+TEST(JsonParse, NestedStructures) {
+  const auto v = parse_or_throw(R"({"a":[1,2,{"b":null}],"c":{"d":true}})");
+  ASSERT_TRUE(v.is_object());
+  const auto* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->as_array().size(), 3u);
+  EXPECT_TRUE(a->as_array()[2].find("b")->is_null());
+  EXPECT_TRUE(v.find("c")->find("d")->as_bool());
+}
+
+TEST(JsonParse, ReportsErrors) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\"}", "tru", "\"unterminated", "01x", "[1 2]",
+        "{\"a\":1,}", "nul"}) {
+    const auto result = parse(bad);
+    EXPECT_TRUE(std::holds_alternative<ParseError>(result)) << bad;
+  }
+}
+
+TEST(JsonParse, RejectsTrailingGarbage) {
+  EXPECT_TRUE(std::holds_alternative<ParseError>(parse("1 2")));
+  EXPECT_TRUE(std::holds_alternative<ParseError>(parse("{} x")));
+}
+
+TEST(JsonSerialize, CompactRoundTrip) {
+  const char* doc =
+      R"({"arr":[1,2.5,"s",null,true],"num":-3,"obj":{"k":"v"}})";
+  const auto v = parse_or_throw(doc);
+  EXPECT_EQ(serialize(v), doc);
+}
+
+TEST(JsonSerialize, EscapesControlCharacters) {
+  const auto s = serialize(Value(std::string("a\x01" "b\n")));
+  EXPECT_EQ(s, "\"a\\u0001b\\n\"");
+  EXPECT_EQ(parse_or_throw(s).as_string(), "a\x01" "b\n");
+}
+
+TEST(JsonSerialize, PrettyParsesBack) {
+  const auto v = parse_or_throw(R"({"a":[1,{"b":[]}],"c":{}})");
+  const auto pretty = serialize_pretty(v);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(serialize(parse_or_throw(pretty)), serialize(v));
+}
+
+TEST(JsonValue, AccessorsWithDefaults) {
+  const auto v = parse_or_throw(R"({"i":7,"s":"x","b":true,"d":1.5})");
+  EXPECT_EQ(v.get_int("i", 0), 7);
+  EXPECT_EQ(v.get_int("missing", 9), 9);
+  EXPECT_EQ(v.get_string("s", ""), "x");
+  EXPECT_EQ(v.get_string("i", "dflt"), "dflt");  // wrong type -> default
+  EXPECT_TRUE(v.get_bool("b", false));
+  EXPECT_DOUBLE_EQ(v.get_double("d", 0.0), 1.5);
+}
+
+TEST(JsonValue, DeepNestingParses) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  deep += "1";
+  for (int i = 0; i < 200; ++i) deep += "]";
+  EXPECT_NO_THROW(parse_or_throw(deep));
+}
+
+}  // namespace
+}  // namespace dfx::json

@@ -1,0 +1,111 @@
+// Zone key and key store tests: life-cycle times, revocation, role queries.
+#include <gtest/gtest.h>
+
+#include "zone/key.h"
+
+namespace dfx::zone {
+namespace {
+
+constexpr UnixTime kNow = kDatasetStart;
+
+TEST(ZoneKey, DnskeyFlagsByRole) {
+  Rng rng(1);
+  KeyStore keys(dns::Name::of("example.com."));
+  const auto& ksk = keys.generate(rng, KeyRole::kKsk,
+                                  crypto::DnssecAlgorithm::kEcdsaP256Sha256,
+                                  kNow);
+  const auto& zsk = keys.generate(rng, KeyRole::kZsk,
+                                  crypto::DnssecAlgorithm::kEcdsaP256Sha256,
+                                  kNow);
+  EXPECT_EQ(ksk.to_dnskey().flags, 257);
+  EXPECT_EQ(zsk.to_dnskey().flags, 256);
+  EXPECT_TRUE(ksk.to_dnskey().is_sep());
+  EXPECT_FALSE(zsk.to_dnskey().is_sep());
+}
+
+TEST(ZoneKey, RevokeChangesTagAndPreRevokeTagMatches) {
+  Rng rng(2);
+  KeyStore keys(dns::Name::of("example.com."));
+  auto& key = keys.generate(rng, KeyRole::kKsk,
+                            crypto::DnssecAlgorithm::kEcdsaP256Sha256, kNow);
+  const auto original_tag = key.tag();
+  key.set_revoked(true);
+  EXPECT_NE(key.tag(), original_tag);
+  EXPECT_EQ(key.pre_revoke_tag(), original_tag);
+  EXPECT_TRUE(key.to_dnskey().is_revoked());
+}
+
+TEST(ZoneKey, LifecycleWindows) {
+  Rng rng(3);
+  KeyStore keys(dns::Name::of("example.com."));
+  auto& key = keys.generate(rng, KeyRole::kZsk,
+                            crypto::DnssecAlgorithm::kEcdsaP256Sha256, kNow);
+  EXPECT_TRUE(key.is_published(kNow));
+  EXPECT_TRUE(key.is_active(kNow));
+  EXPECT_FALSE(key.is_published(kNow - 1));
+
+  key.set_delete_time(kNow + kDay);
+  EXPECT_TRUE(key.is_published(kNow + kDay - 1));
+  EXPECT_FALSE(key.is_published(kNow + kDay));
+  EXPECT_FALSE(key.is_active(kNow + kDay));
+
+  key.set_activate_time(kNow + kHour);
+  EXPECT_TRUE(key.is_published(kNow));
+  EXPECT_FALSE(key.is_active(kNow));
+  EXPECT_TRUE(key.is_active(kNow + kHour));
+}
+
+TEST(KeyStore, QueriesByRoleAndTime) {
+  Rng rng(4);
+  KeyStore keys(dns::Name::of("example.com."));
+  keys.generate(rng, KeyRole::kKsk,
+                crypto::DnssecAlgorithm::kEcdsaP256Sha256, kNow);
+  keys.generate(rng, KeyRole::kZsk,
+                crypto::DnssecAlgorithm::kEcdsaP256Sha256, kNow);
+  keys.generate(rng, KeyRole::kZsk,
+                crypto::DnssecAlgorithm::kRsaSha256, kNow + kDay);
+
+  EXPECT_EQ(keys.published(kNow).size(), 2u);
+  EXPECT_EQ(keys.published(kNow + kDay).size(), 3u);
+  EXPECT_EQ(keys.active_with_role(kNow, KeyRole::kZsk).size(), 1u);
+  EXPECT_EQ(keys.active_with_role(kNow + kDay, KeyRole::kZsk).size(), 2u);
+  EXPECT_EQ(keys.active_with_role(kNow, KeyRole::kKsk).size(), 1u);
+}
+
+TEST(KeyStore, FindAndRemoveByTag) {
+  Rng rng(5);
+  KeyStore keys(dns::Name::of("example.com."));
+  const auto tag = keys.generate(rng, KeyRole::kZsk,
+                                 crypto::DnssecAlgorithm::kEcdsaP256Sha256,
+                                 kNow)
+                       .tag();
+  EXPECT_NE(keys.find_by_tag(tag), nullptr);
+  EXPECT_EQ(keys.find_by_tag(static_cast<std::uint16_t>(tag + 1)), nullptr);
+  EXPECT_TRUE(keys.remove_by_tag(tag));
+  EXPECT_FALSE(keys.remove_by_tag(tag));
+  EXPECT_TRUE(keys.empty());
+}
+
+TEST(ZoneKey, FileBaseNameFormat) {
+  Rng rng(6);
+  KeyStore keys(dns::Name::of("example.com."));
+  const auto& key = keys.generate(
+      rng, KeyRole::kKsk, crypto::DnssecAlgorithm::kEcdsaP256Sha256, kNow);
+  const std::string base = key.file_base();
+  EXPECT_EQ(base.rfind("Kexample.com.", 0), 0u);
+  EXPECT_NE(base.find("+013+"), std::string::npos);
+}
+
+TEST(ZoneKey, SignaturesVerifyAgainstOwnDnskey) {
+  Rng rng(7);
+  KeyStore keys(dns::Name::of("example.com."));
+  const auto& key = keys.generate(
+      rng, KeyRole::kZsk, crypto::DnssecAlgorithm::kRsaSha256, kNow);
+  const Bytes msg = to_bytes("canonical rrset data");
+  const Bytes sig = key.sign(msg);
+  EXPECT_TRUE(crypto::verify_message(key.algorithm(),
+                                     key.to_dnskey().public_key, msg, sig));
+}
+
+}  // namespace
+}  // namespace dfx::zone

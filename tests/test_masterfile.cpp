@@ -1,0 +1,175 @@
+// Master-file parser tests: directives, relative names, multi-line SOA,
+// error reporting, and round-trips through the printer.
+#include <gtest/gtest.h>
+
+#include "dnscore/masterfile.h"
+
+namespace dfx::dns {
+namespace {
+
+const Name kOrigin = Name::of("example.test.");
+
+std::vector<ResourceRecord> parse_ok(std::string_view text) {
+  auto result = parse_master_file(text, kOrigin);
+  auto* records = std::get_if<std::vector<ResourceRecord>>(&result);
+  EXPECT_NE(records, nullptr);
+  if (records == nullptr) {
+    auto& err = std::get<MasterFileError>(result);
+    ADD_FAILURE() << "line " << err.line << ": " << err.message;
+    return {};
+  }
+  return *records;
+}
+
+TEST(MasterFile, ParsesBasicZone) {
+  const auto records = parse_ok(R"(
+$TTL 300
+@   IN SOA ns1 hostmaster 1 7200 3600 1209600 3600
+@   IN NS  ns1
+ns1 IN A   192.0.2.53
+www 600 IN A 192.0.2.80
+)");
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].owner, kOrigin);
+  EXPECT_EQ(records[0].type, RRType::kSOA);
+  EXPECT_EQ(records[0].ttl, 300u);
+  EXPECT_EQ(records[2].owner, Name::of("ns1.example.test."));
+  EXPECT_EQ(records[3].ttl, 600u);
+  const auto& soa = std::get<SoaRdata>(records[0].rdata);
+  EXPECT_EQ(soa.mname, Name::of("ns1.example.test."));
+  EXPECT_EQ(soa.serial, 1u);
+}
+
+TEST(MasterFile, MultiLineSoaParentheses) {
+  const auto records = parse_ok(R"(
+@ IN SOA ns1 hostmaster (
+      2024010101 ; serial
+      7200       ; refresh
+      3600       ; retry
+      1209600    ; expire
+      300 )      ; minimum
+)");
+  ASSERT_EQ(records.size(), 1u);
+  const auto& soa = std::get<SoaRdata>(records[0].rdata);
+  EXPECT_EQ(soa.serial, 2024010101u);
+  EXPECT_EQ(soa.minimum, 300u);
+}
+
+TEST(MasterFile, OwnerInheritance) {
+  const auto records = parse_ok(
+      "www IN A 192.0.2.1\n"
+      "    IN A 192.0.2.2\n");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].owner, Name::of("www.example.test."));
+}
+
+TEST(MasterFile, OriginDirective) {
+  const auto records = parse_ok(
+      "$ORIGIN sub.example.test.\n"
+      "host IN A 192.0.2.9\n");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].owner, Name::of("host.sub.example.test."));
+}
+
+TEST(MasterFile, CommentsAndQuotedStrings) {
+  const auto records = parse_ok(
+      "@ IN TXT \"semi;colon\" ; trailing comment\n");
+  ASSERT_EQ(records.size(), 1u);
+  const auto& txt = std::get<TxtRdata>(records[0].rdata);
+  ASSERT_EQ(txt.strings.size(), 1u);
+  EXPECT_EQ(txt.strings[0], "semi;colon");
+}
+
+TEST(MasterFile, DnssecRecordTypes) {
+  const auto records = parse_ok(
+      "@ IN DNSKEY 257 3 13 AQIDBAUGBwg=\n"
+      "@ IN DS 12345 13 2 "
+      "aabbccddeeff00112233445566778899aabbccddeeff00112233445566778899\n"
+      "@ IN NSEC3PARAM 1 0 0 -\n"
+      "@ IN NSEC www.example.test. A NS SOA RRSIG NSEC\n");
+  ASSERT_EQ(records.size(), 4u);
+  const auto& key = std::get<DnskeyRdata>(records[0].rdata);
+  EXPECT_EQ(key.flags, 257);
+  EXPECT_EQ(key.public_key.size(), 8u);
+  const auto& ds = std::get<DsRdata>(records[1].rdata);
+  EXPECT_EQ(ds.key_tag, 12345);
+  EXPECT_EQ(ds.digest.size(), 32u);
+  const auto& nsec = std::get<NsecRdata>(records[3].rdata);
+  EXPECT_TRUE(nsec.types.contains(RRType::kNSEC));
+}
+
+TEST(MasterFile, ReportsErrorsWithLineNumbers) {
+  const auto check_fails = [](std::string_view text, std::size_t line) {
+    auto result = parse_master_file(text, kOrigin);
+    auto* err = std::get_if<MasterFileError>(&result);
+    ASSERT_NE(err, nullptr) << text;
+    EXPECT_EQ(err->line, line) << err->message;
+  };
+  check_fails("www IN A not-an-ip\n", 1);
+  check_fails("\nwww IN BOGUSTYPE data\n", 2);
+  check_fails("www IN\n", 1);
+  check_fails("@ IN SOA only two\n", 1);
+  check_fails("@ IN SOA a b 1 2 3 4 (\n5\n", 1);  // unbalanced parens
+}
+
+TEST(MasterFile, PrintParseRoundTrip) {
+  const auto records = parse_ok(R"(
+$TTL 3600
+@   IN SOA ns1 hostmaster 7 7200 3600 1209600 3600
+@   IN NS  ns1
+@   IN MX  10 mail
+ns1 IN A   192.0.2.53
+mail IN AAAA 2001:db8::25
+)");
+  const std::string printed = print_master_file(records);
+  auto reparsed = parse_master_file(printed, kOrigin);
+  auto* again = std::get_if<std::vector<ResourceRecord>>(&reparsed);
+  ASSERT_NE(again, nullptr);
+  ASSERT_EQ(again->size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(rdata_to_wire((*again)[i].rdata),
+              rdata_to_wire(records[i].rdata))
+        << "record " << i;
+  }
+}
+
+TEST(MasterFile, Ipv6Forms) {
+  const auto records = parse_ok(
+      "a IN AAAA 2001:db8:0:0:0:0:0:1\n"
+      "b IN AAAA 2001:db8::1\n"
+      "c IN AAAA ::1\n");
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(rdata_to_wire(records[0].rdata), rdata_to_wire(records[1].rdata));
+  const auto& c = std::get<AaaaRdata>(records[2].rdata);
+  EXPECT_EQ(c.address[15], 1);
+  EXPECT_EQ(c.address[0], 0);
+}
+
+
+TEST(MasterFile, TtlUnitSuffixes) {
+  const auto records = parse_ok(
+      "$TTL 1h\n"
+      "a IN A 192.0.2.1\n"
+      "b 30m IN A 192.0.2.2\n"
+      "c 2d IN A 192.0.2.3\n"
+      "d 1w IN A 192.0.2.4\n"
+      "e 1h30m IN A 192.0.2.5\n"
+      "f 45 IN A 192.0.2.6\n");
+  ASSERT_EQ(records.size(), 6u);
+  EXPECT_EQ(records[0].ttl, 3600u);
+  EXPECT_EQ(records[1].ttl, 1800u);
+  EXPECT_EQ(records[2].ttl, 172800u);
+  EXPECT_EQ(records[3].ttl, 604800u);
+  EXPECT_EQ(records[4].ttl, 5400u);
+  EXPECT_EQ(records[5].ttl, 45u);
+}
+
+TEST(MasterFile, RejectsMalformedTtlUnits) {
+  auto result = parse_master_file("$TTL 1x\n@ IN NS ns1\n", kOrigin);
+  EXPECT_TRUE(std::holds_alternative<MasterFileError>(result));
+  result = parse_master_file("$TTL h\n@ IN NS ns1\n", kOrigin);
+  EXPECT_TRUE(std::holds_alternative<MasterFileError>(result));
+}
+
+}  // namespace
+}  // namespace dfx::dns

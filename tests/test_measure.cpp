@@ -1,0 +1,218 @@
+// Measurement analysis tests: helpers plus table invariants on generated
+// and hand-built corpora.
+#include <gtest/gtest.h>
+
+#include "dataset/generator.h"
+#include "measure/measure.h"
+#include "measure/report.h"
+
+namespace dfx::measure {
+namespace {
+
+using analyzer::ErrorCode;
+using analyzer::SnapshotStatus;
+using dataset::Corpus;
+using dataset::DomainTimeline;
+
+TEST(Stats, MedianAndPercentile) {
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(median({1.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 0.5), 3.0);
+}
+
+Corpus tiny_corpus() {
+  Corpus corpus;
+  corpus.universe_size = 1000;
+  corpus.universe_signed_per_bin.assign(100, 1);
+  // Domain 1: CD going sv -> sb (key change) -> sv.
+  DomainTimeline d1;
+  d1.name = "d1.";
+  d1.level = dataset::DomainLevel::kSld;
+  d1.ever_signed = true;
+  d1.snapshots = {
+      {1000 * kHour, SnapshotStatus::kSignedValid, {}, 1, 1, 1},
+      {1100 * kHour,
+       SnapshotStatus::kSignedBogus,
+       {ErrorCode::kExpiredSignature},
+       1, 2, 1},
+      {1101 * kHour, SnapshotStatus::kSignedValid, {}, 1, 2, 1},
+  };
+  corpus.domains.push_back(d1);
+  // Domain 2: stable svm with NZIC.
+  DomainTimeline d2;
+  d2.name = "d2.";
+  d2.level = dataset::DomainLevel::kSld;
+  d2.ever_signed = true;
+  d2.snapshots = {
+      {2000 * kHour,
+       SnapshotStatus::kSignedValidMisconfig,
+       {ErrorCode::kNonzeroIterationCount},
+       1, 1, 1},
+      {2400 * kHour,
+       SnapshotStatus::kSignedValidMisconfig,
+       {ErrorCode::kNonzeroIterationCount},
+       1, 1, 1},
+  };
+  corpus.domains.push_back(d2);
+  // Domain 3: single insecure snapshot.
+  DomainTimeline d3;
+  d3.name = "d3.";
+  d3.level = dataset::DomainLevel::kSld;
+  d3.snapshots = {{3000 * kHour, SnapshotStatus::kInsecure, {}, 1, 1, 1}};
+  corpus.domains.push_back(d3);
+  return corpus;
+}
+
+TEST(Table1, CountsLevelsAndCdSd) {
+  const auto t = compute_table1(tiny_corpus());
+  EXPECT_EQ(t.sld.domains, 3);
+  EXPECT_EQ(t.sld.snapshots, 6);
+  EXPECT_EQ(t.sld.multi_snapshot, 2);
+  EXPECT_EQ(t.sld.changing, 1);  // d1
+  EXPECT_EQ(t.sld.stable, 1);    // d2
+}
+
+TEST(Table2, AttributesKeyRolloverCause) {
+  const auto t = compute_table2(tiny_corpus());
+  EXPECT_EQ(t.sv_sb_total, 1);
+  EXPECT_EQ(t.sv_sb_key, 1);
+  EXPECT_EQ(t.sv_sb_ns, 0);
+  EXPECT_EQ(t.sv_sb_algo, 0);
+}
+
+TEST(Table3, CountsSnapshotsAndDomains) {
+  const auto t = compute_table3(tiny_corpus());
+  EXPECT_EQ(t.total_snapshots, 6);
+  EXPECT_EQ(t.total_domains, 3);
+  EXPECT_EQ(t.any_error_snapshots, 3);
+  EXPECT_EQ(t.any_error_domains, 2);
+  for (const auto& row : t.rows) {
+    if (row.code == ErrorCode::kNonzeroIterationCount) {
+      EXPECT_EQ(row.snapshots, 2);
+      EXPECT_EQ(row.domains, 1);
+    }
+    if (row.code == ErrorCode::kExpiredSignature) {
+      EXPECT_EQ(row.snapshots, 1);
+      EXPECT_EQ(row.domains, 1);
+    }
+  }
+}
+
+TEST(Table4, TransitionCountsAndMedians) {
+  const auto t = compute_table4(tiny_corpus());
+  const auto cell =
+      t.at(SnapshotStatus::kSignedValid).at(SnapshotStatus::kSignedBogus);
+  EXPECT_EQ(cell.count, 1);
+  EXPECT_DOUBLE_EQ(cell.median_hours, 100.0);
+  const auto back =
+      t.at(SnapshotStatus::kSignedBogus).at(SnapshotStatus::kSignedValid);
+  EXPECT_DOUBLE_EQ(back.median_hours, 1.0);
+}
+
+TEST(RoundTrip, FindsDownUpPair) {
+  const auto rt = compute_roundtrip(tiny_corpus());
+  EXPECT_EQ(rt.domains, 1);
+  EXPECT_DOUBLE_EQ(rt.down_median_hours, 100.0);
+  EXPECT_DOUBLE_EQ(rt.up_median_hours, 1.0);
+}
+
+TEST(Fig4, MeasuresFixDurations) {
+  const auto rows = compute_fig4(tiny_corpus());
+  for (const auto& row : rows) {
+    if (row.code == ErrorCode::kExpiredSignature) {
+      EXPECT_EQ(row.fixes, 1);
+      EXPECT_DOUBLE_EQ(row.median_hours, 1.0);  // t1=1100h, t2=1101h
+    }
+  }
+}
+
+TEST(Fig5, ComputesGapCdf) {
+  const auto f = compute_fig5(tiny_corpus());
+  // d1 gaps: 100h and 1h -> median 50.5h (~2.1 days); d2 gap: 400h.
+  EXPECT_DOUBLE_EQ(f.under_one_day, 0.0);
+  EXPECT_GT(f.cdf_share.back(), 0.99);
+}
+
+TEST(Table5, CdScopedResolution) {
+  const auto rows = compute_table5(tiny_corpus());
+  for (const auto& row : rows) {
+    if (row.status == SnapshotStatus::kSignedBogus) {
+      EXPECT_EQ(row.domains_with_state, 1);  // only d1 (CD) counts
+      EXPECT_EQ(row.not_resolved, 0);
+    }
+    if (row.status == SnapshotStatus::kSignedValidMisconfig) {
+      EXPECT_EQ(row.domains_with_state, 0);  // d2 is SD: out of scope
+    }
+  }
+}
+
+TEST(Reports, RenderOnGeneratedCorpus) {
+  dataset::GeneratorOptions options;
+  options.scale = 0.01;
+  const Corpus corpus = dataset::generate_corpus(options);
+  // Every renderer must produce non-empty output without crashing.
+  EXPECT_FALSE(render_table1(compute_table1(corpus), 0.01).empty());
+  EXPECT_FALSE(render_fig1(compute_fig1(corpus)).empty());
+  EXPECT_FALSE(render_fig2(compute_fig2(corpus)).empty());
+  EXPECT_FALSE(render_table2(compute_table2(corpus)).empty());
+  const auto t3 = compute_table3(corpus);
+  EXPECT_FALSE(render_table3(t3).empty());
+  EXPECT_FALSE(render_fig3(compute_fig3(t3)).empty());
+  EXPECT_FALSE(render_table4(compute_table4(corpus),
+                             compute_roundtrip(corpus))
+                   .empty());
+  EXPECT_FALSE(render_fig4(compute_fig4(corpus),
+                           compute_deploy_time(corpus))
+                   .empty());
+  EXPECT_FALSE(render_fig5(compute_fig5(corpus)).empty());
+  EXPECT_FALSE(render_table5(compute_table5(corpus)).empty());
+}
+
+TEST(ShapeInvariants, GeneratedCorpusMatchesPaperShape) {
+  dataset::GeneratorOptions options;
+  options.scale = 0.05;
+  const Corpus corpus = dataset::generate_corpus(options);
+
+  // Table 3 shape: NZIC dominates.
+  const auto t3 = compute_table3(corpus);
+  std::int64_t nzic = 0;
+  std::int64_t max_other = 0;
+  for (const auto& row : t3.rows) {
+    if (row.code == ErrorCode::kNonzeroIterationCount) {
+      nzic = row.snapshots;
+    } else {
+      max_other = std::max(max_other, row.snapshots);
+    }
+  }
+  EXPECT_GT(nzic, max_other * 2);
+
+  // Table 4 asymmetry: recovery (sb->sv) is orders faster than breakage.
+  const auto t4 = compute_table4(corpus);
+  const auto down =
+      t4.at(SnapshotStatus::kSignedValid).at(SnapshotStatus::kSignedBogus);
+  const auto up =
+      t4.at(SnapshotStatus::kSignedBogus).at(SnapshotStatus::kSignedValid);
+  EXPECT_GT(down.median_hours, up.median_hours * 20);
+
+  // Fig 5: majority of domains rescan within a day.
+  const auto f5 = compute_fig5(corpus);
+  EXPECT_GT(f5.under_one_day, 0.5);
+  EXPECT_LT(f5.under_one_day, 0.8);
+
+  // Table 5: a minority of once-bogus CD domains never recover.
+  for (const auto& row : compute_table5(corpus)) {
+    if (row.status == SnapshotStatus::kSignedBogus) {
+      const double share = static_cast<double>(row.not_resolved) /
+                           static_cast<double>(row.domains_with_state);
+      EXPECT_GT(share, 0.08);
+      EXPECT_LT(share, 0.30);  // paper: 18%
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dfx::measure

@@ -1,0 +1,123 @@
+// DNS message codec tests: header flags, sections, name compression.
+#include <gtest/gtest.h>
+
+#include "dnscore/message.h"
+
+namespace dfx::dns {
+namespace {
+
+Message sample_message() {
+  Message msg;
+  msg.header.id = 0xBEEF;
+  msg.header.qr = true;
+  msg.header.aa = true;
+  msg.header.rd = true;
+  msg.header.rcode = RCode::kNXDomain;
+  msg.questions.push_back(
+      {Name::of("www.example.com."), RRType::kA, RRClass::kIN});
+  ARdata a;
+  a.address = {192, 0, 2, 1};
+  msg.answers.push_back({Name::of("www.example.com."), RRType::kA,
+                         RRClass::kIN, 300, Rdata(a)});
+  SoaRdata soa;
+  soa.mname = Name::of("ns1.example.com.");
+  soa.rname = Name::of("hostmaster.example.com.");
+  msg.authorities.push_back({Name::of("example.com."), RRType::kSOA,
+                             RRClass::kIN, 3600, Rdata(soa)});
+  msg.additionals.push_back({Name::of("ns1.example.com."), RRType::kA,
+                             RRClass::kIN, 3600, Rdata(a)});
+  return msg;
+}
+
+TEST(Message, RoundTripsAllSections) {
+  const Message msg = sample_message();
+  const auto decoded = decode_message(encode_message(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->header.id, 0xBEEF);
+  EXPECT_TRUE(decoded->header.qr);
+  EXPECT_TRUE(decoded->header.aa);
+  EXPECT_TRUE(decoded->header.rd);
+  EXPECT_EQ(decoded->header.rcode, RCode::kNXDomain);
+  ASSERT_EQ(decoded->questions.size(), 1u);
+  EXPECT_EQ(decoded->questions[0].qname, Name::of("www.example.com."));
+  ASSERT_EQ(decoded->answers.size(), 1u);
+  ASSERT_EQ(decoded->authorities.size(), 1u);
+  ASSERT_EQ(decoded->additionals.size(), 1u);
+  EXPECT_EQ(decoded->authorities[0].owner, Name::of("example.com."));
+}
+
+TEST(Message, CompressionShrinksRepeatedNames) {
+  Message msg;
+  msg.questions.push_back(
+      {Name::of("www.example.com."), RRType::kA, RRClass::kIN});
+  ARdata a;
+  a.address = {1, 2, 3, 4};
+  for (int i = 0; i < 5; ++i) {
+    msg.answers.push_back({Name::of("www.example.com."), RRType::kA,
+                           RRClass::kIN, 300, Rdata(a)});
+  }
+  const Bytes wire = encode_message(msg);
+  // Uncompressed, each owner would repeat 17 bytes; compressed answers use
+  // a 2-byte pointer.
+  EXPECT_LE(wire.size(), 12u + 21u + 5u * (2 + 10 + 4));
+  const auto decoded = decode_message(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->answers.size(), 5u);
+  EXPECT_EQ(decoded->answers[4].owner, Name::of("www.example.com."));
+}
+
+TEST(Message, CompressionIsCaseInsensitiveOnSuffixes) {
+  Message msg;
+  msg.questions.push_back(
+      {Name::of("a.Example.COM."), RRType::kA, RRClass::kIN});
+  ARdata a;
+  a.address = {1, 2, 3, 4};
+  msg.answers.push_back({Name::of("b.example.com."), RRType::kA,
+                         RRClass::kIN, 300, Rdata(a)});
+  const auto decoded = decode_message(encode_message(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->answers[0].owner, Name::of("b.example.com."));
+}
+
+TEST(Message, DecodeRejectsTruncation) {
+  const Bytes wire = encode_message(sample_message());
+  for (std::size_t cut : {std::size_t{1}, std::size_t{6}, std::size_t{11},
+                          wire.size() / 2, wire.size() - 1}) {
+    const ByteView slice(wire.data(), cut);
+    EXPECT_FALSE(decode_message(slice).has_value()) << "cut at " << cut;
+  }
+}
+
+TEST(Message, EmptyMessageRoundTrips) {
+  Message msg;
+  msg.header.id = 7;
+  const auto decoded = decode_message(encode_message(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->header.id, 7);
+  EXPECT_TRUE(decoded->questions.empty());
+}
+
+TEST(Message, DnssecRecordsSurviveRoundTrip) {
+  Message msg;
+  RrsigRdata sig;
+  sig.type_covered = RRType::kSOA;
+  sig.algorithm = 13;
+  sig.labels = 2;
+  sig.original_ttl = 3600;
+  sig.expiration = 1700000000;
+  sig.inception = 1690000000;
+  sig.key_tag = 4242;
+  sig.signer = Name::of("example.com.");
+  sig.signature = Bytes(16, 0x77);
+  msg.answers.push_back({Name::of("example.com."), RRType::kRRSIG,
+                         RRClass::kIN, 3600, Rdata(sig)});
+  const auto decoded = decode_message(encode_message(msg));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& out = std::get<RrsigRdata>(decoded->answers[0].rdata);
+  EXPECT_EQ(out.key_tag, 4242);
+  EXPECT_EQ(out.signer, Name::of("example.com."));
+  EXPECT_EQ(out.signature, Bytes(16, 0x77));
+}
+
+}  // namespace
+}  // namespace dfx::dns

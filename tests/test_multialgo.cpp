@@ -1,0 +1,149 @@
+// Multi-algorithm zone tests: RFC 4035/6840 require every algorithm in the
+// DNSKEY RRset to sign the zone data — the rule behind the paper's
+// "Incomplete Algorithm Setup" category (②).
+#include <gtest/gtest.h>
+
+#include "analyzer/grok.h"
+#include "dfixer/autofix.h"
+#include "zreplicator/replicate.h"
+#include "zone/signer.h"
+
+namespace dfx {
+namespace {
+
+using analyzer::ErrorCode;
+using analyzer::SnapshotStatus;
+
+zreplicator::ReplicationResult dual_algorithm_zone(std::uint64_t seed) {
+  zreplicator::SnapshotSpec spec;
+  analyzer::KeyMeta ksk8;
+  ksk8.flags = 0x0101;
+  ksk8.algorithm = 8;
+  analyzer::KeyMeta zsk8;
+  zsk8.flags = 0x0100;
+  zsk8.algorithm = 8;
+  analyzer::KeyMeta ksk13 = ksk8;
+  ksk13.algorithm = 13;
+  analyzer::KeyMeta zsk13 = zsk8;
+  zsk13.algorithm = 13;
+  spec.meta.keys = {ksk8, zsk8, ksk13, zsk13};
+  return zreplicator::replicate(spec, seed);
+}
+
+TEST(MultiAlgorithm, DualAlgorithmZoneValidates) {
+  auto r = dual_algorithm_zone(300);
+  const auto snapshot = r.sandbox->analyze();
+  EXPECT_EQ(snapshot.status, SnapshotStatus::kSignedValid)
+      << (snapshot.errors.empty() ? "" : snapshot.errors[0].detail);
+  EXPECT_EQ(snapshot.target_meta.keys.size(), 4u);
+}
+
+TEST(MultiAlgorithm, EveryDataRRsetCarriesBothAlgorithms) {
+  auto r = dual_algorithm_zone(301);
+  const auto& mz = r.sandbox->managed(r.sandbox->child_apex());
+  const auto* sigs =
+      mz.signed_zone.find(r.sandbox->child_apex(), dns::RRType::kRRSIG);
+  ASSERT_NE(sigs, nullptr);
+  std::set<std::uint8_t> soa_algorithms;
+  for (const auto& rdata : sigs->rdatas()) {
+    const auto& sig = std::get<dns::RrsigRdata>(rdata);
+    if (sig.type_covered == dns::RRType::kSOA) {
+      soa_algorithms.insert(sig.algorithm);
+    }
+  }
+  EXPECT_EQ(soa_algorithms, (std::set<std::uint8_t>{8, 13}));
+}
+
+TEST(MultiAlgorithm, SingleDsAlgorithmStillValidates) {
+  // RFC 6840 §5.11: the parent needs a DS for *a* usable path, not for
+  // every algorithm in the child's DNSKEY set.
+  auto r = dual_algorithm_zone(302);
+  auto& sandbox = *r.sandbox;
+  const auto now = sandbox.clock().now();
+  auto& mz = sandbox.managed(sandbox.child_apex());
+  for (const auto* key :
+       mz.keys.active_with_role(now, zone::KeyRole::kKsk)) {
+    if (static_cast<std::uint8_t>(key->algorithm()) == 8) {
+      ASSERT_TRUE(
+          sandbox.remove_parent_ds(sandbox.child_apex(), key->tag()));
+    }
+  }
+  const auto snapshot = sandbox.analyze();
+  EXPECT_EQ(snapshot.status, SnapshotStatus::kSignedValid)
+      << (snapshot.errors.empty() ? "" : snapshot.errors[0].detail);
+}
+
+TEST(MultiAlgorithm, StrippingOneAlgorithmsSigsIsIncompleteSetup) {
+  auto r = dual_algorithm_zone(303);
+  auto& sandbox = *r.sandbox;
+  auto& mz = sandbox.managed(sandbox.child_apex());
+  zone::Zone z = mz.signed_zone;
+  // Remove every algorithm-8 RRSIG over the apex SOA.
+  const auto* sigs = z.find(sandbox.child_apex(), dns::RRType::kRRSIG);
+  ASSERT_NE(sigs, nullptr);
+  std::vector<dns::Rdata> doomed;
+  for (const auto& rdata : sigs->rdatas()) {
+    const auto& sig = std::get<dns::RrsigRdata>(rdata);
+    if (sig.type_covered == dns::RRType::kSOA && sig.algorithm == 8) {
+      doomed.push_back(rdata);
+    }
+  }
+  ASSERT_FALSE(doomed.empty());
+  for (const auto& rdata : doomed) {
+    z.remove_rdata(sandbox.child_apex(), dns::RRType::kRRSIG, rdata);
+  }
+  sandbox.push_signed(sandbox.child_apex(), std::move(z));
+  const auto snapshot = sandbox.analyze();
+  EXPECT_TRUE(snapshot.has_error(ErrorCode::kIncompleteAlgorithmSetup));
+  // A path still validates (the algorithm-13 signatures), so svm not sb.
+  EXPECT_EQ(snapshot.status, SnapshotStatus::kSignedValidMisconfig);
+}
+
+TEST(MultiAlgorithm, DsForAlgorithmWithoutSignaturesIsCompanionFlagged) {
+  auto r = dual_algorithm_zone(304);
+  auto& sandbox = *r.sandbox;
+  auto& mz = sandbox.managed(sandbox.child_apex());
+  zone::Zone z = mz.signed_zone;
+  // Strip the algorithm-8 signature from the DNSKEY RRset only.
+  const auto* sigs = z.find(sandbox.child_apex(), dns::RRType::kRRSIG);
+  ASSERT_NE(sigs, nullptr);
+  std::vector<dns::Rdata> doomed;
+  for (const auto& rdata : sigs->rdatas()) {
+    const auto& sig = std::get<dns::RrsigRdata>(rdata);
+    if (sig.type_covered == dns::RRType::kDNSKEY && sig.algorithm == 8) {
+      doomed.push_back(rdata);
+    }
+  }
+  ASSERT_FALSE(doomed.empty());
+  for (const auto& rdata : doomed) {
+    z.remove_rdata(sandbox.child_apex(), dns::RRType::kRRSIG, rdata);
+  }
+  sandbox.push_signed(sandbox.child_apex(), std::move(z));
+  const auto snapshot = sandbox.analyze();
+  EXPECT_TRUE(
+      snapshot.has_companion(ErrorCode::kMissingSignatureForAlgorithm));
+}
+
+TEST(MultiAlgorithm, FixerRestoresDualAlgorithmZone) {
+  auto r = dual_algorithm_zone(305);
+  auto& sandbox = *r.sandbox;
+  // Break it with an expired re-sign, then let DFixer repair; both
+  // algorithms must come back.
+  auto& mz = sandbox.managed(sandbox.child_apex());
+  mz.config.inception_offset = 40 * kDay;
+  mz.config.validity = -10 * kDay;
+  sandbox.resign_and_sync(sandbox.child_apex());
+  mz.config.inception_offset = kHour;
+  mz.config.validity = 30 * kDay;
+  ASSERT_EQ(sandbox.analyze().status, SnapshotStatus::kSignedBogus);
+  const auto report = dfx::dfixer::auto_fix(sandbox);
+  EXPECT_TRUE(report.success);
+  std::set<std::uint8_t> algorithms;
+  for (const auto& key : report.final_snapshot.target_meta.keys) {
+    algorithms.insert(key.algorithm);
+  }
+  EXPECT_EQ(algorithms, (std::set<std::uint8_t>{8, 13}));
+}
+
+}  // namespace
+}  // namespace dfx

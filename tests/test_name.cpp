@@ -1,0 +1,106 @@
+// Domain-name tests, including the canonical ordering example from
+// RFC 4034 §6.1.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dnscore/name.h"
+
+namespace dfx::dns {
+namespace {
+
+TEST(Name, ParsePrintRoundTrip) {
+  EXPECT_EQ(Name::of("example.com.").to_string(), "example.com.");
+  EXPECT_EQ(Name::of("example.com").to_string(), "example.com.");
+  EXPECT_EQ(Name::of(".").to_string(), ".");
+  EXPECT_EQ(Name::root().to_string(), ".");
+}
+
+TEST(Name, ParseRejectsMalformed) {
+  EXPECT_FALSE(Name::parse("").has_value());
+  EXPECT_FALSE(Name::parse("..").has_value());
+  EXPECT_FALSE(Name::parse("a..b").has_value());
+  EXPECT_FALSE(Name::parse("a b.com").has_value());
+  EXPECT_FALSE(Name::parse(std::string(64, 'x') + ".com").has_value());
+  // Total wire length > 255.
+  std::string long_name;
+  for (int i = 0; i < 10; ++i) long_name += std::string(30, 'a') + ".";
+  EXPECT_FALSE(Name::parse(long_name).has_value());
+}
+
+TEST(Name, CaseInsensitiveEquality) {
+  EXPECT_EQ(Name::of("Example.COM."), Name::of("example.com."));
+  NameHash hash;
+  EXPECT_EQ(hash(Name::of("Example.COM.")), hash(Name::of("example.com.")));
+}
+
+TEST(Name, ParentChildRelations) {
+  const auto name = Name::of("www.example.com.");
+  EXPECT_EQ(name.parent(), Name::of("example.com."));
+  EXPECT_EQ(name.parent().parent(), Name::of("com."));
+  EXPECT_EQ(name.parent().parent().parent(), Name::root());
+  EXPECT_EQ(Name::root().parent(), Name::root());
+  EXPECT_EQ(Name::of("example.com.").child("www"), name);
+  EXPECT_EQ(name.leftmost_label(), "www");
+}
+
+TEST(Name, SubdomainRelation) {
+  const auto apex = Name::of("example.com.");
+  EXPECT_TRUE(Name::of("www.example.com.").is_subdomain_of(apex));
+  EXPECT_TRUE(apex.is_subdomain_of(apex));
+  EXPECT_TRUE(apex.is_subdomain_of(Name::root()));
+  EXPECT_FALSE(Name::of("example.org.").is_subdomain_of(apex));
+  EXPECT_FALSE(Name::of("otherexample.com.").is_subdomain_of(apex));
+  EXPECT_TRUE(Name::of("WWW.EXAMPLE.COM.").is_subdomain_of(apex));
+}
+
+TEST(Name, CommonAncestor) {
+  EXPECT_EQ(Name::of("a.b.example.com.")
+                .common_ancestor(Name::of("c.example.com.")),
+            Name::of("example.com."));
+  EXPECT_EQ(Name::of("a.com.").common_ancestor(Name::of("b.org.")),
+            Name::root());
+}
+
+TEST(Name, WireForms) {
+  const auto name = Name::of("AbC.de.");
+  const Bytes wire = name.to_wire();
+  EXPECT_EQ(wire, (Bytes{3, 'A', 'b', 'C', 2, 'd', 'e', 0}));
+  EXPECT_EQ(name.to_canonical_wire(),
+            (Bytes{3, 'a', 'b', 'c', 2, 'd', 'e', 0}));
+  EXPECT_EQ(Name::root().to_wire(), Bytes{0});
+  EXPECT_EQ(name.wire_length(), 8u);
+}
+
+TEST(Name, CanonicalOrderingRfc4034Example) {
+  // RFC 4034 §6.1 example, already in canonical order:
+  const std::vector<std::string> expected = {
+      "example.", "a.example.", "yljkjljk.a.example.", "Z.a.example.",
+      "zABC.a.EXAMPLE.", "z.example.", "*.z.example.",
+  };
+  std::vector<Name> names;
+  for (const auto& text : expected) names.push_back(Name::of(text));
+  std::vector<Name> shuffled = {names[4], names[0], names[6], names[2],
+                                names[5], names[1], names[3]};
+  std::sort(shuffled.begin(), shuffled.end());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(shuffled[i], names[i]) << "position " << i;
+  }
+}
+
+TEST(Name, OrderingPutsParentFirst) {
+  EXPECT_LT(Name::of("example.com."), Name::of("a.example.com."));
+  EXPECT_LT(Name::of("a.example.com."), Name::of("b.example.com."));
+}
+
+TEST(Name, LessWorksAsMapComparator) {
+  std::map<Name, int, Name::Less> m;
+  m[Name::of("b.example.")] = 1;
+  m[Name::of("a.example.")] = 2;
+  m[Name::of("example.")] = 3;
+  EXPECT_EQ(m.begin()->second, 3);  // apex sorts first
+  EXPECT_EQ(m.find(Name::of("A.EXAMPLE."))->second, 2);
+}
+
+}  // namespace
+}  // namespace dfx::dns

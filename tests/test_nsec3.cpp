@@ -1,0 +1,62 @@
+// NSEC3 hashing tests, including the RFC 5155 Appendix A vectors.
+#include <gtest/gtest.h>
+
+#include "util/codec.h"
+#include "util/strings.h"
+#include "zone/nsec3.h"
+
+namespace dfx::zone {
+namespace {
+
+TEST(Nsec3Hash, Rfc5155AppendixAVectors) {
+  // RFC 5155 Appendix A: salt=aabbccdd, iterations=12.
+  const Bytes salt = *hex_decode("aabbccdd");
+  EXPECT_EQ(to_lower(nsec3_hash_label(dns::Name::of("example."), salt, 12)),
+            "0p9mhaveqvm6t7vbl5lop2u3t2rp3tom");
+  EXPECT_EQ(to_lower(nsec3_hash_label(dns::Name::of("a.example."), salt, 12)),
+            "35mthgpgcu1qg68fab165klnsnk3dpvl");
+  EXPECT_EQ(
+      to_lower(nsec3_hash_label(dns::Name::of("ai.example."), salt, 12)),
+      "gjeqe526plbf1g8mklp59enfd789njgi");
+  EXPECT_EQ(to_lower(nsec3_hash_label(dns::Name::of("ns1.example."), salt,
+                                      12)),
+            "2t7b4g4vsa5smi47k61mv5bv1a22bojr");
+  EXPECT_EQ(
+      to_lower(nsec3_hash_label(dns::Name::of("*.w.example."), salt, 12)),
+      "r53bq7cc2uvmubfu5ocmm6pers9tk9en");
+}
+
+TEST(Nsec3Hash, IterationCountChangesHash) {
+  const auto name = dns::Name::of("www.example.com.");
+  const Bytes salt = {0x01};
+  EXPECT_NE(nsec3_hash(name, salt, 0), nsec3_hash(name, salt, 1));
+  EXPECT_NE(nsec3_hash(name, salt, 1), nsec3_hash(name, salt, 2));
+}
+
+TEST(Nsec3Hash, SaltChangesHash) {
+  const auto name = dns::Name::of("www.example.com.");
+  EXPECT_NE(nsec3_hash(name, Bytes{0x01}, 0), nsec3_hash(name, Bytes{0x02}, 0));
+  EXPECT_NE(nsec3_hash(name, Bytes{}, 0), nsec3_hash(name, Bytes{0x00}, 0));
+}
+
+TEST(Nsec3Hash, CaseInsensitive) {
+  const Bytes salt = {0xAA};
+  EXPECT_EQ(nsec3_hash(dns::Name::of("WWW.Example.COM."), salt, 3),
+            nsec3_hash(dns::Name::of("www.example.com."), salt, 3));
+}
+
+TEST(Nsec3Hash, OutputIsSha1Sized) {
+  EXPECT_EQ(nsec3_hash(dns::Name::of("x."), {}, 0).size(), 20u);
+}
+
+TEST(Nsec3Owner, PrependsHashLabelToApex) {
+  const auto apex = dns::Name::of("example.com.");
+  const auto owner = nsec3_owner(dns::Name::of("www.example.com."), apex,
+                                 {}, 0);
+  EXPECT_EQ(owner.label_count(), apex.label_count() + 1);
+  EXPECT_TRUE(owner.is_subdomain_of(apex));
+  EXPECT_EQ(owner.leftmost_label().size(), 32u);  // base32hex of 20 bytes
+}
+
+}  // namespace
+}  // namespace dfx::zone

@@ -1,0 +1,127 @@
+// End-to-end contract tests for the evaluation pipeline of Figure 7:
+// a clean replica validates as sv; every Table-3 error code can be injected
+// and is then (a) observed by grok (IE ⊆ GE) and (b) repaired by DFixer.
+#include <gtest/gtest.h>
+
+#include "analyzer/errorcode.h"
+#include "dfixer/autofix.h"
+#include "zreplicator/replicate.h"
+
+namespace dfx {
+namespace {
+
+using analyzer::ErrorCode;
+using analyzer::SnapshotStatus;
+using zreplicator::ReplicationResult;
+using zreplicator::SnapshotSpec;
+
+SnapshotSpec base_spec(bool nsec3) {
+  SnapshotSpec spec;
+  analyzer::KeyMeta ksk;
+  ksk.flags = 0x0101;
+  ksk.algorithm = 13;
+  analyzer::KeyMeta zsk;
+  zsk.flags = 0x0100;
+  zsk.algorithm = 13;
+  spec.meta.keys = {ksk, zsk};
+  spec.meta.uses_nsec3 = nsec3;
+  spec.meta.max_ttl = 3600;
+  return spec;
+}
+
+TEST(Pipeline, CleanZoneIsSignedValid) {
+  for (bool nsec3 : {false, true}) {
+    SnapshotSpec spec = base_spec(nsec3);
+    auto result = zreplicator::replicate(spec, /*seed=*/1);
+    ASSERT_NE(result.sandbox, nullptr);
+    const auto snapshot = result.sandbox->analyze();
+    EXPECT_TRUE(snapshot.errors.empty())
+        << "unexpected error: "
+        << (snapshot.errors.empty()
+                ? ""
+                : analyzer::error_code_name(snapshot.errors[0].code) + " — " +
+                      snapshot.errors[0].detail);
+    EXPECT_EQ(snapshot.status, SnapshotStatus::kSignedValid);
+    EXPECT_TRUE(result.complete);
+  }
+}
+
+class SingleErrorPipeline : public ::testing::TestWithParam<ErrorCode> {};
+
+TEST_P(SingleErrorPipeline, InjectObserveFix) {
+  const ErrorCode code = GetParam();
+  // NSEC-only codes need an NSEC zone, NSEC3-only codes an NSEC3 zone;
+  // everything else is exercised on NSEC (the injector switches if needed).
+  const bool nsec3 =
+      analyzer::category_of(code) == analyzer::ErrorCategory::kNsec3Only;
+  SnapshotSpec spec = base_spec(nsec3);
+  spec.intended_errors = {code};
+
+  auto result =
+      zreplicator::replicate(spec, 1000 + static_cast<int>(code));
+  ASSERT_NE(result.sandbox, nullptr);
+  EXPECT_TRUE(result.complete)
+      << "replication failed: " << result.failure_reason;
+  EXPECT_TRUE(result.generated.contains(code))
+      << "grok did not observe " << analyzer::error_code_name(code);
+
+  auto report = dfixer::auto_fix(*result.sandbox);
+  EXPECT_TRUE(report.success)
+      << "DFixer left errors behind; first: "
+      << (report.final_snapshot.errors.empty()
+              ? "?"
+              : analyzer::error_code_name(
+                    report.final_snapshot.errors[0].code) +
+                    " — " + report.final_snapshot.errors[0].detail);
+  EXPECT_LE(report.iterations.size(), 4u)
+      << "paper reports convergence within four iterations";
+  EXPECT_EQ(report.final_snapshot.status, SnapshotStatus::kSignedValid);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTable3Codes, SingleErrorPipeline,
+    ::testing::ValuesIn(analyzer::table3_codes()),
+    [](const ::testing::TestParamInfo<ErrorCode>& info) {
+      std::string name = analyzer::error_code_name(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(Pipeline, ParentBogusBlocksFix) {
+  SnapshotSpec spec = base_spec(false);
+  spec.parent_bogus = true;
+  spec.intended_errors = {ErrorCode::kExpiredSignature};
+  auto result = zreplicator::replicate(spec, 7);
+  ASSERT_NE(result.sandbox, nullptr);
+  auto report = dfixer::auto_fix(*result.sandbox);
+  EXPECT_FALSE(report.success);
+}
+
+TEST(Pipeline, BuggyArtifactFailsReplication) {
+  SnapshotSpec spec = base_spec(false);
+  spec.buggy_artifact = true;
+  spec.intended_errors = {ErrorCode::kBadKeyLength};
+  auto result = zreplicator::replicate(spec, 8);
+  EXPECT_EQ(result.sandbox, nullptr);
+  EXPECT_FALSE(result.complete);
+  EXPECT_FALSE(result.failure_reason.empty());
+}
+
+TEST(Pipeline, MultiErrorNeedsMultipleIterations) {
+  // The paper's worked example: extraneous DS + NZIC resolve incrementally.
+  SnapshotSpec spec = base_spec(true);
+  spec.intended_errors = {ErrorCode::kInvalidDigest,
+                          ErrorCode::kNonzeroIterationCount};
+  auto result = zreplicator::replicate(spec, 9);
+  ASSERT_NE(result.sandbox, nullptr);
+  EXPECT_TRUE(result.complete) << result.failure_reason;
+  auto report = dfixer::auto_fix(*result.sandbox);
+  EXPECT_TRUE(report.success);
+  EXPECT_GE(report.iterations.size(), 2u);
+  EXPECT_LE(report.iterations.size(), 4u);
+}
+
+}  // namespace
+}  // namespace dfx

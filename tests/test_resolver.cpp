@@ -1,0 +1,77 @@
+// Stub-resolver tests: iterative delegation walking, CNAME chasing, and
+// failure modes.
+#include <gtest/gtest.h>
+
+#include "authserver/resolver.h"
+#include "zreplicator/sandbox.h"
+
+namespace dfx::authserver {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+zreplicator::Sandbox make_sandbox() {
+  zreplicator::Sandbox sandbox(123, kDatasetStart);
+  sandbox.build_base();
+  zone::SigningConfig config;
+  sandbox.build_child(Name::of("chd.par.a.com."),
+                      {{zone::KeyRole::kKsk,
+                        crypto::DnssecAlgorithm::kEcdsaP256Sha256, 0},
+                       {zone::KeyRole::kZsk,
+                        crypto::DnssecAlgorithm::kEcdsaP256Sha256, 0}},
+                      config, crypto::DigestType::kSha256, 3600);
+  return sandbox;
+}
+
+TEST(StubResolver, WalksDelegationsToLeaf) {
+  auto sandbox = make_sandbox();
+  StubResolver resolver(sandbox.farm(), sandbox.base_apex());
+  const auto result =
+      resolver.resolve(Name::of("www.chd.par.a.com."), RRType::kA);
+  EXPECT_EQ(result.rcode, dns::RCode::kNoError);
+  ASSERT_FALSE(result.answers.empty());
+  EXPECT_EQ(result.answers.front().type, RRType::kA);
+  // The walk passed through base → parent → child.
+  ASSERT_GE(result.chain.size(), 1u);
+  EXPECT_EQ(result.chain.front(), sandbox.base_apex());
+}
+
+TEST(StubResolver, NxdomainPropagates) {
+  auto sandbox = make_sandbox();
+  StubResolver resolver(sandbox.farm(), sandbox.base_apex());
+  const auto result =
+      resolver.resolve(Name::of("missing.chd.par.a.com."), RRType::kA);
+  EXPECT_EQ(result.rcode, dns::RCode::kNXDomain);
+}
+
+TEST(StubResolver, AllServersLameMeansServfail) {
+  auto sandbox = make_sandbox();
+  sandbox.farm().server(zreplicator::Sandbox::kNs1).set_lame(true);
+  sandbox.farm().server(zreplicator::Sandbox::kNs2).set_lame(true);
+  StubResolver resolver(sandbox.farm(), sandbox.base_apex());
+  const auto result =
+      resolver.resolve(Name::of("www.chd.par.a.com."), RRType::kA);
+  EXPECT_EQ(result.rcode, dns::RCode::kServFail);
+}
+
+TEST(StubResolver, OneLameServerIsTolerated) {
+  auto sandbox = make_sandbox();
+  sandbox.farm().server(zreplicator::Sandbox::kNs1).set_lame(true);
+  StubResolver resolver(sandbox.farm(), sandbox.base_apex());
+  const auto result =
+      resolver.resolve(Name::of("www.chd.par.a.com."), RRType::kA);
+  EXPECT_EQ(result.rcode, dns::RCode::kNoError);
+}
+
+TEST(StubResolver, ResolvesApexRecords) {
+  auto sandbox = make_sandbox();
+  StubResolver resolver(sandbox.farm(), sandbox.base_apex());
+  const auto result =
+      resolver.resolve(Name::of("chd.par.a.com."), RRType::kTXT);
+  EXPECT_EQ(result.rcode, dns::RCode::kNoError);
+  EXPECT_FALSE(result.answers.empty());
+}
+
+}  // namespace
+}  // namespace dfx::authserver

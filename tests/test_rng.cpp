@@ -1,0 +1,135 @@
+// Deterministic RNG tests: reproducibility, bounds, and basic statistics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+#include "util/rng.h"
+#include "util/bytes.h"
+
+namespace dfx {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(Rng, UniformRejectsZeroBound) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformRangeIsInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.1);
+}
+
+TEST(Rng, LognormalMedianMatches) {
+  Rng rng(17);
+  std::vector<double> values;
+  constexpr int kN = 50001;
+  values.reserve(kN);
+  for (int i = 0; i < kN; ++i) values.push_back(rng.lognormal(100.0, 1.0));
+  std::nth_element(values.begin(), values.begin() + kN / 2, values.end());
+  EXPECT_NEAR(values[kN / 2], 100.0, 5.0);
+}
+
+TEST(Rng, WeightedPickRespectsWeights) {
+  Rng rng(19);
+  const double weights[] = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) {
+    counts[rng.weighted_pick(std::span<const double>(weights, 3))]++;
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(Rng, WeightedPickRejectsZeroTotal) {
+  Rng rng(21);
+  const double weights[] = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_pick(std::span<const double>(weights, 2)),
+               std::invalid_argument);
+}
+
+TEST(Rng, ForkIsStableAndIndependent) {
+  Rng a(23);
+  Rng b(23);
+  Rng fa = a.fork("child");
+  Rng fb = b.fork("child");
+  EXPECT_EQ(fa.next_u64(), fb.next_u64());
+  Rng c(23);
+  Rng fc = c.fork("other");
+  Rng d(23);
+  Rng fd = d.fork("child");
+  EXPECT_NE(fc.next_u64(), fd.next_u64());
+}
+
+TEST(Rng, FillCoversBuffer) {
+  Rng rng(29);
+  Bytes buf(1000, 0);
+  std::vector<std::uint8_t> data(buf.begin(), buf.end());
+  rng.fill(buf);
+  int zeros = 0;
+  for (auto b : buf) {
+    if (b == 0) ++zeros;
+  }
+  EXPECT_LT(zeros, 30);  // ~1000/256 expected
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace dfx

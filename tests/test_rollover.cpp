@@ -1,0 +1,181 @@
+// Key-rollover lifecycle tests: the operational procedures whose
+// mishandling causes the paper's §3.4 negative transitions. Executed as
+// command sequences against the sandbox — done right they keep the zone
+// sv throughout; done wrong they produce exactly the paper's failure modes.
+#include <gtest/gtest.h>
+
+#include "dfixer/autofix.h"
+#include "zreplicator/replicate.h"
+
+namespace dfx {
+namespace {
+
+using analyzer::ErrorCode;
+using analyzer::SnapshotStatus;
+
+zreplicator::ReplicationResult make_clean(std::uint64_t seed,
+                                          std::uint8_t algorithm = 13) {
+  zreplicator::SnapshotSpec spec;
+  analyzer::KeyMeta ksk;
+  ksk.flags = 0x0101;
+  ksk.algorithm = algorithm;
+  analyzer::KeyMeta zsk;
+  zsk.flags = 0x0100;
+  zsk.algorithm = algorithm;
+  spec.meta.keys = {ksk, zsk};
+  return zreplicator::replicate(spec, seed);
+}
+
+TEST(ZskRollover, PrePublishThenRetireKeepsZoneValid) {
+  auto r = make_clean(200);
+  auto& sandbox = *r.sandbox;
+  const auto child = sandbox.child_apex();
+  auto& mz = sandbox.managed(child);
+  const auto old_tag =
+      mz.keys.active_with_role(sandbox.clock().now(), zone::KeyRole::kZsk)[0]
+          ->tag();
+
+  // 1. Introduce the new ZSK and re-sign (both keys published + signing).
+  ASSERT_TRUE(sandbox.apply(zone::cmd_keygen(
+      child, crypto::DnssecAlgorithm::kEcdsaP256Sha256, 256, false)));
+  zone::SignZoneParams params;
+  params.zone = child;
+  ASSERT_TRUE(sandbox.apply(zone::cmd_signzone(params)));
+  EXPECT_EQ(sandbox.analyze().status, SnapshotStatus::kSignedValid);
+
+  // 2. Wait out the TTL, retire the old key, re-sign.
+  ASSERT_TRUE(sandbox.apply(zone::cmd_wait_ttl(7200)));
+  ASSERT_TRUE(sandbox.apply(zone::cmd_settime_delete(
+      child, old_tag, sandbox.clock().now())));
+  ASSERT_TRUE(sandbox.apply(zone::cmd_signzone(params)));
+  const auto snapshot = sandbox.analyze();
+  EXPECT_EQ(snapshot.status, SnapshotStatus::kSignedValid);
+  // The old key is gone from the DNSKEY RRset.
+  for (const auto& key : snapshot.target_meta.keys) {
+    EXPECT_NE(key.key_tag, old_tag);
+  }
+}
+
+TEST(KskRollover, DsBeforeRetireKeepsZoneValid) {
+  auto r = make_clean(201);
+  auto& sandbox = *r.sandbox;
+  const auto child = sandbox.child_apex();
+  auto& mz = sandbox.managed(child);
+  const auto old_tag =
+      mz.keys.active_with_role(sandbox.clock().now(), zone::KeyRole::kKsk)[0]
+          ->tag();
+
+  // Proper double-DS rollover: new KSK → both DS at parent → retire old.
+  ASSERT_TRUE(sandbox.apply(zone::cmd_keygen(
+      child, crypto::DnssecAlgorithm::kEcdsaP256Sha256, 256, true)));
+  zone::SignZoneParams params;
+  params.zone = child;
+  ASSERT_TRUE(sandbox.apply(zone::cmd_signzone(params)));
+  ASSERT_TRUE(sandbox.apply(
+      zone::cmd_upload_ds(child, 0, crypto::DigestType::kSha256)));
+  EXPECT_EQ(sandbox.analyze().status, SnapshotStatus::kSignedValid);
+
+  ASSERT_TRUE(sandbox.apply(zone::cmd_wait_ttl(7200)));
+  ASSERT_TRUE(sandbox.apply(zone::cmd_remove_ds(child, old_tag)));
+  ASSERT_TRUE(sandbox.apply(zone::cmd_settime_delete(
+      child, old_tag, sandbox.clock().now())));
+  ASSERT_TRUE(sandbox.apply(zone::cmd_signzone(params)));
+  EXPECT_EQ(sandbox.analyze().status, SnapshotStatus::kSignedValid);
+}
+
+TEST(KskRollover, RetiringKeyBeforeDsUpdateGoesBogus) {
+  // The paper's §3.4 "key rollover" negative transition: the old KSK is
+  // dropped while the parent DS still references it.
+  auto r = make_clean(202);
+  auto& sandbox = *r.sandbox;
+  const auto child = sandbox.child_apex();
+  auto& mz = sandbox.managed(child);
+  const auto old_tag =
+      mz.keys.active_with_role(sandbox.clock().now(), zone::KeyRole::kKsk)[0]
+          ->tag();
+  ASSERT_TRUE(sandbox.apply(zone::cmd_keygen(
+      child, crypto::DnssecAlgorithm::kEcdsaP256Sha256, 256, true)));
+  ASSERT_TRUE(sandbox.apply(zone::cmd_settime_delete(
+      child, old_tag, sandbox.clock().now())));
+  zone::SignZoneParams params;
+  params.zone = child;
+  ASSERT_TRUE(sandbox.apply(zone::cmd_signzone(params)));
+  const auto snapshot = sandbox.analyze();
+  EXPECT_EQ(snapshot.status, SnapshotStatus::kSignedBogus);
+  EXPECT_TRUE(snapshot.has_companion(ErrorCode::kMissingDnskeyForDs) ||
+              snapshot.has_companion(ErrorCode::kNoSecureEntryPoint));
+  // ...and DFixer recovers it.
+  const auto report = dfixer::auto_fix(sandbox);
+  EXPECT_TRUE(report.success);
+}
+
+TEST(AlgorithmRollover, ProperSequenceKeepsZoneValid) {
+  // RFC 6781-style algorithm rollover: sign with both algorithms first,
+  // then swap the DS, then drop the old algorithm.
+  auto r = make_clean(203, /*algorithm=*/8);
+  auto& sandbox = *r.sandbox;
+  const auto child = sandbox.child_apex();
+  auto& mz = sandbox.managed(child);
+  const auto now = sandbox.clock().now();
+  const auto old_ksk_tag =
+      mz.keys.active_with_role(now, zone::KeyRole::kKsk)[0]->tag();
+  const auto old_zsk_tag =
+      mz.keys.active_with_role(now, zone::KeyRole::kZsk)[0]->tag();
+
+  // 1. Add algorithm-13 keys and double-sign.
+  ASSERT_TRUE(sandbox.apply(zone::cmd_keygen(
+      child, crypto::DnssecAlgorithm::kEcdsaP256Sha256, 256, true)));
+  ASSERT_TRUE(sandbox.apply(zone::cmd_keygen(
+      child, crypto::DnssecAlgorithm::kEcdsaP256Sha256, 256, false)));
+  zone::SignZoneParams params;
+  params.zone = child;
+  ASSERT_TRUE(sandbox.apply(zone::cmd_signzone(params)));
+  EXPECT_EQ(sandbox.analyze().status, SnapshotStatus::kSignedValid);
+
+  // 2. Publish the new DS alongside the old one, then drop the old DS.
+  ASSERT_TRUE(sandbox.apply(
+      zone::cmd_upload_ds(child, 0, crypto::DigestType::kSha256)));
+  ASSERT_TRUE(sandbox.apply(zone::cmd_wait_ttl(7200)));
+  ASSERT_TRUE(sandbox.apply(zone::cmd_remove_ds(child, old_ksk_tag)));
+  EXPECT_EQ(sandbox.analyze().status, SnapshotStatus::kSignedValid);
+
+  // 3. Retire the algorithm-8 keys entirely.
+  ASSERT_TRUE(sandbox.apply(zone::cmd_settime_delete(
+      child, old_ksk_tag, sandbox.clock().now())));
+  ASSERT_TRUE(sandbox.apply(zone::cmd_settime_delete(
+      child, old_zsk_tag, sandbox.clock().now())));
+  ASSERT_TRUE(sandbox.apply(zone::cmd_signzone(params)));
+  const auto final_snapshot = sandbox.analyze();
+  EXPECT_EQ(final_snapshot.status, SnapshotStatus::kSignedValid);
+  for (const auto& key : final_snapshot.target_meta.keys) {
+    EXPECT_EQ(key.algorithm, 13);
+  }
+}
+
+TEST(AlgorithmRollover, SkippingDoubleSignatureIsCaught) {
+  // The botched variant: swap the DS to the new algorithm while the zone
+  // is still signed only with the old one.
+  auto r = make_clean(204, /*algorithm=*/8);
+  auto& sandbox = *r.sandbox;
+  const auto child = sandbox.child_apex();
+  auto& mz = sandbox.managed(child);
+  const auto old_ksk_tag =
+      mz.keys.active_with_role(sandbox.clock().now(),
+                               zone::KeyRole::kKsk)[0]
+          ->tag();
+  ASSERT_TRUE(sandbox.apply(zone::cmd_keygen(
+      child, crypto::DnssecAlgorithm::kEcdsaP256Sha256, 256, true)));
+  // DS for the new KSK goes up and the old DS comes down — but the zone
+  // was never re-signed, so the new key signs nothing.
+  ASSERT_TRUE(sandbox.apply(
+      zone::cmd_upload_ds(child, 0, crypto::DigestType::kSha256)));
+  ASSERT_TRUE(sandbox.apply(zone::cmd_remove_ds(child, old_ksk_tag)));
+  const auto snapshot = sandbox.analyze();
+  EXPECT_EQ(snapshot.status, SnapshotStatus::kSignedBogus);
+  const auto report = dfixer::auto_fix(sandbox);
+  EXPECT_TRUE(report.success);
+  EXPECT_LE(report.iterations.size(), 4u);
+}
+
+}  // namespace
+}  // namespace dfx

@@ -1,0 +1,186 @@
+// Sandbox (CommandHost) tests: each BIND command's effect on the zones.
+#include <gtest/gtest.h>
+
+#include "util/codec.h"
+#include "zreplicator/sandbox.h"
+
+namespace dfx::zreplicator {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+Sandbox make_sandbox(std::uint64_t seed = 42) {
+  Sandbox sandbox(seed, kDatasetStart);
+  sandbox.build_base();
+  zone::SigningConfig config;
+  sandbox.build_child(Name::of("chd.par.a.com."),
+                      {{zone::KeyRole::kKsk,
+                        crypto::DnssecAlgorithm::kEcdsaP256Sha256, 0},
+                       {zone::KeyRole::kZsk,
+                        crypto::DnssecAlgorithm::kEcdsaP256Sha256, 0}},
+                      config, crypto::DigestType::kSha256, 3600);
+  return sandbox;
+}
+
+TEST(Sandbox, BuildsValidHierarchy) {
+  auto sandbox = make_sandbox();
+  const auto snapshot = sandbox.analyze();
+  EXPECT_EQ(snapshot.status, analyzer::SnapshotStatus::kSignedValid);
+  EXPECT_EQ(sandbox.chain().size(), 3u);
+}
+
+TEST(Sandbox, KeygenAddsKeyToDirectory) {
+  auto sandbox = make_sandbox();
+  const auto before =
+      sandbox.managed(sandbox.child_apex()).keys.keys().size();
+  auto cmd = zone::cmd_keygen(sandbox.child_apex(),
+                              crypto::DnssecAlgorithm::kEcdsaP256Sha256,
+                              256, /*ksk=*/true);
+  EXPECT_TRUE(sandbox.apply(cmd));
+  EXPECT_EQ(sandbox.managed(sandbox.child_apex()).keys.keys().size(),
+            before + 1);
+}
+
+TEST(Sandbox, KeygenRefusesRetiredAlgorithm) {
+  auto sandbox = make_sandbox();
+  zone::BindCommand cmd;
+  cmd.kind = zone::CommandKind::kDnssecKeygen;
+  cmd.args["zone"] = sandbox.child_apex().to_string();
+  cmd.args["algorithm_number"] = "6";  // DSA-NSEC3-SHA1
+  EXPECT_FALSE(sandbox.apply(cmd));
+}
+
+TEST(Sandbox, SignzoneChangesDenialParameters) {
+  auto sandbox = make_sandbox();
+  zone::SignZoneParams params;
+  params.zone = sandbox.child_apex();
+  params.nsec3 = true;
+  params.nsec3_iterations = 0;
+  EXPECT_TRUE(sandbox.apply(zone::cmd_signzone(params)));
+  const auto& mz = sandbox.managed(sandbox.child_apex());
+  EXPECT_NE(mz.signed_zone.find(sandbox.child_apex(), RRType::kNSEC3PARAM),
+            nullptr);
+  // The fresh copy reached both servers.
+  for (const char* name : {Sandbox::kNs1, Sandbox::kNs2}) {
+    const auto* data =
+        sandbox.farm().server(name).zone_data(sandbox.child_apex());
+    ASSERT_NE(data, nullptr);
+    EXPECT_NE(data->find(sandbox.child_apex(), RRType::kNSEC3PARAM),
+              nullptr);
+  }
+}
+
+TEST(Sandbox, UploadAndRemoveDs) {
+  auto sandbox = make_sandbox();
+  auto& child = sandbox.managed(sandbox.child_apex());
+  const auto ksk_tag =
+      child.keys.active_with_role(kDatasetStart, zone::KeyRole::kKsk)[0]
+          ->tag();
+  // Remove the existing DS: the delegation goes insecure.
+  EXPECT_TRUE(sandbox.apply(
+      zone::cmd_remove_ds(sandbox.child_apex(), ksk_tag)));
+  EXPECT_EQ(sandbox.analyze().status, analyzer::SnapshotStatus::kInsecure);
+  // Upload it back: secure again.
+  EXPECT_TRUE(sandbox.apply(zone::cmd_upload_ds(
+      sandbox.child_apex(), ksk_tag, crypto::DigestType::kSha256)));
+  EXPECT_EQ(sandbox.analyze().status,
+            analyzer::SnapshotStatus::kSignedValid);
+}
+
+TEST(Sandbox, RemoveDsByDigestIsSelective) {
+  auto sandbox = make_sandbox();
+  auto& child = sandbox.managed(sandbox.child_apex());
+  const auto* ksk =
+      child.keys.active_with_role(kDatasetStart, zone::KeyRole::kKsk)[0];
+  // Add a second DS with the same tag but corrupt digest.
+  auto bad = zone::make_ds(*ksk, crypto::DigestType::kSha256);
+  bad.digest[0] ^= 0xFF;
+  sandbox.add_parent_ds(sandbox.child_apex(), bad);
+  EXPECT_TRUE(sandbox.remove_parent_ds(sandbox.child_apex(), ksk->tag(),
+                                       hex_encode(bad.digest)));
+  // The good DS must survive.
+  EXPECT_EQ(sandbox.analyze().status,
+            analyzer::SnapshotStatus::kSignedValid);
+}
+
+TEST(Sandbox, SettimeDeleteRetiresKey) {
+  auto sandbox = make_sandbox();
+  auto& child = sandbox.managed(sandbox.child_apex());
+  const auto zsk_tag =
+      child.keys.active_with_role(kDatasetStart, zone::KeyRole::kZsk)[0]
+          ->tag();
+  EXPECT_TRUE(sandbox.apply(zone::cmd_settime_delete(
+      sandbox.child_apex(), zsk_tag, sandbox.clock().now())));
+  EXPECT_TRUE(child.keys
+                  .active_with_role(sandbox.clock().now(),
+                                    zone::KeyRole::kZsk)
+                  .empty());
+  // Unknown tags are a no-op (no key file), not a failure.
+  EXPECT_TRUE(sandbox.apply(zone::cmd_settime_delete(
+      sandbox.child_apex(), 12321, sandbox.clock().now())));
+}
+
+TEST(Sandbox, WaitTtlAdvancesClock) {
+  auto sandbox = make_sandbox();
+  const auto before = sandbox.clock().now();
+  EXPECT_TRUE(sandbox.apply(zone::cmd_wait_ttl(7200)));
+  EXPECT_EQ(sandbox.clock().now(), before + 7200);
+}
+
+TEST(Sandbox, ReduceTtlCapsRecords) {
+  auto sandbox = make_sandbox();
+  EXPECT_TRUE(sandbox.apply(
+      zone::cmd_reduce_ttl(sandbox.child_apex(), "ALL", 300)));
+  const auto& mz = sandbox.managed(sandbox.child_apex());
+  for (const auto* rrset : mz.unsigned_zone.all_rrsets()) {
+    EXPECT_LE(rrset->ttl(), 300u);
+  }
+}
+
+TEST(Sandbox, CommandsOutsideManagedZonesFail) {
+  auto sandbox = make_sandbox();
+  zone::BindCommand cmd;
+  cmd.kind = zone::CommandKind::kDnssecSignzone;
+  cmd.args["zone"] = "evil.example.org.";
+  EXPECT_FALSE(sandbox.apply(cmd));
+}
+
+TEST(Sandbox, ParentBogusScenario) {
+  Sandbox sandbox(99, kDatasetStart);
+  sandbox.build_base(/*parent_bogus=*/true);
+  zone::SigningConfig config;
+  sandbox.build_child(Name::of("chd.par.a.com."),
+                      {{zone::KeyRole::kKsk,
+                        crypto::DnssecAlgorithm::kEcdsaP256Sha256, 0},
+                       {zone::KeyRole::kZsk,
+                        crypto::DnssecAlgorithm::kEcdsaP256Sha256, 0}},
+                      config, crypto::DigestType::kSha256, 3600);
+  const auto snapshot = sandbox.analyze();
+  EXPECT_EQ(snapshot.status, analyzer::SnapshotStatus::kSignedBogus);
+  // The blocking error lives in the parent zone, not the child.
+  bool parent_error = false;
+  for (const auto& e : snapshot.companions) {
+    parent_error |= e.zone == sandbox.parent_apex();
+  }
+  for (const auto& e : snapshot.errors) {
+    parent_error |= e.zone == sandbox.parent_apex();
+  }
+  EXPECT_TRUE(parent_error);
+}
+
+TEST(Sandbox, DeterministicGivenSeed) {
+  auto a = make_sandbox(7);
+  auto b = make_sandbox(7);
+  const auto sa = a.analyze();
+  const auto sb = b.analyze();
+  EXPECT_EQ(sa.status, sb.status);
+  ASSERT_EQ(sa.target_meta.keys.size(), sb.target_meta.keys.size());
+  for (std::size_t i = 0; i < sa.target_meta.keys.size(); ++i) {
+    EXPECT_EQ(sa.target_meta.keys[i].key_tag,
+              sb.target_meta.keys[i].key_tag);
+  }
+}
+
+}  // namespace
+}  // namespace dfx::zreplicator

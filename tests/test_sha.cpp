@@ -1,0 +1,107 @@
+// Hash function tests against FIPS 180-4 / RFC test vectors.
+#include <gtest/gtest.h>
+
+#include "crypto/sha1.h"
+#include "crypto/sha2.h"
+#include "util/codec.h"
+
+namespace dfx::crypto {
+namespace {
+
+std::string sha1_hex(std::string_view s) {
+  return hex_encode(Sha1::digest(as_bytes(s)));
+}
+
+TEST(Sha1, KnownVectors) {
+  EXPECT_EQ(sha1_hex(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(sha1_hex("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(sha1_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(as_bytes(chunk));
+  const auto d = h.finish();
+  EXPECT_EQ(hex_encode(ByteView(d)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  const std::string text =
+      "The quick brown fox jumps over the lazy dog, repeatedly, to cross "
+      "block boundaries in interesting ways.";
+  for (std::size_t split = 0; split <= text.size(); split += 7) {
+    Sha1 h;
+    h.update(as_bytes(std::string_view(text).substr(0, split)));
+    h.update(as_bytes(std::string_view(text).substr(split)));
+    const auto d = h.finish();
+    EXPECT_EQ(Bytes(d.begin(), d.end()), Sha1::digest(as_bytes(text)));
+  }
+}
+
+TEST(Sha256, KnownVectors) {
+  EXPECT_EQ(hex_encode(sha256(as_bytes(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(hex_encode(sha256(as_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      hex_encode(sha256(as_bytes(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha224, KnownVectors) {
+  EXPECT_EQ(hex_encode(sha224(as_bytes("abc"))),
+            "23097d223405d8228642a477bda255b32aadbce4bda0b3f7e36c9da7");
+}
+
+TEST(Sha384, KnownVectors) {
+  EXPECT_EQ(hex_encode(sha384(as_bytes("abc"))),
+            "cb00753f45a35e8bb5a03d699ac65007272c32ab0eded1631a8b605a43ff5bed"
+            "8086072ba1e7cc2358baeca134c825a7");
+}
+
+TEST(Sha512, KnownVectors) {
+  EXPECT_EQ(hex_encode(sha512(as_bytes("abc"))),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+  EXPECT_EQ(hex_encode(sha512(as_bytes(""))),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha2, DigestSizes) {
+  EXPECT_EQ(sha224(as_bytes("x")).size(), 28u);
+  EXPECT_EQ(sha256(as_bytes("x")).size(), 32u);
+  EXPECT_EQ(sha384(as_bytes("x")).size(), 48u);
+  EXPECT_EQ(sha512(as_bytes("x")).size(), 64u);
+}
+
+class ShaBlockBoundary : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShaBlockBoundary, LengthsAroundBlockSizeHashConsistently) {
+  // Same input hashed in one call vs byte-at-a-time must agree at every
+  // length near the 64/128-byte block boundaries (padding edge cases).
+  const std::size_t n = GetParam();
+  Bytes data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  Sha256Core incremental(false);
+  for (const auto b : data) incremental.update({&b, 1});
+  EXPECT_EQ(incremental.finish(), sha256(data));
+
+  Sha512Core incremental512(false);
+  for (const auto b : data) incremental512.update({&b, 1});
+  EXPECT_EQ(incremental512.finish(), sha512(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, ShaBlockBoundary,
+                         ::testing::Values(0, 1, 55, 56, 57, 63, 64, 65,
+                                           111, 112, 113, 127, 128, 129,
+                                           200));
+
+}  // namespace
+}  // namespace dfx::crypto

@@ -1,0 +1,59 @@
+// Simulated clock and DNSSEC timestamp format tests.
+#include <gtest/gtest.h>
+
+#include "util/simclock.h"
+
+namespace dfx {
+namespace {
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock clock(1000);
+  EXPECT_EQ(clock.now(), 1000);
+  clock.advance(500);
+  EXPECT_EQ(clock.now(), 1500);
+  clock.advance_to(2000);
+  EXPECT_EQ(clock.now(), 2000);
+}
+
+TEST(SimClock, RejectsBackwardMoves) {
+  SimClock clock(1000);
+  EXPECT_THROW(clock.advance(-1), std::invalid_argument);
+  EXPECT_THROW(clock.advance_to(999), std::invalid_argument);
+}
+
+TEST(DnssecTime, FormatsEpoch) {
+  EXPECT_EQ(format_dnssec_time(0), "19700101000000");
+}
+
+TEST(DnssecTime, FormatsKnownTimestamps) {
+  // 2020-03-11 00:00:00 UTC.
+  EXPECT_EQ(format_dnssec_time(kDatasetStart), "20200311000000");
+  // 2024-09-25 00:00:00 UTC.
+  EXPECT_EQ(format_dnssec_time(kDatasetEnd), "20240925000000");
+}
+
+TEST(DnssecTime, HandlesLeapYears) {
+  // 2020-02-29 12:34:56 UTC == 1582979696.
+  EXPECT_EQ(format_dnssec_time(1582979696), "20200229123456");
+  EXPECT_EQ(parse_dnssec_time("20200229123456"), 1582979696);
+  // 2100 is NOT a leap year: Feb 29 rejected.
+  EXPECT_EQ(parse_dnssec_time("21000229000000"), -1);
+}
+
+TEST(DnssecTime, RoundTripsAcrossRange) {
+  for (UnixTime t = 0; t < kDatasetEnd + 10 * kDay; t += 7777777) {
+    EXPECT_EQ(parse_dnssec_time(format_dnssec_time(t)), t) << t;
+  }
+}
+
+TEST(DnssecTime, RejectsMalformedText) {
+  EXPECT_EQ(parse_dnssec_time(""), -1);
+  EXPECT_EQ(parse_dnssec_time("2020031100000"), -1);    // 13 chars
+  EXPECT_EQ(parse_dnssec_time("20200311000a00"), -1);   // non-digit
+  EXPECT_EQ(parse_dnssec_time("20201311000000"), -1);   // month 13
+  EXPECT_EQ(parse_dnssec_time("20200332000000"), -1);   // day 32
+  EXPECT_EQ(parse_dnssec_time("20200311240000"), -1);   // hour 24
+}
+
+}  // namespace
+}  // namespace dfx

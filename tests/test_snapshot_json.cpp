@@ -1,0 +1,103 @@
+// Snapshot JSON round-trip tests (the DNSViz-like interchange format).
+#include <gtest/gtest.h>
+
+#include "analyzer/snapshot.h"
+#include "json/json.h"
+
+namespace dfx::analyzer {
+namespace {
+
+Snapshot sample_snapshot() {
+  Snapshot s;
+  s.query_domain = dns::Name::of("www.chd.par.a.com.");
+  s.query_zone = dns::Name::of("chd.par.a.com.");
+  s.time = kDatasetStart + 12345;
+  s.status = SnapshotStatus::kSignedBogus;
+  s.errors.push_back({ErrorCode::kExpiredSignature, s.query_zone,
+                      "RRSIG expired at 20240101000000"});
+  s.errors.push_back({ErrorCode::kNonzeroIterationCount, s.query_zone,
+                      "iterations=10"});
+  s.companions.push_back({ErrorCode::kNoSecureEntryPoint, s.query_zone,
+                          "no valid DS"});
+  s.target_meta.apex = s.query_zone;
+  s.target_meta.server_count = 2;
+  KeyMeta key;
+  key.flags = 0x0101;
+  key.algorithm = 13;
+  key.key_tag = 4242;
+  key.key_bits = 256;
+  key.length_plausible = true;
+  s.target_meta.keys.push_back(key);
+  DsMeta ds;
+  ds.key_tag = 4242;
+  ds.algorithm = 13;
+  ds.digest_type = 2;
+  ds.digest_hex = "aabb";
+  ds.matches_dnskey = true;
+  ds.valid = false;
+  s.target_meta.ds_records.push_back(ds);
+  s.target_meta.uses_nsec3 = true;
+  s.target_meta.nsec3_iterations = 10;
+  s.target_meta.nsec3_salt_hex = "8d4557157f54153f";
+  s.target_meta.max_ttl = 7200;
+  return s;
+}
+
+TEST(SnapshotJson, RoundTripsEverything) {
+  const Snapshot original = sample_snapshot();
+  const auto doc = snapshot_to_json(original);
+  const auto text = json::serialize(doc);
+  const auto reparsed = snapshot_from_json(json::parse_or_throw(text));
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->query_domain, original.query_domain);
+  EXPECT_EQ(reparsed->query_zone, original.query_zone);
+  EXPECT_EQ(reparsed->time, original.time);
+  EXPECT_EQ(reparsed->status, original.status);
+  ASSERT_EQ(reparsed->errors.size(), 2u);
+  EXPECT_EQ(reparsed->errors[0].code, ErrorCode::kExpiredSignature);
+  EXPECT_EQ(reparsed->errors[0].detail, "RRSIG expired at 20240101000000");
+  ASSERT_EQ(reparsed->companions.size(), 1u);
+  const auto& meta = reparsed->target_meta;
+  EXPECT_EQ(meta.server_count, 2);
+  ASSERT_EQ(meta.keys.size(), 1u);
+  EXPECT_EQ(meta.keys[0].key_tag, 4242);
+  EXPECT_EQ(meta.keys[0].key_bits, 256u);
+  ASSERT_EQ(meta.ds_records.size(), 1u);
+  EXPECT_EQ(meta.ds_records[0].digest_hex, "aabb");
+  EXPECT_TRUE(meta.ds_records[0].matches_dnskey);
+  EXPECT_FALSE(meta.ds_records[0].valid);
+  EXPECT_TRUE(meta.uses_nsec3);
+  EXPECT_EQ(meta.nsec3_iterations, 10);
+  EXPECT_EQ(meta.nsec3_salt_hex, "8d4557157f54153f");
+  EXPECT_EQ(meta.max_ttl, 7200u);
+}
+
+TEST(SnapshotJson, StatusNamesRoundTrip) {
+  for (const auto status :
+       {SnapshotStatus::kSignedValid, SnapshotStatus::kSignedValidMisconfig,
+        SnapshotStatus::kSignedBogus, SnapshotStatus::kInsecure,
+        SnapshotStatus::kLame, SnapshotStatus::kIncomplete}) {
+    EXPECT_EQ(status_from_name(status_name(status)), status);
+  }
+  EXPECT_FALSE(status_from_name("bogus-name").has_value());
+}
+
+TEST(SnapshotJson, RejectsMalformedDocuments) {
+  EXPECT_FALSE(snapshot_from_json(json::parse_or_throw("[]")).has_value());
+  EXPECT_FALSE(snapshot_from_json(json::parse_or_throw("{}")).has_value());
+  EXPECT_FALSE(snapshot_from_json(json::parse_or_throw(
+                   R"({"query_domain":"x.","query_zone":"x.","status":"??"})"))
+                   .has_value());
+}
+
+TEST(SnapshotJson, TargetZoneErrorFilter) {
+  Snapshot s = sample_snapshot();
+  s.errors.push_back({ErrorCode::kBadNonexistenceProof,
+                      dns::Name::of("par.a.com."), "parent-side issue"});
+  const auto own = s.target_zone_errors();
+  EXPECT_EQ(own.size(), 2u);
+  for (const auto& e : own) EXPECT_EQ(e.zone, s.query_zone);
+}
+
+}  // namespace
+}  // namespace dfx::analyzer

@@ -1,0 +1,117 @@
+// Evaluation-spec generator tests: S1/S2 split, failure-driver rates,
+// and spec well-formedness.
+#include <gtest/gtest.h>
+
+#include "zreplicator/spec_corpus.h"
+
+namespace dfx::zreplicator {
+namespace {
+
+using analyzer::ErrorCode;
+
+TEST(SpecCorpus, S1ShareMatchesPaper) {
+  SpecCorpusOptions options;
+  options.count = 4000;
+  const auto specs = generate_eval_specs(options);
+  ASSERT_EQ(specs.size(), 4000u);
+  std::int64_t s1 = 0;
+  for (const auto& e : specs) s1 += e.s1 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(s1) / 4000.0, 0.568, 0.03);
+}
+
+TEST(SpecCorpus, S1SpecsAreNzicOnly) {
+  SpecCorpusOptions options;
+  options.count = 500;
+  for (const auto& e : generate_eval_specs(options)) {
+    if (!e.s1) continue;
+    EXPECT_EQ(e.spec.intended_errors.size(), 1u);
+    EXPECT_TRUE(e.spec.intended_errors.contains(
+        ErrorCode::kNonzeroIterationCount));
+    EXPECT_TRUE(e.spec.meta.uses_nsec3);
+    EXPECT_GT(e.spec.meta.nsec3_iterations, 0);
+  }
+}
+
+TEST(SpecCorpus, S2SpecsHaveNonNzicErrors) {
+  SpecCorpusOptions options;
+  options.count = 500;
+  for (const auto& e : generate_eval_specs(options)) {
+    if (e.s1) continue;
+    EXPECT_FALSE(e.spec.intended_errors.empty());
+    bool non_nzic = false;
+    for (const auto code : e.spec.intended_errors) {
+      non_nzic |= code != ErrorCode::kNonzeroIterationCount;
+    }
+    EXPECT_TRUE(non_nzic);
+  }
+}
+
+TEST(SpecCorpus, EverySpecHasKeys) {
+  SpecCorpusOptions options;
+  options.count = 500;
+  for (const auto& e : generate_eval_specs(options)) {
+    EXPECT_FALSE(e.spec.meta.keys.empty());
+    bool has_ksk = false;
+    for (const auto& key : e.spec.meta.keys) has_ksk |= key.is_ksk();
+    EXPECT_TRUE(has_ksk);
+  }
+}
+
+TEST(SpecCorpus, FailureDriversAtConfiguredRates) {
+  SpecCorpusOptions options;
+  options.count = 8000;
+  const auto specs = generate_eval_specs(options);
+  std::int64_t s2 = 0;
+  std::int64_t artifacts = 0;
+  std::int64_t variants = 0;
+  for (const auto& e : specs) {
+    if (e.s1) continue;
+    ++s2;
+    artifacts += e.spec.buggy_artifact ? 1 : 0;
+    variants += e.spec.unreplicable_variants.empty() ? 0 : 1;
+  }
+  ASSERT_GT(s2, 1000);
+  EXPECT_NEAR(static_cast<double>(artifacts) / static_cast<double>(s2),
+              options.s2_artifact_rate, 0.02);
+  EXPECT_NEAR(static_cast<double>(variants) / static_cast<double>(s2),
+              options.s2_variant_rate * (1 - options.s2_artifact_rate),
+              0.02);
+}
+
+TEST(SpecCorpus, DeterministicGivenSeed) {
+  SpecCorpusOptions options;
+  options.count = 200;
+  const auto a = generate_eval_specs(options);
+  const auto b = generate_eval_specs(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].s1, b[i].s1);
+    EXPECT_EQ(a[i].spec.intended_errors, b[i].spec.intended_errors);
+    EXPECT_EQ(a[i].spec.meta.keys.size(), b[i].spec.meta.keys.size());
+  }
+}
+
+TEST(SpecCorpus, CombinationKeyIsOrderIndependent) {
+  const std::set<ErrorCode> combo = {ErrorCode::kExpiredSignature,
+                                     ErrorCode::kNonzeroIterationCount};
+  EXPECT_EQ(combination_key(combo), combination_key(combo));
+  EXPECT_NE(combination_key(combo),
+            combination_key({ErrorCode::kExpiredSignature}));
+}
+
+TEST(SpecCorpus, FromSnapshotExtractsTargetZoneErrors) {
+  analyzer::Snapshot snapshot;
+  snapshot.query_zone = dns::Name::of("chd.par.a.com.");
+  snapshot.errors.push_back({ErrorCode::kExpiredSignature,
+                             snapshot.query_zone, ""});
+  snapshot.errors.push_back({ErrorCode::kBadNonexistenceProof,
+                             dns::Name::of("par.a.com."), ""});
+  snapshot.target_meta.uses_nsec3 = true;
+  const auto spec = SnapshotSpec::from_snapshot(snapshot);
+  EXPECT_EQ(spec.intended_errors.size(), 1u);
+  EXPECT_TRUE(spec.intended_errors.contains(ErrorCode::kExpiredSignature));
+  EXPECT_TRUE(spec.meta.uses_nsec3);
+}
+
+}  // namespace
+}  // namespace dfx::zreplicator

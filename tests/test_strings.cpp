@@ -1,0 +1,68 @@
+// String helper tests.
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+
+namespace dfx {
+namespace {
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitWs, DropsRuns) {
+  const auto parts = split_ws("  foo\t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(SplitWs, EmptyInput) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws(" \t\n ").empty());
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Case, LowerAndIequals) {
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_TRUE(iequals("DNSKEY", "dnskey"));
+  EXPECT_FALSE(iequals("DNSKEY", "dnske"));
+  EXPECT_FALSE(iequals("a", "b"));
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_TRUE(starts_with("foo", ""));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+TEST(Format, FixedAndThousands) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(1.0, 0), "1");
+  EXPECT_EQ(fmt_thousands(0), "0");
+  EXPECT_EQ(fmt_thousands(999), "999");
+  EXPECT_EQ(fmt_thousands(1000), "1,000");
+  EXPECT_EQ(fmt_thousands(1234567), "1,234,567");
+  EXPECT_EQ(fmt_thousands(-1234567), "-1,234,567");
+}
+
+}  // namespace
+}  // namespace dfx

@@ -1,0 +1,119 @@
+// §5.6 translation-layer tests: every command kind maps to each server
+// flavour, carrying the zone's own parameters.
+#include <gtest/gtest.h>
+
+#include "dfixer/translate.h"
+
+namespace dfx::dfixer {
+namespace {
+
+const dns::Name kZone = dns::Name::of("example.com.");
+
+TEST(Translate, NsdUsesLdnsUtilities) {
+  const auto keygen_lines = translate_command(
+      zone::cmd_keygen(kZone, crypto::DnssecAlgorithm::kRsaSha256, 2048,
+                       true),
+      ServerFlavor::kNsd);
+  ASSERT_EQ(keygen_lines.size(), 1u);
+  EXPECT_NE(keygen_lines[0].find("ldns-keygen -k"), std::string::npos);
+  EXPECT_NE(keygen_lines[0].find("RSASHA256"), std::string::npos);
+
+  zone::SignZoneParams params;
+  params.zone = kZone;
+  params.nsec3 = true;
+  params.nsec3_iterations = 3;
+  const auto sign_lines =
+      translate_command(zone::cmd_signzone(params), ServerFlavor::kNsd);
+  ASSERT_EQ(sign_lines.size(), 2u);
+  EXPECT_NE(sign_lines[0].find("ldns-signzone"), std::string::npos);
+  EXPECT_NE(sign_lines[0].find("-n -t 3"), std::string::npos);
+  EXPECT_NE(sign_lines[1].find("nsd-control reload"), std::string::npos);
+
+  const auto ds_lines = translate_command(
+      zone::cmd_dsfromkey(kZone, 4242, crypto::DigestType::kSha256),
+      ServerFlavor::kNsd);
+  EXPECT_NE(ds_lines[0].find("ldns-key2ds -n -2"), std::string::npos);
+}
+
+TEST(Translate, PowerDnsPreSignedWorkaround) {
+  // §5.6: pdnsutil cannot fix pre-signed zones; the translation must emit
+  // the external-repair + load-zone re-import sequence.
+  zone::SignZoneParams params;
+  params.zone = kZone;
+  params.nsec3 = true;
+  const auto lines =
+      translate_command(zone::cmd_signzone(params), ServerFlavor::kPowerDns);
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_NE(lines[0].find("#8892"), std::string::npos);
+  bool has_load = false;
+  bool has_nsec3 = false;
+  bool has_rectify = false;
+  for (const auto& line : lines) {
+    has_load |= line.find("pdnsutil load-zone") != std::string::npos;
+    has_nsec3 |= line.find("pdnsutil set-nsec3") != std::string::npos;
+    has_rectify |= line.find("pdnsutil rectify-zone") != std::string::npos;
+  }
+  EXPECT_TRUE(has_load);
+  EXPECT_TRUE(has_nsec3);
+  EXPECT_TRUE(has_rectify);
+}
+
+TEST(Translate, KnotUsesKeymgrAndPolicy) {
+  const auto keygen = translate_command(
+      zone::cmd_keygen(kZone, crypto::DnssecAlgorithm::kEcdsaP256Sha256,
+                       256, true),
+      ServerFlavor::kKnot);
+  EXPECT_NE(keygen[0].find("keymgr example.com. generate"),
+            std::string::npos);
+  EXPECT_NE(keygen[0].find("ksk=yes"), std::string::npos);
+
+  zone::SignZoneParams params;
+  params.zone = kZone;
+  params.nsec3 = false;
+  const auto sign = translate_command(zone::cmd_signzone(params),
+                                      ServerFlavor::kKnot);
+  ASSERT_EQ(sign.size(), 2u);
+  EXPECT_NE(sign[0].find("nsec3: off"), std::string::npos);
+  EXPECT_NE(sign[1].find("knotc zone-sign"), std::string::npos);
+}
+
+TEST(Translate, ManualRegistrarStepsAreVocabularyIndependent) {
+  const auto cmd = zone::cmd_upload_ds(kZone, 7,
+                                       crypto::DigestType::kSha256);
+  for (const auto flavor :
+       {ServerFlavor::kBind, ServerFlavor::kNsd, ServerFlavor::kPowerDns,
+        ServerFlavor::kKnot}) {
+    const auto lines = translate_command(cmd, flavor);
+    ASSERT_EQ(lines.size(), 1u) << server_flavor_name(flavor);
+    EXPECT_NE(lines[0].find("registrar"), std::string::npos);
+  }
+}
+
+TEST(Translate, BindFlavorIsIdentity) {
+  const auto cmd = zone::cmd_sync_servers(kZone);
+  const auto lines = translate_command(cmd, ServerFlavor::kBind);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], cmd.render());
+}
+
+TEST(Translate, WholePlanRendersInEveryVocabulary) {
+  RemediationPlan plan;
+  plan.root_cause = "expired signatures";
+  zone::Instruction sign;
+  sign.kind = zone::InstructionKind::kSignZone;
+  sign.description = "Re-sign the zone";
+  zone::SignZoneParams params;
+  params.zone = kZone;
+  sign.commands = {zone::cmd_signzone(params)};
+  plan.instructions.push_back(sign);
+  for (const auto flavor :
+       {ServerFlavor::kBind, ServerFlavor::kNsd, ServerFlavor::kPowerDns,
+        ServerFlavor::kKnot}) {
+    const auto text = translate_plan(plan, flavor);
+    EXPECT_NE(text.find(server_flavor_name(flavor)), std::string::npos);
+    EXPECT_NE(text.find("Re-sign the zone"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dfx::dfixer

@@ -1,0 +1,142 @@
+// Wildcard tests: RFC 1034 synthesis by the server, RFC 4034 §3.1.3 labels
+// semantics in the signer, and RFC 4035 §3.1.3.3 validation in grok.
+#include <gtest/gtest.h>
+
+#include "analyzer/grok.h"
+#include "analyzer/probe.h"
+#include "zreplicator/replicate.h"
+#include "zone/signer.h"
+
+namespace dfx {
+namespace {
+
+using analyzer::ErrorCode;
+using dns::Name;
+using dns::RRType;
+
+zreplicator::SnapshotSpec wildcard_spec(bool nsec3 = false) {
+  zreplicator::SnapshotSpec spec;
+  analyzer::KeyMeta ksk;
+  ksk.flags = 0x0101;
+  ksk.algorithm = 13;
+  analyzer::KeyMeta zsk;
+  zsk.flags = 0x0100;
+  zsk.algorithm = 13;
+  spec.meta.keys = {ksk, zsk};
+  spec.meta.uses_nsec3 = nsec3;
+  spec.meta.has_wildcard = true;
+  return spec;
+}
+
+TEST(Wildcard, SignerReducesLabelsField) {
+  auto r = zreplicator::replicate(wildcard_spec(), 90);
+  const auto& mz = r.sandbox->managed(r.sandbox->child_apex());
+  const Name wildcard = r.sandbox->child_apex().child("*");
+  const auto* sigs = mz.signed_zone.find(wildcard, RRType::kRRSIG);
+  ASSERT_NE(sigs, nullptr);
+  bool saw_a_sig = false;
+  for (const auto& rdata : sigs->rdatas()) {
+    const auto& sig = std::get<dns::RrsigRdata>(rdata);
+    if (sig.type_covered != RRType::kA) continue;
+    saw_a_sig = true;
+    EXPECT_EQ(sig.labels, wildcard.label_count() - 1);
+  }
+  EXPECT_TRUE(saw_a_sig);
+}
+
+TEST(Wildcard, ServerSynthesizesWithProof) {
+  auto r = zreplicator::replicate(wildcard_spec(), 91);
+  const auto* server =
+      r.sandbox->farm().find_server(zreplicator::Sandbox::kNs1);
+  ASSERT_NE(server, nullptr);
+  const Name qname = r.sandbox->child_apex().child("anything-at-all");
+  const auto result = server->query(qname, RRType::kA);
+  EXPECT_EQ(result.rcode, dns::RCode::kNoError);
+  ASSERT_FALSE(result.answers.empty());
+  EXPECT_EQ(result.answers.front().owner, qname);  // served at the qname
+  bool saw_sig = false;
+  for (const auto& rr : result.answers) {
+    if (rr.type == RRType::kRRSIG) {
+      const auto& sig = std::get<dns::RrsigRdata>(rr.rdata);
+      EXPECT_LT(sig.labels, qname.label_count());  // expansion marker
+      saw_sig = true;
+    }
+  }
+  EXPECT_TRUE(saw_sig);
+  EXPECT_FALSE(result.negative_proofs().empty())
+      << "the next-closer proof must accompany a wildcard answer";
+}
+
+TEST(Wildcard, ExistingNamesAreNotShadowed) {
+  auto r = zreplicator::replicate(wildcard_spec(), 92);
+  const auto* server =
+      r.sandbox->farm().find_server(zreplicator::Sandbox::kNs1);
+  const Name www = r.sandbox->child_apex().child("www");
+  const auto result = server->query(www, RRType::kA);
+  EXPECT_EQ(result.rcode, dns::RCode::kNoError);
+  ASSERT_FALSE(result.answers.empty());
+  // www exists explicitly; its RRSIG labels match the owner exactly.
+  for (const auto& rr : result.answers) {
+    if (rr.type == RRType::kRRSIG) {
+      EXPECT_EQ(std::get<dns::RrsigRdata>(rr.rdata).labels,
+                www.label_count());
+    }
+  }
+}
+
+TEST(Wildcard, GrokValidatesSynthesizedAnswers) {
+  for (bool nsec3 : {false, true}) {
+    auto r = zreplicator::replicate(wildcard_spec(nsec3), 93 + nsec3);
+    const auto snapshot = r.sandbox->analyze();
+    EXPECT_EQ(snapshot.status, analyzer::SnapshotStatus::kSignedValid)
+        << (nsec3 ? "nsec3" : "nsec") << ": "
+        << (snapshot.errors.empty()
+                ? ""
+                : analyzer::error_code_name(snapshot.errors[0].code) +
+                      " — " + snapshot.errors[0].detail);
+  }
+}
+
+TEST(Wildcard, TamperedSynthesisIsBogus) {
+  auto r = zreplicator::replicate(wildcard_spec(), 95);
+  auto& sandbox = *r.sandbox;
+  auto& mz = sandbox.managed(sandbox.child_apex());
+  // Corrupt the wildcard RRset's signature.
+  zone::Zone z = mz.signed_zone;
+  const Name wildcard = sandbox.child_apex().child("*");
+  auto* sigs = z.find(wildcard, RRType::kRRSIG);
+  ASSERT_NE(sigs, nullptr);
+  auto rdatas = sigs->rdatas();
+  dns::RRset corrupted(wildcard, RRType::kRRSIG, sigs->ttl());
+  for (auto rdata : rdatas) {
+    auto sig = std::get<dns::RrsigRdata>(rdata);
+    if (sig.type_covered == RRType::kA) sig.signature[0] ^= 0x5A;
+    corrupted.add(sig);
+  }
+  z.put(std::move(corrupted));
+  sandbox.push_signed(sandbox.child_apex(), std::move(z));
+  const auto snapshot = sandbox.analyze();
+  EXPECT_EQ(snapshot.status, analyzer::SnapshotStatus::kSignedBogus);
+  EXPECT_TRUE(snapshot.has_error(ErrorCode::kInvalidSignature));
+}
+
+TEST(Wildcard, MissingNextCloserProofIsBogus) {
+  auto r = zreplicator::replicate(wildcard_spec(), 96);
+  auto& sandbox = *r.sandbox;
+  auto& mz = sandbox.managed(sandbox.child_apex());
+  // Strip the NSEC chain: synthesis still happens, but the mandatory
+  // next-closer proof cannot be served.
+  zone::Zone z = mz.signed_zone;
+  std::vector<Name> doomed;
+  for (const auto* rrset : z.all_rrsets()) {
+    if (rrset->type() == RRType::kNSEC) doomed.push_back(rrset->owner());
+  }
+  for (const auto& owner : doomed) z.remove(owner, RRType::kNSEC);
+  sandbox.push_signed(sandbox.child_apex(), std::move(z));
+  const auto snapshot = sandbox.analyze();
+  EXPECT_EQ(snapshot.status, analyzer::SnapshotStatus::kSignedBogus);
+  EXPECT_TRUE(snapshot.has_error(ErrorCode::kMissingNonexistenceProof));
+}
+
+}  // namespace
+}  // namespace dfx

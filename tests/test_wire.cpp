@@ -1,0 +1,89 @@
+// WireReader bounds checks and malformed RDATA handling.
+#include <gtest/gtest.h>
+
+#include "dnscore/wire.h"
+
+namespace dfx::dns {
+namespace {
+
+TEST(WireReader, ReadsIntegers) {
+  const Bytes data = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07};
+  WireReader r(data);
+  EXPECT_EQ(r.read_u8(), 0x01);
+  EXPECT_EQ(r.read_u16(), 0x0203);
+  EXPECT_EQ(r.read_u32(), 0x04050607u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WireReader, FlagsOverrun) {
+  const Bytes data = {0x01};
+  WireReader r(data);
+  r.read_u32();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireReader, ReadsUncompressedName) {
+  const Bytes data = {3, 'w', 'w', 'w', 7, 'e', 'x', 'a', 'm', 'p',
+                      'l', 'e', 3,   'c', 'o', 'm', 0};
+  WireReader r(data);
+  const auto name = r.read_name();
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(*name, Name::of("www.example.com."));
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WireReader, FollowsCompressionPointer) {
+  // "example." at offset 0; a second name "www" + pointer to offset 0.
+  Bytes data = {7, 'e', 'x', 'a', 'm', 'p', 'l', 'e', 0,
+                3, 'w', 'w', 'w', 0xC0, 0x00};
+  WireReader r(data);
+  ASSERT_TRUE(r.read_name().has_value());
+  const auto second = r.read_name();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, Name::of("www.example."));
+}
+
+TEST(WireReader, RejectsForwardPointer) {
+  const Bytes data = {0xC0, 0x05, 0, 0, 0, 0};
+  WireReader r(data);
+  EXPECT_FALSE(r.read_name().has_value());
+}
+
+TEST(WireReader, RejectsTruncatedLabel) {
+  const Bytes data = {5, 'a', 'b'};
+  WireReader r(data);
+  EXPECT_FALSE(r.read_name().has_value());
+}
+
+TEST(RdataFromWire, RejectsTruncatedInputs) {
+  EXPECT_FALSE(rdata_from_wire(RRType::kA, Bytes{1, 2, 3}).has_value());
+  EXPECT_FALSE(rdata_from_wire(RRType::kAAAA, Bytes(15, 0)).has_value());
+  EXPECT_FALSE(rdata_from_wire(RRType::kDS, Bytes{0, 1, 8}).has_value());
+  EXPECT_FALSE(rdata_from_wire(RRType::kSOA, Bytes{0}).has_value());
+}
+
+TEST(RdataFromWire, RejectsTrailingGarbage) {
+  Bytes a_wire = {10, 0, 0, 1, 0xFF};
+  EXPECT_FALSE(rdata_from_wire(RRType::kA, a_wire).has_value());
+}
+
+TEST(RdataFromWire, RejectsEmptyDsDigest) {
+  const Bytes ds = {0x00, 0x01, 8, 2};  // tag, alg, digest type, no digest
+  EXPECT_FALSE(rdata_from_wire(RRType::kDS, ds).has_value());
+}
+
+TEST(RdataFromWire, Nsec3SaltAndHashLengthsHonoured) {
+  // hash_alg=1 flags=0 iters=0 salt_len=2 salt next_len=3 hash bitmap(A).
+  const Bytes wire = {1,    0,    0, 0,    2,    0xAB, 0xCD, 3,
+                      0x01, 0x02, 0x03, 0x00, 0x01, 0x40};
+  const auto decoded = rdata_from_wire(RRType::kNSEC3, wire);
+  ASSERT_TRUE(decoded.has_value());
+  const auto& n3 = std::get<Nsec3Rdata>(*decoded);
+  EXPECT_EQ(n3.salt, (Bytes{0xAB, 0xCD}));
+  EXPECT_EQ(n3.next_hashed, (Bytes{1, 2, 3}));
+  EXPECT_TRUE(n3.types.contains(RRType::kA));
+}
+
+}  // namespace
+}  // namespace dfx::dns

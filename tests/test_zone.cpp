@@ -1,0 +1,130 @@
+// Zone container tests: RRset management, delegations, occlusion.
+#include <gtest/gtest.h>
+
+#include "zone/zone.h"
+
+namespace dfx::zone {
+namespace {
+
+using dns::Name;
+using dns::RRType;
+
+Zone make_zone() {
+  const Name apex = Name::of("example.com.");
+  Zone zone(apex);
+  dns::SoaRdata soa;
+  soa.mname = apex.child("ns1");
+  soa.rname = apex.child("hostmaster");
+  soa.serial = 100;
+  zone.add(apex, RRType::kSOA, 3600, soa);
+  zone.add(apex, RRType::kNS, 3600, dns::NsRdata{apex.child("ns1")});
+  dns::ARdata a;
+  a.address = {192, 0, 2, 1};
+  zone.add(apex.child("ns1"), RRType::kA, 3600, a);
+  zone.add(apex.child("www"), RRType::kA, 3600, a);
+  return zone;
+}
+
+TEST(Zone, AddAndFind) {
+  const Zone zone = make_zone();
+  EXPECT_NE(zone.find(zone.apex(), RRType::kSOA), nullptr);
+  EXPECT_NE(zone.find(Name::of("www.example.com."), RRType::kA), nullptr);
+  EXPECT_EQ(zone.find(Name::of("www.example.com."), RRType::kMX), nullptr);
+  EXPECT_EQ(zone.find(Name::of("nope.example.com."), RRType::kA), nullptr);
+}
+
+TEST(Zone, DuplicateRdataMergesIntoOneRecord) {
+  Zone zone = make_zone();
+  dns::ARdata a;
+  a.address = {192, 0, 2, 1};
+  zone.add(Name::of("www.example.com."), RRType::kA, 3600, a);
+  EXPECT_EQ(zone.find(Name::of("www.example.com."), RRType::kA)->size(), 1u);
+  a.address = {192, 0, 2, 2};
+  zone.add(Name::of("www.example.com."), RRType::kA, 3600, a);
+  EXPECT_EQ(zone.find(Name::of("www.example.com."), RRType::kA)->size(), 2u);
+}
+
+TEST(Zone, RemoveRdataDropsEmptyRRsets) {
+  Zone zone = make_zone();
+  dns::ARdata a;
+  a.address = {192, 0, 2, 1};
+  EXPECT_TRUE(
+      zone.remove_rdata(Name::of("www.example.com."), RRType::kA, a));
+  EXPECT_EQ(zone.find(Name::of("www.example.com."), RRType::kA), nullptr);
+  EXPECT_FALSE(zone.name_exists(Name::of("www.example.com.")));
+  EXPECT_FALSE(
+      zone.remove_rdata(Name::of("www.example.com."), RRType::kA, a));
+}
+
+TEST(Zone, NameExistenceAndDescendants) {
+  const Zone zone = make_zone();
+  EXPECT_TRUE(zone.name_exists(Name::of("www.example.com.")));
+  EXPECT_FALSE(zone.name_exists(Name::of("sub.www.example.com.")));
+  // An empty non-terminal "exists" through its descendants.
+  Zone ent = make_zone();
+  dns::ARdata a;
+  a.address = {1, 1, 1, 1};
+  ent.add(Name::of("host.ent.example.com."), RRType::kA, 60, a);
+  EXPECT_FALSE(ent.name_exists(Name::of("ent.example.com.")));
+  EXPECT_TRUE(ent.name_or_descendant_exists(Name::of("ent.example.com.")));
+}
+
+TEST(Zone, DelegationDetection) {
+  Zone zone = make_zone();
+  zone.add(Name::of("child.example.com."), RRType::kNS, 3600,
+           dns::NsRdata{Name::of("ns1.child.example.com.")});
+  dns::ARdata glue;
+  glue.address = {10, 0, 0, 1};
+  zone.add(Name::of("ns1.child.example.com."), RRType::kA, 3600, glue);
+
+  EXPECT_TRUE(zone.is_delegation(Name::of("child.example.com.")));
+  EXPECT_FALSE(zone.is_delegation(zone.apex()));  // apex NS is not a cut
+  EXPECT_FALSE(zone.is_delegation(Name::of("www.example.com.")));
+
+  // Glue under the cut is occluded.
+  const auto cut =
+      zone.covering_delegation(Name::of("ns1.child.example.com."));
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_EQ(*cut, Name::of("child.example.com."));
+  EXPECT_FALSE(
+      zone.covering_delegation(Name::of("www.example.com.")).has_value());
+}
+
+TEST(Zone, OwnersInCanonicalOrder) {
+  const Zone zone = make_zone();
+  const auto owners = zone.owner_names();
+  ASSERT_GE(owners.size(), 3u);
+  EXPECT_EQ(owners.front(), zone.apex());
+  for (std::size_t i = 1; i < owners.size(); ++i) {
+    EXPECT_LT(owners[i - 1], owners[i]);
+  }
+}
+
+TEST(Zone, ToRecordsPutsSoaFirst) {
+  const Zone zone = make_zone();
+  const auto records = zone.to_records();
+  ASSERT_FALSE(records.empty());
+  EXPECT_EQ(records.front().type, RRType::kSOA);
+}
+
+TEST(Zone, SoaAccessAndSerialBump) {
+  Zone zone = make_zone();
+  ASSERT_NE(zone.soa(), nullptr);
+  EXPECT_EQ(zone.soa()->serial, 100u);
+  zone.bump_serial();
+  EXPECT_EQ(zone.soa()->serial, 101u);
+}
+
+TEST(Zone, PutReplacesRRset) {
+  Zone zone = make_zone();
+  dns::RRset fresh(zone.apex(), RRType::kNS, 60);
+  fresh.add(dns::NsRdata{Name::of("other.ns.example.")});
+  zone.put(fresh);
+  const auto* ns = zone.find(zone.apex(), RRType::kNS);
+  ASSERT_NE(ns, nullptr);
+  EXPECT_EQ(ns->ttl(), 60u);
+  EXPECT_EQ(ns->size(), 1u);
+}
+
+}  // namespace
+}  // namespace dfx::zone
