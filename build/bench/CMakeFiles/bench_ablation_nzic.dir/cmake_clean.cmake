@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nzic.dir/bench_ablation_nzic.cpp.o"
+  "CMakeFiles/bench_ablation_nzic.dir/bench_ablation_nzic.cpp.o.d"
+  "bench_ablation_nzic"
+  "bench_ablation_nzic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nzic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

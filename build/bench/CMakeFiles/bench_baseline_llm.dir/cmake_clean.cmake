@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_llm.dir/bench_baseline_llm.cpp.o"
+  "CMakeFiles/bench_baseline_llm.dir/bench_baseline_llm.cpp.o.d"
+  "bench_baseline_llm"
+  "bench_baseline_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

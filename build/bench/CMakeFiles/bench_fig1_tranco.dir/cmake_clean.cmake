@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_tranco.dir/bench_fig1_tranco.cpp.o"
+  "CMakeFiles/bench_fig1_tranco.dir/bench_fig1_tranco.cpp.o.d"
+  "bench_fig1_tranco"
+  "bench_fig1_tranco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_tranco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

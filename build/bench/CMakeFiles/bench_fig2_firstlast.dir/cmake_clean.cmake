@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_firstlast.dir/bench_fig2_firstlast.cpp.o"
+  "CMakeFiles/bench_fig2_firstlast.dir/bench_fig2_firstlast.cpp.o.d"
+  "bench_fig2_firstlast"
+  "bench_fig2_firstlast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_firstlast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

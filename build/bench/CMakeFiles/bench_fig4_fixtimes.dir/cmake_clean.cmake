@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_fixtimes.dir/bench_fig4_fixtimes.cpp.o"
+  "CMakeFiles/bench_fig4_fixtimes.dir/bench_fig4_fixtimes.cpp.o.d"
+  "bench_fig4_fixtimes"
+  "bench_fig4_fixtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_fixtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

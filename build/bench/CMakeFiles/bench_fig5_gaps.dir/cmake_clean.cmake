@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_gaps.dir/bench_fig5_gaps.cpp.o"
+  "CMakeFiles/bench_fig5_gaps.dir/bench_fig5_gaps.cpp.o.d"
+  "bench_fig5_gaps"
+  "bench_fig5_gaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_gaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_negative.dir/bench_table2_negative.cpp.o"
+  "CMakeFiles/bench_table2_negative.dir/bench_table2_negative.cpp.o.d"
+  "bench_table2_negative"
+  "bench_table2_negative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_negative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

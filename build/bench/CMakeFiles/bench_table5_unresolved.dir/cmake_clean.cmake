@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_unresolved.dir/bench_table5_unresolved.cpp.o"
+  "CMakeFiles/bench_table5_unresolved.dir/bench_table5_unresolved.cpp.o.d"
+  "bench_table5_unresolved"
+  "bench_table5_unresolved.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_unresolved.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_rr_fr.dir/bench_table6_rr_fr.cpp.o"
+  "CMakeFiles/bench_table6_rr_fr.dir/bench_table6_rr_fr.cpp.o.d"
+  "bench_table6_rr_fr"
+  "bench_table6_rr_fr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_rr_fr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_instructions.dir/bench_table7_instructions.cpp.o"
+  "CMakeFiles/bench_table7_instructions.dir/bench_table7_instructions.cpp.o.d"
+  "bench_table7_instructions"
+  "bench_table7_instructions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_instructions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

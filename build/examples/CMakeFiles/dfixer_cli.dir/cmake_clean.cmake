@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfixer_cli.dir/dfixer_cli.cpp.o"
+  "CMakeFiles/dfixer_cli.dir/dfixer_cli.cpp.o.d"
+  "dfixer_cli"
+  "dfixer_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfixer_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixer_walkthrough.dir/fixer_walkthrough.cpp.o"
+  "CMakeFiles/fixer_walkthrough.dir/fixer_walkthrough.cpp.o.d"
+  "fixer_walkthrough"
+  "fixer_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixer_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

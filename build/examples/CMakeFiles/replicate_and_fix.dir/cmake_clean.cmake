@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicate_and_fix.dir/replicate_and_fix.cpp.o"
+  "CMakeFiles/replicate_and_fix.dir/replicate_and_fix.cpp.o.d"
+  "replicate_and_fix"
+  "replicate_and_fix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicate_and_fix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfx_analyzer.dir/ede.cpp.o"
+  "CMakeFiles/dfx_analyzer.dir/ede.cpp.o.d"
+  "CMakeFiles/dfx_analyzer.dir/errorcode.cpp.o"
+  "CMakeFiles/dfx_analyzer.dir/errorcode.cpp.o.d"
+  "CMakeFiles/dfx_analyzer.dir/grok.cpp.o"
+  "CMakeFiles/dfx_analyzer.dir/grok.cpp.o.d"
+  "CMakeFiles/dfx_analyzer.dir/probe.cpp.o"
+  "CMakeFiles/dfx_analyzer.dir/probe.cpp.o.d"
+  "CMakeFiles/dfx_analyzer.dir/snapshot.cpp.o"
+  "CMakeFiles/dfx_analyzer.dir/snapshot.cpp.o.d"
+  "libdfx_analyzer.a"
+  "libdfx_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfx_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdfx_analyzer.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/authserver/authserver.cpp" "src/authserver/CMakeFiles/dfx_authserver.dir/authserver.cpp.o" "gcc" "src/authserver/CMakeFiles/dfx_authserver.dir/authserver.cpp.o.d"
+  "/root/repo/src/authserver/farm.cpp" "src/authserver/CMakeFiles/dfx_authserver.dir/farm.cpp.o" "gcc" "src/authserver/CMakeFiles/dfx_authserver.dir/farm.cpp.o.d"
+  "/root/repo/src/authserver/resolver.cpp" "src/authserver/CMakeFiles/dfx_authserver.dir/resolver.cpp.o" "gcc" "src/authserver/CMakeFiles/dfx_authserver.dir/resolver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zone/CMakeFiles/dfx_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnscore/CMakeFiles/dfx_dnscore.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dfx_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dfx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfx_authserver.dir/authserver.cpp.o"
+  "CMakeFiles/dfx_authserver.dir/authserver.cpp.o.d"
+  "CMakeFiles/dfx_authserver.dir/farm.cpp.o"
+  "CMakeFiles/dfx_authserver.dir/farm.cpp.o.d"
+  "CMakeFiles/dfx_authserver.dir/resolver.cpp.o"
+  "CMakeFiles/dfx_authserver.dir/resolver.cpp.o.d"
+  "libdfx_authserver.a"
+  "libdfx_authserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfx_authserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dfx_authserver.
+# This may be replaced when dependencies are built.

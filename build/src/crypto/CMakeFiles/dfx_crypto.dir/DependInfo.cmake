@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/algorithm.cpp" "src/crypto/CMakeFiles/dfx_crypto.dir/algorithm.cpp.o" "gcc" "src/crypto/CMakeFiles/dfx_crypto.dir/algorithm.cpp.o.d"
+  "/root/repo/src/crypto/bignum.cpp" "src/crypto/CMakeFiles/dfx_crypto.dir/bignum.cpp.o" "gcc" "src/crypto/CMakeFiles/dfx_crypto.dir/bignum.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/crypto/CMakeFiles/dfx_crypto.dir/rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/dfx_crypto.dir/rsa.cpp.o.d"
+  "/root/repo/src/crypto/schnorr.cpp" "src/crypto/CMakeFiles/dfx_crypto.dir/schnorr.cpp.o" "gcc" "src/crypto/CMakeFiles/dfx_crypto.dir/schnorr.cpp.o.d"
+  "/root/repo/src/crypto/sha1.cpp" "src/crypto/CMakeFiles/dfx_crypto.dir/sha1.cpp.o" "gcc" "src/crypto/CMakeFiles/dfx_crypto.dir/sha1.cpp.o.d"
+  "/root/repo/src/crypto/sha2.cpp" "src/crypto/CMakeFiles/dfx_crypto.dir/sha2.cpp.o" "gcc" "src/crypto/CMakeFiles/dfx_crypto.dir/sha2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dfx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

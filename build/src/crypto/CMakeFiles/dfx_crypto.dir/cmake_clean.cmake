@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfx_crypto.dir/algorithm.cpp.o"
+  "CMakeFiles/dfx_crypto.dir/algorithm.cpp.o.d"
+  "CMakeFiles/dfx_crypto.dir/bignum.cpp.o"
+  "CMakeFiles/dfx_crypto.dir/bignum.cpp.o.d"
+  "CMakeFiles/dfx_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/dfx_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/dfx_crypto.dir/schnorr.cpp.o"
+  "CMakeFiles/dfx_crypto.dir/schnorr.cpp.o.d"
+  "CMakeFiles/dfx_crypto.dir/sha1.cpp.o"
+  "CMakeFiles/dfx_crypto.dir/sha1.cpp.o.d"
+  "CMakeFiles/dfx_crypto.dir/sha2.cpp.o"
+  "CMakeFiles/dfx_crypto.dir/sha2.cpp.o.d"
+  "libdfx_crypto.a"
+  "libdfx_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfx_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

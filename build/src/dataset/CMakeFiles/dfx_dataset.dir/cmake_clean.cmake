@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfx_dataset.dir/calibration.cpp.o"
+  "CMakeFiles/dfx_dataset.dir/calibration.cpp.o.d"
+  "CMakeFiles/dfx_dataset.dir/corpus.cpp.o"
+  "CMakeFiles/dfx_dataset.dir/corpus.cpp.o.d"
+  "CMakeFiles/dfx_dataset.dir/generator.cpp.o"
+  "CMakeFiles/dfx_dataset.dir/generator.cpp.o.d"
+  "libdfx_dataset.a"
+  "libdfx_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfx_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfx_dfixer.dir/autofix.cpp.o"
+  "CMakeFiles/dfx_dfixer.dir/autofix.cpp.o.d"
+  "CMakeFiles/dfx_dfixer.dir/baseline.cpp.o"
+  "CMakeFiles/dfx_dfixer.dir/baseline.cpp.o.d"
+  "CMakeFiles/dfx_dfixer.dir/dresolver.cpp.o"
+  "CMakeFiles/dfx_dfixer.dir/dresolver.cpp.o.d"
+  "CMakeFiles/dfx_dfixer.dir/translate.cpp.o"
+  "CMakeFiles/dfx_dfixer.dir/translate.cpp.o.d"
+  "libdfx_dfixer.a"
+  "libdfx_dfixer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfx_dfixer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

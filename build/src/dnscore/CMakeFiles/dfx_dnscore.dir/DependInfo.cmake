@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnscore/masterfile.cpp" "src/dnscore/CMakeFiles/dfx_dnscore.dir/masterfile.cpp.o" "gcc" "src/dnscore/CMakeFiles/dfx_dnscore.dir/masterfile.cpp.o.d"
+  "/root/repo/src/dnscore/message.cpp" "src/dnscore/CMakeFiles/dfx_dnscore.dir/message.cpp.o" "gcc" "src/dnscore/CMakeFiles/dfx_dnscore.dir/message.cpp.o.d"
+  "/root/repo/src/dnscore/name.cpp" "src/dnscore/CMakeFiles/dfx_dnscore.dir/name.cpp.o" "gcc" "src/dnscore/CMakeFiles/dfx_dnscore.dir/name.cpp.o.d"
+  "/root/repo/src/dnscore/rdata.cpp" "src/dnscore/CMakeFiles/dfx_dnscore.dir/rdata.cpp.o" "gcc" "src/dnscore/CMakeFiles/dfx_dnscore.dir/rdata.cpp.o.d"
+  "/root/repo/src/dnscore/rr.cpp" "src/dnscore/CMakeFiles/dfx_dnscore.dir/rr.cpp.o" "gcc" "src/dnscore/CMakeFiles/dfx_dnscore.dir/rr.cpp.o.d"
+  "/root/repo/src/dnscore/rrset.cpp" "src/dnscore/CMakeFiles/dfx_dnscore.dir/rrset.cpp.o" "gcc" "src/dnscore/CMakeFiles/dfx_dnscore.dir/rrset.cpp.o.d"
+  "/root/repo/src/dnscore/wire.cpp" "src/dnscore/CMakeFiles/dfx_dnscore.dir/wire.cpp.o" "gcc" "src/dnscore/CMakeFiles/dfx_dnscore.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dfx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dfx_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

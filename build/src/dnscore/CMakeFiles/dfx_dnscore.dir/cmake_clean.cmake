@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfx_dnscore.dir/masterfile.cpp.o"
+  "CMakeFiles/dfx_dnscore.dir/masterfile.cpp.o.d"
+  "CMakeFiles/dfx_dnscore.dir/message.cpp.o"
+  "CMakeFiles/dfx_dnscore.dir/message.cpp.o.d"
+  "CMakeFiles/dfx_dnscore.dir/name.cpp.o"
+  "CMakeFiles/dfx_dnscore.dir/name.cpp.o.d"
+  "CMakeFiles/dfx_dnscore.dir/rdata.cpp.o"
+  "CMakeFiles/dfx_dnscore.dir/rdata.cpp.o.d"
+  "CMakeFiles/dfx_dnscore.dir/rr.cpp.o"
+  "CMakeFiles/dfx_dnscore.dir/rr.cpp.o.d"
+  "CMakeFiles/dfx_dnscore.dir/rrset.cpp.o"
+  "CMakeFiles/dfx_dnscore.dir/rrset.cpp.o.d"
+  "CMakeFiles/dfx_dnscore.dir/wire.cpp.o"
+  "CMakeFiles/dfx_dnscore.dir/wire.cpp.o.d"
+  "libdfx_dnscore.a"
+  "libdfx_dnscore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfx_dnscore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfx_json.dir/json.cpp.o"
+  "CMakeFiles/dfx_json.dir/json.cpp.o.d"
+  "libdfx_json.a"
+  "libdfx_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfx_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/measure.cpp" "src/measure/CMakeFiles/dfx_measure.dir/measure.cpp.o" "gcc" "src/measure/CMakeFiles/dfx_measure.dir/measure.cpp.o.d"
+  "/root/repo/src/measure/report.cpp" "src/measure/CMakeFiles/dfx_measure.dir/report.cpp.o" "gcc" "src/measure/CMakeFiles/dfx_measure.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataset/CMakeFiles/dfx_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/dfx_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dfx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/authserver/CMakeFiles/dfx_authserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/zone/CMakeFiles/dfx_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnscore/CMakeFiles/dfx_dnscore.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dfx_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/dfx_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfx_measure.dir/measure.cpp.o"
+  "CMakeFiles/dfx_measure.dir/measure.cpp.o.d"
+  "CMakeFiles/dfx_measure.dir/report.cpp.o"
+  "CMakeFiles/dfx_measure.dir/report.cpp.o.d"
+  "libdfx_measure.a"
+  "libdfx_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfx_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

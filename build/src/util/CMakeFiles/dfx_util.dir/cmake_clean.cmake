@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfx_util.dir/codec.cpp.o"
+  "CMakeFiles/dfx_util.dir/codec.cpp.o.d"
+  "CMakeFiles/dfx_util.dir/rng.cpp.o"
+  "CMakeFiles/dfx_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dfx_util.dir/simclock.cpp.o"
+  "CMakeFiles/dfx_util.dir/simclock.cpp.o.d"
+  "CMakeFiles/dfx_util.dir/strings.cpp.o"
+  "CMakeFiles/dfx_util.dir/strings.cpp.o.d"
+  "libdfx_util.a"
+  "libdfx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zone/bindcmd.cpp" "src/zone/CMakeFiles/dfx_zone.dir/bindcmd.cpp.o" "gcc" "src/zone/CMakeFiles/dfx_zone.dir/bindcmd.cpp.o.d"
+  "/root/repo/src/zone/key.cpp" "src/zone/CMakeFiles/dfx_zone.dir/key.cpp.o" "gcc" "src/zone/CMakeFiles/dfx_zone.dir/key.cpp.o.d"
+  "/root/repo/src/zone/nsec3.cpp" "src/zone/CMakeFiles/dfx_zone.dir/nsec3.cpp.o" "gcc" "src/zone/CMakeFiles/dfx_zone.dir/nsec3.cpp.o.d"
+  "/root/repo/src/zone/signer.cpp" "src/zone/CMakeFiles/dfx_zone.dir/signer.cpp.o" "gcc" "src/zone/CMakeFiles/dfx_zone.dir/signer.cpp.o.d"
+  "/root/repo/src/zone/zone.cpp" "src/zone/CMakeFiles/dfx_zone.dir/zone.cpp.o" "gcc" "src/zone/CMakeFiles/dfx_zone.dir/zone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnscore/CMakeFiles/dfx_dnscore.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dfx_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dfx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

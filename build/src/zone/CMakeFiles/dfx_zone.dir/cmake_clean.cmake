@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfx_zone.dir/bindcmd.cpp.o"
+  "CMakeFiles/dfx_zone.dir/bindcmd.cpp.o.d"
+  "CMakeFiles/dfx_zone.dir/key.cpp.o"
+  "CMakeFiles/dfx_zone.dir/key.cpp.o.d"
+  "CMakeFiles/dfx_zone.dir/nsec3.cpp.o"
+  "CMakeFiles/dfx_zone.dir/nsec3.cpp.o.d"
+  "CMakeFiles/dfx_zone.dir/signer.cpp.o"
+  "CMakeFiles/dfx_zone.dir/signer.cpp.o.d"
+  "CMakeFiles/dfx_zone.dir/zone.cpp.o"
+  "CMakeFiles/dfx_zone.dir/zone.cpp.o.d"
+  "libdfx_zone.a"
+  "libdfx_zone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfx_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

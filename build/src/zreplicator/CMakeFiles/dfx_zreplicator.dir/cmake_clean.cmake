@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfx_zreplicator.dir/injector.cpp.o"
+  "CMakeFiles/dfx_zreplicator.dir/injector.cpp.o.d"
+  "CMakeFiles/dfx_zreplicator.dir/replicate.cpp.o"
+  "CMakeFiles/dfx_zreplicator.dir/replicate.cpp.o.d"
+  "CMakeFiles/dfx_zreplicator.dir/sandbox.cpp.o"
+  "CMakeFiles/dfx_zreplicator.dir/sandbox.cpp.o.d"
+  "CMakeFiles/dfx_zreplicator.dir/spec.cpp.o"
+  "CMakeFiles/dfx_zreplicator.dir/spec.cpp.o.d"
+  "CMakeFiles/dfx_zreplicator.dir/spec_corpus.cpp.o"
+  "CMakeFiles/dfx_zreplicator.dir/spec_corpus.cpp.o.d"
+  "libdfx_zreplicator.a"
+  "libdfx_zreplicator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfx_zreplicator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_authserver.dir/test_authserver.cpp.o"
+  "CMakeFiles/test_authserver.dir/test_authserver.cpp.o.d"
+  "test_authserver"
+  "test_authserver.pdb"
+  "test_authserver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_authserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bindcmd.dir/test_bindcmd.cpp.o"
+  "CMakeFiles/test_bindcmd.dir/test_bindcmd.cpp.o.d"
+  "test_bindcmd"
+  "test_bindcmd.pdb"
+  "test_bindcmd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bindcmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

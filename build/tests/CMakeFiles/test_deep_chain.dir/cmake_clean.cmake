@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deep_chain.dir/test_deep_chain.cpp.o"
+  "CMakeFiles/test_deep_chain.dir/test_deep_chain.cpp.o.d"
+  "test_deep_chain"
+  "test_deep_chain.pdb"
+  "test_deep_chain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deep_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dresolver.dir/test_dresolver.cpp.o"
+  "CMakeFiles/test_dresolver.dir/test_dresolver.cpp.o.d"
+  "test_dresolver"
+  "test_dresolver.pdb"
+  "test_dresolver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dresolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ede.dir/test_ede.cpp.o"
+  "CMakeFiles/test_ede.dir/test_ede.cpp.o.d"
+  "test_ede"
+  "test_ede.pdb"
+  "test_ede[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ede.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

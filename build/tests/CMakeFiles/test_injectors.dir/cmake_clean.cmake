@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_injectors.dir/test_injectors.cpp.o"
+  "CMakeFiles/test_injectors.dir/test_injectors.cpp.o.d"
+  "test_injectors"
+  "test_injectors.pdb"
+  "test_injectors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_injectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_masterfile.dir/test_masterfile.cpp.o"
+  "CMakeFiles/test_masterfile.dir/test_masterfile.cpp.o.d"
+  "test_masterfile"
+  "test_masterfile.pdb"
+  "test_masterfile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_masterfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

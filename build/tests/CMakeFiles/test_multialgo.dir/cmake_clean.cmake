@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multialgo.dir/test_multialgo.cpp.o"
+  "CMakeFiles/test_multialgo.dir/test_multialgo.cpp.o.d"
+  "test_multialgo"
+  "test_multialgo.pdb"
+  "test_multialgo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multialgo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

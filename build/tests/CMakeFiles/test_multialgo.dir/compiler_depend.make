@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_multialgo.
+# This may be replaced when dependencies are built.

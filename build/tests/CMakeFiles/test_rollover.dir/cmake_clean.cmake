@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rollover.dir/test_rollover.cpp.o"
+  "CMakeFiles/test_rollover.dir/test_rollover.cpp.o.d"
+  "test_rollover"
+  "test_rollover.pdb"
+  "test_rollover[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rollover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

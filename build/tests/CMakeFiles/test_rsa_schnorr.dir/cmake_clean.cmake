@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rsa_schnorr.dir/test_rsa_schnorr.cpp.o"
+  "CMakeFiles/test_rsa_schnorr.dir/test_rsa_schnorr.cpp.o.d"
+  "test_rsa_schnorr"
+  "test_rsa_schnorr.pdb"
+  "test_rsa_schnorr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rsa_schnorr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simclock.dir/test_simclock.cpp.o"
+  "CMakeFiles/test_simclock.dir/test_simclock.cpp.o.d"
+  "test_simclock"
+  "test_simclock.pdb"
+  "test_simclock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

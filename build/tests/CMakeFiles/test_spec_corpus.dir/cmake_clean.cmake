@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_corpus.dir/test_spec_corpus.cpp.o"
+  "CMakeFiles/test_spec_corpus.dir/test_spec_corpus.cpp.o.d"
+  "test_spec_corpus"
+  "test_spec_corpus.pdb"
+  "test_spec_corpus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
