@@ -928,7 +928,7 @@ Snapshot grok(const ProbeData& data, const GrokConfig& config) {
               std::tuple{&sp.ns.answers, zp.apex, dns::RRType::kNS},
               std::tuple{&sp.apex_a.answers, zp.apex, dns::RRType::kA}}) {
           views_storage.push_back(extract(*section, owner, type));
-          auto& view = views_storage.back();
+          auto& view = views_storage.back();  // dfx-lint: allow(unchecked-front-back): just pushed
           if (!view.present) continue;
           const bool ok = checker.check_rrset(view, all_keys, true);
           if (!ok) zone_state = TrustState::kBogus;
@@ -943,7 +943,7 @@ Snapshot grok(const ProbeData& data, const GrokConfig& config) {
                                         nx_probe_name(zp.apex),
                                         dns::RRType::kA));
         {
-          auto& wc_view = views_storage.back();
+          auto& wc_view = views_storage.back();  // dfx-lint: allow(unchecked-front-back): just pushed
           if (wc_view.present) {
             if (!checker.check_rrset(wc_view, all_keys, true)) {
               zone_state = TrustState::kBogus;

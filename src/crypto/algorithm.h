@@ -86,8 +86,8 @@ KeyPair generate_key(Rng& rng, DnssecAlgorithm alg,
 Bytes sign_message(const KeyPair& key, ByteView message);
 
 /// Verify using only the *public* wire bytes.
-bool verify_message(DnssecAlgorithm alg, ByteView public_key, ByteView message,
-                    ByteView signature);
+[[nodiscard]] bool verify_message(DnssecAlgorithm alg, ByteView public_key,
+                                  ByteView message, ByteView signature);
 
 /// RFC 4034 Appendix B key tag over the canonical DNSKEY RDATA.
 std::uint16_t key_tag(ByteView dnskey_rdata);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace dfx::crypto {
 namespace {
 
@@ -58,9 +60,10 @@ Bytes BigNum::to_bytes() const {
 Bytes BigNum::to_bytes_padded(std::size_t size) const {
   Bytes raw = to_bytes();
   if (raw.size() == 1 && raw[0] == 0) raw.clear();
-  if (raw.size() > size) {
-    return Bytes(raw.end() - static_cast<std::ptrdiff_t>(size), raw.end());
-  }
+  // Silently dropping high-order bytes would corrupt signatures; a value
+  // wider than the requested field is a caller bug, not an encoding choice.
+  DFX_CHECK(raw.size() <= size, "%zu-byte value into a %zu-byte field",
+            raw.size(), size);
   Bytes out(size - raw.size(), 0);
   append(out, raw);
   return out;
@@ -240,6 +243,7 @@ void BigNum::divmod(const BigNum& num, const BigNum& den, BigNum& quot,
   }
   // Knuth TAOCP vol. 2, Algorithm D, with 32-bit limbs.
   const std::size_t n = den.limbs_.size();
+  DFX_DCHECK(n >= 2 && num.limbs_.size() >= n);
   const std::size_t m = num.limbs_.size() - n;
   // D1: normalise so the divisor's top limb has its high bit set.
   int shift = 0;
@@ -253,6 +257,8 @@ void BigNum::divmod(const BigNum& num, const BigNum& den, BigNum& quot,
   const BigNum u_norm = num << static_cast<std::size_t>(shift);
   const BigNum v_norm = den << static_cast<std::size_t>(shift);
   std::vector<std::uint32_t> u = u_norm.limbs_;
+  // Normalisation adds at most one limb, so n+m+1 always covers u.
+  DFX_DCHECK(u.size() <= n + m + 1);
   if (u.size() < n + m + 1) u.resize(n + m + 1, 0);
   const std::vector<std::uint32_t>& v = v_norm.limbs_;
 
@@ -384,7 +390,11 @@ BigNum BigNum::random_below(Rng& rng, const BigNum& bound) {
   if (bound.is_zero()) throw std::invalid_argument("random_below: zero bound");
   const std::size_t bytes = (bound.bit_length() + 7) / 8;
   Bytes buf(bytes);
+  // Each draw lands below the bound with probability > 1/256; a bound this
+  // generous only trips on a broken RNG.
+  DFX_BOUNDED_LOOP(guard, 100000);
   while (true) {
+    guard.tick();
     rng.fill(buf);
     BigNum candidate = from_bytes(buf);
     if (candidate < bound) return candidate;
@@ -439,7 +449,11 @@ bool BigNum::is_probable_prime(const BigNum& n, Rng& rng, int rounds) {
 
 BigNum BigNum::generate_prime(Rng& rng, std::size_t bits) {
   if (bits < 8) throw std::invalid_argument("generate_prime: too small");
+  // Prime density near 2^bits is ~1/(bits·ln 2); 1M draws is astronomically
+  // more than any honest run needs and converts an RNG bug into a fail-fast.
+  DFX_BOUNDED_LOOP(guard, 1 << 20);
   while (true) {
+    guard.tick();
     BigNum candidate = random_bits(rng, bits);
     if (!candidate.is_odd()) candidate = candidate + BigNum(1);
     if (is_probable_prime(candidate, rng, 16)) return candidate;

@@ -22,7 +22,7 @@ struct RsaPublicKey {
 
   /// DNSKEY public-key field per RFC 3110: [explen?] exp | modulus.
   Bytes encode() const;
-  static bool decode(ByteView data, RsaPublicKey& out);
+  [[nodiscard]] static bool decode(ByteView data, RsaPublicKey& out);
 };
 
 struct RsaPrivateKey {
@@ -38,6 +38,7 @@ RsaPrivateKey rsa_generate(Rng& rng, std::size_t modulus_bits);
 Bytes rsa_sign(const RsaPrivateKey& key, ByteView digest);
 
 /// Verify a signature over a digest.
-bool rsa_verify(const RsaPublicKey& key, ByteView digest, ByteView signature);
+[[nodiscard]] bool rsa_verify(const RsaPublicKey& key, ByteView digest,
+                              ByteView signature);
 
 }  // namespace dfx::crypto

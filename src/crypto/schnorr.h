@@ -35,11 +35,12 @@ SchnorrKeyPair schnorr_generate(Rng& rng);
 Bytes schnorr_sign(const SchnorrKeyPair& key, ByteView message,
                    std::uint8_t domain_tag);
 
-bool schnorr_verify(std::uint64_t pub, ByteView message, ByteView signature,
-                    std::uint8_t domain_tag);
+[[nodiscard]] bool schnorr_verify(std::uint64_t pub, ByteView message,
+                                  ByteView signature,
+                                  std::uint8_t domain_tag);
 
 /// Public key wire encoding (8 bytes big-endian).
 Bytes schnorr_encode_pub(std::uint64_t pub);
-bool schnorr_decode_pub(ByteView data, std::uint64_t& out);
+[[nodiscard]] bool schnorr_decode_pub(ByteView data, std::uint64_t& out);
 
 }  // namespace dfx::crypto

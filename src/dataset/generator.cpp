@@ -333,7 +333,8 @@ void generate_cd_timeline(Rng& rng, const GeneratorOptions& options,
     if (!changed) {
       // Flip a *middle* snapshot so the steered ending (Figure 2) and the
       // first-state distribution both survive.
-      const SnapshotStatus first = domain.snapshots.front().status;
+      const SnapshotStatus first =  // dfx-lint: allow(unchecked-front-back): size() >= 2 branch
+          domain.snapshots.front().status;
       if (domain.snapshots.size() >= 3) {
         auto& mid = domain.snapshots[domain.snapshots.size() / 2];
         SnapshotStatus forced = sample_next_state(rng, first);
@@ -345,7 +346,7 @@ void generate_cd_timeline(Rng& rng, const GeneratorOptions& options,
         mid.errors = sample_errors(rng, forced, mix);
       } else {
         // Two snapshots: end in the benign neighbour state.
-        auto& last = domain.snapshots.back();
+        auto& last = domain.snapshots.back();  // dfx-lint: allow(unchecked-front-back): size() >= 2 branch
         last.status = first == SnapshotStatus::kSignedValid
                           ? SnapshotStatus::kSignedValidMisconfig
                           : SnapshotStatus::kSignedValid;

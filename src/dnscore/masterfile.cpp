@@ -3,6 +3,7 @@
 #include <cctype>
 #include <charconv>
 
+#include "util/check.hpp"
 #include "util/codec.h"
 #include "util/simclock.h"
 #include "util/strings.h"
@@ -302,10 +303,12 @@ std::variant<Rdata, std::string> parse_rdata_text(
         return err("bad NSEC3 numbers");
       }
       auto salt = hex_decode(fields[3]);
-      if (!salt) return err("bad NSEC3 salt");
+      if (!salt || salt->size() > 255) return err("bad NSEC3 salt");
       n.salt = *std::move(salt);
       auto next = base32hex_decode(fields[4]);
-      if (!next || next->empty()) return err("bad NSEC3 next hash");
+      if (!next || next->empty() || next->size() > 255) {
+        return err("bad NSEC3 next hash");
+      }
       n.next_hashed = *std::move(next);
       for (std::size_t i = 5; i < fields.size(); ++i) {
         auto t = rrtype_from_string(fields[i]);
@@ -334,7 +337,7 @@ std::variant<Rdata, std::string> parse_rdata_text(
         return err("bad NSEC3PARAM numbers");
       }
       auto salt = hex_decode(fields[3]);
-      if (!salt) return err("bad NSEC3PARAM salt");
+      if (!salt || salt->size() > 255) return err("bad NSEC3PARAM salt");
       p.salt = *std::move(salt);
       return Rdata(p);
     }
@@ -396,6 +399,7 @@ std::variant<std::vector<ResourceRecord>, MasterFileError> parse_master_file(
 
   for (const auto& [lineno, line] : logical_lines) {
     if (trim(line).empty()) continue;
+    DFX_DCHECK(!line.empty());  // a non-empty trim implies a non-empty line
     const bool owner_inherited =
         std::isspace(static_cast<unsigned char>(line[0])) != 0;
     auto fields = split_ws(line);
@@ -444,6 +448,7 @@ std::variant<std::vector<ResourceRecord>, MasterFileError> parse_master_file(
       return MasterFileError{lineno, "unknown type " + fields[idx]};
     }
     ++idx;
+    DFX_DCHECK(idx <= fields.size());
     std::vector<std::string> rdata_fields(fields.begin() +
                                               static_cast<std::ptrdiff_t>(idx),
                                           fields.end());

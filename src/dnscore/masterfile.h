@@ -23,7 +23,8 @@ struct MasterFileError {
 
 /// Parse zone-file text. `default_origin` seeds $ORIGIN; records are
 /// returned in file order.
-std::variant<std::vector<ResourceRecord>, MasterFileError> parse_master_file(
+[[nodiscard]] std::variant<std::vector<ResourceRecord>, MasterFileError>
+parse_master_file(
     std::string_view text, const Name& default_origin,
     std::uint32_t default_ttl = 3600);
 
@@ -32,7 +33,7 @@ std::string print_master_file(const std::vector<ResourceRecord>& records);
 
 /// Parse the presentation form of a single RDATA given its type and origin
 /// for relative names. Returns error message on failure.
-std::variant<Rdata, std::string> parse_rdata_text(
+[[nodiscard]] std::variant<Rdata, std::string> parse_rdata_text(
     RRType type, const std::vector<std::string>& fields, const Name& origin);
 
 }  // namespace dfx::dns

@@ -49,6 +49,6 @@ struct Message {
 Bytes encode_message(const Message& msg);
 
 /// Decode; nullopt on malformed input.
-std::optional<Message> decode_message(ByteView wire);
+[[nodiscard]] std::optional<Message> decode_message(ByteView wire);
 
 }  // namespace dfx::dns

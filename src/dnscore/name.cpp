@@ -4,6 +4,8 @@
 #include <cctype>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace dfx::dns {
 namespace {
 
@@ -77,6 +79,10 @@ Name Name::parent() const {
 }
 
 Name Name::child(std::string_view label) const {
+  // parse() enforces RFC 1035 label bounds; child() builds names directly,
+  // so an oversized label here would be silently truncated at wire time.
+  DFX_CHECK(!label.empty() && label.size() <= 63,
+            "child label of %zu octets", label.size());
   Name out;
   out.labels_.reserve(labels_.size() + 1);
   out.labels_.emplace_back(label);
@@ -115,6 +121,7 @@ Bytes Name::to_wire() const {
   Bytes out;
   out.reserve(wire_length());
   for (const auto& label : labels_) {
+    DFX_DCHECK(label.size() <= 63);
     out.push_back(static_cast<std::uint8_t>(label.size()));
     append(out, as_bytes(label));
   }
@@ -126,6 +133,7 @@ Bytes Name::to_canonical_wire() const {
   Bytes out;
   out.reserve(wire_length());
   for (const auto& label : labels_) {
+    DFX_DCHECK(label.size() <= 63);
     out.push_back(static_cast<std::uint8_t>(label.size()));
     for (char c : label) out.push_back(static_cast<std::uint8_t>(fold(c)));
   }

@@ -24,7 +24,7 @@ class Name {
   /// Parse presentation form; a trailing dot is optional (names are always
   /// treated as absolute). Returns nullopt for malformed names (empty
   /// labels, labels > 63 octets, total wire length > 255).
-  static std::optional<Name> parse(std::string_view text);
+  [[nodiscard]] static std::optional<Name> parse(std::string_view text);
 
   /// Parse, throwing std::invalid_argument (for literals in tests/tools).
   static Name of(std::string_view text);

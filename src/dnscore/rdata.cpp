@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "util/check.hpp"
 #include "util/codec.h"
 #include "util/strings.h"
 
@@ -96,7 +97,11 @@ Bytes encode_type_bitmap(const std::set<RRType>& types) {
 std::set<RRType> decode_type_bitmap(ByteView data) {
   std::set<RRType> out;
   std::size_t pos = 0;
+  // Every window block consumes at least 3 octets, so iterations are
+  // bounded by the input size even for adversarial bitmaps.
+  DFX_BOUNDED_LOOP(guard, data.size() / 3 + 1);
   while (pos + 2 <= data.size()) {
+    guard.tick();
     const int window = data[pos];
     const std::size_t len = data[pos + 1];
     pos += 2;
@@ -146,6 +151,8 @@ Bytes rdata_to_wire(const Rdata& rdata) {
     }
     void operator()(const TxtRdata& r) const {
       for (const auto& s : r.strings) {
+        DFX_CHECK(s.size() <= 255, "TXT character-string of %zu octets",
+                  s.size());
         append_u8(out, static_cast<std::uint8_t>(s.size()));
         append(out, as_bytes(s));
       }
@@ -178,6 +185,10 @@ Bytes rdata_to_wire(const Rdata& rdata) {
       append(out, encode_type_bitmap(r.types));
     }
     void operator()(const Nsec3Rdata& r) const {
+      DFX_CHECK(r.salt.size() <= 255, "NSEC3 salt of %zu octets",
+                r.salt.size());
+      DFX_CHECK(r.next_hashed.size() <= 255, "NSEC3 hash of %zu octets",
+                r.next_hashed.size());
       append_u8(out, r.hash_algorithm);
       append_u8(out, r.flags);
       append_u16(out, r.iterations);
@@ -188,6 +199,8 @@ Bytes rdata_to_wire(const Rdata& rdata) {
       append(out, encode_type_bitmap(r.types));
     }
     void operator()(const Nsec3ParamRdata& r) const {
+      DFX_CHECK(r.salt.size() <= 255, "NSEC3PARAM salt of %zu octets",
+                r.salt.size());
       append_u8(out, r.hash_algorithm);
       append_u8(out, r.flags);
       append_u16(out, r.iterations);

@@ -1,8 +1,23 @@
 #include "dnscore/wire.h"
 
+#include "util/check.hpp"
+
 namespace dfx::dns {
+namespace {
+
+// A wire name chain visits at most 127 labels and 64 compression jumps;
+// anything past that is a malformed or adversarial message.
+constexpr std::size_t kMaxNameJumps = 64;
+constexpr std::uint64_t kMaxNameLoopIterations = 128 + kMaxNameJumps;
+
+// Longest wire name is 255 octets: 253 text octets once separators are
+// counted as dots.
+constexpr std::size_t kMaxNameTextLength = 253;
+
+}  // namespace
 
 std::uint8_t WireReader::read_u8() {
+  DFX_DCHECK(pos_ <= data_.size());
   if (pos_ + 1 > data_.size()) {
     ok_ = false;
     return 0;
@@ -11,6 +26,7 @@ std::uint8_t WireReader::read_u8() {
 }
 
 std::uint16_t WireReader::read_u16() {
+  DFX_DCHECK(pos_ <= data_.size());
   if (pos_ + 2 > data_.size()) {
     ok_ = false;
     pos_ = data_.size();
@@ -22,6 +38,7 @@ std::uint16_t WireReader::read_u16() {
 }
 
 std::uint32_t WireReader::read_u32() {
+  DFX_DCHECK(pos_ <= data_.size());
   if (pos_ + 4 > data_.size()) {
     ok_ = false;
     pos_ = data_.size();
@@ -33,7 +50,10 @@ std::uint32_t WireReader::read_u32() {
 }
 
 Bytes WireReader::read_bytes(std::size_t n) {
-  if (pos_ + n > data_.size()) {
+  DFX_DCHECK(pos_ <= data_.size());
+  // `n > size - pos` instead of `pos + n > size`: the latter wraps around
+  // for attacker-sized n and would pass the bounds check.
+  if (n > data_.size() - pos_) {
     ok_ = false;
     pos_ = data_.size();
     return {};
@@ -57,7 +77,9 @@ std::optional<Name> WireReader::read_name() {
   std::size_t jumps = 0;
   std::size_t pos = pos_;
   bool jumped = false;
+  DFX_BOUNDED_LOOP(guard, kMaxNameLoopIterations);
   while (true) {
+    guard.tick();
     if (pos >= data_.size()) {
       ok_ = false;
       return std::nullopt;
@@ -66,10 +88,12 @@ std::optional<Name> WireReader::read_name() {
     if (len == 0) {
       if (!jumped) pos_ = pos + 1;
       if (text.empty()) return Name::root();
-      return Name::parse(text);
+      auto name = Name::parse(text);
+      if (!name) ok_ = false;
+      return name;
     }
     if ((len & 0xC0) == 0xC0) {
-      if (pos + 1 >= data_.size() || ++jumps > 64) {
+      if (pos + 1 >= data_.size() || ++jumps > kMaxNameJumps) {
         ok_ = false;
         return std::nullopt;
       }
@@ -90,6 +114,10 @@ std::optional<Name> WireReader::read_name() {
     }
     if (!text.empty()) text.push_back('.');
     text.append(reinterpret_cast<const char*>(data_.data() + pos + 1), len);
+    if (text.size() > kMaxNameTextLength) {  // name exceeds 255 wire octets
+      ok_ = false;
+      return std::nullopt;
+    }
     pos += 1 + len;
   }
 }
@@ -105,6 +133,7 @@ std::optional<Rdata> rdata_from_wire(RRType type, ByteView wire) {
       ARdata a;
       const Bytes b = r.read_bytes(4);
       if (!r.ok()) return std::nullopt;
+      DFX_CHECK(b.size() == a.address.size());
       std::copy(b.begin(), b.end(), a.address.begin());
       return finish(a);
     }
@@ -112,6 +141,7 @@ std::optional<Rdata> rdata_from_wire(RRType type, ByteView wire) {
       AaaaRdata a;
       const Bytes b = r.read_bytes(16);
       if (!r.ok()) return std::nullopt;
+      DFX_CHECK(b.size() == a.address.size());
       std::copy(b.begin(), b.end(), a.address.begin());
       return finish(a);
     }
@@ -153,7 +183,9 @@ std::optional<Rdata> rdata_from_wire(RRType type, ByteView wire) {
     }
     case RRType::kTXT: {
       TxtRdata txt;
+      DFX_BOUNDED_LOOP(guard, wire.size() + 1);
       while (r.ok() && r.remaining() > 0) {
+        guard.tick();  // each round consumes >= 1 octet
         const std::uint8_t len = r.read_u8();
         const Bytes b = r.read_bytes(len);
         if (!r.ok()) return std::nullopt;

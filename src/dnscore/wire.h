@@ -42,6 +42,7 @@ class WireReader {
 
 /// Decode the RDATA of `type` from its wire form. Returns nullopt for
 /// malformed data or unknown types.
-std::optional<Rdata> rdata_from_wire(RRType type, ByteView wire);
+[[nodiscard]] std::optional<Rdata> rdata_from_wire(RRType type,
+                                                   ByteView wire);
 
 }  // namespace dfx::dns

@@ -76,7 +76,7 @@ struct ParseError {
 };
 
 /// Parse a complete JSON document; trailing garbage is an error.
-std::variant<Value, ParseError> parse(std::string_view text);
+[[nodiscard]] std::variant<Value, ParseError> parse(std::string_view text);
 
 /// Parse, throwing std::runtime_error on failure (for tests/tools).
 Value parse_or_throw(std::string_view text);

@@ -122,8 +122,11 @@ Fig2Flows compute_fig2(const Corpus& corpus) {
   Fig2Flows out;
   for (const auto& d : corpus.domains) {
     if (d.level != DomainLevel::kSld || !d.is_changing()) continue;
-    const SnapshotStatus first = d.snapshots.front().status;
-    const SnapshotStatus last = d.snapshots.back().status;
+    // is_changing() implies at least two snapshots.
+    const SnapshotStatus first =  // dfx-lint: allow(unchecked-front-back): is_changing() => non-empty
+        d.snapshots.front().status;
+    const SnapshotStatus last =  // dfx-lint: allow(unchecked-front-back): is_changing() => non-empty
+        d.snapshots.back().status;
     if (!is_dnssec_state(first) || !is_dnssec_state(last)) continue;
     out.counts[first][last] += 1;
     if (first == SnapshotStatus::kSignedBogus) {
@@ -385,7 +388,8 @@ std::vector<Table5Row> compute_table5(const Corpus& corpus) {
     // Table 5's totals are consistent with the CD subset, not all 319K
     // domains (e.g. svm-ever 9,052 while NZIC alone touches 62,870).
     if (d.level != DomainLevel::kSld || !d.is_changing()) continue;
-    const SnapshotStatus last = d.snapshots.back().status;
+    const SnapshotStatus last =  // dfx-lint: allow(unchecked-front-back): is_changing() => non-empty
+        d.snapshots.back().status;
     for (auto& [status, row] : rows) {
       const bool ever = std::any_of(
           d.snapshots.begin(), d.snapshots.end(),

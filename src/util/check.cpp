@@ -1,0 +1,32 @@
+#include "util/check.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dfx::check_detail {
+
+void check_fail(const char* file, int line, const char* kind,
+                const char* expr, const char* fmt, ...) {
+  std::fprintf(stderr, "%s:%d: %s failed: %s", file, line, kind, expr);
+  if (fmt != nullptr) {
+    std::fprintf(stderr, " — ");
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+  }
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void LoopBound::trip() const {
+  std::fprintf(stderr,
+               "%s:%d: DFX_BOUNDED_LOOP tripped: loop bound %llu exceeded\n",
+               file_, line_, static_cast<unsigned long long>(bound_));
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace dfx::check_detail

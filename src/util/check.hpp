@@ -1,0 +1,88 @@
+// Fail-fast contract macros for untrusted-input hot paths.
+//
+// These guard *internal invariants* — conditions that can only be false when
+// the programme itself is wrong, never merely because network input is
+// malformed. Parsers stay total (they return nullopt/error on bad input);
+// contracts catch the cases where a parser's own bookkeeping went wrong, a
+// cast would silently truncate, or a loop could run unbounded on crafted
+// input (KeyTrap-style complexity blowups).
+//
+//   DFX_CHECK(cond)                 always-on assertion; aborts with
+//   DFX_CHECK(cond, "fmt", ...)     file:line, the expression and an
+//                                   optional printf-formatted message.
+//   DFX_DCHECK(cond, ...)           same, but compiled out when
+//                                   DFX_ENABLE_DCHECKS is 0 (defaults to on
+//                                   in debug builds, off under NDEBUG).
+//   DFX_BOUNDED_LOOP(guard, bound)  declares a loop guard before a loop;
+//                                   call guard.tick() each iteration — the
+//                                   process aborts once `bound` is exceeded.
+//
+// Usage rules are documented in docs/STATIC_ANALYSIS.md.
+#pragma once
+
+#include <cstdint>
+
+namespace dfx::check_detail {
+
+/// Print "file:line: kind failed: expr — message" to stderr and abort.
+[[noreturn]] void check_fail(const char* file, int line, const char* kind,
+                             const char* expr, const char* fmt = nullptr, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 5, 6)))
+#endif
+    ;
+
+/// Iteration cap for loops whose trip count an attacker could otherwise
+/// inflate. Declare via DFX_BOUNDED_LOOP so the file:line is captured.
+class LoopBound {
+ public:
+  LoopBound(std::uint64_t bound, const char* file, int line)
+      : bound_(bound), file_(file), line_(line) {}
+
+  void tick() {
+    if (++count_ > bound_) trip();
+  }
+
+  std::uint64_t count() const { return count_; }
+
+ private:
+  [[noreturn]] void trip() const;
+
+  std::uint64_t count_ = 0;
+  std::uint64_t bound_;
+  const char* file_;
+  int line_;
+};
+
+}  // namespace dfx::check_detail
+
+#define DFX_CHECK(cond, ...)                                              \
+  (static_cast<bool>(cond)                                                \
+       ? static_cast<void>(0)                                             \
+       : ::dfx::check_detail::check_fail(__FILE__, __LINE__, "DFX_CHECK", \
+                                         #cond __VA_OPT__(, ) __VA_ARGS__))
+
+#ifndef DFX_ENABLE_DCHECKS
+#ifdef NDEBUG
+#define DFX_ENABLE_DCHECKS 0
+#else
+#define DFX_ENABLE_DCHECKS 1
+#endif
+#endif
+
+#if DFX_ENABLE_DCHECKS
+#define DFX_DCHECK(cond, ...)                                              \
+  (static_cast<bool>(cond)                                                 \
+       ? static_cast<void>(0)                                              \
+       : ::dfx::check_detail::check_fail(__FILE__, __LINE__, "DFX_DCHECK", \
+                                         #cond __VA_OPT__(, ) __VA_ARGS__))
+#else
+// Keep the condition syntactically checked but never evaluated.
+#define DFX_DCHECK(cond, ...) static_cast<void>(sizeof(!(cond)))
+#endif
+
+// Parenthesised (not braced) construction: the commas stay protected when
+// this macro is expanded inside another macro's argument list.
+#define DFX_BOUNDED_LOOP(guard, bound)     \
+  ::dfx::check_detail::LoopBound guard(    \
+      static_cast<std::uint64_t>(bound), __FILE__, __LINE__)

@@ -17,18 +17,18 @@ std::string hex_encode(ByteView data);
 /// Decode hex; returns nullopt on odd length or non-hex characters.
 /// Accepts upper- or lower-case. "-" decodes to an empty buffer (DNS
 /// presentation convention for an empty NSEC3 salt).
-std::optional<Bytes> hex_decode(std::string_view text);
+[[nodiscard]] std::optional<Bytes> hex_decode(std::string_view text);
 
 /// Base32hex without padding, upper-case, as used for NSEC3 owner labels.
 std::string base32hex_encode(ByteView data);
 
 /// Decode base32hex (case-insensitive, no padding required).
-std::optional<Bytes> base32hex_decode(std::string_view text);
+[[nodiscard]] std::optional<Bytes> base32hex_decode(std::string_view text);
 
 /// Standard base64 with padding.
 std::string base64_encode(ByteView data);
 
 /// Decode base64; whitespace is skipped, padding optional.
-std::optional<Bytes> base64_decode(std::string_view text);
+[[nodiscard]] std::optional<Bytes> base64_decode(std::string_view text);
 
 }  // namespace dfx

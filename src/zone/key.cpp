@@ -62,12 +62,12 @@ ZoneKey& KeyStore::generate(Rng& rng, KeyRole role,
                             std::size_t nominal_bits) {
   crypto::KeyPair material = crypto::generate_key(rng, alg, nominal_bits);
   keys_.emplace_back(zone_, role, std::move(material), now);
-  return keys_.back();
+  return keys_.back();  // dfx-lint: allow(unchecked-front-back): just emplaced
 }
 
 ZoneKey& KeyStore::adopt(ZoneKey key) {
   keys_.push_back(std::move(key));
-  return keys_.back();
+  return keys_.back();  // dfx-lint: allow(unchecked-front-back): just pushed
 }
 
 ZoneKey* KeyStore::find_by_tag(std::uint16_t tag) {

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "zone/nsec3.h"
+#include "util/check.hpp"
 #include "util/codec.h"
 
 namespace dfx::zone {
@@ -74,6 +75,9 @@ dns::RrsigRdata make_rrsig(const dns::RRset& rrset, const ZoneKey& key,
   // RFC 4034 §3.1.3: the labels field excludes a leading "*" label, which
   // is how validators recognise wildcard-expandable signatures.
   const bool wildcard = rrset.owner().leftmost_label() == "*";
+  // Any valid name has at most 127 labels; a count that would truncate in
+  // the uint8 labels field means the owner name was built unchecked.
+  DFX_DCHECK(rrset.owner().label_count() <= 127);
   sig.labels = labels_override.value_or(static_cast<std::uint8_t>(
       rrset.owner().label_count() - (wildcard ? 1 : 0)));
   sig.original_ttl = rrset.ttl();
@@ -167,7 +171,11 @@ Zone sign_zone(const Zone& unsigned_zone, const KeyStore& keys,
                                                    auth_names.end());
   for (const auto& name : auth_names) {
     dns::Name cur = name.parent();
+    // parent() strictly shrinks the label count, so 128 steps (the deepest
+    // legal name) always suffice to climb to the apex.
+    DFX_BOUNDED_LOOP(guard, 128);
     while (cur.label_count() > apex.label_count()) {
+      guard.tick();
       nsec3_names.insert(cur);
       cur = cur.parent();
     }

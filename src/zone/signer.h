@@ -48,7 +48,8 @@ dns::RrsigRdata make_rrsig(const dns::RRset& rrset, const ZoneKey& key,
 
 /// Verify one RRSIG against a DNSKEY (crypto only; validity windows and key
 /// matching are the analyzer's concern).
-bool verify_rrsig(const dns::RRset& rrset, const dns::RrsigRdata& sig,
+[[nodiscard]] bool verify_rrsig(const dns::RRset& rrset,
+                                const dns::RrsigRdata& sig,
                   const dns::DnskeyRdata& key);
 
 /// Sign `unsigned_zone`: returns a new zone with DNSKEY/RRSIG/NSEC(3)

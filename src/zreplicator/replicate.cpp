@@ -73,12 +73,12 @@ ReplicationResult replicate(const SnapshotSpec& spec, std::uint64_t seed,
           return ks.role == zone::KeyRole::kKsk;
         });
     if (!any_ksk) {
-      key_specs.push_back({zone::KeyRole::kKsk, key_specs.front().algorithm,
-                           0});
+      key_specs.push_back(  // dfx-lint: allow(unchecked-front-back): non-empty branch
+          {zone::KeyRole::kKsk, key_specs.front().algorithm, 0});
     }
     if (!any_zsk) {
-      key_specs.push_back({zone::KeyRole::kZsk, key_specs.front().algorithm,
-                           0});
+      key_specs.push_back(  // dfx-lint: allow(unchecked-front-back): non-empty branch
+          {zone::KeyRole::kZsk, key_specs.front().algorithm, 0});
     }
   }
 
@@ -166,7 +166,8 @@ ReplicationResult replicate(const SnapshotSpec& spec, std::uint64_t seed,
     dns::DsRdata stale;
     stale.key_tag = 1111;
     stale.algorithm =
-        static_cast<std::uint8_t>(key_specs.front().algorithm);
+        static_cast<std::uint8_t>(  // dfx-lint: allow(unchecked-front-back): filled above
+            key_specs.front().algorithm);
     stale.digest_type = static_cast<std::uint8_t>(digest);
     stale.digest.assign(crypto::digest_length(digest), 0x5A);
     sandbox->add_parent_ds(sandbox->child_apex(), stale);

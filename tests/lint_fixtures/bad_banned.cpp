@@ -1,0 +1,19 @@
+// Fixture: banned constructs. Expected: banned-atoi, banned-sprintf,
+// banned-raw-new — but NOT for the occurrences inside comments/strings.
+#include <cstdio>
+#include <cstdlib>
+
+int parse_port(const char* text) {
+  return atoi(text);  // line 7: banned-atoi
+}
+
+void format_port(char* out, int port) {
+  sprintf(out, "%d", port);  // line 11: banned-sprintf
+}
+
+int* make_counter() {
+  return new int(0);  // line 15: banned-raw-new
+}
+
+// atoi sprintf new int — inside a comment, must not fire
+const char* kDocs = "call atoi or sprintf or new int";  // inside a string

@@ -1,0 +1,39 @@
+// Fixture: unchecked .front()/.back(). The first use has no emptiness
+// check in range; the guarded and annotated uses must not fire.
+#include <vector>
+
+int first_unchecked(const std::vector<int>& v) {
+  int pad = 0;
+  (void)pad;
+  pad += 1;
+  pad += 2;
+  pad += 3;
+  pad += 4;
+  return v.front();  // line 13: unchecked-front-back
+}
+
+int last_guarded(const std::vector<int>& v) {
+  if (v.empty()) return 0;
+  return v.back();  // guarded: no violation
+}
+
+int last_annotated(const std::vector<int>& v) {
+  int pad = 0;
+  (void)pad;
+  pad += 1;
+  pad += 2;
+  pad += 3;
+  pad += 4;
+  return v.back();  // dfx-lint: allow(unchecked-front-back): caller checked
+}
+
+int last_annotated_on_previous_line(const std::vector<int>& v) {
+  int pad = 0;
+  (void)pad;
+  pad += 1;
+  pad += 2;
+  pad += 3;
+  pad += 4;
+  // dfx-lint: allow(unchecked-front-back): caller checked
+  return v.back();
+}

@@ -1,0 +1,23 @@
+// Fixture: status-returning parse/validate/verify/decode declarations
+// without [[nodiscard]].
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+
+namespace fixture {
+
+std::optional<int> parse_level(const std::string& text);  // line 11: missing
+
+bool validate_record(const std::string& text);  // line 13: missing
+
+std::variant<int, std::string> decode_flags(const std::string& text);  // 15
+
+[[nodiscard]] bool verify_chain(const std::string& text);  // ok: annotated
+
+std::string render_name(int level);  // ok: not a status return
+
+bool ready();  // ok: not a parse/validate/verify/decode name
+
+}  // namespace fixture

@@ -1,0 +1,50 @@
+// Fixture: non-exhaustive switch over ErrorCode without a default.
+// The test supplies enumerators kAlpha, kBeta, kGamma, kDelta.
+namespace fixture {
+
+enum class ErrorCode { kAlpha, kBeta, kGamma, kDelta };
+
+int rank_incomplete(ErrorCode code) {
+  switch (code) {  // line 8: nonexhaustive-errorcode-switch (misses kDelta)
+    case ErrorCode::kAlpha:
+      return 0;
+    case ErrorCode::kBeta:
+      return 1;
+    case ErrorCode::kGamma:
+      return 2;
+  }
+  return -1;
+}
+
+int rank_defaulted(ErrorCode code) {
+  switch (code) {  // ok: has default
+    case ErrorCode::kAlpha:
+      return 0;
+    default:
+      return -1;
+  }
+}
+
+int rank_complete(ErrorCode code) {
+  switch (code) {  // ok: exhaustive
+    case ErrorCode::kAlpha:
+      return 0;
+    case ErrorCode::kBeta:
+      return 1;
+    case ErrorCode::kGamma:
+      return 2;
+    case ErrorCode::kDelta:
+      return 3;
+  }
+  return -1;
+}
+
+int rank_other_enum(int v) {
+  switch (v) {  // ok: not an ErrorCode switch
+    case 1:
+      return 0;
+  }
+  return -1;
+}
+
+}  // namespace fixture

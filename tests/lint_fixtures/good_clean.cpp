@@ -1,0 +1,14 @@
+// Fixture: clean file — no rule may fire here.
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+int checked_access(const std::vector<int>& v) {
+  if (v.empty()) return 0;
+  return v.front() + v.back();
+}
+
+std::string greeting() { return "hello"; }
+
+}  // namespace fixture

@@ -1,0 +1,78 @@
+// Contract-macro behaviour: DFX_CHECK aborts with a diagnostic,
+// DFX_DCHECK follows the build mode, DFX_BOUNDED_LOOP trips at its cap.
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace dfx {
+namespace {
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, PassingCheckIsSilent) {
+  DFX_CHECK(1 + 1 == 2);
+  DFX_CHECK(true, "never printed %d", 42);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithExpression) {
+  EXPECT_DEATH(DFX_CHECK(2 + 2 == 5), "DFX_CHECK failed: 2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, FailingCheckFormatsMessage) {
+  const std::size_t got = 300;
+  EXPECT_DEATH(DFX_CHECK(got <= 255, "oversized field: %zu octets", got),
+               "oversized field: 300 octets");
+}
+
+TEST(CheckDeathTest, FailureReportsFileAndLine) {
+  EXPECT_DEATH(DFX_CHECK(false), "test_check\\.cpp:[0-9]+");
+}
+
+#if DFX_ENABLE_DCHECKS
+TEST(CheckDeathTest, DcheckAbortsWhenEnabled) {
+  EXPECT_DEATH(DFX_DCHECK(false, "debug-only invariant"),
+               "DFX_DCHECK failed");
+}
+#else
+TEST(CheckDeathTest, DcheckCompiledOutUnderNdebug) {
+  // The condition must not be evaluated at all.
+  bool evaluated = false;
+  const auto touch = [&evaluated] {
+    evaluated = true;
+    return false;
+  };
+  DFX_DCHECK(touch());
+  EXPECT_FALSE(evaluated);
+}
+#endif
+
+TEST(CheckDeathTest, BoundedLoopAllowsBoundIterations) {
+  DFX_BOUNDED_LOOP(guard, 16);
+  for (int i = 0; i < 16; ++i) guard.tick();
+  EXPECT_EQ(guard.count(), 16u);
+}
+
+TEST(CheckDeathTest, BoundedLoopTripsPastBound) {
+  EXPECT_DEATH(
+      {
+        DFX_BOUNDED_LOOP(guard, 8);
+        for (int i = 0; i < 9; ++i) guard.tick();
+      },
+      "DFX_BOUNDED_LOOP tripped: loop bound 8 exceeded");
+}
+
+TEST(CheckDeathTest, BoundedLoopKillsUnboundedIteration) {
+  // The KeyTrap shape: a loop whose exit condition never fires. The guard
+  // must convert it into a prompt abort instead of a hang.
+  EXPECT_DEATH(
+      {
+        DFX_BOUNDED_LOOP(guard, 1000);
+        volatile bool forever = true;
+        while (forever) guard.tick();
+      },
+      "DFX_BOUNDED_LOOP tripped");
+}
+
+}  // namespace
+}  // namespace dfx

@@ -3,6 +3,10 @@
 // re-encode round-trip. No crashes, no exceptions, no hangs.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
 #include "dnscore/masterfile.h"
 #include "dnscore/message.h"
 #include "dnscore/wire.h"
@@ -75,6 +79,104 @@ TEST_P(FuzzSeeds, MessageDecoderIsTotal) {
     const auto decoded = dns::decode_message(mutate(rng, valid));
     if (decoded) {
       (void)dns::encode_message(*decoded);  // round-trip must not crash
+    }
+  }
+}
+
+/// Hand-built wire messages that target the hard corners of wire.cpp name
+/// decompression and record decoding: pointer loops, pointers past the end,
+/// truncated headers and rdata, oversized labels, and count/body mismatches.
+/// Every entry must decode (or fail) without crashing or hanging — the
+/// DFX_BOUNDED_LOOP guards in read_name keep the pointer cases finite.
+std::vector<Bytes> wire_corpus() {
+  std::vector<Bytes> corpus;
+  const auto header = [](std::uint16_t qd, std::uint16_t an) {
+    return Bytes{0x12, 0x34, 0x01, 0x00,
+                 static_cast<std::uint8_t>(qd >> 8),
+                 static_cast<std::uint8_t>(qd & 0xff),
+                 static_cast<std::uint8_t>(an >> 8),
+                 static_cast<std::uint8_t>(an & 0xff),
+                 0x00, 0x00, 0x00, 0x00};
+  };
+  const auto append = [](Bytes base, std::initializer_list<int> tail) {
+    for (const int b : tail) base.push_back(static_cast<std::uint8_t>(b));
+    return base;
+  };
+
+  // Empty and truncated-header buffers.
+  corpus.push_back({});
+  corpus.push_back({0x12});
+  corpus.push_back(Bytes(11, 0x00));
+
+  // Question whose name is a compression pointer to itself (offset 12).
+  corpus.push_back(append(header(1, 0), {0xc0, 0x0c, 0x00, 0x01, 0x00, 0x01}));
+  // Two pointers forming a cycle: offset 12 -> 14 -> 12.
+  corpus.push_back(append(header(1, 0),
+                          {0xc0, 0x0e, 0xc0, 0x0c, 0x00, 0x01, 0x00, 0x01}));
+  // Pointer past the end of the buffer.
+  corpus.push_back(append(header(1, 0), {0xc0, 0xff, 0x00, 0x01, 0x00, 0x01}));
+  // Label claiming 63 octets with only 2 present.
+  corpus.push_back(append(header(1, 0), {0x3f, 'a', 'b'}));
+  // Reserved label type bits (0x80): must be rejected, not misparsed.
+  corpus.push_back(append(header(1, 0), {0x80, 'a', 0x00,
+                                         0x00, 0x01, 0x00, 0x01}));
+  // Header advertises one answer but the body ends after the question.
+  corpus.push_back(append(header(1, 1), {0x01, 'a', 0x00,
+                                         0x00, 0x01, 0x00, 0x01}));
+  // Answer rdlength larger than the remaining bytes.
+  corpus.push_back(append(header(0, 1), {0x01, 'a', 0x00,
+                                         0x00, 0x01, 0x00, 0x01,
+                                         0x00, 0x00, 0x00, 0x3c,
+                                         0x00, 0x10, 0x01, 0x02}));
+  // A record with rdlength 3 (address must be exactly 4).
+  corpus.push_back(append(header(0, 1), {0x01, 'a', 0x00,
+                                         0x00, 0x01, 0x00, 0x01,
+                                         0x00, 0x00, 0x00, 0x3c,
+                                         0x00, 0x03, 0x01, 0x02, 0x03}));
+  // Name built from a long chain of 1-octet labels: exceeds the 253-octet
+  // presentation cap and must fail cleanly instead of accumulating forever.
+  {
+    Bytes b = header(1, 0);
+    for (int i = 0; i < 200; ++i) {
+      b.push_back(0x01);
+      b.push_back('x');
+    }
+    b.push_back(0x00);
+    corpus.push_back(append(std::move(b), {0x00, 0x01, 0x00, 0x01}));
+  }
+  // Ladder of forward pointers that ends in a loop back to the start.
+  {
+    Bytes b = header(1, 0);
+    for (int i = 0; i < 40; ++i) {
+      const std::size_t target = 12 + 2 * (i + 1);
+      b.push_back(static_cast<std::uint8_t>(0xc0 | (target >> 8)));
+      b.push_back(static_cast<std::uint8_t>(target & 0xff));
+    }
+    b.push_back(0xc0);
+    b.push_back(0x0c);
+    corpus.push_back(std::move(b));
+  }
+  return corpus;
+}
+
+TEST(WireCorpus, AdversarialMessagesDecodeTotally) {
+  for (const Bytes& buffer : wire_corpus()) {
+    const auto decoded = dns::decode_message(buffer);
+    if (decoded) {
+      (void)dns::encode_message(*decoded);  // round-trip must not crash
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, WireCorpusSurvivesMutation) {
+  Rng rng(GetParam() + 5);
+  const auto corpus = wire_corpus();
+  for (int i = 0; i < 100; ++i) {
+    for (const Bytes& entry : corpus) {
+      const auto decoded = dns::decode_message(mutate(rng, entry));
+      if (decoded) {
+        (void)dns::encode_message(*decoded);
+      }
     }
   }
 }

@@ -1,0 +1,165 @@
+// Tests for tools/dfixer_lint: each rule against a known-bad fixture, the
+// suppression marker, comment/string immunity, and the repo-wide run that
+// the ctest target relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dfixer_lint/lint_core.h"
+
+namespace {
+
+using dfx::lint::Options;
+using dfx::lint::Violation;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string fixture_path(const std::string& name) {
+  return std::string(DFX_LINT_FIXTURES) + "/" + name;
+}
+
+Options fixture_options() {
+  Options options;
+  options.errorcode_enumerators = {"kAlpha", "kBeta", "kGamma", "kDelta"};
+  return options;
+}
+
+std::vector<Violation> lint_fixture(const std::string& name) {
+  const std::string path = fixture_path(name);
+  return dfx::lint::lint_file(path, read_file(path), fixture_options());
+}
+
+bool has(const std::vector<Violation>& vs, const std::string& rule,
+         std::size_t line) {
+  return std::any_of(vs.begin(), vs.end(), [&](const Violation& v) {
+    return v.rule == rule && v.line == line;
+  });
+}
+
+TEST(Lint, FlagsBannedConstructsAtTheRightLines) {
+  const auto vs = lint_fixture("bad_banned.cpp");
+  EXPECT_TRUE(has(vs, "banned-atoi", 7));
+  EXPECT_TRUE(has(vs, "banned-sprintf", 11));
+  EXPECT_TRUE(has(vs, "banned-raw-new", 15));
+  // Occurrences inside the trailing comment and string must not fire:
+  // exactly one violation of each class in the file.
+  EXPECT_EQ(vs.size(), 3u);
+}
+
+TEST(Lint, FlagsUncheckedFrontBackButNotGuardedOrSuppressed) {
+  const auto vs = lint_fixture("bad_front_back.cpp");
+  EXPECT_TRUE(has(vs, "unchecked-front-back", 12));
+  EXPECT_EQ(vs.size(), 1u)
+      << "guarded and dfx-lint-annotated (same or previous line) uses "
+         "must not be flagged";
+}
+
+TEST(Lint, FlagsUncontractedMemcpyAndResizeInDnscorePaths) {
+  const auto vs = lint_fixture("dnscore/bad_length.cpp");
+  EXPECT_TRUE(has(vs, "missing-length-check", 13));
+  EXPECT_TRUE(has(vs, "missing-length-check", 14));
+  EXPECT_EQ(vs.size(), 2u) << "DFX_CHECK-guarded copies must not be flagged";
+}
+
+TEST(Lint, LengthRuleIsScopedToDnscoreAndCryptoPaths) {
+  // The same content outside a dnscore/ or crypto/ path must not fire.
+  const std::string content = read_file(fixture_path("dnscore/bad_length.cpp"));
+  const auto vs =
+      dfx::lint::lint_file("elsewhere/bad_length.cpp", content,
+                           fixture_options());
+  EXPECT_TRUE(vs.empty());
+}
+
+TEST(Lint, FlagsMissingNodiscardOnStatusReturningDeclarations) {
+  const auto vs = lint_fixture("bad_nodiscard.h");
+  EXPECT_TRUE(has(vs, "missing-nodiscard", 11));  // std::optional parse_level
+  EXPECT_TRUE(has(vs, "missing-nodiscard", 13));  // bool validate_record
+  EXPECT_TRUE(has(vs, "missing-nodiscard", 15));  // std::variant decode_flags
+  EXPECT_EQ(vs.size(), 3u)
+      << "annotated and non-status declarations must not be flagged";
+}
+
+TEST(Lint, FlagsNonexhaustiveErrorCodeSwitchWithoutDefault) {
+  const auto vs = lint_fixture("bad_switch.cpp");
+  EXPECT_TRUE(has(vs, "nonexhaustive-errorcode-switch", 8));
+  EXPECT_EQ(vs.size(), 1u)
+      << "defaulted, exhaustive, and non-ErrorCode switches must not fire";
+  ASSERT_FALSE(vs.empty());
+  EXPECT_NE(vs.front().message.find("kDelta"), std::string::npos)
+      << "message should name the missing enumerator";
+}
+
+TEST(Lint, CleanFileProducesNoViolations) {
+  EXPECT_TRUE(lint_fixture("good_clean.cpp").empty());
+}
+
+TEST(Lint, CoversAtLeastFiveDistinctViolationClasses) {
+  std::set<std::string> rules;
+  for (const char* name :
+       {"bad_banned.cpp", "bad_front_back.cpp", "dnscore/bad_length.cpp",
+        "bad_nodiscard.h", "bad_switch.cpp"}) {
+    for (const auto& v : lint_fixture(name)) rules.insert(v.rule);
+  }
+  EXPECT_GE(rules.size(), 5u) << "fixtures must exercise >=5 rule classes";
+}
+
+TEST(Lint, StripperErasesCommentsAndStringsButKeepsLineStructure) {
+  const std::string src =
+      "int a; // atoi here\n"
+      "const char* s = \"sprintf\";\n"
+      "/* new int\n"
+      "   spans lines */ int b;\n";
+  const std::string out = dfx::lint::strip_comments_and_strings(src);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+  EXPECT_EQ(out.find("atoi"), std::string::npos);
+  EXPECT_EQ(out.find("sprintf"), std::string::npos);
+  EXPECT_EQ(out.find("new int"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
+TEST(Lint, ParsesEnumClassEnumerators) {
+  const std::string header =
+      "namespace x {\n"
+      "enum class ErrorCode {\n"
+      "  kOne,        // comment\n"
+      "  kTwo = 5,\n"
+      "  kThree,\n"
+      "};\n"
+      "}\n";
+  const auto enums = dfx::lint::parse_enum_class(header, "ErrorCode");
+  EXPECT_EQ(enums, (std::vector<std::string>{"kOne", "kTwo", "kThree"}));
+}
+
+// The ctest wiring runs the binary over the repo; mirror that here so a
+// regression shows up with context instead of a bare non-zero exit.
+TEST(Lint, RepoSourcesAreClean) {
+  const std::string cmd =
+      std::string(DFX_LINT_BIN) + " --root " + DFX_REPO_ROOT + " > /dev/null";
+  const int status = std::system(cmd.c_str());
+  EXPECT_EQ(status, 0) << "dfixer_lint found violations; run\n  " << cmd;
+}
+
+TEST(Lint, BinaryExitsNonzeroOnFixtureViolations) {
+  const std::string cmd = std::string(DFX_LINT_BIN) + " --root " +
+                          DFX_REPO_ROOT + " " +
+                          fixture_path("bad_banned.cpp") + " > /dev/null";
+  const int status = std::system(cmd.c_str());
+  ASSERT_NE(status, -1);
+  EXPECT_NE(status, 0);
+}
+
+}  // namespace

@@ -1,0 +1,520 @@
+#include "dfixer_lint/lint_core.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace dfx::lint {
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Split stripped content into lines (newlines excluded).
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// Whole-word occurrence of `word` in `line`.
+bool contains_word(std::string_view line, std::string_view word) {
+  std::size_t pos = 0;
+  while ((pos = line.find(word, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+bool path_contains(const std::string& path, std::string_view dir) {
+  return path.find(dir) != std::string::npos;
+}
+
+bool is_header(const std::string& path) {
+  return path.ends_with(".h") || path.ends_with(".hpp");
+}
+
+/// Lines carrying a `dfx-lint: allow(<rule>)` marker, collected from the
+/// ORIGINAL source (the marker lives in a comment, which stripping erases).
+/// A marker suppresses the line it sits on and, like NOLINTNEXTLINE, the
+/// line directly below it — for flagged expressions that had to wrap.
+struct Suppressions {
+  std::vector<std::string> lines;  // original source lines
+
+  bool allows(std::size_t line_index, std::string_view rule) const {
+    const std::string needle = "dfx-lint: allow(" + std::string(rule) + ")";
+    for (std::size_t k = line_index >= 1 ? line_index - 1 : 0;
+         k <= line_index && k < lines.size(); ++k) {
+      if (lines[k].find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+};
+
+class Linter {
+ public:
+  Linter(const std::string& path, std::string_view content,
+         const Options& options)
+      : path_(path),
+        options_(options),
+        stripped_(strip_comments_and_strings(content)),
+        lines_(split_lines(stripped_)),
+        suppressions_{split_lines(content)} {}
+
+  std::vector<Violation> run() {
+    check_banned_tokens();
+    check_front_back();
+    check_length_contracts();
+    if (is_header(path_)) check_nodiscard();
+    check_errorcode_switches();
+    std::sort(violations_.begin(), violations_.end(),
+              [](const Violation& a, const Violation& b) {
+                return a.line < b.line;
+              });
+    return std::move(violations_);
+  }
+
+ private:
+  void report(std::size_t line_index, std::string rule, std::string message) {
+    if (suppressions_.allows(line_index, rule)) return;
+    violations_.push_back(Violation{path_, line_index + 1, std::move(rule),
+                                    std::move(message)});
+  }
+
+  /// Does any of lines [i-window, i] contain one of the guard tokens?
+  bool guarded_nearby(std::size_t i, std::size_t window,
+                      const std::vector<std::string_view>& tokens) const {
+    const std::size_t lo = i >= window ? i - window : 0;
+    for (std::size_t k = lo; k <= i && k < lines_.size(); ++k) {
+      for (const auto token : tokens) {
+        if (lines_[k].find(token) != std::string::npos) return true;
+      }
+    }
+    return false;
+  }
+
+  void check_banned_tokens() {
+    struct Banned {
+      const char* token;
+      const char* rule;
+      const char* message;
+    };
+    static const Banned kBanned[] = {
+        {"atoi", "banned-atoi",
+         "atoi has no error reporting; use a checked parser"},
+        {"sprintf", "banned-sprintf",
+         "sprintf is unbounded; use snprintf or std::format"},
+    };
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      for (const auto& b : kBanned) {
+        if (contains_word(lines_[i], b.token)) {
+          report(i, b.rule, b.message);
+        }
+      }
+      if (has_raw_new(lines_[i])) {
+        report(i, "banned-raw-new",
+               "raw new: own allocations with containers or smart pointers");
+      }
+    }
+  }
+
+  static bool has_raw_new(std::string_view line) {
+    std::size_t pos = 0;
+    while ((pos = line.find("new", pos)) != std::string_view::npos) {
+      const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+      const std::size_t end = pos + 3;
+      // `new Foo`, `new(nothrow) Foo`: allocation follows the keyword.
+      const bool followed = end < line.size() &&
+                            (line[end] == ' ' || line[end] == '(');
+      if (left_ok && followed) {
+        // Skip `new` inside identifiers handled by left/right checks; also
+        // skip `operator new` declarations.
+        const std::string_view before = line.substr(0, pos);
+        if (before.find("operator") == std::string_view::npos) return true;
+      }
+      pos = end;
+    }
+    return false;
+  }
+
+  void check_front_back() {
+    static const std::vector<std::string_view> kGuards = {
+        "empty(", "size(", "DFX_CHECK", "DFX_DCHECK", "count(", "length("};
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      const auto& line = lines_[i];
+      if (line.find(".front()") == std::string::npos &&
+          line.find(".back()") == std::string::npos) {
+        continue;
+      }
+      if (guarded_nearby(i, 6, kGuards)) continue;
+      report(i, "unchecked-front-back",
+             ".front()/.back() without a nearby emptiness check "
+             "(guard it, or annotate with dfx-lint: allow)");
+    }
+  }
+
+  void check_length_contracts() {
+    if (!path_contains(path_, "dnscore/") && !path_contains(path_, "crypto/")) {
+      return;
+    }
+    static const std::vector<std::string_view> kGuards = {"DFX_CHECK",
+                                                         "DFX_DCHECK"};
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      const auto& line = lines_[i];
+      const bool risky = contains_word(line, "memcpy") ||
+                         line.find(".resize(") != std::string::npos;
+      if (!risky) continue;
+      if (guarded_nearby(i, 6, kGuards)) continue;
+      report(i, "missing-length-check",
+             "memcpy/resize on a length derived from input needs a "
+             "DFX_CHECK/DFX_DCHECK contract nearby");
+    }
+  }
+
+  /// Names that must not silently drop their status result.
+  static bool is_status_function_name(std::string_view name) {
+    for (const char* prefix : {"parse", "validate", "verify", "decode"}) {
+      if (name.starts_with(prefix)) return true;
+    }
+    for (const char* infix :
+         {"_parse", "_validate", "_verify", "_decode", "from_wire"}) {
+      if (name.find(infix) != std::string_view::npos) return true;
+    }
+    return false;
+  }
+
+  void check_nodiscard() {
+    // Walk declaration chunks (text between ; { }) and flag status-returning
+    // parse/validate/verify/decode declarations without [[nodiscard]].
+    std::size_t chunk_start = 0;
+    std::size_t line_no = 0;          // line of chunk_start
+    std::size_t current_line = 0;
+    for (std::size_t i = 0; i <= stripped_.size(); ++i) {
+      const char c = i < stripped_.size() ? stripped_[i] : ';';
+      if (c == '\n') ++current_line;
+      if (c != ';' && c != '{' && c != '}') continue;
+      check_nodiscard_chunk(stripped_.substr(chunk_start, i - chunk_start),
+                            line_no);
+      chunk_start = i + 1;
+      line_no = current_line;
+    }
+  }
+
+  void check_nodiscard_chunk(std::string chunk, std::size_t start_line) {
+    // Line number of the first non-blank character in the chunk.
+    std::size_t line = start_line;
+    std::size_t begin = 0;
+    while (begin < chunk.size() &&
+           std::isspace(static_cast<unsigned char>(chunk[begin])) != 0) {
+      if (chunk[begin] == '\n') ++line;
+      ++begin;
+    }
+    chunk = chunk.substr(begin);
+    if (chunk.empty()) return;
+    const bool has_nodiscard =
+        chunk.find("[[nodiscard]]") != std::string::npos;
+    // Strip leading specifiers so the return type leads the chunk.
+    for (bool again = true; again;) {
+      again = false;
+      for (const std::string_view spec :
+           {"[[nodiscard]]", "static", "inline", "constexpr", "friend",
+            "virtual", "explicit"}) {
+        if (chunk.starts_with(spec)) {
+          chunk = chunk.substr(spec.size());
+          while (!chunk.empty() && (chunk[0] == ' ' || chunk[0] == '\n')) {
+            if (chunk[0] == '\n') ++line;
+            chunk = chunk.substr(1);
+          }
+          again = true;
+        }
+      }
+    }
+    const bool status_return = chunk.starts_with("bool ") ||
+                               chunk.starts_with("std::optional<") ||
+                               chunk.starts_with("std::variant<");
+    if (!status_return) return;
+    // First identifier followed by '(' is the declared name; an '=' before
+    // it means this is a statement, not a declaration.
+    const std::size_t paren = chunk.find('(');
+    if (paren == std::string::npos) return;
+    // Template arguments may contain parentheses only in exotic cases we
+    // don't produce; take the identifier immediately left of the paren.
+    std::size_t name_end = paren;
+    while (name_end > 0 && std::isspace(static_cast<unsigned char>(
+                               chunk[name_end - 1])) != 0) {
+      --name_end;
+    }
+    std::size_t name_start = name_end;
+    while (name_start > 0 && is_ident_char(chunk[name_start - 1])) {
+      --name_start;
+    }
+    if (name_start == name_end) return;
+    const std::string_view head(chunk.data(), name_start);
+    if (head.find('=') != std::string_view::npos) return;
+    const std::string_view name(chunk.data() + name_start,
+                                name_end - name_start);
+    if (!is_status_function_name(name)) return;
+    if (has_nodiscard) return;
+    report(line, "missing-nodiscard",
+           "status-returning " + std::string(name) +
+               "() must be [[nodiscard]]");
+  }
+
+  void check_errorcode_switches() {
+    if (options_.errorcode_enumerators.empty()) return;
+    const std::set<std::string> all(options_.errorcode_enumerators.begin(),
+                                    options_.errorcode_enumerators.end());
+    std::size_t pos = 0;
+    while ((pos = stripped_.find("switch", pos)) != std::string::npos) {
+      const std::size_t kw = pos;
+      pos += 6;
+      const bool left_ok = kw == 0 || !is_ident_char(stripped_[kw - 1]);
+      if (!left_ok || (pos < stripped_.size() && is_ident_char(stripped_[pos]))) {
+        continue;
+      }
+      const std::size_t body_open = stripped_.find('{', pos);
+      if (body_open == std::string::npos) return;
+      // Brace-match the switch body.
+      int depth = 0;
+      std::size_t body_end = body_open;
+      for (std::size_t i = body_open; i < stripped_.size(); ++i) {
+        if (stripped_[i] == '{') ++depth;
+        if (stripped_[i] == '}' && --depth == 0) {
+          body_end = i;
+          break;
+        }
+      }
+      const std::string_view body(stripped_.data() + body_open,
+                                  body_end - body_open);
+      analyze_switch_body(body, line_of(kw), all);
+      pos = body_end;
+    }
+  }
+
+  std::size_t line_of(std::size_t offset) const {
+    return static_cast<std::size_t>(
+        std::count(stripped_.begin(),
+                   stripped_.begin() + static_cast<std::ptrdiff_t>(offset),
+                   '\n'));
+  }
+
+  void analyze_switch_body(std::string_view body, std::size_t line_index,
+                           const std::set<std::string>& all) {
+    // Collect the final `::`-component of every case label.
+    std::set<std::string> present;
+    std::size_t pos = 0;
+    while ((pos = body.find("case", pos)) != std::string_view::npos) {
+      const bool left_ok = pos == 0 || !is_ident_char(body[pos - 1]);
+      pos += 4;
+      if (!left_ok || (pos < body.size() && is_ident_char(body[pos]))) {
+        continue;
+      }
+      // The label ends at the first ':' that is not part of a '::' scope
+      // separator (`case ErrorCode::kFoo:`).
+      std::size_t colon = pos;
+      while ((colon = body.find(':', colon)) != std::string_view::npos &&
+             colon + 1 < body.size() && body[colon + 1] == ':') {
+        colon += 2;
+      }
+      if (colon == std::string_view::npos) break;
+      std::size_t end = colon;
+      // `Foo::kBar:` — step back over the identifier before the colon.
+      while (end > pos && std::isspace(static_cast<unsigned char>(
+                              body[end - 1])) != 0) {
+        --end;
+      }
+      std::size_t start = end;
+      while (start > pos && is_ident_char(body[start - 1])) --start;
+      if (start != end) present.insert(std::string(body.substr(start, end - start)));
+      pos = colon + 1;
+    }
+    bool mentions_errorcode = false;
+    for (const auto& label : present) {
+      if (all.contains(label)) {
+        mentions_errorcode = true;
+        break;
+      }
+    }
+    if (!mentions_errorcode) return;
+    if (body.find("default") != std::string_view::npos) return;
+    std::vector<std::string> missing;
+    for (const auto& e : all) {
+      if (!present.contains(e)) missing.push_back(e);
+    }
+    if (missing.empty()) return;
+    std::string msg = "switch over ErrorCode misses " +
+                      std::to_string(missing.size()) +
+                      " enumerator(s) and has no default:";
+    for (std::size_t i = 0; i < missing.size() && i < 3; ++i) {
+      msg += " " + missing[i];
+    }
+    if (missing.size() > 3) msg += " ...";
+    report(line_index, "nonexhaustive-errorcode-switch", msg);
+  }
+
+  const std::string& path_;
+  const Options& options_;
+  std::string stripped_;
+  std::vector<std::string> lines_;
+  Suppressions suppressions_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace
+
+std::string strip_comments_and_strings(std::string_view src) {
+  std::string out;
+  out.reserve(src.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  bool raw_string = false;       // inside R"delim( ... )delim"
+  std::string raw_delim;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          // Raw string literal? Look back for R / u8R / LR etc.
+          raw_string = i > 0 && src[i - 1] == 'R';
+          if (raw_string) {
+            raw_delim.clear();
+            std::size_t j = i + 1;
+            while (j < src.size() && src[j] != '(') {
+              raw_delim.push_back(src[j]);
+              ++j;
+            }
+          }
+          state = State::kString;
+          out += '"';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += '\'';
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (raw_string) {
+          const std::string terminator = ")" + raw_delim + "\"";
+          if (src.compare(i, terminator.size(), terminator) == 0) {
+            state = State::kCode;
+            raw_string = false;
+            out += '"';
+            i += terminator.size() - 1;
+          } else {
+            out += c == '\n' ? '\n' : ' ';
+          }
+        } else if (c == '\\') {
+          out += ' ';
+          if (next != '\0') {
+            out += next == '\n' ? '\n' : ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+          out += '"';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out += ' ';
+          if (next != '\0') {
+            out += ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += '\'';
+        } else {
+          out += ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> parse_enum_class(std::string_view header,
+                                          std::string_view enum_name) {
+  std::vector<std::string> out;
+  const std::string stripped = strip_comments_and_strings(header);
+  const std::string needle = "enum class " + std::string(enum_name);
+  std::size_t pos = stripped.find(needle);
+  if (pos == std::string::npos) return out;
+  const std::size_t open = stripped.find('{', pos);
+  const std::size_t close = stripped.find('}', open);
+  if (open == std::string::npos || close == std::string::npos) return out;
+  std::string_view body(stripped.data() + open + 1, close - open - 1);
+  std::size_t start = 0;
+  while (start < body.size()) {
+    std::size_t comma = body.find(',', start);
+    if (comma == std::string_view::npos) comma = body.size();
+    std::string_view entry = body.substr(start, comma - start);
+    // Trim whitespace and drop any `= value` initialiser.
+    const std::size_t eq = entry.find('=');
+    if (eq != std::string_view::npos) entry = entry.substr(0, eq);
+    while (!entry.empty() &&
+           std::isspace(static_cast<unsigned char>(entry.front())) != 0) {
+      entry.remove_prefix(1);
+    }
+    while (!entry.empty() &&
+           std::isspace(static_cast<unsigned char>(entry.back())) != 0) {
+      entry.remove_suffix(1);
+    }
+    if (!entry.empty() && is_ident_char(entry.front())) {
+      out.emplace_back(entry);
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<Violation> lint_file(const std::string& path,
+                                 std::string_view content,
+                                 const Options& options) {
+  return Linter(path, content, options).run();
+}
+
+}  // namespace dfx::lint

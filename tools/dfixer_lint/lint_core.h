@@ -1,0 +1,46 @@
+// Rule engine for dfixer_lint, the repo's project-specific invariant
+// checker. Rules operate on comment/string-stripped source so prose never
+// triggers token rules; a line can opt out of one rule with a trailing
+//   // dfx-lint: allow(<rule-id>): reason
+// comment. The rule catalogue is documented in docs/STATIC_ANALYSIS.md.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dfx::lint {
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;      // kebab-case rule id
+  std::string message;
+
+  bool operator==(const Violation& o) const {
+    return file == o.file && line == o.line && rule == o.rule;
+  }
+};
+
+struct Options {
+  /// Enumerators of analyzer::ErrorCode (from src/analyzer/errorcode.h).
+  /// Empty disables the switch-exhaustiveness rule.
+  std::vector<std::string> errorcode_enumerators;
+};
+
+/// Replace comment bodies and string/character literal contents with spaces,
+/// preserving the line structure so rule hits keep their line numbers.
+std::string strip_comments_and_strings(std::string_view src);
+
+/// Extract the enumerator names of `enum class <enum_name>` from a header.
+std::vector<std::string> parse_enum_class(std::string_view header,
+                                          std::string_view enum_name);
+
+/// Run every rule over one file. `path` is used for reporting and for the
+/// path-scoped rules (e.g. length checks apply under dnscore/ and crypto/).
+std::vector<Violation> lint_file(const std::string& path,
+                                 std::string_view content,
+                                 const Options& options);
+
+}  // namespace dfx::lint

@@ -1,0 +1,107 @@
+// dfixer_lint: scan the repo's own sources for project-specific invariants.
+//
+//   dfixer_lint --root <repo_root>          lint src/ and tools/ under root
+//   dfixer_lint [--root <repo_root>] FILES  lint exactly FILES
+//
+// Exit code 0: clean. 1: violations found. 2: usage or I/O error.
+// The ErrorCode enumerator list for the switch-exhaustiveness rule is read
+// from <root>/src/analyzer/errorcode.h at startup.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dfixer_lint/lint_core.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".h" || ext == ".hpp";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "dfixer_lint: --root needs an argument\n";
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: dfixer_lint [--root DIR] [files...]\n";
+      return 0;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  dfx::lint::Options options;
+  {
+    std::string header;
+    const fs::path enum_header =
+        fs::path(root) / "src" / "analyzer" / "errorcode.h";
+    if (read_file(enum_header, header)) {
+      options.errorcode_enumerators =
+          dfx::lint::parse_enum_class(header, "ErrorCode");
+    }
+  }
+
+  if (files.empty()) {
+    for (const char* dir : {"src", "tools"}) {
+      const fs::path base = fs::path(root) / dir;
+      if (!fs::exists(base)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(base)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(entry.path().string());
+        }
+      }
+    }
+    if (files.empty()) {
+      std::cerr << "dfixer_lint: nothing to lint under " << root << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t total = 0;
+  for (const auto& file : files) {
+    std::string content;
+    if (!read_file(file, content)) {
+      std::cerr << "dfixer_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    const auto violations = dfx::lint::lint_file(file, content, options);
+    for (const auto& v : violations) {
+      std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
+                << v.message << "\n";
+    }
+    total += violations.size();
+  }
+  if (total != 0) {
+    std::cout << "dfixer_lint: " << total << " violation(s) in "
+              << files.size() << " file(s)\n";
+    return 1;
+  }
+  std::cout << "dfixer_lint: clean (" << files.size() << " files)\n";
+  return 0;
+}
