@@ -13,32 +13,36 @@
 
 int main(int argc, char** argv) {
   const auto args = dfx::bench::parse_args(argc, argv);
+  dfx::bench::BenchRun run("ablation_nzic", args);
   dfx::zreplicator::SpecCorpusOptions options;
   options.count = args.count;
   options.seed = args.seed;
   options.s1_artifact_rate = 0;
   options.s2_artifact_rate = 0;
   options.s2_variant_rate = 0;
-  const auto specs = dfx::zreplicator::generate_eval_specs(options);
+  const auto specs = run.stage(
+      "specs", [&] { return dfx::zreplicator::generate_eval_specs(options); });
 
   std::map<dfx::analyzer::SnapshotStatus, std::int64_t> lenient;
   std::map<dfx::analyzer::SnapshotStatus, std::int64_t> strict;
   std::int64_t total = 0;
   std::uint64_t seed = args.seed;
-  for (const auto& eval : specs) {
-    auto replication = dfx::zreplicator::replicate(eval.spec, ++seed);
-    if (!replication.complete) continue;
-    ++total;
-    const auto data = dfx::analyzer::probe(
-        replication.sandbox->farm(), replication.sandbox->chain(),
-        replication.sandbox->child_apex(),
-        replication.sandbox->clock().now());
-    dfx::analyzer::GrokConfig lenient_config;
-    dfx::analyzer::GrokConfig strict_config;
-    strict_config.nzic_is_fatal = true;
-    lenient[dfx::analyzer::grok(data, lenient_config).status] += 1;
-    strict[dfx::analyzer::grok(data, strict_config).status] += 1;
-  }
+  run.stage("pipeline", [&] {
+    for (const auto& eval : specs) {
+      auto replication = dfx::zreplicator::replicate(eval.spec, ++seed);
+      if (!replication.complete) continue;
+      ++total;
+      const auto data = dfx::analyzer::probe(
+          replication.sandbox->farm(), replication.sandbox->chain(),
+          replication.sandbox->child_apex(),
+          replication.sandbox->clock().now());
+      dfx::analyzer::GrokConfig lenient_config;
+      dfx::analyzer::GrokConfig strict_config;
+      strict_config.nzic_is_fatal = true;
+      lenient[dfx::analyzer::grok(data, lenient_config).status] += 1;
+      strict[dfx::analyzer::grok(data, strict_config).status] += 1;
+    }
+  });
 
   std::printf("Ablation — NZIC validator policy (n=%lld erroneous zones)\n",
               static_cast<long long>(total));
@@ -56,5 +60,14 @@ int main(int argc, char** argv) {
   }
   std::printf("  (a strict validator turns every NZIC-only zone from svm "
               "into SERVFAIL)\n");
-  return 0;
+  run.set_items(static_cast<std::int64_t>(specs.size()));
+  using dfx::analyzer::SnapshotStatus;
+  char results[128];
+  std::snprintf(
+      results, sizeof results, "total=%lld lenient_svm=%lld strict_sb=%lld",
+      static_cast<long long>(total),
+      static_cast<long long>(lenient[SnapshotStatus::kSignedValidMisconfig]),
+      static_cast<long long>(strict[SnapshotStatus::kSignedBogus]));
+  run.checksum_text("results", results);
+  return run.finish();
 }

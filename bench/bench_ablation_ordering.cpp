@@ -57,6 +57,7 @@ struct Outcome {
 
 int main(int argc, char** argv) {
   const auto args = dfx::bench::parse_args(argc, argv);
+  dfx::bench::BenchRun run("ablation_ordering", args);
   dfx::zreplicator::SpecCorpusOptions options;
   options.count = args.count;
   options.seed = args.seed;
@@ -64,22 +65,25 @@ int main(int argc, char** argv) {
   options.s1_artifact_rate = 0;
   options.s2_artifact_rate = 0;
   options.s2_variant_rate = 0;
-  const auto specs = dfx::zreplicator::generate_eval_specs(options);
+  const auto specs = run.stage(
+      "specs", [&] { return dfx::zreplicator::generate_eval_specs(options); });
 
   Outcome ordered;
   Outcome symptom_first;
   std::int64_t replicated = 0;
   std::uint64_t seed = args.seed;
-  for (const auto& eval : specs) {
-    ++seed;
-    auto a = dfx::zreplicator::replicate(eval.spec, seed);
-    if (!a.complete) continue;
-    auto b = dfx::zreplicator::replicate(eval.spec, seed);
-    ++replicated;
-    ordered.absorb(dfx::dfixer::auto_fix(*a.sandbox));
-    symptom_first.absorb(
-        dfx::dfixer::auto_fix_with(*b.sandbox, &symptom_first_resolve));
-  }
+  run.stage("pipeline", [&] {
+    for (const auto& eval : specs) {
+      ++seed;
+      auto a = dfx::zreplicator::replicate(eval.spec, seed);
+      if (!a.complete) continue;
+      auto b = dfx::zreplicator::replicate(eval.spec, seed);
+      ++replicated;
+      ordered.absorb(dfx::dfixer::auto_fix(*a.sandbox));
+      symptom_first.absorb(
+          dfx::dfixer::auto_fix_with(*b.sandbox, &symptom_first_resolve));
+    }
+  });
 
   std::printf("Ablation — root-cause ordering (n=%lld replicated zones)\n",
               static_cast<long long>(replicated));
@@ -106,5 +110,17 @@ int main(int argc, char** argv) {
       "  (both converge in the sandbox; ordering is what addresses the root "
       "cause in iteration 1 and keeps the paper's <= 4-iteration bound "
       "structural rather than accidental)\n");
-  return 0;
+  run.set_items(static_cast<std::int64_t>(specs.size()));
+  char results[160];
+  std::snprintf(results, sizeof results,
+                "replicated=%lld ordered=%lld/%lld/%d symptom=%lld/%lld/%d",
+                static_cast<long long>(replicated),
+                static_cast<long long>(ordered.fixed),
+                static_cast<long long>(ordered.iterations),
+                ordered.max_iterations,
+                static_cast<long long>(symptom_first.fixed),
+                static_cast<long long>(symptom_first.iterations),
+                symptom_first.max_iterations);
+  run.checksum_text("results", results);
+  return run.finish();
 }

@@ -13,10 +13,12 @@
 
 int main(int argc, char** argv) {
   const auto args = dfx::bench::parse_args(argc, argv);
+  dfx::bench::BenchRun run("baseline_llm", args);
   dfx::zreplicator::SpecCorpusOptions options;
   options.count = args.count;
   options.seed = args.seed;
-  const auto specs = dfx::zreplicator::generate_eval_specs(options);
+  const auto specs = run.stage(
+      "specs", [&] { return dfx::zreplicator::generate_eval_specs(options); });
 
   std::int64_t replicated = 0;
   std::int64_t dfixer_fixed = 0;
@@ -24,21 +26,23 @@ int main(int argc, char** argv) {
   std::int64_t dfixer_iters = 0;
   std::int64_t baseline_iters = 0;
   std::uint64_t seed = args.seed;
-  for (const auto& eval : specs) {
-    ++seed;
-    // Run both tools on *identically seeded* replicas.
-    auto a = dfx::zreplicator::replicate(eval.spec, seed);
-    if (!a.complete) continue;
-    auto b = dfx::zreplicator::replicate(eval.spec, seed);
-    ++replicated;
-    const auto da = dfx::dfixer::auto_fix(*a.sandbox);
-    const auto db = dfx::dfixer::auto_fix_with(
-        *b.sandbox, &dfx::dfixer::baseline_resolve);
-    if (da.success) dfixer_fixed += 1;
-    if (db.success) baseline_fixed += 1;
-    dfixer_iters += static_cast<std::int64_t>(da.iterations.size());
-    baseline_iters += static_cast<std::int64_t>(db.iterations.size());
-  }
+  run.stage("pipeline", [&] {
+    for (const auto& eval : specs) {
+      ++seed;
+      // Run both tools on *identically seeded* replicas.
+      auto a = dfx::zreplicator::replicate(eval.spec, seed);
+      if (!a.complete) continue;
+      auto b = dfx::zreplicator::replicate(eval.spec, seed);
+      ++replicated;
+      const auto da = dfx::dfixer::auto_fix(*a.sandbox);
+      const auto db = dfx::dfixer::auto_fix_with(
+          *b.sandbox, &dfx::dfixer::baseline_resolve);
+      if (da.success) dfixer_fixed += 1;
+      if (db.success) baseline_fixed += 1;
+      dfixer_iters += static_cast<std::int64_t>(da.iterations.size());
+      baseline_iters += static_cast<std::int64_t>(db.iterations.size());
+    }
+  });
 
   std::printf("Appendix A.2 — DFixer vs naive-LLM baseline (n=%lld "
               "replicated zones)\n",
@@ -61,5 +65,15 @@ int main(int argc, char** argv) {
                                     static_cast<double>(replicated));
   std::printf("  (paper: DFixer 99.99%%; the baseline misses DS-removal and "
               "parameter-sensitive scenarios)\n");
-  return 0;
+  run.set_items(static_cast<std::int64_t>(specs.size()));
+  char results[128];
+  std::snprintf(results, sizeof results,
+                "replicated=%lld dfixer=%lld/%lld baseline=%lld/%lld",
+                static_cast<long long>(replicated),
+                static_cast<long long>(dfixer_fixed),
+                static_cast<long long>(dfixer_iters),
+                static_cast<long long>(baseline_fixed),
+                static_cast<long long>(baseline_iters));
+  run.checksum_text("results", results);
+  return run.finish();
 }

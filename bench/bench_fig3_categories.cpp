@@ -6,9 +6,17 @@
 
 int main(int argc, char** argv) {
   const auto args = dfx::bench::parse_args(argc, argv);
-  const auto corpus = dfx::bench::make_corpus(args);
-  const auto table3 = dfx::measure::compute_table3(corpus);
-  const auto result = dfx::measure::compute_fig3(table3);
-  std::printf("%s", dfx::measure::render_fig3(result).c_str());
-  return 0;
+  dfx::bench::BenchRun run("fig3_categories", args);
+  const auto corpus =
+      run.stage("generate", [&] { return dfx::bench::make_corpus(args); });
+  const auto table3 = run.stage(
+      "measure", [&] { return dfx::measure::compute_table3(corpus); });
+  const auto result =
+      run.stage("categorize", [&] { return dfx::measure::compute_fig3(table3); });
+  const auto text = dfx::measure::render_fig3(result);
+  std::printf("%s", text.c_str());
+  run.set_items(static_cast<std::int64_t>(corpus.domains.size()));
+  run.checksum_text("report_text", text);
+  run.checksum("corpus_digest", dfx::dataset::corpus_digest(corpus));
+  return run.finish();
 }

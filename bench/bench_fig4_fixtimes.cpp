@@ -7,9 +7,17 @@
 
 int main(int argc, char** argv) {
   const auto args = dfx::bench::parse_args(argc, argv);
-  const auto corpus = dfx::bench::make_corpus(args);
-  const auto rows = dfx::measure::compute_fig4(corpus);
-  const auto deploy = dfx::measure::compute_deploy_time(corpus);
-  std::printf("%s", dfx::measure::render_fig4(rows, deploy).c_str());
-  return 0;
+  dfx::bench::BenchRun run("fig4_fixtimes", args);
+  const auto corpus =
+      run.stage("generate", [&] { return dfx::bench::make_corpus(args); });
+  const auto rows =
+      run.stage("measure", [&] { return dfx::measure::compute_fig4(corpus); });
+  const auto deploy = run.stage(
+      "deploy", [&] { return dfx::measure::compute_deploy_time(corpus); });
+  const auto text = dfx::measure::render_fig4(rows, deploy);
+  std::printf("%s", text.c_str());
+  run.set_items(static_cast<std::int64_t>(corpus.domains.size()));
+  run.checksum_text("report_text", text);
+  run.checksum("corpus_digest", dfx::dataset::corpus_digest(corpus));
+  return run.finish();
 }

@@ -2,7 +2,13 @@
 // the probe+grok analysis path (google-benchmark).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
 #include "analyzer/grok.h"
+#include "json/json.h"
 #include "dfixer/autofix.h"
 #include "crypto/algorithm.h"
 #include "crypto/sha1.h"
@@ -169,4 +175,32 @@ BENCHMARK(BM_MessageRoundTrip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the binary also emits BENCH_micro.json
+// (google-benchmark owns the CLI flags, so this bench takes no --json-dir;
+// the file lands in the working directory).
+int main(int argc, char** argv) {
+  const auto start = std::chrono::steady_clock::now();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  json::Object root;
+  root["bench"] = json::Value(std::string("micro"));
+  root["schema_version"] = json::Value(static_cast<std::int64_t>(1));
+  root["wall_seconds"] = json::Value(wall);
+  root["items"] = json::Value(static_cast<std::int64_t>(ran));
+  root["items_per_second"] = json::Value(
+      wall > 0.0 ? static_cast<double>(ran) / wall : 0.0);
+  root["hardware_concurrency"] = json::Value(
+      static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  std::ofstream out("BENCH_micro.json");
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write BENCH_micro.json\n");
+    return 1;
+  }
+  out << json::serialize_pretty(json::Value(std::move(root))) << "\n";
+  return out.good() ? 0 : 1;
+}

@@ -1,0 +1,118 @@
+// Thread-scaling sweep for the parallel measurement engine: regenerates the
+// corpus and recomputes every §3 table/figure at 1, 2, 4 and 8 threads,
+// asserting (DFX_CHECK) that the corpus digest and the rendered reports are
+// byte-identical at every thread count — the determinism guarantee of
+// util/parallel.h + Rng::for_shard made observable. On hardware with >= 8
+// cores (and no sanitizer) it additionally asserts >= 3x speedup of the
+// 8-thread generate+measure pass over serial; set DFX_SCALING_NO_ASSERT=1
+// to turn that into a report-only run.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "measure/report.h"
+#include "util/check.hpp"
+
+namespace {
+
+struct Sample {
+  unsigned threads = 1;
+  double seconds = 0.0;        // generate + measure wall time
+  std::uint64_t digest = 0;    // corpus digest
+  std::uint64_t report = 0;    // fnv1a64 of every rendered table/figure
+};
+
+/// Render every table and figure into one string (the full §3 output).
+std::string render_all(const dfx::dataset::Corpus& corpus, double scale) {
+  using namespace dfx::measure;
+  std::string text;
+  text += render_table1(compute_table1(corpus), scale);
+  text += render_fig1(compute_fig1(corpus));
+  text += render_fig2(compute_fig2(corpus));
+  text += render_table2(compute_table2(corpus));
+  const auto table3 = compute_table3(corpus);
+  text += render_table3(table3);
+  text += render_fig3(compute_fig3(table3));
+  text += render_table4(compute_table4(corpus), compute_roundtrip(corpus));
+  text += render_fig4(compute_fig4(corpus), compute_deploy_time(corpus));
+  text += render_fig5(compute_fig5(corpus));
+  text += render_table5(compute_table5(corpus));
+  return text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = dfx::bench::parse_args(argc, argv);
+  dfx::bench::BenchRun run("parallel_scaling", args);
+
+  std::vector<Sample> samples;
+  std::int64_t domains = 0;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    dfx::ThreadPool::set_global_thread_count(threads);
+    Sample sample;
+    sample.threads = threads;
+    const auto begin = std::chrono::steady_clock::now();
+    const auto corpus = dfx::bench::make_corpus(args);
+    const std::string text = render_all(corpus, args.scale);
+    sample.seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - begin)
+                         .count();
+    sample.digest = dfx::dataset::corpus_digest(corpus);
+    sample.report = dfx::bench::fnv1a64(text);
+    domains = static_cast<std::int64_t>(corpus.domains.size());
+    samples.push_back(sample);
+  }
+
+  // Determinism: every thread count must reproduce the serial results
+  // bit-for-bit. This holds unconditionally, including on 1-core machines.
+  const Sample& serial = samples[0];  // dfx-lint: allow(unchecked-front-back): loop above always fills 4 samples
+  for (const Sample& s : samples) {
+    DFX_CHECK(s.digest == serial.digest,
+              "corpus digest diverged at %u threads", s.threads);
+    DFX_CHECK(s.report == serial.report,
+              "table/figure output diverged at %u threads", s.threads);
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("Parallel scaling — generate + all §3 analyses "
+              "(%lld domains, hardware_concurrency=%u)\n",
+              static_cast<long long>(domains), hw);
+  std::printf("%s\n", std::string(64, '-').c_str());
+  for (const Sample& s : samples) {
+    std::printf("  threads %2u   %8.3fs   speedup %5.2fx   digest %016llx\n",
+                s.threads, s.seconds,
+                s.seconds > 0.0 ? serial.seconds / s.seconds : 0.0,
+                static_cast<unsigned long long>(s.digest));
+  }
+
+  const Sample& fastest = samples.back();  // dfx-lint: allow(unchecked-front-back): loop above always fills 4 samples
+  const double speedup8 =
+      fastest.seconds > 0.0 ? serial.seconds / fastest.seconds : 0.0;
+  const bool sanitized =
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+      true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+      true;
+#else
+      false;
+#endif
+#else
+      false;
+#endif
+  if (hw >= 8 && !sanitized &&
+      std::getenv("DFX_SCALING_NO_ASSERT") == nullptr) {
+    DFX_CHECK(speedup8 >= 3.0,
+              "8-thread speedup %.2fx below the 3x floor on %u cores",
+              speedup8, hw);
+  }
+
+  run.set_items(domains * static_cast<std::int64_t>(samples.size()));
+  run.checksum("corpus_digest", serial.digest);
+  run.checksum("report_text", serial.report);
+  return run.finish();
+}

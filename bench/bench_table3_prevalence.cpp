@@ -6,8 +6,15 @@
 
 int main(int argc, char** argv) {
   const auto args = dfx::bench::parse_args(argc, argv);
-  const auto corpus = dfx::bench::make_corpus(args);
-  const auto result = dfx::measure::compute_table3(corpus);
-  std::printf("%s", dfx::measure::render_table3(result).c_str());
-  return 0;
+  dfx::bench::BenchRun run("table3_prevalence", args);
+  const auto corpus =
+      run.stage("generate", [&] { return dfx::bench::make_corpus(args); });
+  const auto result = run.stage(
+      "measure", [&] { return dfx::measure::compute_table3(corpus); });
+  const auto text = dfx::measure::render_table3(result);
+  std::printf("%s", text.c_str());
+  run.set_items(static_cast<std::int64_t>(corpus.domains.size()));
+  run.checksum_text("report_text", text);
+  run.checksum("corpus_digest", dfx::dataset::corpus_digest(corpus));
+  return run.finish();
 }

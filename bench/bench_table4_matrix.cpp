@@ -7,9 +7,17 @@
 
 int main(int argc, char** argv) {
   const auto args = dfx::bench::parse_args(argc, argv);
-  const auto corpus = dfx::bench::make_corpus(args);
-  const auto matrix = dfx::measure::compute_table4(corpus);
-  const auto roundtrip = dfx::measure::compute_roundtrip(corpus);
-  std::printf("%s", dfx::measure::render_table4(matrix, roundtrip).c_str());
-  return 0;
+  dfx::bench::BenchRun run("table4_matrix", args);
+  const auto corpus =
+      run.stage("generate", [&] { return dfx::bench::make_corpus(args); });
+  const auto matrix = run.stage(
+      "measure", [&] { return dfx::measure::compute_table4(corpus); });
+  const auto roundtrip = run.stage(
+      "roundtrip", [&] { return dfx::measure::compute_roundtrip(corpus); });
+  const auto text = dfx::measure::render_table4(matrix, roundtrip);
+  std::printf("%s", text.c_str());
+  run.set_items(static_cast<std::int64_t>(corpus.domains.size()));
+  run.checksum_text("report_text", text);
+  run.checksum("corpus_digest", dfx::dataset::corpus_digest(corpus));
+  return run.finish();
 }

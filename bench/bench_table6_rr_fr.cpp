@@ -44,34 +44,38 @@ void print_row(const char* label, const SubsetStats& s, double paper_rr,
 
 int main(int argc, char** argv) {
   const auto args = dfx::bench::parse_args(argc, argv);
+  dfx::bench::BenchRun run("table6_rr_fr", args);
   dfx::zreplicator::SpecCorpusOptions options;
   options.count = args.count;
   options.seed = args.seed;
-  const auto specs = dfx::zreplicator::generate_eval_specs(options);
+  const auto specs = run.stage(
+      "specs", [&] { return dfx::zreplicator::generate_eval_specs(options); });
 
   SubsetStats s1;
   SubsetStats s2;
   std::set<std::string> combinations;
   std::uint64_t seed = args.seed;
-  for (const auto& eval : specs) {
-    auto& stats = eval.s1 ? s1 : s2;
-    stats.snapshots += 1;
-    combinations.insert(
-        dfx::zreplicator::combination_key(eval.spec.intended_errors));
-    auto replication = dfx::zreplicator::replicate(eval.spec, ++seed);
-    if (!replication.generated.empty()) stats.ge_nonempty += 1;
-    if (!replication.complete) {
-      if (replication.generated.empty()) {
-        stats.nothing += 1;
-      } else {
-        stats.partial += 1;
+  run.stage("pipeline", [&] {
+    for (const auto& eval : specs) {
+      auto& stats = eval.s1 ? s1 : s2;
+      stats.snapshots += 1;
+      combinations.insert(
+          dfx::zreplicator::combination_key(eval.spec.intended_errors));
+      auto replication = dfx::zreplicator::replicate(eval.spec, ++seed);
+      if (!replication.generated.empty()) stats.ge_nonempty += 1;
+      if (!replication.complete) {
+        if (replication.generated.empty()) {
+          stats.nothing += 1;
+        } else {
+          stats.partial += 1;
+        }
+        continue;
       }
-      continue;
+      stats.replicated += 1;
+      const auto report = dfx::dfixer::auto_fix(*replication.sandbox);
+      if (report.success) stats.fixed += 1;
     }
-    stats.replicated += 1;
-    const auto report = dfx::dfixer::auto_fix(*replication.sandbox);
-    if (report.success) stats.fixed += 1;
-  }
+  });
 
   std::printf("Table 6 — ZReplicator / DFixer performance (pipeline sample "
               "n=%zu, %zu unique error combinations)\n",
@@ -95,5 +99,19 @@ int main(int argc, char** argv) {
         100.0 * static_cast<double>(s2.nothing) /
             static_cast<double>(failures));
   }
-  return 0;
+  run.set_items(static_cast<std::int64_t>(specs.size()));
+  char results[160];
+  std::snprintf(results, sizeof results,
+                "s1=%lld/%lld/%lld s2=%lld/%lld/%lld partial=%lld "
+                "nothing=%lld",
+                static_cast<long long>(s1.snapshots),
+                static_cast<long long>(s1.replicated),
+                static_cast<long long>(s1.fixed),
+                static_cast<long long>(s2.snapshots),
+                static_cast<long long>(s2.replicated),
+                static_cast<long long>(s2.fixed),
+                static_cast<long long>(s2.partial),
+                static_cast<long long>(s2.nothing));
+  run.checksum_text("results", results);
+  return run.finish();
 }

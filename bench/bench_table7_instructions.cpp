@@ -11,10 +11,12 @@
 
 int main(int argc, char** argv) {
   const auto args = dfx::bench::parse_args(argc, argv);
+  dfx::bench::BenchRun run("table7_instructions", args);
   dfx::zreplicator::SpecCorpusOptions options;
   options.count = args.count;
   options.seed = args.seed;
-  const auto specs = dfx::zreplicator::generate_eval_specs(options);
+  const auto specs = run.stage(
+      "specs", [&] { return dfx::zreplicator::generate_eval_specs(options); });
 
   constexpr int kMaxIterations = 8;
   std::map<dfx::zone::InstructionKind, std::array<std::int64_t, kMaxIterations>>
@@ -22,21 +24,23 @@ int main(int argc, char** argv) {
   std::array<std::int64_t, kMaxIterations> totals{};
   int max_seen = 0;
   std::uint64_t seed = args.seed;
-  for (const auto& eval : specs) {
-    if (eval.s1) continue;  // Table 7 covers the S2 subset
-    auto replication = dfx::zreplicator::replicate(eval.spec, ++seed);
-    if (!replication.complete) continue;
-    const auto report = dfx::dfixer::auto_fix(*replication.sandbox);
-    for (const auto& iteration : report.iterations) {
-      const int idx = iteration.iteration - 1;
-      if (idx < 0 || idx >= kMaxIterations) continue;
-      max_seen = std::max(max_seen, iteration.iteration);
-      for (const auto& instruction : iteration.plan.instructions) {
-        counts[instruction.kind][static_cast<std::size_t>(idx)] += 1;
-        totals[static_cast<std::size_t>(idx)] += 1;
+  run.stage("pipeline", [&] {
+    for (const auto& eval : specs) {
+      if (eval.s1) continue;  // Table 7 covers the S2 subset
+      auto replication = dfx::zreplicator::replicate(eval.spec, ++seed);
+      if (!replication.complete) continue;
+      const auto report = dfx::dfixer::auto_fix(*replication.sandbox);
+      for (const auto& iteration : report.iterations) {
+        const int idx = iteration.iteration - 1;
+        if (idx < 0 || idx >= kMaxIterations) continue;
+        max_seen = std::max(max_seen, iteration.iteration);
+        for (const auto& instruction : iteration.plan.instructions) {
+          counts[instruction.kind][static_cast<std::size_t>(idx)] += 1;
+          totals[static_cast<std::size_t>(idx)] += 1;
+        }
       }
     }
-  }
+  });
 
   std::printf("Table 7 — DFixer instructions per iteration (S2 subset; "
               "paper iteration-1 shares in brackets)\n");
@@ -70,5 +74,11 @@ int main(int argc, char** argv) {
   }
   std::printf("  max iterations observed: %d (paper: never more than 4)\n",
               max_seen);
-  return 0;
+  run.set_items(static_cast<std::int64_t>(specs.size()));
+  char results[96];
+  std::snprintf(results, sizeof results,
+                "kinds=%zu total_iter1=%lld max_seen=%d", counts.size(),
+                static_cast<long long>(totals[0]), max_seen);
+  run.checksum_text("results", results);
+  return run.finish();
 }

@@ -1,5 +1,7 @@
 #include "analyzer/probe.h"
 
+#include "util/metrics.h"
+
 namespace dfx::analyzer {
 namespace {
 
@@ -36,6 +38,13 @@ dns::Name nx_probe_name(const dns::Name& apex) {
 ProbeData probe(const authserver::ServerFarm& farm,
                 const std::vector<dns::Name>& zone_chain,
                 const dns::Name& query_domain, UnixTime now) {
+  // Cached references: probe() is called per snapshot in tight loops, so
+  // the registry lookup happens once (thread-safe magic statics).
+  static auto& probe_hist =
+      metrics::Registry::global().histogram("stage.analyze.probe");
+  static auto& probe_count = metrics::Registry::global().counter("analyze.probes");
+  metrics::ScopedTimer timer(probe_hist);
+  probe_count.add(1);
   ProbeData data;
   data.query_domain = query_domain;
   data.time = now;

@@ -4,6 +4,8 @@
 //
 // Substitution note (DESIGN.md): the real dataset is DNS-OARC-private; the
 // generator reproduces its *joint structure* from these published numbers.
+//
+// Thread-safety: constants only — immutable, safe from any thread.
 #pragma once
 
 #include <array>

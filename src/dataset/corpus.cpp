@@ -1,5 +1,7 @@
 #include "dataset/corpus.h"
 
+#include <bit>
+
 namespace dfx::dataset {
 
 bool DomainTimeline::is_changing() const {
@@ -19,6 +21,55 @@ std::int64_t Corpus::total_snapshots() const {
     total += static_cast<std::int64_t>(d.snapshots.size());
   }
   return total;
+}
+
+namespace {
+
+struct Fnv1a64 {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  void byte(std::uint8_t b) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    for (const char c : s) byte(static_cast<std::uint8_t>(c));
+  }
+};
+
+}  // namespace
+
+std::uint64_t corpus_digest(const Corpus& corpus) {
+  Fnv1a64 fnv;
+  fnv.u64(corpus.universe_size);
+  fnv.u64(corpus.universe_signed_per_bin.size());
+  for (const auto b : corpus.universe_signed_per_bin) fnv.u64(b);
+  // `scale` is a double; hash its bit pattern so any difference counts.
+  fnv.u64(std::bit_cast<std::uint64_t>(corpus.scale));
+  fnv.u64(corpus.domains.size());
+  for (const auto& d : corpus.domains) {
+    fnv.str(d.name);
+    fnv.byte(static_cast<std::uint8_t>(d.level));
+    fnv.byte(d.tranco_rank ? 1 : 0);
+    if (d.tranco_rank) fnv.u64(*d.tranco_rank);
+    fnv.byte(d.ever_signed ? 1 : 0);
+    fnv.u64(d.snapshots.size());
+    for (const auto& s : d.snapshots) {
+      fnv.u64(static_cast<std::uint64_t>(s.time));
+      fnv.byte(static_cast<std::uint8_t>(s.status));
+      fnv.u64(s.errors.size());
+      for (const auto code : s.errors) {
+        fnv.u64(static_cast<std::uint64_t>(code));
+      }
+      fnv.u64(s.ns_id);
+      fnv.u64(s.key_id);
+      fnv.u64(s.algorithm_id);
+    }
+  }
+  return fnv.h;
 }
 
 json::Value corpus_to_json(const Corpus& corpus) {

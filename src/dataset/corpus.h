@@ -1,6 +1,11 @@
 // The corpus model: per-domain snapshot timelines in the schema the
 // measurement analyses consume. This is the in-memory equivalent of the
 // paper's 1.1M DNSViz JSON files.
+//
+// Thread-safety: plain value types with no internal synchronisation. A
+// built corpus is read concurrently by the per-domain measurement shards
+// (measure/measure.cpp), which is safe because they only take const access;
+// mutation requires external exclusion. corpus_digest is a pure function.
 #pragma once
 
 #include <cstdint>
@@ -59,5 +64,11 @@ struct Corpus {
 /// JSON round-trip (one document per corpus; domains as an array).
 json::Value corpus_to_json(const Corpus& corpus);
 std::optional<Corpus> corpus_from_json(const json::Value& value);
+
+/// FNV-1a 64-bit digest over every field of every domain, in domain order.
+/// Two corpora digest equal iff they are field-for-field identical — the
+/// determinism regression tests and bench_parallel_scaling use this to
+/// assert that parallel generation is bit-identical to serial.
+[[nodiscard]] std::uint64_t corpus_digest(const Corpus& corpus);
 
 }  // namespace dfx::dataset

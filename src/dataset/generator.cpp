@@ -5,6 +5,9 @@
 #include <optional>
 #include <span>
 
+#include "util/metrics.h"
+#include "util/parallel.h"
+
 namespace dfx::dataset {
 namespace {
 
@@ -383,7 +386,8 @@ int sample_multi_count(Rng& rng) {
 }  // namespace
 
 Corpus generate_corpus(const GeneratorOptions& options) {
-  Rng rng(options.seed);
+  metrics::ScopedTimer stage_timer(
+      metrics::Registry::global().histogram("stage.generate"));
   const auto& cal = default_calibration();
   const ErrorMix mix = build_error_mix();
   Corpus corpus;
@@ -394,6 +398,9 @@ Corpus generate_corpus(const GeneratorOptions& options) {
       1, corpus.universe_size / kBins);
 
   // ---- SLD+ domains -------------------------------------------------------
+  // Sharded per-domain: domain i draws every sample from its own
+  // Rng::for_shard(seed, "dataset.sld", i) stream, so the corpus is a pure
+  // function of the seed — bit-identical at any thread count.
   const auto sld_total = static_cast<std::int64_t>(
       static_cast<double>(cal.table1.sld_domains) * options.scale);
   const auto sld_multi = static_cast<std::int64_t>(
@@ -409,68 +416,99 @@ Corpus generate_corpus(const GeneratorOptions& options) {
     ranked_total += ranked_quota[static_cast<std::size_t>(b)];
   }
 
-  int next_bin = 0;
-  std::int64_t issued_in_bin = 0;
-  // Ranked domains are spread across the population (a prefix would
-  // correlate rank with the multi-snapshot quota below).
-  const std::int64_t rank_stride =
-      ranked_total > 0 ? std::max<std::int64_t>(1, sld_total / ranked_total)
-                       : sld_total + 1;
-  corpus.domains.reserve(static_cast<std::size_t>(sld_total) + 256);
-  for (std::int64_t i = 0; i < sld_total; ++i) {
-    DomainTimeline domain;
-    domain.name = "sld-" + std::to_string(i) + ".example.";
-    domain.level = DomainLevel::kSld;
-
-    DomainPlan plan;
-    // Rank assignment: fill bins in order until the quotas are exhausted.
-    if (i % rank_stride == 0 && next_bin < kBins) {
+  // Rank plan (serial pre-pass, RNG-free): fill bins in order until the
+  // quotas are exhausted. Ranked domains are spread across the population
+  // (a prefix would correlate rank with the multi-snapshot quota below).
+  struct RankPlan {
+    std::uint32_t rank = 0;
+    int bin = 0;
+  };
+  std::vector<std::optional<RankPlan>> rank_plan(
+      static_cast<std::size_t>(sld_total));
+  {
+    int next_bin = 0;
+    std::int64_t issued_in_bin = 0;
+    const std::int64_t rank_stride =
+        ranked_total > 0 ? std::max<std::int64_t>(1, sld_total / ranked_total)
+                         : sld_total + 1;
+    for (std::int64_t i = 0; i < sld_total; ++i) {
+      if (i % rank_stride != 0 || next_bin >= kBins) continue;
       while (next_bin < kBins &&
              issued_in_bin >= ranked_quota[static_cast<std::size_t>(
                                   next_bin)]) {
         ++next_bin;
         issued_in_bin = 0;
       }
-      if (next_bin < kBins) {
-        domain.tranco_rank = static_cast<std::uint32_t>(
-            static_cast<std::uint64_t>(next_bin) * bin_size +
-            static_cast<std::uint64_t>(issued_in_bin) + 1);
-        ++issued_in_bin;
-        // Popular signed domains are mostly run cleanly (Fig. 1, top):
-        // force a valid stable setup unless the bin's misconfigured share
-        // says otherwise.
-        plan.force_clean =
-            !rng.chance(dataset::fig1_misconfigured_share(next_bin));
-      }
+      if (next_bin >= kBins) continue;
+      rank_plan[static_cast<std::size_t>(i)] = RankPlan{
+          static_cast<std::uint32_t>(
+              static_cast<std::uint64_t>(next_bin) * bin_size +
+              static_cast<std::uint64_t>(issued_in_bin) + 1),
+          next_bin};
+      ++issued_in_bin;
     }
-
-    const bool multi =
-        rng.chance(static_cast<double>(sld_multi) /
-                   static_cast<double>(std::max<std::int64_t>(1, sld_total)));
-    plan.snapshot_count = multi ? sample_multi_count(rng) : 1;
-    plan.gap_median_hours = rng.lognormal(12.0, 1.1);  // Fig. 5: 65% < 1 day
-    // Slight oversampling compensates for walks that degenerate plus the
-    // forced-clean popular domains excluded above.
-    plan.changing = multi && !plan.force_clean &&
-                    rng.chance(cal.table1.sld_cd_share * 1.13);
-    if (plan.changing) {
-      plan.first_status = sample_cd_first_status(rng, cal.fig2);
-      plan.final_status =
-          sample_cd_final_status(rng, plan.first_status, cal.fig2);
-      generate_cd_timeline(rng, options, mix, cal, domain, plan);
-    } else {
-      plan.stable_status = plan.force_clean && domain.tranco_rank
-                               ? (rng.chance(0.55)
-                                      ? SnapshotStatus::kSignedValid
-                                      : SnapshotStatus::kInsecure)
-                               : sample_stable_status(rng, !multi);
-      generate_sd_timeline(rng, options, mix, domain, plan);
-    }
-    domain.ever_signed = std::any_of(
-        domain.snapshots.begin(), domain.snapshots.end(),
-        [](const SnapshotRow& s) { return is_signed_status(s.status); });
-    corpus.domains.push_back(std::move(domain));
   }
+
+  const auto tld_total = static_cast<std::int64_t>(
+      static_cast<double>(cal.table1.tld_domains) * options.scale);
+  const auto tld_multi = static_cast<std::int64_t>(
+      static_cast<double>(cal.table1.tld_multi_snapshot) * options.scale);
+  const double tld_avg_snapshots =
+      static_cast<double>(cal.table1.tld_snapshots) /
+      static_cast<double>(cal.table1.tld_domains);
+
+  corpus.domains.resize(
+      static_cast<std::size_t>(sld_total + tld_total) + 1);
+
+  ThreadPool& pool = ThreadPool::global();
+  const double multi_share =
+      static_cast<double>(sld_multi) /
+      static_cast<double>(std::max<std::int64_t>(1, sld_total));
+  parallel_for(
+      pool, static_cast<std::size_t>(sld_total), kDefaultGrain,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          Rng rng = Rng::for_shard(options.seed, "dataset.sld", i);
+          DomainTimeline& domain = corpus.domains[i];
+          domain.name = "sld-" + std::to_string(i) + ".example.";
+          domain.level = DomainLevel::kSld;
+
+          DomainPlan plan;
+          if (rank_plan[i]) {
+            domain.tranco_rank = rank_plan[i]->rank;
+            // Popular signed domains are mostly run cleanly (Fig. 1, top):
+            // force a valid stable setup unless the bin's misconfigured
+            // share says otherwise.
+            plan.force_clean = !rng.chance(
+                dataset::fig1_misconfigured_share(rank_plan[i]->bin));
+          }
+
+          const bool multi = rng.chance(multi_share);
+          plan.snapshot_count = multi ? sample_multi_count(rng) : 1;
+          plan.gap_median_hours =
+              rng.lognormal(12.0, 1.1);  // Fig. 5: 65% < 1 day
+          // Slight oversampling compensates for walks that degenerate plus
+          // the forced-clean popular domains excluded above.
+          plan.changing = multi && !plan.force_clean &&
+                          rng.chance(cal.table1.sld_cd_share * 1.13);
+          if (plan.changing) {
+            plan.first_status = sample_cd_first_status(rng, cal.fig2);
+            plan.final_status =
+                sample_cd_final_status(rng, plan.first_status, cal.fig2);
+            generate_cd_timeline(rng, options, mix, cal, domain, plan);
+          } else {
+            plan.stable_status = plan.force_clean && domain.tranco_rank
+                                     ? (rng.chance(0.55)
+                                            ? SnapshotStatus::kSignedValid
+                                            : SnapshotStatus::kInsecure)
+                                     : sample_stable_status(rng, !multi);
+            generate_sd_timeline(rng, options, mix, domain, plan);
+          }
+          domain.ever_signed = std::any_of(
+              domain.snapshots.begin(), domain.snapshots.end(),
+              [](const SnapshotRow& s) { return is_signed_status(s.status); });
+        }
+      });
 
   // Figure 1's universe: back out the per-bin ever-signed universe so the
   // measured signed-presence curve matches the calibration target.
@@ -493,44 +531,44 @@ Corpus generate_corpus(const GeneratorOptions& options) {
   }
 
   // ---- TLD and root domains (Table 1's upper rows) ------------------------
-  const auto tld_total = static_cast<std::int64_t>(
-      static_cast<double>(cal.table1.tld_domains) * options.scale);
-  const auto tld_multi = static_cast<std::int64_t>(
-      static_cast<double>(cal.table1.tld_multi_snapshot) * options.scale);
-  const double tld_avg_snapshots =
-      static_cast<double>(cal.table1.tld_snapshots) /
-      static_cast<double>(cal.table1.tld_domains);
-  for (std::int64_t i = 0; i < tld_total; ++i) {
-    DomainTimeline domain;
-    domain.name = "tld-" + std::to_string(i) + ".";
-    domain.level = DomainLevel::kTld;
-    DomainPlan plan;
-    const bool multi = i < tld_multi;
-    plan.snapshot_count =
-        multi ? std::max(2, static_cast<int>(rng.lognormal(
-                                tld_avg_snapshots, 1.2)))
-              : 1;
-    plan.gap_median_hours = rng.lognormal(30.0, 1.0);
-    plan.changing = multi && rng.chance(cal.table1.tld_cd_share);
-    if (plan.changing) {
-      plan.first_status = sample_cd_first_status(rng, cal.fig2);
-      plan.final_status =
-          sample_cd_final_status(rng, plan.first_status, cal.fig2);
-      generate_cd_timeline(rng, options, mix, cal, domain, plan);
-    } else {
-      // TLDs are overwhelmingly signed and valid.
-      plan.stable_status = rng.chance(0.9)
-                               ? SnapshotStatus::kSignedValid
-                               : SnapshotStatus::kSignedValidMisconfig;
-      generate_sd_timeline(rng, options, mix, domain, plan);
-    }
-    domain.ever_signed = true;
-    corpus.domains.push_back(std::move(domain));
-  }
+  parallel_for(
+      pool, static_cast<std::size_t>(tld_total), kDefaultGrain,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          Rng rng = Rng::for_shard(options.seed, "dataset.tld", i);
+          DomainTimeline& domain =
+              corpus.domains[static_cast<std::size_t>(sld_total) + i];
+          domain.name = "tld-" + std::to_string(i) + ".";
+          domain.level = DomainLevel::kTld;
+          DomainPlan plan;
+          const bool multi =
+              static_cast<std::int64_t>(i) < tld_multi;
+          plan.snapshot_count =
+              multi ? std::max(2, static_cast<int>(rng.lognormal(
+                                      tld_avg_snapshots, 1.2)))
+                    : 1;
+          plan.gap_median_hours = rng.lognormal(30.0, 1.0);
+          plan.changing = multi && rng.chance(cal.table1.tld_cd_share);
+          if (plan.changing) {
+            plan.first_status = sample_cd_first_status(rng, cal.fig2);
+            plan.final_status =
+                sample_cd_final_status(rng, plan.first_status, cal.fig2);
+            generate_cd_timeline(rng, options, mix, cal, domain, plan);
+          } else {
+            // TLDs are overwhelmingly signed and valid.
+            plan.stable_status = rng.chance(0.9)
+                                     ? SnapshotStatus::kSignedValid
+                                     : SnapshotStatus::kSignedValidMisconfig;
+            generate_sd_timeline(rng, options, mix, domain, plan);
+          }
+          domain.ever_signed = true;
+        }
+      });
 
   // The root: one domain, many snapshots, always valid.
   {
-    DomainTimeline root;
+    DomainTimeline& root =
+        corpus.domains[static_cast<std::size_t>(sld_total + tld_total)];
     root.name = ".";
     root.level = DomainLevel::kRoot;
     root.ever_signed = true;
@@ -544,9 +582,12 @@ Corpus generate_corpus(const GeneratorOptions& options) {
           {t, SnapshotStatus::kSignedValid, {}, 1, 1, 1});
       t += step;
     }
-    corpus.domains.push_back(std::move(root));
   }
 
+  auto& registry = metrics::Registry::global();
+  registry.counter("generate.domains")
+      .add(static_cast<std::int64_t>(corpus.domains.size()));
+  registry.counter("generate.snapshots").add(corpus.total_snapshots());
   return corpus;
 }
 

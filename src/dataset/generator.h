@@ -1,6 +1,12 @@
 // Corpus generator: synthesizes a DNSViz-like longitudinal dataset whose
 // joint structure reproduces every marginal the paper reports (see
 // calibration.h). Fully deterministic given the seed.
+//
+// Thread-safety: generate_corpus shards per-domain work across the global
+// ThreadPool, seeding each shard with Rng::for_shard so the output is
+// bit-identical at any thread count. The call itself is safe from multiple
+// threads concurrently (each call builds independent state), though runs
+// then share the pool's lanes.
 #pragma once
 
 #include "dataset/calibration.h"

@@ -1,6 +1,12 @@
 // Measurement analyses: compute every table and figure of the paper's §3
 // from a corpus. Each function returns a typed result; report.h renders
 // them side-by-side with the paper's numbers.
+//
+// Thread-safety: every compute_* partitions the corpus per-domain across
+// the global ThreadPool and merges partial accumulators in deterministic
+// chunk order, so results are bit-identical at any thread count. The corpus
+// is only read (const), so concurrent compute_* calls on the same corpus
+// are safe.
 #pragma once
 
 #include <array>

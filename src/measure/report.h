@@ -1,5 +1,8 @@
 // Renderers: print each computed table/figure next to the paper's numbers
 // (the bench binaries' output).
+//
+// Thread-safety: pure functions from result structs to strings; safe to
+// call concurrently.
 #pragma once
 
 #include <string>

@@ -1,4 +1,8 @@
 // Byte-buffer aliases and small helpers shared across the project.
+//
+// Thread-safety: every helper is a pure function over its arguments with no
+// shared state; concurrent calls are safe as long as callers do not mutate
+// the same buffer from two threads.
 #pragma once
 
 #include <cstdint>

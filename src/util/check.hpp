@@ -7,6 +7,10 @@
 // cast would silently truncate, or a loop could run unbounded on crafted
 // input (KeyTrap-style complexity blowups).
 //
+// Thread-safety: the macros keep no shared state; a failing check writes to
+// stderr and aborts, which is safe to trigger from any thread (including
+// thread-pool workers, where the abort surfaces before the batch returns).
+//
 //   DFX_CHECK(cond)                 always-on assertion; aborts with
 //   DFX_CHECK(cond, "fmt", ...)     file:line, the expression and an
 //                                   optional printf-formatted message.

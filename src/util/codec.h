@@ -1,6 +1,9 @@
 // Text codecs used throughout DNS/DNSSEC presentation formats:
 // hex (base16), base32hex (RFC 4648 §7, used by NSEC3 owner names) and
 // base64 (used by DNSKEY/RRSIG presentation).
+//
+// Thread-safety: all codecs are pure functions with no shared state; safe
+// to call from any number of threads concurrently.
 #pragma once
 
 #include <optional>

@@ -1,0 +1,146 @@
+// Process-wide observability: named counters, gauges and histogram timers
+// with JSON export through src/json.
+//
+// Every pipeline stage (corpus generation, probe/grok analysis, the §3
+// measurement analyses, DFixer iterations, ZReplicator replication) records
+// into the global registry; the bench harness snapshots it into each
+// `BENCH_<name>.json` so per-stage timings ride along with every run.
+//
+// Thread-safety: all types here are safe for concurrent use. `Counter` and
+// `Gauge` are single atomics; `Histogram` serializes recording behind a
+// mutex; `Registry` guards its name maps with a mutex and hands out
+// references that stay valid for the registry's lifetime. Hot paths should
+// look a metric up once and cache the reference:
+//
+//   static auto& h = metrics::Registry::global().histogram("stage.grok");
+//   metrics::ScopedTimer timer(h);
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "json/json.h"
+
+namespace dfx::metrics {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Count/sum/min/max plus power-of-two buckets over value magnitudes.
+/// Bucket b counts values in [2^(b-kBucketBias), 2^(b+1-kBucketBias)), so
+/// the range spans ~1e-9 (sub-nanosecond timings) to ~1e10. Values are
+/// unit-agnostic; timers record seconds.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+  static constexpr int kBucketBias = 30;  // bucket 0 ≈ 2^-30 ≈ 1e-9
+
+  void record(double value);
+  void merge(const Histogram& other);
+
+  std::int64_t count() const;
+  double sum() const;
+  double min() const;  // 0 when empty
+  double max() const;  // 0 when empty
+  double mean() const;
+
+  json::Value to_json() const;
+  /// Parse a to_json() document into `out` (replacing its contents).
+  /// Returns false — leaving `out` unspecified — on malformed input.
+  /// Out-parameter because Histogram owns a mutex and cannot move.
+  [[nodiscard]] static bool from_json(const json::Value& value,
+                                      Histogram& out);
+
+ private:
+  mutable std::mutex mu_;
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::array<std::int64_t, kBuckets> buckets_{};
+};
+
+/// Name → metric registry. Metric objects are created on first lookup and
+/// live as long as the registry; lookups of the same name return the same
+/// object from any thread.
+class Registry {
+ public:
+  Registry() = default;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} with keys in
+  /// lexicographic order (std::map), so serialized snapshots are
+  /// byte-stable across runs.
+  json::Value snapshot() const;
+
+  /// Drop every metric. References handed out earlier dangle; only call
+  /// between pipeline runs (the bench harness does, once, at startup).
+  void reset();
+
+  /// The process-wide registry the pipeline stages record into.
+  static Registry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// RAII wall-clock timer recording elapsed *seconds* into a histogram on
+/// destruction. Timers nest freely — each records its own inclusive span.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram)
+      : histogram_(&histogram), start_(std::chrono::steady_clock::now()) {}
+  /// Convenience: resolves `name` in the global registry.
+  explicit ScopedTimer(std::string_view name)
+      : ScopedTimer(Registry::global().histogram(name)) {}
+  ~ScopedTimer() { histogram_->record(elapsed_seconds()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double elapsed_seconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dfx::metrics

@@ -1,0 +1,231 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace dfx {
+namespace {
+
+/// One in-flight run_batch call. Work items reference the batch rather
+/// than carrying their own closures, so a batch of 10k chunks costs one
+/// std::function, not 10k.
+struct Batch {
+  const std::function<void(std::size_t)>* task = nullptr;
+  std::atomic<std::size_t> remaining{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;  // guarded by done_mu; the ONLY exit signal for run_batch
+  std::mutex error_mu;
+  std::exception_ptr error;
+
+  void execute(std::size_t index) {
+    try {
+      (*task)(index);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mu);
+      if (!error) error = std::current_exception();
+    }
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // The submitter may only observe completion (and destroy this Batch)
+      // under done_mu, so setting `done` and notifying under the same lock
+      // guarantees the batch outlives this notify_all.
+      const std::lock_guard<std::mutex> lock(done_mu);
+      done = true;
+      done_cv.notify_all();
+    }
+  }
+};
+
+struct Item {
+  Batch* batch = nullptr;
+  std::size_t index = 0;
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Item> items;
+  };
+
+  explicit Impl(unsigned workers) : queues(workers) {
+    threads.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      threads.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  ~Impl() {
+    {
+      const std::lock_guard<std::mutex> lock(wake_mu);
+      stopping = true;
+    }
+    wake_cv.notify_all();
+    for (auto& t : threads) t.join();
+  }
+
+  /// Push onto worker `w`'s deque unless it is full; returns false on
+  /// overflow so the caller can run the item inline (bounded queues).
+  bool try_push(std::size_t w, const Item& item) {
+    {
+      const std::lock_guard<std::mutex> lock(queues[w].mu);
+      if (queues[w].items.size() >= kMaxQueuedPerWorker) return false;
+      queues[w].items.push_back(item);
+    }
+    queued.fetch_add(1, std::memory_order_release);
+    wake_cv.notify_one();
+    return true;
+  }
+
+  /// Owner pop: newest first (LIFO keeps caches warm).
+  bool try_pop_own(std::size_t w, Item& out) {
+    const std::lock_guard<std::mutex> lock(queues[w].mu);
+    if (queues[w].items.empty()) return false;
+    out = queues[w].items.back();
+    queues[w].items.pop_back();
+    return true;
+  }
+
+  /// Thief pop: oldest first (FIFO steals the largest remaining span of a
+  /// victim's work).
+  bool try_steal_from(std::size_t victim, Item& out) {
+    const std::lock_guard<std::mutex> lock(queues[victim].mu);
+    if (queues[victim].items.empty()) return false;
+    out = queues[victim].items.front();
+    queues[victim].items.pop_front();
+    return true;
+  }
+
+  /// Take any available item, preferring `self`'s own deque.
+  bool acquire(std::size_t self, Item& out) {
+    if (self < queues.size() && try_pop_own(self, out)) {
+      queued.fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+    for (std::size_t k = 1; k <= queues.size(); ++k) {
+      const std::size_t victim = (self + k) % queues.size();
+      if (try_steal_from(victim, out)) {
+        queued.fetch_sub(1, std::memory_order_acq_rel);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void worker_loop(std::size_t w) {
+    for (;;) {
+      Item item;
+      if (acquire(w, item)) {
+        item.batch->execute(item.index);
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(wake_mu);
+      // Timed wait: a missed notify degrades to a short nap, never a hang.
+      wake_cv.wait_for(lock, std::chrono::milliseconds(50), [this] {
+        return stopping || queued.load(std::memory_order_acquire) > 0;
+      });
+      if (stopping) return;
+    }
+  }
+
+  std::vector<WorkerQueue> queues;
+  std::vector<std::thread> threads;
+  std::mutex wake_mu;
+  std::condition_variable wake_cv;
+  std::atomic<std::size_t> queued{0};
+  bool stopping = false;  // guarded by wake_mu
+};
+
+ThreadPool::ThreadPool(unsigned threads) : threads_(threads == 0 ? 1 : threads) {
+  if (threads_ > 1) {
+    impl_ = std::make_unique<Impl>(threads_ - 1);
+  }
+}
+
+ThreadPool::~ThreadPool() = default;
+
+void ThreadPool::run_batch(std::size_t task_count,
+                           const std::function<void(std::size_t)>& task) {
+  if (task_count == 0) return;
+  if (!impl_ || task_count == 1) {
+    for (std::size_t k = 0; k < task_count; ++k) task(k);
+    return;
+  }
+  Batch batch;
+  batch.task = &task;
+  batch.remaining.store(task_count, std::memory_order_release);
+  // Round-robin the chunks across worker deques; an overflowing push runs
+  // the chunk right here (backpressure).
+  const std::size_t workers = impl_->queues.size();
+  for (std::size_t k = 0; k < task_count; ++k) {
+    const Item item{&batch, k};
+    if (!impl_->try_push(k % workers, item)) batch.execute(k);
+  }
+  // The submitting thread is a lane too: steal until the batch drains.
+  // Completion is observed exclusively via `done` under done_mu — never the
+  // bare atomic — so the final worker's notify_all always happens-before the
+  // Batch leaves this scope.
+  for (;;) {
+    Item item;
+    if (impl_->acquire(workers, item)) {
+      item.batch->execute(item.index);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(batch.done_mu);
+    if (batch.done) break;
+    batch.done_cv.wait_for(lock, std::chrono::milliseconds(10),
+                           [&batch] { return batch.done; });
+    if (batch.done) break;
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+namespace {
+
+std::mutex g_global_mu;
+std::unique_ptr<ThreadPool> g_global_pool;       // guarded by g_global_mu
+unsigned g_global_threads = 0;                   // 0 = auto
+
+unsigned resolve_thread_count(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("DFX_THREADS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && parsed > 0 && parsed <= 1024) {
+      return static_cast<unsigned>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  const std::lock_guard<std::mutex> lock(g_global_mu);
+  if (!g_global_pool) {
+    g_global_pool =
+        std::make_unique<ThreadPool>(resolve_thread_count(g_global_threads));
+  }
+  return *g_global_pool;
+}
+
+void ThreadPool::set_global_thread_count(unsigned threads) {
+  const std::lock_guard<std::mutex> lock(g_global_mu);
+  g_global_threads = threads;
+  g_global_pool.reset();
+}
+
+unsigned ThreadPool::resolved_global_thread_count() {
+  const std::lock_guard<std::mutex> lock(g_global_mu);
+  return resolve_thread_count(g_global_threads);
+}
+
+}  // namespace dfx

@@ -1,0 +1,153 @@
+// Bounded work-stealing thread pool with deterministic data-parallel loops.
+//
+// The pool powers the per-domain sharding of corpus generation
+// (`dataset/generator.cpp`) and the Table/Figure analyses
+// (`measure/measure.cpp`). Three guarantees shape the design:
+//
+//   1. **Determinism.** `parallel_for`/`parallel_map`/`parallel_reduce`
+//      split an index range into fixed-size chunks whose boundaries depend
+//      only on (n, grain) — never on the thread count — and reductions
+//      merge chunk results in ascending chunk order. Results are therefore
+//      bit-identical to a serial run, whatever the scheduling.
+//   2. **Bounded queues.** Each worker owns a deque capped at
+//      `kMaxQueuedPerWorker`; a submission that would overflow runs the
+//      task inline in the submitting thread (backpressure, never
+//      unbounded memory).
+//   3. **Work stealing.** Workers pop their own deque LIFO and steal FIFO
+//      from their neighbours; the submitting thread participates in the
+//      batch instead of blocking idle.
+//
+// Thread-safety: a ThreadPool may execute batches submitted concurrently
+// from multiple threads. Reconfiguring the *global* pool
+// (`set_global_thread_count`) while batches are in flight is undefined —
+// reconfigure only between parallel regions (the bench sweep does exactly
+// this). Loop bodies must not retain references to chunk-local state
+// beyond their call.
+//
+// Worker threads and RNG: never share an `Rng` across loop iterations that
+// may land on different threads — derive one per shard with
+// `Rng::for_shard` (see util/rng.h).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace dfx {
+
+class ThreadPool {
+ public:
+  /// A pool advertising `threads` lanes of parallelism spawns `threads - 1`
+  /// workers: the thread that submits a batch always executes chunks too.
+  /// `threads <= 1` means fully inline, serial execution.
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallel lanes (workers + the submitting thread).
+  unsigned thread_count() const { return threads_; }
+
+  /// Execute `task(k)` for every k in [0, task_count). Blocks until all
+  /// tasks finished; rethrows the first exception a task raised. Tasks may
+  /// run in any order on any lane — determinism comes from keying results
+  /// by k, which the loop templates below do.
+  void run_batch(std::size_t task_count,
+                 const std::function<void(std::size_t)>& task);
+
+  /// The process-wide pool, created on first use with `DFX_THREADS` (env)
+  /// or `std::thread::hardware_concurrency()` lanes.
+  static ThreadPool& global();
+
+  /// Rebuild the global pool with `threads` lanes (0 = auto). Call only
+  /// between parallel regions.
+  static void set_global_thread_count(unsigned threads);
+
+  /// Lane count the next `global()` call will use.
+  static unsigned resolved_global_thread_count();
+
+  /// Per-worker deque cap; submissions beyond it run inline.
+  static constexpr std::size_t kMaxQueuedPerWorker = 4096;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;  // null when the pool runs fully inline
+  unsigned threads_ = 1;
+};
+
+namespace parallel_detail {
+
+/// Chunk boundaries depend only on (n, grain): chunk c covers
+/// [c*grain, min(n, (c+1)*grain)).
+inline std::size_t chunk_count(std::size_t n, std::size_t grain) {
+  if (n == 0) return 0;
+  if (grain == 0) grain = 1;
+  return (n + grain - 1) / grain;
+}
+
+}  // namespace parallel_detail
+
+/// Default chunk size for domain-granular loops. Fixed (not derived from
+/// the thread count) so chunk boundaries — and with them reduction order —
+/// are identical at every thread count.
+inline constexpr std::size_t kDefaultGrain = 128;
+
+/// Run `body(begin, end)` over disjoint sub-ranges covering [0, n).
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t n, std::size_t grain,
+                  Body&& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = parallel_detail::chunk_count(n, grain);
+  pool.run_batch(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * grain;
+    const std::size_t end = begin + grain < n ? begin + grain : n;
+    body(begin, end);
+  });
+}
+
+/// Map [0, n) through `fn`, returning results in index order.
+template <typename Fn>
+auto parallel_map(ThreadPool& pool, std::size_t n, std::size_t grain,
+                  Fn&& fn) {
+  using R = std::decay_t<decltype(fn(std::size_t{0}))>;
+  static_assert(!std::is_same_v<R, bool>,
+                "bool would hit the std::vector<bool> proxy; wrap it");
+  std::vector<R> out(n);
+  parallel_for(pool, n, grain, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
+  });
+  return out;
+}
+
+/// Chunked reduction: each chunk folds its indices into a default-
+/// constructed `Acc` via `body(acc, i)` (ascending i), then chunk
+/// accumulators merge in ascending chunk order via `merge(into, from)`.
+/// With the same grain, the result is bit-identical at every thread count
+/// — including floating-point accumulations, whose operation order is
+/// fully pinned.
+template <typename Acc, typename Body, typename Merge>
+Acc parallel_reduce(ThreadPool& pool, std::size_t n, std::size_t grain,
+                    Body&& body, Merge&& merge) {
+  if (n == 0) return Acc{};
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = parallel_detail::chunk_count(n, grain);
+  std::vector<Acc> partial(chunks);
+  pool.run_batch(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * grain;
+    const std::size_t end = begin + grain < n ? begin + grain : n;
+    Acc& acc = partial[c];
+    for (std::size_t i = begin; i < end; ++i) body(acc, i);
+  });
+  Acc out = std::move(partial[0]);
+  for (std::size_t c = 1; c < chunks; ++c) {
+    merge(out, std::move(partial[c]));
+  }
+  return out;
+}
+
+}  // namespace dfx

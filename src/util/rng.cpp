@@ -108,4 +108,16 @@ Rng Rng::fork(std::string_view label) {
   return Rng(next_u64() ^ fnv1a(label));
 }
 
+Rng Rng::for_shard(std::uint64_t seed, std::string_view label,
+                   std::uint64_t index) {
+  // Each component passes through a full splitmix64 round before mixing,
+  // so (seed, label, index) triples that differ in one coordinate land in
+  // decorrelated states; the Rng constructor then runs its own splitmix
+  // chain on top.
+  std::uint64_t a = seed;
+  std::uint64_t b = fnv1a(label);
+  std::uint64_t c = index + 0x9E3779B97F4A7C15ULL;
+  return Rng(splitmix64(a) ^ splitmix64(b) ^ splitmix64(c));
+}
+
 }  // namespace dfx

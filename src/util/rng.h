@@ -2,6 +2,16 @@
 //
 // All randomness in the project flows through an explicit Rng so that every
 // experiment, test and benchmark is reproducible from a single seed.
+//
+// Thread-safety and the per-shard seeding scheme: an Rng is mutable state
+// and must NEVER be shared across threads or across loop iterations that a
+// thread pool may scatter over threads. Parallel stages instead derive one
+// independent engine per shard with `Rng::for_shard(seed, label, index)` —
+// a pure function of its arguments, so shard i draws the same stream
+// whether the loop runs on 1 thread or N (see util/parallel.h). The corpus
+// generator keys every domain's stream this way; that is what makes
+// parallel corpus generation reproducible and bit-identical to serial.
+// `fork()` remains for *serial* derivation chains (it advances the parent).
 #pragma once
 
 #include <cstdint>
@@ -44,7 +54,14 @@ class Rng {
   std::size_t weighted_pick(std::span<const double> weights);
 
   /// Derive an independent child generator (stable given the same label).
+  /// Advances this engine — serial use only.
   Rng fork(std::string_view label);
+
+  /// The canonical per-shard derivation for parallel loops: a pure
+  /// function of (seed, label, index) with no shared state. `label` names
+  /// the stage (e.g. "dataset.sld"), `index` the shard within it.
+  static Rng for_shard(std::uint64_t seed, std::string_view label,
+                       std::uint64_t index);
 
  private:
   std::uint64_t state_[4];

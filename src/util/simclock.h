@@ -3,6 +3,10 @@
 // The whole system runs against a logical clock so that signature validity
 // windows, TTL waits and longitudinal snapshot timelines are deterministic.
 // Times are UNIX seconds (UTC), the same unit RRSIG inception/expiration use.
+//
+// Thread-safety: a SimClock is unsynchronised mutable state — confine each
+// instance to one thread (there is no global clock). format_dnssec_time and
+// the constants are pure/immutable and safe from any thread.
 #pragma once
 
 #include <cstdint>

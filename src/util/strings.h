@@ -1,4 +1,6 @@
 // Small string utilities shared by parsers and report printers.
+//
+// Thread-safety: pure functions, no shared state; safe to call concurrently.
 #pragma once
 
 #include <string>

@@ -1,0 +1,201 @@
+// Thread-pool tests: full coverage of run_batch/parallel_for/parallel_map/
+// parallel_reduce, exception propagation, bounded-queue overflow, cross-
+// thread submission (the TSan target), and the end-to-end determinism
+// regression: the same seed must produce a bit-identical corpus and
+// measurement results at any thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "dataset/generator.h"
+#include "measure/measure.h"
+#include "util/parallel.h"
+
+namespace dfx {
+namespace {
+
+TEST(ThreadPool, RunBatchExecutesEveryTaskOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 1000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.run_batch(kTasks, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  pool.run_batch(seen.size(),
+                 [&](std::size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, OverflowBeyondQueueBoundStillCompletes) {
+  ThreadPool pool(2);
+  // More tasks than the per-worker queue bound: overflow runs inline on the
+  // submitting thread (backpressure) and nothing is lost.
+  const std::size_t tasks = ThreadPool::kMaxQueuedPerWorker * 2 + 17;
+  std::atomic<std::size_t> done{0};
+  pool.run_batch(tasks, [&](std::size_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), tasks);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToSubmitter) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run_batch(64,
+                     [](std::size_t i) {
+                       if (i == 13) throw std::runtime_error("boom");
+                     }),
+      std::runtime_error);
+  // The pool survives a throwing batch.
+  std::atomic<int> ran{0};
+  pool.run_batch(8, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, ConcurrentBatchesFromManyThreads) {
+  // Several external threads drive the same pool at once — the scenario
+  // the TSan preset exercises end to end.
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 4;
+  constexpr std::size_t kTasks = 500;
+  std::vector<std::atomic<std::size_t>> counts(kSubmitters);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      pool.run_batch(kTasks, [&, s](std::size_t) { counts[s].fetch_add(1); });
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (int s = 0; s < kSubmitters; ++s) {
+    EXPECT_EQ(counts[s].load(), kTasks);
+  }
+}
+
+TEST(Parallel, ForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(pool, kN, 64, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Parallel, ForZeroIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, 64,
+               [](std::size_t, std::size_t) { FAIL() << "body ran"; });
+}
+
+TEST(Parallel, MapPreservesOrder) {
+  ThreadPool pool(4);
+  const auto out =
+      parallel_map(pool, 1000, 32, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 1000u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(Parallel, ReduceIsBitIdenticalAcrossThreadCounts) {
+  // Floating-point accumulation order matters. Chunk boundaries depend only
+  // on (n, grain), so for a fixed grain the result is bit-identical at any
+  // thread count; and with grain >= n (one chunk) it equals the flat serial
+  // fold exactly.
+  constexpr std::size_t kN = 5000;
+  std::vector<double> values(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    values[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  double serial = 0.0;
+  for (const double v : values) serial += v;
+
+  const auto reduce = [&](ThreadPool& pool, std::size_t grain) {
+    return parallel_reduce<double>(
+        pool, kN, grain,
+        [&](double& acc, std::size_t i) { acc += values[i]; },
+        [](double& a, double&& b) { a += b; });
+  };
+
+  ThreadPool one(1);
+  ThreadPool four(4);
+  ThreadPool eight(8);
+  for (const std::size_t grain : {1ul, 7ul, 128ul, kN + 1}) {
+    const double baseline = reduce(one, grain);
+    EXPECT_EQ(reduce(four, grain), baseline) << "grain " << grain;
+    EXPECT_EQ(reduce(eight, grain), baseline) << "grain " << grain;
+  }
+  EXPECT_EQ(reduce(eight, kN + 1), serial);
+}
+
+TEST(Parallel, ReduceEmptyRangeReturnsDefault) {
+  ThreadPool pool(2);
+  const int out = parallel_reduce<int>(
+      pool, 0, 16, [](int& acc, std::size_t) { acc += 1; },
+      [](int& a, int&& b) { a += b; });
+  EXPECT_EQ(out, 0);
+}
+
+TEST(Rng, ForShardIsPureAndDecorrelated) {
+  Rng a = Rng::for_shard(42, "stage", 7);
+  Rng b = Rng::for_shard(42, "stage", 7);
+  EXPECT_EQ(a.next_u64(), b.next_u64());  // pure function of its inputs
+  Rng c = Rng::for_shard(42, "stage", 8);
+  Rng d = Rng::for_shard(42, "other", 7);
+  Rng e = Rng::for_shard(43, "stage", 7);
+  const auto base = Rng::for_shard(42, "stage", 7).next_u64();
+  EXPECT_NE(c.next_u64(), base);
+  EXPECT_NE(d.next_u64(), base);
+  EXPECT_NE(e.next_u64(), base);
+}
+
+// The tentpole guarantee: same seed => byte-identical corpus and identical
+// measurement results whether the pipeline runs on 1 thread or many.
+TEST(Determinism, CorpusAndMeasuresIdenticalAcrossThreadCounts) {
+  dataset::GeneratorOptions options;
+  options.scale = 0.02;
+  options.seed = 7777;
+
+  ThreadPool::set_global_thread_count(1);
+  const dataset::Corpus serial = dataset::generate_corpus(options);
+  const auto serial_digest = dataset::corpus_digest(serial);
+  const auto serial_t3 = measure::compute_table3(serial);
+  const auto serial_fig5 = measure::compute_fig5(serial);
+
+  for (const unsigned threads : {2u, 5u, 8u}) {
+    ThreadPool::set_global_thread_count(threads);
+    const dataset::Corpus corpus = dataset::generate_corpus(options);
+    EXPECT_EQ(dataset::corpus_digest(corpus), serial_digest)
+        << threads << " threads";
+    const auto t3 = measure::compute_table3(corpus);
+    EXPECT_EQ(t3.total_snapshots, serial_t3.total_snapshots);
+    EXPECT_EQ(t3.any_error_domains, serial_t3.any_error_domains);
+    ASSERT_EQ(t3.rows.size(), serial_t3.rows.size());
+    for (std::size_t i = 0; i < t3.rows.size(); ++i) {
+      EXPECT_EQ(t3.rows[i].snapshots, serial_t3.rows[i].snapshots);
+      EXPECT_EQ(t3.rows[i].domains, serial_t3.rows[i].domains);
+    }
+    const auto fig5 = measure::compute_fig5(corpus);
+    // Doubles compared with == on purpose: ordered merges make the entire
+    // computation bit-identical, not merely close.
+    EXPECT_EQ(fig5.under_one_day, serial_fig5.under_one_day);
+    EXPECT_EQ(fig5.cdf_share, serial_fig5.cdf_share);
+  }
+  ThreadPool::set_global_thread_count(0);  // restore auto for other tests
+}
+
+}  // namespace
+}  // namespace dfx
