@@ -5,7 +5,7 @@
 
 namespace dfx::authserver {
 
-AuthServer& ServerFarm::server(const std::string& name) {
+AuthServer& ServerFarm::server_locked(const std::string& name) {
   auto it = servers_.find(name);
   if (it == servers_.end()) {
     it = servers_.emplace(name, std::make_unique<AuthServer>(name)).first;
@@ -13,14 +13,21 @@ AuthServer& ServerFarm::server(const std::string& name) {
   return *it->second;
 }
 
+AuthServer& ServerFarm::server(const std::string& name) {
+  const MutexLock lock(*mu_);
+  return server_locked(name);
+}
+
 const AuthServer* ServerFarm::find_server(const std::string& name) const {
+  const MutexLock lock(*mu_);
   const auto it = servers_.find(name);
   return it == servers_.end() ? nullptr : it->second.get();
 }
 
 void ServerFarm::host_zone(const std::string& server_name, zone::Zone zone) {
   const dns::Name apex = zone.apex();
-  server(server_name).load_zone(std::move(zone));
+  const MutexLock lock(*mu_);
+  server_locked(server_name).load_zone(std::move(zone));
   auto& hosts = hosting_[apex];
   if (std::find(hosts.begin(), hosts.end(), server_name) == hosts.end()) {
     hosts.push_back(server_name);
@@ -28,18 +35,20 @@ void ServerFarm::host_zone(const std::string& server_name, zone::Zone zone) {
 }
 
 void ServerFarm::sync_zone(const zone::Zone& zone) {
+  const MutexLock lock(*mu_);
   const auto it = hosting_.find(zone.apex());
   if (it == hosting_.end()) {
     throw std::invalid_argument("sync_zone: zone not hosted anywhere: " +
                                 zone.apex().to_string());
   }
   for (const auto& name : it->second) {
-    server(name).load_zone(zone);
+    server_locked(name).load_zone(zone);
   }
 }
 
 void ServerFarm::push_to_one(const std::string& server_name,
                              const zone::Zone& zone) {
+  const MutexLock lock(*mu_);
   const auto it = hosting_.find(zone.apex());
   if (it == hosting_.end() ||
       std::find(it->second.begin(), it->second.end(), server_name) ==
@@ -47,31 +56,34 @@ void ServerFarm::push_to_one(const std::string& server_name,
     throw std::invalid_argument("push_to_one: " + server_name +
                                 " does not host " + zone.apex().to_string());
   }
-  server(server_name).load_zone(zone);
+  server_locked(server_name).load_zone(zone);
 }
 
 std::vector<AuthServer*> ServerFarm::servers_for(const dns::Name& apex) {
   std::vector<AuthServer*> out;
+  const MutexLock lock(*mu_);
   const auto it = hosting_.find(apex);
   if (it == hosting_.end()) return out;
-  for (const auto& name : it->second) out.push_back(&server(name));
+  for (const auto& name : it->second) out.push_back(&server_locked(name));
   return out;
 }
 
 std::vector<const AuthServer*> ServerFarm::servers_for(
     const dns::Name& apex) const {
   std::vector<const AuthServer*> out;
+  const MutexLock lock(*mu_);
   const auto it = hosting_.find(apex);
   if (it == hosting_.end()) return out;
   for (const auto& name : it->second) {
-    const auto* srv = find_server(name);
-    if (srv != nullptr) out.push_back(srv);
+    const auto srv = servers_.find(name);
+    if (srv != servers_.end()) out.push_back(srv->second.get());
   }
   return out;
 }
 
 std::vector<std::string> ServerFarm::server_names() const {
   std::vector<std::string> out;
+  const MutexLock lock(*mu_);
   out.reserve(servers_.size());
   for (const auto& [name, _] : servers_) out.push_back(name);
   return out;

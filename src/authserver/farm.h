@@ -1,5 +1,13 @@
 // ServerFarm: the set of authoritative servers in a sandbox, plus the
 // zone → servers hosting map the prober consults.
+//
+// Thread-safety: the farm's maps are guarded by an annotated Mutex, so
+// concurrent probes may look servers up while another thread registers or
+// syncs zones. AuthServer objects are heap-allocated and never removed, so
+// references handed out stay valid for the farm's lifetime; zone pushes
+// (host_zone/sync_zone/push_to_one) serialize through the farm lock.
+// Mutating one AuthServer from two threads at once is still the caller's
+// bug — shard domains, don't share servers.
 #pragma once
 
 #include <map>
@@ -9,6 +17,7 @@
 
 #include "authserver/authserver.h"
 #include "dnscore/name.h"
+#include "util/thread_annotations.h"
 #include "zone/zone.h"
 
 namespace dfx::authserver {
@@ -16,28 +25,41 @@ namespace dfx::authserver {
 class ServerFarm {
  public:
   /// Create (or fetch) a server by name.
-  AuthServer& server(const std::string& name);
-  const AuthServer* find_server(const std::string& name) const;
+  AuthServer& server(const std::string& name) DFX_EXCLUDES(*mu_);
+  const AuthServer* find_server(const std::string& name) const
+      DFX_EXCLUDES(*mu_);
 
   /// Register that `server_name` hosts `apex` (and load the data onto it).
-  void host_zone(const std::string& server_name, zone::Zone zone);
+  void host_zone(const std::string& server_name, zone::Zone zone)
+      DFX_EXCLUDES(*mu_);
 
   /// Push a fresh zone copy to *all* servers hosting it (zone transfer).
-  void sync_zone(const zone::Zone& zone);
+  void sync_zone(const zone::Zone& zone) DFX_EXCLUDES(*mu_);
 
   /// Push to a single server only — the other copies go stale, which is how
   /// inter-server inconsistencies are injected.
-  void push_to_one(const std::string& server_name, const zone::Zone& zone);
+  void push_to_one(const std::string& server_name, const zone::Zone& zone)
+      DFX_EXCLUDES(*mu_);
 
   /// Servers hosting a given zone apex.
-  std::vector<AuthServer*> servers_for(const dns::Name& apex);
-  std::vector<const AuthServer*> servers_for(const dns::Name& apex) const;
+  std::vector<AuthServer*> servers_for(const dns::Name& apex)
+      DFX_EXCLUDES(*mu_);
+  std::vector<const AuthServer*> servers_for(const dns::Name& apex) const
+      DFX_EXCLUDES(*mu_);
 
-  std::vector<std::string> server_names() const;
+  std::vector<std::string> server_names() const DFX_EXCLUDES(*mu_);
 
  private:
-  std::map<std::string, std::unique_ptr<AuthServer>> servers_;
-  std::map<dns::Name, std::vector<std::string>, dns::Name::Less> hosting_;
+  /// Lookup-or-create for callers already holding mu_.
+  AuthServer& server_locked(const std::string& name) DFX_REQUIRES(*mu_);
+
+  // Heap-held so the farm (and the Sandbox embedding it by value) stays
+  // movable; a moved-from farm is destroy-only. Never null otherwise.
+  mutable std::unique_ptr<Mutex> mu_ = std::make_unique<Mutex>();
+  std::map<std::string, std::unique_ptr<AuthServer>> servers_
+      DFX_GUARDED_BY(*mu_);
+  std::map<dns::Name, std::vector<std::string>, dns::Name::Less> hosting_
+      DFX_GUARDED_BY(*mu_);
 };
 
 }  // namespace dfx::authserver

@@ -1,0 +1,173 @@
+#include "util/lockgraph.h"
+
+#ifdef DFX_ENABLE_LOCKGRAPH
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dfx::lockgraph {
+namespace {
+
+std::string site_of(const std::source_location& loc) {
+  return std::string(loc.file_name()) + ":" + std::to_string(loc.line());
+}
+
+/// One recorded ordering: "from was held (acquired at holder_site) when
+/// to was acquired at acquire_site". First observation wins; later
+/// identical orderings are no-ops.
+struct Edge {
+  std::string holder_site;
+  std::string acquire_site;
+};
+
+struct Held {
+  MutexId id = kNoId;
+  std::string site;
+};
+
+// The graph is process-global; its own guard is intentionally a raw
+// std::mutex (an annotated Mutex would re-enter the checker). util/ is
+// the one directory where raw std::mutex is lint-legal.
+struct Graph {
+  std::mutex mu;
+  // adjacency: from -> (to -> first-recorded sites), guarded by mu
+  std::map<MutexId, std::map<MutexId, Edge>> edges;
+  std::size_t edge_total = 0;  // guarded by mu
+};
+
+Graph& graph() {
+  static Graph* g = new Graph;  // dfx-lint: allow(banned-raw-new): intentionally leaked so hooks stay valid during static destruction
+  return *g;
+}
+
+std::vector<Held>& held_set() {
+  thread_local std::vector<Held> held;
+  return held;
+}
+
+/// DFS from `from` looking for `target`; fills `path` with the edge chain
+/// (from -> ... -> target) when found. Caller holds graph().mu.
+bool find_path(const Graph& g, MutexId from, MutexId target,
+               std::set<MutexId>& visited,
+               std::vector<std::pair<MutexId, MutexId>>& path) {
+  if (!visited.insert(from).second) return false;
+  const auto it = g.edges.find(from);
+  if (it == g.edges.end()) return false;
+  for (const auto& [to, edge] : it->second) {
+    path.emplace_back(from, to);
+    if (to == target || find_path(g, to, target, visited, path)) return true;
+    path.pop_back();
+  }
+  return false;
+}
+
+[[noreturn]] void report_cycle(const Graph& g, const Held& holding,
+                               MutexId acquiring, const std::string& site,
+                               const std::vector<std::pair<MutexId, MutexId>>&
+                                   reverse_path) {
+  std::fprintf(stderr,
+               "dfx lockgraph: lock-order cycle detected (potential "
+               "deadlock)\n"
+               "  this thread acquires mutex#%llu at %s\n"
+               "  while holding   mutex#%llu acquired at %s\n"
+               "  conflicting recorded order:\n",
+               static_cast<unsigned long long>(acquiring), site.c_str(),
+               static_cast<unsigned long long>(holding.id),
+               holding.site.c_str());
+  for (const auto& [from, to] : reverse_path) {
+    const auto from_it = g.edges.find(from);
+    if (from_it == g.edges.end()) continue;
+    const auto to_it = from_it->second.find(to);
+    if (to_it == from_it->second.end()) continue;
+    std::fprintf(stderr,
+                 "    mutex#%llu held at %s -> mutex#%llu acquired at %s\n",
+                 static_cast<unsigned long long>(from),
+                 to_it->second.holder_site.c_str(),
+                 static_cast<unsigned long long>(to),
+                 to_it->second.acquire_site.c_str());
+  }
+  std::fprintf(stderr,
+               "  fix: acquire these mutexes in one consistent order on "
+               "every path (docs/STATIC_ANALYSIS.md, \"Lock-order "
+               "checking\")\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Shared tail of on_acquire/on_try_acquire. `blocking` acquisitions
+/// abort on a cycle; try_lock ones silently skip the cycle-closing edge
+/// (they cannot block, hence cannot deadlock).
+void record(MutexId id, const std::source_location& loc, bool blocking) {
+  if (id == kNoId) return;
+  auto& held = held_set();
+  const std::string site = site_of(loc);
+  {
+    Graph& g = graph();
+    const std::lock_guard<std::mutex> lock(g.mu);
+    for (const Held& h : held) {
+      if (h.id == id) {
+        if (!blocking) continue;
+        std::fprintf(stderr,
+                     "dfx lockgraph: self-deadlock: mutex#%llu reacquired "
+                     "at %s while already held (acquired at %s)\n",
+                     static_cast<unsigned long long>(id), site.c_str(),
+                     h.site.c_str());
+        std::fflush(stderr);
+        std::abort();
+      }
+      auto& out = g.edges[h.id];
+      if (out.contains(id)) continue;  // order already on record
+      std::set<MutexId> visited;
+      std::vector<std::pair<MutexId, MutexId>> reverse_path;
+      if (find_path(g, id, h.id, visited, reverse_path)) {
+        if (blocking) report_cycle(g, h, id, site, reverse_path);
+        continue;  // try_lock: keep the graph acyclic, drop the edge
+      }
+      out.emplace(id, Edge{h.site, site});
+      ++g.edge_total;
+    }
+  }
+  held.push_back(Held{id, site});
+}
+
+}  // namespace
+
+MutexId register_mutex() {
+  static std::atomic<MutexId> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void on_acquire(MutexId id, std::source_location loc) {
+  record(id, loc, /*blocking=*/true);
+}
+
+void on_try_acquire(MutexId id, std::source_location loc) {
+  record(id, loc, /*blocking=*/false);
+}
+
+void on_release(MutexId id) {
+  if (id == kNoId) return;
+  auto& held = held_set();
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->id == id) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+std::size_t edge_count() {
+  Graph& g = graph();
+  const std::lock_guard<std::mutex> lock(g.mu);
+  return g.edge_total;
+}
+
+}  // namespace dfx::lockgraph
+
+#endif  // DFX_ENABLE_LOCKGRAPH

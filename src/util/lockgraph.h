@@ -1,0 +1,69 @@
+// Runtime lock-order (deadlock-potential) checker behind the annotated
+// Mutex (util/thread_annotations.h).
+//
+// Every acquisition of an annotated Mutex while other Mutexes are held
+// adds "held -> acquired" edges to a process-wide lock-order graph. The
+// first acquisition that would close a cycle — i.e. two code paths lock
+// the same mutexes in opposite orders, a deadlock waiting for the right
+// interleaving — aborts immediately, printing the `file:line` acquisition
+// sites of both the new edge and the recorded path it conflicts with. A
+// single run of any code path is enough to pin its order; no actual
+// deadlock (and no second thread) is required to detect the bug.
+//
+// Enabled only when DFX_ENABLE_LOCKGRAPH is defined (the Debug and
+// sanitizer presets define it; see CMakeLists.txt). In release builds the
+// hooks below are empty inlines and lockgraph.cpp compiles to an empty
+// translation unit: no symbols, no per-lock cost.
+//
+// Limits (it is a debug tool): mutex ids are never recycled, so the graph
+// grows monotonically with distinct Mutex objects; short-lived Mutexes in
+// a hot loop will bloat it. Ordering established via try_lock is recorded
+// but never itself reported as a cycle head (try_lock cannot block).
+#pragma once
+
+#include <cstdint>
+#include <source_location>
+
+namespace dfx::lockgraph {
+
+using MutexId = std::uint64_t;
+
+/// Sentinel for "checker disabled": hooks short-circuit on it.
+inline constexpr MutexId kNoId = 0;
+
+#ifdef DFX_ENABLE_LOCKGRAPH
+
+/// True when the checker is compiled in (tests use this to skip/expect).
+inline constexpr bool kEnabled = true;
+
+/// Assign a process-unique id to a new Mutex.
+MutexId register_mutex();
+
+/// Record (and order-check) a blocking acquisition at `loc`. Aborts with
+/// both acquisition sites if the new "held -> id" edge closes a cycle.
+void on_acquire(MutexId id, std::source_location loc);
+
+/// Record a successful try_lock: updates the graph and the held-set but
+/// never aborts (a non-blocking acquisition cannot deadlock).
+void on_try_acquire(MutexId id, std::source_location loc);
+
+/// Remove `id` from the calling thread's held-set.
+void on_release(MutexId id);
+
+/// Number of distinct "held -> acquired" edges recorded so far (test
+/// observability; counts process-wide, monotonically).
+std::size_t edge_count();
+
+#else  // !DFX_ENABLE_LOCKGRAPH — zero-cost stubs, all inlined away.
+
+inline constexpr bool kEnabled = false;
+
+inline MutexId register_mutex() { return kNoId; }
+inline void on_acquire(MutexId, std::source_location) {}
+inline void on_try_acquire(MutexId, std::source_location) {}
+inline void on_release(MutexId) {}
+inline std::size_t edge_count() { return 0; }
+
+#endif  // DFX_ENABLE_LOCKGRAPH
+
+}  // namespace dfx::lockgraph

@@ -17,7 +17,7 @@ int bucket_of(double value) {
 }  // namespace
 
 void Histogram::record(double value) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (count_ == 0) {
     min_ = value;
     max_ = value;
@@ -39,7 +39,7 @@ void Histogram::merge(const Histogram& other) {
   double o_max = 0.0;
   std::array<std::int64_t, kBuckets> o_buckets{};
   {
-    const std::lock_guard<std::mutex> lock(other.mu_);
+    const MutexLock lock(other.mu_);
     o_count = other.count_;
     o_sum = other.sum_;
     o_min = other.min_;
@@ -47,7 +47,7 @@ void Histogram::merge(const Histogram& other) {
     o_buckets = other.buckets_;
   }
   if (o_count == 0) return;
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (count_ == 0) {
     min_ = o_min;
     max_ = o_max;
@@ -64,32 +64,32 @@ void Histogram::merge(const Histogram& other) {
 }
 
 std::int64_t Histogram::count() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return count_;
 }
 
 double Histogram::sum() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return sum_;
 }
 
 double Histogram::min() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return min_;
 }
 
 double Histogram::max() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return max_;
 }
 
 double Histogram::mean() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
 json::Value Histogram::to_json() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   json::Object obj;
   obj["count"] = json::Value(count_);
   obj["sum"] = json::Value(sum_);
@@ -113,7 +113,7 @@ json::Value Histogram::to_json() const {
 
 bool Histogram::from_json(const json::Value& value, Histogram& out) {
   if (!value.is_object()) return false;
-  const std::lock_guard<std::mutex> lock(out.mu_);
+  const MutexLock lock(out.mu_);
   out.buckets_.fill(0);
   out.count_ = value.get_int("count", -1);
   if (out.count_ < 0) return false;
@@ -135,7 +135,7 @@ bool Histogram::from_json(const json::Value& value, Histogram& out) {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -145,7 +145,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -154,7 +154,7 @@ Gauge& Registry::gauge(std::string_view name) {
 }
 
 Histogram& Registry::histogram(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -164,7 +164,7 @@ Histogram& Registry::histogram(std::string_view name) {
 }
 
 json::Value Registry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   json::Object counters;
   for (const auto& [name, counter] : counters_) {
     counters[name] = json::Value(counter->value());
@@ -185,7 +185,7 @@ json::Value Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -7,10 +7,12 @@
 // `BENCH_<name>.json` so per-stage timings ride along with every run.
 //
 // Thread-safety: all types here are safe for concurrent use. `Counter` and
-// `Gauge` are single atomics; `Histogram` serializes recording behind a
-// mutex; `Registry` guards its name maps with a mutex and hands out
-// references that stay valid for the registry's lifetime. Hot paths should
-// look a metric up once and cache the reference:
+// `Gauge` are single atomics; `Histogram` serializes recording behind an
+// annotated Mutex; `Registry` guards its name maps with a Mutex and hands
+// out references that stay valid for the registry's lifetime. Guarded
+// fields carry DFX_GUARDED_BY, so a clang `-Wthread-safety` build rejects
+// any lock-free access path at compile time. Hot paths should look a
+// metric up once and cache the reference:
 //
 //   static auto& h = metrics::Registry::global().histogram("stage.grok");
 //   metrics::ScopedTimer timer(h);
@@ -22,12 +24,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 
 #include "json/json.h"
+#include "util/thread_annotations.h"
 
 namespace dfx::metrics {
 
@@ -64,16 +66,18 @@ class Histogram {
   static constexpr int kBuckets = 64;
   static constexpr int kBucketBias = 30;  // bucket 0 ≈ 2^-30 ≈ 1e-9
 
-  void record(double value);
-  void merge(const Histogram& other);
+  void record(double value) DFX_EXCLUDES(mu_);
+  /// Locks other.mu_ then mu_ strictly in sequence (copy-out, then fold
+  /// in), so no two Histogram locks are ever held at once.
+  void merge(const Histogram& other) DFX_EXCLUDES(mu_);
 
-  std::int64_t count() const;
-  double sum() const;
-  double min() const;  // 0 when empty
-  double max() const;  // 0 when empty
-  double mean() const;
+  std::int64_t count() const DFX_EXCLUDES(mu_);
+  double sum() const DFX_EXCLUDES(mu_);
+  double min() const DFX_EXCLUDES(mu_);  // 0 when empty
+  double max() const DFX_EXCLUDES(mu_);  // 0 when empty
+  double mean() const DFX_EXCLUDES(mu_);
 
-  json::Value to_json() const;
+  json::Value to_json() const DFX_EXCLUDES(mu_);
   /// Parse a to_json() document into `out` (replacing its contents).
   /// Returns false — leaving `out` unspecified — on malformed input.
   /// Out-parameter because Histogram owns a mutex and cannot move.
@@ -81,12 +85,12 @@ class Histogram {
                                       Histogram& out);
 
  private:
-  mutable std::mutex mu_;
-  std::int64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
-  std::array<std::int64_t, kBuckets> buckets_{};
+  mutable Mutex mu_;
+  std::int64_t count_ DFX_GUARDED_BY(mu_) = 0;
+  double sum_ DFX_GUARDED_BY(mu_) = 0.0;
+  double min_ DFX_GUARDED_BY(mu_) = 0.0;
+  double max_ DFX_GUARDED_BY(mu_) = 0.0;
+  std::array<std::int64_t, kBuckets> buckets_ DFX_GUARDED_BY(mu_) = {};
 };
 
 /// Name → metric registry. Metric objects are created on first lookup and
@@ -96,27 +100,30 @@ class Registry {
  public:
   Registry() = default;
 
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-  Histogram& histogram(std::string_view name);
+  Counter& counter(std::string_view name) DFX_EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name) DFX_EXCLUDES(mu_);
+  Histogram& histogram(std::string_view name) DFX_EXCLUDES(mu_);
 
   /// {"counters":{...},"gauges":{...},"histograms":{...}} with keys in
   /// lexicographic order (std::map), so serialized snapshots are
   /// byte-stable across runs.
-  json::Value snapshot() const;
+  json::Value snapshot() const DFX_EXCLUDES(mu_);
 
   /// Drop every metric. References handed out earlier dangle; only call
   /// between pipeline runs (the bench harness does, once, at startup).
-  void reset();
+  void reset() DFX_EXCLUDES(mu_);
 
   /// The process-wide registry the pipeline stages record into.
   static Registry& global();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      DFX_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      DFX_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      DFX_GUARDED_BY(mu_);
 };
 
 /// RAII wall-clock timer recording elapsed *seconds* into a histogram on

@@ -6,8 +6,9 @@
 #include <cstdlib>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <thread>
+
+#include "util/thread_annotations.h"
 
 namespace dfx {
 namespace {
@@ -18,27 +19,40 @@ namespace {
 struct Batch {
   const std::function<void(std::size_t)>* task = nullptr;
   std::atomic<std::size_t> remaining{0};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  bool done = false;  // guarded by done_mu; the ONLY exit signal for run_batch
-  std::mutex error_mu;
-  std::exception_ptr error;
+  Mutex done_mu;
+  std::condition_variable_any done_cv;
+  bool done DFX_GUARDED_BY(done_mu) = false;  // the ONLY exit signal
+  Mutex error_mu;
+  std::exception_ptr error DFX_GUARDED_BY(error_mu);
+
+  /// The submitter may only observe completion (and destroy this Batch)
+  /// under done_mu, so the final worker must set `done` and notify under
+  /// that same lock — that guarantees the batch outlives the notify_all.
+  /// DFX_REQUIRES makes clang reject any signalling path that drops the
+  /// lock (the exact race TSan once caught at runtime).
+  void signal_done() DFX_REQUIRES(done_mu) {
+    done = true;
+    done_cv.notify_all();
+  }
 
   void execute(std::size_t index) {
     try {
       (*task)(index);
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(error_mu);
+      const MutexLock lock(error_mu);
       if (!error) error = std::current_exception();
     }
     if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      // The submitter may only observe completion (and destroy this Batch)
-      // under done_mu, so setting `done` and notifying under the same lock
-      // guarantees the batch outlives this notify_all.
-      const std::lock_guard<std::mutex> lock(done_mu);
-      done = true;
-      done_cv.notify_all();
+      const MutexLock lock(done_mu);
+      signal_done();
     }
+  }
+
+  /// Called by the submitter after the done-handshake, which happens-after
+  /// every execute(); the lock is only for the analysis' benefit.
+  std::exception_ptr take_error() DFX_EXCLUDES(error_mu) {
+    const MutexLock lock(error_mu);
+    return error;
   }
 };
 
@@ -51,8 +65,8 @@ struct Item {
 
 struct ThreadPool::Impl {
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<Item> items;
+    Mutex mu;
+    std::deque<Item> items DFX_GUARDED_BY(mu);
   };
 
   explicit Impl(unsigned workers) : queues(workers) {
@@ -64,7 +78,7 @@ struct ThreadPool::Impl {
 
   ~Impl() {
     {
-      const std::lock_guard<std::mutex> lock(wake_mu);
+      const MutexLock lock(wake_mu);
       stopping = true;
     }
     wake_cv.notify_all();
@@ -75,9 +89,10 @@ struct ThreadPool::Impl {
   /// overflow so the caller can run the item inline (bounded queues).
   bool try_push(std::size_t w, const Item& item) {
     {
-      const std::lock_guard<std::mutex> lock(queues[w].mu);
-      if (queues[w].items.size() >= kMaxQueuedPerWorker) return false;
-      queues[w].items.push_back(item);
+      WorkerQueue& q = queues[w];
+      const MutexLock lock(q.mu);
+      if (q.items.size() >= kMaxQueuedPerWorker) return false;
+      q.items.push_back(item);
     }
     queued.fetch_add(1, std::memory_order_release);
     wake_cv.notify_one();
@@ -86,20 +101,22 @@ struct ThreadPool::Impl {
 
   /// Owner pop: newest first (LIFO keeps caches warm).
   bool try_pop_own(std::size_t w, Item& out) {
-    const std::lock_guard<std::mutex> lock(queues[w].mu);
-    if (queues[w].items.empty()) return false;
-    out = queues[w].items.back();
-    queues[w].items.pop_back();
+    WorkerQueue& q = queues[w];
+    const MutexLock lock(q.mu);
+    if (q.items.empty()) return false;
+    out = q.items.back();
+    q.items.pop_back();
     return true;
   }
 
   /// Thief pop: oldest first (FIFO steals the largest remaining span of a
   /// victim's work).
   bool try_steal_from(std::size_t victim, Item& out) {
-    const std::lock_guard<std::mutex> lock(queues[victim].mu);
-    if (queues[victim].items.empty()) return false;
-    out = queues[victim].items.front();
-    queues[victim].items.pop_front();
+    WorkerQueue& q = queues[victim];
+    const MutexLock lock(q.mu);
+    if (q.items.empty()) return false;
+    out = q.items.front();
+    q.items.pop_front();
     return true;
   }
 
@@ -126,21 +143,26 @@ struct ThreadPool::Impl {
         item.batch->execute(item.index);
         continue;
       }
-      std::unique_lock<std::mutex> lock(wake_mu);
-      // Timed wait: a missed notify degrades to a short nap, never a hang.
-      wake_cv.wait_for(lock, std::chrono::milliseconds(50), [this] {
-        return stopping || queued.load(std::memory_order_acquire) > 0;
-      });
+      // Written as explicit checks (not a wait predicate): clang's
+      // analysis treats lambda bodies as separate functions, so a
+      // predicate reading `stopping` could not be verified against
+      // wake_mu. Timed wait: a missed notify degrades to a short nap,
+      // never a hang.
+      const MutexLock lock(wake_mu);
+      if (stopping) return;
+      if (queued.load(std::memory_order_acquire) == 0) {
+        wake_cv.wait_for(wake_mu, std::chrono::milliseconds(50));
+      }
       if (stopping) return;
     }
   }
 
   std::vector<WorkerQueue> queues;
   std::vector<std::thread> threads;
-  std::mutex wake_mu;
-  std::condition_variable wake_cv;
+  Mutex wake_mu;
+  std::condition_variable_any wake_cv;
   std::atomic<std::size_t> queued{0};
-  bool stopping = false;  // guarded by wake_mu
+  bool stopping DFX_GUARDED_BY(wake_mu) = false;
 };
 
 ThreadPool::ThreadPool(unsigned threads) : threads_(threads == 0 ? 1 : threads) {
@@ -171,27 +193,27 @@ void ThreadPool::run_batch(std::size_t task_count,
   // The submitting thread is a lane too: steal until the batch drains.
   // Completion is observed exclusively via `done` under done_mu — never the
   // bare atomic — so the final worker's notify_all always happens-before the
-  // Batch leaves this scope.
+  // Batch leaving this scope (see Batch::signal_done).
   for (;;) {
     Item item;
     if (impl_->acquire(workers, item)) {
       item.batch->execute(item.index);
       continue;
     }
-    std::unique_lock<std::mutex> lock(batch.done_mu);
+    const MutexLock lock(batch.done_mu);
     if (batch.done) break;
-    batch.done_cv.wait_for(lock, std::chrono::milliseconds(10),
-                           [&batch] { return batch.done; });
+    batch.done_cv.wait_for(batch.done_mu, std::chrono::milliseconds(10));
     if (batch.done) break;
   }
-  if (batch.error) std::rethrow_exception(batch.error);
+  const std::exception_ptr error = batch.take_error();
+  if (error) std::rethrow_exception(error);
 }
 
 namespace {
 
-std::mutex g_global_mu;
-std::unique_ptr<ThreadPool> g_global_pool;       // guarded by g_global_mu
-unsigned g_global_threads = 0;                   // 0 = auto
+Mutex g_global_mu;
+std::unique_ptr<ThreadPool> g_global_pool DFX_GUARDED_BY(g_global_mu);
+unsigned g_global_threads DFX_GUARDED_BY(g_global_mu) = 0;  // 0 = auto
 
 unsigned resolve_thread_count(unsigned requested) {
   if (requested > 0) return requested;
@@ -209,7 +231,7 @@ unsigned resolve_thread_count(unsigned requested) {
 }  // namespace
 
 ThreadPool& ThreadPool::global() {
-  const std::lock_guard<std::mutex> lock(g_global_mu);
+  const MutexLock lock(g_global_mu);
   if (!g_global_pool) {
     g_global_pool =
         std::make_unique<ThreadPool>(resolve_thread_count(g_global_threads));
@@ -218,13 +240,13 @@ ThreadPool& ThreadPool::global() {
 }
 
 void ThreadPool::set_global_thread_count(unsigned threads) {
-  const std::lock_guard<std::mutex> lock(g_global_mu);
+  const MutexLock lock(g_global_mu);
   g_global_threads = threads;
   g_global_pool.reset();
 }
 
 unsigned ThreadPool::resolved_global_thread_count() {
-  const std::lock_guard<std::mutex> lock(g_global_mu);
+  const MutexLock lock(g_global_mu);
   return resolve_thread_count(g_global_threads);
 }
 

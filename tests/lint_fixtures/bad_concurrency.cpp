@@ -1,0 +1,52 @@
+// Fixture: concurrency rule pack. Raw std primitives, unguarded mutable
+// fields in Mutex-owning classes, and cv waits on the wrong lockable must
+// fire; annotated wrappers and silenced lines must not. (Fixtures are
+// linted, never compiled — the stand-in types keep the shape realistic.)
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex&) {}
+};
+struct CondVar {
+  void wait(Mutex&) {}
+  void wait_for(Mutex&, int) {}
+};
+
+std::mutex raw_file_mutex;  // line 14: raw-std-mutex
+
+void raw_lock_guard(std::mutex& mu) {  // line 16: raw-std-mutex
+  const std::lock_guard<std::mutex> lock(mu);  // line 17: raw-std-mutex
+}
+
+// dfx-lint: allow(raw-std-mutex): exercising the suppression path
+std::mutex silenced_raw_mutex;
+
+class GuardedState {
+ public:
+  int value() const { return cached_; }
+
+ private:
+  mutable Mutex mu_;
+  mutable int cached_ = 0;  // line 29: unguarded-mutable-field
+  mutable int blessed_ DFX_GUARDED_BY(mu_) = 0;  // annotated: ok
+  // dfx-lint: allow(unguarded-mutable-field): metadata, never shared
+  mutable int silenced_ = 0;
+};
+
+void wait_on_wrong_mutex(Mutex& mu, Mutex& other, CondVar& cv) {
+  const MutexLock lock(mu);
+  cv.wait(other);  // line 37: lock-across-wait
+}
+
+void wait_on_held_mutex(Mutex& mu, CondVar& cv) {
+  const MutexLock lock(mu);
+  cv.wait(mu);  // held mutex passed to the cv: ok
+}
+
+void wait_for_on_held_mutex(Mutex& mu, CondVar& cv) {
+  const MutexLock lock(mu);
+  cv.wait_for(mu, 50);  // held mutex passed to the cv: ok
+}
+
+void wait_without_annotated_lock(CondVar& cv, Mutex& mu) {
+  cv.wait(mu);  // no MutexLock in scope: not this rule's business
+}

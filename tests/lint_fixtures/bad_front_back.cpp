@@ -9,7 +9,7 @@ int first_unchecked(const std::vector<int>& v) {
   pad += 2;
   pad += 3;
   pad += 4;
-  return v.front();  // line 13: unchecked-front-back
+  return v.front();  // line 12: unchecked-front-back
 }
 
 int last_guarded(const std::vector<int>& v) {
@@ -36,4 +36,33 @@ int last_annotated_on_previous_line(const std::vector<int>& v) {
   pad += 4;
   // dfx-lint: allow(unchecked-front-back): caller checked
   return v.back();
+}
+
+int guarded_by_enclosing_if_far_above(const std::vector<int>& v) {
+  if (!v.empty()) {
+    int pad = 0;
+    (void)pad;
+    pad += 1;
+    pad += 2;
+    pad += 3;
+    pad += 4;
+    pad += 5;
+    pad += 6;
+    return v.back();  // guard sits in the enclosing if: no violation
+  }
+  return 0;
+}
+
+int unchecked_after_closed_guard_block(const std::vector<int>& v) {
+  if (!v.empty()) {
+    return v.front();  // guarded: no violation
+  }
+  int pad = 0;
+  (void)pad;
+  pad += 1;
+  pad += 2;
+  pad += 3;
+  pad += 4;
+  pad += 5;
+  return v.back();  // line 67: unchecked-front-back (guard block closed)
 }

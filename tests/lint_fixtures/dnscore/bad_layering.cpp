@@ -1,0 +1,11 @@
+// Fixture: include-graph layering. This file's path puts it in dnscore
+// (layer 3): including measure (8) or dfixer (7) must fire; crypto (2)
+// and dnscore itself are fine. See the kLayers table in lint_core.cpp.
+#include "crypto/sha2.h"      // lower layer: ok
+#include "dnscore/name.h"     // same module: ok
+#include "measure/measure.h"  // line 6: layering-violation
+#include "dfixer/autofix.h"   // line 7: layering-violation
+// dfx-lint: allow(layering-violation): exercising the suppression path
+#include "zreplicator/spec.h"
+
+int layering_fixture_dummy() { return 0; }

@@ -93,6 +93,7 @@ struct DeepChain {
   }
 
   analyzer::Snapshot grok_leaf() {
+    // dfx-lint: allow(unchecked-front-back): fixture builds >=1 level
     const auto data = analyzer::probe(farm, chain(), levels.back().apex,
                                       kNow);
     return analyzer::grok(data);

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -61,9 +62,20 @@ TEST(Lint, FlagsBannedConstructsAtTheRightLines) {
 TEST(Lint, FlagsUncheckedFrontBackButNotGuardedOrSuppressed) {
   const auto vs = lint_fixture("bad_front_back.cpp");
   EXPECT_TRUE(has(vs, "unchecked-front-back", 12));
-  EXPECT_EQ(vs.size(), 1u)
-      << "guarded and dfx-lint-annotated (same or previous line) uses "
-         "must not be flagged";
+  // A guard that closed before the use does not vouch for it, even though
+  // it sits within the flat lookback window's reach of an enclosing brace.
+  EXPECT_TRUE(has(vs, "unchecked-front-back", 67));
+  EXPECT_EQ(vs.size(), 2u)
+      << "guarded (nearby, enclosing-if, or same-statement) and "
+         "dfx-lint-annotated uses must not be flagged";
+}
+
+TEST(Lint, EnclosingIfGuardBeyondLookbackWindowIsRecognized) {
+  // Line 51 sits 9 lines below its `if (!v.empty())` — past the flat
+  // 6-line window that used to be the only check. The brace-walk must
+  // see the enclosing guard and stay quiet.
+  const auto vs = lint_fixture("bad_front_back.cpp");
+  EXPECT_FALSE(has(vs, "unchecked-front-back", 51));
 }
 
 TEST(Lint, FlagsUncontractedMemcpyAndResizeInDnscorePaths) {
@@ -101,18 +113,62 @@ TEST(Lint, FlagsNonexhaustiveErrorCodeSwitchWithoutDefault) {
       << "message should name the missing enumerator";
 }
 
+TEST(Lint, FlagsConcurrencyRulePackButNotWrappersOrSuppressed) {
+  const auto vs = lint_fixture("bad_concurrency.cpp");
+  EXPECT_TRUE(has(vs, "raw-std-mutex", 14));  // file-scope std::mutex
+  EXPECT_TRUE(has(vs, "raw-std-mutex", 16));  // std::mutex parameter
+  EXPECT_TRUE(has(vs, "raw-std-mutex", 17));  // std::lock_guard
+  EXPECT_TRUE(has(vs, "unguarded-mutable-field", 29));
+  EXPECT_TRUE(has(vs, "lock-across-wait", 37));
+  EXPECT_EQ(vs.size(), 5u)
+      << "annotated fields, waits on the held mutex, and dfx-lint-"
+         "annotated lines must not be flagged";
+}
+
+TEST(Lint, RawMutexRuleIsExemptUnderUtil) {
+  // The wrappers and the lockgraph checker themselves live in util/ and
+  // legitimately hold raw primitives.
+  const std::string content = read_file(fixture_path("bad_concurrency.cpp"));
+  const auto vs = dfx::lint::lint_file("src/util/fixture.cpp", content,
+                                       fixture_options());
+  for (const auto& v : vs) EXPECT_NE(v.rule, "raw-std-mutex");
+  // The other concurrency rules still apply under util/.
+  EXPECT_TRUE(has(vs, "unguarded-mutable-field", 29));
+  EXPECT_TRUE(has(vs, "lock-across-wait", 37));
+}
+
+TEST(Lint, FlagsLayeringViolationsFromTheIncludeGraph) {
+  const auto vs = lint_fixture("dnscore/bad_layering.cpp");
+  EXPECT_TRUE(has(vs, "layering-violation", 6));  // dnscore -> measure
+  EXPECT_TRUE(has(vs, "layering-violation", 7));  // dnscore -> dfixer
+  EXPECT_EQ(vs.size(), 2u)
+      << "same-module, lower-layer, and dfx-lint-annotated includes "
+         "must not be flagged";
+}
+
+TEST(Lint, LayeringRuleExemptsFilesOutsideSrcModules) {
+  // tools/tests/bench/examples sit above every layer; the same includes
+  // are legal there.
+  const std::string content =
+      read_file(fixture_path("dnscore/bad_layering.cpp"));
+  const auto vs = dfx::lint::lint_file("tools/some_tool/main.cpp", content,
+                                       fixture_options());
+  EXPECT_TRUE(vs.empty());
+}
+
 TEST(Lint, CleanFileProducesNoViolations) {
   EXPECT_TRUE(lint_fixture("good_clean.cpp").empty());
 }
 
-TEST(Lint, CoversAtLeastFiveDistinctViolationClasses) {
+TEST(Lint, CoversAtLeastNineDistinctViolationClasses) {
   std::set<std::string> rules;
   for (const char* name :
        {"bad_banned.cpp", "bad_front_back.cpp", "dnscore/bad_length.cpp",
-        "bad_nodiscard.h", "bad_switch.cpp"}) {
+        "bad_nodiscard.h", "bad_switch.cpp", "bad_concurrency.cpp",
+        "dnscore/bad_layering.cpp"}) {
     for (const auto& v : lint_fixture(name)) rules.insert(v.rule);
   }
-  EXPECT_GE(rules.size(), 5u) << "fixtures must exercise >=5 rule classes";
+  EXPECT_GE(rules.size(), 9u) << "fixtures must exercise >=9 rule classes";
 }
 
 TEST(Lint, StripperErasesCommentsAndStringsButKeepsLineStructure) {
@@ -151,6 +207,37 @@ TEST(Lint, RepoSourcesAreClean) {
       std::string(DFX_LINT_BIN) + " --root " + DFX_REPO_ROOT + " > /dev/null";
   const int status = std::system(cmd.c_str());
   EXPECT_EQ(status, 0) << "dfixer_lint found violations; run\n  " << cmd;
+}
+
+// --root with no explicit files must sweep bench/, examples/, tests/ and
+// tools/ alongside src/ — and keep skipping the on-purpose-bad fixtures.
+TEST(Lint, ExpandedRootCoversBenchExamplesTestsAndTools) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(testing::TempDir()) / "dfx_lint_root";
+  for (const char* dir : {"src", "tools", "bench", "examples", "tests"}) {
+    fs::create_directories(root / dir);
+    std::ofstream(root / dir / "bad.cpp")
+        << "int f(const char* s) { return atoi(s); }\n";
+  }
+  fs::create_directories(root / "tests" / "lint_fixtures");
+  std::ofstream(root / "tests" / "lint_fixtures" / "worse.cpp")
+      << "int g(const char* s) { return atoi(s); }\n";
+
+  const fs::path out_path = root / "out.txt";
+  const std::string cmd = std::string(DFX_LINT_BIN) + " --root " +
+                          root.string() + " > " + out_path.string();
+  const int status = std::system(cmd.c_str());
+  ASSERT_NE(status, -1);
+  EXPECT_NE(status, 0) << "planted violations must fail the run";
+
+  const std::string out = read_file(out_path.string());
+  for (const char* dir : {"src", "tools", "bench", "examples", "tests"}) {
+    EXPECT_NE(out.find((fs::path(dir) / "bad.cpp").string()),
+              std::string::npos)
+        << dir << "/ must be part of the default root sweep";
+  }
+  EXPECT_EQ(out.find("worse.cpp"), std::string::npos)
+      << "tests/lint_fixtures must stay excluded from the sweep";
 }
 
 TEST(Lint, BinaryExitsNonzeroOnFixtureViolations) {

@@ -1,0 +1,148 @@
+// Tests for the runtime lock-order checker (util/lockgraph.h) behind the
+// annotated dfx::Mutex. Death tests pin the abort-on-cycle contract in
+// Debug/sanitizer builds; the whole suite skips (and the stub checks run)
+// when DFX_ENABLE_LOCKGRAPH is compiled out, so the same file is valid
+// under every preset. `ctest -R LockGraph` selects it.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "util/lockgraph.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+using dfx::Mutex;
+using dfx::MutexLock;
+
+#define SKIP_UNLESS_LOCKGRAPH()                                      \
+  if (!dfx::lockgraph::kEnabled) {                                   \
+    GTEST_SKIP() << "lockgraph compiled out (release build)";        \
+  }                                                                  \
+  static_assert(true, "")  // swallow the trailing semicolon
+
+// Deliberately re-acquires a held mutex. Clang's compile-time analysis
+// would (correctly) reject this, so it gets the escape hatch — the point
+// here is the *runtime* checker's diagnostic for code clang never saw.
+void self_deadlock() DFX_NO_THREAD_SAFETY_ANALYSIS {
+  Mutex m;
+  const MutexLock outer(m);
+  const MutexLock inner(m);
+}
+
+TEST(LockGraphDeathTest, AbortsOnTwoMutexAbba) {
+  SKIP_UNLESS_LOCKGRAPH();
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // One thread is enough: the first block records a->b, the second block's
+  // b->a closes the cycle on acquisition — no interleaving required.
+  EXPECT_DEATH(
+      {
+        Mutex a;
+        Mutex b;
+        {
+          const MutexLock lock_a(a);
+          const MutexLock lock_b(b);
+        }
+        {
+          const MutexLock lock_b(b);
+          const MutexLock lock_a(a);
+        }
+      },
+      "lock-order cycle");
+}
+
+TEST(LockGraphDeathTest, AbortsOnThreeMutexCycle) {
+  SKIP_UNLESS_LOCKGRAPH();
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // a->b, b->c, then c->a: the cycle spans three edges, so the checker
+  // must walk the graph transitively, not just compare pairs.
+  EXPECT_DEATH(
+      {
+        Mutex a;
+        Mutex b;
+        Mutex c;
+        {
+          const MutexLock lock_a(a);
+          const MutexLock lock_b(b);
+        }
+        {
+          const MutexLock lock_b(b);
+          const MutexLock lock_c(c);
+        }
+        {
+          const MutexLock lock_c(c);
+          const MutexLock lock_a(a);
+        }
+      },
+      "lock-order cycle");
+}
+
+TEST(LockGraphDeathTest, AbortsOnSelfDeadlock) {
+  SKIP_UNLESS_LOCKGRAPH();
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(self_deadlock(), "self-deadlock");
+}
+
+TEST(LockGraph, ConsistentOrderNeverAborts) {
+  SKIP_UNLESS_LOCKGRAPH();
+  Mutex a;
+  Mutex b;
+  Mutex c;
+  for (int i = 0; i < 8; ++i) {
+    const MutexLock lock_a(a);
+    const MutexLock lock_b(b);
+    const MutexLock lock_c(c);
+  }
+  SUCCEED();
+}
+
+TEST(LockGraph, RecordsEachOrderingEdgeOnce) {
+  SKIP_UNLESS_LOCKGRAPH();
+  const std::size_t before = dfx::lockgraph::edge_count();
+  Mutex a;
+  Mutex b;
+  {
+    const MutexLock lock_a(a);
+    const MutexLock lock_b(b);
+  }
+  EXPECT_EQ(dfx::lockgraph::edge_count(), before + 1);
+  {
+    const MutexLock lock_a(a);
+    const MutexLock lock_b(b);
+  }
+  EXPECT_EQ(dfx::lockgraph::edge_count(), before + 1)
+      << "re-observing a recorded order must not grow the graph";
+}
+
+TEST(LockGraph, TryLockRecordsOrderButNeverAborts) {
+  SKIP_UNLESS_LOCKGRAPH();
+  const std::size_t before = dfx::lockgraph::edge_count();
+  Mutex a;
+  Mutex b;
+  {
+    const MutexLock lock_a(a);
+    ASSERT_TRUE(b.try_lock());
+    b.unlock();
+  }
+  EXPECT_EQ(dfx::lockgraph::edge_count(), before + 1);
+  {
+    // Reverse order via try_lock: would close the a<->b cycle, but a
+    // non-blocking acquisition cannot deadlock — the checker drops the
+    // edge instead of aborting (and keeps the graph acyclic).
+    const MutexLock lock_b(b);
+    ASSERT_TRUE(a.try_lock());
+    a.unlock();
+  }
+  EXPECT_EQ(dfx::lockgraph::edge_count(), before + 1);
+}
+
+TEST(LockGraph, DisabledBuildHasInertHooks) {
+  if (dfx::lockgraph::kEnabled) {
+    GTEST_SKIP() << "checker enabled in this build; stub test is moot";
+  }
+  // Release builds: registration yields the sentinel and nothing counts.
+  EXPECT_EQ(dfx::lockgraph::register_mutex(), dfx::lockgraph::kNoId);
+  EXPECT_EQ(dfx::lockgraph::edge_count(), 0u);
+}
+
+}  // namespace

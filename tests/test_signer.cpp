@@ -111,6 +111,7 @@ TEST(Signer, NsecChainIsClosedAndOrdered) {
   std::vector<std::pair<Name, Name>> links;
   for (const auto* rrset : signed_zone.all_rrsets()) {
     if (rrset->type() != RRType::kNSEC) continue;
+    // dfx-lint: allow(unchecked-front-back): an RRset holds >=1 rdata by construction
     const auto& nsec = std::get<dns::NsecRdata>(rrset->rdatas().front());
     links.emplace_back(rrset->owner(), nsec.next);
   }
@@ -133,6 +134,7 @@ TEST(Signer, NsecBitmapListsOwnerTypes) {
   const Zone signed_zone = sign_zone(f.unsigned_zone, f.keys, {}, kNow);
   const auto* apex_nsec = signed_zone.find(f.apex, RRType::kNSEC);
   ASSERT_NE(apex_nsec, nullptr);
+  // dfx-lint: allow(unchecked-front-back): an RRset holds >=1 rdata by construction
   const auto& nsec = std::get<dns::NsecRdata>(apex_nsec->rdatas().front());
   for (RRType t : {RRType::kSOA, RRType::kNS, RRType::kDNSKEY, RRType::kNSEC,
                    RRType::kRRSIG}) {
@@ -151,6 +153,7 @@ TEST(Signer, Nsec3ChainClosedOverHashSpace) {
   std::vector<std::pair<Bytes, Bytes>> links;  // owner hash -> next hash
   for (const auto* rrset : signed_zone.all_rrsets()) {
     if (rrset->type() != RRType::kNSEC3) continue;
+    // dfx-lint: allow(unchecked-front-back): an RRset holds >=1 rdata by construction
     const auto& n3 = std::get<dns::Nsec3Rdata>(rrset->rdatas().front());
     auto owner_hash = base32hex_decode(rrset->owner().leftmost_label());
     ASSERT_TRUE(owner_hash.has_value());
@@ -205,6 +208,7 @@ TEST(Signer, OptOutSkipsInsecureDelegations) {
     const auto owner_hash =
         base32hex_decode(rrset->owner().leftmost_label());
     EXPECT_NE(*owner_hash, h) << "opt-out cut must not be in the chain";
+    // dfx-lint: allow(unchecked-front-back): an RRset holds >=1 rdata by construction
     const auto& n3 = std::get<dns::Nsec3Rdata>(rrset->rdatas().front());
     EXPECT_TRUE(n3.opt_out());
   }

@@ -7,6 +7,31 @@
 namespace dfx::lint {
 namespace {
 
+// ---------------------------------------------------------------------------
+// Layer table (low → high) for the `layering-violation` rule. A file under
+// src/<module>/ may include its own module and any *strictly lower* layer;
+// including a higher layer — or a different module on the same layer — is a
+// violation. Keep this table in dependency order when adding modules:
+//
+//   json(0) ← util(1) ← crypto(2) ← dnscore(3) ← zone(4) ← authserver(5)
+//   ← analyzer(6) ← {dataset, dfixer}(7) ← {zreplicator, measure}(8)
+//
+// In particular: dnscore/crypto can never include measure/dfixer/
+// zreplicator, and util includes nothing above it (json only).
+// Files outside src/ (tools, tests, bench, examples) sit above every layer
+// and are exempt.
+struct Layer {
+  const char* module;
+  int rank;
+};
+constexpr Layer kLayers[] = {
+    {"json", 0},       {"util", 1},    {"crypto", 2},
+    {"dnscore", 3},    {"zone", 4},    {"authserver", 5},
+    {"analyzer", 6},   {"dataset", 7}, {"dfixer", 7},
+    {"zreplicator", 8}, {"measure", 8},
+};
+// ---------------------------------------------------------------------------
+
 bool is_ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
@@ -81,6 +106,10 @@ class Linter {
     check_length_contracts();
     if (is_header(path_)) check_nodiscard();
     check_errorcode_switches();
+    check_raw_mutex();
+    check_unguarded_mutable();
+    check_lock_across_wait();
+    check_layering();
     std::sort(violations_.begin(), violations_.end(),
               [](const Violation& a, const Violation& b) {
                 return a.line < b.line;
@@ -151,19 +180,249 @@ class Linter {
     return false;
   }
 
+  /// Offset of the first character of line `i` within stripped_.
+  std::size_t line_start(std::size_t i) const {
+    std::size_t off = 0;
+    for (std::size_t k = 0; k < i && k < lines_.size(); ++k) {
+      off += lines_[k].size() + 1;  // +1 for the stripped '\n'
+    }
+    return off;
+  }
+
+  static bool span_has_guard(std::string_view span,
+                             const std::vector<std::string_view>& tokens) {
+    for (const auto token : tokens) {
+      if (span.find(token) != std::string_view::npos) return true;
+    }
+    return false;
+  }
+
+  /// Emptiness check within the same statement, or in the controlling text
+  /// of any *enclosing* block (`if (!v.empty()) { ... v.back() ... }`),
+  /// however many lines up the opening brace sits. Walking outward skips
+  /// already-closed sibling blocks, so a guard inside an earlier, closed
+  /// `if` does not vouch for code after it.
+  bool guarded_by_statement_or_enclosing_if(
+      std::size_t abs, const std::vector<std::string_view>& tokens) const {
+    const std::string_view text(stripped_);
+    const auto boundary_before = [&](std::size_t p) {
+      const std::size_t b = text.find_last_of(";{}", p == 0 ? 0 : p - 1);
+      return b == std::string_view::npos ? 0 : b + 1;
+    };
+    // Same statement: from the last ;/{/} up to the use site.
+    const std::size_t stmt_begin = boundary_before(abs);
+    if (span_has_guard(text.substr(stmt_begin, abs - stmt_begin), tokens)) {
+      return true;
+    }
+    // Enclosing blocks: scan back, brace-balanced; every '{' at depth 0
+    // opens a block we are inside of — test its controlling text.
+    int depth = 0;
+    for (std::size_t p = stmt_begin; p-- > 0;) {
+      const char c = text[p];
+      if (c == '}') {
+        ++depth;
+      } else if (c == '{') {
+        if (depth > 0) {
+          --depth;
+          continue;
+        }
+        const std::size_t head_begin = boundary_before(p);
+        if (span_has_guard(text.substr(head_begin, p - head_begin), tokens)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
   void check_front_back() {
     static const std::vector<std::string_view> kGuards = {
         "empty(", "size(", "DFX_CHECK", "DFX_DCHECK", "count(", "length("};
     for (std::size_t i = 0; i < lines_.size(); ++i) {
       const auto& line = lines_[i];
-      if (line.find(".front()") == std::string::npos &&
-          line.find(".back()") == std::string::npos) {
+      const std::size_t col = std::min(line.find(".front()"),
+                                       line.find(".back()"));
+      if (col == std::string::npos) continue;
+      if (guarded_nearby(i, 6, kGuards)) continue;
+      if (guarded_by_statement_or_enclosing_if(line_start(i) + col, kGuards)) {
         continue;
       }
-      if (guarded_nearby(i, 6, kGuards)) continue;
       report(i, "unchecked-front-back",
              ".front()/.back() without a nearby emptiness check "
              "(guard it, or annotate with dfx-lint: allow)");
+    }
+  }
+
+  /// Concurrency rule: shared state must use the annotated wrappers from
+  /// util/thread_annotations.h so clang's capability analysis and the
+  /// lockgraph checker see every lock. Raw primitives are legal only under
+  /// util/ (where the wrappers and the checker themselves live).
+  void check_raw_mutex() {
+    if (path_contains(path_, "util/")) return;
+    static const std::vector<std::string_view> kRaw = {
+        "std::mutex", "std::recursive_mutex", "std::timed_mutex",
+        "std::lock_guard", "std::unique_lock", "std::scoped_lock"};
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      for (const auto token : kRaw) {
+        if (lines_[i].find(token) != std::string::npos) {
+          report(i, "raw-std-mutex",
+                 std::string(token) +
+                     " outside util/: use the annotated dfx::Mutex/"
+                     "MutexLock (util/thread_annotations.h)");
+          break;
+        }
+      }
+    }
+  }
+
+  /// A class that owns a Mutex locks in const methods, so its mutable
+  /// fields are (almost always) shared state — they need DFX_GUARDED_BY.
+  /// `mutable Mutex`/`mutable std::atomic` are the guard/lock themselves.
+  void check_unguarded_mutable() {
+    bool owns_mutex = false;
+    for (const auto& line : lines_) {
+      if (contains_word(line, "Mutex") &&
+          line.find("MutexLock") == std::string::npos &&
+          line.find(';') != std::string::npos) {
+        owns_mutex = true;
+        break;
+      }
+    }
+    if (!owns_mutex) return;
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      const auto& line = lines_[i];
+      if (!contains_word(line, "mutable")) continue;
+      if (line.find("Mutex") != std::string::npos ||
+          line.find("std::atomic") != std::string::npos ||
+          line.find("DFX_GUARDED_BY") != std::string::npos) {
+        continue;
+      }
+      report(i, "unguarded-mutable-field",
+             "mutable field in a Mutex-owning class without "
+             "DFX_GUARDED_BY(<its mutex>)");
+    }
+  }
+
+  /// Waiting on a condition variable must pass the very mutex the
+  /// enclosing MutexLock holds — waiting with a different lockable keeps
+  /// the real lock held across the block, a latent deadlock.
+  void check_lock_across_wait() {
+    static constexpr std::size_t kLookback = 30;
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      const auto& line = lines_[i];
+      std::size_t wait_pos = std::string::npos;
+      for (const std::string_view token : {".wait_for(", ".wait_until(",
+                                           ".wait("}) {
+        const std::size_t p = line.find(token);
+        if (p != std::string::npos) {
+          wait_pos = p + token.size();
+          break;
+        }
+      }
+      if (wait_pos == std::string::npos) continue;
+      const std::string arg = first_argument(line, wait_pos);
+      if (arg.empty()) continue;  // e.g. future.wait() — no lock involved
+      // Nearest preceding MutexLock declaration wins.
+      std::string lock_name;
+      std::string lock_mutex;
+      const std::size_t lo = i >= kLookback ? i - kLookback : 0;
+      for (std::size_t k = lo; k <= i; ++k) {
+        parse_mutexlock_decl(lines_[k], lock_name, lock_mutex);
+      }
+      if (lock_name.empty()) continue;  // no annotated lock in scope
+      if (arg == lock_name || arg == lock_mutex) continue;
+      report(i, "lock-across-wait",
+             "wait on '" + arg + "' while MutexLock '" + lock_name +
+                 "' holds '" + lock_mutex +
+                 "' — pass the held mutex to the wait");
+    }
+  }
+
+  /// First argument of a call, starting right after its '(': the text up
+  /// to the first top-level ',' or ')'.
+  static std::string first_argument(std::string_view line, std::size_t pos) {
+    int depth = 0;
+    std::size_t end = pos;
+    for (; end < line.size(); ++end) {
+      const char c = line[end];
+      if (c == '(') ++depth;
+      if ((c == ',' || c == ')') && depth == 0) break;
+      if (c == ')') --depth;
+    }
+    std::string arg(line.substr(pos, end - pos));
+    while (!arg.empty() && std::isspace(static_cast<unsigned char>(
+                               arg.front())) != 0) {
+      arg.erase(arg.begin());
+    }
+    while (!arg.empty() && std::isspace(static_cast<unsigned char>(
+                               arg.back())) != 0) {
+      arg.pop_back();
+    }
+    return arg;
+  }
+
+  /// If `line` declares `[const] MutexLock name(mutex_expr)`, fill in the
+  /// two out-params (leaving them untouched otherwise).
+  static void parse_mutexlock_decl(std::string_view line, std::string& name,
+                                   std::string& mutex_expr) {
+    const std::size_t kw = line.find("MutexLock");
+    if (kw == std::string_view::npos) return;
+    std::size_t p = kw + 9;  // past "MutexLock"
+    while (p < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[p])) != 0) {
+      ++p;
+    }
+    const std::size_t name_start = p;
+    while (p < line.size() && is_ident_char(line[p])) ++p;
+    if (p == name_start) return;  // e.g. "MutexLock&" parameter — not a decl
+    const std::string candidate(line.substr(name_start, p - name_start));
+    while (p < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[p])) != 0) {
+      ++p;
+    }
+    if (p >= line.size() || (line[p] != '(' && line[p] != '{')) return;
+    name = candidate;
+    mutex_expr = first_argument(line, p + 1);
+  }
+
+  /// Include-graph layering: see the kLayers table at the top of this file.
+  void check_layering() {
+    const Layer* self = nullptr;
+    for (const auto& layer : kLayers) {
+      if (path_contains(path_, std::string(layer.module) + "/")) {
+        self = &layer;
+        break;
+      }
+    }
+    if (self == nullptr) return;  // tools/tests/bench/examples: exempt
+    // Includes are parsed from the ORIGINAL lines — stripping blanks the
+    // quoted path (it is a string literal).
+    const auto& raw_lines = suppressions_.lines;
+    for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+      const auto& line = raw_lines[i];
+      const std::size_t inc = line.find("#include \"");
+      if (inc == std::string::npos) continue;
+      const std::size_t open = inc + 10;
+      const std::size_t slash = line.find('/', open);
+      const std::size_t close = line.find('"', open);
+      if (slash == std::string::npos || close == std::string::npos ||
+          slash > close) {
+        continue;
+      }
+      const std::string target = line.substr(open, slash - open);
+      for (const auto& layer : kLayers) {
+        if (target != layer.module) continue;
+        const bool allowed =
+            target == self->module || layer.rank < self->rank;
+        if (!allowed) {
+          report(i, "layering-violation",
+                 std::string(self->module) + " (layer " +
+                     std::to_string(self->rank) + ") must not include " +
+                     target + " (layer " + std::to_string(layer.rank) +
+                     ") — see the layer table in lint_core.cpp");
+        }
+        break;
+      }
     }
   }
 

@@ -1,6 +1,9 @@
 // dfixer_lint: scan the repo's own sources for project-specific invariants.
 //
-//   dfixer_lint --root <repo_root>          lint src/ and tools/ under root
+//   dfixer_lint --root <repo_root>          lint src/, tools/, bench/,
+//                                           examples/ and tests/ under root
+//                                           (tests/lint_fixtures excluded —
+//                                           fixtures violate on purpose)
 //   dfixer_lint [--root <repo_root>] FILES  lint exactly FILES
 //
 // Exit code 0: clean. 1: violations found. 2: usage or I/O error.
@@ -67,10 +70,14 @@ int main(int argc, char** argv) {
   }
 
   if (files.empty()) {
-    for (const char* dir : {"src", "tools"}) {
+    for (const char* dir : {"src", "tools", "bench", "examples", "tests"}) {
       const fs::path base = fs::path(root) / dir;
       if (!fs::exists(base)) continue;
       for (const auto& entry : fs::recursive_directory_iterator(base)) {
+        // Lint fixtures violate rules on purpose; test_lint.cpp pins them.
+        if (entry.path().string().find("lint_fixtures") != std::string::npos) {
+          continue;
+        }
         if (entry.is_regular_file() && lintable(entry.path())) {
           files.push_back(entry.path().string());
         }
