@@ -1,0 +1,176 @@
+// Benchmark: full-repo static analysis wall time for dfixer_lint.
+//
+// Measures the token-based engine end to end — discover files, read+lex
+// each one once, build the cross-TU symbol index, run every rule over the
+// shared token streams — and contrasts it with the pre-engine behaviour of
+// re-reading and re-lexing the tree once per rule pack. The shared-stream
+// design must win; the bench asserts it (set DFX_LINT_NO_ASSERT=1 to skip
+// on pathologically noisy machines).
+//
+// Emits BENCH_lint.json via the bench_common schema; the committed record
+// lives in bench/records/.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "dfixer_lint/lint_core.h"
+#include "dfixer_lint/symbols.h"
+
+#ifndef DFX_REPO_ROOT
+#define DFX_REPO_ROOT "."
+#endif
+
+namespace {
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = dfx::bench::parse_args(argc, argv);
+  dfx::bench::BenchRun run("lint", args);
+
+  std::string root = DFX_REPO_ROOT;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--lint-root" && i + 1 < argc) {
+      root = argv[i + 1];
+    }
+  }
+
+  const auto files = run.stage("discover", [&] {
+    return dfx::lint::collect_lintable_files(root);
+  });
+  if (files.empty()) {
+    std::fprintf(stderr, "bench_lint: no lintable files under %s\n",
+                 root.c_str());
+    return 1;
+  }
+
+  // Engine path: every file is read and lexed exactly once; all rule packs
+  // share the resulting token streams.
+  const auto analyses = run.stage("read_and_lex", [&] {
+    std::vector<dfx::lint::FileAnalysis> out;
+    out.reserve(files.size());
+    for (const auto& path : files) {
+      if (auto content = read_file(path)) {
+        out.push_back(dfx::lint::analyze_file(path, std::move(*content)));
+      }
+    }
+    return out;
+  });
+
+  const auto index = run.stage("index_symbols", [&] {
+    dfx::lint::SymbolIndex idx;
+    for (const auto& fa : analyses) {
+      if (fa.path.find("src/") != std::string::npos) {
+        idx.index_source(fa.path, fa.tokens);
+      }
+    }
+    return idx;
+  });
+
+  dfx::lint::Options options;
+  options.symbols = &index;
+
+  const auto findings = run.stage("rules", [&] {
+    std::vector<dfx::lint::Violation> all;
+    for (const auto& fa : analyses) {
+      auto file_findings = dfx::lint::lint_file(fa, options);
+      all.insert(all.end(), file_findings.begin(), file_findings.end());
+    }
+    return all;
+  });
+
+  // Pre-engine baseline: dfixer_lint used to re-read every file once per
+  // rule pack (banned/contract, concurrency, layering). Reproduce that I/O
+  // and lexing pattern so the shared-stream speedup is measured, not
+  // asserted from theory.
+  constexpr int kLegacyRulePacks = 3;
+  double naive_seconds = 0.0;
+  run.stage("relex_per_pack", [&] {
+    const auto begin = std::chrono::steady_clock::now();
+    std::size_t token_total = 0;
+    for (int pack = 0; pack < kLegacyRulePacks; ++pack) {
+      for (const auto& path : files) {
+        if (auto content = read_file(path)) {
+          const auto fa = dfx::lint::analyze_file(path, std::move(*content));
+          token_total += fa.tokens.size();
+        }
+      }
+    }
+    naive_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+            .count();
+    // Keep the work observable so the loop cannot be optimized away.
+    dfx::metrics::Registry::global()
+        .counter("lint.bench.relex_tokens")
+        .add(static_cast<std::int64_t>(token_total));
+  });
+
+  double shared_seconds = 0.0;
+  {
+    const auto begin = std::chrono::steady_clock::now();
+    std::size_t token_total = 0;
+    for (const auto& path : files) {
+      if (auto content = read_file(path)) {
+        const auto fa = dfx::lint::analyze_file(path, std::move(*content));
+        token_total += fa.tokens.size();
+      }
+    }
+    shared_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+            .count();
+    dfx::metrics::Registry::global()
+        .counter("lint.bench.shared_tokens")
+        .add(static_cast<std::int64_t>(token_total));
+  }
+
+  auto& registry = dfx::metrics::Registry::global();
+  registry.counter("lint.files").add(static_cast<std::int64_t>(files.size()));
+  registry.counter("lint.findings.total")
+      .add(static_cast<std::int64_t>(findings.size()));
+  for (const auto& v : findings) {
+    registry.counter("lint.findings." + v.rule).add(1);
+  }
+  registry.counter("lint.symbols.functions")
+      .add(static_cast<std::int64_t>(index.functions().size()));
+  registry.counter("lint.symbols.enums")
+      .add(static_cast<std::int64_t>(index.enums().size()));
+
+  std::string rendered;
+  for (const auto& v : findings) {
+    rendered += v.file + ":" + std::to_string(v.line) + " " + v.rule + "\n";
+  }
+  run.checksum_text("findings", rendered);
+  run.set_items(static_cast<std::int64_t>(files.size()));
+
+  std::printf("bench_lint: %zu files, %zu findings, %zu functions, "
+              "%zu enums indexed\n",
+              files.size(), findings.size(), index.functions().size(),
+              index.enums().size());
+  std::printf("bench_lint: shared read+lex %.3fs vs per-pack re-lex %.3fs "
+              "(x%d packs)\n",
+              shared_seconds, naive_seconds, kLegacyRulePacks);
+
+  if (std::getenv("DFX_LINT_NO_ASSERT") == nullptr &&
+      naive_seconds <= shared_seconds) {
+    std::fprintf(stderr,
+                 "bench_lint: FAIL: re-lexing per rule pack (%.3fs) should "
+                 "be slower than the shared token stream (%.3fs)\n",
+                 naive_seconds, shared_seconds);
+    return 1;
+  }
+
+  return run.finish();
+}

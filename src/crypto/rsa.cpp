@@ -28,7 +28,8 @@ Bytes RsaPublicKey::encode() const {
   Bytes exp = e.to_bytes();
   if (exp.size() > 255) throw std::invalid_argument("rsa: exponent too large");
   Bytes out;
-  out.push_back(static_cast<std::uint8_t>(exp.size()));
+  const std::size_t exp_octets = exp.size();  // <= 255, checked above
+  out.push_back(static_cast<std::uint8_t>(exp_octets));
   append(out, exp);
   Bytes mod = n.to_bytes();
   append(out, mod);

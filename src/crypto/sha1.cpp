@@ -93,7 +93,7 @@ std::array<std::uint8_t, Sha1::kDigestSize> Sha1::finish() {
     out[i * 4] = static_cast<std::uint8_t>(h_[i] >> 24);
     out[i * 4 + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
     out[i * 4 + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
-    out[i * 4 + 3] = static_cast<std::uint8_t>(h_[i]);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(h_[i] & 0xFFu);
   }
   return out;
 }

@@ -129,7 +129,7 @@ Bytes Sha256Core::finish() {
     out.push_back(static_cast<std::uint8_t>(h_[i] >> 24));
     out.push_back(static_cast<std::uint8_t>(h_[i] >> 16));
     out.push_back(static_cast<std::uint8_t>(h_[i] >> 8));
-    out.push_back(static_cast<std::uint8_t>(h_[i]));
+    out.push_back(static_cast<std::uint8_t>(h_[i] & 0xFFu));
   }
   return out;
 }

@@ -126,7 +126,7 @@ bool parse_ipv6(std::string_view text, std::array<std::uint8_t, 16>& out) {
         } else {
           return false;
         }
-        v = static_cast<std::uint16_t>((v << 4) | d);
+        v = static_cast<std::uint16_t>(((v << 4) | d) & 0xFFFF);
       }
       groups.push_back(v);
     }
@@ -145,7 +145,7 @@ bool parse_ipv6(std::string_view text, std::array<std::uint8_t, 16>& out) {
     out[static_cast<std::size_t>(i * 2)] =
         static_cast<std::uint8_t>(groups[static_cast<std::size_t>(i)] >> 8);
     out[static_cast<std::size_t>(i * 2 + 1)] =
-        static_cast<std::uint8_t>(groups[static_cast<std::size_t>(i)]);
+        static_cast<std::uint8_t>(groups[static_cast<std::size_t>(i)] & 0xFF);
   }
   return true;
 }

@@ -1,6 +1,7 @@
 #include "dnscore/message.h"
 
 #include "dnscore/wire.h"
+#include "util/check.hpp"
 #include "util/strings.h"
 
 namespace dfx::dns {
@@ -19,7 +20,8 @@ class NameCompressor {
       if (it != table_.end() && it->second < 0x3FFF) {
         // Emit leading labels then a pointer.
         emit_labels(out, name, skip);
-        append_u16(out, static_cast<std::uint16_t>(0xC000 | it->second));
+        append_u16(out,
+                   static_cast<std::uint16_t>(0xC000 | (it->second & 0x3FFF)));
         return;
       }
     }
@@ -45,6 +47,7 @@ class NameCompressor {
       if (offset < 0x3FFF) {
         table_.emplace(suffix_key(name, i), offset);
       }
+      DFX_DCHECK(labels[i].size() <= 63);
       out.push_back(static_cast<std::uint8_t>(labels[i].size()));
       append(out, as_bytes(labels[i]));
     }
@@ -62,6 +65,7 @@ void write_record(Bytes& out, NameCompressor& comp,
   // RDATA embedded names are written uncompressed (required for DNSSEC
   // types, simplest-correct for the rest).
   const Bytes rdata = rdata_to_wire(rr.rdata);
+  DFX_DCHECK(rdata.size() <= 0xFFFF);
   append_u16(out, static_cast<std::uint16_t>(rdata.size()));
   append(out, rdata);
 }
@@ -99,6 +103,9 @@ Bytes encode_message(const Message& msg) {
   if (msg.header.cd) flags |= 0x0010;
   flags |= static_cast<std::uint16_t>(msg.header.rcode) & 0xF;
   append_u16(out, flags);
+  DFX_DCHECK(msg.questions.size() <= 0xFFFF && msg.answers.size() <= 0xFFFF &&
+             msg.authorities.size() <= 0xFFFF &&
+             msg.additionals.size() <= 0xFFFF);
   append_u16(out, static_cast<std::uint16_t>(msg.questions.size()));
   append_u16(out, static_cast<std::uint16_t>(msg.answers.size()));
   append_u16(out, static_cast<std::uint16_t>(msg.authorities.size()));

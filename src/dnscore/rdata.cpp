@@ -70,6 +70,7 @@ Bytes encode_type_bitmap(const std::set<RRType>& types) {
   int max_octet = -1;
   const auto flush = [&] {
     if (current_window < 0 || max_octet < 0) return;
+    DFX_DCHECK(max_octet < 32);
     out.push_back(static_cast<std::uint8_t>(current_window));
     out.push_back(static_cast<std::uint8_t>(max_octet + 1));
     for (int i = 0; i <= max_octet; ++i) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace dfx::dns {
 
 std::string ResourceRecord::to_text() const {
@@ -44,6 +46,7 @@ Bytes RRset::signing_buffer(const RrsigRdata& sig_fields) const {
     append_u16(out, static_cast<std::uint16_t>(type_));
     append_u16(out, static_cast<std::uint16_t>(RRClass::kIN));
     append_u32(out, sig_fields.original_ttl);
+    DFX_DCHECK(wire.size() <= 0xFFFF);
     append_u16(out, static_cast<std::uint16_t>(wire.size()));
     append(out, wire);
   }

@@ -71,7 +71,8 @@ dns::RrsigRdata make_rrsig(const dns::RRset& rrset, const ZoneKey& key,
                            std::optional<std::uint8_t> labels_override) {
   dns::RrsigRdata sig;
   sig.type_covered = rrset.type();
-  sig.algorithm = static_cast<std::uint8_t>(key.algorithm());
+  const crypto::DnssecAlgorithm alg = key.algorithm();
+  sig.algorithm = static_cast<std::uint8_t>(alg);
   // RFC 4034 §3.1.3: the labels field excludes a leading "*" label, which
   // is how validators recognise wildcard-expandable signatures.
   const bool wildcard = rrset.owner().leftmost_label() == "*";

@@ -50,3 +50,9 @@ void wait_for_on_held_mutex(Mutex& mu, CondVar& cv) {
 void wait_without_annotated_lock(CondVar& cv, Mutex& mu) {
   cv.wait(mu);  // no MutexLock in scope: not this rule's business
 }
+
+void raw_mutex_split_across_lines() {
+  std::
+      mutex split_mu;  // declaration spans lines: used to be a false negative
+  (void)split_mu;
+}

@@ -1,0 +1,28 @@
+// Fixture: discarded-error-return. The symbol index (built from
+// symbols/status_decls.h) says apply_fix/parse_record/decode_blob/
+// tagged_token are must-use; bare calls drop the error path.
+
+namespace fixture {
+
+void exercise(int v) {
+  apply_fix(v);        // line 8: discarded-error-return (ErrorCode dropped)
+  parse_record("a");   // line 9: discarded-error-return (bool status)
+  decode_blob("b");    // line 10: discarded-error-return (optional)
+  tagged_token();      // line 11: discarded-error-return ([[nodiscard]])
+  if (v > 0) decode_blob("c");  // line 12: controlled stmt still discards
+}
+
+void consumed(int v) {
+  (void)apply_fix(v);  // cast to void: deliberate discard, ok
+  if (parse_record("x")) {
+    log_note(1);  // void return: ok to ignore
+  }
+  const auto rc = decode_blob("y");  // consumed: ok
+  (void)rc;
+  plain_sum(1, 2);  // plain int return: not a status, ok
+  looks_ready(v);   // bool but not status-named: ok
+  // dfx-lint: allow(discarded-error-return): fire-and-forget by design
+  apply_fix(v);
+}
+
+}  // namespace fixture

@@ -1,0 +1,57 @@
+// Fixture: generalized nonexhaustive-enum-switch. FixKind and Phase are
+// declared in symbols/enum_decls.h and reach this file only through the
+// symbol index — the rule is cross-TU by construction.
+
+namespace fixture {
+
+int rank_incomplete(FixKind k) {
+  switch (k) {  // line 8: nonexhaustive-enum-switch (misses kEscalate)
+    case FixKind::kRoll:
+      return 0;
+    case FixKind::kPatch:
+      return 1;
+    case FixKind::kRetry:
+      return 2;
+  }
+  return -1;
+}
+
+int rank_defaulted(FixKind k) {
+  switch (k) {  // ok: has default
+    case FixKind::kRoll:
+      return 0;
+    default:
+      return -1;
+  }
+}
+
+int rank_complete(Phase p) {
+  switch (p) {  // ok: exhaustive
+    case Phase::kInit:
+      return 0;
+    case Phase::kRun:
+      return 1;
+    case Phase::kDone:
+      return 2;
+  }
+  return -1;
+}
+
+int rank_plain_int(int v) {
+  switch (v) {  // ok: no enum labels at all
+    case 1:
+      return 0;
+  }
+  return -1;
+}
+
+int rank_suppressed(FixKind k) {
+  // dfx-lint: allow(nonexhaustive-enum-switch): later kinds handled upstream
+  switch (k) {
+    case FixKind::kRoll:
+      return 0;
+  }
+  return -1;
+}
+
+}  // namespace fixture

@@ -66,3 +66,14 @@ int unchecked_after_closed_guard_block(const std::vector<int>& v) {
   pad += 5;
   return v.back();  // line 67: unchecked-front-back (guard block closed)
 }
+
+int multi_line_statement(const std::vector<int>& v) {
+  int pad = 0;
+  (void)pad;
+  pad += 1;
+  pad += 2;
+  pad += 3;
+  pad += 4;
+  return v.back(  // spans lines: the per-line scanner used to miss this
+  );
+}

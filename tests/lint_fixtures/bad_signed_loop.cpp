@@ -1,0 +1,58 @@
+// Fixture: signed-unsigned-loop. A signed induction variable compared
+// against a container size promotes the comparison to unsigned — the
+// classic wire-offset wraparound.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+int sum_signed_index(const std::vector<int>& v) {
+  int total = 0;
+  for (int i = 0; i < v.size(); ++i) {  // line 11: signed-unsigned-loop
+    total += v[i];
+  }
+  return total;
+}
+
+long sum_long_index(const std::vector<int>& v) {
+  long total = 0;
+  for (long i = 0; i <= v.size() - 1; ++i) {  // line 19: signed-unsigned-loop
+    total += v[i];
+  }
+  return total;
+}
+
+int sum_size_t_index(const std::vector<int>& v) {
+  int total = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {  // ok: unsigned index
+    total += static_cast<int>(v[i]);
+  }
+  return total;
+}
+
+int count_to_fixed_bound(int n) {
+  int total = 0;
+  for (int i = 0; i < n; ++i) {  // ok: signed bound
+    total += i;
+  }
+  return total;
+}
+
+int sum_cast_bound(const std::vector<int>& v) {
+  int total = 0;
+  for (int i = 0; i < static_cast<int>(v.size()); ++i) {  // ok: cast once
+    total += v[i];
+  }
+  return total;
+}
+
+int sum_suppressed(const std::vector<int>& v) {
+  int total = 0;
+  // dfx-lint: allow(signed-unsigned-loop): v is capped at 16 entries
+  for (int i = 0; i < v.size(); ++i) {
+    total += v[i];
+  }
+  return total;
+}
+
+}  // namespace fixture

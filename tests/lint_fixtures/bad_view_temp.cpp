@@ -1,0 +1,38 @@
+// Fixture: view-into-temporary. Returning a string_view/span of a local
+// hands the caller a pointer into a dead frame.
+#include <string>
+#include <string_view>
+
+namespace fixture {
+
+std::string_view dangling_local() {
+  std::string buf = "abc";
+  return buf;  // line 10: view-into-temporary
+}
+
+std::string_view dangling_substr() {
+  std::string buf = "abcdef";
+  return buf.substr(0, 3);  // line 15: view-into-temporary
+}
+
+std::string_view of_param(std::string_view s) {
+  return s;  // ok: the caller owns the storage
+}
+
+std::string_view of_static() {
+  static const std::string kTable = "xyz";
+  return kTable;  // ok: static storage outlives the frame
+}
+
+std::string hands_back_owner() {
+  std::string buf = "abc";
+  return buf;  // ok: returns the owning string itself
+}
+
+std::string_view suppressed_local() {
+  std::string buf = "abc";
+  // dfx-lint: allow(view-into-temporary): exercising the suppression path
+  return buf;
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: enum definitions for the cross-TU symbol index. Switched on in
+// bad_enum_switch.cpp, which never sees this header directly — resolution
+// goes through the index, like a real cross-TU switch.
+#pragma once
+
+namespace fixture {
+
+enum class FixKind {
+  kRoll,
+  kPatch,
+  kRetry,
+  kEscalate,
+};
+
+enum class Phase : unsigned char { kInit, kRun, kDone };
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: function declarations for the cross-TU symbol index. The tests
+// index this header and then lint other fixtures against it — exactly how
+// the real tool indexes src/ before linting. (Fixtures are linted and
+// indexed, never compiled.)
+#pragma once
+
+#include <optional>
+
+namespace fixture {
+
+enum class ErrorCode { kOk, kBad };
+
+ErrorCode apply_fix(int record);
+bool parse_record(const char* wire);
+std::optional<int> decode_blob(const char* wire);
+[[nodiscard]] int tagged_token();
+
+// Not must-use: plain value returns and void.
+int plain_sum(int a, int b);
+void log_note(int code);
+bool looks_ready(int state);
+
+}  // namespace fixture

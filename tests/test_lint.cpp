@@ -1,6 +1,7 @@
 // Tests for tools/dfixer_lint: each rule against a known-bad fixture, the
 // suppression marker, comment/string immunity, and the repo-wide run that
-// the ctest target relies on.
+// the ctest target relies on. The lexer/symbol-index/ratchet internals are
+// covered separately in test_lint_engine.cpp.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -17,6 +18,7 @@
 namespace {
 
 using dfx::lint::Options;
+using dfx::lint::SymbolIndex;
 using dfx::lint::Violation;
 
 std::string read_file(const std::string& path) {
@@ -31,9 +33,25 @@ std::string fixture_path(const std::string& name) {
   return std::string(DFX_LINT_FIXTURES) + "/" + name;
 }
 
+/// Symbol index over the symbols/ fixtures — the in-process stand-in for
+/// the src/ sweep the real binary performs before linting.
+const SymbolIndex& fixture_index() {
+  static const SymbolIndex index = [] {
+    SymbolIndex idx;
+    for (const char* name : {"symbols/status_decls.h", "symbols/enum_decls.h",
+                             "symbols/cross_a.h", "symbols/cross_b.cpp"}) {
+      const std::string content = read_file(fixture_path(name));
+      const auto tokens = dfx::lint::lex(content);
+      idx.index_source(name, tokens);
+    }
+    return idx;
+  }();
+  return index;
+}
+
 Options fixture_options() {
   Options options;
-  options.errorcode_enumerators = {"kAlpha", "kBeta", "kGamma", "kDelta"};
+  options.symbols = &fixture_index();
   return options;
 }
 
@@ -65,7 +83,10 @@ TEST(Lint, FlagsUncheckedFrontBackButNotGuardedOrSuppressed) {
   // A guard that closed before the use does not vouch for it, even though
   // it sits within the flat lookback window's reach of an enclosing brace.
   EXPECT_TRUE(has(vs, "unchecked-front-back", 67));
-  EXPECT_EQ(vs.size(), 2u)
+  // `return v.back(\n);` spans two lines — the per-line scanner missed it,
+  // the token stream must not.
+  EXPECT_TRUE(has(vs, "unchecked-front-back", 77));
+  EXPECT_EQ(vs.size(), 3u)
       << "guarded (nearby, enclosing-if, or same-statement) and "
          "dfx-lint-annotated uses must not be flagged";
 }
@@ -103,14 +124,78 @@ TEST(Lint, FlagsMissingNodiscardOnStatusReturningDeclarations) {
       << "annotated and non-status declarations must not be flagged";
 }
 
-TEST(Lint, FlagsNonexhaustiveErrorCodeSwitchWithoutDefault) {
-  const auto vs = lint_fixture("bad_switch.cpp");
-  EXPECT_TRUE(has(vs, "nonexhaustive-errorcode-switch", 8));
+TEST(Lint, FlagsNonexhaustiveEnumSwitchViaTheSymbolIndex) {
+  const auto vs = lint_fixture("bad_enum_switch.cpp");
+  EXPECT_TRUE(has(vs, "nonexhaustive-enum-switch", 8));
   EXPECT_EQ(vs.size(), 1u)
-      << "defaulted, exhaustive, and non-ErrorCode switches must not fire";
+      << "defaulted, exhaustive, non-enum, and suppressed switches must "
+         "not fire";
   ASSERT_FALSE(vs.empty());
-  EXPECT_NE(vs.front().message.find("kDelta"), std::string::npos)
+  EXPECT_NE(vs.front().message.find("kEscalate"), std::string::npos)
       << "message should name the missing enumerator";
+}
+
+TEST(Lint, EnumSwitchRuleResolvesAcrossTranslationUnits) {
+  // cross_b.cpp switches over Flavor, declared only in cross_a.h: the
+  // qualified and the unqualified switch must both resolve via the index.
+  const auto vs = lint_fixture("symbols/cross_b.cpp");
+  EXPECT_TRUE(has(vs, "nonexhaustive-enum-switch", 13));
+  EXPECT_TRUE(has(vs, "nonexhaustive-enum-switch", 23));
+  EXPECT_EQ(vs.size(), 2u) << "the exhaustive switch must stay quiet";
+}
+
+TEST(Lint, EnumSwitchRuleIsDisabledWithoutASymbolIndex) {
+  const std::string content = read_file(fixture_path("bad_enum_switch.cpp"));
+  const auto vs =
+      dfx::lint::lint_file("bad_enum_switch.cpp", content, Options{});
+  EXPECT_TRUE(vs.empty());
+}
+
+TEST(Lint, FlagsDiscardedErrorReturnsButNotConsumedOnes) {
+  const auto vs = lint_fixture("bad_discarded.cpp");
+  EXPECT_TRUE(has(vs, "discarded-error-return", 8));   // ErrorCode
+  EXPECT_TRUE(has(vs, "discarded-error-return", 9));   // bool parse status
+  EXPECT_TRUE(has(vs, "discarded-error-return", 10));  // std::optional
+  EXPECT_TRUE(has(vs, "discarded-error-return", 11));  // [[nodiscard]]
+  EXPECT_TRUE(has(vs, "discarded-error-return", 12));  // if-controlled stmt
+  EXPECT_EQ(vs.size(), 5u)
+      << "(void)-cast, consumed, void/plain returns, and suppressed calls "
+         "must not be flagged";
+}
+
+TEST(Lint, FlagsUnguardedNarrowingCastsOnWireLayers) {
+  const auto vs = lint_fixture("dnscore/bad_narrowing.cpp");
+  EXPECT_TRUE(has(vs, "unguarded-narrowing-cast", 11));  // v.size()
+  EXPECT_TRUE(has(vs, "unguarded-narrowing-cast", 15));  // arithmetic
+  EXPECT_EQ(vs.size(), 2u)
+      << ">>8, &0xFF, bare-value, widening, DFX_DCHECK-guarded and "
+         "suppressed casts must not be flagged";
+}
+
+TEST(Lint, NarrowingRuleIsScopedToWireLayerPaths) {
+  const std::string content =
+      read_file(fixture_path("dnscore/bad_narrowing.cpp"));
+  const auto vs = dfx::lint::lint_file("elsewhere/bad_narrowing.cpp", content,
+                                       fixture_options());
+  EXPECT_TRUE(vs.empty());
+}
+
+TEST(Lint, FlagsSignedLoopIndexAgainstContainerSizeBounds) {
+  const auto vs = lint_fixture("bad_signed_loop.cpp");
+  EXPECT_TRUE(has(vs, "signed-unsigned-loop", 11));  // int vs .size()
+  EXPECT_TRUE(has(vs, "signed-unsigned-loop", 19));  // long vs .size()-1
+  EXPECT_EQ(vs.size(), 2u)
+      << "size_t index, signed bound, static_cast bound, and suppressed "
+         "loops must not be flagged";
+}
+
+TEST(Lint, FlagsViewsReturnedIntoLocals) {
+  const auto vs = lint_fixture("bad_view_temp.cpp");
+  EXPECT_TRUE(has(vs, "view-into-temporary", 10));  // return local string
+  EXPECT_TRUE(has(vs, "view-into-temporary", 15));  // return local substr
+  EXPECT_EQ(vs.size(), 2u)
+      << "params, statics, owning returns and suppressed views must not "
+         "be flagged";
 }
 
 TEST(Lint, FlagsConcurrencyRulePackButNotWrappersOrSuppressed) {
@@ -118,9 +203,11 @@ TEST(Lint, FlagsConcurrencyRulePackButNotWrappersOrSuppressed) {
   EXPECT_TRUE(has(vs, "raw-std-mutex", 14));  // file-scope std::mutex
   EXPECT_TRUE(has(vs, "raw-std-mutex", 16));  // std::mutex parameter
   EXPECT_TRUE(has(vs, "raw-std-mutex", 17));  // std::lock_guard
+  // `std::\n mutex` spans lines — the per-line scanner missed it.
+  EXPECT_TRUE(has(vs, "raw-std-mutex", 55));
   EXPECT_TRUE(has(vs, "unguarded-mutable-field", 29));
   EXPECT_TRUE(has(vs, "lock-across-wait", 37));
-  EXPECT_EQ(vs.size(), 5u)
+  EXPECT_EQ(vs.size(), 6u)
       << "annotated fields, waits on the held mutex, and dfx-lint-"
          "annotated lines must not be flagged";
 }
@@ -160,15 +247,28 @@ TEST(Lint, CleanFileProducesNoViolations) {
   EXPECT_TRUE(lint_fixture("good_clean.cpp").empty());
 }
 
-TEST(Lint, CoversAtLeastNineDistinctViolationClasses) {
+TEST(Lint, ViolationsCarrySeverityAndExcerpt) {
+  const auto vs = lint_fixture("bad_discarded.cpp");
+  ASSERT_FALSE(vs.empty());
+  for (const auto& v : vs) {
+    EXPECT_EQ(v.severity, dfx::lint::severity_of(v.rule));
+    EXPECT_FALSE(v.excerpt.empty());
+  }
+  EXPECT_NE(vs.front().excerpt.find("apply_fix"), std::string::npos)
+      << "excerpt should quote the offending line";
+}
+
+TEST(Lint, CoversAtLeastThirteenDistinctViolationClasses) {
   std::set<std::string> rules;
   for (const char* name :
        {"bad_banned.cpp", "bad_front_back.cpp", "dnscore/bad_length.cpp",
-        "bad_nodiscard.h", "bad_switch.cpp", "bad_concurrency.cpp",
-        "dnscore/bad_layering.cpp"}) {
+        "bad_nodiscard.h", "bad_enum_switch.cpp", "bad_concurrency.cpp",
+        "dnscore/bad_layering.cpp", "bad_discarded.cpp",
+        "dnscore/bad_narrowing.cpp", "bad_signed_loop.cpp",
+        "bad_view_temp.cpp"}) {
     for (const auto& v : lint_fixture(name)) rules.insert(v.rule);
   }
-  EXPECT_GE(rules.size(), 9u) << "fixtures must exercise >=9 rule classes";
+  EXPECT_GE(rules.size(), 13u) << "fixtures must exercise >=13 rule classes";
 }
 
 TEST(Lint, StripperErasesCommentsAndStringsButKeepsLineStructure) {
@@ -187,26 +287,15 @@ TEST(Lint, StripperErasesCommentsAndStringsButKeepsLineStructure) {
   EXPECT_NE(out.find("int b;"), std::string::npos);
 }
 
-TEST(Lint, ParsesEnumClassEnumerators) {
-  const std::string header =
-      "namespace x {\n"
-      "enum class ErrorCode {\n"
-      "  kOne,        // comment\n"
-      "  kTwo = 5,\n"
-      "  kThree,\n"
-      "};\n"
-      "}\n";
-  const auto enums = dfx::lint::parse_enum_class(header, "ErrorCode");
-  EXPECT_EQ(enums, (std::vector<std::string>{"kOne", "kTwo", "kThree"}));
-}
-
-// The ctest wiring runs the binary over the repo; mirror that here so a
-// regression shows up with context instead of a bare non-zero exit.
-TEST(Lint, RepoSourcesAreClean) {
-  const std::string cmd =
-      std::string(DFX_LINT_BIN) + " --root " + DFX_REPO_ROOT + " > /dev/null";
+// The ctest wiring runs the binary over the repo against the committed
+// ratchet baseline; mirror that here so a regression shows up with context
+// instead of a bare non-zero exit.
+TEST(Lint, RepoSourcesMatchTheRatchetBaseline) {
+  const std::string cmd = std::string(DFX_LINT_BIN) + " --root " +
+                          DFX_REPO_ROOT + " --baseline " + DFX_REPO_ROOT +
+                          "/tools/dfixer_lint/baseline.json > /dev/null";
   const int status = std::system(cmd.c_str());
-  EXPECT_EQ(status, 0) << "dfixer_lint found violations; run\n  " << cmd;
+  EXPECT_EQ(status, 0) << "dfixer_lint ratchet mismatch; run\n  " << cmd;
 }
 
 // --root with no explicit files must sweep bench/, examples/, tests/ and

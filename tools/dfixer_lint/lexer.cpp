@@ -1,0 +1,193 @@
+#include "dfixer_lint/lexer.h"
+
+#include <cctype>
+#include <string>
+
+namespace dfx::lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+// Longest-match punctuator tables. "::" must be a single token so rules can
+// tell a scope separator from a case-label colon without look-ahead.
+constexpr std::string_view kPunct3[] = {"<<=", ">>=", "...", "->*"};
+constexpr std::string_view kPunct2[] = {
+    "::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "##"};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  out.reserve(src.size() / 6 + 8);
+  std::uint32_t line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  const auto count_newlines = [&](std::size_t from, std::size_t to) {
+    for (std::size_t k = from; k < to && k < n; ++k) {
+      if (src[k] == '\n') ++line;
+    }
+  };
+
+  // Skip a (possibly prefixed/raw) string or character literal starting at
+  // the opening quote; returns the index one past the closing quote.
+  const auto skip_quoted = [&](std::size_t q, bool raw) -> std::size_t {
+    const char quote = src[q];
+    std::size_t k = q + 1;
+    if (raw) {
+      std::string delim;
+      while (k < n && src[k] != '(') delim.push_back(src[k++]);
+      const std::string terminator = ")" + delim + "\"";
+      const std::size_t end = src.find(terminator, k);
+      if (end == std::string_view::npos) return n;
+      count_newlines(k, end);
+      return end + terminator.size();
+    }
+    while (k < n) {
+      const char c = src[k];
+      if (c == '\\' && k + 1 < n) {
+        if (src[k + 1] == '\n') ++line;
+        k += 2;
+        continue;
+      }
+      if (c == quote) return k + 1;
+      if (c == '\n') return k;  // unterminated: stop at end of line
+      ++k;
+    }
+    return k;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: drop to end of line (honoring \-continuation).
+    // Directives are not part of the expression grammar the rules analyze;
+    // the include-graph rule reads raw lines instead.
+    if (c == '#' && at_line_start) {
+      while (i < n && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    const char next = i + 1 < n ? src[i + 1] : '\0';
+    // Comments.
+    if (c == '/' && next == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && next == '*') {
+      const std::size_t end = src.find("*/", i + 2);
+      if (end == std::string_view::npos) {
+        count_newlines(i, n);
+        i = n;
+      } else {
+        count_newlines(i, end);
+        i = end + 2;
+      }
+      continue;
+    }
+    // Identifiers — including literal prefixes (R"", u8"", L'x').
+    if (is_ident_start(c)) {
+      const std::size_t start = i;
+      while (i < n && is_ident_char(src[i])) ++i;
+      const std::string_view word = src.substr(start, i - start);
+      if (i < n && (src[i] == '"' || src[i] == '\'')) {
+        const bool raw = word == "R" || word == "LR" || word == "uR" ||
+                         word == "UR" || word == "u8R";
+        const bool prefix =
+            word == "L" || word == "u" || word == "U" || word == "u8";
+        if ((raw || prefix) && src[i] == '"') {
+          const std::uint32_t at = line;
+          i = skip_quoted(i, raw);
+          out.push_back(Token{Tok::kString, {}, at});
+          continue;
+        }
+        if (prefix && src[i] == '\'') {
+          const std::uint32_t at = line;
+          i = skip_quoted(i, /*raw=*/false);
+          out.push_back(Token{Tok::kChar, {}, at});
+          continue;
+        }
+      }
+      out.push_back(Token{Tok::kIdent, word, line});
+      continue;
+    }
+    // Numbers (pp-number: covers hex, floats, separators, suffixes).
+    if (is_digit(c) || (c == '.' && is_digit(next))) {
+      const std::size_t start = i;
+      ++i;
+      while (i < n) {
+        const char d = src[i];
+        const char prev = src[i - 1];
+        if (is_ident_char(d) || d == '.' || d == '\'') {
+          ++i;
+        } else if ((d == '+' || d == '-') &&
+                   (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P')) {
+          ++i;
+        } else {
+          break;
+        }
+      }
+      out.push_back(Token{Tok::kNumber, src.substr(start, i - start), line});
+      continue;
+    }
+    if (c == '"') {
+      const std::uint32_t at = line;
+      i = skip_quoted(i, /*raw=*/false);
+      out.push_back(Token{Tok::kString, {}, at});
+      continue;
+    }
+    if (c == '\'') {
+      const std::uint32_t at = line;
+      i = skip_quoted(i, /*raw=*/false);
+      out.push_back(Token{Tok::kChar, {}, at});
+      continue;
+    }
+    // Punctuators, longest match first.
+    std::size_t len = 1;
+    for (const auto p : kPunct3) {
+      if (src.compare(i, p.size(), p) == 0) {
+        len = 3;
+        break;
+      }
+    }
+    if (len == 1) {
+      for (const auto p : kPunct2) {
+        if (src.compare(i, p.size(), p) == 0) {
+          len = 2;
+          break;
+        }
+      }
+    }
+    out.push_back(Token{Tok::kPunct, src.substr(i, len), line});
+    i += len;
+  }
+  return out;
+}
+
+}  // namespace dfx::lint

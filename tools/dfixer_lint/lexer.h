@@ -1,0 +1,36 @@
+// Token layer of dfixer_lint's analysis engine. The lexer turns one C++
+// translation unit into a flat token stream with 1-based line numbers so the
+// rules in lint_core.cpp can reason across statement and line boundaries —
+// the per-line regex scanner this replaced could not see that
+// `v.front(\n)` or `std::\nmutex` span lines. Comments are skipped entirely,
+// string/character literals collapse into a single placeholder token (their
+// contents never trip a rule), and preprocessor directives are dropped
+// (#include graphs are handled separately, from the raw lines).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace dfx::lint {
+
+enum class Tok : std::uint8_t {
+  kIdent,   // identifiers and keywords, text preserved
+  kNumber,  // pp-number (ints, floats, hex, digit separators)
+  kString,  // any string literal (raw/prefixed included); text is empty
+  kChar,    // character literal; text is empty
+  kPunct,   // operators and punctuation, text preserved ("::" is one token)
+};
+
+struct Token {
+  Tok kind = Tok::kPunct;
+  std::string_view text;   // view into the lexed buffer; empty for literals
+  std::uint32_t line = 0;  // 1-based line of the token's first character
+};
+
+/// Lex `src` into tokens. The returned views point into `src`; the caller
+/// keeps the buffer alive for as long as the tokens are used (FileAnalysis
+/// owns the buffer behind a stable pointer for exactly this reason).
+std::vector<Token> lex(std::string_view src);
+
+}  // namespace dfx::lint

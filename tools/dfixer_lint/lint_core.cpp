@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 
 namespace dfx::lint {
 namespace {
@@ -73,12 +76,22 @@ bool is_header(const std::string& path) {
   return path.ends_with(".h") || path.ends_with(".hpp");
 }
 
+std::string trimmed(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return std::string(s);
+}
+
 /// Lines carrying a `dfx-lint: allow(<rule>)` marker, collected from the
 /// ORIGINAL source (the marker lives in a comment, which stripping erases).
 /// A marker suppresses the line it sits on and, like NOLINTNEXTLINE, the
 /// line directly below it — for flagged expressions that had to wrap.
 struct Suppressions {
-  std::vector<std::string> lines;  // original source lines
+  const std::vector<std::string>& lines;  // original source lines
 
   bool allows(std::size_t line_index, std::string_view rule) const {
     const std::string needle = "dfx-lint: allow(" + std::string(rule) + ")";
@@ -90,26 +103,32 @@ struct Suppressions {
   }
 };
 
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
 class Linter {
  public:
-  Linter(const std::string& path, std::string_view content,
-         const Options& options)
-      : path_(path),
+  Linter(const FileAnalysis& fa, const Options& options)
+      : path_(fa.path),
         options_(options),
-        stripped_(strip_comments_and_strings(content)),
-        lines_(split_lines(stripped_)),
-        suppressions_{split_lines(content)} {}
+        stripped_(fa.stripped),
+        lines_(fa.lines),
+        tokens_(fa.tokens),
+        suppressions_{fa.raw_lines} {}
 
   std::vector<Violation> run() {
     check_banned_tokens();
     check_front_back();
     check_length_contracts();
     if (is_header(path_)) check_nodiscard();
-    check_errorcode_switches();
+    check_enum_switches();
     check_raw_mutex();
     check_unguarded_mutable();
     check_lock_across_wait();
     check_layering();
+    check_discarded_error_return();
+    check_narrowing_cast();
+    check_signed_loop();
+    check_view_into_temporary();
     std::sort(violations_.begin(), violations_.end(),
               [](const Violation& a, const Violation& b) {
                 return a.line < b.line;
@@ -120,11 +139,127 @@ class Linter {
  private:
   void report(std::size_t line_index, std::string rule, std::string message) {
     if (suppressions_.allows(line_index, rule)) return;
-    violations_.push_back(Violation{path_, line_index + 1, std::move(rule),
-                                    std::move(message)});
+    Violation v;
+    v.file = path_;
+    v.line = line_index + 1;
+    v.severity = severity_of(rule);
+    v.rule = std::move(rule);
+    v.message = std::move(message);
+    if (line_index < suppressions_.lines.size()) {
+      v.excerpt = trimmed(suppressions_.lines[line_index]);
+    }
+    violations_.push_back(std::move(v));
   }
 
-  /// Does any of lines [i-window, i] contain one of the guard tokens?
+  // ------------------------------------------------------------------
+  // Token-stream helpers.
+  // ------------------------------------------------------------------
+
+  std::string_view tok(std::size_t i) const {
+    return i < tokens_.size() ? tokens_[i].text : std::string_view{};
+  }
+
+  bool tok_is(std::size_t i, std::string_view s) const { return tok(i) == s; }
+
+  bool tok_ident(std::size_t i) const {
+    return i < tokens_.size() && tokens_[i].kind == Tok::kIdent;
+  }
+
+  std::size_t tok_line_index(std::size_t i) const {
+    return tokens_[i].line > 0 ? tokens_[i].line - 1 : 0;
+  }
+
+  /// Index of the ')' matching the '(' at `open`, or kNpos.
+  std::size_t match_paren(std::size_t open) const {
+    int depth = 0;
+    for (std::size_t j = open; j < tokens_.size(); ++j) {
+      if (tokens_[j].text == "(") ++depth;
+      if (tokens_[j].text == ")" && --depth == 0) return j;
+    }
+    return kNpos;
+  }
+
+  /// Index of the '}' matching the '{' at `open`, or kNpos.
+  std::size_t match_brace(std::size_t open) const {
+    int depth = 0;
+    for (std::size_t j = open; j < tokens_.size(); ++j) {
+      if (tokens_[j].text == "{") ++depth;
+      if (tokens_[j].text == "}" && --depth == 0) return j;
+    }
+    return kNpos;
+  }
+
+  /// Is token `i` a guard call: an identifier from `names` followed by '('?
+  bool is_guard_call(std::size_t i,
+                     const std::set<std::string_view>& names) const {
+    return tok_ident(i) && names.contains(tokens_[i].text) &&
+           tok_is(i + 1, "(");
+  }
+
+  bool guard_in_token_range(std::size_t lo, std::size_t hi,
+                            const std::set<std::string_view>& names) const {
+    for (std::size_t j = lo; j < hi && j < tokens_.size(); ++j) {
+      if (is_guard_call(j, names)) return true;
+    }
+    return false;
+  }
+
+  /// Guard within the same statement, or in the controlling text of any
+  /// *enclosing* block (`if (!v.empty()) { ... v.back() ... }`), however
+  /// many lines up the opening brace sits. Walking outward skips already-
+  /// closed sibling blocks, so a guard inside an earlier, closed `if` does
+  /// not vouch for code after it.
+  bool stmt_or_enclosing_guard(std::size_t idx,
+                               const std::set<std::string_view>& names) const {
+    const auto is_boundary = [&](std::size_t j) {
+      const std::string_view t = tok(j);
+      return t == ";" || t == "{" || t == "}";
+    };
+    // Same statement: back to the previous ;/{/}.
+    std::size_t stmt_begin = idx;
+    while (stmt_begin > 0 && !is_boundary(stmt_begin - 1)) --stmt_begin;
+    if (guard_in_token_range(stmt_begin, idx, names)) return true;
+    // Enclosing blocks: scan back, brace-balanced; every '{' at depth 0
+    // opens a block we are inside of — test its controlling text.
+    int depth = 0;
+    for (std::size_t p = stmt_begin; p-- > 0;) {
+      const std::string_view t = tokens_[p].text;
+      if (t == "}") {
+        ++depth;
+      } else if (t == "{") {
+        if (depth > 0) {
+          --depth;
+          continue;
+        }
+        std::size_t head_begin = p;
+        while (head_begin > 0 && !is_boundary(head_begin - 1)) --head_begin;
+        if (guard_in_token_range(head_begin, p, names)) return true;
+      }
+    }
+    return false;
+  }
+
+  /// Abort-semantics guard walk for DFX_CHECK-style contracts: a check that
+  /// ran earlier in this block (or any enclosing block) dominates the rest
+  /// of it, because a failed check never returns. Walk backward; skip over
+  /// closed sibling blocks, count guard calls at the current nesting level.
+  bool dominating_guard_before(std::size_t idx,
+                               const std::set<std::string_view>& names) const {
+    int depth = 0;
+    for (std::size_t p = idx; p-- > 0;) {
+      const std::string_view t = tokens_[p].text;
+      if (t == "}") {
+        ++depth;
+      } else if (t == "{") {
+        if (depth > 0) --depth;
+      } else if (depth == 0 && is_guard_call(p, names)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Does any of stripped lines [i-window, i] contain one of the tokens?
   bool guarded_nearby(std::size_t i, std::size_t window,
                       const std::vector<std::string_view>& tokens) const {
     const std::size_t lo = i >= window ? i - window : 0;
@@ -135,6 +270,10 @@ class Linter {
     }
     return false;
   }
+
+  // ------------------------------------------------------------------
+  // Line-based rules (operate on the stripped lines).
+  // ------------------------------------------------------------------
 
   void check_banned_tokens() {
     struct Banned {
@@ -180,99 +319,97 @@ class Linter {
     return false;
   }
 
-  /// Offset of the first character of line `i` within stripped_.
-  std::size_t line_start(std::size_t i) const {
-    std::size_t off = 0;
-    for (std::size_t k = 0; k < i && k < lines_.size(); ++k) {
-      off += lines_[k].size() + 1;  // +1 for the stripped '\n'
+  void check_length_contracts() {
+    if (!path_contains(path_, "dnscore/") && !path_contains(path_, "crypto/")) {
+      return;
     }
-    return off;
-  }
-
-  static bool span_has_guard(std::string_view span,
-                             const std::vector<std::string_view>& tokens) {
-    for (const auto token : tokens) {
-      if (span.find(token) != std::string_view::npos) return true;
-    }
-    return false;
-  }
-
-  /// Emptiness check within the same statement, or in the controlling text
-  /// of any *enclosing* block (`if (!v.empty()) { ... v.back() ... }`),
-  /// however many lines up the opening brace sits. Walking outward skips
-  /// already-closed sibling blocks, so a guard inside an earlier, closed
-  /// `if` does not vouch for code after it.
-  bool guarded_by_statement_or_enclosing_if(
-      std::size_t abs, const std::vector<std::string_view>& tokens) const {
-    const std::string_view text(stripped_);
-    const auto boundary_before = [&](std::size_t p) {
-      const std::size_t b = text.find_last_of(";{}", p == 0 ? 0 : p - 1);
-      return b == std::string_view::npos ? 0 : b + 1;
-    };
-    // Same statement: from the last ;/{/} up to the use site.
-    const std::size_t stmt_begin = boundary_before(abs);
-    if (span_has_guard(text.substr(stmt_begin, abs - stmt_begin), tokens)) {
-      return true;
-    }
-    // Enclosing blocks: scan back, brace-balanced; every '{' at depth 0
-    // opens a block we are inside of — test its controlling text.
-    int depth = 0;
-    for (std::size_t p = stmt_begin; p-- > 0;) {
-      const char c = text[p];
-      if (c == '}') {
-        ++depth;
-      } else if (c == '{') {
-        if (depth > 0) {
-          --depth;
-          continue;
-        }
-        const std::size_t head_begin = boundary_before(p);
-        if (span_has_guard(text.substr(head_begin, p - head_begin), tokens)) {
-          return true;
-        }
-      }
-    }
-    return false;
-  }
-
-  void check_front_back() {
-    static const std::vector<std::string_view> kGuards = {
-        "empty(", "size(", "DFX_CHECK", "DFX_DCHECK", "count(", "length("};
+    static const std::vector<std::string_view> kGuards = {"DFX_CHECK",
+                                                         "DFX_DCHECK"};
     for (std::size_t i = 0; i < lines_.size(); ++i) {
       const auto& line = lines_[i];
-      const std::size_t col = std::min(line.find(".front()"),
-                                       line.find(".back()"));
-      if (col == std::string::npos) continue;
+      const bool risky = contains_word(line, "memcpy") ||
+                         line.find(".resize(") != std::string::npos;
+      if (!risky) continue;
       if (guarded_nearby(i, 6, kGuards)) continue;
-      if (guarded_by_statement_or_enclosing_if(line_start(i) + col, kGuards)) {
-        continue;
-      }
-      report(i, "unchecked-front-back",
-             ".front()/.back() without a nearby emptiness check "
-             "(guard it, or annotate with dfx-lint: allow)");
+      report(i, "missing-length-check",
+             "memcpy/resize on a length derived from input needs a "
+             "DFX_CHECK/DFX_DCHECK contract nearby");
     }
   }
 
-  /// Concurrency rule: shared state must use the annotated wrappers from
-  /// util/thread_annotations.h so clang's capability analysis and the
-  /// lockgraph checker see every lock. Raw primitives are legal only under
-  /// util/ (where the wrappers and the checker themselves live).
-  void check_raw_mutex() {
-    if (path_contains(path_, "util/")) return;
-    static const std::vector<std::string_view> kRaw = {
-        "std::mutex", "std::recursive_mutex", "std::timed_mutex",
-        "std::lock_guard", "std::unique_lock", "std::scoped_lock"};
-    for (std::size_t i = 0; i < lines_.size(); ++i) {
-      for (const auto token : kRaw) {
-        if (lines_[i].find(token) != std::string::npos) {
-          report(i, "raw-std-mutex",
-                 std::string(token) +
-                     " outside util/: use the annotated dfx::Mutex/"
-                     "MutexLock (util/thread_annotations.h)");
-          break;
+  void check_nodiscard() {
+    // Walk declaration chunks (text between ; { }) and flag status-returning
+    // parse/validate/verify/decode declarations without [[nodiscard]].
+    std::size_t chunk_start = 0;
+    std::size_t line_no = 0;          // line of chunk_start
+    std::size_t current_line = 0;
+    for (std::size_t i = 0; i <= stripped_.size(); ++i) {
+      const char c = i < stripped_.size() ? stripped_[i] : ';';
+      if (c == '\n') ++current_line;
+      if (c != ';' && c != '{' && c != '}') continue;
+      check_nodiscard_chunk(stripped_.substr(chunk_start, i - chunk_start),
+                            line_no);
+      chunk_start = i + 1;
+      line_no = current_line;
+    }
+  }
+
+  void check_nodiscard_chunk(std::string chunk, std::size_t start_line) {
+    // Line number of the first non-blank character in the chunk.
+    std::size_t line = start_line;
+    std::size_t begin = 0;
+    while (begin < chunk.size() &&
+           std::isspace(static_cast<unsigned char>(chunk[begin])) != 0) {
+      if (chunk[begin] == '\n') ++line;
+      ++begin;
+    }
+    chunk = chunk.substr(begin);
+    if (chunk.empty()) return;
+    const bool has_nodiscard =
+        chunk.find("[[nodiscard]]") != std::string::npos;
+    // Strip leading specifiers so the return type leads the chunk.
+    for (bool again = true; again;) {
+      again = false;
+      for (const std::string_view spec :
+           {"[[nodiscard]]", "static", "inline", "constexpr", "friend",
+            "virtual", "explicit"}) {
+        if (chunk.starts_with(spec)) {
+          chunk = chunk.substr(spec.size());
+          while (!chunk.empty() && (chunk[0] == ' ' || chunk[0] == '\n')) {
+            if (chunk[0] == '\n') ++line;
+            chunk = chunk.substr(1);
+          }
+          again = true;
         }
       }
     }
+    const bool status_return = chunk.starts_with("bool ") ||
+                               chunk.starts_with("std::optional<") ||
+                               chunk.starts_with("std::variant<");
+    if (!status_return) return;
+    // First identifier followed by '(' is the declared name; an '=' before
+    // it means this is a statement, not a declaration.
+    const std::size_t paren = chunk.find('(');
+    if (paren == std::string::npos) return;
+    std::size_t name_end = paren;
+    while (name_end > 0 && std::isspace(static_cast<unsigned char>(
+                               chunk[name_end - 1])) != 0) {
+      --name_end;
+    }
+    std::size_t name_start = name_end;
+    while (name_start > 0 && is_ident_char(chunk[name_start - 1])) {
+      --name_start;
+    }
+    if (name_start == name_end) return;
+    const std::string_view head(chunk.data(), name_start);
+    if (head.find('=') != std::string_view::npos) return;
+    const std::string_view name(chunk.data() + name_start,
+                                name_end - name_start);
+    if (!is_status_function_name(name)) return;
+    if (has_nodiscard) return;
+    report(line, "missing-nodiscard",
+           "status-returning " + std::string(name) +
+               "() must be [[nodiscard]]");
   }
 
   /// A class that owns a Mutex locks in const methods, so its mutable
@@ -396,7 +533,7 @@ class Linter {
     }
     if (self == nullptr) return;  // tools/tests/bench/examples: exempt
     // Includes are parsed from the ORIGINAL lines — stripping blanks the
-    // quoted path (it is a string literal).
+    // quoted path (it is a string literal) and the lexer drops directives.
     const auto& raw_lines = suppressions_.lines;
     for (std::size_t i = 0; i < raw_lines.size(); ++i) {
       const auto& line = raw_lines[i];
@@ -426,209 +563,446 @@ class Linter {
     }
   }
 
-  void check_length_contracts() {
-    if (!path_contains(path_, "dnscore/") && !path_contains(path_, "crypto/")) {
-      return;
-    }
-    static const std::vector<std::string_view> kGuards = {"DFX_CHECK",
-                                                         "DFX_DCHECK"};
-    for (std::size_t i = 0; i < lines_.size(); ++i) {
-      const auto& line = lines_[i];
-      const bool risky = contains_word(line, "memcpy") ||
-                         line.find(".resize(") != std::string::npos;
-      if (!risky) continue;
-      if (guarded_nearby(i, 6, kGuards)) continue;
-      report(i, "missing-length-check",
-             "memcpy/resize on a length derived from input needs a "
-             "DFX_CHECK/DFX_DCHECK contract nearby");
+  // ------------------------------------------------------------------
+  // Token-based rules. These see statements whole, across line breaks —
+  // `return v.back(\n);` and `std::\nmutex m;` are single token runs.
+  // ------------------------------------------------------------------
+
+  void check_front_back() {
+    static const std::set<std::string_view> kGuardCalls = {
+        "empty", "size", "DFX_CHECK", "DFX_DCHECK", "count", "length"};
+    static const std::vector<std::string_view> kGuardLines = {
+        "empty(", "size(", "DFX_CHECK", "DFX_DCHECK", "count(", "length("};
+    for (std::size_t i = 0; i + 3 < tokens_.size(); ++i) {
+      if (!tok_is(i, ".")) continue;
+      if (!tok_ident(i + 1) ||
+          (tokens_[i + 1].text != "front" && tokens_[i + 1].text != "back")) {
+        continue;
+      }
+      if (!tok_is(i + 2, "(") || !tok_is(i + 3, ")")) continue;
+      const std::size_t li = tok_line_index(i + 1);
+      if (guarded_nearby(li, 6, kGuardLines)) continue;
+      if (stmt_or_enclosing_guard(i, kGuardCalls)) continue;
+      report(li, "unchecked-front-back",
+             ".front()/.back() without a nearby emptiness check "
+             "(guard it, or annotate with dfx-lint: allow)");
     }
   }
 
-  /// Names that must not silently drop their status result.
-  static bool is_status_function_name(std::string_view name) {
-    for (const char* prefix : {"parse", "validate", "verify", "decode"}) {
-      if (name.starts_with(prefix)) return true;
+  /// Concurrency rule: shared state must use the annotated wrappers from
+  /// util/thread_annotations.h so clang's capability analysis and the
+  /// lockgraph checker see every lock. Raw primitives are legal only under
+  /// util/ (where the wrappers and the checker themselves live).
+  void check_raw_mutex() {
+    if (path_contains(path_, "util/")) return;
+    static const std::set<std::string_view> kRaw = {
+        "mutex", "recursive_mutex", "timed_mutex",
+        "lock_guard", "unique_lock", "scoped_lock"};
+    std::size_t last_line = kNpos;
+    for (std::size_t i = 0; i + 2 < tokens_.size(); ++i) {
+      if (!tok_is(i, "std") || !tok_is(i + 1, "::")) continue;
+      if (!tok_ident(i + 2) || !kRaw.contains(tokens_[i + 2].text)) continue;
+      const std::size_t li = tok_line_index(i);
+      if (li == last_line) continue;  // one report per line, as before
+      last_line = li;
+      report(li, "raw-std-mutex",
+             "std::" + std::string(tokens_[i + 2].text) +
+                 " outside util/: use the annotated dfx::Mutex/"
+                 "MutexLock (util/thread_annotations.h)");
     }
-    for (const char* infix :
-         {"_parse", "_validate", "_verify", "_decode", "from_wire"}) {
-      if (name.find(infix) != std::string_view::npos) return true;
+  }
+
+  /// A call to a must-use function (ErrorCode / optional / variant /
+  /// status-named bool return, per the cross-TU symbol index) used as a
+  /// bare expression statement silently drops the error path.
+  void check_discarded_error_return() {
+    if (options_.symbols == nullptr) return;
+    static const std::set<std::string_view> kStmtStarters = {
+        ";", "{", "}", ":", "else", "do"};
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (!tok_ident(i) || !tok_is(i + 1, "(")) continue;
+      const std::string_view name = tokens_[i].text;
+      if (!options_.symbols->must_use(name)) continue;
+      const std::size_t close = match_paren(i + 1);
+      if (close == kNpos || !tok_is(close + 1, ";")) continue;
+      // Walk the qualifier/member chain back: `obj.parse_x()` and
+      // `ns::parse_x()` are still bare statements if the chain leads one.
+      std::size_t k = i;
+      while (k >= 2 &&
+             (tok(k - 1) == "::" || tok(k - 1) == "." || tok(k - 1) == "->") &&
+             tok_ident(k - 2)) {
+        k -= 2;
+      }
+      bool flag = false;
+      if (k == 0) {
+        flag = true;  // first token of the file
+      } else {
+        const std::string_view prev = tok(k - 1);
+        if (kStmtStarters.contains(prev)) {
+          flag = true;
+        } else if (prev == ")") {
+          // Either a (void) cast — fine — or the close of an if/while
+          // condition, making the call the entire controlled statement.
+          std::size_t open = kNpos;
+          int depth = 0;
+          for (std::size_t p = k - 1; p != kNpos; --p) {
+            if (tok(p) == ")") ++depth;
+            if (tok(p) == "(" && --depth == 0) {
+              open = p;
+              break;
+            }
+            if (p == 0) break;
+          }
+          if (open != kNpos) {
+            const bool void_cast = open + 2 == k - 1 && tok_is(open + 1, "void");
+            if (!void_cast && open > 0) {
+              const std::string_view head = tok(open - 1);
+              if (head == "if" || head == "while" || head == "for" ||
+                  head == "switch") {
+                flag = true;
+              }
+            }
+          }
+        }
+      }
+      if (!flag) continue;
+      std::string ret = "a status";
+      const auto decls = options_.symbols->find_functions(name);
+      if (!decls.empty()) ret = decls.front()->return_type;
+      report(tok_line_index(i), "discarded-error-return",
+             "result of '" + std::string(name) + "' (returns " + ret +
+                 ") is silently discarded — consume it or cast to void");
+    }
+  }
+
+  /// static_cast to a narrower integer on the wire-handling layers must sit
+  /// under a DFX_CHECK/DFX_DCHECK bound: unchecked truncation of lengths
+  /// and counts is exactly how parser blowups start. Byte-extraction idioms
+  /// (`>> 8`, `& 0xFF`) and value-preserving casts of a bare variable
+  /// (enum→underlying, char promotions) are exempt.
+  void check_narrowing_cast() {
+    if (!path_contains(path_, "dnscore/") &&
+        !path_contains(path_, "crypto/") && !path_contains(path_, "zone/")) {
+      return;
+    }
+    static const std::set<std::string> kNarrow = {
+        "uint8_t",  "int8_t",       "uint16_t",  "int16_t",
+        "short",    "unsigned short", "short int", "signed short"};
+    static const std::set<std::string_view> kGuardCalls = {"DFX_CHECK",
+                                                           "DFX_DCHECK"};
+    static const std::vector<std::string_view> kGuardLines = {"DFX_CHECK",
+                                                              "DFX_DCHECK"};
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (!tok_is(i, "static_cast") || !tok_is(i + 1, "<")) continue;
+      // Collect the target type up to the matching '>'.
+      std::string type;
+      int depth = 1;
+      std::size_t j = i + 2;
+      for (; j < tokens_.size() && depth > 0; ++j) {
+        const std::string_view t = tokens_[j].text;
+        if (t == "<") {
+          ++depth;
+        } else if (t == ">") {
+          if (--depth == 0) break;
+        } else if (t != "std" && t != "::" && t != "const") {
+          if (!type.empty()) type += ' ';
+          type += std::string(t);
+        }
+      }
+      if (j >= tokens_.size() || !kNarrow.contains(type)) continue;
+      if (!tok_is(j + 1, "(")) continue;
+      const std::size_t close = match_paren(j + 1);
+      if (close == kNpos) continue;
+      bool masked = false;
+      bool simple = true;
+      for (std::size_t p = j + 2; p < close; ++p) {
+        const std::string_view t = tokens_[p].text;
+        if (t == "&" || t == ">>") masked = true;
+        const bool chain_tok =
+            tokens_[p].kind == Tok::kIdent || tokens_[p].kind == Tok::kNumber ||
+            t == "::" || t == "." || t == "->" || t == "~";
+        if (!chain_tok) simple = false;
+      }
+      // `x >> 8` / `x & 0xFF` deliberately select bits; a bare variable or
+      // member chain is a width-safe conversion the types already prove.
+      if (masked || simple) continue;
+      const std::size_t li = tok_line_index(i);
+      if (guarded_nearby(li, 6, kGuardLines)) continue;
+      if (dominating_guard_before(i, kGuardCalls)) continue;
+      report(li, "unguarded-narrowing-cast",
+             "static_cast<" + type +
+                 "> of a computed value without a DFX_CHECK/DFX_DCHECK "
+                 "bound — truncation here corrupts wire data");
+    }
+  }
+
+  /// `for (int i = 0; i < v.size(); ...)` mixes a signed index with an
+  /// unsigned bound: the comparison promotes, and a size above INT_MAX (or
+  /// a buggy negative index) wraps instead of failing.
+  void check_signed_loop() {
+    static const std::set<std::string_view> kSignedMulti = {"int", "long",
+                                                            "short", "signed"};
+    static const std::set<std::string_view> kSignedSingle = {
+        "ptrdiff_t", "int8_t", "int16_t", "int32_t", "int64_t"};
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (!tok_is(i, "for") || !tok_is(i + 1, "(")) continue;
+      const std::size_t close = match_paren(i + 1);
+      if (close == kNpos) continue;
+      std::size_t p = i + 2;
+      if (tok_is(p, "const")) ++p;
+      if (tok_is(p, "std") && tok_is(p + 1, "::")) p += 2;
+      // The declared type: one std-typedef, or a run of int/long/short/
+      // signed keywords (`long long`, `signed int`, ...).
+      bool signed_type = false;
+      if (tok_ident(p) && kSignedSingle.contains(tokens_[p].text)) {
+        signed_type = true;
+        ++p;
+      } else {
+        while (tok_ident(p) && kSignedMulti.contains(tokens_[p].text)) {
+          signed_type = true;
+          ++p;
+        }
+      }
+      if (!signed_type || !tok_ident(p)) continue;
+      const std::string_view var = tokens_[p].text;
+      if (!tok_is(p + 1, "=")) continue;
+      // Condition: between the first and second ';' at paren depth 0.
+      std::size_t semi1 = kNpos;
+      int depth = 0;
+      for (std::size_t q = i + 2; q < close; ++q) {
+        const std::string_view t = tokens_[q].text;
+        if (t == "(" || t == "[") ++depth;
+        if (t == ")" || t == "]") --depth;
+        if (t == ";" && depth == 0) {
+          semi1 = q;
+          break;
+        }
+      }
+      if (semi1 == kNpos) continue;
+      for (std::size_t q = semi1 + 1; q < close; ++q) {
+        const std::string_view t = tokens_[q].text;
+        if (t == "(" || t == "[") ++depth;
+        if (t == ")" || t == "]") --depth;
+        if ((t == ";" && depth == 0) || q + 1 == close) {
+          // Condition tokens are (semi1, q). Find `var < bound`.
+          if (flag_signed_bound(semi1 + 1, t == ";" ? q : close, var)) {
+            report(tok_line_index(i), "signed-unsigned-loop",
+                   "loop index '" + std::string(var) +
+                       "' is signed but its bound is a container size — "
+                       "use std::size_t (or cast the bound once, checked)");
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  bool flag_signed_bound(std::size_t lo, std::size_t hi,
+                         std::string_view var) const {
+    for (std::size_t k = lo; k + 1 < hi; ++k) {
+      if (!(tok_ident(k) && tokens_[k].text == var)) continue;
+      if (tok(k + 1) != "<" && tok(k + 1) != "<=") continue;
+      bool size_call = false;
+      bool cast = false;
+      int depth = 0;
+      for (std::size_t b = k + 2; b < hi; ++b) {
+        const std::string_view t = tokens_[b].text;
+        if (t == "(" || t == "[") ++depth;
+        if (t == ")" || t == "]") --depth;
+        if (depth == 0 && (t == "&&" || t == "||" || t == ";")) break;
+        if ((t == "size" || t == "length") && tok_is(b + 1, "(")) {
+          size_call = true;
+        }
+        if (t == "static_cast") cast = true;
+      }
+      return size_call && !cast;
     }
     return false;
   }
 
-  void check_nodiscard() {
-    // Walk declaration chunks (text between ; { }) and flag status-returning
-    // parse/validate/verify/decode declarations without [[nodiscard]].
-    std::size_t chunk_start = 0;
-    std::size_t line_no = 0;          // line of chunk_start
-    std::size_t current_line = 0;
-    for (std::size_t i = 0; i <= stripped_.size(); ++i) {
-      const char c = i < stripped_.size() ? stripped_[i] : ';';
-      if (c == '\n') ++current_line;
-      if (c != ';' && c != '{' && c != '}') continue;
-      check_nodiscard_chunk(stripped_.substr(chunk_start, i - chunk_start),
-                            line_no);
-      chunk_start = i + 1;
-      line_no = current_line;
+  /// A function returning string_view/span must not return a view of one of
+  /// its own locals — the storage dies with the frame.
+  void check_view_into_temporary() {
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (!tok_ident(i) ||
+          (tokens_[i].text != "string_view" && tokens_[i].text != "span")) {
+        continue;
+      }
+      std::size_t j = i + 1;
+      if (tok_is(j, "<")) {  // span<const uint8_t>
+        int depth = 1;
+        ++j;
+        for (; j < tokens_.size() && depth > 0; ++j) {
+          if (tok(j) == "<") ++depth;
+          if (tok(j) == ">") --depth;
+        }
+      }
+      // Function name: [Qual::]name followed by '('.
+      if (!tok_ident(j)) continue;
+      while (tok_is(j + 1, "::") && tok_ident(j + 2)) j += 2;
+      if (!tok_is(j + 1, "(")) continue;
+      const std::size_t close = match_paren(j + 1);
+      if (close == kNpos) continue;
+      std::size_t k = close + 1;
+      while (tok_is(k, "const") || tok_is(k, "noexcept") ||
+             tok_is(k, "override") || tok_is(k, "final")) {
+        if (tok_is(k, "noexcept") && tok_is(k + 1, "(")) {
+          const std::size_t ne = match_paren(k + 1);
+          if (ne == kNpos) break;
+          k = ne + 1;
+        } else {
+          ++k;
+        }
+      }
+      if (!tok_is(k, "{")) continue;  // declaration, not a definition
+      const std::size_t body_open = k;
+      const std::size_t body_close = match_brace(body_open);
+      if (body_close == kNpos) continue;
+      scan_view_body(body_open, body_close);
+      i = body_close;
     }
   }
 
-  void check_nodiscard_chunk(std::string chunk, std::size_t start_line) {
-    // Line number of the first non-blank character in the chunk.
-    std::size_t line = start_line;
-    std::size_t begin = 0;
-    while (begin < chunk.size() &&
-           std::isspace(static_cast<unsigned char>(chunk[begin])) != 0) {
-      if (chunk[begin] == '\n') ++line;
-      ++begin;
+  void scan_view_body(std::size_t body_open, std::size_t body_close) {
+    static const std::set<std::string_view> kOwners = {
+        "string", "vector", "array", "basic_string", "ostringstream", "deque"};
+    std::set<std::string_view> locals;
+    for (std::size_t p = body_open + 1; p + 2 < body_close; ++p) {
+      if (!tok_is(p, "std") || !tok_is(p + 1, "::")) continue;
+      if (!tok_ident(p + 2) || !kOwners.contains(tokens_[p + 2].text)) continue;
+      if (tok(p - 1) == "static" ||
+          (tok(p - 1) == "const" && tok(p - 2) == "static")) {
+        continue;  // statics outlive the frame
+      }
+      std::size_t q = p + 3;
+      if (tok_is(q, "<")) {
+        int depth = 1;
+        ++q;
+        for (; q < body_close && depth > 0; ++q) {
+          if (tok(q) == "<") ++depth;
+          if (tok(q) == ">") --depth;
+        }
+      }
+      if (tok(q) == "&" || tok(q) == "*") continue;  // not an owning local
+      if (tok_ident(q) &&
+          (tok(q + 1) == "=" || tok(q + 1) == "(" || tok(q + 1) == ";" ||
+           tok(q + 1) == "{" || tok(q + 1) == ",")) {
+        locals.insert(tokens_[q].text);
+      }
     }
-    chunk = chunk.substr(begin);
-    if (chunk.empty()) return;
-    const bool has_nodiscard =
-        chunk.find("[[nodiscard]]") != std::string::npos;
-    // Strip leading specifiers so the return type leads the chunk.
-    for (bool again = true; again;) {
-      again = false;
-      for (const std::string_view spec :
-           {"[[nodiscard]]", "static", "inline", "constexpr", "friend",
-            "virtual", "explicit"}) {
-        if (chunk.starts_with(spec)) {
-          chunk = chunk.substr(spec.size());
-          while (!chunk.empty() && (chunk[0] == ' ' || chunk[0] == '\n')) {
-            if (chunk[0] == '\n') ++line;
-            chunk = chunk.substr(1);
+    if (locals.empty()) return;
+    for (std::size_t p = body_open + 1; p + 1 < body_close; ++p) {
+      if (!tok_is(p, "return") || !tok_ident(p + 1) ||
+          !locals.contains(tokens_[p + 1].text)) {
+        continue;
+      }
+      const bool direct = tok_is(p + 2, ";");
+      const bool via_substr = tok_is(p + 2, ".") && tok_is(p + 3, "substr") &&
+                              tok_is(p + 4, "(");
+      if (!direct && !via_substr) continue;
+      report(tok_line_index(p), "view-into-temporary",
+             "returning a view of local '" + std::string(tokens_[p + 1].text) +
+                 "' — the buffer dies with this frame; return an owning "
+                 "string or take an out-param");
+    }
+  }
+
+  /// Generalized switch-exhaustiveness over every enum the symbol index
+  /// knows (replacing the old hardcoded ErrorCode rule). A switch whose
+  /// case labels all belong to one indexed enum must either cover every
+  /// enumerator or carry a default.
+  void check_enum_switches() {
+    if (options_.symbols == nullptr) return;
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (!tok_is(i, "switch") || !tok_is(i + 1, "(")) continue;
+      const std::size_t cond_close = match_paren(i + 1);
+      if (cond_close == kNpos || !tok_is(cond_close + 1, "{")) continue;
+      const std::size_t body_open = cond_close + 1;
+      const std::size_t body_close = match_brace(body_open);
+      if (body_close == kNpos) continue;
+      std::set<std::string, std::less<>> present;
+      std::set<std::string, std::less<>> qualifiers;
+      bool has_default = false;
+      int depth = 1;
+      for (std::size_t p = body_open + 1; p < body_close; ++p) {
+        const std::string_view t = tokens_[p].text;
+        if (t == "{") {
+          ++depth;
+        } else if (t == "}") {
+          --depth;
+        } else if (depth == 1 && t == "default" && tok_is(p + 1, ":")) {
+          has_default = true;
+        } else if (depth == 1 && t == "case") {
+          // Label runs to the next ':' ("::" is one token, so a scope
+          // separator can never be mistaken for the label end).
+          std::size_t q = p + 1;
+          std::size_t last_ident = kNpos;
+          while (q < body_close && !tok_is(q, ":")) {
+            if (tok_ident(q)) last_ident = q;
+            ++q;
           }
-          again = true;
+          if (last_ident != kNpos) {
+            present.insert(std::string(tokens_[last_ident].text));
+            if (last_ident >= 2 && tok(last_ident - 1) == "::" &&
+                tok_ident(last_ident - 2)) {
+              qualifiers.insert(std::string(tokens_[last_ident - 2].text));
+            }
+          }
+          p = q;
         }
       }
-    }
-    const bool status_return = chunk.starts_with("bool ") ||
-                               chunk.starts_with("std::optional<") ||
-                               chunk.starts_with("std::variant<");
-    if (!status_return) return;
-    // First identifier followed by '(' is the declared name; an '=' before
-    // it means this is a statement, not a declaration.
-    const std::size_t paren = chunk.find('(');
-    if (paren == std::string::npos) return;
-    // Template arguments may contain parentheses only in exotic cases we
-    // don't produce; take the identifier immediately left of the paren.
-    std::size_t name_end = paren;
-    while (name_end > 0 && std::isspace(static_cast<unsigned char>(
-                               chunk[name_end - 1])) != 0) {
-      --name_end;
-    }
-    std::size_t name_start = name_end;
-    while (name_start > 0 && is_ident_char(chunk[name_start - 1])) {
-      --name_start;
-    }
-    if (name_start == name_end) return;
-    const std::string_view head(chunk.data(), name_start);
-    if (head.find('=') != std::string_view::npos) return;
-    const std::string_view name(chunk.data() + name_start,
-                                name_end - name_start);
-    if (!is_status_function_name(name)) return;
-    if (has_nodiscard) return;
-    report(line, "missing-nodiscard",
-           "status-returning " + std::string(name) +
-               "() must be [[nodiscard]]");
-  }
-
-  void check_errorcode_switches() {
-    if (options_.errorcode_enumerators.empty()) return;
-    const std::set<std::string> all(options_.errorcode_enumerators.begin(),
-                                    options_.errorcode_enumerators.end());
-    std::size_t pos = 0;
-    while ((pos = stripped_.find("switch", pos)) != std::string::npos) {
-      const std::size_t kw = pos;
-      pos += 6;
-      const bool left_ok = kw == 0 || !is_ident_char(stripped_[kw - 1]);
-      if (!left_ok || (pos < stripped_.size() && is_ident_char(stripped_[pos]))) {
-        continue;
+      if (has_default || present.empty()) continue;
+      const EnumDecl* target = resolve_switched_enum(present, qualifiers);
+      if (target == nullptr) continue;
+      std::vector<std::string> missing;
+      for (const auto& e : target->enumerators) {
+        if (!present.contains(e)) missing.push_back(e);
       }
-      const std::size_t body_open = stripped_.find('{', pos);
-      if (body_open == std::string::npos) return;
-      // Brace-match the switch body.
-      int depth = 0;
-      std::size_t body_end = body_open;
-      for (std::size_t i = body_open; i < stripped_.size(); ++i) {
-        if (stripped_[i] == '{') ++depth;
-        if (stripped_[i] == '}' && --depth == 0) {
-          body_end = i;
-          break;
-        }
+      if (missing.empty()) continue;
+      std::string msg = "switch over " + target->name + " misses " +
+                        std::to_string(missing.size()) +
+                        " enumerator(s) and has no default:";
+      for (std::size_t m = 0; m < missing.size() && m < 3; ++m) {
+        msg += " " + missing[m];
       }
-      const std::string_view body(stripped_.data() + body_open,
-                                  body_end - body_open);
-      analyze_switch_body(body, line_of(kw), all);
-      pos = body_end;
+      if (missing.size() > 3) msg += " ...";
+      report(tok_line_index(i), "nonexhaustive-enum-switch", msg);
     }
   }
 
-  std::size_t line_of(std::size_t offset) const {
-    return static_cast<std::size_t>(
-        std::count(stripped_.begin(),
-                   stripped_.begin() + static_cast<std::ptrdiff_t>(offset),
-                   '\n'));
-  }
-
-  void analyze_switch_body(std::string_view body, std::size_t line_index,
-                           const std::set<std::string>& all) {
-    // Collect the final `::`-component of every case label.
-    std::set<std::string> present;
-    std::size_t pos = 0;
-    while ((pos = body.find("case", pos)) != std::string_view::npos) {
-      const bool left_ok = pos == 0 || !is_ident_char(body[pos - 1]);
-      pos += 4;
-      if (!left_ok || (pos < body.size() && is_ident_char(body[pos]))) {
-        continue;
-      }
-      // The label ends at the first ':' that is not part of a '::' scope
-      // separator (`case ErrorCode::kFoo:`).
-      std::size_t colon = pos;
-      while ((colon = body.find(':', colon)) != std::string_view::npos &&
-             colon + 1 < body.size() && body[colon + 1] == ':') {
-        colon += 2;
-      }
-      if (colon == std::string_view::npos) break;
-      std::size_t end = colon;
-      // `Foo::kBar:` — step back over the identifier before the colon.
-      while (end > pos && std::isspace(static_cast<unsigned char>(
-                              body[end - 1])) != 0) {
-        --end;
-      }
-      std::size_t start = end;
-      while (start > pos && is_ident_char(body[start - 1])) --start;
-      if (start != end) present.insert(std::string(body.substr(start, end - start)));
-      pos = colon + 1;
-    }
-    bool mentions_errorcode = false;
-    for (const auto& label : present) {
-      if (all.contains(label)) {
-        mentions_errorcode = true;
-        break;
+  const EnumDecl* resolve_switched_enum(
+      const std::set<std::string, std::less<>>& present,
+      const std::set<std::string, std::less<>>& qualifiers) const {
+    const auto covers = [&](const EnumDecl* e) {
+      const std::set<std::string_view> all(e->enumerators.begin(),
+                                           e->enumerators.end());
+      return std::all_of(present.begin(), present.end(),
+                         [&](const std::string& label) {
+                           return all.contains(std::string_view(label));
+                         });
+    };
+    for (const auto& q : qualifiers) {
+      for (const EnumDecl* e : options_.symbols->find_enums(q)) {
+        if (covers(e)) return e;
       }
     }
-    if (!mentions_errorcode) return;
-    if (body.find("default") != std::string_view::npos) return;
-    std::vector<std::string> missing;
-    for (const auto& e : all) {
-      if (!present.contains(e)) missing.push_back(e);
+    if (!qualifiers.empty()) return nullptr;
+    // Unscoped labels (`case kSweet:`): usable only if exactly one indexed
+    // enum contains every label — ambiguity keeps the rule quiet.
+    const EnumDecl* unique = nullptr;
+    for (const EnumDecl& e : options_.symbols->enums()) {
+      if (!covers(&e)) continue;
+      if (unique != nullptr) return nullptr;
+      unique = &e;
     }
-    if (missing.empty()) return;
-    std::string msg = "switch over ErrorCode misses " +
-                      std::to_string(missing.size()) +
-                      " enumerator(s) and has no default:";
-    for (std::size_t i = 0; i < missing.size() && i < 3; ++i) {
-      msg += " " + missing[i];
-    }
-    if (missing.size() > 3) msg += " ...";
-    report(line_index, "nonexhaustive-errorcode-switch", msg);
+    return unique;
   }
 
   const std::string& path_;
   const Options& options_;
-  std::string stripped_;
-  std::vector<std::string> lines_;
+  const std::string& stripped_;
+  const std::vector<std::string>& lines_;
+  const std::vector<Token>& tokens_;
   Suppressions suppressions_;
   std::vector<Violation> violations_;
 };
@@ -735,45 +1109,60 @@ std::string strip_comments_and_strings(std::string_view src) {
   return out;
 }
 
-std::vector<std::string> parse_enum_class(std::string_view header,
-                                          std::string_view enum_name) {
-  std::vector<std::string> out;
-  const std::string stripped = strip_comments_and_strings(header);
-  const std::string needle = "enum class " + std::string(enum_name);
-  std::size_t pos = stripped.find(needle);
-  if (pos == std::string::npos) return out;
-  const std::size_t open = stripped.find('{', pos);
-  const std::size_t close = stripped.find('}', open);
-  if (open == std::string::npos || close == std::string::npos) return out;
-  std::string_view body(stripped.data() + open + 1, close - open - 1);
-  std::size_t start = 0;
-  while (start < body.size()) {
-    std::size_t comma = body.find(',', start);
-    if (comma == std::string_view::npos) comma = body.size();
-    std::string_view entry = body.substr(start, comma - start);
-    // Trim whitespace and drop any `= value` initialiser.
-    const std::size_t eq = entry.find('=');
-    if (eq != std::string_view::npos) entry = entry.substr(0, eq);
-    while (!entry.empty() &&
-           std::isspace(static_cast<unsigned char>(entry.front())) != 0) {
-      entry.remove_prefix(1);
+const char* severity_of(std::string_view rule) {
+  static const std::set<std::string_view> kWarnings = {
+      "missing-nodiscard",     "nonexhaustive-enum-switch",
+      "raw-std-mutex",         "unguarded-mutable-field",
+      "signed-unsigned-loop",
+  };
+  return kWarnings.contains(rule) ? "warning" : "error";
+}
+
+FileAnalysis analyze_file(std::string path, std::string content) {
+  FileAnalysis fa;
+  fa.path = std::move(path);
+  fa.content = std::make_unique<const std::string>(std::move(content));
+  fa.stripped = strip_comments_and_strings(*fa.content);
+  fa.lines = split_lines(fa.stripped);
+  fa.raw_lines = split_lines(*fa.content);
+  fa.tokens = lex(*fa.content);
+  return fa;
+}
+
+std::vector<std::string> collect_lintable_files(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const char* sub : {"src", "tools", "bench", "examples", "tests"}) {
+    const fs::path dir = fs::path(root) / sub;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) continue;
+    for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file()) continue;
+      const fs::path& p = it->path();
+      const std::string ext = p.extension().string();
+      if (ext != ".h" && ext != ".hpp" && ext != ".cpp") continue;
+      const std::string s = p.generic_string();
+      // Fixtures violate the rules on purpose.
+      if (s.find("lint_fixtures") != std::string::npos) continue;
+      files.push_back(s);
     }
-    while (!entry.empty() &&
-           std::isspace(static_cast<unsigned char>(entry.back())) != 0) {
-      entry.remove_suffix(1);
-    }
-    if (!entry.empty() && is_ident_char(entry.front())) {
-      out.emplace_back(entry);
-    }
-    start = comma + 1;
   }
-  return out;
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<Violation> lint_file(const FileAnalysis& fa,
+                                 const Options& options) {
+  return Linter(fa, options).run();
 }
 
 std::vector<Violation> lint_file(const std::string& path,
                                  std::string_view content,
                                  const Options& options) {
-  return Linter(path, content, options).run();
+  const FileAnalysis fa = analyze_file(path, std::string(content));
+  return lint_file(fa, options);
 }
 
 }  // namespace dfx::lint

@@ -6,9 +6,19 @@
 //                                           fixtures violate on purpose)
 //   dfixer_lint [--root <repo_root>] FILES  lint exactly FILES
 //
-// Exit code 0: clean. 1: violations found. 2: usage or I/O error.
-// The ErrorCode enumerator list for the switch-exhaustiveness rule is read
-// from <root>/src/analyzer/errorcode.h at startup.
+// Flags:
+//   --json                 print findings as ratchet-schema JSON on stdout
+//   --baseline FILE        diff findings against FILE (the ratchet): fresh
+//                          findings AND stale baseline entries both fail
+//   --update-baseline      rewrite the baseline file with current findings
+//
+// Exit code 0: clean (or ratchet matches). 1: violations / ratchet diff.
+// 2: usage or I/O error (including a malformed baseline).
+//
+// Every file is read and lexed exactly once into a FileAnalysis shared by
+// all rule packs; the cross-TU symbol index is built from src/ before any
+// rule runs, so discarded-error-return and enum-switch exhaustiveness see
+// declarations from other translation units.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -18,6 +28,7 @@
 #include <vector>
 
 #include "dfixer_lint/lint_core.h"
+#include "dfixer_lint/ratchet.h"
 
 namespace fs = std::filesystem;
 
@@ -37,10 +48,23 @@ bool lintable(const fs::path& path) {
   return ext == ".cpp" || ext == ".h" || ext == ".hpp";
 }
 
+/// Report paths relative to the root so findings (and the committed
+/// baseline) are stable across checkouts.
+std::string display_path(const std::string& file, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::proximate(file, root, ec);
+  if (ec || rel.empty()) return file;
+  const std::string s = rel.generic_string();
+  return s.starts_with("..") ? file : s;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string baseline_path;
+  bool emit_json = false;
+  bool update_baseline = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -50,39 +74,31 @@ int main(int argc, char** argv) {
         return 2;
       }
       root = argv[++i];
+    } else if (arg == "--baseline") {
+      if (i + 1 >= argc) {
+        std::cerr << "dfixer_lint: --baseline needs an argument\n";
+        return 2;
+      }
+      baseline_path = argv[++i];
+    } else if (arg == "--json") {
+      emit_json = true;
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: dfixer_lint [--root DIR] [files...]\n";
+      std::cout << "usage: dfixer_lint [--root DIR] [--json] "
+                   "[--baseline FILE] [--update-baseline] [files...]\n";
       return 0;
     } else {
       files.push_back(arg);
     }
   }
-
-  dfx::lint::Options options;
-  {
-    std::string header;
-    const fs::path enum_header =
-        fs::path(root) / "src" / "analyzer" / "errorcode.h";
-    if (read_file(enum_header, header)) {
-      options.errorcode_enumerators =
-          dfx::lint::parse_enum_class(header, "ErrorCode");
-    }
+  if (update_baseline && baseline_path.empty()) {
+    std::cerr << "dfixer_lint: --update-baseline needs --baseline FILE\n";
+    return 2;
   }
 
   if (files.empty()) {
-    for (const char* dir : {"src", "tools", "bench", "examples", "tests"}) {
-      const fs::path base = fs::path(root) / dir;
-      if (!fs::exists(base)) continue;
-      for (const auto& entry : fs::recursive_directory_iterator(base)) {
-        // Lint fixtures violate rules on purpose; test_lint.cpp pins them.
-        if (entry.path().string().find("lint_fixtures") != std::string::npos) {
-          continue;
-        }
-        if (entry.is_regular_file() && lintable(entry.path())) {
-          files.push_back(entry.path().string());
-        }
-      }
-    }
+    files = dfx::lint::collect_lintable_files(root);
     if (files.empty()) {
       std::cerr << "dfixer_lint: nothing to lint under " << root << "\n";
       return 2;
@@ -90,25 +106,118 @@ int main(int argc, char** argv) {
   }
   std::sort(files.begin(), files.end());
 
-  std::size_t total = 0;
+  // Read + lex every requested file exactly once; the analyses are shared
+  // by the symbol-index pass and every rule pack.
+  std::vector<dfx::lint::FileAnalysis> analyses;
+  analyses.reserve(files.size());
   for (const auto& file : files) {
     std::string content;
     if (!read_file(file, content)) {
       std::cerr << "dfixer_lint: cannot read " << file << "\n";
       return 2;
     }
-    const auto violations = dfx::lint::lint_file(file, content, options);
-    for (const auto& v : violations) {
+    analyses.push_back(
+        dfx::lint::analyze_file(display_path(file, root), std::move(content)));
+  }
+
+  // Cross-TU symbol index over all of src/ — even when linting an explicit
+  // file list, so single-file runs resolve the same symbols a full sweep
+  // does. Files already analyzed above are reused, not re-lexed.
+  dfx::lint::SymbolIndex index;
+  {
+    std::vector<std::string> src_files;
+    for (const auto& fa : analyses) {
+      if (fa.path.find("src/") != std::string::npos) {
+        index.index_source(fa.path, fa.tokens);
+        src_files.push_back(fa.path);
+      }
+    }
+    for (const auto& file : dfx::lint::collect_lintable_files(root)) {
+      if (file.find("src/") == std::string::npos) continue;
+      const std::string shown = display_path(file, root);
+      if (std::find(src_files.begin(), src_files.end(), shown) !=
+          src_files.end()) {
+        continue;
+      }
+      std::string content;
+      if (!read_file(file, content)) continue;
+      const auto fa = dfx::lint::analyze_file(shown, std::move(content));
+      index.index_source(fa.path, fa.tokens);
+    }
+  }
+
+  dfx::lint::Options options;
+  options.symbols = &index;
+
+  std::vector<dfx::lint::Violation> findings;
+  for (const auto& fa : analyses) {
+    auto violations = dfx::lint::lint_file(fa, options);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(violations.begin()),
+                    std::make_move_iterator(violations.end()));
+  }
+
+  if (update_baseline) {
+    std::ofstream out(baseline_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "dfixer_lint: cannot write " << baseline_path << "\n";
+      return 2;
+    }
+    out << dfx::lint::findings_to_json(findings);
+    std::cerr << "dfixer_lint: baseline updated (" << findings.size()
+              << " finding(s)) — review before committing\n";
+    return 0;
+  }
+
+  if (emit_json) {
+    std::cout << dfx::lint::findings_to_json(findings);
+  } else {
+    for (const auto& v : findings) {
       std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
                 << v.message << "\n";
     }
-    total += violations.size();
   }
-  if (total != 0) {
-    std::cout << "dfixer_lint: " << total << " violation(s) in "
-              << files.size() << " file(s)\n";
+  auto& diag = emit_json ? std::cerr : std::cout;
+
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!read_file(baseline_path, text)) {
+      std::cerr << "dfixer_lint: cannot read baseline " << baseline_path
+                << "\n";
+      return 2;
+    }
+    std::string error;
+    const auto baseline = dfx::lint::findings_from_json(text, &error);
+    if (!baseline) {
+      std::cerr << "dfixer_lint: malformed baseline " << baseline_path << ": "
+                << error << "\n";
+      return 2;
+    }
+    const auto diff = dfx::lint::ratchet_diff(findings, *baseline);
+    for (const auto& v : diff.fresh) {
+      diag << "dfixer_lint: new finding: " << v.file << ":" << v.line << " ["
+           << v.rule << "] " << v.message << "\n";
+    }
+    for (const auto& v : diff.stale) {
+      diag << "dfixer_lint: stale baseline entry (fixed? remove it): "
+           << v.file << ":" << v.line << " [" << v.rule << "]\n";
+    }
+    if (!diff.clean()) {
+      diag << "dfixer_lint: ratchet mismatch — " << diff.fresh.size()
+           << " new, " << diff.stale.size() << " stale (baseline "
+           << baseline_path << ")\n";
+      return 1;
+    }
+    diag << "dfixer_lint: ratchet clean (" << findings.size()
+         << " baselined finding(s), " << files.size() << " files)\n";
+    return 0;
+  }
+
+  if (!findings.empty()) {
+    diag << "dfixer_lint: " << findings.size() << " violation(s) in "
+         << files.size() << " file(s)\n";
     return 1;
   }
-  std::cout << "dfixer_lint: clean (" << files.size() << " files)\n";
+  diag << "dfixer_lint: clean (" << files.size() << " files)\n";
   return 0;
 }

@@ -1,0 +1,91 @@
+// Cross-translation-unit symbol index for dfixer_lint. One sweep over all
+// of src/ records (a) function declarations with a coarse classification of
+// their return type and (b) enum definitions with their enumerator lists.
+// The flow-aware rules consume it: discarded-error-return asks whether a
+// called name returns a status the caller must consume, and the generalized
+// enum-switch-exhaustiveness rule looks switched-on enums up here instead of
+// hardcoding analyzer::ErrorCode.
+//
+// The index is name-based (unqualified), deliberately: it has no overload
+// resolution and no type checker. A name is only treated as must-use when
+// *every* indexed declaration of that name is must-use, so a collision with
+// an unrelated void function makes the rule go quiet rather than wrong.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dfixer_lint/lexer.h"
+
+namespace dfx::lint {
+
+enum class ReturnClass : std::uint8_t {
+  kOther,
+  kVoid,
+  kBool,        // plain bool (not status-named)
+  kBoolStatus,  // bool + parse/validate/verify/decode-style name
+  kErrorCode,   // any return type mentioning ErrorCode
+  kOptional,    // std::optional<...>
+  kVariant,     // std::variant<...>
+};
+
+struct FunctionDecl {
+  std::string name;         // unqualified (last component)
+  std::string return_type;  // normalized, space-joined token text
+  ReturnClass cls = ReturnClass::kOther;
+  bool nodiscard = false;
+  std::string file;
+  std::size_t line = 0;  // 1-based, of the declared name
+};
+
+struct EnumDecl {
+  std::string name;  // unqualified; anonymous enums are not indexed
+  bool scoped = false;  // enum class / enum struct
+  std::vector<std::string> enumerators;
+  std::string file;
+  std::size_t line = 0;  // 1-based, of the enum name
+};
+
+/// Names that must not silently drop their status result (parse_*,
+/// validate_*, *_decode, from_wire, ...).
+bool is_status_function_name(std::string_view name);
+
+/// Must the result of a declaration with this shape be consumed?
+bool is_must_use_decl(const FunctionDecl& decl);
+
+class SymbolIndex {
+ public:
+  /// Record every function declaration and enum definition found in one
+  /// already-lexed file. Safe to call once per file; later calls append.
+  void index_source(const std::string& path, const std::vector<Token>& tokens);
+
+  const std::vector<FunctionDecl>& functions() const { return functions_; }
+  const std::vector<EnumDecl>& enums() const { return enums_; }
+  std::size_t indexed_file_count() const { return file_count_; }
+
+  std::vector<const FunctionDecl*> find_functions(std::string_view name) const;
+  std::vector<const EnumDecl*> find_enums(std::string_view name) const;
+
+  /// True when `name` is indexed and every declaration of it is must-use
+  /// (ErrorCode / optional / variant / status-named bool / [[nodiscard]]).
+  bool must_use(std::string_view name) const;
+
+ private:
+  void index_enums(const std::string& path, const std::vector<Token>& tokens);
+  void index_functions(const std::string& path,
+                       const std::vector<Token>& tokens);
+  void analyze_chunk(const std::string& path, const std::vector<Token>& tokens,
+                     std::size_t begin, std::size_t end);
+
+  std::vector<FunctionDecl> functions_;
+  std::vector<EnumDecl> enums_;
+  std::map<std::string, std::vector<std::size_t>, std::less<>> fn_by_name_;
+  std::map<std::string, std::vector<std::size_t>, std::less<>> enum_by_name_;
+  std::size_t file_count_ = 0;
+};
+
+}  // namespace dfx::lint
