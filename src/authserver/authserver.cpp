@@ -3,13 +3,11 @@
 #include <algorithm>
 
 #include "zone/nsec3.h"
+#include "util/check.hpp"
 #include "util/codec.h"
 
 namespace dfx::authserver {
-namespace {
 
-/// Does `name` fall in the interval (owner, next] in canonical order, with
-/// wrap-around at the end of the chain?
 bool nsec_covers(const dns::Name& owner, const dns::Name& next,
                  const dns::Name& name) {
   if (owner < next) return owner < name && name < next;
@@ -17,15 +15,13 @@ bool nsec_covers(const dns::Name& owner, const dns::Name& next,
   return name > owner || name < next;
 }
 
-bool hash_covers(const Bytes& owner_hash, const Bytes& next_hash,
-                 const Bytes& target) {
+bool nsec3_hash_covers(const Bytes& owner_hash, const Bytes& next_hash,
+                       const Bytes& target) {
   if (owner_hash < next_hash) {
     return owner_hash < target && target < next_hash;
   }
   return target > owner_hash || target < next_hash;
 }
-
-}  // namespace
 
 std::vector<dns::ResourceRecord> QueryResult::negative_proofs() const {
   std::vector<dns::ResourceRecord> out;
@@ -36,6 +32,21 @@ std::vector<dns::ResourceRecord> QueryResult::negative_proofs() const {
     }
   }
   return out;
+}
+
+dns::Message QueryResult::to_message(const dns::Question& question,
+                                     std::uint16_t id) const {
+  DFX_CHECK(reachable);
+  dns::Message msg;
+  msg.header.id = id;
+  msg.header.qr = true;
+  msg.header.aa = authoritative;
+  msg.header.rcode = rcode;
+  msg.questions.push_back(question);
+  msg.answers = answers;
+  msg.authorities = authorities;
+  msg.additionals = additionals;
+  return msg;
 }
 
 void AuthServer::load_zone(zone::Zone zone) {

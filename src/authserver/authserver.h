@@ -12,12 +12,24 @@
 #include <string>
 #include <vector>
 
+#include "dnscore/message.h"
 #include "dnscore/name.h"
 #include "dnscore/rr.h"
 #include "dnscore/rrset.h"
 #include "zone/zone.h"
 
 namespace dfx::authserver {
+
+/// Does `name` fall in the NSEC interval (owner, next) in canonical order,
+/// with wrap-around at the end of the chain? Shared with the serving
+/// layer's aggressive negative cache (src/server), which must select the
+/// same records this server's answer logic would.
+bool nsec_covers(const dns::Name& owner, const dns::Name& next,
+                 const dns::Name& name);
+
+/// Same for NSEC3 hash intervals (owner_hash, next_hash).
+bool nsec3_hash_covers(const Bytes& owner_hash, const Bytes& next_hash,
+                       const Bytes& target);
 
 /// The server's reply to one question.
 struct QueryResult {
@@ -30,6 +42,14 @@ struct QueryResult {
 
   /// All NSEC/NSEC3 records (with RRSIGs) in the authority section.
   std::vector<dns::ResourceRecord> negative_proofs() const;
+
+  /// Render as a wire-ready response to `question`: QR set, AA from
+  /// `authoritative`, RCODE from `rcode`, sections copied. The caller owns
+  /// everything transport-level — message ID, RD/CD echo, EDNS attachment
+  /// and truncation (src/server/frontend does all four). Must not be
+  /// called on an unreachable result: a lame server sends nothing.
+  dns::Message to_message(const dns::Question& question,
+                          std::uint16_t id = 0) const;
 };
 
 class AuthServer {

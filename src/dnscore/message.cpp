@@ -70,12 +70,12 @@ void write_record(Bytes& out, NameCompressor& comp,
   append(out, rdata);
 }
 
-std::optional<ResourceRecord> read_record(WireReader& r) {
+/// Read the record body (class/ttl/rdata) once owner and type are known.
+std::optional<ResourceRecord> read_record_body(WireReader& r, Name owner,
+                                               RRType type) {
   ResourceRecord rr;
-  auto owner = r.read_name();
-  if (!owner) return std::nullopt;
-  rr.owner = *std::move(owner);
-  rr.type = static_cast<RRType>(r.read_u16());
+  rr.owner = std::move(owner);
+  rr.type = type;
   rr.rrclass = static_cast<RRClass>(r.read_u16());
   rr.ttl = r.read_u32();
   const std::uint16_t rdlength = r.read_u16();
@@ -85,6 +85,45 @@ std::optional<ResourceRecord> read_record(WireReader& r) {
   if (!rdata) return std::nullopt;
   rr.rdata = *std::move(rdata);
   return rr;
+}
+
+/// Decode an OPT record body into EdnsInfo (owner and type already read).
+std::optional<EdnsInfo> read_opt_body(WireReader& r, const Name& owner) {
+  if (!owner.is_root()) return std::nullopt;  // RFC 6891 §6.1.2
+  EdnsInfo edns;
+  edns.udp_size = r.read_u16();  // the CLASS field
+  const std::uint32_t ttl = r.read_u32();
+  edns.ext_rcode = static_cast<std::uint8_t>((ttl >> 24) & 0xFF);
+  edns.version = static_cast<std::uint8_t>((ttl >> 16) & 0xFF);
+  edns.do_bit = (ttl & 0x8000) != 0;
+  const std::uint16_t rdlength = r.read_u16();
+  edns.options = r.read_bytes(rdlength);
+  if (!r.ok()) return std::nullopt;
+  // Options are TLVs: walk them so a truncated TLV is rejected here
+  // rather than surviving to confuse a consumer.
+  WireReader opts(edns.options);
+  DFX_BOUNDED_LOOP(guard, edns.options.size() + 1);
+  while (opts.ok() && opts.remaining() > 0) {
+    guard.tick();  // each round consumes >= 4 octets
+    opts.read_u16();  // OPTION-CODE
+    const std::uint16_t olen = opts.read_u16();
+    opts.read_bytes(olen);
+  }
+  if (!opts.ok()) return std::nullopt;
+  return edns;
+}
+
+void write_opt(Bytes& out, const EdnsInfo& edns) {
+  out.push_back(0);  // root owner
+  append_u16(out, kOptType);
+  append_u16(out, edns.udp_size);
+  const std::uint32_t ttl = (static_cast<std::uint32_t>(edns.ext_rcode) << 24) |
+                            (static_cast<std::uint32_t>(edns.version) << 16) |
+                            (edns.do_bit ? 0x8000u : 0u);
+  append_u32(out, ttl);
+  DFX_DCHECK(edns.options.size() <= 0xFFFF);
+  append_u16(out, static_cast<std::uint16_t>(edns.options.size()));
+  append(out, edns.options);
 }
 
 }  // namespace
@@ -103,13 +142,14 @@ Bytes encode_message(const Message& msg) {
   if (msg.header.cd) flags |= 0x0010;
   flags |= static_cast<std::uint16_t>(msg.header.rcode) & 0xF;
   append_u16(out, flags);
+  const std::size_t arcount =
+      msg.additionals.size() + (msg.edns.has_value() ? 1 : 0);
   DFX_DCHECK(msg.questions.size() <= 0xFFFF && msg.answers.size() <= 0xFFFF &&
-             msg.authorities.size() <= 0xFFFF &&
-             msg.additionals.size() <= 0xFFFF);
+             msg.authorities.size() <= 0xFFFF && arcount <= 0xFFFF);
   append_u16(out, static_cast<std::uint16_t>(msg.questions.size()));
   append_u16(out, static_cast<std::uint16_t>(msg.answers.size()));
   append_u16(out, static_cast<std::uint16_t>(msg.authorities.size()));
-  append_u16(out, static_cast<std::uint16_t>(msg.additionals.size()));
+  append_u16(out, static_cast<std::uint16_t>(arcount));
 
   NameCompressor comp;
   for (const auto& q : msg.questions) {
@@ -120,6 +160,7 @@ Bytes encode_message(const Message& msg) {
   for (const auto& rr : msg.answers) write_record(out, comp, rr);
   for (const auto& rr : msg.authorities) write_record(out, comp, rr);
   for (const auto& rr : msg.additionals) write_record(out, comp, rr);
+  if (msg.edns) write_opt(out, *msg.edns);
   return out;
 }
 
@@ -154,17 +195,34 @@ std::optional<Message> decode_message(ByteView wire) {
     msg.questions.push_back(std::move(q));
   }
   const auto read_section = [&](int count,
-                                std::vector<ResourceRecord>& section) {
+                                std::vector<ResourceRecord>& section,
+                                bool allow_opt) {
     for (int i = 0; i < count; ++i) {
-      auto rr = read_record(r);
+      auto owner = r.read_name();
+      if (!owner) return false;
+      const std::uint16_t type = r.read_u16();
+      if (!r.ok()) return false;
+      if (allow_opt && type == kOptType) {
+        if (msg.edns.has_value()) return false;  // RFC 6891 §6.1.1
+        auto edns = read_opt_body(r, *owner);
+        if (!edns) return false;
+        msg.edns = *std::move(edns);
+        continue;
+      }
+      auto rr = read_record_body(r, *std::move(owner),
+                                 static_cast<RRType>(type));
       if (!rr) return false;
       section.push_back(*std::move(rr));
     }
     return true;
   };
-  if (!read_section(an, msg.answers)) return std::nullopt;
-  if (!read_section(ns, msg.authorities)) return std::nullopt;
-  if (!read_section(ar, msg.additionals)) return std::nullopt;
+  if (!read_section(an, msg.answers, false)) return std::nullopt;
+  if (!read_section(ns, msg.authorities, false)) return std::nullopt;
+  if (!read_section(ar, msg.additionals, true)) return std::nullopt;
+  // A message followed by trailing bytes is malformed: nothing in DNS is
+  // allowed after the last counted record, and accepting junk here would
+  // let decode(encode(decode(x))) disagree with decode(x).
+  if (r.remaining() != 0) return std::nullopt;
   return msg;
 }
 

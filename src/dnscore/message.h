@@ -37,18 +37,46 @@ struct Question {
   RRClass qclass = RRClass::kIN;
 };
 
+/// The OPT pseudo-record's TYPE value (RFC 6891). OPT never enters an
+/// RRset or a zone, so it is deliberately *not* an RRType enumerator: the
+/// codec lifts it into `EdnsInfo` on decode and synthesizes it on encode.
+constexpr std::uint16_t kOptType = 41;
+
+/// Classic (pre-EDNS) UDP payload ceiling (RFC 1035 §4.2.1).
+constexpr std::uint16_t kClassicUdpSize = 512;
+
+/// EDNS(0) state carried by the OPT pseudo-record (RFC 6891). The wire
+/// fields ride in the record's CLASS (udp_size) and TTL (ext_rcode /
+/// version / DO); `options` is the raw RDATA (option TLVs, unparsed).
+struct EdnsInfo {
+  std::uint16_t udp_size = kClassicUdpSize;
+  std::uint8_t ext_rcode = 0;  // upper 8 bits of the 12-bit RCODE
+  std::uint8_t version = 0;
+  bool do_bit = false;
+  Bytes options;
+
+  bool operator==(const EdnsInfo&) const = default;
+};
+
 struct Message {
   Header header;
   std::vector<Question> questions;
   std::vector<ResourceRecord> answers;
   std::vector<ResourceRecord> authorities;
   std::vector<ResourceRecord> additionals;
+  /// Present iff the message carries an OPT record. Encoded as the last
+  /// additional; counted in ARCOUNT but never stored in `additionals`.
+  std::optional<EdnsInfo> edns;
 };
 
-/// Encode with owner-name compression across all sections.
+/// Encode with owner-name compression across all sections. A present
+/// `edns` field emits the OPT pseudo-record at the end of the additional
+/// section.
 Bytes encode_message(const Message& msg);
 
-/// Decode; nullopt on malformed input.
+/// Decode; nullopt on malformed input (including trailing bytes after the
+/// last record, or more than one OPT record — RFC 6891 §6.1.1). An OPT
+/// record in the additional section decodes into `edns`, not `additionals`.
 [[nodiscard]] std::optional<Message> decode_message(ByteView wire);
 
 }  // namespace dfx::dns

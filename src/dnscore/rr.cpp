@@ -50,10 +50,14 @@ std::string rcode_to_string(RCode rcode) {
   switch (rcode) {
     case RCode::kNoError:
       return "NOERROR";
+    case RCode::kFormErr:
+      return "FORMERR";
     case RCode::kServFail:
       return "SERVFAIL";
     case RCode::kNXDomain:
       return "NXDOMAIN";
+    case RCode::kNotImp:
+      return "NOTIMP";
     case RCode::kRefused:
       return "REFUSED";
   }

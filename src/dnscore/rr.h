@@ -45,11 +45,15 @@ constexpr std::uint16_t kDnskeyFlagSep = 0x0001;     // bit 15: SEP (KSK)
 /// NSEC3 flag bits (RFC 5155 §3.1.2).
 constexpr std::uint8_t kNsec3FlagOptOut = 0x01;
 
-/// Response codes the authoritative server model can return.
+/// Response codes the authoritative server model can return. FORMERR and
+/// NOTIMP are produced only by the wire frontend (src/server) for
+/// malformed or unsupported packets; the typed query path never sees them.
 enum class RCode : std::uint8_t {
   kNoError = 0,
+  kFormErr = 1,
   kServFail = 2,
   kNXDomain = 3,
+  kNotImp = 4,
   kRefused = 5,
 };
 

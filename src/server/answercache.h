@@ -1,0 +1,196 @@
+// Answer cache for the wire-level serving engine: a sharded packet tier
+// keyed on (qname, qtype, DO) plus an RFC 8198-style aggressive negative
+// tier that synthesizes NXDOMAIN/NODATA answers from previously served
+// NSEC/NSEC3 proofs without touching the zone.
+//
+// The packet tier stores the encoded response *body* (everything after the
+// question section, before any OPT record); the frontend re-assembles the
+// header, question echo, EDNS OPT and truncation per query, so one cached
+// body serves every ID, spelling (0x20 case), and buffer size.
+//
+// The aggressive tier harvests SOA/NSEC/NSEC3 proof blocks from answers
+// computed the slow way and replays the authserver's *exact* proof
+// selection over the harvested subset. Synthesis refuses whenever it
+// cannot prove it would pick the same records the zone walk would — every
+// refusal just falls back to the slow path — so cached and uncached
+// answers stay bit-identical (the bench digest-asserts this).
+//
+// Invalidation: the cache carries a monotonically increasing epoch.
+// `invalidate_all()` (hooked to ZoneStore snapshot swaps) bumps it;
+// entries and harvested proofs are stamped with the epoch their producer
+// captured *before* reading the store, and are ignored once it goes
+// stale. Between a snapshot swap and its listener running, a freshly
+// inserted entry may briefly serve the pre-swap answer — equivalent to the
+// query having arrived just before the reload.
+//
+// Thread-safety: all public methods are safe from any thread. The packet
+// tier is sharded (one annotated Mutex per shard, tiny critical
+// sections); the negative tier serializes on one Mutex but sits on the
+// miss path only. The lockgraph checker audits both in Debug/sanitizer
+// builds.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "authserver/authserver.h"
+#include "dnscore/name.h"
+#include "dnscore/rdata.h"
+#include "dnscore/rr.h"
+#include "util/bytes.h"
+#include "util/metrics.h"
+#include "util/thread_annotations.h"
+
+namespace dfx::server {
+
+/// An encoded response minus everything per-query: the three record
+/// sections as wire bytes (compression offsets assume the standard
+/// 12-byte header + question prefix), their counts, and the header bits
+/// the frontend must reproduce.
+struct AnswerBody {
+  dns::RCode rcode = dns::RCode::kNoError;
+  bool aa = false;
+  std::uint16_t ancount = 0;
+  std::uint16_t nscount = 0;
+  std::uint16_t arcount = 0;
+  Bytes bytes;
+
+  bool operator==(const AnswerBody&) const = default;
+};
+
+class AnswerCache {
+ public:
+  static constexpr std::size_t kShards = 32;
+
+  /// `max_entries_per_shard` bounds the packet tier; on overflow an
+  /// arbitrary resident entry is evicted (O(1) pseudo-random victim).
+  explicit AnswerCache(std::size_t max_entries_per_shard = 4096);
+
+  // ---- Epoch / invalidation ----
+
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Drop everything (lazily): bumps the epoch so every resident entry
+  /// and harvested proof becomes unreadable. Hook this to
+  /// ZoneStore::subscribe.
+  void invalidate_all() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+
+  // ---- Packet tier ----
+
+  /// Cache key: canonical (lower-cased) qname wire form, big-endian
+  /// QTYPE, one DO byte. The frontend builds the identical byte string
+  /// inline while scanning the question, so the hit path never has to
+  /// construct a Name.
+  static std::string key_of(const dns::Name& qname, dns::RRType qtype,
+                            bool do_bit);
+
+  std::optional<AnswerBody> lookup(const std::string& key) const;
+
+  /// Insert an entry computed under `epoch` (captured before the producer
+  /// read the zone store). Dropped when the epoch has moved on.
+  void insert(std::string key, AnswerBody body, std::uint64_t epoch);
+
+  // ---- Aggressive negative tier (RFC 8198) ----
+
+  /// Harvest the SOA and NSEC/NSEC3 proof blocks from a slow-path answer
+  /// for a query under `apex`.
+  void observe(const dns::Name& apex, const authserver::QueryResult& result,
+               std::uint64_t epoch) DFX_EXCLUDES(neg_mu_);
+
+  /// Try to synthesize the answer for (qname, qtype) under `apex` from
+  /// harvested proofs. Returns an answer *identical* to what the zone walk
+  /// would produce, or nullopt when that cannot be guaranteed.
+  std::optional<authserver::QueryResult> synthesize(
+      const dns::Name& apex, const dns::Name& qname, dns::RRType qtype,
+      std::uint64_t epoch) const DFX_EXCLUDES(neg_mu_);
+
+  /// Resident packet-tier entries whose epoch is current (counts stale
+  /// residue too until overwritten; test/diagnostic use).
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::uint64_t epoch = 0;
+    AnswerBody body;
+  };
+
+  struct Shard {
+    mutable Mutex mu;
+    std::unordered_map<std::string, Entry> map DFX_GUARDED_BY(mu);
+  };
+
+  /// One harvested proof block: the authority-section records exactly as
+  /// the authserver emits them for this owner (records, then RRSIGs).
+  struct ProofBlock {
+    std::vector<dns::ResourceRecord> records;
+  };
+
+  struct NsecEntry {
+    dns::NsecRdata rdata;
+    ProofBlock block;
+  };
+
+  struct Nsec3Entry {
+    dns::Nsec3Rdata rdata;
+    ProofBlock block;
+  };
+
+  /// Harvested negative state of one zone.
+  struct NegZone {
+    std::uint64_t epoch = 0;
+    bool have_soa = false;
+    ProofBlock soa;
+    std::map<dns::Name, NsecEntry, dns::Name::Less> nsec;
+    std::map<Bytes, Nsec3Entry> nsec3;  // keyed by decoded owner hash
+    /// NSEC3 hash parameters shared by every harvested record; a mismatch
+    /// (or an undecodable owner label) poisons the zone — synthesis stops
+    /// until the next reload resets it.
+    bool have_nsec3_params = false;
+    std::uint16_t nsec3_iterations = 0;
+    Bytes nsec3_salt;
+    bool nsec3_poisoned = false;
+  };
+
+  /// The harvested NSEC whose interval provably covers `name` in the full
+  /// chain (nullopt when no harvested record qualifies). Fills `owner`
+  /// when non-null.
+  const NsecEntry* nsec_cover(const NegZone& neg, const dns::Name& name,
+                              dns::Name* owner) const DFX_REQUIRES(neg_mu_);
+  /// Same by hash interval; additionally refuses opt-out records.
+  const Nsec3Entry* nsec3_cover(const NegZone& neg, const Bytes& hash) const
+      DFX_REQUIRES(neg_mu_);
+
+  std::optional<authserver::QueryResult> synthesize_nsec(
+      const NegZone& neg, const dns::Name& apex, const dns::Name& qname,
+      dns::RRType qtype) const DFX_REQUIRES(neg_mu_);
+  std::optional<authserver::QueryResult> synthesize_nsec3(
+      const NegZone& neg, const dns::Name& apex, const dns::Name& qname,
+      dns::RRType qtype) const DFX_REQUIRES(neg_mu_);
+
+  const std::size_t max_entries_per_shard_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::array<Shard, kShards> shards_;
+
+  mutable Mutex neg_mu_;
+  std::map<dns::Name, NegZone, dns::Name::Less> neg_zones_
+      DFX_GUARDED_BY(neg_mu_);
+
+  // Metric handles resolved once (global-registry references stay valid
+  // for the registry's lifetime).
+  metrics::Counter& hits_;
+  metrics::Counter& misses_;
+  metrics::Counter& inserts_;
+  metrics::Counter& evictions_;
+  metrics::Counter& synth_hits_;
+  metrics::Counter& synth_misses_;
+};
+
+}  // namespace dfx::server

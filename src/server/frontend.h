@@ -1,0 +1,102 @@
+// Wire-level query frontend: the byte-in/byte-out serving loop.
+//
+// `serve()` takes one raw UDP query datagram and returns the raw response
+// datagram (empty = drop, as a real server would for non-queries). It
+// handles everything transport-level — header validation, EDNS(0)
+// negotiation (bufsize, DO, BADVERS), TC truncation, question echo with
+// the client's 0x20 spelling — and delegates answer content to the
+// ZoneStore / AnswerCache pair.
+//
+// Response assembly is split so one cached `AnswerBody` (the encoded
+// record sections, no header/question/OPT) serves every message ID,
+// name spelling and buffer size: compression pointers in the body target
+// the question region, whose *length* is spelling-independent. Both the
+// cache hit and miss paths funnel through the same assembly and the same
+// DO-bit section filter, which is what makes cache-on and cache-off
+// responses bit-identical (bench_qps digest-asserts this).
+//
+// Error handling (satellite of PR 6): malformed packets get FORMERR,
+// unknown opcodes NOTIMP, EDNS version > 0 BADVERS — never an assert;
+// test_fuzz drives random and adversarial bytes through serve().
+//
+// Thread-safety: WireFrontend is immutable after construction; serve()
+// is safe from any number of threads (ZoneStore's query path is
+// lock-free; AnswerCache shards its locks).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dnscore/message.h"
+#include "dnscore/name.h"
+#include "dnscore/rr.h"
+#include "server/answercache.h"
+#include "server/zonestore.h"
+#include "util/bytes.h"
+#include "util/metrics.h"
+
+namespace dfx::server {
+
+/// Option TLV payloads larger than this are rejected as FORMERR: no
+/// option the engine understands comes close, and accepting arbitrarily
+/// large OPT RDATA would let one datagram pin server memory.
+constexpr std::size_t kMaxEdnsOptionBytes = 4096;
+
+struct FrontendOptions {
+  /// Payload size advertised in our response OPT (the common
+  /// fragmentation-safe default, RFC 9715).
+  std::uint16_t udp_size = 1232;
+  /// Synthesize negatives from harvested NSEC/NSEC3 (RFC 8198). Only
+  /// meaningful when a cache is attached.
+  bool aggressive = true;
+};
+
+class WireFrontend {
+ public:
+  using Options = FrontendOptions;
+
+  /// `cache` may be null: every query then takes the full zone walk
+  /// (the cache-off reference the digest tests compare against).
+  /// The frontend borrows both — they must outlive it.
+  explicit WireFrontend(const ZoneStore& store, AnswerCache* cache = nullptr,
+                        Options options = Options());
+
+  /// Serve one datagram. Empty result = drop (short packet or QR set).
+  Bytes serve(ByteView query) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  /// Encoded record sections of a full answer, DO-filtered.
+  AnswerBody build_body(const dns::Question& question,
+                        const authserver::QueryResult& result,
+                        bool do_bit) const;
+
+  /// Header + question echo + body + OPT, with TC truncation against the
+  /// client's buffer size. `question_wire` is the raw 5+-byte question
+  /// section from the query (original spelling, no compression).
+  Bytes assemble(std::uint16_t id, bool rd, bool cd, ByteView question_wire,
+                 const AnswerBody& body,
+                 const std::optional<dns::EdnsInfo>& request_edns,
+                 std::uint8_t ext_rcode = 0) const;
+
+  /// 12-byte header-only error (no question could be echoed).
+  static Bytes header_only(std::uint16_t id, std::uint8_t opcode, bool rd,
+                           bool cd, dns::RCode rcode);
+
+  const ZoneStore& store_;
+  AnswerCache* cache_;
+  Options options_;
+
+  metrics::Counter& queries_;
+  metrics::Counter& dropped_;
+  metrics::Counter& errors_;
+  metrics::Counter& truncated_;
+};
+
+/// Hook the cache's epoch bump to the store's snapshot swaps so a zone
+/// reload invalidates every cached packet and harvested proof. The cache
+/// must outlive the store (the listener holds a reference).
+void connect_invalidation(ZoneStore& store, AnswerCache& cache);
+
+}  // namespace dfx::server

@@ -1,0 +1,117 @@
+#include "server/zonestore.h"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace dfx::server {
+
+ZoneStore::ZoneStore() {
+  // Publish an empty snapshot into every shard so the query path never
+  // sees a null pointer.
+  const auto empty = std::make_shared<const ShardSnapshot>();
+  for (auto& slot : shards_) {
+    slot.store(empty, std::memory_order_release);
+  }
+}
+
+std::size_t ZoneStore::shard_of(const dns::Name& apex) {
+  static_assert((kShards & (kShards - 1)) == 0, "kShards must be 2^k");
+  return dns::NameHash{}(apex) & (kShards - 1);
+}
+
+std::optional<ZoneStore::ZoneView> ZoneStore::find(const dns::Name& qname,
+                                                   dns::RRType qtype) const {
+  // Walk the ancestor chain deepest-first. Each candidate costs one atomic
+  // snapshot load plus one map lookup in its shard; a name has at most 127
+  // labels, so the walk is strictly bounded.
+  const auto lookup =
+      [&](const dns::Name& apex) -> std::optional<ZoneView> {
+    auto snapshot =
+        shards_[shard_of(apex)].load(std::memory_order_acquire);
+    const zone::Zone* zone = snapshot->server.zone_data(apex);
+    if (zone == nullptr) return std::nullopt;
+    return ZoneView{std::move(snapshot), zone, apex};
+  };
+
+  dns::Name candidate = qname;
+  std::optional<ZoneView> best;
+  DFX_BOUNDED_LOOP(guard, 128);
+  while (true) {
+    guard.tick();
+    if (auto view = lookup(candidate)) {
+      best = std::move(view);
+      break;
+    }
+    if (candidate.is_root()) break;
+    candidate = candidate.parent();
+  }
+  if (!best) return std::nullopt;
+  // Apex DS questions belong to the parent side of the cut: fall through
+  // to the next enclosing hosted zone when one exists (authserver's
+  // best_zone_for applies the same rule).
+  if (qtype == dns::RRType::kDS && best->apex == qname &&
+      !qname.is_root()) {
+    dns::Name parent = qname.parent();
+    DFX_BOUNDED_LOOP(parent_guard, 128);
+    while (true) {
+      parent_guard.tick();
+      if (auto view = lookup(parent)) return view;
+      if (parent.is_root()) break;
+      parent = parent.parent();
+    }
+  }
+  return best;
+}
+
+std::optional<std::pair<dns::Name, authserver::QueryResult>> ZoneStore::query(
+    const dns::Name& qname, dns::RRType qtype) const {
+  auto view = find(qname, qtype);
+  if (!view) return std::nullopt;
+  return std::make_pair(view->apex,
+                        view->snapshot->server.query_in_zone(
+                            view->apex, qname, qtype));
+}
+
+void ZoneStore::publish_shard(std::size_t shard) {
+  auto next = std::make_shared<ShardSnapshot>();
+  for (const auto& [apex, zone] : master_) {
+    if (shard_of(apex) == shard) next->server.load_zone(zone);
+  }
+  shards_[shard].store(std::shared_ptr<const ShardSnapshot>(std::move(next)),
+                       std::memory_order_release);
+}
+
+void ZoneStore::commit() {
+  const std::uint64_t generation =
+      generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  for (const auto& listener : listeners_) listener(generation);
+}
+
+void ZoneStore::upsert(zone::Zone zone) {
+  const MutexLock lock(writer_mu_);
+  const std::size_t shard = shard_of(zone.apex());
+  master_.insert_or_assign(zone.apex(), std::move(zone));
+  publish_shard(shard);
+  commit();
+}
+
+bool ZoneStore::remove(const dns::Name& apex) {
+  const MutexLock lock(writer_mu_);
+  if (master_.erase(apex) == 0) return false;
+  publish_shard(shard_of(apex));
+  commit();
+  return true;
+}
+
+void ZoneStore::subscribe(SwapListener listener) {
+  const MutexLock lock(writer_mu_);
+  listeners_.push_back(std::move(listener));
+}
+
+std::size_t ZoneStore::zone_count() const {
+  const MutexLock lock(writer_mu_);
+  return master_.size();
+}
+
+}  // namespace dfx::server

@@ -1,0 +1,118 @@
+// Sharded, read-mostly zone store for the wire-level serving engine.
+//
+// Zones are compiled into immutable per-shard snapshots (an AuthServer
+// preloaded with every zone whose apex hashes to the shard). The query
+// path performs a single atomic shared_ptr load per shard it touches and
+// never takes a lock; writers are serialized behind `writer_mu_` and swap
+// whole snapshots, so readers either see the old snapshot or the new one,
+// never a half-built zone.
+//
+// Thread-safety: `find`/`query`/`generation` are safe from any number of
+// threads concurrently with one writer. `upsert`/`remove`/`subscribe`
+// serialize on `writer_mu_` (annotated; the lockgraph checker audits the
+// acquisition order in Debug/sanitizer builds). Swap listeners run on the
+// writer thread with `writer_mu_` held — they must not call back into the
+// store's writer API.
+//
+// Invalidation contract: every committed write bumps `generation()` and
+// then notifies subscribers (the AnswerCache hooks its epoch bump here).
+// A reader that captured a ZoneView before the swap may still answer from
+// the old snapshot — the shared_ptr keeps it alive — which is equivalent
+// to the query having arrived just before the reload.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "authserver/authserver.h"
+#include "dnscore/name.h"
+#include "dnscore/rr.h"
+#include "util/thread_annotations.h"
+#include "zone/zone.h"
+
+namespace dfx::server {
+
+/// Immutable compiled form of one shard's zones. Snapshots are built by
+/// writers, published with an atomic pointer swap, and never mutated after
+/// publication.
+struct ShardSnapshot {
+  authserver::AuthServer server{"zonestore"};
+};
+
+class ZoneStore {
+ public:
+  /// Shard count: a power of two so the hash → shard map is a mask. 16
+  /// shards keep writer rebuilds small without bloating the walk cost.
+  static constexpr std::size_t kShards = 16;
+
+  ZoneStore();
+
+  // ---- Query path (lock-free) ----
+
+  /// A zone resolved for one query. `snapshot` keeps the compiled shard
+  /// alive for as long as the caller holds the view.
+  struct ZoneView {
+    std::shared_ptr<const ShardSnapshot> snapshot;
+    const zone::Zone* zone = nullptr;
+    dns::Name apex;
+  };
+
+  /// Deepest hosted zone whose apex is an ancestor of `qname`, with the
+  /// parent-side override for apex DS queries (a DS question at a hosted
+  /// apex is served by the enclosing zone when that zone is hosted too).
+  /// nullopt when no hosted zone covers `qname` (the caller REFUSEs).
+  std::optional<ZoneView> find(const dns::Name& qname,
+                               dns::RRType qtype) const;
+
+  /// Full authoritative answer: find() + the AuthServer answer logic.
+  std::optional<std::pair<dns::Name, authserver::QueryResult>> query(
+      const dns::Name& qname, dns::RRType qtype) const;
+
+  /// Monotonic commit counter; bumped by every successful upsert/remove
+  /// *after* the snapshot swap is visible.
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  // ---- Writer path (serialized) ----
+
+  /// Install or replace one zone and publish a new snapshot of its shard.
+  void upsert(zone::Zone zone) DFX_EXCLUDES(writer_mu_);
+
+  /// Drop a zone; false (and no swap) if the apex was not hosted.
+  bool remove(const dns::Name& apex) DFX_EXCLUDES(writer_mu_);
+
+  /// Called after every committed swap with the new generation, on the
+  /// writer thread, with `writer_mu_` held.
+  using SwapListener = std::function<void(std::uint64_t generation)>;
+  void subscribe(SwapListener listener) DFX_EXCLUDES(writer_mu_);
+
+  std::size_t zone_count() const DFX_EXCLUDES(writer_mu_);
+
+ private:
+  static std::size_t shard_of(const dns::Name& apex);
+
+  /// Rebuild the snapshot of `shard` from `master_` and publish it.
+  void publish_shard(std::size_t shard) DFX_REQUIRES(writer_mu_);
+  void commit() DFX_REQUIRES(writer_mu_);
+
+  /// The published snapshots, one atomic slot per shard. Never null.
+  std::array<std::atomic<std::shared_ptr<const ShardSnapshot>>, kShards>
+      shards_;
+
+  std::atomic<std::uint64_t> generation_{0};
+
+  mutable Mutex writer_mu_;
+  /// Writer-side master copy the snapshots are compiled from.
+  std::map<dns::Name, zone::Zone, dns::Name::Less> master_
+      DFX_GUARDED_BY(writer_mu_);
+  std::vector<SwapListener> listeners_ DFX_GUARDED_BY(writer_mu_);
+};
+
+}  // namespace dfx::server

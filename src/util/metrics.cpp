@@ -88,6 +88,26 @@ double Histogram::mean() const {
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
+double Histogram::percentile(double p) const {
+  const MutexLock lock(mu_);
+  if (count_ == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const double target = p * static_cast<double>(count_);
+  std::int64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cumulative += buckets_[static_cast<std::size_t>(b)];
+    if (static_cast<double>(cumulative) >= target) {
+      // Upper edge of bucket b is 2^(b + 1 - kBucketBias).
+      const double edge = std::ldexp(1.0, b + 1 - kBucketBias);
+      if (edge < min_) return min_;
+      if (edge > max_) return max_;
+      return edge;
+    }
+  }
+  return max_;
+}
+
 json::Value Histogram::to_json() const {
   const MutexLock lock(mu_);
   json::Object obj;

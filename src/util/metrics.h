@@ -77,6 +77,12 @@ class Histogram {
   double max() const DFX_EXCLUDES(mu_);  // 0 when empty
   double mean() const DFX_EXCLUDES(mu_);
 
+  /// Approximate quantile from the power-of-two buckets: the upper edge of
+  /// the bucket where the cumulative count first reaches `p * count`,
+  /// clamped to [min, max]. `p` in [0, 1]; 0 when empty. Within a factor
+  /// of 2 of the exact value — good enough for p50/p99 latency reporting.
+  double percentile(double p) const DFX_EXCLUDES(mu_);
+
   json::Value to_json() const DFX_EXCLUDES(mu_);
   /// Parse a to_json() document into `out` (replacing its contents).
   /// Returns false — leaving `out` unspecified — on malformed input.

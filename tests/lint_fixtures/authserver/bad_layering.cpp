@@ -1,0 +1,8 @@
+// Fixture: this file's path contains both "authserver/" and — as a
+// substring — "server/". First-match order in kLayers must classify it as
+// authserver (5), so including server (6) fires. If the path were ever
+// misread as server, this include would be "same module" and stay silent.
+#include "zone/zone.h"        // lower layer: ok
+#include "server/frontend.h"  // line 6: layering-violation (5 -> 6)
+
+int authserver_layering_fixture_dummy() { return 0; }

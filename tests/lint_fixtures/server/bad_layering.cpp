@@ -1,0 +1,7 @@
+// Fixture: the server module (layer 6) may include authserver (5) and
+// anything below it, but not analyzer (7). See kLayers in lint_core.cpp.
+#include "authserver/query.h"   // lower layer: ok
+#include "server/frontend.h"    // same module: ok
+#include "analyzer/analyzer.h"  // line 5: layering-violation
+
+int server_layering_fixture_dummy() { return 0; }

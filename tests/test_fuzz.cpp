@@ -11,8 +11,10 @@
 #include "dnscore/message.h"
 #include "dnscore/wire.h"
 #include "json/json.h"
+#include "server/frontend.h"
 #include "util/codec.h"
 #include "util/rng.h"
+#include "zone/signer.h"
 
 namespace dfx {
 namespace {
@@ -235,6 +237,175 @@ TEST_P(FuzzSeeds, CodecsAreTotal) {
     (void)base64_decode(text);
     (void)dns::Name::parse(text);
   }
+}
+
+/// One serving stack shared by the serve() fuzz tests: building and signing
+/// the zone dominates the cost, the queries are cheap.
+class ServeFuzz {
+ public:
+  static const ServeFuzz& instance() {
+    static const ServeFuzz fuzz;
+    return fuzz;
+  }
+
+  /// serve() must be total: no crash, no hang, and any non-empty response
+  /// is a well-formed reply (QR set, same ID).
+  void drive(ByteView query) const {
+    const Bytes response = frontend_->serve(query);
+    if (response.empty()) return;  // dropped (short packet or QR set)
+    ASSERT_GE(response.size(), 12u);
+    EXPECT_NE(response[2] & 0x80, 0);  // QR
+    if (query.size() >= 2) {
+      EXPECT_EQ(response[0], query[0]);
+      EXPECT_EQ(response[1], query[1]);
+    }
+  }
+
+  Bytes valid_query() const {
+    dns::Message msg;
+    msg.header.id = 0x4242;
+    msg.questions.push_back({apex_.child("www"), dns::RRType::kA,
+                             dns::RRClass::kIN});
+    dns::EdnsInfo edns;
+    edns.udp_size = 1232;
+    edns.do_bit = true;
+    msg.edns = edns;
+    return dns::encode_message(msg);
+  }
+
+ private:
+  ServeFuzz() {
+    zone::Zone unsigned_zone(apex_);
+    dns::SoaRdata soa;
+    soa.mname = apex_.child("ns1");
+    soa.rname = apex_.child("host");
+    unsigned_zone.add(apex_, dns::RRType::kSOA, 3600, soa);
+    unsigned_zone.add(apex_, dns::RRType::kNS, 3600,
+                      dns::NsRdata{apex_.child("ns1")});
+    dns::ARdata a;
+    a.address = {192, 0, 2, 1};
+    unsigned_zone.add(apex_.child("ns1"), dns::RRType::kA, 3600, a);
+    unsigned_zone.add(apex_.child("www"), dns::RRType::kA, 3600, a);
+    zone::KeyStore keys{apex_};
+    Rng rng{99};
+    keys.generate(rng, zone::KeyRole::kKsk,
+                  crypto::DnssecAlgorithm::kEcdsaP256Sha256, kDatasetStart);
+    keys.generate(rng, zone::KeyRole::kZsk,
+                  crypto::DnssecAlgorithm::kEcdsaP256Sha256, kDatasetStart);
+    store_.upsert(zone::sign_zone(unsigned_zone, keys, zone::SigningConfig{},
+                                  kDatasetStart));
+    server::connect_invalidation(store_, cache_);
+    frontend_.emplace(store_, &cache_);
+  }
+
+  dns::Name apex_ = dns::Name::of("fuzz.test.");
+  server::ZoneStore store_;
+  server::AnswerCache cache_;
+  std::optional<server::WireFrontend> frontend_;
+};
+
+TEST_P(FuzzSeeds, WireFrontendServeIsTotal) {
+  Rng rng(GetParam() + 6);
+  const auto& fuzz = ServeFuzz::instance();
+  // Pure random buffers.
+  for (int i = 0; i < 300; ++i) {
+    fuzz.drive(random_buffer(rng, 200));
+  }
+  // Mutations of a valid EDNS query.
+  const Bytes valid = fuzz.valid_query();
+  for (int i = 0; i < 300; ++i) {
+    fuzz.drive(mutate(rng, valid));
+  }
+  // The decompression/record adversarial corpus, raw and mutated.
+  for (const Bytes& entry : wire_corpus()) {
+    fuzz.drive(entry);
+    for (int i = 0; i < 20; ++i) {
+      fuzz.drive(mutate(rng, entry));
+    }
+  }
+}
+
+/// Adversarial transport-level packets aimed at the frontend itself (the
+/// wire_corpus above targets the codec): bad OPT records, unknown opcodes,
+/// question-count lies. Every case must produce a clean error, never an
+/// assert.
+TEST(WireCorpus, AdversarialPacketsServeTotally) {
+  const auto& fuzz = ServeFuzz::instance();
+  const auto header = [](std::uint16_t flags, std::uint16_t qd,
+                         std::uint16_t ar) {
+    return Bytes{0x77, 0x88,
+                 static_cast<std::uint8_t>(flags >> 8),
+                 static_cast<std::uint8_t>(flags & 0xff),
+                 static_cast<std::uint8_t>(qd >> 8),
+                 static_cast<std::uint8_t>(qd & 0xff),
+                 0x00, 0x00, 0x00, 0x00,
+                 static_cast<std::uint8_t>(ar >> 8),
+                 static_cast<std::uint8_t>(ar & 0xff)};
+  };
+  const auto append = [](Bytes base, std::initializer_list<int> tail) {
+    for (const int b : tail) base.push_back(static_cast<std::uint8_t>(b));
+    return base;
+  };
+  const std::initializer_list<int> question =  // www.fuzz.test. A IN
+      {0x03, 'w', 'w', 'w', 0x04, 'f', 'u', 'z', 'z', 0x04, 't', 'e', 's',
+       't', 0x00, 0x00, 0x01, 0x00, 0x01};
+
+  std::vector<Bytes> corpus;
+  // Unknown opcodes 1..15.
+  for (int opcode = 1; opcode <= 15; ++opcode) {
+    corpus.push_back(append(
+        header(static_cast<std::uint16_t>(opcode << 11), 1, 0), question));
+  }
+  // Question-count lies: 0, 2, 65535 with one actual question.
+  for (const int qd : {0, 2, 0xFFFF}) {
+    corpus.push_back(
+        append(header(0, static_cast<std::uint16_t>(qd), 0), question));
+  }
+  // OPT with a non-root owner name.
+  corpus.push_back(append(append(header(0, 1, 1), question),
+                          {0x01, 'x', 0x00, 0x00, 41, 0x10, 0x00,
+                           0x00, 0x00, 0x00, 0x00, 0x00, 0x00}));
+  // Two OPT records.
+  corpus.push_back(append(append(header(0, 1, 2), question),
+                          {0x00, 0x00, 41, 0x10, 0x00, 0, 0, 0, 0, 0x00, 0x00,
+                           0x00, 0x00, 41, 0x10, 0x00, 0, 0, 0, 0, 0x00,
+                           0x00}));
+  // OPT RDLEN pointing past the end of the packet.
+  corpus.push_back(append(append(header(0, 1, 1), question),
+                          {0x00, 0x00, 41, 0x10, 0x00, 0, 0, 0, 0, 0xFF,
+                           0xFF}));
+  // OPT whose option TLV promises more payload than RDATA carries.
+  corpus.push_back(append(append(header(0, 1, 1), question),
+                          {0x00, 0x00, 41, 0x10, 0x00, 0, 0, 0, 0, 0x00, 0x04,
+                           0x00, 0x0A, 0x00, 0x40}));
+  // OPT RDATA bigger than the acceptance ceiling.
+  {
+    Bytes huge = append(header(0, 1, 1), question);
+    const auto rdlen =
+        static_cast<std::uint16_t>(server::kMaxEdnsOptionBytes + 2);
+    huge = append(std::move(huge), {0x00, 0x00, 41, 0x10, 0x00, 0, 0, 0, 0,
+                                    rdlen >> 8, rdlen & 0xFF});
+    huge.resize(huge.size() + rdlen, 0x00);
+    corpus.push_back(std::move(huge));
+  }
+  // EDNS versions 1..255.
+  for (const int version : {1, 2, 0x7F, 0xFF}) {
+    corpus.push_back(append(append(header(0, 1, 1), question),
+                            {0x00, 0x00, 41, 0x10, 0x00, 0x00, version, 0x00,
+                             0x00, 0x00, 0x00}));
+  }
+  // Trailing junk after a well-formed OPT.
+  corpus.push_back(append(append(header(0, 1, 1), question),
+                          {0x00, 0x00, 41, 0x10, 0x00, 0, 0, 0, 0, 0x00, 0x00,
+                           0xDE, 0xAD}));
+
+  for (const Bytes& packet : corpus) {
+    fuzz.drive(packet);
+  }
+
+  // The error handling must not have poisoned the serving path: a valid
+  // query still gets a well-formed NoError answer afterwards.
+  fuzz.drive(fuzz.valid_query());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,

@@ -233,6 +233,21 @@ TEST(Lint, FlagsLayeringViolationsFromTheIncludeGraph) {
          "must not be flagged";
 }
 
+TEST(Lint, ServerLayerSitsBetweenAuthserverAndAnalyzer) {
+  const auto vs = lint_fixture("server/bad_layering.cpp");
+  EXPECT_TRUE(has(vs, "layering-violation", 5));  // server -> analyzer
+  EXPECT_EQ(vs.size(), 1u)
+      << "authserver and same-module includes are legal from server";
+}
+
+TEST(Lint, AuthserverPathIsNotSwallowedByTheServerModule) {
+  // "authserver/" contains the substring "server/"; the layer table's
+  // first-match order must still classify the file as authserver.
+  const auto vs = lint_fixture("authserver/bad_layering.cpp");
+  EXPECT_TRUE(has(vs, "layering-violation", 6));  // authserver -> server
+  EXPECT_EQ(vs.size(), 1u);
+}
+
 TEST(Lint, LayeringRuleExemptsFilesOutsideSrcModules) {
   // tools/tests/bench/examples sit above every layer; the same includes
   // are legal there.

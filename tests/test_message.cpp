@@ -119,5 +119,55 @@ TEST(Message, DnssecRecordsSurviveRoundTrip) {
   EXPECT_EQ(out.signature, Bytes(16, 0x77));
 }
 
+TEST(Message, EdnsOptRoundTripsAllFields) {
+  Message msg = sample_message();
+  EdnsInfo edns;
+  edns.udp_size = 4096;
+  edns.ext_rcode = 0x12;
+  edns.version = 0;
+  edns.do_bit = true;
+  edns.options = {0x00, 0x0A, 0x00, 0x02, 0xAB, 0xCD};  // one cookie-ish TLV
+  msg.edns = edns;
+  const Bytes wire = encode_message(msg);
+  const auto decoded = decode_message(wire);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->edns.has_value());
+  EXPECT_EQ(*decoded->edns, edns);
+  // OPT is counted in ARCOUNT but never surfaced in additionals.
+  EXPECT_EQ(decoded->additionals.size(), msg.additionals.size());
+  // Re-encoding reproduces the wire (OPT position is deterministic: last).
+  EXPECT_EQ(encode_message(*decoded), wire);
+}
+
+TEST(Message, DecodeRejectsDuplicateOpt) {
+  Message msg = sample_message();
+  msg.edns = EdnsInfo{};
+  Bytes wire = encode_message(msg);
+  // Append a second OPT record and bump ARCOUNT.
+  const Bytes opt = {0x00, 0x00, 0x29, 0x04, 0x00,
+                     0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+  wire.insert(wire.end(), opt.begin(), opt.end());
+  wire[11] += 1;
+  EXPECT_FALSE(decode_message(wire).has_value());
+}
+
+TEST(Message, DecodeRejectsTrailingBytes) {
+  Bytes wire = encode_message(sample_message());
+  ASSERT_TRUE(decode_message(wire).has_value());
+  wire.push_back(0x00);
+  EXPECT_FALSE(decode_message(wire).has_value());
+}
+
+TEST(Message, DecodeRejectsOptWithNonRootOwner) {
+  Message msg = sample_message();
+  Bytes wire = encode_message(msg);
+  // Hand-append an OPT whose owner is "x." instead of root.
+  const Bytes opt = {0x01, 'x', 0x00, 0x00, 0x29, 0x04, 0x00,
+                     0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+  wire.insert(wire.end(), opt.begin(), opt.end());
+  wire[11] += 1;
+  EXPECT_FALSE(decode_message(wire).has_value());
+}
+
 }  // namespace
 }  // namespace dfx::dns

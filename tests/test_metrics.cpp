@@ -72,6 +72,36 @@ TEST(Histogram, MergeAddsCountsAndWidensRange) {
   EXPECT_EQ(b.count(), 2);
 }
 
+TEST(Histogram, PercentileTracksDistributionWithinBucketError) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(0.5), 0.0);  // empty histogram
+  for (int i = 1; i <= 1000; ++i) {
+    h.record(static_cast<double>(i));
+  }
+  // Log-bucketed: answers are within a factor of 2 of the exact rank value.
+  const double p50 = h.percentile(0.50);
+  const double p99 = h.percentile(0.99);
+  EXPECT_GE(p50, 250.0);
+  EXPECT_LE(p50, 1000.0);
+  EXPECT_GE(p99, 495.0);
+  EXPECT_LE(p99, 1000.0);
+  EXPECT_LE(p50, p99);
+  // Extremes clamp to the observed range.
+  EXPECT_EQ(h.percentile(0.0), h.min());
+  EXPECT_LE(h.percentile(1.0), h.max());
+}
+
+TEST(Histogram, PercentileSurvivesMerge) {
+  Histogram fast;
+  Histogram slow;
+  for (int i = 0; i < 90; ++i) fast.record(1.0);
+  for (int i = 0; i < 10; ++i) slow.record(1000.0);
+  fast.merge(slow);
+  // p50 lands in the fast mode, p99 in the slow tail (factor-of-2 buckets).
+  EXPECT_LE(fast.percentile(0.50), 2.0);
+  EXPECT_GE(fast.percentile(0.99), 500.0);
+}
+
 TEST(Histogram, MergeWithSelfDoublesWithoutDeadlock) {
   Histogram h;
   h.record(3.0);

@@ -17,7 +17,8 @@ namespace {
 // violation. Keep this table in dependency order when adding modules:
 //
 //   json(0) ← util(1) ← crypto(2) ← dnscore(3) ← zone(4) ← authserver(5)
-//   ← analyzer(6) ← {dataset, dfixer}(7) ← {zreplicator, measure}(8)
+//   ← server(6) ← analyzer(7) ← {dataset, dfixer}(8) ← {zreplicator,
+//   measure}(9)
 //
 // In particular: dnscore/crypto can never include measure/dfixer/
 // zreplicator, and util includes nothing above it (json only).
@@ -27,11 +28,14 @@ struct Layer {
   const char* module;
   int rank;
 };
+// NOTE: "authserver" must precede "server" — check_layering() takes the
+// first path match, and "authserver/" contains the substring "server/".
 constexpr Layer kLayers[] = {
-    {"json", 0},       {"util", 1},    {"crypto", 2},
-    {"dnscore", 3},    {"zone", 4},    {"authserver", 5},
-    {"analyzer", 6},   {"dataset", 7}, {"dfixer", 7},
-    {"zreplicator", 8}, {"measure", 8},
+    {"json", 0},        {"util", 1},    {"crypto", 2},
+    {"dnscore", 3},     {"zone", 4},    {"authserver", 5},
+    {"server", 6},      {"analyzer", 7},
+    {"dataset", 8},     {"dfixer", 8},
+    {"zreplicator", 9}, {"measure", 9},
 };
 // ---------------------------------------------------------------------------
 
