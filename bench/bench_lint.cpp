@@ -7,6 +7,10 @@
 // design must win; the bench asserts it (set DFX_LINT_NO_ASSERT=1 to skip
 // on pathologically noisy machines).
 //
+// The cfg_dataflow stage measures the dataflow upgrade the same way: one
+// full pipeline run with Options.dataflow off (the flat PR-5 engine) and
+// one with it on, asserting the flow-aware lint stays within 2x.
+//
 // Emits BENCH_lint.json via the bench_common schema; the committed record
 // lives in bench/records/.
 #include <cstdio>
@@ -136,6 +140,55 @@ int main(int argc, char** argv) {
         .add(static_cast<std::int64_t>(token_total));
   }
 
+  // Cost envelope of the dataflow upgrade: the CFG construction and the
+  // taint/guard solving added to the rule pass must keep a full-repo lint
+  // within 2x of the PR-5 flat engine. Run the whole pipeline — read, lex,
+  // index, rules — once with the passes off and once on; both runs re-read
+  // the tree so the ratio covers exactly what `dfixer_lint --root .` pays.
+  double flat_seconds = 0.0;
+  double dataflow_seconds = 0.0;
+  run.stage("cfg_dataflow", [&] {
+    const auto lint_everything = [&](bool dataflow) {
+      std::vector<dfx::lint::FileAnalysis> fas;
+      fas.reserve(files.size());
+      for (const auto& path : files) {
+        if (auto content = read_file(path)) {
+          fas.push_back(dfx::lint::analyze_file(path, std::move(*content)));
+        }
+      }
+      dfx::lint::SymbolIndex idx;
+      for (const auto& fa : fas) {
+        if (fa.path.find("src/") != std::string::npos) {
+          idx.index_source(fa.path, fa.tokens);
+        }
+      }
+      dfx::lint::Options opt;
+      opt.symbols = &idx;
+      opt.dataflow = dataflow;
+      std::size_t count = 0;
+      for (const auto& fa : fas) {
+        count += dfx::lint::lint_file(fa, opt).size();
+      }
+      return count;
+    };
+    auto begin = std::chrono::steady_clock::now();
+    const std::size_t flat_count = lint_everything(false);
+    flat_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+            .count();
+    begin = std::chrono::steady_clock::now();
+    const std::size_t dataflow_count = lint_everything(true);
+    dataflow_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+            .count();
+    dfx::metrics::Registry::global()
+        .counter("lint.bench.flat_findings")
+        .add(static_cast<std::int64_t>(flat_count));
+    dfx::metrics::Registry::global()
+        .counter("lint.bench.dataflow_findings")
+        .add(static_cast<std::int64_t>(dataflow_count));
+  });
+
   auto& registry = dfx::metrics::Registry::global();
   registry.counter("lint.files").add(static_cast<std::int64_t>(files.size()));
   registry.counter("lint.findings.total")
@@ -162,6 +215,10 @@ int main(int argc, char** argv) {
   std::printf("bench_lint: shared read+lex %.3fs vs per-pack re-lex %.3fs "
               "(x%d packs)\n",
               shared_seconds, naive_seconds, kLegacyRulePacks);
+  std::printf("bench_lint: full lint flat %.3fs vs cfg+dataflow %.3fs "
+              "(ratio %.2f, limit 2.00)\n",
+              flat_seconds, dataflow_seconds,
+              flat_seconds > 0.0 ? dataflow_seconds / flat_seconds : 0.0);
 
   if (std::getenv("DFX_LINT_NO_ASSERT") == nullptr &&
       naive_seconds <= shared_seconds) {
@@ -169,6 +226,14 @@ int main(int argc, char** argv) {
                  "bench_lint: FAIL: re-lexing per rule pack (%.3fs) should "
                  "be slower than the shared token stream (%.3fs)\n",
                  naive_seconds, shared_seconds);
+    return 1;
+  }
+  if (std::getenv("DFX_LINT_NO_ASSERT") == nullptr &&
+      dataflow_seconds > 2.0 * flat_seconds) {
+    std::fprintf(stderr,
+                 "bench_lint: FAIL: cfg+dataflow lint (%.3fs) exceeds 2x the "
+                 "flat engine (%.3fs)\n",
+                 dataflow_seconds, flat_seconds);
     return 1;
   }
 

@@ -184,6 +184,15 @@ std::optional<Message> decode_message(ByteView wire) {
   const std::uint16_t ns = r.read_u16();
   const std::uint16_t ar = r.read_u16();
   if (!r.ok()) return std::nullopt;
+  // The counts are attacker data. A question costs at least 5 wire bytes
+  // (root name + type + class) and a record at least 11 (+ TTL + RDLENGTH),
+  // so counts that cannot possibly fit in the remaining bytes are malformed
+  // — rejecting them here bounds every section loop below before a single
+  // name is parsed (KeyTrap-style count inflation).
+  if (5u * qd + 11u * (static_cast<std::size_t>(an) + ns + ar) >
+      r.remaining()) {
+    return std::nullopt;
+  }
   for (int i = 0; i < qd; ++i) {
     Question q;
     auto qname = r.read_name();

@@ -15,6 +15,7 @@
 #include "dnscore/rr.h"
 #include "dnscore/rrset.h"
 #include "util/bytes.h"
+#include "util/check.hpp"
 
 namespace dfx::dns {
 
@@ -49,11 +50,13 @@ constexpr std::uint16_t kClassicUdpSize = 512;
 /// fields ride in the record's CLASS (udp_size) and TTL (ext_rcode /
 /// version / DO); `options` is the raw RDATA (option TLVs, unparsed).
 struct EdnsInfo {
-  std::uint16_t udp_size = kClassicUdpSize;
-  std::uint8_t ext_rcode = 0;  // upper 8 bits of the 12-bit RCODE
-  std::uint8_t version = 0;
+  // Decoded straight off the OPT record: every field is attacker data
+  // until a bound check proves otherwise (dfixer_lint taint pack).
+  DFX_TAINTED std::uint16_t udp_size = kClassicUdpSize;
+  DFX_TAINTED std::uint8_t ext_rcode = 0;  // upper 8 bits of 12-bit RCODE
+  DFX_TAINTED std::uint8_t version = 0;
   bool do_bit = false;
-  Bytes options;
+  DFX_TAINTED Bytes options;
 
   bool operator==(const EdnsInfo&) const = default;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <stdexcept>
 
 #include "util/check.hpp"
@@ -9,15 +10,18 @@
 namespace dfx::dns {
 namespace {
 
-char fold(char c) {
-  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+std::uint8_t fold(char c) {
+  // tolower returns the folded byte as an int; the mask keeps the
+  // narrowing cast visibly value-preserving.
+  return static_cast<std::uint8_t>(
+      std::tolower(static_cast<unsigned char>(c)) & 0xFF);
 }
 
 int compare_labels_folded(const std::string& a, const std::string& b) {
   const std::size_t n = std::min(a.size(), b.size());
   for (std::size_t i = 0; i < n; ++i) {
-    const unsigned char ca = static_cast<unsigned char>(fold(a[i]));
-    const unsigned char cb = static_cast<unsigned char>(fold(b[i]));
+    const std::uint8_t ca = fold(a[i]);
+    const std::uint8_t cb = fold(b[i]);
     if (ca != cb) return ca < cb ? -1 : 1;
   }
   if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
@@ -135,7 +139,7 @@ Bytes Name::to_canonical_wire() const {
   for (const auto& label : labels_) {
     DFX_DCHECK(label.size() <= 63);
     out.push_back(static_cast<std::uint8_t>(label.size()));
-    for (char c : label) out.push_back(static_cast<std::uint8_t>(fold(c)));
+    for (char c : label) out.push_back(fold(c));
   }
   out.push_back(0);
   return out;

@@ -11,6 +11,7 @@
 #include "dnscore/rdata.h"
 #include "dnscore/rr.h"
 #include "util/bytes.h"
+#include "util/check.hpp"
 
 namespace dfx::dns {
 
@@ -23,10 +24,13 @@ class WireReader {
   std::size_t remaining() const { return data_.size() - pos_; }
   bool ok() const { return ok_; }
 
-  std::uint8_t read_u8();
-  std::uint16_t read_u16();
-  std::uint32_t read_u32();
-  Bytes read_bytes(std::size_t n);
+  // Every value read off the wire is attacker-controlled: bound it with a
+  // DFX_CHECK (or an explicit comparison) before it sizes or indexes
+  // anything. The taint pack in dfixer_lint enforces this.
+  DFX_TAINTED std::uint8_t read_u8();
+  DFX_TAINTED std::uint16_t read_u16();
+  DFX_TAINTED std::uint32_t read_u32();
+  DFX_TAINTED Bytes read_bytes(std::size_t n);
 
   /// Read a (possibly compressed) domain name; compression pointers may
   /// reference earlier message offsets only.

@@ -12,11 +12,13 @@
 namespace dfx::server {
 namespace {
 
+DFX_TAINT_PASSTHROUGH
 std::uint16_t read_be16(ByteView data, std::size_t offset) {
   return static_cast<std::uint16_t>(
       (static_cast<std::uint16_t>(data[offset]) << 8) | data[offset + 1]);
 }
 
+DFX_TAINT_PASSTHROUGH
 std::uint32_t read_be32(ByteView data, std::size_t offset) {
   return (static_cast<std::uint32_t>(data[offset]) << 24) |
          (static_cast<std::uint32_t>(data[offset + 1]) << 16) |
@@ -171,7 +173,7 @@ Bytes WireFrontend::assemble(std::uint16_t id, bool rd, bool cd,
   return out;
 }
 
-Bytes WireFrontend::serve(ByteView query) const {
+Bytes WireFrontend::serve(DFX_TAINTED ByteView query) const {
   queries_.add();
   if (query.size() < 12) {
     dropped_.add();

@@ -33,6 +33,7 @@
 #include "server/answercache.h"
 #include "server/zonestore.h"
 #include "util/bytes.h"
+#include "util/check.hpp"
 #include "util/metrics.h"
 
 namespace dfx::server {
@@ -62,7 +63,9 @@ class WireFrontend {
                         Options options = Options());
 
   /// Serve one datagram. Empty result = drop (short packet or QR set).
-  Bytes serve(ByteView query) const;
+  /// The buffer is a raw attacker-controlled datagram; every length and
+  /// count read out of it must be bounds-checked before use.
+  Bytes serve(DFX_TAINTED ByteView query) const;
 
   const Options& options() const { return options_; }
 

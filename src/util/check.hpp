@@ -90,3 +90,21 @@ class LoopBound {
 #define DFX_BOUNDED_LOOP(guard, bound)     \
   ::dfx::check_detail::LoopBound guard(    \
       static_cast<std::uint64_t>(bound), __FILE__, __LINE__)
+
+// Taint annotations for dfixer_lint's dataflow engine (docs/STATIC_ANALYSIS
+// "Dataflow engine"). Both expand to nothing — they exist purely so the
+// analyzer can tell attacker-controlled values apart from trusted ones.
+//
+//   DFX_TAINTED            on a function declaration: its return value is
+//                          raw wire data. On a struct field: the field holds
+//                          raw wire data wherever it is read. On a
+//                          parameter: the argument arrives tainted in this
+//                          function's body.
+//   DFX_TAINT_PASSTHROUGH  on a function declaration: the result is tainted
+//                          exactly when one of its arguments is.
+//
+// Tainted values must pass a DFX_CHECK/DFX_DCHECK or an explicit bound test
+// on every path before indexing a buffer, sizing an allocation, or bounding
+// a loop; the `unchecked-taint-flow` rule enforces this.
+#define DFX_TAINTED
+#define DFX_TAINT_PASSTHROUGH

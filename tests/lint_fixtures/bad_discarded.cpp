@@ -25,4 +25,19 @@ void consumed(int v) {
   apply_fix(v);
 }
 
+void stored_but_dead(int v) {
+  const auto st = parse_record("p");  // line 29: stored, never read on any path
+  if (v > 0) {
+    log_note(v);
+  }
+  auto ok = decode_blob("q");  // read in the branch below: ok
+  if (v > 1) {
+    log_note(ok ? 1 : 0);
+  }
+  auto later = apply_fix(v);  // reassigned before the read: conservatively ok
+  later = apply_fix(v + 1);
+  (void)later;
+  [[maybe_unused]] auto tagged = tagged_token();  // annotated: ok
+}
+
 }  // namespace fixture

@@ -1,0 +1,118 @@
+// Fixture: unchecked-taint-flow. Lives under a dataflow/ path, so the
+// taint pack applies. Wire-derived values (source calls, fields and
+// pass-throughs from symbols/taint_decls.h plus the local source below)
+// must pass a DFX_CHECK or an explicit bound test on EVERY path before
+// indexing a buffer, sizing an allocation, feeding a memcpy length or
+// bounding a loop. Each flagged line has a guarded twin that stays quiet.
+#include <vector>
+
+namespace fixture {
+
+DFX_TAINTED unsigned short local_wire_len();  // source declared in-file
+
+void unchecked_index(Reader& rd, std::vector<unsigned char>& buf) {
+  const unsigned short len = rd.read_len();
+  buf[len] = 0;  // line 15: unchecked-taint-flow (index)
+}
+
+void guarded_index(Reader& rd, std::vector<unsigned char>& buf) {
+  const unsigned short len = rd.read_len();
+  DFX_CHECK(len < buf.size());
+  buf[len] = 0;  // ok: the contract dominates the use
+}
+
+void branch_only_guard(Reader& rd, std::vector<unsigned char>& buf,
+                       bool flag) {
+  const unsigned short len = rd.read_len();
+  if (flag) {
+    DFX_CHECK(len < buf.size());
+  }
+  buf[len] = 0;  // line 30: the guard covers one path only
+}
+
+void guard_after_use(Reader& rd, std::vector<unsigned char>& buf) {
+  const unsigned short len = rd.read_len();
+  buf[len] = 0;  // line 35: the check below comes too late
+  DFX_CHECK(len < buf.size());
+}
+
+void loop_carried(Reader& rd, std::vector<unsigned char>& buf, bool more) {
+  unsigned short len = rd.read_len();
+  DFX_CHECK(len < 16);
+  while (more) {
+    buf[len] = 0;  // line 43: re-tainted by the back edge below
+    len = rd.read_len();
+  }
+}
+
+void early_return_guard(Reader& rd, std::vector<unsigned char>& buf) {
+  const unsigned short len = rd.read_len();
+  if (len >= buf.size()) return;
+  buf[len] = 0;  // ok: the bound test guards the fall-through edge
+}
+
+void sanitized_by_min(Reader& rd, std::vector<unsigned char>& buf) {
+  const unsigned short cap = 15;
+  const unsigned short n = std::min(rd.read_len(), cap);
+  buf[n] = 0;  // ok: std::min bounds the value
+}
+
+void unchecked_resize(Reader& rd, std::vector<unsigned char>& buf) {
+  buf.resize(rd.read_len());  // line 61: unchecked-taint-flow (resize)
+}
+
+void guarded_resize(Reader& rd, std::vector<unsigned char>& buf) {
+  const unsigned short n = rd.read_len();
+  if (n < 512) {
+    buf.resize(n);  // ok: the branch edge bounds it
+  }
+}
+
+void unchecked_memcpy(Reader& rd, unsigned char* dst,
+                      const unsigned char* src) {
+  memcpy(dst, src, rd.read_len());  // line 73: tainted memcpy length
+}
+
+void unchecked_loop_bound(Reader& rd) {
+  const unsigned short count = rd.read_len();
+  for (unsigned i = 0; i < count; ++i) {  // line 78: tainted trip count
+    rd.read_octet();
+  }
+}
+
+void bounded_loop(Reader& rd) {
+  const unsigned short count = rd.read_len();
+  DFX_BOUNDED_LOOP(guard, 64);
+  for (unsigned i = 0; i < count; ++i) {  // ok: DFX_BOUNDED_LOOP dominates
+    guard.tick();
+  }
+}
+
+void tainted_param(DFX_TAINTED unsigned short plen,
+                   std::vector<unsigned char>& buf) {
+  buf[plen] = 0;  // line 93: DFX_TAINTED parameters arrive tainted
+}
+
+void passthrough_call(Reader& rd, std::vector<unsigned char>& buf) {
+  const unsigned short h = to_host16(rd.read_len());
+  buf[h] = 0;  // line 98: to_host16 forwards its argument's taint
+}
+
+void tainted_field(const Packet& p, std::vector<unsigned char>& buf) {
+  buf[p.rdlen] = 0;  // line 102: DFX_TAINTED field read
+}
+
+void local_source(std::vector<unsigned char>& buf) {
+  buf[local_wire_len()] = 0;  // line 106: source declared in this file
+}
+
+void trusted_stays_clean(Reader& rd, std::vector<unsigned char>& buf) {
+  buf[rd.read_trusted()] = 0;  // ok: unannotated calls are not sources
+}
+
+void suppressed(Reader& rd, std::vector<unsigned char>& buf) {
+  // dfx-lint: allow(unchecked-taint-flow): bound proven by the caller
+  buf[rd.read_len()] = 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,53 @@
+// Fixture: multi-path cases the pre-dataflow linter got wrong. The old
+// 6-line guard window treated ANY nearby DFX_CHECK as proof, so a check
+// sitting in one branch, or on the same line but after the cast, silenced
+// the narrowing rule. The CFG port demands the guard dominate the use on
+// every path; the first two functions are findings even though a check
+// sits inside the window, and each has a dominating twin that stays
+// quiet. The last function pins the loop-carried-taint analogue.
+#include <cstdint>
+
+namespace fixture {
+
+DFX_TAINTED unsigned short read_len();  // local wire source
+
+std::uint8_t branch_only(unsigned n, bool flag) {
+  if (flag) {
+    DFX_CHECK(n + 1 < 256);
+  }
+  return static_cast<std::uint8_t>(n + 1);  // line 18: one path unchecked
+}
+
+std::uint8_t guard_after(unsigned n) {
+  // The same-line check fooled the line window; in statement order it runs
+  // after the truncation it is supposed to vouch for.
+  const auto v = static_cast<std::uint8_t>(n + 1); DFX_CHECK(n + 1 < 256);
+  return v;
+}
+
+std::uint8_t both_branches(unsigned n, bool flag) {
+  if (flag) {
+    DFX_CHECK(n + 1 < 256);
+  } else {
+    DFX_CHECK(n + 1 < 128);
+  }
+  return static_cast<std::uint8_t>(n + 1);  // ok: every path is checked
+}
+
+std::uint8_t early_return(unsigned n) {
+  if (n + 1 >= 256) {
+    return 0;
+  }
+  return static_cast<std::uint8_t>(n + 1);  // ok: the bound test dominates
+}
+
+void loop_carried_length(unsigned char* buf) {
+  unsigned short len = read_len();
+  DFX_CHECK(len < 16);
+  while (buf[0] != 0) {
+    buf[len] = 0;  // line 48: re-tainted by the read below on the back edge
+    len = read_len();
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: exotic numeric literals — digit separators, hex floats, binary
+// separators and a number-adjacent char literal. No rule may fire here; a
+// lexer that split these would misparse the surrounding expressions and
+// trip the token rules downstream.
+#include <vector>
+
+namespace fixture {
+
+constexpr unsigned long kCacheBytes = 64'000'000;
+constexpr unsigned kMask = 0xFF'00;
+constexpr unsigned kBits = 0b1010'0101;
+constexpr double kScale = 0x1.8p3;
+
+int pick(const std::vector<int>& v) {
+  if (v.empty()) return 0;
+  const char tags[] = {1, 'a', 'b'};
+  return v.front() + tags[0] + static_cast<int>(kCacheBytes % 1'000) +
+         static_cast<int>(kMask + kBits + kScale);
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: taint annotations for the cross-TU symbol index. The tests
+// index this header alongside status_decls.h; the taint pack then treats
+// read_len/read_octet as source calls, rdlen as a tainted field and
+// to_host16 as a pass-through wherever the other fixtures call them.
+// (Fixtures are linted and indexed, never compiled.)
+#pragma once
+
+namespace fixture {
+
+struct Reader {
+  DFX_TAINTED unsigned short read_len();
+  DFX_TAINTED unsigned char read_octet();
+  unsigned short read_trusted();  // unannotated: stays clean
+  unsigned long remaining() const;
+};
+
+struct Packet {
+  DFX_TAINTED unsigned short rdlen;
+  unsigned short cursor;  // unannotated: stays clean
+};
+
+DFX_TAINT_PASSTHROUGH unsigned short to_host16(unsigned short be);
+
+}  // namespace fixture

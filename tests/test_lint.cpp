@@ -39,7 +39,8 @@ const SymbolIndex& fixture_index() {
   static const SymbolIndex index = [] {
     SymbolIndex idx;
     for (const char* name : {"symbols/status_decls.h", "symbols/enum_decls.h",
-                             "symbols/cross_a.h", "symbols/cross_b.cpp"}) {
+                             "symbols/cross_a.h", "symbols/cross_b.cpp",
+                             "symbols/taint_decls.h"}) {
       const std::string content = read_file(fixture_path(name));
       const auto tokens = dfx::lint::lex(content);
       idx.index_source(name, tokens);
@@ -158,9 +159,11 @@ TEST(Lint, FlagsDiscardedErrorReturnsButNotConsumedOnes) {
   EXPECT_TRUE(has(vs, "discarded-error-return", 10));  // std::optional
   EXPECT_TRUE(has(vs, "discarded-error-return", 11));  // [[nodiscard]]
   EXPECT_TRUE(has(vs, "discarded-error-return", 12));  // if-controlled stmt
-  EXPECT_EQ(vs.size(), 5u)
+  EXPECT_TRUE(has(vs, "discarded-error-return", 29));  // stored, never read
+  EXPECT_EQ(vs.size(), 6u)
       << "(void)-cast, consumed, void/plain returns, and suppressed calls "
-         "must not be flagged";
+         "must not be flagged; nor stores that are read, reassigned-then-"
+         "read, or [[maybe_unused]]";
 }
 
 TEST(Lint, FlagsUnguardedNarrowingCastsOnWireLayers) {
@@ -178,6 +181,55 @@ TEST(Lint, NarrowingRuleIsScopedToWireLayerPaths) {
   const auto vs = dfx::lint::lint_file("elsewhere/bad_narrowing.cpp", content,
                                        fixture_options());
   EXPECT_TRUE(vs.empty());
+}
+
+TEST(Lint, TaintPackFlagsUncheckedWireFlowsButNotGuardedTwins) {
+  const auto vs = lint_fixture("dataflow/bad_taint.cpp");
+  EXPECT_TRUE(has(vs, "unchecked-taint-flow", 15));   // unchecked index
+  EXPECT_TRUE(has(vs, "unchecked-taint-flow", 30));   // guard on one branch
+  EXPECT_TRUE(has(vs, "unchecked-taint-flow", 35));   // guard after the use
+  EXPECT_TRUE(has(vs, "unchecked-taint-flow", 43));   // loop-carried re-taint
+  EXPECT_TRUE(has(vs, "unchecked-taint-flow", 61));   // .resize length
+  EXPECT_TRUE(has(vs, "unchecked-taint-flow", 73));   // memcpy length
+  EXPECT_TRUE(has(vs, "unchecked-taint-flow", 78));   // loop trip count
+  EXPECT_TRUE(has(vs, "unchecked-taint-flow", 93));   // DFX_TAINTED parameter
+  EXPECT_TRUE(has(vs, "unchecked-taint-flow", 98));   // pass-through call
+  EXPECT_TRUE(has(vs, "unchecked-taint-flow", 102));  // DFX_TAINTED field
+  EXPECT_TRUE(has(vs, "unchecked-taint-flow", 106));  // in-file source decl
+  EXPECT_EQ(vs.size(), 11u)
+      << "DFX_CHECK/bound-test/early-return/std::min/DFX_BOUNDED_LOOP "
+         "twins, unannotated calls and suppressed uses must stay quiet";
+}
+
+TEST(Lint, TaintPackIsScopedToWireHandlingPaths) {
+  const std::string content =
+      read_file(fixture_path("dataflow/bad_taint.cpp"));
+  const auto vs = dfx::lint::lint_file("elsewhere/bad_taint.cpp", content,
+                                       fixture_options());
+  EXPECT_TRUE(vs.empty());
+}
+
+TEST(Lint, DataflowPinsMultiPathGuardsTheLineWindowMissed) {
+  const auto vs = lint_fixture("dnscore/bad_multipath.cpp");
+  EXPECT_TRUE(has(vs, "unguarded-narrowing-cast", 18));  // branch-only guard
+  EXPECT_TRUE(has(vs, "unguarded-narrowing-cast", 24));  // same-line, after
+  EXPECT_TRUE(has(vs, "unchecked-taint-flow", 48));      // loop-carried
+  EXPECT_EQ(vs.size(), 3u)
+      << "both-branch and early-return guards dominate and must stay quiet";
+}
+
+TEST(Lint, DisablingDataflowFallsBackToTheWindowHeuristics) {
+  const std::string content =
+      read_file(fixture_path("dnscore/bad_multipath.cpp"));
+  Options off = fixture_options();
+  off.dataflow = false;
+  const auto vs =
+      dfx::lint::lint_file("dnscore/bad_multipath.cpp", content, off);
+  // The pre-dataflow heuristics accept the nearby checks — these are the
+  // pinned false negatives — and the taint pack needs the CFGs entirely.
+  EXPECT_FALSE(has(vs, "unguarded-narrowing-cast", 18));
+  EXPECT_FALSE(has(vs, "unguarded-narrowing-cast", 24));
+  for (const auto& v : vs) EXPECT_NE(v.rule, "unchecked-taint-flow");
 }
 
 TEST(Lint, FlagsSignedLoopIndexAgainstContainerSizeBounds) {
@@ -262,6 +314,10 @@ TEST(Lint, CleanFileProducesNoViolations) {
   EXPECT_TRUE(lint_fixture("good_clean.cpp").empty());
 }
 
+TEST(Lint, ExoticNumericLiteralsDoNotConfuseAnyRule) {
+  EXPECT_TRUE(lint_fixture("good_literals.cpp").empty());
+}
+
 TEST(Lint, ViolationsCarrySeverityAndExcerpt) {
   const auto vs = lint_fixture("bad_discarded.cpp");
   ASSERT_FALSE(vs.empty());
@@ -273,17 +329,18 @@ TEST(Lint, ViolationsCarrySeverityAndExcerpt) {
       << "excerpt should quote the offending line";
 }
 
-TEST(Lint, CoversAtLeastThirteenDistinctViolationClasses) {
+TEST(Lint, CoversAtLeastFourteenDistinctViolationClasses) {
   std::set<std::string> rules;
   for (const char* name :
        {"bad_banned.cpp", "bad_front_back.cpp", "dnscore/bad_length.cpp",
         "bad_nodiscard.h", "bad_enum_switch.cpp", "bad_concurrency.cpp",
         "dnscore/bad_layering.cpp", "bad_discarded.cpp",
         "dnscore/bad_narrowing.cpp", "bad_signed_loop.cpp",
-        "bad_view_temp.cpp"}) {
+        "bad_view_temp.cpp", "dataflow/bad_taint.cpp",
+        "dnscore/bad_multipath.cpp"}) {
     for (const auto& v : lint_fixture(name)) rules.insert(v.rule);
   }
-  EXPECT_GE(rules.size(), 13u) << "fixtures must exercise >=13 rule classes";
+  EXPECT_GE(rules.size(), 14u) << "fixtures must exercise >=14 rule classes";
 }
 
 TEST(Lint, StripperErasesCommentsAndStringsButKeepsLineStructure) {

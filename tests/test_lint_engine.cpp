@@ -124,6 +124,42 @@ TEST(Lexer, PpNumbersLexAsOneToken) {
             (std::vector<std::string>{"0x1Fu", "1'000", "1e-3", "0x1p-3"}));
 }
 
+TEST(Lexer, DigitSeparatorsAndHexFloatsAreSingleTokens) {
+  const auto toks =
+      dfx::lint::lex("n = 1'000'000 + 0xFF'00 + 0x1.8p3 + 0b1010'0101;");
+  std::vector<std::string> numbers;
+  for (const auto& t : toks) {
+    if (t.kind == Tok::kNumber) numbers.emplace_back(t.text);
+  }
+  EXPECT_EQ(numbers, (std::vector<std::string>{"1'000'000", "0xFF'00",
+                                               "0x1.8p3", "0b1010'0101"}));
+}
+
+TEST(Lexer, QuoteAfterNumberStillOpensCharLiterals) {
+  // `{1,'a'}`: the quote follows a digit-adjacent comma, not a digit run —
+  // it must open a character literal, not continue `1` as a separator.
+  const auto toks = dfx::lint::lex("int x[] = {1,'a'}; wchar_t w = L'b';");
+  std::size_t chars = 0;
+  for (const auto& t : toks) {
+    if (t.kind == Tok::kChar) ++chars;
+    if (t.kind == Tok::kNumber) {
+      EXPECT_EQ(t.text, "1");
+    }
+  }
+  EXPECT_EQ(chars, 2u);
+}
+
+TEST(Lexer, StrippingPreservesDigitSeparators) {
+  // strip_comments_and_strings must not mistake the separator quotes for
+  // an (unterminated) character literal and blank the rest of the line.
+  const std::string stripped = dfx::lint::strip_comments_and_strings(
+      "std::size_t cap = 1'000'000;  // comment\n"
+      "char c = 'x';\n");
+  EXPECT_NE(stripped.find("1'000'000"), std::string::npos);
+  EXPECT_EQ(stripped.find("comment"), std::string::npos);
+  EXPECT_EQ(stripped.find('x'), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Symbol index
 // ---------------------------------------------------------------------------
@@ -312,7 +348,11 @@ TEST(Ratchet, DiffReportsFreshAndStaleInBothDirections) {
 class RatchetBinaryTest : public testing::Test {
  protected:
   void SetUp() override {
-    root_ = fs::path(testing::TempDir()) / "dfx_ratchet_root";
+    // One directory per test case: ctest runs each TEST_F as its own
+    // process, and a shared path would race under `ctest -j`.
+    root_ = fs::path(testing::TempDir()) /
+            (std::string("dfx_ratchet_") +
+             testing::UnitTest::GetInstance()->current_test_info()->name());
     fs::remove_all(root_);
     fs::create_directories(root_ / "src");
     std::ofstream(root_ / "src" / "clean.cpp")

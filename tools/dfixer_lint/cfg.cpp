@@ -1,0 +1,569 @@
+#include "dfixer_lint/cfg.h"
+
+#include <set>
+#include <string_view>
+#include <utility>
+
+namespace dfx::lint {
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+bool text_is(const std::vector<Token>& t, std::size_t i, std::string_view s) {
+  return i < t.size() && t[i].text == s;
+}
+
+bool is_open(std::string_view s) { return s == "(" || s == "[" || s == "{"; }
+bool is_close(std::string_view s) { return s == ")" || s == "]" || s == "}"; }
+
+// Index of the closer matching the opener at `i`, or kNone. All three
+// bracket kinds count toward one depth, so a lambda body inside an argument
+// list never terminates the scan early.
+std::size_t match_bracket(const std::vector<Token>& t, std::size_t i,
+                          std::size_t limit) {
+  int depth = 0;
+  for (std::size_t j = i; j < limit; ++j) {
+    const std::string_view s = t[j].text;
+    if (is_open(s)) {
+      ++depth;
+    } else if (is_close(s)) {
+      if (--depth == 0) return j;
+      if (depth < 0) return kNone;
+    }
+  }
+  return kNone;
+}
+
+// First occurrence of `what` at bracket depth 0 within [b, e), or kNone.
+std::size_t find_top(const std::vector<Token>& t, std::size_t b, std::size_t e,
+                     std::string_view what) {
+  int depth = 0;
+  for (std::size_t j = b; j < e; ++j) {
+    const std::string_view s = t[j].text;
+    if (is_open(s)) {
+      ++depth;
+    } else if (is_close(s)) {
+      --depth;
+    } else if (depth == 0 && s == what) {
+      return j;
+    }
+  }
+  return kNone;
+}
+
+bool is_control_keyword(std::string_view s) {
+  static const std::set<std::string_view> kControl = {
+      "if",     "else",    "while",  "for",      "do",        "switch",
+      "case",   "default", "return", "break",    "continue",  "goto",
+      "throw",  "try",     "catch",  "operator", "sizeof",    "alignof",
+      "decltype", "new",   "delete", "static_assert", "co_return",
+      "co_await", "co_yield", "requires"};
+  return kControl.contains(s);
+}
+
+// Builds one Cfg over the token range of a function body.
+class Builder {
+ public:
+  Builder(const std::vector<Token>& toks, Cfg* cfg) : t_(toks), cfg_(cfg) {}
+
+  void build(std::size_t body_begin, std::size_t body_end) {
+    cfg_->entry = new_block();
+    cfg_->exit = new_block();
+    const std::size_t last = parse_range(body_begin, body_end, cfg_->entry);
+    if (last != kNone) add_edge(last, cfg_->exit);
+  }
+
+ private:
+  std::size_t new_block() {
+    cfg_->blocks.emplace_back();
+    return cfg_->blocks.size() - 1;
+  }
+
+  void add_edge(std::size_t from, std::size_t to) {
+    CfgEdge e;
+    e.to = to;
+    cfg_->blocks[from].succs.push_back(e);
+    cfg_->blocks[to].preds.push_back(from);
+  }
+
+  void add_cond_edge(std::size_t from, std::size_t to, std::size_t cb,
+                     std::size_t ce, bool polarity) {
+    CfgEdge e;
+    e.to = to;
+    e.has_cond = true;
+    e.cond_true = polarity;
+    e.cond_begin = cb;
+    e.cond_end = ce;
+    cfg_->blocks[from].succs.push_back(e);
+    cfg_->blocks[to].preds.push_back(from);
+  }
+
+  void add_stmt(std::size_t block, std::size_t b, std::size_t e,
+                StmtKind k = StmtKind::kPlain) {
+    if (b < e) cfg_->blocks[block].stmts.push_back({b, e, k});
+  }
+
+  // Parse every statement in [i, end); `cur` is the live block. Returns the
+  // block execution falls out of, or kNone when all paths jumped away.
+  std::size_t parse_range(std::size_t i, std::size_t end, std::size_t cur) {
+    while (i < end) {
+      if (cur == kNone) cur = new_block();  // dead code still parses
+      auto [ni, nc] = parse_stmt(i, end, cur);
+      i = ni > i ? ni : i + 1;  // guarantee progress on malformed input
+      cur = nc;
+    }
+    return cur;
+  }
+
+  // One statement starting at `i`. Returns {index past the statement, block
+  // execution continues in (kNone after an unconditional jump)}.
+  std::pair<std::size_t, std::size_t> parse_stmt(std::size_t i,
+                                                 std::size_t end,
+                                                 std::size_t cur) {
+    const std::string_view s = t_[i].text;
+    if (s == ";") return {i + 1, cur};
+    if (s == "{") {
+      const std::size_t close = match_bracket(t_, i, end);
+      if (close == kNone) return {end, cur};
+      return {close + 1, parse_range(i + 1, close, cur)};
+    }
+    if (t_[i].kind == Tok::kIdent) {
+      if (s == "if") return parse_if(i, end, cur);
+      if (s == "while") return parse_while(i, end, cur);
+      if (s == "for") return parse_for(i, end, cur);
+      if (s == "do") return parse_do(i, end, cur);
+      if (s == "switch") return parse_switch(i, end, cur);
+      if (s == "try") return parse_try(i, end, cur);
+      if (s == "break" || s == "continue") {
+        const std::vector<std::size_t>& targets =
+            s == "break" ? break_targets_ : continue_targets_;
+        if (!targets.empty()) add_edge(cur, targets.back());
+        return {skip_simple(i, end), kNone};
+      }
+      if (s == "return" || s == "throw" || s == "co_return") {
+        const std::size_t next = skip_simple(i, end);
+        add_stmt(cur, i, next);
+        add_edge(cur, cfg_->exit);
+        return {next, kNone};
+      }
+      if (s == "else" || s == "case" || s == "default" || s == "catch") {
+        // Stray pieces of a construct we already consumed (or malformed
+        // input): step over the token rather than looping on it.
+        return {i + 1, cur};
+      }
+    }
+    // Plain statement: everything up to the top-level ';'.
+    const std::size_t next = skip_simple(i, end);
+    add_stmt(cur, i, next);
+    return {next, cur};
+  }
+
+  // Index past the ';' (bracket-balanced) ending a simple statement, or
+  // `end` when it runs off the range.
+  std::size_t skip_simple(std::size_t i, std::size_t end) const {
+    int depth = 0;
+    for (std::size_t j = i; j < end; ++j) {
+      const std::string_view s = t_[j].text;
+      if (is_open(s)) {
+        ++depth;
+      } else if (is_close(s)) {
+        --depth;
+        if (depth < 0) return j;  // enclosing brace: statement ends here
+      } else if (depth == 0 && s == ";") {
+        return j + 1;
+      }
+    }
+    return end;
+  }
+
+  std::pair<std::size_t, std::size_t> parse_if(std::size_t i, std::size_t end,
+                                               std::size_t cur) {
+    std::size_t j = i + 1;
+    if (text_is(t_, j, "constexpr")) ++j;
+    if (!text_is(t_, j, "(")) return fallback(i, end, cur);
+    const std::size_t close = match_bracket(t_, j, end);
+    if (close == kNone) return fallback(i, end, cur);
+    std::size_t cond_b = j + 1;
+    // C++17 init-statement: `if (auto v = f(); v)` — the init is a plain
+    // statement of the current block, the condition is what follows it.
+    const std::size_t semi = find_top(t_, cond_b, close, ";");
+    if (semi != kNone) {
+      add_stmt(cur, cond_b, semi + 1);
+      cond_b = semi + 1;
+    }
+    const std::size_t cond_e = close;
+    add_stmt(cur, cond_b, cond_e);  // side effects inside the condition
+    const std::size_t then_entry = new_block();
+    add_cond_edge(cur, then_entry, cond_b, cond_e, true);
+    auto [after_then, then_exit] = parse_stmt(close + 1, end, then_entry);
+    if (text_is(t_, after_then, "else")) {
+      const std::size_t else_entry = new_block();
+      add_cond_edge(cur, else_entry, cond_b, cond_e, false);
+      auto [after_else, else_exit] =
+          parse_stmt(after_then + 1, end, else_entry);
+      const std::size_t join = new_block();
+      if (then_exit != kNone) add_edge(then_exit, join);
+      if (else_exit != kNone) add_edge(else_exit, join);
+      return {after_else, join};
+    }
+    const std::size_t join = new_block();
+    add_cond_edge(cur, join, cond_b, cond_e, false);
+    if (then_exit != kNone) add_edge(then_exit, join);
+    return {after_then, join};
+  }
+
+  std::pair<std::size_t, std::size_t> parse_while(std::size_t i,
+                                                  std::size_t end,
+                                                  std::size_t cur) {
+    if (!text_is(t_, i + 1, "(")) return fallback(i, end, cur);
+    const std::size_t close = match_bracket(t_, i + 1, end);
+    if (close == kNone) return fallback(i, end, cur);
+    const std::size_t cond_b = i + 2, cond_e = close;
+    const std::size_t head = new_block();
+    add_edge(cur, head);
+    add_stmt(head, cond_b, cond_e, StmtKind::kLoopCond);
+    const std::size_t body = new_block();
+    const std::size_t after = new_block();
+    add_cond_edge(head, body, cond_b, cond_e, true);
+    add_cond_edge(head, after, cond_b, cond_e, false);
+    break_targets_.push_back(after);
+    continue_targets_.push_back(head);
+    auto [ni, body_exit] = parse_stmt(close + 1, end, body);
+    break_targets_.pop_back();
+    continue_targets_.pop_back();
+    if (body_exit != kNone) add_edge(body_exit, head);  // back edge
+    return {ni, after};
+  }
+
+  std::pair<std::size_t, std::size_t> parse_for(std::size_t i, std::size_t end,
+                                                std::size_t cur) {
+    if (!text_is(t_, i + 1, "(")) return fallback(i, end, cur);
+    const std::size_t close = match_bracket(t_, i + 1, end);
+    if (close == kNone) return fallback(i, end, cur);
+    const std::size_t semi1 = find_top(t_, i + 2, close, ";");
+    if (semi1 == kNone) {
+      // Range-based for: `for (decl : range)`. The head both binds the
+      // element (treated like an assignment across ':') and branches.
+      const std::size_t head = new_block();
+      add_edge(cur, head);
+      add_stmt(head, i + 2, close, StmtKind::kRangeHead);
+      const std::size_t body = new_block();
+      const std::size_t after = new_block();
+      add_edge(head, body);
+      add_edge(head, after);
+      break_targets_.push_back(after);
+      continue_targets_.push_back(head);
+      auto [ni, body_exit] = parse_stmt(close + 1, end, body);
+      break_targets_.pop_back();
+      continue_targets_.pop_back();
+      if (body_exit != kNone) add_edge(body_exit, head);
+      return {ni, after};
+    }
+    std::size_t semi2 = find_top(t_, semi1 + 1, close, ";");
+    if (semi2 == kNone) semi2 = close;
+    add_stmt(cur, i + 2, semi1 + 1);  // init statement
+    const std::size_t head = new_block();
+    add_edge(cur, head);
+    const std::size_t body = new_block();
+    const std::size_t after = new_block();
+    const std::size_t cond_b = semi1 + 1, cond_e = semi2;
+    if (cond_b < cond_e) {
+      add_stmt(head, cond_b, cond_e, StmtKind::kLoopCond);
+      add_cond_edge(head, body, cond_b, cond_e, true);
+      add_cond_edge(head, after, cond_b, cond_e, false);
+    } else {
+      add_edge(head, body);  // `for (;;)`: exits only through break
+    }
+    const std::size_t inc = new_block();
+    if (semi2 < close) add_stmt(inc, semi2 + 1, close);
+    add_edge(inc, head);
+    break_targets_.push_back(after);
+    continue_targets_.push_back(inc);
+    auto [ni, body_exit] = parse_stmt(close + 1, end, body);
+    break_targets_.pop_back();
+    continue_targets_.pop_back();
+    if (body_exit != kNone) add_edge(body_exit, inc);
+    return {ni, after};
+  }
+
+  std::pair<std::size_t, std::size_t> parse_do(std::size_t i, std::size_t end,
+                                               std::size_t cur) {
+    const std::size_t body = new_block();
+    add_edge(cur, body);
+    const std::size_t cond_blk = new_block();
+    const std::size_t after = new_block();
+    break_targets_.push_back(after);
+    continue_targets_.push_back(cond_blk);
+    auto [ni, body_exit] = parse_stmt(i + 1, end, body);
+    break_targets_.pop_back();
+    continue_targets_.pop_back();
+    if (body_exit != kNone) add_edge(body_exit, cond_blk);
+    if (text_is(t_, ni, "while") && text_is(t_, ni + 1, "(")) {
+      const std::size_t close = match_bracket(t_, ni + 1, end);
+      if (close != kNone) {
+        add_stmt(cond_blk, ni + 2, close, StmtKind::kLoopCond);
+        add_cond_edge(cond_blk, body, ni + 2, close, true);
+        add_cond_edge(cond_blk, after, ni + 2, close, false);
+        ni = close + 1;
+        if (text_is(t_, ni, ";")) ++ni;
+        return {ni, after};
+      }
+    }
+    add_edge(cond_blk, after);  // malformed tail: degrade gracefully
+    return {ni, after};
+  }
+
+  std::pair<std::size_t, std::size_t> parse_switch(std::size_t i,
+                                                   std::size_t end,
+                                                   std::size_t cur) {
+    if (!text_is(t_, i + 1, "(")) return fallback(i, end, cur);
+    const std::size_t close = match_bracket(t_, i + 1, end);
+    if (close == kNone || !text_is(t_, close + 1, "{")) {
+      return fallback(i, end, cur);
+    }
+    const std::size_t bclose = match_bracket(t_, close + 1, end);
+    if (bclose == kNone) return fallback(i, end, cur);
+    add_stmt(cur, i + 2, close);  // side effects inside the switched expr
+    const std::size_t dispatch = cur;
+    const std::size_t after = new_block();
+    break_targets_.push_back(after);
+    std::size_t inner = kNone;
+    bool has_default = false;
+    std::size_t k = close + 2;
+    while (k < bclose) {
+      const std::string_view w = t_[k].text;
+      if (t_[k].kind == Tok::kIdent && (w == "case" || w == "default")) {
+        std::size_t colon = find_top(t_, k + 1, bclose, ":");
+        if (colon == kNone) colon = k;
+        const std::size_t label = new_block();
+        if (inner != kNone) add_edge(inner, label);  // fallthrough
+        add_edge(dispatch, label);
+        if (w == "default") has_default = true;
+        inner = label;
+        k = colon + 1;
+        continue;
+      }
+      if (inner == kNone) inner = new_block();  // stmts before any label
+      auto [nk, ninner] = parse_stmt(k, bclose, inner);
+      k = nk > k ? nk : k + 1;
+      inner = ninner;
+      if (inner == kNone && k < bclose) {
+        const std::string_view nw = t_[k].text;
+        if (nw != "case" && nw != "default" && nw != "}") {
+          inner = new_block();  // dead code between a jump and the next label
+        }
+      }
+    }
+    break_targets_.pop_back();
+    if (inner != kNone) add_edge(inner, after);
+    if (!has_default) add_edge(dispatch, after);
+    return {bclose + 1, after};
+  }
+
+  std::pair<std::size_t, std::size_t> parse_try(std::size_t i, std::size_t end,
+                                                std::size_t cur) {
+    const std::size_t tb = new_block();
+    add_edge(cur, tb);
+    auto [ni, try_exit] = parse_stmt(i + 1, end, tb);
+    const std::size_t join = new_block();
+    if (try_exit != kNone) add_edge(try_exit, join);
+    while (text_is(t_, ni, "catch") && text_is(t_, ni + 1, "(")) {
+      const std::size_t pclose = match_bracket(t_, ni + 1, end);
+      if (pclose == kNone) break;
+      const std::size_t cb = new_block();
+      add_edge(cur, cb);  // entered with (at best) the state at try entry
+      auto [ni2, cexit] = parse_stmt(pclose + 1, end, cb);
+      if (cexit != kNone) add_edge(cexit, join);
+      ni = ni2;
+    }
+    return {ni, join};
+  }
+
+  // A construct we could not parse: swallow it as one plain statement.
+  std::pair<std::size_t, std::size_t> fallback(std::size_t i, std::size_t end,
+                                               std::size_t cur) {
+    const std::size_t next = skip_simple(i, end);
+    add_stmt(cur, i, next);
+    return {next, cur};
+  }
+
+  const std::vector<Token>& t_;
+  Cfg* cfg_;
+  std::vector<std::size_t> break_targets_;
+  std::vector<std::size_t> continue_targets_;
+};
+
+// Skips the qualifier soup between a parameter list's ')' and the body '{':
+// cv/ref qualifiers, noexcept(...), override/final/mutable, a trailing
+// return type, and a constructor initializer list. Returns the index of the
+// body '{', or kNone when this is not a definition.
+std::size_t find_body_open(const std::vector<Token>& t, std::size_t after_params,
+                           std::size_t n) {
+  std::size_t j = after_params;
+  while (j < n) {
+    const std::string_view s = t[j].text;
+    if (s == "{") return j;
+    if (s == "const" || s == "override" || s == "final" || s == "&" ||
+        s == "&&" || s == "mutable" || s == "constexpr") {
+      ++j;
+      continue;
+    }
+    if (s == "noexcept") {
+      ++j;
+      if (text_is(t, j, "(")) {
+        const std::size_t c = match_bracket(t, j, n);
+        if (c == kNone) return kNone;
+        j = c + 1;
+      }
+      continue;
+    }
+    if (s == "->") {
+      // Trailing return type: advance to the body or a declaration end.
+      ++j;
+      int depth = 0;
+      while (j < n) {
+        const std::string_view w = t[j].text;
+        if (is_open(w)) ++depth;
+        if (is_close(w)) --depth;
+        if (depth == 0 && (w == "{" || w == ";" || w == "=")) break;
+        if (depth < 0) return kNone;
+        ++j;
+      }
+      continue;
+    }
+    if (s == ":") {
+      // Constructor initializer list: `name(args)` / `name{args}` items
+      // separated by commas, then the body '{'.
+      ++j;
+      while (j < n) {
+        // One item: identifiers/template bits up to its bracket group.
+        while (j < n && t[j].text != "(" && t[j].text != "{" &&
+               t[j].text != ";" && t[j].text != "}") {
+          ++j;
+        }
+        if (j >= n || t[j].text == ";" || t[j].text == "}") return kNone;
+        if (t[j].text == "{") {
+          // Either an init brace or the body itself. An init brace is
+          // directly preceded by an identifier or '>' (template args);
+          // anything else means the body starts here.
+          const std::string_view prev = t[j - 1].text;
+          const bool init_brace =
+              t[j - 1].kind == Tok::kIdent || prev == ">";
+          if (!init_brace) return j;
+        }
+        const std::size_t c = match_bracket(t, j, n);
+        if (c == kNone) return kNone;
+        j = c + 1;
+        if (text_is(t, j, ",")) {
+          ++j;
+          continue;
+        }
+        if (text_is(t, j, "{")) return j;
+        return kNone;
+      }
+      return kNone;
+    }
+    return kNone;
+  }
+  return kNone;
+}
+
+}  // namespace
+
+std::vector<Cfg> build_cfgs(const std::vector<Token>& tokens) {
+  std::vector<Cfg> out;
+  const std::size_t n = tokens.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string_view s = tokens[i].text;
+    // Lambda introducer: '[' in prefix position (not a subscript, not an
+    // attribute) with `](params)...{` or `]...{` after it.
+    if (s == "[" && !text_is(tokens, i + 1, "[")) {
+      const bool postfix =
+          i > 0 && (tokens[i - 1].kind == Tok::kIdent ||
+                    tokens[i - 1].kind == Tok::kNumber ||
+                    tokens[i - 1].text == ")" || tokens[i - 1].text == "]");
+      if (!postfix) {
+        const std::size_t cap_close = match_bracket(tokens, i, n);
+        if (cap_close != kNone) {
+          std::size_t j = cap_close + 1;
+          std::size_t pb = 0, pe = 0;
+          if (text_is(tokens, j, "(")) {
+            const std::size_t pc = match_bracket(tokens, j, n);
+            if (pc != kNone) {
+              pb = j + 1;
+              pe = pc;
+              j = pc + 1;
+            }
+          }
+          const std::size_t body = find_body_open(tokens, j, n);
+          if (body != kNone) {
+            const std::size_t bclose = match_bracket(tokens, body, n);
+            if (bclose != kNone) {
+              Cfg cfg;
+              cfg.name = "<lambda>";
+              cfg.params_begin = pb;
+              cfg.params_end = pe;
+              cfg.body_open = body;
+              cfg.body_close = bclose;
+              Builder(tokens, &cfg).build(body + 1, bclose);
+              out.push_back(std::move(cfg));
+              i = body;  // keep scanning inside for nested lambdas
+              continue;
+            }
+          }
+        }
+      }
+      continue;
+    }
+    // Named function definition: `name(params) <qualifiers> {`.
+    if (tokens[i].kind != Tok::kIdent || is_control_keyword(s)) continue;
+    if (!text_is(tokens, i + 1, "(")) continue;
+    if (i > 0 &&
+        (tokens[i - 1].text == "." || tokens[i - 1].text == "->")) {
+      continue;  // member call expression
+    }
+    const std::size_t pclose = match_bracket(tokens, i + 1, n);
+    if (pclose == kNone) continue;
+    const std::size_t body = find_body_open(tokens, pclose + 1, n);
+    if (body == kNone) continue;
+    const std::size_t bclose = match_bracket(tokens, body, n);
+    if (bclose == kNone) continue;
+    Cfg cfg;
+    cfg.name = std::string(s);
+    cfg.params_begin = i + 2;
+    cfg.params_end = pclose;
+    cfg.body_open = body;
+    cfg.body_close = bclose;
+    Builder(tokens, &cfg).build(body + 1, bclose);
+    out.push_back(std::move(cfg));
+    i = body;  // descend into the body: nested lambdas get their own Cfg
+  }
+  return out;
+}
+
+const Cfg* enclosing_cfg(const std::vector<Cfg>& cfgs, std::size_t i) {
+  const Cfg* best = nullptr;
+  for (const Cfg& c : cfgs) {
+    if (c.body_open < i && i < c.body_close) {
+      if (best == nullptr || c.body_open > best->body_open) best = &c;
+    }
+  }
+  return best;
+}
+
+bool locate(const Cfg& cfg, std::size_t token, std::size_t* block_out,
+            std::size_t* stmt_out) {
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    const std::vector<CfgStmt>& stmts = cfg.blocks[b].stmts;
+    for (std::size_t s = 0; s < stmts.size(); ++s) {
+      if (stmts[s].begin <= token && token < stmts[s].end) {
+        *block_out = b;
+        *stmt_out = s;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace dfx::lint

@@ -1,0 +1,79 @@
+// Per-function control-flow graphs built from the flat token stream. Each
+// function body (and each lambda body, extracted as its own graph) becomes a
+// list of basic blocks holding statement token ranges, connected by edges
+// that optionally carry the branch condition's token range and polarity —
+// enough for the forward dataflow solver in dataflow.h to reason about
+// guards on every path without a real AST.
+//
+// The builder is a recursive-descent walk over balanced token ranges. It
+// understands if/else, while, for (including range-for), do/while, switch
+// (with fallthrough), break/continue/return/throw, and try/catch. Anything
+// it cannot parse degrades to a plain statement in the current block, so an
+// exotic construct can cost precision but never a crash or a wrong edge.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dfixer_lint/lexer.h"
+
+namespace dfx::lint {
+
+/// Classifies statements the solver treats specially. Loop conditions are
+/// sinks for the tainted-loop-bound check; range-for heads assign the
+/// element (left of `:`) from the range expression (right of `:`).
+enum class StmtKind : std::uint8_t {
+  kPlain,
+  kLoopCond,   // while/for/do condition expression
+  kRangeHead,  // `decl : range` of a range-based for
+};
+
+/// Half-open token range [begin, end) of one statement, in source order
+/// within its block.
+struct CfgStmt {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  StmtKind kind = StmtKind::kPlain;
+};
+
+struct CfgEdge {
+  std::size_t to = 0;
+  bool has_cond = false;   // edge carries a branch condition
+  bool cond_true = false;  // taken when the condition is true?
+  std::size_t cond_begin = 0;  // token range of the condition expression
+  std::size_t cond_end = 0;
+};
+
+struct CfgBlock {
+  std::vector<CfgStmt> stmts;
+  std::vector<CfgEdge> succs;
+  std::vector<std::size_t> preds;
+};
+
+struct Cfg {
+  std::string name;  // declared function name; "<lambda>" for lambdas
+  std::size_t entry = 0;
+  std::size_t exit = 0;  // every `return`/fallthrough-at-end edge lands here
+  std::vector<CfgBlock> blocks;
+  std::size_t params_begin = 0;  // token range inside the parameter parens
+  std::size_t params_end = 0;
+  std::size_t body_open = 0;   // token index of the body '{'
+  std::size_t body_close = 0;  // token index of the matching '}'
+};
+
+/// Build a CFG for every function definition and lambda body in `tokens`.
+/// Nested lambdas appear both inside the enclosing function's statement
+/// ranges and as their own Cfg; enclosing_cfg() resolves to the innermost.
+std::vector<Cfg> build_cfgs(const std::vector<Token>& tokens);
+
+/// The innermost Cfg whose body contains token index `i`, or nullptr.
+const Cfg* enclosing_cfg(const std::vector<Cfg>& cfgs, std::size_t i);
+
+/// Locate the (block, statement) whose token range contains `token`.
+/// Returns false when the token sits in structural punctuation that no
+/// recorded statement covers.
+bool locate(const Cfg& cfg, std::size_t token, std::size_t* block_out,
+            std::size_t* stmt_out);
+
+}  // namespace dfx::lint

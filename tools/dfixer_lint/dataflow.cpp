@@ -1,0 +1,653 @@
+#include "dfixer_lint/dataflow.h"
+
+#include <algorithm>
+
+namespace dfx::lint {
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+bool is_open(std::string_view s) { return s == "(" || s == "[" || s == "{"; }
+bool is_close(std::string_view s) { return s == ")" || s == "]" || s == "}"; }
+
+std::size_t match_bracket(const std::vector<Token>& t, std::size_t i,
+                          std::size_t limit) {
+  int depth = 0;
+  for (std::size_t j = i; j < limit; ++j) {
+    const std::string_view s = t[j].text;
+    if (is_open(s)) {
+      ++depth;
+    } else if (is_close(s)) {
+      if (--depth == 0) return j;
+      if (depth < 0) return kNone;
+    }
+  }
+  return kNone;
+}
+
+std::size_t find_top(const std::vector<Token>& t, std::size_t b, std::size_t e,
+                     std::string_view what) {
+  int depth = 0;
+  for (std::size_t j = b; j < e; ++j) {
+    const std::string_view s = t[j].text;
+    if (is_open(s)) {
+      ++depth;
+    } else if (is_close(s)) {
+      --depth;
+    } else if (depth == 0 && s == what) {
+      return j;
+    }
+  }
+  return kNone;
+}
+
+bool is_comparison(std::string_view s) {
+  return s == "<" || s == "<=" || s == ">" || s == ">=" || s == "==" ||
+         s == "!=";
+}
+
+bool is_guard_name(std::string_view s) {
+  return s == "DFX_CHECK" || s == "DFX_DCHECK";
+}
+
+/// Members whose value is a size/position observation, not wire content:
+/// `query.size()` is the trusted buffer length even when `query` is tainted.
+bool is_size_like_member(std::string_view s) {
+  static const std::set<std::string_view> kSizeLike = {
+      "size", "length",   "remaining", "empty", "ok",   "position",
+      "data", "capacity", "count",     "begin", "end"};
+  return kSizeLike.contains(s);
+}
+
+/// Invoke fn(piece_begin, piece_end) for every condition piece asserted on
+/// this branch: the `&&`-conjuncts on the true edge, the `||`-disjuncts on
+/// the false edge. The opposite short-circuit operator (or a ternary) at the
+/// top level means neither branch pins every piece — assert nothing.
+template <typename Fn>
+void for_each_cond_fact(const std::vector<Token>& t, std::size_t b,
+                        std::size_t e, bool branch_true, Fn&& fn) {
+  e = std::min(e, t.size());
+  while (b < e && t[b].text == "(" && match_bracket(t, b, e) == e - 1) {
+    ++b;
+    --e;
+  }
+  if (b >= e) return;
+  const std::string_view splitter = branch_true ? "&&" : "||";
+  const std::string_view blocker = branch_true ? "||" : "&&";
+  std::vector<std::pair<std::size_t, std::size_t>> pieces;
+  int depth = 0;
+  std::size_t piece = b;
+  for (std::size_t j = b; j < e; ++j) {
+    const std::string_view s = t[j].text;
+    if (is_open(s)) {
+      ++depth;
+    } else if (is_close(s)) {
+      --depth;
+    } else if (depth == 0) {
+      if (s == blocker || s == "?") return;
+      if (s == splitter) {
+        pieces.emplace_back(piece, j);
+        piece = j + 1;
+      }
+    }
+  }
+  pieces.emplace_back(piece, e);
+  for (const auto& [pb, pe] : pieces) fn(pb, pe);
+}
+
+// ---------------------------------------------------------------------------
+// Dominating-guard domain: 1-bit "an unguarded path reaches here".
+// ---------------------------------------------------------------------------
+
+struct GuardDomain {
+  using State = char;  // 1 = some entry→here path has passed no guard
+
+  const std::vector<Token>& t;
+  const GuardSpec& spec;
+
+  State bottom() const { return 0; }
+  State entry_state(const Cfg&) const { return 1; }
+
+  bool join(State& into, const State& from) const {
+    if (from > into) {
+      into = from;
+      return true;
+    }
+    return false;
+  }
+
+  /// A guard call inside [b, e): an any_guard_calls name, or a guard_calls
+  /// name whose argument list mentions one of the subjects.
+  bool guard_in_range(std::size_t b, std::size_t e) const {
+    e = std::min(e, t.size());
+    for (std::size_t j = b; j < e; ++j) {
+      if (t[j].kind != Tok::kIdent || j + 1 >= t.size() ||
+          t[j + 1].text != "(") {
+        continue;
+      }
+      const std::string_view name = t[j].text;
+      if (spec.any_guard_calls.contains(name)) return true;
+      if (!spec.guard_calls.contains(name)) continue;
+      const std::size_t close = match_bracket(t, j + 1, t.size());
+      if (close == kNone) continue;
+      for (std::size_t k = j + 2; k < close; ++k) {
+        if (t[k].kind == Tok::kIdent && spec.subjects.contains(t[k].text)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  void transfer_stmt(const CfgStmt& st, State& s) const {
+    if (s != 0 && guard_in_range(st.begin, st.end)) s = 0;
+  }
+
+  void transfer_edge(const CfgEdge& e, State& s) const {
+    if (s == 0 || !spec.edge_bound_tests || !e.has_cond) return;
+    bool guarded = false;
+    for_each_cond_fact(
+        t, e.cond_begin, e.cond_end, e.cond_true,
+        [&](std::size_t pb, std::size_t pe) {
+          if (guarded) return;
+          bool cmp = false;
+          bool subj = false;
+          for (std::size_t k = pb; k < pe; ++k) {
+            if (is_comparison(t[k].text)) cmp = true;
+            if (t[k].kind == Tok::kIdent && spec.subjects.contains(t[k].text)) {
+              subj = true;
+            }
+          }
+          if (cmp && subj) guarded = true;
+        });
+    if (guarded) s = 0;
+  }
+};
+
+std::string join_names(std::vector<std::string_view> names) {
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  std::string out;
+  for (const std::string_view n : names) {
+    if (!out.empty()) out += ", ";
+    out += std::string(n);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Taint domain.
+// ---------------------------------------------------------------------------
+
+struct TaintDomain {
+  using State = TaintState;
+
+  const std::vector<Token>& t;
+  const TaintConfig& config;
+
+  State bottom() const { return {}; }
+
+  State entry_state(const Cfg& c) const {
+    State s;
+    std::size_t b = c.params_begin;
+    const std::size_t e = std::min(c.params_end, t.size());
+    while (b < e) {
+      std::size_t comma = find_top(t, b, e, ",");
+      if (comma == kNone) comma = e;
+      bool tainted = false;
+      std::size_t last_ident = kNone;
+      int depth = 0;
+      for (std::size_t j = b; j < comma; ++j) {
+        const std::string_view w = t[j].text;
+        if (is_open(w)) ++depth;
+        if (is_close(w)) --depth;
+        if (depth == 0 && w == "=") break;  // default argument value
+        if (t[j].kind == Tok::kIdent) {
+          if (w == "DFX_TAINTED") {
+            tainted = true;
+          } else {
+            last_ident = j;
+          }
+        }
+      }
+      if (tainted && last_ident != kNone) {
+        s[std::string(t[last_ident].text)] = Taint::kTainted;
+      }
+      b = comma + 1;
+    }
+    return s;
+  }
+
+  bool join(State& into, const State& from) const {
+    bool changed = false;
+    for (const auto& [name, taint] : from) {
+      const auto [it, inserted] = into.try_emplace(name, taint);
+      if (inserted) {
+        if (taint != Taint::kUntainted) changed = true;
+      } else if (taint > it->second) {
+        it->second = taint;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  /// Taint of the expression [b, e) under `s`. When `names` is non-null, the
+  /// identifiers contributing kTainted are appended to it.
+  Taint eval(std::size_t b, std::size_t e, const State& s,
+             std::vector<std::string_view>* names) const {
+    Taint result = Taint::kUntainted;
+    bool sanitized = false;
+    e = std::min(e, t.size());
+    // `sel ? a : b` evaluates to one of the arms; the selector's taint
+    // picks the branch, never the value's magnitude.
+    const std::size_t q = find_top(t, b, e, "?");
+    if (q != kNone) {
+      const std::size_t colon = find_top(t, q + 1, e, ":");
+      if (colon != kNone) {
+        return std::max(eval(q + 1, colon, s, names),
+                        eval(colon + 1, e, s, names));
+      }
+    }
+    for (std::size_t j = b; j < e; ++j) {
+      if (t[j].kind != Tok::kIdent) continue;
+      const std::string_view w = t[j].text;
+      const bool member =
+          j > b && (t[j - 1].text == "." || t[j - 1].text == "->");
+      const bool call = j + 1 < t.size() && t[j + 1].text == "(";
+      if (call) {
+        if (w == "min" || w == "clamp") {
+          sanitized = true;  // std::min/std::clamp bound the result
+          continue;
+        }
+        if (is_guard_name(w) || w == "sizeof" || w == "alignof" ||
+            w == "decltype" || w == "static_assert") {
+          const std::size_t close = match_bracket(t, j + 1, t.size());
+          if (close != kNone && close < e) j = close;  // not value uses
+          continue;
+        }
+        if (config.source_calls.contains(w)) {
+          result = std::max(result, Taint::kTainted);
+          if (names != nullptr) names->push_back(w);
+          continue;
+        }
+        if (config.passthrough_calls.contains(w)) {
+          const std::size_t close = match_bracket(t, j + 1, t.size());
+          const std::size_t lim = close == kNone ? e : std::min(close, e);
+          result = std::max(result, eval(j + 2, lim, s, names));
+          if (close != kNone && close < e) j = close;
+          continue;
+        }
+        continue;  // unknown call: its name is not a value
+      }
+      if (member) {
+        if (config.tainted_fields.contains(w)) {
+          result = std::max(result, Taint::kTainted);
+          if (names != nullptr) names->push_back(w);
+        }
+        continue;  // other member names are not tracked locals
+      }
+      const auto it = s.find(w);
+      if (it == s.end() || it->second == Taint::kUntainted) continue;
+      // `buf.size()` — a size-like observation of a tainted object is the
+      // trusted length, not wire content; skip the base.
+      if (j + 3 < t.size() &&
+          (t[j + 1].text == "." || t[j + 1].text == "->") &&
+          t[j + 2].kind == Tok::kIdent && is_size_like_member(t[j + 2].text) &&
+          t[j + 3].text == "(") {
+        continue;
+      }
+      result = std::max(result, it->second);
+      if (it->second == Taint::kTainted && names != nullptr) {
+        names->push_back(w);
+      }
+    }
+    if (sanitized && result == Taint::kTainted) result = Taint::kChecked;
+    return result;
+  }
+
+  void transfer_stmt(const CfgStmt& st, State& s) const {
+    const std::size_t b = st.begin;
+    const std::size_t e = std::min(st.end, t.size());
+    // DFX_CHECK/DFX_DCHECK have abort semantics: past this statement, every
+    // tracked identifier the contract mentions is bounded.
+    for (std::size_t j = b; j < e; ++j) {
+      if (t[j].kind != Tok::kIdent || !is_guard_name(t[j].text) ||
+          j + 1 >= e || t[j + 1].text != "(") {
+        continue;
+      }
+      const std::size_t close = match_bracket(t, j + 1, t.size());
+      const std::size_t lim = close == kNone ? e : std::min(close, e);
+      for (std::size_t k = j + 2; k < lim; ++k) {
+        if (t[k].kind != Tok::kIdent) continue;
+        const auto it = s.find(t[k].text);
+        if (it != s.end() && it->second == Taint::kTainted) {
+          it->second = Taint::kChecked;
+        }
+      }
+    }
+    if (st.kind == StmtKind::kRangeHead) {
+      // `decl : range` — the element binds from the range expression.
+      const std::size_t colon = find_top(t, b, e, ":");
+      if (colon == kNone) return;
+      const std::size_t target = last_ident_in(b, colon);
+      if (target == kNone) return;
+      const Taint rhs = eval(colon + 1, e, s, nullptr);
+      if (rhs != Taint::kUntainted || s.contains(t[target].text)) {
+        s[std::string(t[target].text)] = rhs;
+      }
+      return;
+    }
+    const auto [op, compound] = find_assign(b, e);
+    if (op == kNone) return;
+    Taint rhs = eval(op + 1, e, s, nullptr);
+    // `tc = full > limit;` assigns a bool: the attacker picks which branch
+    // it drives, never a magnitude — bools cannot size or index anything.
+    if (rhs != Taint::kUntainted && bool_valued(op + 1, e)) {
+      rhs = Taint::kUntainted;
+    }
+    apply_write(b, op, compound, rhs, s);
+  }
+
+  /// Does [b, e) carry a top-level comparison or logical operator, making
+  /// the whole expression bool-valued? The template arguments of named
+  /// casts are skipped so their angle brackets do not read as comparisons;
+  /// a top-level `?:` means comparisons only select, so it does not count.
+  bool bool_valued(std::size_t b, std::size_t e) const {
+    static const std::set<std::string_view> kCasts = {
+        "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast"};
+    int depth = 0;
+    bool cmp = false;
+    e = std::min(e, t.size());
+    for (std::size_t j = b; j < e; ++j) {
+      const std::string_view w = t[j].text;
+      if (t[j].kind == Tok::kIdent && kCasts.contains(w) && j + 1 < e &&
+          t[j + 1].text == "<") {
+        int angle = 0;
+        std::size_t k = j + 1;
+        for (; k < e; ++k) {
+          if (t[k].text == "<") ++angle;
+          if (t[k].text == ">" && --angle == 0) break;
+        }
+        j = k;
+        continue;
+      }
+      if (is_open(w)) {
+        ++depth;
+      } else if (is_close(w)) {
+        --depth;
+      } else if (depth == 0) {
+        if (w == "?") return false;  // ternary: the arms carry the value
+        if (is_comparison(w) || w == "&&" || w == "||") cmp = true;
+      }
+    }
+    return cmp;
+  }
+
+  void transfer_edge(const CfgEdge& e, State& s) const {
+    if (!e.has_cond) return;
+    // A branch that compared a value pins it on this edge. The comparison's
+    // direction is deliberately ignored — cheap, and wrong only toward
+    // false negatives.
+    for_each_cond_fact(t, e.cond_begin, e.cond_end, e.cond_true,
+                       [&](std::size_t pb, std::size_t pe) {
+                         bool cmp = false;
+                         for (std::size_t k = pb; k < pe; ++k) {
+                           if (is_comparison(t[k].text)) {
+                             cmp = true;
+                             break;
+                           }
+                         }
+                         if (!cmp) return;
+                         for (std::size_t k = pb; k < pe; ++k) {
+                           if (t[k].kind != Tok::kIdent) continue;
+                           const auto it = s.find(t[k].text);
+                           if (it != s.end() &&
+                               it->second == Taint::kTainted) {
+                             it->second = Taint::kChecked;
+                           }
+                         }
+                       });
+  }
+
+  std::size_t last_ident_in(std::size_t b, std::size_t e) const {
+    std::size_t last = kNone;
+    for (std::size_t j = b; j < e && j < t.size(); ++j) {
+      if (t[j].kind == Tok::kIdent) last = j;
+    }
+    return last;
+  }
+
+  std::size_t first_ident_in(std::size_t b, std::size_t e) const {
+    for (std::size_t j = b; j < e && j < t.size(); ++j) {
+      if (t[j].kind == Tok::kIdent) return j;
+    }
+    return kNone;
+  }
+
+  /// First top-level assignment operator in [b, e): {index, is_compound}.
+  std::pair<std::size_t, bool> find_assign(std::size_t b,
+                                           std::size_t e) const {
+    static const std::set<std::string_view> kCompound = {
+        "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="};
+    int depth = 0;
+    for (std::size_t j = b; j < e && j < t.size(); ++j) {
+      const std::string_view w = t[j].text;
+      if (is_open(w)) {
+        ++depth;
+      } else if (is_close(w)) {
+        --depth;
+      } else if (depth == 0 && t[j].kind == Tok::kPunct) {
+        if (w == "=") return {j, false};
+        if (kCompound.contains(w)) return {j, true};
+      }
+    }
+    return {kNone, false};
+  }
+
+  void apply_write(std::size_t lb, std::size_t le, bool compound, Taint rhs,
+                   State& s) const {
+    bool has_subscript = false;
+    bool has_member = false;
+    bool is_binding = false;
+    for (std::size_t j = lb; j < le; ++j) {
+      const std::string_view w = t[j].text;
+      if (w == "[") {
+        if (j > lb && t[j - 1].text == "auto") {
+          is_binding = true;  // structured binding `auto [a, b] = ...`
+        } else {
+          has_subscript = true;
+        }
+      }
+      if (w == "." || w == "->") has_member = true;
+    }
+    if (is_binding) {
+      for (std::size_t j = lb; j < le; ++j) {
+        if (t[j].text != "[") continue;
+        const std::size_t close = match_bracket(t, j, le);
+        const std::size_t lim = close == kNone ? le : close;
+        for (std::size_t k = j + 1; k < lim; ++k) {
+          if (t[k].kind == Tok::kIdent) s[std::string(t[k].text)] = rhs;
+        }
+        break;
+      }
+      return;
+    }
+    if (has_subscript) return;  // element write: container taint unchanged
+    if (has_member) {
+      // `obj.field = wire` taints the object; a clean write to one member
+      // does not clean the rest of it.
+      const std::size_t base = first_ident_in(lb, le);
+      if (base == kNone || rhs == Taint::kUntainted) return;
+      std::string key(t[base].text);
+      const auto it = s.find(key);
+      const Taint cur = it == s.end() ? Taint::kUntainted : it->second;
+      s[std::move(key)] = std::max(cur, rhs);
+      return;
+    }
+    const std::size_t target = last_ident_in(lb, le);
+    if (target == kNone) return;
+    std::string key(t[target].text);
+    if (compound) {
+      const auto it = s.find(key);
+      const Taint cur = it == s.end() ? Taint::kUntainted : it->second;
+      s[std::move(key)] = std::max(cur, rhs);
+    } else if (rhs != Taint::kUntainted || s.contains(key)) {
+      s[std::move(key)] = rhs;  // strong update: reassignment can clean
+    }
+  }
+};
+
+/// Blocks reachable from entry — dead blocks carry bottom state and must
+/// not be scanned for sinks.
+std::vector<char> reachable_blocks(const Cfg& c) {
+  std::vector<char> reach(c.blocks.size(), 0);
+  if (c.blocks.empty()) return reach;
+  std::vector<std::size_t> work = {c.entry};
+  reach[c.entry] = 1;
+  while (!work.empty()) {
+    const std::size_t b = work.back();
+    work.pop_back();
+    for (const CfgEdge& e : c.blocks[b].succs) {
+      if (reach[e.to] == 0) {
+        reach[e.to] = 1;
+        work.push_back(e.to);
+      }
+    }
+  }
+  return reach;
+}
+
+}  // namespace
+
+bool has_dominating_guard(const Cfg& cfg, const std::vector<Token>& tokens,
+                          std::size_t use_token, const GuardSpec& spec) {
+  std::size_t block = 0;
+  std::size_t stmt = 0;
+  if (!locate(cfg, use_token, &block, &stmt)) return false;
+  const GuardDomain dom{tokens, spec};
+  const ForwardResult<GuardDomain> r = solve_forward(cfg, dom);
+  char s = r.in[block];
+  const std::vector<CfgStmt>& stmts = cfg.blocks[block].stmts;
+  for (std::size_t k = 0; k < stmt && s != 0; ++k) {
+    dom.transfer_stmt(stmts[k], s);
+  }
+  // A guard earlier in the very statement containing the use also counts.
+  if (s != 0 && dom.guard_in_range(stmts[stmt].begin, use_token)) s = 0;
+  return s == 0;
+}
+
+std::vector<TaintFinding> find_taint_flows(
+    const Cfg& cfg, const std::vector<Token>& tokens, const TaintConfig& config,
+    const std::vector<std::pair<std::size_t, std::size_t>>& holes) {
+  std::vector<TaintFinding> out;
+  const TaintDomain dom{tokens, config};
+  const ForwardResult<TaintDomain> result = solve_forward(cfg, dom);
+  const std::vector<char> reach = reachable_blocks(cfg);
+
+  const auto in_hole = [&holes](std::size_t j) {
+    for (const auto& [hb, he] : holes) {
+      if (hb <= j && j < he) return true;
+    }
+    return false;
+  };
+
+  const auto scan_stmt = [&](const CfgStmt& st, const TaintState& s) {
+    const std::size_t b = st.begin;
+    const std::size_t e = std::min(st.end, tokens.size());
+    if (st.kind == StmtKind::kLoopCond && !in_hole(b)) {
+      // A loop whose trip count depends on unchecked wire data must sit
+      // under DFX_BOUNDED_LOOP (or check the value first).
+      std::vector<std::string_view> names;
+      if (dom.eval(b, e, s, &names) == Taint::kTainted) {
+        GuardSpec bounded;
+        bounded.guard_calls.clear();
+        bounded.any_guard_calls = {"DFX_BOUNDED_LOOP"};
+        bounded.edge_bound_tests = false;
+        if (!has_dominating_guard(cfg, tokens, b, bounded)) {
+          out.push_back({b, "loop-bound", join_names(std::move(names))});
+        }
+      }
+    }
+    for (std::size_t j = b; j < e; ++j) {
+      if (in_hole(j)) continue;
+      const std::string_view w = tokens[j].text;
+      if (tokens[j].kind == Tok::kIdent) {
+        const bool call = j + 1 < e && tokens[j + 1].text == "(";
+        if (call && (is_guard_name(w) || w == "DFX_BOUNDED_LOOP" ||
+                     w == "sizeof" || w == "alignof" || w == "decltype" ||
+                     w == "static_assert")) {
+          const std::size_t close = match_bracket(tokens, j + 1, tokens.size());
+          if (close != kNone && close < e) j = close;  // args are not sinks
+          continue;
+        }
+        const bool member =
+            j > 0 && (tokens[j - 1].text == "." || tokens[j - 1].text == "->");
+        if (call && member && (w == "resize" || w == "reserve")) {
+          const std::size_t close = match_bracket(tokens, j + 1, tokens.size());
+          const std::size_t lim = close == kNone ? e : std::min(close, e);
+          std::vector<std::string_view> names;
+          if (dom.eval(j + 2, lim, s, &names) == Taint::kTainted) {
+            out.push_back({j, std::string(w), join_names(std::move(names))});
+          }
+          continue;
+        }
+        if (call && (w == "memcpy" || w == "memmove" || w == "memset")) {
+          const std::size_t close = match_bracket(tokens, j + 1, tokens.size());
+          const std::size_t lim = close == kNone ? e : std::min(close, e);
+          int depth = 0;
+          int commas = 0;
+          std::size_t third = kNone;
+          for (std::size_t k = j + 2; k < lim; ++k) {
+            const std::string_view x = tokens[k].text;
+            if (is_open(x)) {
+              ++depth;
+            } else if (is_close(x)) {
+              --depth;
+            } else if (depth == 0 && x == "," && ++commas == 2) {
+              third = k + 1;
+              break;
+            }
+          }
+          if (third != kNone) {
+            std::vector<std::string_view> names;
+            if (dom.eval(third, lim, s, &names) == Taint::kTainted) {
+              out.push_back(
+                  {j, "memcpy-length", join_names(std::move(names))});
+            }
+          }
+          continue;
+        }
+        continue;
+      }
+      if (w != "[" || j == 0) continue;
+      // Subscript sink: the token before '[' must be postfix (an identifier
+      // or a closing bracket) — this excludes lambda captures, attributes,
+      // and structured bindings.
+      const Token& prev = tokens[j - 1];
+      const bool postfix =
+          (prev.kind == Tok::kIdent && prev.text != "auto" &&
+           prev.text != "return" && prev.text != "delete") ||
+          prev.text == ")" || prev.text == "]";
+      if (!postfix) continue;
+      const std::size_t close = match_bracket(tokens, j, tokens.size());
+      if (close == kNone) continue;
+      std::vector<std::string_view> names;
+      if (dom.eval(j + 1, std::min(close, e), s, &names) == Taint::kTainted) {
+        out.push_back({j, "index", join_names(std::move(names))});
+      }
+    }
+  };
+
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    if (reach[b] == 0) continue;
+    TaintState s = result.in[b];
+    for (const CfgStmt& st : cfg.blocks[b].stmts) {
+      scan_stmt(st, s);
+      dom.transfer_stmt(st, s);
+    }
+  }
+  return out;
+}
+
+}  // namespace dfx::lint

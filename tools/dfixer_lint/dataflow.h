@@ -1,0 +1,151 @@
+// Forward dataflow over the CFGs in cfg.h. Two consumers share one generic
+// worklist solver:
+//
+//  * has_dominating_guard() — the reusable query behind the flow-aware
+//    rules: is EVERY path from function entry to a given use gated by a
+//    DFX_CHECK/DFX_DCHECK (or an explicit bound test on a branch edge)
+//    mentioning the value? Solved as a 1-bit "an unguarded path reaches
+//    here" lattice.
+//
+//  * find_taint_flows() — the taint pack. Sources (calls annotated
+//    DFX_TAINTED, tainted struct fields, tainted parameters) introduce
+//    kTainted; assignments and arithmetic propagate it; DFX_CHECK/DFX_DCHECK
+//    statements and branch bound tests downgrade it to kChecked; std::min/
+//    std::clamp sanitize. A finding fires when a kTainted value reaches an
+//    indexing/resize/reserve/memcpy-length/loop-bound sink.
+//
+// Everything is name-based over the token stream — no types, no overload
+// resolution. docs/STATIC_ANALYSIS.md ("Dataflow engine") documents the
+// precision envelope.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "dfixer_lint/cfg.h"
+
+namespace dfx::lint {
+
+// ---------------------------------------------------------------------------
+// Generic forward worklist solver. A Domain supplies:
+//   using State = ...;
+//   State bottom() const;                  // state of unreached blocks
+//   State entry_state(const Cfg&) const;
+//   bool join(State& into, const State& from) const;  // true iff changed
+//   void transfer_stmt(const CfgStmt&, State&) const;
+//   void transfer_edge(const CfgEdge&, State&) const;
+// ---------------------------------------------------------------------------
+
+template <typename D>
+struct ForwardResult {
+  std::vector<typename D::State> in;   // state at block entry
+  std::vector<typename D::State> out;  // state at block exit
+};
+
+template <typename D>
+ForwardResult<D> solve_forward(const Cfg& cfg, const D& dom) {
+  ForwardResult<D> r;
+  const std::size_t n = cfg.blocks.size();
+  r.in.assign(n, dom.bottom());
+  r.out.assign(n, dom.bottom());
+  if (n == 0) return r;
+  r.in[cfg.entry] = dom.entry_state(cfg);
+  std::vector<char> queued(n, 0);
+  std::vector<char> visited(n, 0);
+  std::vector<std::size_t> work = {cfg.entry};
+  queued[cfg.entry] = 1;
+  // Finite lattice + monotone join ⇒ convergence; the budget is a belt
+  // against a domain bug turning the linter into a spin loop.
+  std::size_t budget = (n + 1) * 256;
+  while (!work.empty() && budget-- > 0) {
+    const std::size_t b = work.back();
+    work.pop_back();
+    queued[b] = 0;
+    visited[b] = 1;
+    typename D::State s = r.in[b];
+    for (const CfgStmt& st : cfg.blocks[b].stmts) dom.transfer_stmt(st, s);
+    r.out[b] = s;
+    for (const CfgEdge& e : cfg.blocks[b].succs) {
+      typename D::State es = s;
+      dom.transfer_edge(e, es);
+      const bool changed = dom.join(r.in[e.to], es);
+      // A join that adds nothing must still force the FIRST visit: when the
+      // entry state is bottom (e.g. no taint yet), every downstream join is
+      // a no-op and a change-driven worklist would never leave the entry
+      // block. Dead blocks have no in-edges from here, so they stay
+      // unvisited and keep bottom state.
+      if ((changed || visited[e.to] == 0) && queued[e.to] == 0) {
+        queued[e.to] = 1;
+        work.push_back(e.to);
+      }
+    }
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Dominating-guard query.
+// ---------------------------------------------------------------------------
+
+struct GuardSpec {
+  /// Identifiers naming the guarded value; a guard call must mention one.
+  std::set<std::string, std::less<>> subjects;
+  /// Abort-semantics contract macros that guard when they mention a subject.
+  std::set<std::string, std::less<>> guard_calls = {"DFX_CHECK", "DFX_DCHECK"};
+  /// Calls that guard regardless of subjects (e.g. DFX_BOUNDED_LOOP).
+  std::set<std::string, std::less<>> any_guard_calls;
+  /// Do comparison facts on branch edges (`if (n < max)`) count as guards?
+  bool edge_bound_tests = true;
+};
+
+/// True when every CFG path from entry to the statement containing
+/// `use_token` passes a guard per `spec` — including a guard earlier in the
+/// same statement, before the use. Tokens the CFG cannot locate (structural
+/// punctuation, code outside any statement) report unguarded.
+bool has_dominating_guard(const Cfg& cfg, const std::vector<Token>& tokens,
+                          std::size_t use_token, const GuardSpec& spec);
+
+// ---------------------------------------------------------------------------
+// Taint pack.
+// ---------------------------------------------------------------------------
+
+enum class Taint : std::uint8_t {
+  kUntainted = 0,
+  kChecked = 1,  // attacker-derived, but bounded by a check on every path
+  kTainted = 2,  // attacker-derived, unchecked on some path
+};
+
+/// Per-variable lattice state; join is pointwise max (kTainted wins).
+using TaintState = std::map<std::string, Taint, std::less<>>;
+
+struct TaintConfig {
+  /// Call names whose return value is raw wire data (DFX_TAINTED functions).
+  std::set<std::string, std::less<>> source_calls;
+  /// Struct field names holding raw wire data (DFX_TAINTED fields).
+  std::set<std::string, std::less<>> tainted_fields;
+  /// Calls that forward taint from their arguments to their result
+  /// (DFX_TAINT_PASSTHROUGH functions).
+  std::set<std::string, std::less<>> passthrough_calls;
+};
+
+struct TaintFinding {
+  std::size_t token = 0;  // token index of the sink
+  std::string sink;       // "index" | "resize" | "reserve" |
+                          // "memcpy-length" | "loop-bound"
+  std::string vars;       // comma-joined tainted identifiers at the sink
+};
+
+/// Run the taint analysis over one CFG. `holes` are token ranges to skip
+/// while scanning for sinks — the bodies of nested lambdas/functions, which
+/// get their own Cfg and would otherwise be scanned with the wrong state.
+std::vector<TaintFinding> find_taint_flows(
+    const Cfg& cfg, const std::vector<Token>& tokens, const TaintConfig& config,
+    const std::vector<std::pair<std::size_t, std::size_t>>& holes = {});
+
+}  // namespace dfx::lint

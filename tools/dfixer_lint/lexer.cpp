@@ -144,7 +144,12 @@ std::vector<Token> lex(std::string_view src) {
       while (i < n) {
         const char d = src[i];
         const char prev = src[i - 1];
-        if (is_ident_char(d) || d == '.' || d == '\'') {
+        if (is_ident_char(d) || d == '.') {
+          ++i;
+        } else if (d == '\'' && i + 1 < n && is_ident_char(src[i + 1])) {
+          // C++14 digit separator: only continues the literal when another
+          // digit follows — `1'000'000` is one token, but the quote in
+          // `{1,'a'}` starts a character literal.
           ++i;
         } else if ((d == '+' || d == '-') &&
                    (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P')) {

@@ -7,6 +7,9 @@
 #include <set>
 #include <sstream>
 
+#include "dfixer_lint/cfg.h"
+#include "dfixer_lint/dataflow.h"
+
 namespace dfx::lint {
 namespace {
 
@@ -117,7 +120,9 @@ class Linter {
         stripped_(fa.stripped),
         lines_(fa.lines),
         tokens_(fa.tokens),
-        suppressions_{fa.raw_lines} {}
+        suppressions_{fa.raw_lines} {
+    if (options_.dataflow) cfgs_ = build_cfgs(tokens_);
+  }
 
   std::vector<Violation> run() {
     check_banned_tokens();
@@ -130,9 +135,11 @@ class Linter {
     check_lock_across_wait();
     check_layering();
     check_discarded_error_return();
+    check_dead_status_stores();
     check_narrowing_cast();
     check_signed_loop();
     check_view_into_temporary();
+    check_taint_flows();
     std::sort(violations_.begin(), violations_.end(),
               [](const Violation& a, const Violation& b) {
                 return a.line < b.line;
@@ -679,6 +686,185 @@ class Linter {
     }
   }
 
+  /// Flow-aware companion to discarded-error-return: a must-use call whose
+  /// result is bound to a fresh local that no reachable statement ever
+  /// reads discards the status just as surely as a bare call. A plain
+  /// reassignment (`st = next();`) is a write, not a read; reads inside
+  /// DFX_CHECK/DFX_DCHECK count (that is the intended consumption).
+  void check_dead_status_stores() {
+    if (options_.symbols == nullptr || !options_.dataflow) return;
+    for (const Cfg& cfg : cfgs_) {
+      for (std::size_t bi = 0; bi < cfg.blocks.size(); ++bi) {
+        const std::vector<CfgStmt>& stmts = cfg.blocks[bi].stmts;
+        for (std::size_t si = 0; si < stmts.size(); ++si) {
+          check_dead_store_stmt(cfg, bi, si);
+        }
+      }
+    }
+  }
+
+  void check_dead_store_stmt(const Cfg& cfg, std::size_t bi, std::size_t si) {
+    const CfgStmt& st = cfg.blocks[bi].stmts[si];
+    if (st.kind != StmtKind::kPlain) return;
+    const std::size_t e = std::min(st.end, tokens_.size());
+    // LHS must be a declaration: `Type name = call();` — at least a type
+    // token plus the name, no references/bindings/members/multi-decls.
+    std::size_t op = kNpos;
+    int depth = 0;
+    for (std::size_t j = st.begin; j < e; ++j) {
+      const std::string_view t = tok(j);
+      if (t == "(" || t == "[" || t == "{") ++depth;
+      if (t == ")" || t == "]" || t == "}") --depth;
+      if (depth == 0 && t == "=" && tokens_[j].kind == Tok::kPunct) {
+        op = j;
+        break;
+      }
+    }
+    if (op == kNpos || op < st.begin + 2) return;
+    std::size_t name_tok = kNpos;
+    for (std::size_t j = st.begin; j < op; ++j) {
+      const std::string_view t = tok(j);
+      if (t == "&" || t == "&&" || t == "[" || t == "." || t == "->" ||
+          t == "," || t == "(" || t == "maybe_unused") {
+        return;  // reference / binding / member write / multi-decl / cast
+      }
+      if (tok_ident(j)) name_tok = j;
+    }
+    if (name_tok != op - 1 || !tok_ident(op - 2)) return;
+    const std::string_view var = tok(name_tok);
+    // RHS must be exactly one call: `[chain::]callee(args);`.
+    std::size_t p = op + 1;
+    std::size_t callee = kNpos;
+    while (p < e && tok_ident(p)) {
+      callee = p;
+      if (tok_is(p + 1, "::") || tok_is(p + 1, ".") || tok_is(p + 1, "->")) {
+        p += 2;
+      } else {
+        ++p;
+        break;
+      }
+    }
+    if (callee == kNpos || !tok_is(p, "(")) return;
+    if (!options_.symbols->must_use(tok(callee))) return;
+    const std::size_t close = match_paren(p);
+    if (close == kNpos || close >= e) return;
+    for (std::size_t j = close + 1; j < e; ++j) {
+      if (!tok_is(j, ";")) return;  // trailing `.value_or(...)` etc: consumed
+    }
+    if (dead_store_is_read(cfg, bi, si, name_tok, var)) return;
+    report(tok_line_index(name_tok), "discarded-error-return",
+           "status of '" + std::string(tok(callee)) + "' is stored in '" +
+               std::string(var) +
+               "' but never read on any path — a dead store discards the "
+               "error exactly like a bare call");
+  }
+
+  /// Is `var` read in any statement reachable after its declaration? The
+  /// walk covers the rest of the declaring block plus everything reachable
+  /// from its successors (so a loop back into the block re-scans it).
+  bool dead_store_is_read(const Cfg& cfg, std::size_t bi, std::size_t si,
+                          std::size_t decl_tok, std::string_view var) const {
+    std::vector<char> reach(cfg.blocks.size(), 0);
+    std::vector<std::size_t> work;
+    for (const CfgEdge& edge : cfg.blocks[bi].succs) {
+      if (reach[edge.to] == 0) {
+        reach[edge.to] = 1;
+        work.push_back(edge.to);
+      }
+    }
+    while (!work.empty()) {
+      const std::size_t b = work.back();
+      work.pop_back();
+      for (const CfgEdge& edge : cfg.blocks[b].succs) {
+        if (reach[edge.to] == 0) {
+          reach[edge.to] = 1;
+          work.push_back(edge.to);
+        }
+      }
+    }
+    const auto stmt_reads = [&](const CfgStmt& st) {
+      const std::size_t e = std::min(st.end, tokens_.size());
+      for (std::size_t j = st.begin; j < e; ++j) {
+        if (!tok_ident(j) || tok(j) != var || j == decl_tok) continue;
+        // A statement-initial `var = ...` overwrites without reading.
+        const bool plain_write = j == st.begin && tok_is(j + 1, "=");
+        if (!plain_write) return true;
+      }
+      return false;
+    };
+    const std::vector<CfgStmt>& own = cfg.blocks[bi].stmts;
+    for (std::size_t k = si + 1; k < own.size(); ++k) {
+      if (stmt_reads(own[k])) return true;
+    }
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+      if (reach[b] == 0) continue;
+      for (const CfgStmt& st : cfg.blocks[b].stmts) {
+        if (stmt_reads(st)) return true;
+      }
+    }
+    return false;
+  }
+
+  /// The taint pack: wire-derived values (DFX_TAINTED sources, fields and
+  /// parameters — see src/util/check.hpp) must pass a bound check on every
+  /// CFG path before indexing, sizing, memcpy'ing or bounding a loop.
+  /// Scoped to the wire-handling layers, like the other parser rules.
+  void check_taint_flows() {
+    if (!options_.dataflow) return;
+    static const char* const kScope[] = {"dnscore/",    "crypto/", "zone/",
+                                         "authserver/", "server/", "dataflow/"};
+    if (std::none_of(std::begin(kScope), std::end(kScope),
+                     [&](const char* s) { return path_contains(path_, s); })) {
+      return;
+    }
+    // Marker declarations in the file itself always count, so fixtures and
+    // headers are self-contained; the cross-TU index layers on top.
+    SymbolIndex local;
+    local.index_source(path_, tokens_);
+    TaintConfig config;
+    const auto merge = [&config](const SymbolIndex& idx) {
+      config.source_calls.insert(idx.taint_source_calls().begin(),
+                                 idx.taint_source_calls().end());
+      config.tainted_fields.insert(idx.taint_fields().begin(),
+                                   idx.taint_fields().end());
+      config.passthrough_calls.insert(idx.taint_passthrough_calls().begin(),
+                                      idx.taint_passthrough_calls().end());
+    };
+    merge(local);
+    if (options_.symbols != nullptr) merge(*options_.symbols);
+    std::set<std::size_t> reported_lines;
+    for (const Cfg& cfg : cfgs_) {
+      // Nested lambdas get their own Cfg; skip their bodies here.
+      std::vector<std::pair<std::size_t, std::size_t>> holes;
+      for (const Cfg& inner : cfgs_) {
+        if (&inner != &cfg && inner.body_open > cfg.body_open &&
+            inner.body_close < cfg.body_close) {
+          holes.emplace_back(inner.body_open, inner.body_close + 1);
+        }
+      }
+      for (const TaintFinding& f :
+           find_taint_flows(cfg, tokens_, config, holes)) {
+        const std::size_t li = tok_line_index(f.token);
+        if (!reported_lines.insert(li).second) continue;
+        std::string what;
+        if (f.sink == "index") {
+          what = "indexes a buffer";
+        } else if (f.sink == "resize" || f.sink == "reserve") {
+          what = "sizes an allocation (." + f.sink + ")";
+        } else if (f.sink == "memcpy-length") {
+          what = "is a memcpy/memmove/memset length";
+        } else {
+          what = "bounds a loop (wrap it in DFX_BOUNDED_LOOP)";
+        }
+        report(li, "unchecked-taint-flow",
+               "wire-tainted value " +
+                   (f.vars.empty() ? std::string() : "'" + f.vars + "' ") +
+                   what + " without a dominating DFX_CHECK/bound test on "
+                   "every path");
+      }
+    }
+  }
+
   /// static_cast to a narrower integer on the wire-handling layers must sit
   /// under a DFX_CHECK/DFX_DCHECK bound: unchecked truncation of lengths
   /// and counts is exactly how parser blowups start. Byte-extraction idioms
@@ -731,8 +917,24 @@ class Linter {
       // member chain is a width-safe conversion the types already prove.
       if (masked || simple) continue;
       const std::size_t li = tok_line_index(i);
-      if (guarded_nearby(li, 6, kGuardLines)) continue;
-      if (dominating_guard_before(i, kGuardCalls)) continue;
+      const Cfg* cfg =
+          options_.dataflow ? enclosing_cfg(cfgs_, i) : nullptr;
+      if (cfg != nullptr) {
+        // Flow-aware path: the guard must dominate the cast — a check in
+        // one branch only, or textually after the cast on the same line,
+        // no longer vouches for it (both slipped past the old 6-line
+        // window; tests/lint_fixtures/dnscore/bad_multipath.cpp pins them).
+        GuardSpec spec;
+        for (std::size_t p = j + 2; p < close; ++p) {
+          if (tokens_[p].kind == Tok::kIdent) {
+            spec.subjects.insert(std::string(tokens_[p].text));
+          }
+        }
+        if (has_dominating_guard(*cfg, tokens_, i, spec)) continue;
+      } else {
+        if (guarded_nearby(li, 6, kGuardLines)) continue;
+        if (dominating_guard_before(i, kGuardCalls)) continue;
+      }
       report(li, "unguarded-narrowing-cast",
              "static_cast<" + type +
                  "> of a computed value without a DFX_CHECK/DFX_DCHECK "
@@ -1008,8 +1210,28 @@ class Linter {
   const std::vector<std::string>& lines_;
   const std::vector<Token>& tokens_;
   Suppressions suppressions_;
+  std::vector<Cfg> cfgs_;  // built once when options_.dataflow
   std::vector<Violation> violations_;
 };
+
+}  // namespace
+
+namespace {
+
+/// Is the quote at `src[i]` a C++14 digit separator rather than the start
+/// of a character literal? True when it continues a pp-number: the run of
+/// ident chars ending right before it starts with a digit (so `1'000` and
+/// `0x1F'u` qualify, while the prefixes in `L'a'` / `u8'a'` do not).
+bool quote_is_digit_separator(std::string_view src, std::size_t i) {
+  if (i == 0 || !is_ident_char(src[i - 1])) return false;
+  std::size_t run_start = i;
+  while (run_start > 0 && (is_ident_char(src[run_start - 1]) ||
+                           src[run_start - 1] == '.' ||
+                           src[run_start - 1] == '\'')) {
+    --run_start;
+  }
+  return std::isdigit(static_cast<unsigned char>(src[run_start])) != 0;
+}
 
 }  // namespace
 
@@ -1047,8 +1269,12 @@ std::string strip_comments_and_strings(std::string_view src) {
           state = State::kString;
           out += '"';
         } else if (c == '\'') {
-          state = State::kChar;
-          out += '\'';
+          if (quote_is_digit_separator(src, i)) {
+            out += '\'';  // `1'000'000` stays a literal, not a char state
+          } else {
+            state = State::kChar;
+            out += '\'';
+          }
         } else {
           out += c;
         }

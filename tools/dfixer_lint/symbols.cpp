@@ -78,6 +78,58 @@ void SymbolIndex::index_source(const std::string& path,
   ++file_count_;
   index_enums(path, tokens);
   index_functions(path, tokens);
+  index_taints(tokens);
+}
+
+/// Classify every DFX_TAINTED / DFX_TAINT_PASSTHROUGH marker by scanning to
+/// the nearest declaration boundary: `name(` before a boundary is a function
+/// annotation, `;`/`=`/`{` closes a field, and `)`/`,` means the marker sat
+/// on a parameter (seeded locally by the CFG builder, not indexed here).
+void SymbolIndex::index_taints(const std::vector<Token>& tokens) {
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  const std::size_t n = tokens.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tokens[i].kind != Tok::kIdent) continue;
+    const std::string_view w = tokens[i].text;
+    const bool passthrough = w == "DFX_TAINT_PASSTHROUGH";
+    if (w != "DFX_TAINTED" && !passthrough) continue;
+    std::size_t last_ident = npos;
+    std::size_t fn_ident = npos;
+    bool field = false;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const std::string_view s = tokens[j].text;
+      if (tokens[j].kind == Tok::kIdent) {
+        last_ident = j;
+        continue;
+      }
+      if (s == "<") {  // template arguments: skip to the matching '>'
+        int angle = 1;
+        while (++j < n && angle > 0) {
+          if (tokens[j].text == "<") ++angle;
+          if (tokens[j].text == ">") --angle;
+          if (tokens[j].text == ";" || tokens[j].text == "{") break;
+        }
+        --j;  // the outer loop's ++j lands past the '>'
+        continue;
+      }
+      if (s == "(") {
+        if (last_ident == j - 1) fn_ident = last_ident;
+        break;
+      }
+      if (s == ";" || s == "=" || s == "{") {
+        field = true;
+        break;
+      }
+      if (s == ")" || s == ",") break;  // parameter annotation
+      // "::", "&", "*", ":", ">" — part of the declared type, keep going.
+    }
+    if (fn_ident != npos) {
+      (passthrough ? taint_passthrough_ : taint_sources_)
+          .insert(std::string(tokens[fn_ident].text));
+    } else if (field && last_ident != npos && !passthrough) {
+      taint_fields_.insert(std::string(tokens[last_ident].text));
+    }
+  }
 }
 
 void SymbolIndex::index_enums(const std::string& path,

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -74,10 +75,27 @@ class SymbolIndex {
   /// (ErrorCode / optional / variant / status-named bool / [[nodiscard]]).
   bool must_use(std::string_view name) const;
 
+  /// Taint annotations (src/util/check.hpp) collected across every indexed
+  /// file, feeding the taint pack's TaintConfig. A DFX_TAINTED marker on a
+  /// function declaration makes its name a source call; on a struct field it
+  /// makes the field name tainted wherever it is read; DFX_TAINT_PASSTHROUGH
+  /// marks calls that forward taint from arguments to result. Markers on
+  /// parameters are NOT indexed — the CFG builder seeds those locally.
+  const std::set<std::string, std::less<>>& taint_source_calls() const {
+    return taint_sources_;
+  }
+  const std::set<std::string, std::less<>>& taint_fields() const {
+    return taint_fields_;
+  }
+  const std::set<std::string, std::less<>>& taint_passthrough_calls() const {
+    return taint_passthrough_;
+  }
+
  private:
   void index_enums(const std::string& path, const std::vector<Token>& tokens);
   void index_functions(const std::string& path,
                        const std::vector<Token>& tokens);
+  void index_taints(const std::vector<Token>& tokens);
   void analyze_chunk(const std::string& path, const std::vector<Token>& tokens,
                      std::size_t begin, std::size_t end);
 
@@ -85,6 +103,9 @@ class SymbolIndex {
   std::vector<EnumDecl> enums_;
   std::map<std::string, std::vector<std::size_t>, std::less<>> fn_by_name_;
   std::map<std::string, std::vector<std::size_t>, std::less<>> enum_by_name_;
+  std::set<std::string, std::less<>> taint_sources_;
+  std::set<std::string, std::less<>> taint_fields_;
+  std::set<std::string, std::less<>> taint_passthrough_;
   std::size_t file_count_ = 0;
 };
 
