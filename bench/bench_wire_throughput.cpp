@@ -1,0 +1,265 @@
+// Wire-path throughput: parse + re-encode DNS messages through the
+// zero-copy view layer (parse_message_view / reencode_message) and through
+// the owned layer (decode_message / encode_message), plus the master-file
+// tokenizer, over a synthetic DNSSEC-heavy packet corpus.
+//
+// The headline figure (items_per_second) is RRs/sec through one
+// parse+re-encode round on the zero-copy path — the paper-scale replay
+// pipeline's hot loop. With DFX_WIRE_ASSERT=1 in the environment the run
+// fails below 1M RRs/sec; CI runs without it (machine-dependent floor), the
+// committed record in bench/records/ carries the reference numbers.
+//
+// Before timing anything the corpus is cross-checked: every packet's
+// zero-copy re-encode must be byte-identical to encode(decode(packet)).
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+
+#include "bench_common.h"
+#include "dnscore/masterfile.h"
+#include "dnscore/message.h"
+#include "dnscore/wire.h"
+
+namespace {
+
+using namespace dfx;
+using namespace dfx::dns;
+
+std::vector<Message> make_messages(std::uint64_t seed, std::size_t count) {
+  std::mt19937_64 rng(seed);
+  std::vector<Message> messages;
+  messages.reserve(count);
+  for (std::size_t m = 0; m < count; ++m) {
+    const std::string zone = "zone" + std::to_string(m % 97) + ".example.";
+    const Name apex = Name::of(zone);
+    const Name host = apex.child("host" + std::to_string(m % 1031));
+    Message msg;
+    msg.header.id = static_cast<std::uint16_t>(rng());
+    msg.header.qr = true;
+    msg.header.aa = true;
+    msg.questions.push_back(Question{host, RRType::kA, RRClass::kIN});
+
+    const auto rr = [&](const Name& owner, RRType type, Rdata rdata) {
+      ResourceRecord record;
+      record.owner = owner;
+      record.type = type;
+      record.ttl = 3600;
+      record.rdata = std::move(rdata);
+      return record;
+    };
+    ARdata a;
+    for (auto& b : a.address) b = static_cast<std::uint8_t>(rng());
+    msg.answers.push_back(rr(host, RRType::kA, a));
+    AaaaRdata aaaa;
+    for (auto& b : aaaa.address) b = static_cast<std::uint8_t>(rng());
+    msg.answers.push_back(rr(host, RRType::kAAAA, aaaa));
+    TxtRdata txt;
+    txt.strings = {"v=spf1 -all", "k" + std::to_string(rng() % 1000)};
+    msg.answers.push_back(rr(host, RRType::kTXT, txt));
+
+    RrsigRdata sig;
+    sig.type_covered = RRType::kA;
+    sig.algorithm = 13;
+    sig.labels = static_cast<std::uint8_t>(host.label_count());
+    sig.original_ttl = 3600;
+    sig.expiration = 1893456000;
+    sig.inception = 1704067200;
+    sig.key_tag = static_cast<std::uint16_t>(rng());
+    sig.signer = apex;
+    sig.signature.resize(64);
+    for (auto& b : sig.signature) b = static_cast<std::uint8_t>(rng());
+    msg.answers.push_back(rr(host, RRType::kRRSIG, sig));
+
+    msg.authorities.push_back(
+        rr(apex, RRType::kNS, NsRdata{apex.child("ns1")}));
+    msg.authorities.push_back(
+        rr(apex, RRType::kNS, NsRdata{apex.child("ns2")}));
+    NsecRdata nsec;
+    nsec.next = apex.child("zzz");
+    nsec.types = {RRType::kA, RRType::kNS, RRType::kSOA, RRType::kRRSIG,
+                  RRType::kNSEC, RRType::kDNSKEY};
+    msg.authorities.push_back(rr(host, RRType::kNSEC, nsec));
+    DnskeyRdata key;
+    key.flags = 257;
+    key.algorithm = 13;
+    key.public_key.resize(32);
+    for (auto& b : key.public_key) b = static_cast<std::uint8_t>(rng());
+    msg.authorities.push_back(rr(apex, RRType::kDNSKEY, key));
+    DsRdata ds;
+    ds.key_tag = key.key_tag();
+    ds.algorithm = 13;
+    ds.digest.resize(32);
+    for (auto& b : ds.digest) b = static_cast<std::uint8_t>(rng());
+    msg.authorities.push_back(rr(apex, RRType::kDS, ds));
+
+    ARdata glue;
+    for (auto& b : glue.address) b = static_cast<std::uint8_t>(rng());
+    msg.additionals.push_back(rr(apex.child("ns1"), RRType::kA, glue));
+    msg.additionals.push_back(rr(apex.child("ns2"), RRType::kA, glue));
+    EdnsInfo edns;
+    edns.udp_size = 1232;
+    edns.do_bit = true;
+    msg.edns = edns;
+    messages.push_back(std::move(msg));
+  }
+  return messages;
+}
+
+std::size_t records_in(const Message& msg) {
+  return msg.answers.size() + msg.authorities.size() + msg.additionals.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  bench::BenchRun run("wire_throughput", args);
+
+  // ~12 RRs per message; scale 0.1 (the default) is 2,000 packets.
+  const std::size_t n_messages =
+      std::max<std::size_t>(200, static_cast<std::size_t>(20000 * args.scale));
+  const auto messages = run.stage("build_corpus", [&] {
+    return make_messages(args.seed, n_messages);
+  });
+  std::vector<Bytes> packets;
+  packets.reserve(messages.size());
+  std::size_t total_rrs = 0;
+  for (const auto& msg : messages) {
+    packets.push_back(encode_message(msg));
+    total_rrs += records_in(msg);
+  }
+
+  // Correctness gate (untimed): the zero-copy re-encode must be
+  // byte-identical to the owned round-trip on every packet.
+  {
+    WireArena arena;
+    for (const auto& packet : packets) {
+      arena.reset();
+      Bytes fast;
+      if (!reencode_message(packet, arena, fast)) {
+        std::fprintf(stderr, "bench: reencode_message rejected a packet\n");
+        return 1;
+      }
+      const auto owned = decode_message(packet);
+      if (!owned || encode_message(*owned) != fast) {
+        std::fprintf(stderr, "bench: re-encode mismatch vs owned path\n");
+        return 1;
+      }
+    }
+  }
+
+  // Repeat passes so the timed region covers ~2M RRs at default scale.
+  const std::size_t passes =
+      std::max<std::size_t>(1, 2000000 / std::max<std::size_t>(1, total_rrs));
+  const std::size_t items =
+      static_cast<std::size_t>(total_rrs) * passes;
+
+  std::uint64_t sink = 0;  // defeats dead-code elimination
+  const double parse_reencode_s = run.stage("parse_reencode_view", [&] {
+    const auto begin = std::chrono::steady_clock::now();
+    WireArena arena;
+    Bytes out;
+    for (std::size_t p = 0; p < passes; ++p) {
+      for (const auto& packet : packets) {
+        arena.reset();
+        out.clear();
+        if (!reencode_message(packet, arena, out)) std::abort();
+        sink += out.size();
+      }
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         begin)
+        .count();
+  });
+
+  const double parse_view_s = run.stage("parse_view_only", [&] {
+    const auto begin = std::chrono::steady_clock::now();
+    WireArena arena;
+    for (std::size_t p = 0; p < passes; ++p) {
+      for (const auto& packet : packets) {
+        arena.reset();
+        const auto mv = parse_message_view(packet, arena);
+        if (!mv) std::abort();
+        sink += mv->answers.size();
+      }
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         begin)
+        .count();
+  });
+
+  const double owned_s = run.stage("decode_encode_owned", [&] {
+    const auto begin = std::chrono::steady_clock::now();
+    for (std::size_t p = 0; p < passes; ++p) {
+      for (const auto& packet : packets) {
+        const auto msg = decode_message(packet);
+        if (!msg) std::abort();
+        sink += encode_message(*msg).size();
+      }
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         begin)
+        .count();
+  });
+
+  // Master-file front-end: print the corpus once, then time re-parsing it
+  // through the table-driven tokenizer.
+  std::string zone_text;
+  std::vector<ResourceRecord> zone_records;
+  for (const auto& msg : messages) {
+    for (const auto& rr : msg.answers) zone_records.push_back(rr);
+  }
+  zone_text = print_master_file(zone_records);
+  const double master_s = run.stage("masterfile_parse", [&] {
+    const auto begin = std::chrono::steady_clock::now();
+    const auto parsed = parse_master_file(zone_text, Name::root());
+    if (!std::holds_alternative<std::vector<ResourceRecord>>(parsed)) {
+      std::abort();
+    }
+    sink += std::get<std::vector<ResourceRecord>>(parsed).size();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         begin)
+        .count();
+  });
+
+  run.set_items(static_cast<std::int64_t>(items));
+  {
+    WireArena arena;
+    Bytes digest_input;
+    for (const auto& packet : packets) {
+      arena.reset();
+      if (!reencode_message(packet, arena, digest_input)) std::abort();
+    }
+    run.checksum_text(
+        "reencoded_wire",
+        std::string_view(reinterpret_cast<const char*>(digest_input.data()),
+                         digest_input.size()));
+  }
+
+  const auto rate = [](std::size_t n, double s) {
+    return s > 0.0 ? static_cast<double>(n) / s : 0.0;
+  };
+  const double view_rate = rate(items, parse_reencode_s);
+  std::printf("packets=%zu rrs/packet=%.1f passes=%zu (sink %" PRIu64 ")\n",
+              packets.size(),
+              static_cast<double>(total_rrs) / static_cast<double>(packets.size()),
+              passes, sink);
+  std::printf("%-22s %12s\n", "stage", "RRs/sec");
+  std::printf("%-22s %12.0f\n", "parse+reencode (view)", view_rate);
+  std::printf("%-22s %12.0f\n", "parse only (view)", rate(items, parse_view_s));
+  std::printf("%-22s %12.0f\n", "decode+encode (owned)", rate(items, owned_s));
+  std::printf("%-22s %12.0f  (one pass, %zu RRs)\n", "masterfile parse",
+              rate(zone_records.size(), master_s), zone_records.size());
+
+  // Local perf floor: opt-in via DFX_WIRE_ASSERT=1 (off in CI — the floor
+  // is machine-dependent; the committed JSON record carries the numbers).
+  const char* assert_env = std::getenv("DFX_WIRE_ASSERT");
+  if (assert_env != nullptr && assert_env[0] == '1' && view_rate < 1e6) {
+    std::fprintf(stderr,
+                 "bench: parse+reencode %.0f RRs/sec is below the 1M floor\n",
+                 view_rate);
+    return 1;
+  }
+  return run.finish();
+}

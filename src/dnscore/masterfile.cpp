@@ -3,6 +3,7 @@
 #include <cctype>
 #include <charconv>
 
+#include "dnscore/tokenizer.h"
 #include "util/check.hpp"
 #include "util/codec.h"
 #include "util/simclock.h"
@@ -153,7 +154,8 @@ bool parse_ipv6(std::string_view text, std::array<std::uint8_t, 16>& out) {
 }  // namespace
 
 std::variant<Rdata, std::string> parse_rdata_text(
-    RRType type, const std::vector<std::string>& fields, const Name& origin) {
+    RRType type, std::span<const std::string_view> fields,
+    const Name& origin) {
   const auto err = [](std::string msg) -> std::variant<Rdata, std::string> {
     return msg;
   };
@@ -214,8 +216,8 @@ std::variant<Rdata, std::string> parse_rdata_text(
     case RRType::kTXT: {
       if (fields.empty()) return err("bad TXT rdata");
       TxtRdata txt;
-      for (const auto& f : fields) {
-        std::string s = f;
+      for (const auto f : fields) {
+        std::string s(f);
         if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
           s = s.substr(1, s.size() - 2);
         }
@@ -265,8 +267,8 @@ std::variant<Rdata, std::string> parse_rdata_text(
         return err("bad RRSIG numbers");
       }
       sig.original_ttl = ottl;
-      sig.expiration = parse_dnssec_time(fields[4]);
-      sig.inception = parse_dnssec_time(fields[5]);
+      sig.expiration = parse_dnssec_time(std::string(fields[4]));
+      sig.inception = parse_dnssec_time(std::string(fields[5]));
       if (sig.expiration < 0 || sig.inception < 0) {
         return err("bad RRSIG times");
       }
@@ -289,7 +291,7 @@ std::variant<Rdata, std::string> parse_rdata_text(
       n.next = *next;
       for (std::size_t i = 1; i < fields.size(); ++i) {
         auto t = rrtype_from_string(fields[i]);
-        if (!t) return err("bad NSEC type " + fields[i]);
+        if (!t) return err("bad NSEC type " + std::string(fields[i]));
         n.types.insert(*t);
       }
       return Rdata(n);
@@ -312,7 +314,7 @@ std::variant<Rdata, std::string> parse_rdata_text(
       n.next_hashed = *std::move(next);
       for (std::size_t i = 5; i < fields.size(); ++i) {
         auto t = rrtype_from_string(fields[i]);
-        if (!t) return err("bad NSEC3 type " + fields[i]);
+        if (!t) return err("bad NSEC3 type " + std::string(fields[i]));
         n.types.insert(*t);
       }
       return Rdata(n);
@@ -345,6 +347,14 @@ std::variant<Rdata, std::string> parse_rdata_text(
   return err("unsupported type " + rrtype_to_string(type));
 }
 
+std::variant<Rdata, std::string> parse_rdata_text(
+    RRType type, const std::vector<std::string>& fields, const Name& origin) {
+  std::vector<std::string_view> views(fields.begin(), fields.end());
+  return parse_rdata_text(
+      type, std::span<const std::string_view>(views.data(), views.size()),
+      origin);
+}
+
 std::variant<std::vector<ResourceRecord>, MasterFileError> parse_master_file(
     std::string_view text, const Name& default_origin,
     std::uint32_t default_ttl) {
@@ -353,57 +363,15 @@ std::variant<std::vector<ResourceRecord>, MasterFileError> parse_master_file(
   Name last_owner = default_origin;
   std::uint32_t ttl = default_ttl;
 
-  // Pre-pass: join parenthesised continuations and strip comments.
-  std::vector<std::pair<std::size_t, std::string>> logical_lines;
-  {
-    std::size_t lineno = 0;
-    std::string pending;
-    std::size_t pending_line = 0;
-    int depth = 0;
-    for (const auto& raw : split(text, '\n')) {
-      ++lineno;
-      std::string line;
-      bool in_quote = false;
-      for (char c : raw) {
-        if (c == '"') in_quote = !in_quote;
-        if (c == ';' && !in_quote) break;
-        if (c == '(' && !in_quote) {
-          ++depth;
-          line.push_back(' ');
-          continue;
-        }
-        if (c == ')' && !in_quote) {
-          --depth;
-          line.push_back(' ');
-          continue;
-        }
-        line.push_back(c);
-      }
-      if (depth > 0) {
-        if (pending.empty()) pending_line = lineno;
-        pending += line + " ";
-        continue;
-      }
-      if (!pending.empty()) {
-        pending += line;
-        logical_lines.emplace_back(pending_line, pending);
-        pending.clear();
-        continue;
-      }
-      logical_lines.emplace_back(lineno, line);
-    }
-    if (depth != 0 || !pending.empty()) {
-      return MasterFileError{pending_line, "unbalanced parentheses"};
-    }
-  }
-
-  for (const auto& [lineno, line] : logical_lines) {
-    if (trim(line).empty()) continue;
-    DFX_DCHECK(!line.empty());  // a non-empty trim implies a non-empty line
-    const bool owner_inherited =
-        std::isspace(static_cast<unsigned char>(line[0])) != 0;
-    auto fields = split_ws(line);
-    if (fields.empty()) continue;
+  // The tokenizer hands out views into `text` and this arena; both outlive
+  // every use below (fields are consumed within the loop body).
+  WireArena arena;
+  MasterFileTokenizer tokenizer(text, arena);
+  MasterLine entry;
+  while (tokenizer.next(entry)) {
+    const std::size_t lineno = entry.line;
+    const auto fields = entry.fields;
+    DFX_DCHECK(!fields.empty());  // tokenizer skips blank lines
 
     if (fields[0] == "$ORIGIN") {
       if (fields.size() < 2) return MasterFileError{lineno, "$ORIGIN arg"};
@@ -421,7 +389,7 @@ std::variant<std::vector<ResourceRecord>, MasterFileError> parse_master_file(
 
     std::size_t idx = 0;
     Name owner = last_owner;
-    if (!owner_inherited) {
+    if (!entry.leading_ws) {
       auto o = parse_name_rel(fields[idx], origin);
       if (!o) return MasterFileError{lineno, "bad owner name"};
       owner = *o;
@@ -445,14 +413,12 @@ std::variant<std::vector<ResourceRecord>, MasterFileError> parse_master_file(
     if (idx >= fields.size()) return MasterFileError{lineno, "missing type"};
     auto type = rrtype_from_string(fields[idx]);
     if (!type) {
-      return MasterFileError{lineno, "unknown type " + fields[idx]};
+      return MasterFileError{lineno,
+                             "unknown type " + std::string(fields[idx])};
     }
     ++idx;
     DFX_DCHECK(idx <= fields.size());
-    std::vector<std::string> rdata_fields(fields.begin() +
-                                              static_cast<std::ptrdiff_t>(idx),
-                                          fields.end());
-    auto rdata = parse_rdata_text(*type, rdata_fields, origin);
+    auto rdata = parse_rdata_text(*type, fields.subspan(idx), origin);
     if (auto* msg = std::get_if<std::string>(&rdata)) {
       return MasterFileError{lineno, *msg};
     }
@@ -463,6 +429,10 @@ std::variant<std::vector<ResourceRecord>, MasterFileError> parse_master_file(
     rr.rdata = std::get<Rdata>(std::move(rdata));
     records.push_back(std::move(rr));
     last_owner = owner;
+  }
+  if (tokenizer.error().has_value()) {
+    return MasterFileError{tokenizer.error()->line,
+                           tokenizer.error()->message};
   }
   return records;
 }

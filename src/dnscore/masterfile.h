@@ -6,6 +6,7 @@
 // parentheses are supported for SOA.
 #pragma once
 
+#include <span>
 #include <string>
 #include <string_view>
 #include <variant>
@@ -32,7 +33,14 @@ parse_master_file(
 std::string print_master_file(const std::vector<ResourceRecord>& records);
 
 /// Parse the presentation form of a single RDATA given its type and origin
-/// for relative names. Returns error message on failure.
+/// for relative names. Returns error message on failure. This is the
+/// zero-copy core: `fields` are tokenizer views (see dnscore/tokenizer.h)
+/// and are only read, never retained.
+[[nodiscard]] std::variant<Rdata, std::string> parse_rdata_text(
+    RRType type, std::span<const std::string_view> fields, const Name& origin);
+
+/// Convenience overload over owned fields (tests, tools); delegates to the
+/// span core.
 [[nodiscard]] std::variant<Rdata, std::string> parse_rdata_text(
     RRType type, const std::vector<std::string>& fields, const Name& origin);
 

@@ -1,59 +1,193 @@
 #include "dnscore/message.h"
 
+#include <cctype>
+#include <memory>
+
 #include "dnscore/wire.h"
 #include "util/check.hpp"
-#include "util/strings.h"
 
 namespace dfx::dns {
 namespace {
 
+inline std::uint8_t fold(char c) {
+  return static_cast<std::uint8_t>(
+      std::tolower(static_cast<unsigned char>(c)) & 0xFF);
+}
+
+constexpr std::uint64_t kFnvBasis = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+std::uint64_t label_hash(std::string_view label) {
+  std::uint64_t h = kFnvBasis;
+  for (const char c : label) {
+    h ^= fold(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
 /// Writes names with RFC 1035 §4.1.4 compression. Pointers may only target
-/// prior occurrences; the table maps the textual suffix to its offset.
+/// prior occurrences of a (case-folded) suffix.
+///
+/// The table is an open-addressed map of (suffix hash, message offset).
+/// Suffix hashes are computed right-to-left in one pass over the name, so a
+/// full write_name is O(name bytes) plus O(1) probes per label — the
+/// previous implementation joined every suffix into a fresh std::string key
+/// per lookup, which was quadratic per name and dominated encode profiles.
+/// Hash hits are verified by walking the already-emitted output bytes
+/// (following pointers), so collisions cannot corrupt the output; the
+/// emitted bytes are identical to the old map-based compressor's
+/// (pinned by a regression test).
 class NameCompressor {
  public:
+  /// `base` is the index in the output buffer where the DNS message starts;
+  /// compression offsets are relative to it (encode_message writes into an
+  /// empty buffer, so base 0; reencode_message appends to a caller buffer).
+  explicit NameCompressor(std::size_t base = 0) : base_(base) {}
+
   void write_name(Bytes& out, const Name& name) {
-    // Try to find the longest known suffix.
     const auto& labels = name.labels();
-    for (std::size_t skip = 0; skip < labels.size(); ++skip) {
-      const std::string suffix = suffix_key(name, skip);
-      const auto it = table_.find(suffix);
-      if (it != table_.end() && it->second < 0x3FFF) {
-        // Emit leading labels then a pointer.
-        emit_labels(out, name, skip);
-        append_u16(out,
-                   static_cast<std::uint16_t>(0xC000 | (it->second & 0x3FFF)));
-        return;
+    DFX_CHECK(labels.size() <= kMaxNamePieces, "name of %zu labels",
+              labels.size());
+    std::string_view pieces[kMaxNamePieces];
+    for (std::size_t i = 0; i < labels.size(); ++i) pieces[i] = labels[i];
+    write_name(out, pieces, labels.size());
+  }
+
+  /// Piece-level entry point, shared with the zero-copy re-encoder.
+  void write_name(Bytes& out, const std::string_view* labels, std::size_t n) {
+    DFX_CHECK(n <= kMaxNamePieces, "name of %zu labels", n);
+    std::uint64_t suffix_hash[kMaxNamePieces + 1];
+    suffix_hash[n] = kFnvBasis;
+    for (std::size_t i = n; i-- > 0;) {
+      suffix_hash[i] = (suffix_hash[i + 1] ^ label_hash(labels[i])) * kFnvPrime;
+    }
+    // Longest known suffix wins: scan skip counts upward, stop at the
+    // first (longest) registered suffix.
+    std::size_t skip = 0;
+    std::uint32_t pointer = 0;
+    bool found = false;
+    for (; skip < n; ++skip) {
+      if (const auto off =
+              lookup(out, suffix_hash[skip], labels + skip, n - skip)) {
+        pointer = *off;
+        found = true;
+        break;
       }
     }
-    // No suffix known: emit everything and remember offsets.
-    emit_labels(out, name, labels.size());
-    out.push_back(0);
-  }
-
- private:
-  static std::string suffix_key(const Name& name, std::size_t skip) {
-    const auto& labels = name.labels();
-    std::vector<std::string> parts;
-    for (std::size_t i = skip; i < labels.size(); ++i) {
-      parts.push_back(to_lower(labels[i]));
-    }
-    return join(parts, ".");
-  }
-
-  void emit_labels(Bytes& out, const Name& name, std::size_t count) {
-    const auto& labels = name.labels();
-    for (std::size_t i = 0; i < count; ++i) {
-      const std::size_t offset = out.size();
+    // Emit the labels before the pointer (or all of them), registering
+    // each emitted label's suffix for later names. First occurrence wins,
+    // and only offsets representable in a 14-bit pointer are remembered.
+    for (std::size_t i = 0; i < skip; ++i) {
+      const std::size_t offset = out.size() - base_;
       if (offset < 0x3FFF) {
-        table_.emplace(suffix_key(name, i), offset);
+        insert_if_absent(out, suffix_hash[i], labels + i, n - i,
+                         static_cast<std::uint32_t>(offset));
       }
       DFX_DCHECK(labels[i].size() <= 63);
       out.push_back(static_cast<std::uint8_t>(labels[i].size()));
       append(out, as_bytes(labels[i]));
     }
+    if (found) {
+      append_u16(out, static_cast<std::uint16_t>(0xC000 | (pointer & 0x3FFF)));
+    } else {
+      out.push_back(0);
+    }
   }
 
-  std::map<std::string, std::size_t> table_;
+ private:
+  static constexpr std::uint32_t kEmptySlot = 0xFFFFFFFFu;
+
+  struct Slot {
+    std::uint64_t hash = 0;
+    std::uint32_t offset = kEmptySlot;
+  };
+
+  /// True if the name chain emitted at message offset `offset` spells the
+  /// given label sequence (case-folded). Follows compression pointers; the
+  /// walked bytes were all written by this compressor, so the chain is
+  /// well-formed by construction.
+  bool suffix_at(const Bytes& out, std::uint32_t offset,
+                 const std::string_view* labels, std::size_t n) const {
+    std::size_t pos = base_ + offset;
+    std::size_t idx = 0;
+    DFX_BOUNDED_LOOP(guard, out.size() + 2);
+    while (true) {
+      guard.tick();
+      DFX_DCHECK(pos < out.size());
+      const std::uint8_t len = out[pos];
+      if (len == 0) return idx == n;
+      if ((len & 0xC0) == 0xC0) {
+        DFX_DCHECK(pos + 1 < out.size());
+        pos = base_ +
+              (((static_cast<std::size_t>(len) & 0x3F) << 8) | out[pos + 1]);
+        continue;
+      }
+      if (idx >= n || labels[idx].size() != len) return false;
+      DFX_DCHECK(pos + 1 + len <= out.size());
+      for (std::size_t i = 0; i < len; ++i) {
+        if (fold(static_cast<char>(out[pos + 1 + i])) != fold(labels[idx][i])) {
+          return false;
+        }
+      }
+      ++idx;
+      pos += 1 + static_cast<std::size_t>(len);
+    }
+  }
+
+  std::optional<std::uint32_t> lookup(const Bytes& out, std::uint64_t hash,
+                                      const std::string_view* labels,
+                                      std::size_t n) const {
+    if (count_ == 0) return std::nullopt;
+    std::size_t i = hash & mask_;
+    DFX_BOUNDED_LOOP(guard, slots_.size() + 1);
+    while (slots_[i].offset != kEmptySlot) {
+      guard.tick();
+      if (slots_[i].hash == hash && suffix_at(out, slots_[i].offset, labels, n)) {
+        return slots_[i].offset;
+      }
+      i = (i + 1) & mask_;
+    }
+    return std::nullopt;
+  }
+
+  void insert_if_absent(const Bytes& out, std::uint64_t hash,
+                        const std::string_view* labels, std::size_t n,
+                        std::uint32_t offset) {
+    if ((count_ + 1) * 4 >= slots_.size() * 3) grow();
+    std::size_t i = hash & mask_;
+    DFX_BOUNDED_LOOP(guard, slots_.size() + 1);
+    while (slots_[i].offset != kEmptySlot) {
+      guard.tick();
+      if (slots_[i].hash == hash && suffix_at(out, slots_[i].offset, labels, n)) {
+        return;  // first occurrence wins, like the old map's emplace
+      }
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = Slot{hash, offset};
+    ++count_;
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    mask_ = slots_.size() - 1;
+    for (const Slot& s : old) {
+      if (s.offset == kEmptySlot) continue;
+      std::size_t i = s.hash & mask_;
+      DFX_BOUNDED_LOOP(guard, slots_.size() + 1);
+      while (slots_[i].offset != kEmptySlot) {
+        guard.tick();
+        i = (i + 1) & mask_;
+      }
+      slots_[i] = s;
+    }
+  }
+
+  std::size_t base_;
+  std::vector<Slot> slots_ = std::vector<Slot>(64);
+  std::size_t mask_ = 63;
+  std::size_t count_ = 0;
 };
 
 void write_record(Bytes& out, NameCompressor& comp,
@@ -79,7 +213,7 @@ std::optional<ResourceRecord> read_record_body(WireReader& r, Name owner,
   rr.rrclass = static_cast<RRClass>(r.read_u16());
   rr.ttl = r.read_u32();
   const std::uint16_t rdlength = r.read_u16();
-  const Bytes rdata_wire = r.read_bytes(rdlength);
+  const ByteView rdata_wire = r.read_view(rdlength);
   if (!r.ok()) return std::nullopt;
   auto rdata = rdata_from_wire(rr.type, rdata_wire);
   if (!rdata) return std::nullopt;
@@ -87,33 +221,35 @@ std::optional<ResourceRecord> read_record_body(WireReader& r, Name owner,
   return rr;
 }
 
-/// Decode an OPT record body into EdnsInfo (owner and type already read).
-std::optional<EdnsInfo> read_opt_body(WireReader& r, const Name& owner) {
-  if (!owner.is_root()) return std::nullopt;  // RFC 6891 §6.1.2
-  EdnsInfo edns;
+/// Decode an OPT record body (owner and type already read; root owner
+/// already checked per RFC 6891 §6.1.2). Shared by the owned and the view
+/// parse path — `options` aliases the packet buffer.
+std::optional<EdnsView> read_opt_body(WireReader& r) {
+  EdnsView edns;
   edns.udp_size = r.read_u16();  // the CLASS field
   const std::uint32_t ttl = r.read_u32();
   edns.ext_rcode = static_cast<std::uint8_t>((ttl >> 24) & 0xFF);
   edns.version = static_cast<std::uint8_t>((ttl >> 16) & 0xFF);
   edns.do_bit = (ttl & 0x8000) != 0;
   const std::uint16_t rdlength = r.read_u16();
-  edns.options = r.read_bytes(rdlength);
+  edns.options = r.read_view(rdlength);
   if (!r.ok()) return std::nullopt;
   // Options are TLVs: walk them so a truncated TLV is rejected here
   // rather than surviving to confuse a consumer.
   WireReader opts(edns.options);
   DFX_BOUNDED_LOOP(guard, edns.options.size() + 1);
   while (opts.ok() && opts.remaining() > 0) {
-    guard.tick();  // each round consumes >= 4 octets
+    guard.tick();     // each round consumes >= 4 octets
     opts.read_u16();  // OPTION-CODE
     const std::uint16_t olen = opts.read_u16();
-    opts.read_bytes(olen);
+    opts.read_view(olen);
   }
   if (!opts.ok()) return std::nullopt;
   return edns;
 }
 
-void write_opt(Bytes& out, const EdnsInfo& edns) {
+template <typename Edns>  // EdnsInfo or EdnsView (same field names)
+void write_opt(Bytes& out, const Edns& edns) {
   out.push_back(0);  // root owner
   append_u16(out, kOptType);
   append_u16(out, edns.udp_size);
@@ -212,10 +348,17 @@ std::optional<Message> decode_message(ByteView wire) {
       const std::uint16_t type = r.read_u16();
       if (!r.ok()) return false;
       if (allow_opt && type == kOptType) {
-        if (msg.edns.has_value()) return false;  // RFC 6891 §6.1.1
-        auto edns = read_opt_body(r, *owner);
+        if (msg.edns.has_value()) return false;   // RFC 6891 §6.1.1
+        if (!owner->is_root()) return false;      // RFC 6891 §6.1.2
+        auto edns = read_opt_body(r);
         if (!edns) return false;
-        msg.edns = *std::move(edns);
+        EdnsInfo info;
+        info.udp_size = edns->udp_size;
+        info.ext_rcode = edns->ext_rcode;
+        info.version = edns->version;
+        info.do_bit = edns->do_bit;
+        info.options = Bytes(edns->options.begin(), edns->options.end());
+        msg.edns = std::move(info);
         continue;
       }
       auto rr = read_record_body(r, *std::move(owner),
@@ -233,6 +376,120 @@ std::optional<Message> decode_message(ByteView wire) {
   // let decode(encode(decode(x))) disagree with decode(x).
   if (r.remaining() != 0) return std::nullopt;
   return msg;
+}
+
+std::optional<MessageView> parse_message_view(ByteView wire,
+                                              WireArena& arena) {
+  WireReader r(wire);
+  MessageView mv;
+  mv.id = r.read_u16();
+  mv.flags = r.read_u16();
+  const std::uint16_t qd = r.read_u16();
+  const std::uint16_t an = r.read_u16();
+  const std::uint16_t ns = r.read_u16();
+  const std::uint16_t ar = r.read_u16();
+  if (!r.ok()) return std::nullopt;
+  // Same KeyTrap count precheck as decode_message.
+  if (5u * qd + 11u * (static_cast<std::size_t>(an) + ns + ar) >
+      r.remaining()) {
+    return std::nullopt;
+  }
+  const auto questions = arena.alloc_array<QuestionView>(qd);
+  for (std::size_t i = 0; i < qd; ++i) {
+    const auto qname = r.read_name_views(arena);
+    if (!qname) return std::nullopt;
+    const std::uint16_t qtype = r.read_u16();
+    const std::uint16_t qclass = r.read_u16();
+    if (!r.ok()) return std::nullopt;
+    std::construct_at(&questions[i], QuestionView{*qname, qtype, qclass});
+  }
+  mv.questions = {questions.data(), questions.size()};
+  const auto read_section =
+      [&](std::uint16_t count, bool allow_opt,
+          std::span<const RecordView>& section) -> bool {
+    const auto records = arena.alloc_array<RecordView>(count);
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto owner = r.read_name_views(arena);
+      if (!owner) return false;
+      const std::uint16_t type = r.read_u16();
+      if (!r.ok()) return false;
+      if (allow_opt && type == kOptType) {
+        if (mv.edns.has_value()) return false;  // RFC 6891 §6.1.1
+        if (!owner->empty()) return false;      // RFC 6891 §6.1.2
+        auto edns = read_opt_body(r);
+        if (!edns) return false;
+        mv.edns = *edns;
+        continue;
+      }
+      RecordView rr;
+      rr.owner = *owner;
+      rr.type = type;
+      rr.rrclass = r.read_u16();
+      rr.ttl = r.read_u32();
+      const std::uint16_t rdlength = r.read_u16();
+      rr.rdata = r.read_view(rdlength);
+      if (!r.ok()) return false;
+      std::construct_at(&records[n++], rr);
+    }
+    section = {records.data(), n};
+    return true;
+  };
+  if (!read_section(an, false, mv.answers)) return std::nullopt;
+  if (!read_section(ns, false, mv.authorities)) return std::nullopt;
+  if (!read_section(ar, true, mv.additionals)) return std::nullopt;
+  if (r.remaining() != 0) return std::nullopt;  // trailing bytes
+  return mv;
+}
+
+bool reencode_message(ByteView wire, WireArena& arena, Bytes& out) {
+  const std::size_t mark = out.size();
+  const auto mv = parse_message_view(wire, arena);
+  if (!mv) return false;
+  append_u16(out, mv->id);
+  // The Z bit (0x0040) is the only flag decode_message drops; everything
+  // else round-trips bit-for-bit through the Header booleans.
+  append_u16(out, mv->flags & 0xFFBF);
+  const std::size_t arcount =
+      mv->additionals.size() + (mv->edns.has_value() ? 1 : 0);
+  // Section sizes are bounded by the header counts (u16) the parser read.
+  DFX_DCHECK(mv->questions.size() <= 0xFFFF && mv->answers.size() <= 0xFFFF &&
+             mv->authorities.size() <= 0xFFFF && arcount <= 0xFFFF);
+  append_u16(out, static_cast<std::uint16_t>(mv->questions.size()));
+  append_u16(out, static_cast<std::uint16_t>(mv->answers.size()));
+  append_u16(out, static_cast<std::uint16_t>(mv->authorities.size()));
+  append_u16(out, static_cast<std::uint16_t>(arcount));
+  NameCompressor comp(mark);
+  for (const auto& q : mv->questions) {
+    comp.write_name(out, q.qname.data(), q.qname.size());
+    append_u16(out, q.qtype);
+    append_u16(out, q.qclass);
+  }
+  const auto write_rr = [&](const RecordView& rr) -> bool {
+    comp.write_name(out, rr.owner.data(), rr.owner.size());
+    append_u16(out, rr.type);
+    append_u16(out, rr.rrclass);
+    append_u32(out, rr.ttl);
+    const std::size_t len_pos = out.size();
+    append_u16(out, 0);  // RDLENGTH, patched below
+    if (!reencode_rdata(rr.type, rr.rdata, out)) return false;
+    const std::size_t rdlen = out.size() - len_pos - 2;
+    DFX_DCHECK(rdlen <= 0xFFFF);
+    out[len_pos] = static_cast<std::uint8_t>(rdlen >> 8);
+    out[len_pos + 1] = static_cast<std::uint8_t>(rdlen & 0xFF);
+    return true;
+  };
+  for (const auto section : {mv->answers, mv->authorities, mv->additionals}) {
+    for (const auto& rr : section) {
+      if (!write_rr(rr)) {
+        DFX_DCHECK(mark <= out.size());
+        out.resize(mark);  // leave `out` untouched on failure
+        return false;
+      }
+    }
+  }
+  if (mv->edns) write_opt(out, *mv->edns);
+  return true;
 }
 
 }  // namespace dfx::dns

@@ -62,6 +62,20 @@ std::optional<Name> Name::parse(std::string_view text) {
   return out;
 }
 
+Name Name::from_validated_pieces(std::span<const std::string_view> pieces) {
+  Name out;
+  out.labels_.reserve(pieces.size());
+  std::size_t total = 1;
+  for (const std::string_view piece : pieces) {
+    DFX_DCHECK(!piece.empty() && piece.size() <= 63);
+    total += piece.size() + 1;
+    out.labels_.emplace_back(piece);
+  }
+  DFX_DCHECK(total <= 255);
+  (void)total;
+  return out;
+}
+
 Name Name::of(std::string_view text) {
   auto parsed = parse(text);
   if (!parsed) {

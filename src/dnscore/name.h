@@ -5,6 +5,7 @@
 #include <compare>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,6 +29,15 @@ class Name {
 
   /// Parse, throwing std::invalid_argument (for literals in tests/tools).
   static Name of(std::string_view text);
+
+  /// Build a Name from label pieces the caller has already validated
+  /// against the `parse()` rules (non-empty, <= 63 octets, no whitespace or
+  /// control characters, total wire length <= 255). This is the wire
+  /// layer's allocation-lean path: `WireReader::read_name` validates label
+  /// pieces during its zero-copy scan and hands them here, skipping the
+  /// text round-trip `parse()` would cost. Validity is DFX_DCHECK-asserted,
+  /// not re-checked in release builds — never feed it unvalidated input.
+  static Name from_validated_pieces(std::span<const std::string_view> pieces);
 
   static Name root() { return {}; }
 

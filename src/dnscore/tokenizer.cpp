@@ -1,0 +1,179 @@
+#include "dnscore/tokenizer.h"
+
+#include <array>
+#include <memory>
+
+#include "util/check.hpp"
+
+namespace dfx::dns {
+namespace {
+
+// Byte classes. kOrdinary must be 0 so the table's default fill covers it.
+enum Cls : std::uint8_t {
+  kOrdinary = 0,
+  kBlank,
+  kNewline,
+  kComment,
+  kQuote,
+  kOpen,
+  kClose,
+};
+
+constexpr std::array<std::uint8_t, 256> make_class_table() {
+  std::array<std::uint8_t, 256> t{};
+  // The blank set is exactly std::isspace's, minus '\n' which is
+  // structural (it ends a physical line).
+  t[static_cast<unsigned char>(' ')] = kBlank;
+  t[static_cast<unsigned char>('\t')] = kBlank;
+  t[static_cast<unsigned char>('\v')] = kBlank;
+  t[static_cast<unsigned char>('\f')] = kBlank;
+  t[static_cast<unsigned char>('\r')] = kBlank;
+  t[static_cast<unsigned char>('\n')] = kNewline;
+  t[static_cast<unsigned char>(';')] = kComment;
+  t[static_cast<unsigned char>('"')] = kQuote;
+  t[static_cast<unsigned char>('(')] = kOpen;
+  t[static_cast<unsigned char>(')')] = kClose;
+  return t;
+}
+
+constexpr std::array<std::uint8_t, 256> kClassTable = make_class_table();
+
+inline Cls cls(char c) {
+  return static_cast<Cls>(kClassTable[static_cast<unsigned char>(c)]);
+}
+
+}  // namespace
+
+std::string_view MasterFileTokenizer::scan_bare_token() {
+  const std::size_t start = pos_;
+  while (pos_ < text_.size() && cls(text_[pos_]) == kOrdinary) ++pos_;
+  return text_.substr(start, pos_ - start);
+}
+
+std::string_view MasterFileTokenizer::scan_quoted_token() {
+  DFX_DCHECK(pos_ < text_.size() && text_[pos_] == '"');
+  const std::size_t start = pos_;
+  ++pos_;
+  bool has_escape = false;
+  bool closed = false;
+  while (pos_ < text_.size()) {
+    const char c = text_[pos_];
+    if (c == '\n') break;  // unterminated: the token ends at the newline
+    if (c == '\\' && pos_ + 1 < text_.size() && text_[pos_ + 1] != '\n') {
+      has_escape = true;
+      pos_ += 2;
+      continue;
+    }
+    ++pos_;
+    if (c == '"' && pos_ > start + 1) {
+      closed = true;
+      break;
+    }
+  }
+  const std::string_view raw = text_.substr(start, pos_ - start);
+  if (!has_escape) return raw;  // zero-copy fast path
+  // Escape path: resolve \X and \DDD, keep the surrounding quotes so the
+  // token looks exactly like an unescaped quoted token downstream.
+  const auto is_digit = [](char c) { return c >= '0' && c <= '9'; };
+  std::string built;
+  built.reserve(raw.size());
+  built.push_back('"');
+  const std::size_t end = raw.size() - (closed ? 1 : 0);  // content bytes
+  std::size_t i = 1;
+  while (i < end) {
+    const char c = raw[i];
+    if (c != '\\') {
+      built.push_back(c);
+      ++i;
+      continue;
+    }
+    if (i + 1 >= end) {  // lone trailing backslash: keep it literal
+      built.push_back('\\');
+      ++i;
+      continue;
+    }
+    // \DDD: exactly three decimal digits name one octet (RFC 1035 §5.1).
+    if (i + 3 < end && is_digit(raw[i + 1]) && is_digit(raw[i + 2]) &&
+        is_digit(raw[i + 3])) {
+      const int v = (raw[i + 1] - '0') * 100 + (raw[i + 2] - '0') * 10 +
+                    (raw[i + 3] - '0');
+      if (v <= 255) {
+        built.push_back(static_cast<char>(v));
+        i += 4;
+        continue;
+      }
+    }
+    built.push_back(raw[i + 1]);  // \X: literal X
+    i += 2;
+  }
+  if (closed) built.push_back('"');
+  return arena_.copy(std::string_view(built));
+}
+
+bool MasterFileTokenizer::next(MasterLine& out) {
+  if (error_.has_value()) return false;
+  while (pos_ < text_.size()) {
+    const std::size_t entry_line = line_;
+    const bool leading = cls(text_[pos_]) == kBlank;
+    fields_.clear();
+    int depth = 0;
+    bool at_eof = false;
+    // One logical line: until a newline at paren depth 0 (or EOF).
+    DFX_BOUNDED_LOOP(guard, text_.size() + 1);
+    while (true) {
+      if (pos_ >= text_.size()) {
+        at_eof = true;
+        break;
+      }
+      guard.tick();  // every branch below advances pos_
+      const char c = text_[pos_];
+      switch (cls(c)) {
+        case kNewline:
+          ++pos_;
+          ++line_;
+          break;
+        case kBlank:
+          ++pos_;
+          break;
+        case kComment:
+          while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+          break;
+        case kOpen:
+          ++depth;
+          ++pos_;
+          break;
+        case kClose:
+          if (depth == 0) {
+            error_ = TokenizeError{line_, "unbalanced parentheses"};
+            return false;
+          }
+          --depth;
+          ++pos_;
+          break;
+        case kQuote:
+          fields_.push_back(scan_quoted_token());
+          break;
+        case kOrdinary:
+          fields_.push_back(scan_bare_token());
+          break;
+      }
+      if (cls(c) == kNewline && depth == 0) break;
+    }
+    if (at_eof && depth != 0) {
+      error_ = TokenizeError{entry_line, "unbalanced parentheses"};
+      return false;
+    }
+    if (fields_.empty()) continue;  // blank or comment-only line
+    const auto stored = arena_.alloc_array<std::string_view>(fields_.size());
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      std::construct_at(&stored[i], fields_[i]);  // arena memory is raw
+    }
+    out.line = entry_line;
+    out.leading_ws = leading;
+    out.fields = {stored.data(), stored.size()};
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dfx::dns

@@ -1,0 +1,82 @@
+// Table-driven master-file tokenizer (RFC 1035 §5 lexical layer).
+//
+// One pass over the input classifies every byte through a 256-entry table
+// (blank / newline / comment / quote / parenthesis / ordinary) and produces
+// logical lines: physical lines joined across parentheses, comments
+// stripped, tokens split on blank runs. Bare tokens and escape-free quoted
+// strings are zero-copy string_views into the input text; only tokens
+// containing backslash escapes are materialized (into the arena). This
+// replaces the old two-pass "join lines into a std::string, then split_ws"
+// front-end, which copied every line and every token.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dnscore/arena.h"
+
+namespace dfx::dns {
+
+/// One logical master-file entry: a physical line, extended across
+/// newlines while inside unbalanced '(' ... ')'.
+///
+/// Ownership: every entry of `fields` is a view into either the tokenizer's
+/// input text or its arena; the span itself lives in the arena. All of them
+/// are valid until the arena is reset/destroyed (and no longer than the
+/// input text buffer) — do not retain them past either.
+struct MasterLine {
+  std::size_t line = 0;     // 1-based physical line the entry starts on
+  bool leading_ws = false;  // entry began with blank space (owner inherited)
+  std::span<const std::string_view> fields;
+};
+
+struct TokenizeError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// Streaming tokenizer over zone-file text.
+///
+/// Lexical rules (matching the previous parser where they overlap):
+///  - ';' starts a comment through end of physical line, except inside a
+///    quoted string.
+///  - '(' and ')' (outside quotes) group physical lines into one logical
+///    line and act as token separators; a ')' with no open '(' is an
+///    error, and EOF inside '(' reports the line the group started on.
+///  - A quoted string is one token, surrounding quotes INCLUDED (the rdata
+///    text layer strips them — this keeps "\"a b\"" and a bare token
+///    flowing through the same code path). A quote unterminated at end of
+///    line simply ends the token, like the old line-local scanner.
+///  - Inside quotes, "\X" escapes a literal X and "\DDD" a decimal octet
+///    (RFC 1035 §5.1); escaped tokens are the only ones that allocate.
+///  - Blank and comment-only lines are skipped, not surfaced.
+class MasterFileTokenizer {
+ public:
+  /// Views handed out via next() alias `text` and `arena`; both must
+  /// outlive every MasterLine the caller still holds.
+  MasterFileTokenizer(std::string_view text, WireArena& arena)
+      : text_(text), arena_(arena) {}
+
+  /// Advance to the next non-empty logical line. Returns false at end of
+  /// input or on error — distinguish via error().
+  bool next(MasterLine& out);
+
+  const std::optional<TokenizeError>& error() const { return error_; }
+
+ private:
+  std::string_view scan_bare_token();
+  std::string_view scan_quoted_token();
+
+  std::string_view text_;
+  WireArena& arena_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::vector<std::string_view> fields_;  // scratch, arena-copied per line
+  std::optional<TokenizeError> error_;
+};
+
+}  // namespace dfx::dns

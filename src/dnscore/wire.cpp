@@ -1,5 +1,10 @@
 #include "dnscore/wire.h"
 
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <memory>
+
 #include "util/check.hpp"
 
 namespace dfx::dns {
@@ -14,7 +19,148 @@ constexpr std::uint64_t kMaxNameLoopIterations = 128 + kMaxNameJumps;
 // counted as dots.
 constexpr std::size_t kMaxNameTextLength = 253;
 
+/// The label character rule of Name::parse: no whitespace, no control
+/// characters; everything else is legal in DNS.
+inline bool label_char_ok(std::uint8_t c) {
+  return std::isspace(c) == 0 && c >= 0x21;
+}
+
+inline std::uint8_t fold(std::uint8_t c) {
+  return static_cast<std::uint8_t>(
+      std::tolower(static_cast<unsigned char>(c)) & 0xFF);
+}
+
+/// Append the canonical (lower-case, uncompressed) wire form of a name
+/// given as label pieces — the piece-level equivalent of
+/// Name::to_canonical_wire.
+void emit_canonical_name(Bytes& out, const std::string_view* pieces,
+                         std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    DFX_DCHECK(pieces[i].size() <= 63);
+    out.push_back(static_cast<std::uint8_t>(pieces[i].size()));
+    for (const char c : pieces[i]) {
+      out.push_back(fold(static_cast<std::uint8_t>(c)));
+    }
+  }
+  out.push_back(0);
+}
+
+/// Canonical re-encode of an NSEC/NSEC3 type bitmap: mirrors
+/// decode_type_bitmap's tolerances (malformed window blocks and trailing
+/// bytes are silently dropped), merges duplicate windows, and emits
+/// windows in ascending order with minimal octet counts — exactly what
+/// encode_type_bitmap(decode_type_bitmap(data)) produces.
+void reencode_type_bitmap(ByteView data, Bytes& out) {
+  std::uint8_t bits[256][32];
+  bool present[256] = {};
+  std::size_t pos = 0;
+  DFX_BOUNDED_LOOP(guard, data.size() / 3 + 1);
+  while (pos + 2 <= data.size()) {
+    guard.tick();
+    const std::uint8_t window = data[pos];
+    const std::size_t len = data[pos + 1];
+    pos += 2;
+    if (len == 0 || len > 32 || pos + len > data.size()) break;
+    if (!present[window]) {
+      std::memset(bits[window], 0, sizeof bits[window]);
+      present[window] = true;
+    }
+    for (std::size_t i = 0; i < len; ++i) bits[window][i] |= data[pos + i];
+    pos += len;
+  }
+  for (int w = 0; w < 256; ++w) {
+    if (!present[w]) continue;
+    int max_octet = -1;
+    for (int i = 31; i >= 0; --i) {
+      if (bits[w][i] != 0) {
+        max_octet = i;
+        break;
+      }
+    }
+    if (max_octet < 0) continue;  // all-zero block decodes to no types
+    out.push_back(static_cast<std::uint8_t>(w));
+    out.push_back(static_cast<std::uint8_t>(max_octet + 1));
+    for (int i = 0; i <= max_octet; ++i) out.push_back(bits[w][i]);
+  }
+}
+
 }  // namespace
+
+bool scan_name_pieces(ByteView data, std::size_t& pos_io,
+                      std::string_view* pieces, std::size_t* n_pieces) {
+  *n_pieces = 0;
+  std::size_t pos = pos_io;
+  bool jumped = false;
+  std::size_t jumps = 0;
+  std::size_t text_len = 0;
+  // Raw wire labels, zero-copy. text_len <= 253 bounds the count at 127.
+  const char* raw_ptr[kMaxNamePieces + 1];
+  std::uint8_t raw_len[kMaxNamePieces + 1];
+  std::size_t n_raw = 0;
+  DFX_BOUNDED_LOOP(guard, kMaxNameLoopIterations);
+  while (true) {
+    guard.tick();
+    if (pos >= data.size()) return false;
+    const std::uint8_t len = data[pos];
+    if (len == 0) {
+      if (!jumped) pos_io = pos + 1;
+      break;
+    }
+    if ((len & 0xC0) == 0xC0) {
+      if (pos + 1 >= data.size() || ++jumps > kMaxNameJumps) return false;
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3F) << 8) | data[pos + 1];
+      if (target >= pos) return false;  // forward/self pointers are malformed
+      if (!jumped) pos_io = pos + 2;
+      jumped = true;
+      pos = target;
+      continue;
+    }
+    if ((len & 0xC0) != 0 || pos + 1 + len > data.size()) return false;
+    if (n_raw != 0) ++text_len;  // the separating dot
+    text_len += len;
+    if (text_len > kMaxNameTextLength) return false;
+    DFX_DCHECK(n_raw <= kMaxNamePieces);
+    raw_ptr[n_raw] = reinterpret_cast<const char*>(data.data() + pos + 1);
+    raw_len[n_raw] = len;
+    ++n_raw;
+    pos += 1 + len;
+  }
+  if (n_raw == 0) return true;  // root
+  // What follows replicates Name::parse over the virtual dotted text the
+  // old path materialized: "." is root, one trailing dot is stripped,
+  // pieces split on '.', each piece validated. Pieces never span a wire
+  // label (the virtual separator ends one), so every piece is a contiguous
+  // zero-copy view.
+  if (n_raw == 1 && raw_len[0] == 1 && raw_ptr[0][0] == '.') return true;
+  if (raw_ptr[n_raw - 1][raw_len[n_raw - 1] - 1] == '.') --raw_len[n_raw - 1];
+  std::size_t total = 1;
+  const char* cur = nullptr;
+  std::size_t cur_len = 0;
+  const auto flush = [&]() -> bool {
+    if (cur_len == 0 || cur_len > 63) return false;
+    if (*n_pieces >= kMaxNamePieces) return false;
+    total += cur_len + 1;
+    pieces[(*n_pieces)++] = std::string_view(cur, cur_len);
+    cur_len = 0;
+    return true;
+  };
+  for (std::size_t k = 0; k < n_raw; ++k) {
+    if (k > 0 && !flush()) return false;
+    for (std::size_t i = 0; i < raw_len[k]; ++i) {
+      const char c = raw_ptr[k][i];
+      if (c == '.') {
+        if (!flush()) return false;
+        continue;
+      }
+      if (!label_char_ok(static_cast<std::uint8_t>(c))) return false;
+      if (cur_len == 0) cur = raw_ptr[k] + i;
+      ++cur_len;
+    }
+  }
+  if (!flush()) return false;
+  return total <= 255;
+}
 
 std::uint8_t WireReader::read_u8() {
   DFX_DCHECK(pos_ <= data_.size());
@@ -64,6 +210,18 @@ Bytes WireReader::read_bytes(std::size_t n) {
   return out;
 }
 
+ByteView WireReader::read_view(std::size_t n) {
+  DFX_DCHECK(pos_ <= data_.size());
+  if (n > data_.size() - pos_) {  // same wrap-proof form as read_bytes
+    ok_ = false;
+    pos_ = data_.size();
+    return {};
+  }
+  const ByteView out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
 void WireReader::seek(std::size_t pos) {
   if (pos > data_.size()) {
     ok_ = false;
@@ -73,53 +231,29 @@ void WireReader::seek(std::size_t pos) {
 }
 
 std::optional<Name> WireReader::read_name() {
-  std::string text;
-  std::size_t jumps = 0;
-  std::size_t pos = pos_;
-  bool jumped = false;
-  DFX_BOUNDED_LOOP(guard, kMaxNameLoopIterations);
-  while (true) {
-    guard.tick();
-    if (pos >= data_.size()) {
-      ok_ = false;
-      return std::nullopt;
-    }
-    const std::uint8_t len = data_[pos];
-    if (len == 0) {
-      if (!jumped) pos_ = pos + 1;
-      if (text.empty()) return Name::root();
-      auto name = Name::parse(text);
-      if (!name) ok_ = false;
-      return name;
-    }
-    if ((len & 0xC0) == 0xC0) {
-      if (pos + 1 >= data_.size() || ++jumps > kMaxNameJumps) {
-        ok_ = false;
-        return std::nullopt;
-      }
-      const std::size_t target =
-          (static_cast<std::size_t>(len & 0x3F) << 8) | data_[pos + 1];
-      if (target >= pos) {  // forward/self pointers are malformed
-        ok_ = false;
-        return std::nullopt;
-      }
-      if (!jumped) pos_ = pos + 2;
-      jumped = true;
-      pos = target;
-      continue;
-    }
-    if ((len & 0xC0) != 0 || pos + 1 + len > data_.size()) {
-      ok_ = false;
-      return std::nullopt;
-    }
-    if (!text.empty()) text.push_back('.');
-    text.append(reinterpret_cast<const char*>(data_.data() + pos + 1), len);
-    if (text.size() > kMaxNameTextLength) {  // name exceeds 255 wire octets
-      ok_ = false;
-      return std::nullopt;
-    }
-    pos += 1 + len;
+  std::string_view pieces[kMaxNamePieces];
+  std::size_t n = 0;
+  if (!scan_name_pieces(data_, pos_, pieces, &n)) {
+    ok_ = false;
+    return std::nullopt;
   }
+  if (n == 0) return Name::root();
+  return Name::from_validated_pieces({pieces, n});
+}
+
+std::optional<std::span<const std::string_view>> WireReader::read_name_views(
+    WireArena& arena) {
+  std::string_view pieces[kMaxNamePieces];
+  std::size_t n = 0;
+  if (!scan_name_pieces(data_, pos_, pieces, &n)) {
+    ok_ = false;
+    return std::nullopt;
+  }
+  const auto stored = arena.alloc_array<std::string_view>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::construct_at(&stored[i], pieces[i]);  // arena memory is raw
+  }
+  return std::span<const std::string_view>(stored.data(), stored.size());
 }
 
 std::optional<Rdata> rdata_from_wire(RRType type, ByteView wire) {
@@ -131,7 +265,7 @@ std::optional<Rdata> rdata_from_wire(RRType type, ByteView wire) {
   switch (type) {
     case RRType::kA: {
       ARdata a;
-      const Bytes b = r.read_bytes(4);
+      const ByteView b = r.read_view(4);
       if (!r.ok()) return std::nullopt;
       DFX_CHECK(b.size() == a.address.size());
       std::copy(b.begin(), b.end(), a.address.begin());
@@ -139,7 +273,7 @@ std::optional<Rdata> rdata_from_wire(RRType type, ByteView wire) {
     }
     case RRType::kAAAA: {
       AaaaRdata a;
-      const Bytes b = r.read_bytes(16);
+      const ByteView b = r.read_view(16);
       if (!r.ok()) return std::nullopt;
       DFX_CHECK(b.size() == a.address.size());
       std::copy(b.begin(), b.end(), a.address.begin());
@@ -187,7 +321,7 @@ std::optional<Rdata> rdata_from_wire(RRType type, ByteView wire) {
       while (r.ok() && r.remaining() > 0) {
         guard.tick();  // each round consumes >= 1 octet
         const std::uint8_t len = r.read_u8();
-        const Bytes b = r.read_bytes(len);
+        const ByteView b = r.read_view(len);
         if (!r.ok()) return std::nullopt;
         txt.strings.push_back(to_string(b));
       }
@@ -231,7 +365,7 @@ std::optional<Rdata> rdata_from_wire(RRType type, ByteView wire) {
       auto next = r.read_name();
       if (!next) return std::nullopt;
       n.next = *std::move(next);
-      n.types = decode_type_bitmap(r.read_bytes(r.remaining()));
+      n.types = decode_type_bitmap(r.read_view(r.remaining()));
       return finish(n);
     }
     case RRType::kNSEC3: {
@@ -242,7 +376,7 @@ std::optional<Rdata> rdata_from_wire(RRType type, ByteView wire) {
       n.salt = r.read_bytes(r.read_u8());
       n.next_hashed = r.read_bytes(r.read_u8());
       if (n.next_hashed.empty()) return std::nullopt;
-      n.types = decode_type_bitmap(r.read_bytes(r.remaining()));
+      n.types = decode_type_bitmap(r.read_view(r.remaining()));
       return finish(n);
     }
     case RRType::kNSEC3PARAM: {
@@ -265,6 +399,117 @@ std::optional<Rdata> rdata_from_wire(RRType type, ByteView wire) {
     }
   }
   return std::nullopt;
+}
+
+bool reencode_rdata(std::uint16_t type, ByteView wire, Bytes& out) {
+  const std::size_t mark = out.size();
+  // Scratch for embedded names; reused across the fields of one RDATA.
+  std::string_view pieces[kMaxNamePieces];
+  std::size_t n = 0;
+  std::size_t pos = 0;
+  const auto verbatim = [&](std::size_t from, std::size_t upto) {
+    append(out, wire.subspan(from, upto - from));
+  };
+  const auto fail = [&]() {
+    DFX_DCHECK(mark <= out.size());  // we only ever append past mark
+    out.resize(mark);
+    return false;
+  };
+  switch (static_cast<RRType>(type)) {
+    case RRType::kA:
+      if (wire.size() != 4) return fail();
+      verbatim(0, 4);
+      return true;
+    case RRType::kAAAA:
+      if (wire.size() != 16) return fail();
+      verbatim(0, 16);
+      return true;
+    case RRType::kNS:
+    case RRType::kCNAME: {
+      if (!scan_name_pieces(wire, pos, pieces, &n) || pos != wire.size()) {
+        return fail();
+      }
+      emit_canonical_name(out, pieces, n);
+      return true;
+    }
+    case RRType::kSOA: {
+      if (!scan_name_pieces(wire, pos, pieces, &n)) return fail();
+      emit_canonical_name(out, pieces, n);
+      if (!scan_name_pieces(wire, pos, pieces, &n)) return fail();
+      emit_canonical_name(out, pieces, n);
+      if (wire.size() - pos != 20) return fail();  // the five u32 fields
+      verbatim(pos, wire.size());
+      return true;
+    }
+    case RRType::kMX: {
+      if (wire.size() < 2) return fail();
+      pos = 2;
+      if (!scan_name_pieces(wire, pos, pieces, &n) || pos != wire.size()) {
+        return fail();
+      }
+      verbatim(0, 2);
+      emit_canonical_name(out, pieces, n);
+      return true;
+    }
+    case RRType::kTXT: {
+      if (wire.empty()) return fail();  // at least one character-string
+      DFX_BOUNDED_LOOP(guard, wire.size() + 1);
+      while (pos < wire.size()) {
+        guard.tick();  // each round consumes >= 1 octet
+        const std::uint8_t len = wire[pos];
+        if (pos + 1 + len > wire.size()) return fail();
+        pos += 1 + len;
+      }
+      verbatim(0, wire.size());  // length-prefixed strings are canonical
+      return true;
+    }
+    case RRType::kDNSKEY:
+    case RRType::kCDNSKEY:
+      if (wire.size() < 4) return fail();  // flags + protocol + algorithm
+      verbatim(0, wire.size());            // key blob is opaque
+      return true;
+    case RRType::kDS:
+    case RRType::kCDS:
+      if (wire.size() < 5) return fail();  // fixed fields + nonempty digest
+      verbatim(0, wire.size());            // digest blob is opaque
+      return true;
+    case RRType::kRRSIG: {
+      if (wire.size() < 18) return fail();  // fixed fields through key tag
+      pos = 18;
+      if (!scan_name_pieces(wire, pos, pieces, &n)) return fail();
+      verbatim(0, 18);
+      emit_canonical_name(out, pieces, n);
+      verbatim(pos, wire.size());  // signature blob is opaque
+      return true;
+    }
+    case RRType::kNSEC: {
+      if (!scan_name_pieces(wire, pos, pieces, &n)) return fail();
+      emit_canonical_name(out, pieces, n);
+      reencode_type_bitmap(wire.subspan(pos), out);
+      return true;
+    }
+    case RRType::kNSEC3: {
+      if (wire.size() < 5) return fail();  // fixed fields + salt length
+      pos = 4;
+      const std::uint8_t salt_len = wire[pos++];
+      if (pos + salt_len >= wire.size()) return fail();  // need hash length
+      pos += salt_len;
+      const std::uint8_t hash_len = wire[pos++];
+      if (hash_len == 0 || pos + hash_len > wire.size()) return fail();
+      pos += hash_len;
+      verbatim(0, pos);  // fixed fields, salt and hash are canonical as-is
+      reencode_type_bitmap(wire.subspan(pos), out);
+      return true;
+    }
+    case RRType::kNSEC3PARAM: {
+      if (wire.size() < 5) return fail();  // fixed fields + salt length
+      const std::uint8_t salt_len = wire[4];
+      if (5u + salt_len != wire.size()) return fail();  // no trailing bytes
+      verbatim(0, wire.size());
+      return true;
+    }
+  }
+  return fail();  // unknown TYPE
 }
 
 }  // namespace dfx::dns

@@ -3,10 +3,22 @@
 // rdata_to_wire (canonical encode) lives with the Rdata types; this header
 // adds the inverse direction plus a bounds-checked cursor both the message
 // codec and tests use.
+//
+// Two parse paths share one name scanner (`scan_name_pieces`):
+//
+//  - the owned path (`read_name`, `rdata_from_wire`, `decode_message`)
+//    materializes `Name`/`Rdata` values — use it when the records outlive
+//    the packet buffer;
+//  - the zero-copy path (`read_name_views`, `reencode_rdata`,
+//    `parse_message_view`/`reencode_message` in message.h) hands out views
+//    into the packet buffer and allocates bookkeeping in a WireArena — use
+//    it on the hot serving/measurement paths where per-record heap
+//    allocations dominate (see docs/PERFORMANCE.md).
 #pragma once
 
 #include <optional>
 
+#include "dnscore/arena.h"
 #include "dnscore/name.h"
 #include "dnscore/rdata.h"
 #include "dnscore/rr.h"
@@ -14,6 +26,22 @@
 #include "util/check.hpp"
 
 namespace dfx::dns {
+
+/// A DNS name is at most 255 wire octets, so at most 127 one-octet labels.
+constexpr std::size_t kMaxNamePieces = 127;
+
+/// Zero-copy scan of one (possibly compressed) wire name at `pos` in
+/// `data`. On success: label pieces (string_views aliasing `data` — they
+/// live exactly as long as the buffer behind `data`, no copy is made) are
+/// written to `pieces[0..*n_pieces)`, `pos` advances past the name's first
+/// segment (the terminal zero octet or the first compression pointer), and
+/// true is returned; `pieces` must hold at least kMaxNamePieces entries.
+/// Returns false on malformed names with the exact acceptance rules of
+/// `WireReader::read_name` (bounds, <= 64 pointer jumps, backward-only
+/// pointers, <= 255 total octets, label character rules).
+[[nodiscard]] bool scan_name_pieces(ByteView data, std::size_t& pos,
+                                    std::string_view* pieces,
+                                    std::size_t* n_pieces);
 
 /// Bounds-checked read cursor over a wire buffer.
 class WireReader {
@@ -32,9 +60,22 @@ class WireReader {
   DFX_TAINTED std::uint32_t read_u32();
   DFX_TAINTED Bytes read_bytes(std::size_t n);
 
+  /// Zero-copy variant of read_bytes: the returned view ALIASES the buffer
+  /// this reader was constructed over — it is valid only while that buffer
+  /// is, and must not be retained past it. Prefer this on hot paths where
+  /// the bytes are consumed immediately (hash, compare, re-encode).
+  DFX_TAINTED ByteView read_view(std::size_t n);
+
   /// Read a (possibly compressed) domain name; compression pointers may
   /// reference earlier message offsets only.
   std::optional<Name> read_name();
+
+  /// Zero-copy variant of read_name: label pieces alias the reader's
+  /// buffer, and the span itself lives in `arena` (valid until the arena
+  /// is reset). No per-label heap allocation is performed. Returns
+  /// nullopt (and poisons ok()) exactly when read_name would.
+  [[nodiscard]] std::optional<std::span<const std::string_view>>
+  read_name_views(WireArena& arena);
 
   void seek(std::size_t pos);
 
@@ -48,5 +89,17 @@ class WireReader {
 /// malformed data or unknown types.
 [[nodiscard]] std::optional<Rdata> rdata_from_wire(RRType type,
                                                    ByteView wire);
+
+/// One-pass canonical re-encode of an RDATA wire image: appends to `out`
+/// exactly the bytes `rdata_to_wire(*rdata_from_wire(type, wire))` would
+/// produce (embedded names decompressed and lower-cased, NSEC bitmaps
+/// re-canonicalized), without materializing an Rdata — fixed fields and
+/// opaque blobs are block-copied from `wire`. Returns false, leaving `out`
+/// untouched, exactly when rdata_from_wire returns nullopt. `type` is the
+/// raw wire TYPE: unknown values fail. This is the zero-allocation hot
+/// path the throughput bench drives; its equivalence with the owned path
+/// is pinned by differential tests over the fuzz corpus.
+[[nodiscard]] bool reencode_rdata(std::uint16_t type, ByteView wire,
+                                  Bytes& out);
 
 }  // namespace dfx::dns

@@ -2,6 +2,15 @@
 // hex (base16), base32hex (RFC 4648 §7, used by NSEC3 owner names) and
 // base64 (used by DNSKEY/RRSIG presentation).
 //
+// base32hex and base64 are table-driven and branchless per character: a
+// 256-entry inverse table maps each input byte to its value (or an
+// invalid sentinel), validity is OR-accumulated and checked once per
+// block. Decode quirks are deliberate and pinned by differential tests
+// against the previous branch-per-char implementation
+// (tests/test_codec.cpp): '=' truncates decoding mid-string, base64
+// skips ASCII whitespace, base32hex rejects it. See
+// docs/PERFORMANCE.md for where these sit on the hot paths.
+//
 // Thread-safety: all codecs are pure functions with no shared state; safe
 // to call from any number of threads concurrently.
 #pragma once

@@ -1,0 +1,28 @@
+// Fixture: view-into-temporary over WireArena locals. A view handed out
+// by an arena dies when the arena does (dnscore/arena.h "Ownership and
+// lifetime rules"); returning one from a function whose arena is a local
+// is the canonical misuse of the zero-copy parse APIs.
+#include <string_view>
+
+namespace fixture {
+
+struct WireArena {  // stand-in with the real arena's view-returning shape
+  std::string_view copy(std::string_view s) { return s; }
+};
+
+std::string_view dangling_arena_copy(std::string_view token) {
+  WireArena arena;
+  return arena.copy(token);  // line 15: view-into-temporary
+}
+
+std::string_view of_caller_arena(WireArena& arena, std::string_view token) {
+  return arena.copy(token);  // ok: the caller owns the arena
+}
+
+std::string_view suppressed_arena_copy(std::string_view token) {
+  WireArena arena;
+  // dfx-lint: allow(view-into-temporary): exercising the suppression path
+  return arena.copy(token);
+}
+
+}  // namespace fixture

@@ -1,6 +1,10 @@
 // Codec tests: RFC 4648 vectors plus property-style round-trip sweeps.
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <string>
+#include <string_view>
+
 #include "util/codec.h"
 #include "util/rng.h"
 
@@ -86,6 +90,141 @@ INSTANTIATE_TEST_SUITE_P(Sizes, CodecRoundTrip,
                          ::testing::Values(0, 1, 2, 3, 4, 5, 7, 8, 19, 20,
                                            32, 33, 63, 64, 65, 255, 256,
                                            1000));
+
+TEST(CodecRoundTripExhaustive, EveryLengthZeroTo96Inverts) {
+  // 0..96 covers every residue of the base32hex 5-byte quantum and the
+  // base64 3-byte quantum many times over — i.e. every padding length the
+  // bit-packing loops can produce. Each length gets several fills so
+  // high-bit patterns cross the group boundaries.
+  Rng rng(0x0DEC0DE);
+  for (std::size_t len = 0; len <= 96; ++len) {
+    for (int round = 0; round < 4; ++round) {
+      Bytes data(len);
+      rng.fill(data);
+      ASSERT_EQ(hex_decode(hex_encode(data)), data) << "len=" << len;
+      ASSERT_EQ(base32hex_decode(base32hex_encode(data)), data)
+          << "len=" << len;
+      ASSERT_EQ(base64_decode(base64_encode(data)), data) << "len=" << len;
+    }
+  }
+}
+
+TEST(CodecRoundTripExhaustive, EncodedLengthsMatchRfc4648Arithmetic) {
+  for (std::size_t len = 0; len <= 40; ++len) {
+    const Bytes data(len, 0xA5);
+    EXPECT_EQ(hex_encode(data).size(), len * 2);
+    // Unpadded base32hex: ceil(len * 8 / 5) digits.
+    EXPECT_EQ(base32hex_encode(data).size(), (len * 8 + 4) / 5);
+    // Padded base64: groups of 3 bytes -> 4 digits.
+    EXPECT_EQ(base64_encode(data).size(), ((len + 2) / 3) * 4);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential: the table-driven codecs against the retired branch-per-char
+// implementations, replicated here as oracles. The rewrite claims identical
+// observable behavior — including acceptance of padding, embedded
+// whitespace, and rejection of out-of-alphabet characters.
+
+namespace oracle {
+
+int base32hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'V') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'v') return c - 'a' + 10;
+  return -1;
+}
+
+int base64_value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+
+std::optional<Bytes> base32hex_decode(std::string_view text) {
+  Bytes out;
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  for (char c : text) {
+    if (c == '=') break;
+    const int v = base32hex_value(c);
+    if (v < 0) return std::nullopt;
+    buffer = (buffer << 5) | static_cast<std::uint32_t>(v);
+    bits += 5;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((buffer >> bits) & 0xFF));
+    }
+  }
+  return out;
+}
+
+std::optional<Bytes> base64_decode(std::string_view text) {
+  Bytes out;
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) continue;
+    if (c == '=') break;
+    const int v = base64_value(c);
+    if (v < 0) return std::nullopt;
+    buffer = (buffer << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((buffer >> bits) & 0xFF));
+    }
+  }
+  return out;
+}
+
+}  // namespace oracle
+
+std::string random_text(Rng& rng, std::string_view alphabet,
+                        std::size_t max_len) {
+  std::string out;
+  const std::size_t len = rng.uniform(max_len + 1);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(alphabet[rng.uniform(alphabet.size())]);
+  }
+  return out;
+}
+
+TEST(CodecDifferential, Base32HexDecodeMatchesOldImplementation) {
+  // Valid digits (both cases), padding, whitespace (rejected for b32hex),
+  // and out-of-alphabet bytes.
+  constexpr std::string_view kAlphabet =
+      "0123456789ABCDEFGHIJKLMNOPQRSTUVabcdefuv= \n-wxyzWXYZ!~";
+  Rng rng(0xB32);
+  for (int i = 0; i < 5000; ++i) {
+    const std::string text = random_text(rng, kAlphabet, 40);
+    EXPECT_EQ(base32hex_decode(text), oracle::base32hex_decode(text))
+        << "input: " << text;
+  }
+}
+
+TEST(CodecDifferential, Base64DecodeMatchesOldImplementation) {
+  constexpr std::string_view kAlphabet =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+      "+/= \t\n\r*!";
+  Rng rng(0xB64);
+  for (int i = 0; i < 5000; ++i) {
+    const std::string text = random_text(rng, kAlphabet, 40);
+    EXPECT_EQ(base64_decode(text), oracle::base64_decode(text))
+        << "input: " << text;
+  }
+}
+
+TEST(CodecDifferential, PaddingMidStringTruncatesLikeOldImplementation) {
+  // '=' stops decoding and ignores everything after — even garbage. The
+  // old loop `break`ed there; the tables must preserve that quirk.
+  EXPECT_EQ(base64_decode("Zm9v=@@@@"), oracle::base64_decode("Zm9v=@@@@"));
+  EXPECT_EQ(base32hex_decode("CO=zz"), oracle::base32hex_decode("CO=zz"));
+  EXPECT_EQ(base64_decode("="), oracle::base64_decode("="));
+}
 
 }  // namespace
 }  // namespace dfx

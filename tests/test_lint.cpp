@@ -250,6 +250,15 @@ TEST(Lint, FlagsViewsReturnedIntoLocals) {
          "be flagged";
 }
 
+TEST(Lint, FlagsArenaViewsReturnedFromLocals) {
+  // A string_view minted by a local WireArena dies with the frame exactly
+  // like a view of a local std::string (dnscore/arena.h lifetime rules).
+  const auto vs = lint_fixture("dnscore/bad_arena_view.cpp");
+  EXPECT_TRUE(has(vs, "view-into-temporary", 15));  // return local arena.copy
+  EXPECT_EQ(vs.size(), 1u)
+      << "caller-owned arenas and suppressed returns must not be flagged";
+}
+
 TEST(Lint, FlagsConcurrencyRulePackButNotWrappersOrSuppressed) {
   const auto vs = lint_fixture("bad_concurrency.cpp");
   EXPECT_TRUE(has(vs, "raw-std-mutex", 14));  // file-scope std::mutex

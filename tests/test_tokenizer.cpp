@@ -1,0 +1,179 @@
+// Tokenizer tests: lexical rules of the table-driven master-file scanner
+// (dnscore/tokenizer.h) — token splitting, comments, quoting, escapes,
+// parenthesis grouping, line accounting, and error reporting.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dnscore/tokenizer.h"
+
+namespace dfx::dns {
+namespace {
+
+struct Entry {
+  std::size_t line = 0;
+  bool leading_ws = false;
+  std::vector<std::string> fields;
+};
+
+// Drain the tokenizer; returns entries, leaves error inspection to callers.
+std::vector<Entry> lex(std::string_view text, WireArena& arena,
+                       std::optional<TokenizeError>* error_out = nullptr) {
+  MasterFileTokenizer tok(text, arena);
+  std::vector<Entry> entries;
+  MasterLine ml;
+  while (tok.next(ml)) {
+    Entry e;
+    e.line = ml.line;
+    e.leading_ws = ml.leading_ws;
+    for (const auto f : ml.fields) e.fields.emplace_back(f);
+    entries.push_back(std::move(e));
+  }
+  if (error_out != nullptr) *error_out = tok.error();
+  return entries;
+}
+
+TEST(Tokenizer, SplitsOnBlankRuns) {
+  WireArena arena;
+  const auto entries = lex("a.example.  3600\tIN   A 192.0.2.1\n", arena);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].fields,
+            (std::vector<std::string>{"a.example.", "3600", "IN", "A",
+                                      "192.0.2.1"}));
+  EXPECT_EQ(entries[0].line, 1u);
+  EXPECT_FALSE(entries[0].leading_ws);
+}
+
+TEST(Tokenizer, SkipsBlankAndCommentLines) {
+  WireArena arena;
+  const auto entries = lex(
+      "; a file header\n"
+      "\n"
+      "   \t\n"
+      "a IN A 192.0.2.1 ; trailing comment\n"
+      "; another\n"
+      "b IN A 192.0.2.2\n",
+      arena);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].fields,
+            (std::vector<std::string>{"a", "IN", "A", "192.0.2.1"}));
+  EXPECT_EQ(entries[0].line, 4u);
+  EXPECT_EQ(entries[1].line, 6u);
+}
+
+TEST(Tokenizer, LeadingWhitespaceMarksOwnerInheritance) {
+  WireArena arena;
+  const auto entries = lex("a IN A 192.0.2.1\n   IN A 192.0.2.2\n", arena);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_FALSE(entries[0].leading_ws);
+  EXPECT_TRUE(entries[1].leading_ws);
+  EXPECT_EQ(entries[1].fields,
+            (std::vector<std::string>{"IN", "A", "192.0.2.2"}));
+}
+
+TEST(Tokenizer, ParenthesesJoinPhysicalLines) {
+  WireArena arena;
+  const auto entries = lex(
+      "@ IN SOA ns1 admin (\n"
+      "      2024010101 ; serial\n"
+      "      7200 3600\n"
+      "      1209600 300 )\n"
+      "next IN A 192.0.2.9\n",
+      arena);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].fields,
+            (std::vector<std::string>{"@", "IN", "SOA", "ns1", "admin",
+                                      "2024010101", "7200", "3600", "1209600",
+                                      "300"}));
+  EXPECT_EQ(entries[0].line, 1u);  // reported at the line the entry started
+  EXPECT_EQ(entries[1].line, 5u);  // physical lines still counted inside ()
+}
+
+TEST(Tokenizer, ParenthesesActAsTokenSeparators) {
+  WireArena arena;
+  const auto entries = lex("x IN TXT (a)(b)\n", arena);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].fields,
+            (std::vector<std::string>{"x", "IN", "TXT", "a", "b"}));
+}
+
+TEST(Tokenizer, QuotedTokenKeepsQuotesAndProtectsSpecials) {
+  WireArena arena;
+  // Quotes are kept on the token (the rdata layer strips them); ';', '(',
+  // ')' and blanks inside quotes are ordinary characters.
+  const auto entries = lex("x IN TXT \"semi;colon (a) b\"\n", arena);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].fields,
+            (std::vector<std::string>{"x", "IN", "TXT",
+                                      "\"semi;colon (a) b\""}));
+}
+
+TEST(Tokenizer, EscapesInsideQuotes) {
+  WireArena arena;
+  // \" -> literal quote, \065 -> 'A', \\ -> backslash. Escaped tokens are
+  // the only ones that materialize (into the arena) — content still matches.
+  const auto entries = lex("x IN TXT \"a\\\"b\\065\\\\c\"\n", arena);
+  ASSERT_EQ(entries.size(), 1u);
+  ASSERT_EQ(entries[0].fields.size(), 4u);
+  EXPECT_EQ(entries[0].fields[3], "\"a\"bA\\c\"");
+}
+
+TEST(Tokenizer, EscapeFreeTokensAreZeroCopy) {
+  WireArena arena;
+  const std::string text = "host IN TXT \"plain\"\n";
+  MasterFileTokenizer tok(text, arena);
+  MasterLine ml;
+  ASSERT_TRUE(tok.next(ml));
+  ASSERT_EQ(ml.fields.size(), 4u);
+  // Bare and escape-free quoted tokens point into the input buffer.
+  for (const auto f : ml.fields) {
+    EXPECT_GE(f.data(), text.data());
+    EXPECT_LE(f.data() + f.size(), text.data() + text.size());
+  }
+}
+
+TEST(Tokenizer, UnterminatedQuoteEndsAtNewline) {
+  WireArena arena;
+  const auto entries = lex("x IN TXT \"open\nnext IN A 192.0.2.1\n", arena);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].fields.back(), "\"open");
+  EXPECT_EQ(entries[1].line, 2u);
+}
+
+TEST(Tokenizer, UnbalancedOpenParenErrorsAtEntryStart) {
+  WireArena arena;
+  std::optional<TokenizeError> error;
+  const auto entries = lex("@ IN SOA a b 1 2 3 4 (\n5\n", arena, &error);
+  EXPECT_TRUE(entries.empty());
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->line, 1u);
+}
+
+TEST(Tokenizer, StrayCloseParenErrors) {
+  WireArena arena;
+  std::optional<TokenizeError> error;
+  lex("a IN A 192.0.2.1\nb IN TXT )\n", arena, &error);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->line, 2u);
+}
+
+TEST(Tokenizer, LastLineWithoutNewline) {
+  WireArena arena;
+  const auto entries = lex("a IN A 192.0.2.1", arena);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].fields,
+            (std::vector<std::string>{"a", "IN", "A", "192.0.2.1"}));
+}
+
+TEST(Tokenizer, CommentInsideParensDoesNotSwallowJoin) {
+  WireArena arena;
+  const auto entries = lex("x IN TXT ( a ; comment runs to eol\n b )\n",
+                           arena);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].fields,
+            (std::vector<std::string>{"x", "IN", "TXT", "a", "b"}));
+}
+
+}  // namespace
+}  // namespace dfx::dns

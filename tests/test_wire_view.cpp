@@ -1,0 +1,700 @@
+// Zero-copy wire layer tests: WireArena lifetime rules, scan_name_pieces /
+// read_name_views vs the owned read_name, and — the load-bearing part —
+// differential equivalence of the one-pass re-encode paths against the
+// owned decode→encode composition:
+//
+//   reencode_rdata(type, wire, out)  ==  rdata_to_wire(*rdata_from_wire(...))
+//   reencode_message(wire, arena, out) == encode_message(*decode_message(...))
+//
+// with acceptance parity (fails exactly when the owned path does, leaving
+// `out` untouched) over constructed packets, an adversarial corpus, and
+// random/mutated buffers. The compression regression suite replicates the
+// retired std::map suffix-table compressor in-test and pins byte-identical
+// output from the hash-table replacement.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dnscore/message.h"
+#include "dnscore/wire.h"
+#include "util/codec.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace dfx::dns {
+namespace {
+
+Bytes random_buffer(Rng& rng, std::size_t max_size) {
+  Bytes out(rng.uniform(max_size + 1));
+  rng.fill(out);
+  return out;
+}
+
+Bytes mutate(Rng& rng, Bytes input) {
+  if (input.empty()) return input;
+  const std::size_t flips = 1 + rng.uniform(4);
+  for (std::size_t i = 0; i < flips; ++i) {
+    const std::size_t at = rng.uniform(input.size());
+    input[at] ^= static_cast<std::uint8_t>(1u << rng.uniform(8));
+  }
+  return input;
+}
+
+std::vector<std::string> to_labels(std::span<const std::string_view> views) {
+  return {views.begin(), views.end()};
+}
+
+ResourceRecord rr(const Name& owner, RRType type, Rdata rdata,
+                  std::uint32_t ttl = 3600) {
+  ResourceRecord record;
+  record.owner = owner;
+  record.type = type;
+  record.ttl = ttl;
+  record.rdata = std::move(rdata);
+  return record;
+}
+
+// A response exercising every supported RR type, shared-suffix compression
+// and EDNS — the packet shape the serving path re-encodes all day.
+Message make_rich_response(std::uint64_t seed) {
+  Rng rng(seed);
+  const Name apex = Name::of("zone" + std::to_string(seed % 7) + ".Example.");
+  const Name host = apex.child("www");
+  Message msg;
+  msg.header.id = static_cast<std::uint16_t>(rng.next_u64());
+  msg.header.qr = true;
+  msg.header.aa = true;
+  msg.header.rd = rng.chance(0.5);
+  msg.header.ad = rng.chance(0.5);
+  msg.questions.push_back(Question{host, RRType::kA, RRClass::kIN});
+
+  ARdata a;
+  rng.fill(a.address);
+  msg.answers.push_back(rr(host, RRType::kA, a));
+  AaaaRdata aaaa;
+  rng.fill(aaaa.address);
+  msg.answers.push_back(rr(host, RRType::kAAAA, aaaa));
+  msg.answers.push_back(rr(apex.child("alias"), RRType::kCNAME,
+                           CnameRdata{host}));
+  msg.answers.push_back(
+      rr(host, RRType::kMX, MxRdata{10, apex.child("mail")}));
+  TxtRdata txt;
+  txt.strings = {"v=spf1 -all", "key=" + std::to_string(rng.uniform(1000))};
+  msg.answers.push_back(rr(host, RRType::kTXT, txt));
+  RrsigRdata sig;
+  sig.type_covered = RRType::kA;
+  sig.algorithm = 13;
+  sig.labels = static_cast<std::uint8_t>(host.label_count());
+  sig.original_ttl = 3600;
+  sig.expiration = 1893456000;
+  sig.inception = 1704067200;
+  sig.key_tag = static_cast<std::uint16_t>(rng.next_u64());
+  sig.signer = apex;
+  sig.signature.resize(64);
+  rng.fill(sig.signature);
+  msg.answers.push_back(rr(host, RRType::kRRSIG, sig));
+
+  SoaRdata soa;
+  soa.mname = apex.child("ns1");
+  soa.rname = apex.child("hostmaster");
+  soa.serial = static_cast<std::uint32_t>(rng.next_u64());
+  msg.authorities.push_back(rr(apex, RRType::kSOA, soa));
+  msg.authorities.push_back(rr(apex, RRType::kNS, NsRdata{apex.child("ns1")}));
+  NsecRdata nsec;
+  nsec.next = apex.child("zzz");
+  nsec.types = {RRType::kA, RRType::kNS, RRType::kRRSIG, RRType::kNSEC};
+  msg.authorities.push_back(rr(host, RRType::kNSEC, nsec));
+  Nsec3Rdata nsec3;
+  nsec3.iterations = 5;
+  nsec3.salt = {0xAB, 0xCD};
+  nsec3.next_hashed.resize(20);
+  rng.fill(nsec3.next_hashed);
+  nsec3.types = {RRType::kA, RRType::kDNSKEY};
+  msg.authorities.push_back(rr(apex.child("hash"), RRType::kNSEC3, nsec3));
+  Nsec3ParamRdata n3p;
+  n3p.iterations = 5;
+  n3p.salt = {0xAB, 0xCD};
+  msg.authorities.push_back(rr(apex, RRType::kNSEC3PARAM, n3p));
+  DnskeyRdata key;
+  key.flags = 257;
+  key.algorithm = 13;
+  key.public_key.resize(32);
+  rng.fill(key.public_key);
+  msg.authorities.push_back(rr(apex, RRType::kDNSKEY, key));
+  DsRdata ds;
+  ds.key_tag = key.key_tag();
+  ds.algorithm = 13;
+  ds.digest.resize(32);
+  rng.fill(ds.digest);
+  msg.authorities.push_back(rr(apex, RRType::kDS, ds));
+
+  ARdata glue;
+  rng.fill(glue.address);
+  msg.additionals.push_back(rr(apex.child("ns1"), RRType::kA, glue));
+  if (rng.chance(0.8)) {
+    EdnsInfo edns;
+    edns.udp_size = 1232;
+    edns.do_bit = true;
+    if (rng.chance(0.3)) {
+      // One well-formed TLV (e.g. a cookie-shaped option).
+      append_u16(edns.options, 10);
+      append_u16(edns.options, 8);
+      for (int i = 0; i < 8; ++i) {
+        edns.options.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+      }
+    }
+    msg.edns = edns;
+  }
+  return msg;
+}
+
+// ---------------------------------------------------------------------------
+// WireArena
+
+TEST(WireArena, CopyAliasesArenaNotSource) {
+  WireArena arena;
+  std::string src = "transient";
+  const std::string_view view = arena.copy(std::string_view(src));
+  src.assign(src.size(), 'X');  // clobber the source
+  EXPECT_EQ(view, "transient");
+}
+
+TEST(WireArena, GrowthNeverMovesEarlierAllocations) {
+  WireArena arena(32);  // tiny chunks force many growths
+  std::vector<std::string_view> views;
+  for (int i = 0; i < 200; ++i) {
+    views.push_back(arena.copy(std::string_view("tok" + std::to_string(i))));
+  }
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(views[i], "tok" + std::to_string(i));
+  }
+}
+
+TEST(WireArena, ResetReclaimsCapacityWithoutFreeing) {
+  WireArena arena(64);
+  for (int i = 0; i < 50; ++i) arena.alloc(40);
+  const std::size_t cap = arena.capacity();
+  EXPECT_GT(cap, 0u);
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.capacity(), cap);  // chunks kept: steady-state footprint
+  for (int i = 0; i < 50; ++i) arena.alloc(40);
+  EXPECT_EQ(arena.capacity(), cap);  // reuse, no new chunks
+}
+
+TEST(WireArena, OversizeRequestGetsDedicatedChunk) {
+  WireArena arena(64);
+  auto big = arena.alloc(4096);
+  ASSERT_EQ(big.size(), 4096u);
+  big[0] = 1;
+  big[4095] = 2;  // whole span writable
+  EXPECT_GE(arena.capacity(), 4096u);
+}
+
+// ---------------------------------------------------------------------------
+// Name scanning
+
+TEST(ScanName, PiecesMatchOwnedReadName) {
+  // "www.Example.com" at offset 0, then a compressed reference to it.
+  Bytes wire;
+  const char* labels[] = {"www", "Example", "com"};
+  for (const char* l : labels) {
+    wire.push_back(static_cast<std::uint8_t>(std::strlen(l)));
+    append(wire, as_bytes(std::string_view(l)));
+  }
+  wire.push_back(0);
+  const std::size_t ptr_at = wire.size();
+  append_u16(wire, 0xC000);  // pointer to offset 0
+
+  for (const std::size_t start : {std::size_t{0}, ptr_at}) {
+    std::size_t pos = start;
+    std::string_view pieces[kMaxNamePieces];
+    std::size_t n = 0;
+    ASSERT_TRUE(scan_name_pieces(wire, pos, pieces, &n));
+    ASSERT_EQ(n, 3u);
+    EXPECT_EQ(pieces[0], "www");
+    EXPECT_EQ(pieces[1], "Example");  // case preserved
+    EXPECT_EQ(pieces[2], "com");
+    // The cursor advances past the first segment only.
+    EXPECT_EQ(pos, start == 0 ? ptr_at : ptr_at + 2);
+    // Zero-copy: pieces alias the wire buffer.
+    EXPECT_GE(reinterpret_cast<const std::uint8_t*>(pieces[0].data()),
+              wire.data());
+
+    WireReader r(wire);
+    r.seek(start);
+    const auto owned = r.read_name();
+    ASSERT_TRUE(owned.has_value());
+    EXPECT_EQ(owned->labels(),
+              (std::vector<std::string>{"www", "Example", "com"}));
+  }
+}
+
+TEST(ScanName, RejectsExactlyWhatReadNameRejects) {
+  const std::vector<Bytes> bad = {
+      {0xC0, 0x00},              // self-pointer loop
+      {0xC0, 0x05, 0x00},        // forward/out-of-range pointer
+      {3, 'a', 'b'},             // truncated label
+      {0x80, 0x00},              // reserved label type bits
+      {1, ' ', 0},               // forbidden character
+  };
+  for (const auto& wire : bad) {
+    std::size_t pos = 0;
+    std::string_view pieces[kMaxNamePieces];
+    std::size_t n = 0;
+    EXPECT_FALSE(scan_name_pieces(wire, pos, pieces, &n));
+    WireReader r(wire);
+    EXPECT_FALSE(r.read_name().has_value());
+  }
+  // And a name that is fine for both: lone root.
+  const Bytes root = {0};
+  std::size_t pos = 0;
+  std::string_view pieces[kMaxNamePieces];
+  std::size_t n = 7;
+  ASSERT_TRUE(scan_name_pieces(root, pos, pieces, &n));
+  EXPECT_EQ(n, 0u);
+  EXPECT_EQ(pos, 1u);
+}
+
+TEST(ScanName, ReadNameViewsAgreesWithReadNameOnPackets) {
+  Rng rng(0xDECAF);
+  for (int i = 0; i < 50; ++i) {
+    const Bytes wire = encode_message(make_rich_response(i));
+    // Walk every question/record owner via both paths.
+    WireReader owned(wire);
+    owned.seek(12);
+    WireReader viewed(wire);
+    viewed.seek(12);
+    WireArena arena;
+    for (int names = 0; names < 3; ++names) {  // qname + first two owners
+      const auto name = owned.read_name();
+      ASSERT_TRUE(name.has_value());
+      const auto views = viewed.read_name_views(arena);
+      ASSERT_TRUE(views.has_value());
+      EXPECT_EQ(to_labels(*views), name->labels());
+      EXPECT_EQ(owned.position(), viewed.position());
+      // Skip type/class (+ttl/rdata for records) identically.
+      const std::size_t skip = names == 0 ? 4 : 8;
+      owned.seek(owned.position() + skip);
+      viewed.seek(viewed.position() + skip);
+      if (names > 0) {
+        const std::uint16_t len = owned.read_u16();
+        owned.seek(owned.position() + len);
+        const std::uint16_t vlen = viewed.read_u16();
+        viewed.seek(viewed.position() + vlen);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// reencode_rdata differential
+
+const std::uint16_t kAllTypes[] = {
+    1,  2,  5,  6,  15, 16, 28, 43, 46, 47,
+    48, 50, 51, 59, 60,                       // supported set
+    0,  3,  12, 41, 99, 255, 999,             // unknown / OPT: must reject
+};
+
+void expect_rdata_parity(std::uint16_t type, ByteView wire) {
+  Bytes out = {0xEE, 0xFF};  // sentinel prefix: failure must not disturb it
+  const bool fast_ok = reencode_rdata(type, wire, out);
+  const auto owned = rdata_from_wire(static_cast<RRType>(type), wire);
+  ASSERT_EQ(fast_ok, owned.has_value())
+      << "type=" << type << " wire=" << hex_encode(wire);
+  if (!fast_ok) {
+    EXPECT_EQ(out, (Bytes{0xEE, 0xFF}));
+    return;
+  }
+  Bytes expected = {0xEE, 0xFF};
+  append(expected, rdata_to_wire(*owned));
+  EXPECT_EQ(out, expected) << "type=" << type << " wire=" << hex_encode(wire);
+}
+
+TEST(ReencodeRdata, MatchesOwnedPathOnValidRdata) {
+  for (int i = 0; i < 40; ++i) {
+    const Message msg = make_rich_response(i);
+    const auto check = [](const std::vector<ResourceRecord>& records) {
+      for (const auto& record : records) {
+        expect_rdata_parity(static_cast<std::uint16_t>(record.type),
+                            rdata_to_wire(record.rdata));
+      }
+    };
+    check(msg.answers);
+    check(msg.authorities);
+    check(msg.additionals);
+  }
+}
+
+TEST(ReencodeRdata, MatchesOwnedPathOnRandomBuffers) {
+  Rng rng(0xBEEF);
+  for (const std::uint16_t type : kAllTypes) {
+    for (int i = 0; i < 300; ++i) {
+      expect_rdata_parity(type, random_buffer(rng, 80));
+    }
+  }
+}
+
+TEST(ReencodeRdata, MatchesOwnedPathOnMutatedValidRdata) {
+  Rng rng(0xF00D);
+  const Message msg = make_rich_response(1);
+  for (const auto& record : msg.authorities) {
+    const Bytes valid = rdata_to_wire(record.rdata);
+    for (int i = 0; i < 200; ++i) {
+      expect_rdata_parity(static_cast<std::uint16_t>(record.type),
+                          mutate(rng, valid));
+    }
+  }
+}
+
+TEST(ReencodeRdata, DecompressesAndLowercasesEmbeddedNames) {
+  // An NS rdata whose wire image is "NS1.Example." written with mixed case:
+  // the re-encode must emit the canonical (lower-cased, uncompressed) form,
+  // i.e. what rdata_to_wire produces after a parse.
+  Bytes wire;
+  for (const char* l : {"NS1", "Example"}) {
+    wire.push_back(static_cast<std::uint8_t>(std::strlen(l)));
+    append(wire, as_bytes(std::string_view(l)));
+  }
+  wire.push_back(0);
+  Bytes out;
+  ASSERT_TRUE(reencode_rdata(2, wire, out));
+  Bytes expected;
+  for (const char* l : {"ns1", "example"}) {
+    expected.push_back(static_cast<std::uint8_t>(std::strlen(l)));
+    append(expected, as_bytes(std::string_view(l)));
+  }
+  expected.push_back(0);
+  EXPECT_EQ(out, expected);
+}
+
+// ---------------------------------------------------------------------------
+// parse_message_view structure
+
+TEST(ParseMessageView, ExposesThePacketZeroCopy) {
+  Message msg = make_rich_response(3);
+  msg.edns->udp_size = 4096;
+  const Bytes wire = encode_message(msg);
+  WireArena arena;
+  const auto mv = parse_message_view(wire, arena);
+  ASSERT_TRUE(mv.has_value());
+  EXPECT_EQ(mv->id, msg.header.id);
+  ASSERT_EQ(mv->questions.size(), 1u);
+  EXPECT_EQ(to_labels(mv->questions[0].qname), msg.questions[0].qname.labels());
+  EXPECT_EQ(mv->questions[0].qtype, static_cast<std::uint16_t>(RRType::kA));
+  ASSERT_EQ(mv->answers.size(), msg.answers.size());
+  ASSERT_EQ(mv->authorities.size(), msg.authorities.size());
+  ASSERT_EQ(mv->additionals.size(), msg.additionals.size());
+  for (std::size_t i = 0; i < mv->answers.size(); ++i) {
+    const RecordView& v = mv->answers[i];
+    EXPECT_EQ(v.type, static_cast<std::uint16_t>(msg.answers[i].type));
+    EXPECT_EQ(v.ttl, msg.answers[i].ttl);
+    EXPECT_EQ(to_labels(v.owner), msg.answers[i].owner.labels());
+    // The rdata view aliases the packet, not a copy.
+    EXPECT_GE(v.rdata.data(), wire.data());
+    EXPECT_LE(v.rdata.data() + v.rdata.size(), wire.data() + wire.size());
+  }
+  ASSERT_TRUE(mv->edns.has_value());
+  EXPECT_EQ(mv->edns->udp_size, 4096);
+  EXPECT_TRUE(mv->edns->do_bit);
+}
+
+TEST(ParseMessageView, RejectsStructuralGarbage) {
+  WireArena arena;
+  // Truncated header.
+  EXPECT_FALSE(parse_message_view(Bytes{0, 1, 2}, arena).has_value());
+  // Count inflation (KeyTrap-style): qd=0xFFFF over an empty body.
+  Bytes lie = encode_message(make_rich_response(0));
+  lie.resize(12);
+  lie[4] = 0xFF;
+  lie[5] = 0xFF;
+  EXPECT_FALSE(parse_message_view(lie, arena).has_value());
+  // Trailing bytes after the last section.
+  Bytes trailing = encode_message(make_rich_response(0));
+  trailing.push_back(0);
+  EXPECT_FALSE(parse_message_view(trailing, arena).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// reencode_message differential
+
+void expect_message_parity(ByteView wire, WireArena& arena) {
+  arena.reset();
+  Bytes out = {0xAB};  // sentinel: rejection must leave it untouched
+  const bool fast_ok = reencode_message(wire, arena, out);
+  const auto owned = decode_message(wire);
+  ASSERT_EQ(fast_ok, owned.has_value()) << "wire=" << hex_encode(wire);
+  if (!fast_ok) {
+    EXPECT_EQ(out, Bytes{0xAB});
+    return;
+  }
+  Bytes expected = {0xAB};
+  append(expected, encode_message(*owned));
+  EXPECT_EQ(out, expected) << "wire=" << hex_encode(wire);
+}
+
+TEST(ReencodeMessage, MatchesOwnedRoundTripOnValidPackets) {
+  WireArena arena;
+  for (int i = 0; i < 60; ++i) {
+    expect_message_parity(encode_message(make_rich_response(i)), arena);
+  }
+}
+
+TEST(ReencodeMessage, MatchesOwnedRoundTripOnAdversarialPackets) {
+  // Hand-built nasties in the spirit of test_fuzz's wire_corpus: header
+  // lies, pointer games, malformed OPT placement.
+  std::vector<Bytes> corpus;
+  const Bytes valid = encode_message(make_rich_response(5));
+
+  corpus.push_back({});                      // empty
+  corpus.push_back({0x12, 0x34});            // truncated header
+  Bytes counts = valid;
+  counts[6] = 0xFF;                          // ancount lie
+  corpus.push_back(counts);
+  Bytes z_flag = valid;
+  z_flag[3] |= 0x40;                         // Z bit set: dropped by decode
+  corpus.push_back(z_flag);
+  Bytes truncated = valid;
+  truncated.resize(valid.size() / 2);
+  corpus.push_back(truncated);
+  Bytes trailing = valid;
+  trailing.push_back(0xAA);
+  corpus.push_back(trailing);
+
+  // qname is a forward pointer (illegal: pointers are backward-only).
+  Bytes forward = {0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+                   0xC0, 0x10, 0, 1, 0, 1};
+  corpus.push_back(forward);
+  // qname is a self-loop pointer.
+  Bytes loop = {0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+                0xC0, 0x0C, 0, 1, 0, 1};
+  corpus.push_back(loop);
+  // OPT with a non-root owner (RFC 6891 violation).
+  {
+    Bytes opt = {0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1};
+    opt.push_back(1);
+    opt.push_back('x');
+    opt.push_back(0);             // owner "x."
+    append_u16(opt, kOptType);
+    append_u16(opt, 1232);        // class = udp size
+    append_u32(opt, 0);
+    append_u16(opt, 0);           // rdlength
+    corpus.push_back(opt);
+  }
+  // Two OPT records (must be unique per RFC 6891 §6.1.1).
+  {
+    Bytes two = {0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2};
+    for (int i = 0; i < 2; ++i) {
+      two.push_back(0);
+      append_u16(two, kOptType);
+      append_u16(two, 1232);
+      append_u32(two, 0);
+      append_u16(two, 0);
+    }
+    corpus.push_back(two);
+  }
+  // OPT whose options blob holds a truncated TLV.
+  {
+    Bytes tlv = {0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1};
+    tlv.push_back(0);
+    append_u16(tlv, kOptType);
+    append_u16(tlv, 1232);
+    append_u32(tlv, 0);
+    append_u16(tlv, 3);           // rdlength: half a TLV header
+    tlv.push_back(0);
+    tlv.push_back(10);
+    tlv.push_back(0);
+    corpus.push_back(tlv);
+  }
+
+  WireArena arena;
+  for (const auto& wire : corpus) expect_message_parity(wire, arena);
+}
+
+TEST(ReencodeMessage, MatchesOwnedRoundTripOnMutatedPackets) {
+  Rng rng(0xC0FFEE);
+  WireArena arena;
+  for (int seed = 0; seed < 8; ++seed) {
+    const Bytes valid = encode_message(make_rich_response(seed));
+    for (int i = 0; i < 250; ++i) {
+      expect_message_parity(mutate(rng, valid), arena);
+    }
+  }
+}
+
+TEST(ReencodeMessage, MatchesOwnedRoundTripOnRandomBuffers) {
+  Rng rng(0x5EED);
+  WireArena arena;
+  for (int i = 0; i < 2000; ++i) {
+    expect_message_parity(random_buffer(rng, 200), arena);
+  }
+}
+
+TEST(ReencodeMessage, AppendsAfterExistingOutputBytes) {
+  // The compressor must compute pointer offsets relative to the message
+  // start, not the buffer start, when out is non-empty (base_ handling).
+  const Bytes wire = encode_message(make_rich_response(9));
+  WireArena arena;
+  Bytes batched(37, 0x77);  // pretend 37 bytes of a TCP stream already out
+  ASSERT_TRUE(reencode_message(wire, arena, batched));
+  EXPECT_EQ(Bytes(batched.begin() + 37, batched.end()), wire);
+  EXPECT_EQ(Bytes(batched.begin(), batched.begin() + 37), Bytes(37, 0x77));
+}
+
+// ---------------------------------------------------------------------------
+// Compression regression: the hash-table compressor must emit bytes
+// identical to the retired std::map suffix-join implementation. The old
+// algorithm is replicated here verbatim (modulo formatting) as the oracle.
+
+class MapCompressorOracle {
+ public:
+  void write_name(Bytes& out, const Name& name) {
+    const auto& labels = name.labels();
+    for (std::size_t skip = 0; skip < labels.size(); ++skip) {
+      const std::string suffix = suffix_key(name, skip);
+      const auto it = table_.find(suffix);
+      if (it != table_.end() && it->second < 0x3FFF) {
+        emit_labels(out, name, skip);
+        append_u16(out, static_cast<std::uint16_t>(0xC000 |
+                                                   (it->second & 0x3FFF)));
+        return;
+      }
+    }
+    emit_labels(out, name, labels.size());
+    out.push_back(0);
+  }
+
+ private:
+  static std::string suffix_key(const Name& name, std::size_t skip) {
+    const auto& labels = name.labels();
+    std::vector<std::string> parts;
+    for (std::size_t i = skip; i < labels.size(); ++i) {
+      parts.push_back(to_lower(labels[i]));
+    }
+    return join(parts, ".");
+  }
+
+  void emit_labels(Bytes& out, const Name& name, std::size_t count) {
+    const auto& labels = name.labels();
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t offset = out.size();
+      if (offset < 0x3FFF) table_.emplace(suffix_key(name, i), offset);
+      out.push_back(static_cast<std::uint8_t>(labels[i].size()));
+      append(out, as_bytes(labels[i]));
+    }
+  }
+
+  std::map<std::string, std::size_t> table_;
+};
+
+// Re-encode a message with the oracle compressor: header and record bodies
+// come from encode_message's own output via decode, only the name
+// compression differs.
+Bytes encode_with_oracle(const Message& msg) {
+  Bytes out;
+  append_u16(out, msg.header.id);
+  std::uint16_t flags = 0;
+  if (msg.header.qr) flags |= 0x8000;
+  flags |= static_cast<std::uint16_t>((msg.header.opcode & 0xF) << 11);
+  if (msg.header.aa) flags |= 0x0400;
+  if (msg.header.tc) flags |= 0x0200;
+  if (msg.header.rd) flags |= 0x0100;
+  if (msg.header.ra) flags |= 0x0080;
+  if (msg.header.ad) flags |= 0x0020;
+  if (msg.header.cd) flags |= 0x0010;
+  flags |= static_cast<std::uint16_t>(msg.header.rcode) & 0xF;
+  append_u16(out, flags);
+  const std::size_t arcount =
+      msg.additionals.size() + (msg.edns.has_value() ? 1 : 0);
+  append_u16(out, static_cast<std::uint16_t>(msg.questions.size()));
+  append_u16(out, static_cast<std::uint16_t>(msg.answers.size()));
+  append_u16(out, static_cast<std::uint16_t>(msg.authorities.size()));
+  append_u16(out, static_cast<std::uint16_t>(arcount));
+
+  MapCompressorOracle comp;
+  for (const auto& q : msg.questions) {
+    comp.write_name(out, q.qname);
+    append_u16(out, static_cast<std::uint16_t>(q.qtype));
+    append_u16(out, static_cast<std::uint16_t>(q.qclass));
+  }
+  const auto write_section = [&](const std::vector<ResourceRecord>& records) {
+    for (const auto& record : records) {
+      comp.write_name(out, record.owner);
+      append_u16(out, static_cast<std::uint16_t>(record.type));
+      append_u16(out, static_cast<std::uint16_t>(record.rrclass));
+      append_u32(out, record.ttl);
+      const Bytes rdata = rdata_to_wire(record.rdata);
+      append_u16(out, static_cast<std::uint16_t>(rdata.size()));
+      append(out, rdata);
+    }
+  };
+  write_section(msg.answers);
+  write_section(msg.authorities);
+  write_section(msg.additionals);
+  if (msg.edns) {
+    out.push_back(0);
+    append_u16(out, kOptType);
+    append_u16(out, msg.edns->udp_size);
+    const std::uint32_t ttl =
+        (static_cast<std::uint32_t>(msg.edns->ext_rcode) << 24) |
+        (static_cast<std::uint32_t>(msg.edns->version) << 16) |
+        (msg.edns->do_bit ? 0x8000u : 0u);
+    append_u32(out, ttl);
+    append_u16(out, static_cast<std::uint16_t>(msg.edns->options.size()));
+    append(out, msg.edns->options);
+  }
+  return out;
+}
+
+TEST(CompressionRegression, HashCompressorMatchesMapCompressorBytes) {
+  for (int i = 0; i < 40; ++i) {
+    const Message msg = make_rich_response(i);
+    EXPECT_EQ(encode_message(msg), encode_with_oracle(msg)) << "seed=" << i;
+  }
+}
+
+TEST(CompressionRegression, MatchesOnCaseVariedSharedSuffixes) {
+  // Compression matches case-insensitively but emits original case; the
+  // two implementations must agree on which occurrence wins (first one).
+  Message msg;
+  msg.header.id = 7;
+  msg.header.qr = true;
+  const Name a = Name::of("WWW.Example.COM.");
+  const Name b = Name::of("www.example.com.");
+  const Name c = Name::of("mail.EXAMPLE.com.");
+  msg.questions.push_back(Question{a, RRType::kA, RRClass::kIN});
+  ARdata addr;
+  addr.address = {192, 0, 2, 1};
+  msg.answers.push_back(rr(b, RRType::kA, addr));
+  msg.answers.push_back(rr(c, RRType::kA, addr));
+  msg.answers.push_back(rr(a, RRType::kA, addr));
+  const Bytes got = encode_message(msg);
+  EXPECT_EQ(got, encode_with_oracle(msg));
+  // And the compressed form still decodes: owners that compressed into a
+  // pointer take the spelling of the first occurrence (the qname's case).
+  const auto back = decode_message(got);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->answers[0].owner.to_string(), a.to_string());
+  EXPECT_EQ(back->answers[2].owner.to_string(), a.to_string());
+}
+
+TEST(CompressionRegression, MatchesOnManyDistinctNames) {
+  // Enough names to force the hash table through several growth rounds.
+  Message msg;
+  msg.header.qr = true;
+  ARdata addr;
+  addr.address = {192, 0, 2, 53};
+  for (int i = 0; i < 120; ++i) {
+    const Name owner =
+        Name::of("h" + std::to_string(i) + ".z" + std::to_string(i % 13) +
+                 ".example.");
+    msg.answers.push_back(rr(owner, RRType::kA, addr));
+  }
+  EXPECT_EQ(encode_message(msg), encode_with_oracle(msg));
+}
+
+}  // namespace
+}  // namespace dfx::dns

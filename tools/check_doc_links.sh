@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Dead-link check for the docs: every relative markdown link in README.md
+# and docs/*.md must resolve to a file or directory in the tree. External
+# (http/https/mailto) and pure-anchor links are skipped; `#section`
+# fragments are stripped before the existence check. Exits non-zero listing
+# every dead link, so CI can gate on it (see .github/workflows/ci.yml).
+set -u
+
+root="${1:-.}"
+fail=0
+
+for f in "$root"/README.md "$root"/docs/*.md; do
+  [ -f "$f" ] || continue
+  dir=$(dirname "$f")
+  # Inline markdown links: the (target) half of ](target), optional title.
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path="${target%%#*}"     # drop the fragment
+    path="${path%% *}"       # drop an optional "title"
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "dead link in $f: ($target)" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed -e 's/^](//' -e 's/)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs link check failed" >&2
+fi
+exit "$fail"

@@ -1072,8 +1072,25 @@ class Linter {
   void scan_view_body(std::size_t body_open, std::size_t body_close) {
     static const std::set<std::string_view> kOwners = {
         "string", "vector", "array", "basic_string", "ostringstream", "deque"};
+    // Arena-style owners: unqualified types whose accessors hand out views
+    // that die with the owner (a local WireArena dies with the frame just
+    // like a local std::string; see dnscore/arena.h).
+    static const std::set<std::string_view> kArenaOwners = {"WireArena"};
     std::set<std::string_view> locals;
+    const auto collect_local = [&](std::size_t q) {
+      if (tok(q) == "&" || tok(q) == "*") return;  // not an owning local
+      if (tok_ident(q) &&
+          (tok(q + 1) == "=" || tok(q + 1) == "(" || tok(q + 1) == ";" ||
+           tok(q + 1) == "{" || tok(q + 1) == ",")) {
+        locals.insert(tokens_[q].text);
+      }
+    };
     for (std::size_t p = body_open + 1; p + 2 < body_close; ++p) {
+      if (tok_ident(p) && kArenaOwners.contains(tokens_[p].text) &&
+          tok(p - 1) != "::" && tok(p - 1) != "static") {
+        collect_local(p + 1);
+        continue;
+      }
       if (!tok_is(p, "std") || !tok_is(p + 1, "::")) continue;
       if (!tok_ident(p + 2) || !kOwners.contains(tokens_[p + 2].text)) continue;
       if (tok(p - 1) == "static" ||
@@ -1089,12 +1106,7 @@ class Linter {
           if (tok(q) == ">") --depth;
         }
       }
-      if (tok(q) == "&" || tok(q) == "*") continue;  // not an owning local
-      if (tok_ident(q) &&
-          (tok(q + 1) == "=" || tok(q + 1) == "(" || tok(q + 1) == ";" ||
-           tok(q + 1) == "{" || tok(q + 1) == ",")) {
-        locals.insert(tokens_[q].text);
-      }
+      collect_local(q);
     }
     if (locals.empty()) return;
     for (std::size_t p = body_open + 1; p + 1 < body_close; ++p) {
@@ -1103,9 +1115,12 @@ class Linter {
         continue;
       }
       const bool direct = tok_is(p + 2, ";");
-      const bool via_substr = tok_is(p + 2, ".") && tok_is(p + 3, "substr") &&
-                              tok_is(p + 4, "(");
-      if (!direct && !via_substr) continue;
+      // Member calls that return views of the owner's storage.
+      static const std::set<std::string_view> kViewCalls = {"substr", "copy"};
+      const bool via_call = tok_is(p + 2, ".") && tok_ident(p + 3) &&
+                            kViewCalls.contains(tokens_[p + 3].text) &&
+                            tok_is(p + 4, "(");
+      if (!direct && !via_call) continue;
       report(tok_line_index(p), "view-into-temporary",
              "returning a view of local '" + std::string(tokens_[p + 1].text) +
                  "' — the buffer dies with this frame; return an owning "
