@@ -11,6 +11,10 @@
 // full pipeline run with Options.dataflow off (the flat PR-5 engine) and
 // one with it on, asserting the flow-aware lint stays within 2x.
 //
+// The interprocedural stage times the layer on top — call graph,
+// bottom-up summaries, the three cross-call rules — and asserts it stays
+// within 2x of the flow-aware per-file lint it extends.
+//
 // Emits BENCH_lint.json via the bench_common schema; the committed record
 // lives in bench/records/.
 #include <cstdio>
@@ -23,6 +27,7 @@
 
 #include "bench_common.h"
 #include "dfixer_lint/lint_core.h"
+#include "dfixer_lint/summaries.h"
 #include "dfixer_lint/symbols.h"
 
 #ifndef DFX_REPO_ROOT
@@ -189,6 +194,45 @@ int main(int argc, char** argv) {
         .add(static_cast<std::int64_t>(dataflow_count));
   });
 
+  // Marginal cost of the interprocedural layer: build the call graph,
+  // compute every summary (including the differential taint runs) and run
+  // the three cross-call rules over the src/ set — the exact work
+  // `dfixer_lint --root .` adds on top of the per-file lint. The analyses
+  // are prepared outside the timed window so the ratio compares
+  // analysis-to-analysis, not I/O.
+  double interproc_seconds = 0.0;
+  run.stage("interprocedural", [&] {
+    std::vector<dfx::lint::FileAnalysis> fas;
+    fas.reserve(files.size());
+    for (const auto& path : files) {
+      if (auto content = read_file(path)) {
+        fas.push_back(dfx::lint::analyze_file(path, std::move(*content)));
+      }
+    }
+    dfx::lint::SymbolIndex idx;
+    std::vector<const dfx::lint::FileAnalysis*> ptrs;
+    for (const auto& fa : fas) {
+      if (fa.path.find("src/") == std::string::npos) continue;
+      idx.index_source(fa.path, fa.tokens);
+      ptrs.push_back(&fa);
+    }
+    const auto begin = std::chrono::steady_clock::now();
+    const auto pa = dfx::lint::analyze_program(std::move(ptrs), &idx);
+    const auto interproc_findings = dfx::lint::lint_interprocedural(pa);
+    interproc_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+            .count();
+    dfx::metrics::Registry::global()
+        .counter("lint.bench.callgraph_nodes")
+        .add(static_cast<std::int64_t>(pa.graph.nodes().size()));
+    dfx::metrics::Registry::global()
+        .counter("lint.bench.lock_edges")
+        .add(static_cast<std::int64_t>(pa.lock_edges.size()));
+    dfx::metrics::Registry::global()
+        .counter("lint.bench.interproc_findings")
+        .add(static_cast<std::int64_t>(interproc_findings.size()));
+  });
+
   auto& registry = dfx::metrics::Registry::global();
   registry.counter("lint.files").add(static_cast<std::int64_t>(files.size()));
   registry.counter("lint.findings.total")
@@ -219,6 +263,11 @@ int main(int argc, char** argv) {
               "(ratio %.2f, limit 2.00)\n",
               flat_seconds, dataflow_seconds,
               flat_seconds > 0.0 ? dataflow_seconds / flat_seconds : 0.0);
+  std::printf("bench_lint: interprocedural pass %.3fs vs flow-aware lint "
+              "%.3fs (ratio %.2f, limit 2.00)\n",
+              interproc_seconds, dataflow_seconds,
+              dataflow_seconds > 0.0 ? interproc_seconds / dataflow_seconds
+                                     : 0.0);
 
   if (std::getenv("DFX_LINT_NO_ASSERT") == nullptr &&
       naive_seconds <= shared_seconds) {
@@ -234,6 +283,14 @@ int main(int argc, char** argv) {
                  "bench_lint: FAIL: cfg+dataflow lint (%.3fs) exceeds 2x the "
                  "flat engine (%.3fs)\n",
                  dataflow_seconds, flat_seconds);
+    return 1;
+  }
+  if (std::getenv("DFX_LINT_NO_ASSERT") == nullptr &&
+      interproc_seconds > 2.0 * dataflow_seconds) {
+    std::fprintf(stderr,
+                 "bench_lint: FAIL: interprocedural pass (%.3fs) exceeds 2x "
+                 "the flow-aware lint (%.3fs)\n",
+                 interproc_seconds, dataflow_seconds);
     return 1;
   }
 

@@ -96,6 +96,9 @@ const zone::Zone* AuthServer::best_zone_for(const dns::Name& qname,
   return best;
 }
 
+// Hot by name collision with ZoneStore::query; this is the reference
+// zone walk the answer cache fronts — it only runs on cache misses.
+// dfx-lint: allow(hot-path-cost): cache-miss reference path, results cached.
 QueryResult AuthServer::query(const dns::Name& qname,
                               dns::RRType qtype) const {
   QueryResult result;

@@ -77,6 +77,7 @@ class AuthServer {
 
   /// Answer from one specific hosted zone (the parent-side view a prober
   /// gets from servers that are authoritative only for the parent).
+  DFX_COLD("the full zone walk only runs on answer-cache misses; its results are cached")
   QueryResult query_in_zone(const dns::Name& zone_apex, const dns::Name& qname,
                             dns::RRType qtype) const;
 

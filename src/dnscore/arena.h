@@ -109,6 +109,10 @@ class WireArena {
     std::size_t size = 0;
   };
 
+  // Chunk refill is amortized away: reset() retains the chunks, so a
+  // steady-state packet loop reuses warmed capacity and never reaches the
+  // make_unique branch below.
+  DFX_COLD("chunk refill is amortized; reset() retains chunks, steady-state never allocates")
   void* raw_alloc(std::size_t n, std::size_t align) {
     DFX_DCHECK(align != 0 && (align & (align - 1)) == 0);
     live_ += n;

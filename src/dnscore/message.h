@@ -143,6 +143,7 @@ struct MessageView {
 /// the one acceptance difference — a message with, say, a 3-octet A record
 /// parses here and only fails at re-encode). No per-record heap
 /// allocation: all arrays come from `arena`.
+DFX_HOT_PATH
 [[nodiscard]] std::optional<MessageView> parse_message_view(ByteView wire,
                                                             WireArena& arena);
 
@@ -156,6 +157,7 @@ struct MessageView {
 /// callers reusing one arena across packets should reset it between them.
 /// Equivalence with the owned path is pinned by differential tests over
 /// the fuzz corpus; this is the path `bench_wire_throughput` measures.
+DFX_HOT_PATH
 [[nodiscard]] bool reencode_message(ByteView wire, WireArena& arena,
                                     Bytes& out);
 

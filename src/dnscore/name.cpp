@@ -120,12 +120,21 @@ bool Name::is_subdomain_of(const Name& ancestor) const {
 }
 
 Name Name::common_ancestor(const Name& other) const {
+  // `other` may be an NSEC next name straight off the wire (negative-cache
+  // synthesis); parse() caps any name at 127 labels, re-asserted here since
+  // the label counts below drive the suffix walk.
+  DFX_DCHECK(other.label_count() <= 127);
   Name out;
   std::size_t i = labels_.size();
   std::size_t j = other.labels_.size();
   std::vector<std::string> shared;
+  // Both operands may carry wire-derived label counts (NSEC next names in
+  // the negative cache); RFC 1035 caps a name at 127 labels, so the walk is
+  // bounded independent of either input.
+  DFX_BOUNDED_LOOP(guard, 128);
   while (i > 0 && j > 0 &&
          compare_labels_folded(labels_[i - 1], other.labels_[j - 1]) == 0) {
+    guard.tick();
     shared.push_back(labels_[i - 1]);
     --i;
     --j;

@@ -110,6 +110,9 @@ std::string_view MasterFileTokenizer::scan_quoted_token() {
   return arena_.copy(std::string_view(built));
 }
 
+// fields_ is per-tokenizer scratch whose capacity is retained across
+// lines; only escaped tokens reach the (arena) copy path.
+// dfx-lint: allow(hot-path-cost): amortized scratch-vector growth.
 bool MasterFileTokenizer::next(MasterLine& out) {
   if (error_.has_value()) return false;
   while (pos_ < text_.size()) {

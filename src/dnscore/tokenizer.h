@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "dnscore/arena.h"
+#include "util/check.hpp"
 
 namespace dfx::dns {
 
@@ -63,6 +64,7 @@ class MasterFileTokenizer {
 
   /// Advance to the next non-empty logical line. Returns false at end of
   /// input or on error — distinguish via error().
+  DFX_HOT_PATH
   bool next(MasterLine& out);
 
   const std::optional<TokenizeError>& error() const { return error_; }

@@ -68,6 +68,7 @@ class WireReader {
 
   /// Read a (possibly compressed) domain name; compression pointers may
   /// reference earlier message offsets only.
+  DFX_COLD("owned Name construction is the cache-miss path; hits key on raw wire bytes")
   std::optional<Name> read_name();
 
   /// Zero-copy variant of read_name: label pieces alias the reader's

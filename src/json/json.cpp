@@ -19,6 +19,9 @@ double Value::as_double() const {
   throw std::runtime_error("json: not a number");
 }
 
+// Hot by name collision with ZoneStore::find; JSON never runs on the
+// serve path (config load and result emission only).
+// dfx-lint: allow(hot-path-cost): offline JSON layer, not the serve path.
 const Value* Value::find(std::string_view key) const {
   if (!is_object()) return nullptr;
   const auto& obj = as_object();

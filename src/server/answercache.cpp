@@ -85,36 +85,38 @@ std::size_t shard_index(std::string_view key) {
 }
 }  // namespace
 
-std::optional<AnswerBody> AnswerCache::lookup(const std::string& key) const {
+std::shared_ptr<const AnswerBody> AnswerCache::lookup(
+    std::string_view key) const {
   const std::uint64_t now = epoch();
   const Shard& shard = shards_[shard_index(key)];
   const MutexLock lock(shard.mu);
   const auto it = shard.map.find(key);
   if (it == shard.map.end() || it->second.epoch != now) {
     misses_.add();
-    return std::nullopt;
+    return nullptr;
   }
   hits_.add();
-  return it->second.body;
+  return it->second.body;  // refcount bump only, no body copy
 }
 
-void AnswerCache::insert(std::string key, AnswerBody body,
+void AnswerCache::insert(std::string_view key, AnswerBody body,
                          std::uint64_t epoch) {
   // A producer that read the store before a swap must not poison the cache
   // with pre-swap data stamped fresh.
   if (epoch != this->epoch()) return;
+  auto owned = std::make_shared<const AnswerBody>(std::move(body));
   Shard& shard = shards_[shard_index(key)];
   const MutexLock lock(shard.mu);
   const auto it = shard.map.find(key);
   if (it != shard.map.end()) {
-    it->second = Entry{epoch, std::move(body)};
+    it->second = Entry{epoch, std::move(owned)};
   } else {
     if (shard.map.size() >= max_entries_per_shard_) {
       // O(1) pseudo-random victim: whatever the bucket order puts first.
       shard.map.erase(shard.map.begin());
       evictions_.add();
     }
-    shard.map.emplace(std::move(key), Entry{epoch, std::move(body)});
+    shard.map.emplace(std::string(key), Entry{epoch, std::move(owned)});
   }
   inserts_.add();
 }

@@ -34,8 +34,10 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -44,6 +46,7 @@
 #include "dnscore/rdata.h"
 #include "dnscore/rr.h"
 #include "util/bytes.h"
+#include "util/check.hpp"
 #include "util/metrics.h"
 #include "util/thread_annotations.h"
 
@@ -87,27 +90,35 @@ class AnswerCache {
 
   /// Cache key: canonical (lower-cased) qname wire form, big-endian
   /// QTYPE, one DO byte. The frontend builds the identical byte string
-  /// inline while scanning the question, so the hit path never has to
-  /// construct a Name.
+  /// inline (on the stack) while scanning the question, so the hit path
+  /// never has to construct a Name — or heap-allocate the key.
   static std::string key_of(const dns::Name& qname, dns::RRType qtype,
                             bool do_bit);
 
-  std::optional<AnswerBody> lookup(const std::string& key) const;
+  /// Shared ownership of the resident body: a hit hands back a pointer
+  /// into the cache (no body copy); the entry stays alive even if it is
+  /// evicted while the caller assembles the response.
+  DFX_HOT_PATH
+  std::shared_ptr<const AnswerBody> lookup(std::string_view key) const;
 
   /// Insert an entry computed under `epoch` (captured before the producer
-  /// read the zone store). Dropped when the epoch has moved on.
-  void insert(std::string key, AnswerBody body, std::uint64_t epoch);
+  /// read the zone store). Dropped when the epoch has moved on. The owned
+  /// key string is built here, off the hit path.
+  DFX_COLD("cache fill runs on the miss path only")
+  void insert(std::string_view key, AnswerBody body, std::uint64_t epoch);
 
   // ---- Aggressive negative tier (RFC 8198) ----
 
   /// Harvest the SOA and NSEC/NSEC3 proof blocks from a slow-path answer
   /// for a query under `apex`.
+  DFX_COLD("proof harvesting follows a slow-path zone walk")
   void observe(const dns::Name& apex, const authserver::QueryResult& result,
                std::uint64_t epoch) DFX_EXCLUDES(neg_mu_);
 
   /// Try to synthesize the answer for (qname, qtype) under `apex` from
   /// harvested proofs. Returns an answer *identical* to what the zone walk
   /// would produce, or nullopt when that cannot be guaranteed.
+  DFX_COLD("aggressive synthesis only runs after a packet-tier miss")
   std::optional<authserver::QueryResult> synthesize(
       const dns::Name& apex, const dns::Name& qname, dns::RRType qtype,
       std::uint64_t epoch) const DFX_EXCLUDES(neg_mu_);
@@ -119,12 +130,22 @@ class AnswerCache {
  private:
   struct Entry {
     std::uint64_t epoch = 0;
-    AnswerBody body;
+    std::shared_ptr<const AnswerBody> body;
+  };
+
+  /// Transparent hash so the frontend's stack-built key (a string_view)
+  /// probes the map without constructing a std::string first.
+  struct KeyHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view key) const noexcept {
+      return std::hash<std::string_view>{}(key);
+    }
   };
 
   struct Shard {
     mutable Mutex mu;
-    std::unordered_map<std::string, Entry> map DFX_GUARDED_BY(mu);
+    std::unordered_map<std::string, Entry, KeyHash, std::equal_to<>> map
+        DFX_GUARDED_BY(mu);
   };
 
   /// One harvested proof block: the authority-section records exactly as

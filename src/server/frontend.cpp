@@ -1,8 +1,10 @@
 #include "server/frontend.h"
 
 #include <algorithm>
+#include <array>
 #include <cctype>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -128,6 +130,8 @@ AnswerBody WireFrontend::build_body(const dns::Question& question,
   return body;
 }
 
+// The one reserve()-sized output buffer IS the response datagram.
+// dfx-lint: allow(hot-path-cost): unavoidable per-packet output allocation.
 Bytes WireFrontend::assemble(std::uint16_t id, bool rd, bool cd,
                              ByteView question_wire, const AnswerBody& body,
                              const std::optional<dns::EdnsInfo>& request_edns,
@@ -205,8 +209,11 @@ Bytes WireFrontend::serve(DFX_TAINTED ByteView query) const {
 
   // --- Question scan. One pass builds the cache key (canonical wire
   // form) without constructing a Name; the raw bytes double as the echo.
-  std::string key;
-  key.reserve(48);
+  // The key lives on the stack — canonical qname wire form (<= 255
+  // octets) + 2 QTYPE octets + 1 DO octet — so the hit path never touches
+  // the heap for it.
+  std::array<char, 260> kbuf;
+  std::size_t klen = 0;
   std::size_t pos = 12;
   {
     DFX_BOUNDED_LOOP(guard, 130);
@@ -218,7 +225,7 @@ Bytes WireFrontend::serve(DFX_TAINTED ByteView query) const {
       }
       const std::uint8_t len = query[pos];
       if (len == 0) {
-        key.push_back('\0');
+        kbuf[klen++] = '\0';
         ++pos;
         break;
       }
@@ -231,9 +238,12 @@ Bytes WireFrontend::serve(DFX_TAINTED ByteView query) const {
         errors_.add();
         return header_only(id, 0, rd, cd, dns::RCode::kFormErr);
       }
-      key.push_back(static_cast<char>(len));
+      // klen mirrors (pos - 12), which the length check above keeps
+      // under 255 — the 260-byte buffer cannot overflow.
+      DFX_DCHECK(klen + 1 + len < kbuf.size());
+      kbuf[klen++] = static_cast<char>(len);
       for (std::size_t i = pos + 1; i <= pos + len; ++i) {
-        key.push_back(fold(query[i]));
+        kbuf[klen++] = fold(query[i]);
       }
       pos += 1 + static_cast<std::size_t>(len);
     }
@@ -285,9 +295,10 @@ Bytes WireFrontend::serve(DFX_TAINTED ByteView query) const {
           if (op + olen > end) return false;
           op += olen;
         }
-        info.options.assign(query.begin() + static_cast<std::ptrdiff_t>(pos),
-                            query.begin() + static_cast<std::ptrdiff_t>(end));
-        edns = std::move(info);
+        // The option payload is validated (above) but never re-emitted —
+        // assemble() answers with an empty option list — so it is not
+        // copied out of the datagram.
+        edns = info;
       }
       pos += rdlen;
     }
@@ -313,13 +324,14 @@ Bytes WireFrontend::serve(DFX_TAINTED ByteView query) const {
 
   const bool do_bit = edns.has_value() && edns->do_bit;
   const auto qtype = static_cast<dns::RRType>(qtype_raw);
-  key.push_back(static_cast<char>(qtype_raw >> 8));
-  key.push_back(static_cast<char>(qtype_raw & 0xFF));
-  key.push_back(do_bit ? '\1' : '\0');
+  kbuf[klen++] = static_cast<char>(qtype_raw >> 8);
+  kbuf[klen++] = static_cast<char>(qtype_raw & 0xFF);
+  kbuf[klen++] = do_bit ? '\1' : '\0';
+  const std::string_view key(kbuf.data(), klen);
 
   const std::uint64_t epoch = cache_ != nullptr ? cache_->epoch() : 0;
   if (cache_ != nullptr) {
-    if (auto body = cache_->lookup(key)) {
+    if (const auto body = cache_->lookup(key)) {
       return assemble(id, rd, cd, question_wire, *body, edns);
     }
   }
@@ -334,7 +346,7 @@ Bytes WireFrontend::serve(DFX_TAINTED ByteView query) const {
   if (!qname.has_value()) {
     errors_.add();
     AnswerBody refused = rcode_only_body(dns::RCode::kRefused);
-    if (cache_ != nullptr) cache_->insert(std::move(key), refused, epoch);
+    if (cache_ != nullptr) cache_->insert(key, refused, epoch);
     return assemble(id, rd, cd, question_wire, refused, edns);
   }
   const dns::Question question{*std::move(qname), qtype, dns::RRClass::kIN};
@@ -343,17 +355,17 @@ Bytes WireFrontend::serve(DFX_TAINTED ByteView query) const {
   if (const auto view = store_.find(question.qname, question.qtype)) {
     std::optional<authserver::QueryResult> result;
     if (cache_ != nullptr && options_.aggressive) {
-      result = cache_->synthesize(view->apex, question.qname, question.qtype,
+      result = cache_->synthesize(*view->apex, question.qname, question.qtype,
                                   epoch);
     }
     if (!result) {
       result = view->snapshot->server.query_in_zone(
-          view->apex, question.qname, question.qtype);
-      if (cache_ != nullptr) cache_->observe(view->apex, *result, epoch);
+          *view->apex, question.qname, question.qtype);
+      if (cache_ != nullptr) cache_->observe(*view->apex, *result, epoch);
     }
     body = build_body(question, *result, do_bit);
   }
-  if (cache_ != nullptr) cache_->insert(std::move(key), body, epoch);
+  if (cache_ != nullptr) cache_->insert(key, body, epoch);
   return assemble(id, rd, cd, question_wire, body, edns);
 }
 

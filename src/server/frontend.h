@@ -65,12 +65,14 @@ class WireFrontend {
   /// Serve one datagram. Empty result = drop (short packet or QR set).
   /// The buffer is a raw attacker-controlled datagram; every length and
   /// count read out of it must be bounds-checked before use.
+  DFX_HOT_PATH
   Bytes serve(DFX_TAINTED ByteView query) const;
 
   const Options& options() const { return options_; }
 
  private:
   /// Encoded record sections of a full answer, DO-filtered.
+  DFX_COLD("body construction follows a cache miss and a zone walk")
   AnswerBody build_body(const dns::Question& question,
                         const authserver::QueryResult& result,
                         bool do_bit) const;
@@ -78,12 +80,14 @@ class WireFrontend {
   /// Header + question echo + body + OPT, with TC truncation against the
   /// client's buffer size. `question_wire` is the raw 5+-byte question
   /// section from the query (original spelling, no compression).
+  DFX_HOT_PATH
   Bytes assemble(std::uint16_t id, bool rd, bool cd, ByteView question_wire,
                  const AnswerBody& body,
                  const std::optional<dns::EdnsInfo>& request_edns,
                  std::uint8_t ext_rcode = 0) const;
 
   /// 12-byte header-only error (no question could be echoed).
+  DFX_COLD("header-only responses are error paths (short/NOTIMP/FORMERR)")
   static Bytes header_only(std::uint16_t id, std::uint8_t opcode, bool rd,
                            bool cd, dns::RCode rcode);
 

@@ -20,18 +20,23 @@ std::size_t ZoneStore::shard_of(const dns::Name& apex) {
   return dns::NameHash{}(apex) & (kShards - 1);
 }
 
+// The ancestor walk copies one Name per candidate label (parent() rebuilds
+// the label vector); a non-owning NameView walk is tracked in ROADMAP.md.
+// dfx-lint: allow(hot-path-cost): bounded ancestor-walk Name copies (above).
 std::optional<ZoneStore::ZoneView> ZoneStore::find(const dns::Name& qname,
                                                    dns::RRType qtype) const {
   // Walk the ancestor chain deepest-first. Each candidate costs one atomic
   // snapshot load plus one map lookup in its shard; a name has at most 127
   // labels, so the walk is strictly bounded.
-  const auto lookup =
+  const auto shard_probe =
       [&](const dns::Name& apex) -> std::optional<ZoneView> {
     auto snapshot =
         shards_[shard_of(apex)].load(std::memory_order_acquire);
     const zone::Zone* zone = snapshot->server.zone_data(apex);
     if (zone == nullptr) return std::nullopt;
-    return ZoneView{std::move(snapshot), zone, apex};
+    // The view's apex aliases the snapshot's own copy — the shared_ptr in
+    // the view keeps it alive, so no Name is copied per query.
+    return ZoneView{std::move(snapshot), zone, &zone->apex()};
   };
 
   dns::Name candidate = qname;
@@ -39,7 +44,7 @@ std::optional<ZoneStore::ZoneView> ZoneStore::find(const dns::Name& qname,
   DFX_BOUNDED_LOOP(guard, 128);
   while (true) {
     guard.tick();
-    if (auto view = lookup(candidate)) {
+    if (auto view = shard_probe(candidate)) {
       best = std::move(view);
       break;
     }
@@ -50,13 +55,13 @@ std::optional<ZoneStore::ZoneView> ZoneStore::find(const dns::Name& qname,
   // Apex DS questions belong to the parent side of the cut: fall through
   // to the next enclosing hosted zone when one exists (authserver's
   // best_zone_for applies the same rule).
-  if (qtype == dns::RRType::kDS && best->apex == qname &&
+  if (qtype == dns::RRType::kDS && *best->apex == qname &&
       !qname.is_root()) {
     dns::Name parent = qname.parent();
     DFX_BOUNDED_LOOP(parent_guard, 128);
     while (true) {
       parent_guard.tick();
-      if (auto view = lookup(parent)) return view;
+      if (auto view = shard_probe(parent)) return view;
       if (parent.is_root()) break;
       parent = parent.parent();
     }
@@ -68,9 +73,9 @@ std::optional<std::pair<dns::Name, authserver::QueryResult>> ZoneStore::query(
     const dns::Name& qname, dns::RRType qtype) const {
   auto view = find(qname, qtype);
   if (!view) return std::nullopt;
-  return std::make_pair(view->apex,
+  return std::make_pair(*view->apex,
                         view->snapshot->server.query_in_zone(
-                            view->apex, qname, qtype));
+                            *view->apex, qname, qtype));
 }
 
 void ZoneStore::publish_shard(std::size_t shard) {

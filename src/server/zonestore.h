@@ -33,6 +33,7 @@
 #include "authserver/authserver.h"
 #include "dnscore/name.h"
 #include "dnscore/rr.h"
+#include "util/check.hpp"
 #include "util/thread_annotations.h"
 #include "zone/zone.h"
 
@@ -56,21 +57,24 @@ class ZoneStore {
   // ---- Query path (lock-free) ----
 
   /// A zone resolved for one query. `snapshot` keeps the compiled shard
-  /// alive for as long as the caller holds the view.
+  /// alive for as long as the caller holds the view; `apex` points into
+  /// that snapshot (no per-query Name copy) and shares its lifetime.
   struct ZoneView {
     std::shared_ptr<const ShardSnapshot> snapshot;
     const zone::Zone* zone = nullptr;
-    dns::Name apex;
+    const dns::Name* apex = nullptr;
   };
 
   /// Deepest hosted zone whose apex is an ancestor of `qname`, with the
   /// parent-side override for apex DS queries (a DS question at a hosted
   /// apex is served by the enclosing zone when that zone is hosted too).
   /// nullopt when no hosted zone covers `qname` (the caller REFUSEs).
+  DFX_HOT_PATH
   std::optional<ZoneView> find(const dns::Name& qname,
                                dns::RRType qtype) const;
 
   /// Full authoritative answer: find() + the AuthServer answer logic.
+  DFX_HOT_PATH
   std::optional<std::pair<dns::Name, authserver::QueryResult>> query(
       const dns::Name& qname, dns::RRType qtype) const;
 

@@ -108,3 +108,26 @@ class LoopBound {
 // a loop; the `unchecked-taint-flow` rule enforces this.
 #define DFX_TAINTED
 #define DFX_TAINT_PASSTHROUGH
+
+// Hot-path cost annotations for dfixer_lint's interprocedural pass
+// (docs/STATIC_ANALYSIS.md, "Interprocedural analysis"). Both expand to
+// nothing — they only exist for the analyzer.
+//
+//   DFX_HOT_PATH       on a function declaration: the function sits on the
+//                      packet-serving fast path. The `hot-path-cost` rule
+//                      rejects it when it — or anything it transitively
+//                      calls — may allocate, acquire a writer mutex, or
+//                      throw.
+//   DFX_COLD(reason)   on a function declaration: exempt the function (and
+//                      everything it calls) from hot-path cost accounting.
+//                      Use it for genuinely cold branches reachable from a
+//                      hot function (cache-miss/error paths) or for audited
+//                      inherent costs. The reason must be a string literal;
+//                      a DFX_COLD with no reason is itself a
+//                      `hot-path-cost` violation.
+//
+// Inherent costs inside a DFX_HOT_PATH function's own body (e.g. the one
+// output-buffer allocation of an encoder) are waived with a
+// `// dfx-lint: allow(hot-path-cost): reason` comment on the definition.
+#define DFX_HOT_PATH
+#define DFX_COLD(reason)

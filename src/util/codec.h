@@ -20,6 +20,7 @@
 #include <string_view>
 
 #include "util/bytes.h"
+#include "util/check.hpp"
 
 namespace dfx {
 
@@ -32,15 +33,19 @@ std::string hex_encode(ByteView data);
 [[nodiscard]] std::optional<Bytes> hex_decode(std::string_view text);
 
 /// Base32hex without padding, upper-case, as used for NSEC3 owner labels.
+DFX_HOT_PATH
 std::string base32hex_encode(ByteView data);
 
 /// Decode base32hex (case-insensitive, no padding required).
+DFX_HOT_PATH
 [[nodiscard]] std::optional<Bytes> base32hex_decode(std::string_view text);
 
 /// Standard base64 with padding.
+DFX_HOT_PATH
 std::string base64_encode(ByteView data);
 
 /// Decode base64; whitespace is skipped, padding optional.
+DFX_HOT_PATH
 [[nodiscard]] std::optional<Bytes> base64_decode(std::string_view text);
 
 }  // namespace dfx

@@ -1,5 +1,7 @@
 #include "zone/zone.h"
 
+#include "util/check.hpp"
+
 namespace dfx::zone {
 
 void Zone::add(const dns::ResourceRecord& record) {
@@ -8,6 +10,10 @@ void Zone::add(const dns::ResourceRecord& record) {
 
 void Zone::add(const dns::Name& owner, dns::RRType type, std::uint32_t ttl,
                dns::Rdata rdata) {
+  // Zone contents originate in untrusted masterfiles/wire transfers; assert
+  // the RFC 1035 name bound at the mutation boundary so an oversized owner
+  // cannot enter the store.
+  DFX_DCHECK(owner.wire_length() <= 255);
   auto& by_type = records_[owner];
   auto it = by_type.find(type);
   if (it == by_type.end()) {

@@ -1,0 +1,63 @@
+// Fixture: static-lock-cycle. Two code paths acquiring the same member
+// mutexes in opposite orders form a cycle in the static lock-order graph —
+// a deadlock waiting for the right interleaving, reported without running
+// anything. One cycle is closed purely in-body, one through a call edge.
+// The Consistent struct is the guarded twin: same mutexes, one order.
+
+namespace fixture {
+
+struct Inverted {
+  Mutex a_mu_;
+  Mutex b_mu_;
+  void forward();
+  void backward();
+};
+
+void Inverted::forward() {
+  MutexLock a(a_mu_);
+  MutexLock b(b_mu_);  // edge Inverted::a_mu_ -> Inverted::b_mu_
+}
+
+void Inverted::backward() {
+  MutexLock b(b_mu_);
+  MutexLock a(a_mu_);  // edge Inverted::b_mu_ -> Inverted::a_mu_: cycle
+}
+
+struct ViaCall {
+  Mutex front_mu_;
+  Mutex back_mu_;
+  void lock_back();
+  void front_then_back();
+  void back_then_front();
+};
+
+void ViaCall::lock_back() { MutexLock b(back_mu_); }
+
+void ViaCall::front_then_back() {
+  MutexLock f(front_mu_);
+  lock_back();  // call-induced edge ViaCall::front_mu_ -> ViaCall::back_mu_
+}
+
+void ViaCall::back_then_front() {
+  MutexLock b(back_mu_);
+  MutexLock f(front_mu_);  // closes the cycle against the call edge
+}
+
+struct Consistent {
+  Mutex a_mu_;
+  Mutex b_mu_;
+  void one();
+  void two();
+};
+
+void Consistent::one() {
+  MutexLock a(a_mu_);
+  MutexLock b(b_mu_);  // ok: same order everywhere
+}
+
+void Consistent::two() {
+  MutexLock a(a_mu_);
+  MutexLock b(b_mu_);  // ok
+}
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// Fixture: template angle brackets must balance. `foo<Bar<int>>(box)`
+// lexes its `>>` as one shift token; the lexer re-splits it into two
+// closers so brace/angle depth tracking and call-site resolution survive
+// nested template-argument lists. This file must produce ZERO findings,
+// and the call graph must resolve every call below.
+#include <vector>
+
+namespace fixture {
+
+template <typename T>
+struct Bar {
+  T value;
+};
+
+template <typename T>
+int foo(const T& box) {
+  return static_cast<int>(box.value.value);
+}
+
+int use_nested(const Bar<Bar<int>>& box) {
+  return foo<Bar<int>>(box);  // explicit nested template args on a call
+}
+
+std::vector<std::vector<int>> make_matrix(std::size_t n) {
+  std::vector<std::vector<int>> m;
+  m.resize(n);
+  return m;
+}
+
+int sum_matrix(const std::vector<std::vector<int>>& m) {
+  int total = 0;
+  for (const std::vector<int>& row : m) {
+    for (const int v : row) total += v;
+  }
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,42 @@
+// Fixture: interprocedural-taint-flow. Lives under a server/ path, so the
+// taint pack applies. Flows here exist only ACROSS call boundaries: a
+// helper's parameter reaches a sink inside the callee, or a helper's
+// return value is wire-derived — the intraprocedural rule sees nothing,
+// the summary-enriched config does. Guarded twins stay quiet.
+#include <vector>
+
+namespace fixture {
+
+DFX_TAINTED unsigned short wire_len();  // source declared in-file
+
+// Its parameter sizes an allocation with no check: the summary records
+// param 'n' -> sink, and callers become responsible for the bound.
+void fill(std::vector<unsigned char>& buf, unsigned short n) {
+  buf.resize(n);
+}
+
+void caller_bad(std::vector<unsigned char>& buf) {
+  fill(buf, wire_len());  // finding: tainted arg reaches a sink in fill()
+}
+
+void caller_guarded(std::vector<unsigned char>& buf) {
+  const unsigned short n = wire_len();
+  DFX_CHECK(n < 512);
+  fill(buf, n);  // ok: checked before the call boundary
+}
+
+// Return-taint composition: the helper's return value is wire-derived, so
+// the caller's index is tainted even though the caller never reads wire.
+unsigned short peek_len() { return wire_len(); }
+
+void return_flow_bad(std::vector<unsigned char>& buf) {
+  buf[peek_len()] = 0;  // finding: helper return is wire-derived
+}
+
+void return_flow_guarded(std::vector<unsigned char>& buf) {
+  const unsigned short n = peek_len();
+  if (n >= buf.size()) return;
+  buf[n] = 0;  // ok: the bound test guards the fall-through edge
+}
+
+}  // namespace fixture

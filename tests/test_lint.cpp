@@ -410,6 +410,44 @@ TEST(Lint, ExpandedRootCoversBenchExamplesTestsAndTools) {
       << "tests/lint_fixtures must stay excluded from the sweep";
 }
 
+TEST(Lint, TemplateAngleFixtureStaysCleanUnderEveryRule) {
+  // Satellite pin for the lexer's template-closer split: nested
+  // template-argument lists must not derail brace/angle tracking into
+  // phantom findings (interprocedural coverage lives in test_callgraph).
+  EXPECT_TRUE(lint_fixture("interproc/good_templates.cpp").empty());
+}
+
+TEST(Lint, BinaryRunsInterproceduralRulesOnExplicitFiles) {
+  // Each seeded fixture must fail the run with its rule named in the
+  // report; --no-interprocedural must silence exactly these rules.
+  const struct {
+    const char* fixture;
+    const char* rule;
+  } kCases[] = {
+      {"interproc/bad_hot_path.cpp", "hot-path-cost"},
+      {"server/bad_interproc_taint.cpp", "interprocedural-taint-flow"},
+      {"interproc/bad_lock_cycle.cpp", "static-lock-cycle"},
+  };
+  namespace fs = std::filesystem;
+  for (const auto& c : kCases) {
+    const fs::path out_path =
+        fs::temp_directory_path() / "dfx_lint_interproc_out.txt";
+    const std::string base = std::string(DFX_LINT_BIN) + " --root " +
+                             DFX_REPO_ROOT + " " + fixture_path(c.fixture);
+    int status = std::system((base + " > " + out_path.string()).c_str());
+    ASSERT_NE(status, -1);
+    EXPECT_NE(status, 0) << c.fixture << " must fail the run";
+    EXPECT_NE(read_file(out_path.string()).find(c.rule), std::string::npos)
+        << c.fixture << " must report " << c.rule;
+    status = std::system(
+        (base + " --no-interprocedural > " + out_path.string()).c_str());
+    ASSERT_NE(status, -1);
+    EXPECT_EQ(read_file(out_path.string()).find(c.rule), std::string::npos)
+        << "--no-interprocedural must silence " << c.rule;
+    fs::remove(out_path);
+  }
+}
+
 TEST(Lint, BinaryExitsNonzeroOnFixtureViolations) {
   const std::string cmd = std::string(DFX_LINT_BIN) + " --root " +
                           DFX_REPO_ROOT + " " +

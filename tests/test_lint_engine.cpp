@@ -54,6 +54,21 @@ TEST(Lexer, ScopeSeparatorAndCompoundPunctuatorsAreSingleTokens) {
                                       "...", "e", "->*", "f"}));
 }
 
+TEST(Lexer, TemplateClosersSplitButShiftOperatorsSurvive) {
+  // `foo<Bar<T>>(x)` must lex its `>>` as two template closers so angle
+  // depth balances at the call paren ...
+  const auto toks = dfx::lint::lex("foo<Bar<T>>(x);");
+  EXPECT_EQ(token_texts(toks),
+            (std::vector<std::string>{"foo", "<", "Bar", "<", "T", ">", ">",
+                                      "(", "x", ")", ";"}));
+  // ... while a genuine right-shift (no `ident <` opener shape) stays one
+  // token, as does `>>=`.
+  const auto shift = dfx::lint::lex("a = b >> 2; a >>= c;");
+  EXPECT_EQ(token_texts(shift),
+            (std::vector<std::string>{"a", "=", "b", ">>", "2", ";", "a",
+                                      ">>=", "c", ";"}));
+}
+
 TEST(Lexer, TracksLineNumbersAcrossCommentsAndLiterals) {
   const auto toks = dfx::lint::lex(
       "int a; // trailing comment\n"

@@ -335,10 +335,9 @@ TEST(WireFrontend, CacheKeyOfMatchesFrontendInlineKey) {
   // The frontend built its key inline from raw bytes; key_of builds it from
   // the parsed Name. Both must address the same entry.
   const std::string key = AnswerCache::key_of(qname, RRType::kA, true);
-  EXPECT_TRUE(f.cache.lookup(key).has_value());
-  EXPECT_FALSE(
-      f.cache.lookup(AnswerCache::key_of(qname, RRType::kA, false))
-          .has_value());
+  EXPECT_TRUE(f.cache.lookup(key) != nullptr);
+  EXPECT_FALSE(f.cache.lookup(AnswerCache::key_of(qname, RRType::kA,
+                                              false)) != nullptr);
 }
 
 // ---------------------------------------------------------------------------
@@ -617,9 +616,9 @@ TEST(AnswerCacheTest, StaleEpochInsertsAreDropped) {
   const std::uint64_t old_epoch = cache.epoch();
   cache.invalidate_all();
   cache.insert("key", body, old_epoch);  // producer raced a reload
-  EXPECT_FALSE(cache.lookup("key").has_value());
+  EXPECT_FALSE(cache.lookup("key") != nullptr);
   cache.insert("key", body, cache.epoch());
-  EXPECT_TRUE(cache.lookup("key").has_value());
+  EXPECT_TRUE(cache.lookup("key") != nullptr);
 }
 
 TEST(AnswerCacheTest, EvictsWhenShardIsFull) {
@@ -688,10 +687,10 @@ TEST(ZoneStoreTest, FindPicksDeepestEnclosingZone) {
   Fixture f;
   const auto view = f.store.find(f.apex.child("www"), RRType::kA);
   ASSERT_TRUE(view.has_value());
-  EXPECT_EQ(view->apex, f.apex);
+  EXPECT_EQ(*view->apex, f.apex);
   const auto parent_view = f.store.find(Name::of("other.test."), RRType::kA);
   ASSERT_TRUE(parent_view.has_value());
-  EXPECT_EQ(parent_view->apex, f.parent_apex);
+  EXPECT_EQ(*parent_view->apex, f.parent_apex);
   EXPECT_FALSE(
       f.store.find(Name::of("unrelated.example."), RRType::kA).has_value());
 }
@@ -700,15 +699,15 @@ TEST(ZoneStoreTest, ApexDsRedirectsToParentOnlyWhenParentHosted) {
   Fixture f;
   const auto ds_view = f.store.find(f.apex, RRType::kDS);
   ASSERT_TRUE(ds_view.has_value());
-  EXPECT_EQ(ds_view->apex, f.parent_apex);
+  EXPECT_EQ(*ds_view->apex, f.parent_apex);
   // Any other apex qtype stays with the child zone.
   const auto soa_view = f.store.find(f.apex, RRType::kSOA);
   ASSERT_TRUE(soa_view.has_value());
-  EXPECT_EQ(soa_view->apex, f.apex);
+  EXPECT_EQ(*soa_view->apex, f.apex);
   // DS at the parent's own apex: no grandparent hosted, stays put.
   const auto top_view = f.store.find(f.parent_apex, RRType::kDS);
   ASSERT_TRUE(top_view.has_value());
-  EXPECT_EQ(top_view->apex, f.parent_apex);
+  EXPECT_EQ(*top_view->apex, f.parent_apex);
 }
 
 TEST(ZoneStoreTest, RemoveDropsZoneAndBumpsGeneration) {
@@ -721,7 +720,7 @@ TEST(ZoneStoreTest, RemoveDropsZoneAndBumpsGeneration) {
   // Queries below the removed apex now fall to the hosted parent.
   const auto view = f.store.find(f.apex.child("www"), RRType::kA);
   ASSERT_TRUE(view.has_value());
-  EXPECT_EQ(view->apex, f.parent_apex);
+  EXPECT_EQ(*view->apex, f.parent_apex);
   const auto msg = f.serve_decoded(
       f.query_bytes(f.apex.child("www"), RRType::kA));
   EXPECT_FALSE(msg.header.aa);  // delegation from the parent, not REFUSED
@@ -787,7 +786,7 @@ TEST(QueryResultToMessage, RoundTripsThroughWireCodec) {
     const auto view = f.store.find(qname, qtype);
     ASSERT_TRUE(view.has_value());
     const auto result =
-        view->snapshot->server.query_in_zone(view->apex, qname, qtype);
+        view->snapshot->server.query_in_zone(*view->apex, qname, qtype);
     const dns::Question question{qname, qtype, dns::RRClass::kIN};
     const dns::Message msg = result.to_message(question, 0xABCD);
     EXPECT_EQ(msg.header.id, 0xABCD);

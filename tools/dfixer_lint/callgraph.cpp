@@ -1,0 +1,339 @@
+#include "dfixer_lint/callgraph.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace dfx::lint {
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// Names that look like calls in the token stream but are not: control flow,
+/// operators-with-parens, contract macros, casts and function-style casts on
+/// builtins. DFX_* macros are skipped by prefix in addition to this set.
+bool is_non_call_name(std::string_view w) {
+  static const std::set<std::string_view> kSkip = {
+      "if",          "for",        "while",    "switch",     "return",
+      "sizeof",      "alignof",    "decltype", "static_assert",
+      "catch",       "new",        "delete",   "throw",      "co_await",
+      "co_return",   "co_yield",   "noexcept", "alignas",    "typeid",
+      "assert",      "defined",    "case",     "else",       "do",
+      "goto",        "asm",        "operator", "static_cast",
+      "dynamic_cast","reinterpret_cast",       "const_cast",
+      // function-style casts / value-init on builtins
+      "int",         "char",       "bool",     "float",      "double",
+      "long",        "short",      "unsigned", "signed",     "void",
+      "auto",        "size_t",     "ssize_t",  "ptrdiff_t",  "uintptr_t",
+      "uint8_t",     "uint16_t",   "uint32_t", "uint64_t",   "int8_t",
+      "int16_t",     "int32_t",    "int64_t",
+  };
+  return w.starts_with("DFX_") || kSkip.count(w) != 0;
+}
+
+/// Keywords after which `ident (` IS a call even though the previous token
+/// is an identifier (`return helper(x)` vs the declaration `Type name(x)`).
+bool is_call_prefix_keyword(std::string_view w) {
+  return w == "return" || w == "throw" || w == "else" || w == "do" ||
+         w == "co_return" || w == "co_await" || w == "co_yield" ||
+         w == "case" || w == "new" || w == "and" || w == "or" || w == "not";
+}
+
+std::size_t match_paren_like(const std::vector<Token>& toks, std::size_t open,
+                             std::size_t limit) {
+  const std::string_view o = toks[open].text;
+  const std::string_view c = o == "(" ? ")" : o == "[" ? "]" : "}";
+  int depth = 0;
+  for (std::size_t j = open; j < limit; ++j) {
+    if (toks[j].text == o) ++depth;
+    if (toks[j].text == c && --depth == 0) return j;
+  }
+  return kNone;
+}
+
+/// When toks[open] is the `<` of a template-argument list that closes and is
+/// directly followed by `(`, return the index of that `(`; kNone otherwise.
+/// Mirrors the lexer's split_template_closers whitelist so `foo<Bar<T>>(x)`
+/// (already split into two `>` tokens) resolves as a call to foo.
+std::size_t angle_call_paren(const std::vector<Token>& toks, std::size_t open,
+                             std::size_t limit) {
+  int depth = 0;
+  const std::size_t scan_limit = std::min(limit, open + 128);
+  for (std::size_t j = open; j < scan_limit; ++j) {
+    const Token& t = toks[j];
+    const std::string_view x = t.text;
+    if (x == "<") {
+      ++depth;
+      continue;
+    }
+    if (x == ">") {
+      if (--depth == 0) {
+        return j + 1 < limit && toks[j + 1].text == "(" ? j + 1 : kNone;
+      }
+      continue;
+    }
+    if (t.kind == Tok::kIdent || t.kind == Tok::kNumber) continue;
+    if (x == "::" || x == "," || x == "*" || x == "&" || x == "&&" ||
+        x == "...") {
+      continue;
+    }
+    if (x == "(" || x == "[") {
+      const std::size_t close = match_paren_like(toks, j, scan_limit);
+      if (close == kNone) return kNone;
+      j = close;
+      continue;
+    }
+    return kNone;  // not a template-argument shape (comparison, shift, ...)
+  }
+  return kNone;
+}
+
+/// Collect the `A::B::` chain directly before the token at `name_tok`.
+/// Returns the joined qualifier and sets `*chain_start` to the index of the
+/// chain's first token (== name_tok when there is no qualifier).
+std::string back_walk_qualifier(const std::vector<Token>& toks,
+                                std::size_t name_tok,
+                                std::size_t* chain_start) {
+  std::vector<std::string_view> parts;
+  std::size_t i = name_tok;
+  while (i >= 2 && toks[i - 1].text == "::" &&
+         toks[i - 2].kind == Tok::kIdent) {
+    parts.push_back(toks[i - 2].text);
+    i -= 2;
+  }
+  if (chain_start != nullptr) *chain_start = i;
+  std::string q;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    if (!q.empty()) q += "::";
+    q += *it;
+  }
+  return q;
+}
+
+std::string_view last_component(std::string_view qual) {
+  const std::size_t pos = qual.rfind("::");
+  return pos == std::string_view::npos ? qual : qual.substr(pos + 2);
+}
+
+/// Does the qualifier spelled at a call site plausibly name the definition's
+/// enclosing scope? Component-suffix and last-component matches both count —
+/// the index has no namespace resolution, so this errs toward matching.
+bool qualifier_matches(const std::string& node_qual,
+                       const std::string& call_qual) {
+  if (call_qual.empty()) return true;
+  if (node_qual.empty()) return false;
+  if (node_qual == call_qual) return true;
+  if (node_qual.size() > call_qual.size() &&
+      node_qual.ends_with("::" + call_qual)) {
+    return true;
+  }
+  if (call_qual.size() > node_qual.size() &&
+      call_qual.ends_with("::" + node_qual)) {
+    return true;
+  }
+  return last_component(node_qual) == last_component(call_qual);
+}
+
+}  // namespace
+
+CallGraph CallGraph::build(std::vector<const FileAnalysis*> files) {
+  CallGraph g;
+  g.files_ = std::move(files);
+  g.cfgs_.reserve(g.files_.size());
+
+  // Pass 1: one node per named function definition.
+  for (std::size_t fi = 0; fi < g.files_.size(); ++fi) {
+    const FileAnalysis& fa = *g.files_[fi];
+    g.cfgs_.push_back(build_cfgs(fa.tokens));
+    const std::vector<Cfg>& cfgs = g.cfgs_.back();
+    for (std::size_t ci = 0; ci < cfgs.size(); ++ci) {
+      const Cfg& cfg = cfgs[ci];
+      if (cfg.name == "<lambda>" || cfg.name.empty()) continue;
+      CgNode n;
+      n.name = cfg.name;
+      n.file = fa.path;
+      n.file_index = fi;
+      n.cfg_index = ci;
+      // The declared name sits two tokens before the parameter range (the
+      // `(` is at params_begin - 1). Specializations and exotic headers can
+      // break that; fall back to an unqualified node at the body line.
+      const std::size_t name_tok =
+          cfg.params_begin >= 2 ? cfg.params_begin - 2 : kNone;
+      if (name_tok != kNone && name_tok < fa.tokens.size() &&
+          fa.tokens[name_tok].text == cfg.name) {
+        n.qualifier = back_walk_qualifier(fa.tokens, name_tok, nullptr);
+        n.line = fa.tokens[name_tok].line;
+      } else if (cfg.body_open < fa.tokens.size()) {
+        n.line = fa.tokens[cfg.body_open].line;
+      }
+      g.by_name_[n.name].push_back(g.nodes_.size());
+      g.nodes_.push_back(std::move(n));
+    }
+  }
+
+  // Pass 2: call sites. Lambda bodies are scanned as part of the enclosing
+  // named function (they have no node of their own), so a helper called
+  // from inside a lambda still charges the enclosing function — the
+  // conservative direction for every summary.
+  for (CgNode& n : g.nodes_) {
+    const FileAnalysis& fa = *g.files_[n.file_index];
+    const std::vector<Token>& toks = fa.tokens;
+    const Cfg& cfg = g.cfgs_[n.file_index][n.cfg_index];
+    const std::size_t end = std::min(cfg.body_close, toks.size());
+    for (std::size_t i = cfg.body_open + 1; i < end; ++i) {
+      if (toks[i].kind != Tok::kIdent) continue;
+      const std::string_view w = toks[i].text;
+      if (is_non_call_name(w)) continue;
+      std::size_t paren = kNone;
+      if (i + 1 < end && toks[i + 1].text == "(") {
+        paren = i + 1;
+      } else if (i + 1 < end && toks[i + 1].text == "<") {
+        paren = angle_call_paren(toks, i + 1, end);
+      }
+      if (paren == kNone) continue;
+      std::size_t chain_start = i;
+      std::string qualifier = back_walk_qualifier(toks, i, &chain_start);
+      // Declaration shape `Type name(...)`: the token before the whole
+      // qualified name is another identifier (or a template closer) — the
+      // type — unless it is a keyword that introduces an expression.
+      if (chain_start > 0) {
+        const Token& prev = toks[chain_start - 1];
+        if (prev.text == ">") continue;
+        if (prev.kind == Tok::kIdent && !is_call_prefix_keyword(prev.text)) {
+          continue;
+        }
+      }
+      CgCall call;
+      call.name = std::string(w);
+      call.qualifier = std::move(qualifier);
+      call.token = i;
+      call.line = toks[i].line;
+      const auto it = g.by_name_.find(w);
+      if (it != g.by_name_.end()) {
+        for (std::size_t cand : it->second) {
+          if (qualifier_matches(g.nodes_[cand].qualifier, call.qualifier)) {
+            call.callees.push_back(cand);
+          }
+        }
+        // A qualifier that matched nothing (aliased namespace, base class)
+        // falls back to every definition of the name — over-approximate.
+        if (call.callees.empty()) call.callees = it->second;
+      }
+      call.external = call.callees.empty();
+      n.calls.push_back(std::move(call));
+      i = paren;  // resume after the callee name; arguments get their own scan
+    }
+  }
+  return g;
+}
+
+std::vector<std::size_t> CallGraph::find(std::string_view name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? std::vector<std::size_t>{} : it->second;
+}
+
+std::vector<std::string> CallGraph::externals() const {
+  std::set<std::string> names;
+  for (const CgNode& n : nodes_) {
+    for (const CgCall& c : n.calls) {
+      if (c.external) {
+        names.insert(c.qualifier.empty() ? c.name
+                                         : c.qualifier + "::" + c.name);
+      }
+    }
+  }
+  return {names.begin(), names.end()};
+}
+
+std::vector<std::vector<std::size_t>> CallGraph::sccs() const {
+  const std::size_t n = nodes_.size();
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::set<std::size_t> outs;
+    for (const CgCall& c : nodes_[i].calls) {
+      outs.insert(c.callees.begin(), c.callees.end());
+    }
+    adj[i].assign(outs.begin(), outs.end());
+  }
+  // Iterative Tarjan. SCCs pop callees-first: a successor's component is
+  // complete before the caller's root finishes — exactly the bottom-up
+  // order the summary fixpoint wants.
+  std::vector<std::size_t> index(n, kNone);
+  std::vector<std::size_t> low(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<std::size_t> stack;
+  std::vector<std::vector<std::size_t>> out;
+  std::size_t counter = 0;
+  struct Frame {
+    std::size_t v;
+    std::size_t child;
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != kNone) continue;
+    std::vector<Frame> frames = {{root, 0}};
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const std::size_t v = f.v;
+      if (f.child == 0 && index[v] == kNone) {
+        index[v] = low[v] = counter++;
+        stack.push_back(v);
+        on_stack[v] = 1;
+      }
+      bool descended = false;
+      while (f.child < adj[v].size()) {
+        const std::size_t w = adj[v][f.child++];
+        if (index[w] == kNone) {
+          frames.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w] != 0) low[v] = std::min(low[v], index[w]);
+      }
+      if (descended) continue;
+      if (low[v] == index[v]) {
+        std::vector<std::size_t> comp;
+        for (;;) {
+          const std::size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          comp.push_back(w);
+          if (w == v) break;
+        }
+        out.push_back(std::move(comp));
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+      }
+    }
+  }
+  return out;
+}
+
+std::string CallGraph::dump() const {
+  std::string out;
+  for (const CgNode& n : nodes_) {
+    out += n.qualified();
+    out += " (" + n.file + ":" + std::to_string(n.line) + ")\n";
+    for (const CgCall& c : n.calls) {
+      out += "  -> ";
+      if (c.external) {
+        out += "[extern] ";
+        out += c.qualifier.empty() ? c.name : c.qualifier + "::" + c.name;
+      } else {
+        for (std::size_t k = 0; k < c.callees.size(); ++k) {
+          if (k != 0) out += ", ";
+          out += nodes_[c.callees[k]].qualified();
+        }
+      }
+      out += " @" + std::to_string(c.line) + "\n";
+    }
+  }
+  const std::vector<std::string> ext = externals();
+  out += "externals (" + std::to_string(ext.size()) + "):";
+  for (const std::string& e : ext) out += " " + e;
+  out += "\n";
+  return out;
+}
+
+}  // namespace dfx::lint

@@ -1,0 +1,94 @@
+// Program-wide call graph for dfixer_lint's interprocedural pass. Nodes are
+// function DEFINITIONS (one per CFG built from the analyzed files, qualified
+// by back-walking `Class::` / `ns::` pairs before the name token); edges are
+// call sites resolved from the token stream against the definition set, with
+// method calls matched by qualified-name heuristics and everything else —
+// std::, libc, system headers — recorded as unresolved externals so the
+// summary layer can model them conservatively.
+//
+// Like the rest of the linter this is name-based: no types, no overload
+// resolution. When several definitions share an unqualified name, a call
+// resolves to ALL of them unless the call spells a qualifier that narrows
+// the candidate set — over-approximating the edge set, which keeps the
+// effect/taint summaries sound-per-model at the cost of precision.
+// docs/STATIC_ANALYSIS.md ("Interprocedural analysis") documents the
+// envelope.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dfixer_lint/cfg.h"
+#include "dfixer_lint/lint_core.h"
+
+namespace dfx::lint {
+
+/// One call site inside a node's body.
+struct CgCall {
+  std::string name;       // unqualified callee name as spelled
+  std::string qualifier;  // `A::B` in `A::B::f(...)`, empty for plain calls
+  std::size_t token = 0;  // token index of the callee name
+  std::size_t line = 0;   // 1-based source line of the call
+  std::vector<std::size_t> callees;  // resolved node ids (possibly many)
+  bool external = false;  // no definition matched (std::, libc, ...)
+};
+
+/// One function definition. `cfg_index` points into the owning file's CFG
+/// list so the summary layer can re-run dataflow over the body.
+struct CgNode {
+  std::string name;        // unqualified
+  std::string qualifier;   // enclosing `Class`/`ns` chain, "" for free fns
+  std::string file;        // path of the defining file
+  std::size_t line = 0;    // 1-based line of the name token
+  std::size_t file_index = 0;  // into CallGraph::files()
+  std::size_t cfg_index = 0;   // into cfgs_for(file_index)
+  std::vector<CgCall> calls;   // call sites in body order
+
+  std::string qualified() const {
+    return qualifier.empty() ? name : qualifier + "::" + name;
+  }
+};
+
+class CallGraph {
+ public:
+  /// Build the graph over every function definition in `files`. The
+  /// FileAnalysis pointers must outlive the CallGraph — nodes keep indices
+  /// into them and the summary layer re-reads their token streams.
+  static CallGraph build(std::vector<const FileAnalysis*> files);
+
+  const std::vector<CgNode>& nodes() const { return nodes_; }
+  const std::vector<const FileAnalysis*>& files() const { return files_; }
+  const std::vector<Cfg>& cfgs_for(std::size_t file_index) const {
+    return cfgs_[file_index];
+  }
+  const Cfg& cfg_of(const CgNode& n) const {
+    return cfgs_[n.file_index][n.cfg_index];
+  }
+
+  /// Node ids defining unqualified `name` (empty when none).
+  std::vector<std::size_t> find(std::string_view name) const;
+
+  /// Every distinct external (unresolved) callee name, sorted.
+  std::vector<std::string> externals() const;
+
+  /// Strongly connected components in bottom-up (callees-first) order —
+  /// the traversal order for summary fixpoints. Each component lists node
+  /// ids; recursion cycles land in one component.
+  std::vector<std::vector<std::size_t>> sccs() const;
+
+  /// Human-readable dump for --callgraph-dump: one line per node with its
+  /// resolved and external callees, then the external-name inventory.
+  std::string dump() const;
+
+ private:
+  std::vector<const FileAnalysis*> files_;
+  std::vector<std::vector<Cfg>> cfgs_;  // parallel to files_
+  std::vector<CgNode> nodes_;
+  std::map<std::string, std::vector<std::size_t>, std::less<>> by_name_;
+};
+
+}  // namespace dfx::lint

@@ -215,6 +215,10 @@ struct TaintDomain {
       }
       b = comma + 1;
     }
+    // Interprocedural per-parameter summary runs seed one extra name.
+    for (const std::string& seed : config.seed_params) {
+      s[seed] = Taint::kTainted;
+    }
     return s;
   }
 
@@ -249,6 +253,27 @@ struct TaintDomain {
                         eval(colon + 1, e, s, names));
       }
     }
+    // `a & mask` / `a % mod`: an untainted operand bounds the result — the
+    // hash-to-shard idiom `hash(key) & (kShards - 1)` yields a checked
+    // value, not raw wire data. Only binary uses count (the token before
+    // the operator must end a value); both-sides-tainted falls through.
+    for (const std::string_view op : {std::string_view("&"),
+                                      std::string_view("%")}) {
+      const std::size_t at = find_top(t, b, e, op);
+      if (at == kNone || at <= b || at + 1 >= e) continue;
+      const Token& prev = t[at - 1];
+      const bool binary = prev.kind == Tok::kIdent ||
+                          prev.kind == Tok::kNumber || prev.text == ")" ||
+                          prev.text == "]";
+      if (!binary) continue;
+      const Taint lhs = eval(b, at, s, nullptr);
+      const Taint rhs = eval(at + 1, e, s, nullptr);
+      if (lhs == Taint::kUntainted || rhs == Taint::kUntainted) {
+        const Taint hi = std::max(lhs, rhs);
+        return hi == Taint::kTainted ? Taint::kChecked : hi;
+      }
+      break;
+    }
     for (std::size_t j = b; j < e; ++j) {
       if (t[j].kind != Tok::kIdent) continue;
       const std::string_view w = t[j].text;
@@ -275,6 +300,14 @@ struct TaintDomain {
           const std::size_t close = match_bracket(t, j + 1, t.size());
           const std::size_t lim = close == kNone ? e : std::min(close, e);
           result = std::max(result, eval(j + 2, lim, s, names));
+          if (close != kNone && close < e) j = close;
+          continue;
+        }
+        if (config.neutral_calls.contains(w)) {
+          // Summaries prove this call's result is clean regardless of its
+          // arguments (sinks INSIDE it are the callee's own findings, or
+          // sink_params at the call site) — skip the whole call expression.
+          const std::size_t close = match_bracket(t, j + 1, t.size());
           if (close != kNone && close < e) j = close;
           continue;
         }
@@ -540,7 +573,14 @@ bool has_dominating_guard(const Cfg& cfg, const std::vector<Token>& tokens,
 std::vector<TaintFinding> find_taint_flows(
     const Cfg& cfg, const std::vector<Token>& tokens, const TaintConfig& config,
     const std::vector<std::pair<std::size_t, std::size_t>>& holes) {
-  std::vector<TaintFinding> out;
+  return analyze_taint(cfg, tokens, config, holes).findings;
+}
+
+TaintAnalysis analyze_taint(
+    const Cfg& cfg, const std::vector<Token>& tokens, const TaintConfig& config,
+    const std::vector<std::pair<std::size_t, std::size_t>>& holes) {
+  TaintAnalysis result_out;
+  std::vector<TaintFinding>& out = result_out.findings;
   const TaintDomain dom{tokens, config};
   const ForwardResult<TaintDomain> result = solve_forward(cfg, dom);
   const std::vector<char> reach = reachable_blocks(cfg);
@@ -555,6 +595,13 @@ std::vector<TaintFinding> find_taint_flows(
   const auto scan_stmt = [&](const CfgStmt& st, const TaintState& s) {
     const std::size_t b = st.begin;
     const std::size_t e = std::min(st.end, tokens.size());
+    // Return-taint observation for the interprocedural summaries: a
+    // reachable `return expr;` whose expression is kTainted makes the
+    // function a taint source / passthrough for its callers.
+    if (!result_out.returns_tainted && b < e && tokens[b].text == "return" &&
+        !in_hole(b) && dom.eval(b + 1, e, s, nullptr) == Taint::kTainted) {
+      result_out.returns_tainted = true;
+    }
     if (st.kind == StmtKind::kLoopCond && !in_hole(b)) {
       // A loop whose trip count depends on unchecked wire data must sit
       // under DFX_BOUNDED_LOOP (or check the value first).
@@ -618,6 +665,45 @@ std::vector<TaintFinding> find_taint_flows(
           }
           continue;
         }
+        if (call && !config.sink_params.empty()) {
+          // Interprocedural sink: the callee's summary says some argument
+          // position reaches a sink inside its body. Split the argument list
+          // at top-level commas (a sentinel comma at the close paren flushes
+          // the final argument) and evaluate the flagged positions.
+          const auto sp = config.sink_params.find(w);
+          if (sp != config.sink_params.end()) {
+            const std::size_t close =
+                match_bracket(tokens, j + 1, tokens.size());
+            const std::size_t lim = close == kNone ? e : std::min(close, e);
+            std::size_t arg_begin = j + 2;
+            std::size_t arg_index = 0;
+            int depth = 0;
+            for (std::size_t k = j + 2; k <= lim && arg_begin < lim; ++k) {
+              const std::string_view x = k < lim ? tokens[k].text : ",";
+              if (k < lim && is_open(x)) {
+                ++depth;
+                continue;
+              }
+              if (k < lim && is_close(x)) {
+                --depth;
+                continue;
+              }
+              if (depth != 0 || x != ",") continue;
+              if (arg_index < sp->second.size() && sp->second[arg_index]) {
+                std::vector<std::string_view> names;
+                if (dom.eval(arg_begin, k, s, &names) == Taint::kTainted) {
+                  out.push_back({j, "call-arg:" + std::string(w),
+                                 join_names(std::move(names))});
+                }
+              }
+              arg_begin = k + 1;
+              ++arg_index;
+            }
+            // Do NOT skip the interior: nested index/resize sinks inside the
+            // argument expressions still deserve their own findings.
+            continue;
+          }
+        }
         continue;
       }
       if (w != "[" || j == 0) continue;
@@ -647,7 +733,7 @@ std::vector<TaintFinding> find_taint_flows(
       dom.transfer_stmt(st, s);
     }
   }
-  return out;
+  return result_out;
 }
 
 }  // namespace dfx::lint

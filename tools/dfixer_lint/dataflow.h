@@ -132,12 +132,26 @@ struct TaintConfig {
   /// Calls that forward taint from their arguments to their result
   /// (DFX_TAINT_PASSTHROUGH functions).
   std::set<std::string, std::less<>> passthrough_calls;
+  /// Extra variable names seeded kTainted at function entry — the
+  /// interprocedural layer's per-parameter summary runs (summaries.cpp)
+  /// seed one parameter at a time and diff the findings.
+  std::set<std::string, std::less<>> seed_params;
+  /// Callee name -> per-argument "this argument reaches a sink inside the
+  /// callee" flags, from interprocedural summaries. Passing a kTainted
+  /// value in such a position is itself a sink ("call-arg:<callee>").
+  std::map<std::string, std::vector<bool>, std::less<>> sink_params;
+  /// Calls whose summaries prove the result is clean regardless of the
+  /// arguments (no param-to-return flow, untainted return). Expression
+  /// evaluation skips the whole call — unknown calls, by contrast, are
+  /// conservatively treated as passing taint through their arguments.
+  std::set<std::string, std::less<>> neutral_calls;
 };
 
 struct TaintFinding {
   std::size_t token = 0;  // token index of the sink
   std::string sink;       // "index" | "resize" | "reserve" |
-                          // "memcpy-length" | "loop-bound"
+                          // "memcpy-length" | "loop-bound" |
+                          // "call-arg:<callee>"
   std::string vars;       // comma-joined tainted identifiers at the sink
 };
 
@@ -145,6 +159,17 @@ struct TaintFinding {
 /// while scanning for sinks — the bodies of nested lambdas/functions, which
 /// get their own Cfg and would otherwise be scanned with the wrong state.
 std::vector<TaintFinding> find_taint_flows(
+    const Cfg& cfg, const std::vector<Token>& tokens, const TaintConfig& config,
+    const std::vector<std::pair<std::size_t, std::size_t>>& holes = {});
+
+/// find_taint_flows plus the observation the interprocedural summaries
+/// need: does some reachable `return expr;` evaluate kTainted?
+struct TaintAnalysis {
+  std::vector<TaintFinding> findings;
+  bool returns_tainted = false;
+};
+
+TaintAnalysis analyze_taint(
     const Cfg& cfg, const std::vector<Token>& tokens, const TaintConfig& config,
     const std::vector<std::pair<std::size_t, std::size_t>>& holes = {});
 

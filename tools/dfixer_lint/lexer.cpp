@@ -1,5 +1,6 @@
 #include "dfixer_lint/lexer.h"
 
+#include <algorithm>
 #include <cctype>
 #include <string>
 
@@ -22,6 +23,102 @@ constexpr std::string_view kPunct3[] = {"<<=", ">>=", "...", "->*"};
 constexpr std::string_view kPunct2[] = {
     "::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=",
     "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "##"};
+
+bool is_group_open(std::string_view s) { return s == "(" || s == "["; }
+
+/// Index of the token closing the group opened at `open` (parens/brackets,
+/// braces included once inside), or `limit` when unbalanced.
+std::size_t match_group(const std::vector<Token>& toks, std::size_t open,
+                        std::size_t limit) {
+  int depth = 0;
+  for (std::size_t j = open; j < limit; ++j) {
+    const std::string_view s = toks[j].text;
+    if (s == "(" || s == "[" || s == "{") ++depth;
+    if (s == ")" || s == "]" || s == "}") {
+      if (--depth == 0) return j;
+      if (depth < 0) return limit;
+    }
+  }
+  return limit;
+}
+
+/// Re-balance template angle brackets: `foo<Bar<T>>(x)` lexes the `>>` as
+/// one right-shift token, which blinds every downstream consumer that
+/// counts angle depth (call-site resolution in callgraph.cpp most of all).
+/// This pass splits a `>>` into two `>` tokens when it provably closes two
+/// template argument lists: the scan starts at an `ident <` pair and only
+/// commits if the region balances to depth zero using nothing but tokens
+/// that can appear in a template argument list (identifiers, numbers, `::`,
+/// `,`, `*`, `&`, `&&`, `...`, and balanced ()/[] groups). Anything else —
+/// an operator, a semicolon, a brace — aborts the scan, so genuine shift
+/// expressions (`a << b`, `cin >> x`) are never touched. The only way to
+/// fool it is a chained comparison with two unmatched `<` before a shift
+/// (`a < b < c >> d`), which no real code writes.
+void split_template_closers(std::vector<Token>& toks) {
+  const std::size_t n = toks.size();
+  constexpr std::size_t kMaxScan = 256;
+  std::vector<char> split(n, 0);
+  bool any = false;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (toks[i].kind != Tok::kIdent || toks[i + 1].text != "<") continue;
+    int depth = 0;
+    std::vector<std::size_t> pending;
+    bool balanced = false;
+    const std::size_t limit = std::min(n, i + 1 + kMaxScan);
+    for (std::size_t j = i + 1; j < limit; ++j) {
+      const Token& tk = toks[j];
+      const std::string_view s = tk.text;
+      if (is_group_open(s)) {
+        const std::size_t close = match_group(toks, j, limit);
+        if (close == limit) break;
+        j = close;
+        continue;
+      }
+      if (s == "<") {
+        ++depth;
+        continue;
+      }
+      if (s == ">") {
+        if (--depth == 0) {
+          balanced = true;
+        }
+        if (depth <= 0) break;
+        continue;
+      }
+      if (s == ">>") {
+        if (depth < 2) break;  // not two template lists: a shift
+        pending.push_back(j);
+        depth -= 2;
+        if (depth == 0) balanced = true;
+        if (depth <= 0) break;
+        continue;
+      }
+      const bool allowed =
+          tk.kind == Tok::kIdent || tk.kind == Tok::kNumber || s == "::" ||
+          s == "," || s == "*" || s == "&" || s == "&&" || s == "...";
+      if (!allowed) break;
+    }
+    if (!balanced) continue;
+    for (const std::size_t j : pending) {
+      split[j] = 1;
+      any = true;
+    }
+  }
+  if (!any) return;
+  std::vector<Token> out;
+  out.reserve(n + 8);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (split[j] == 0) {
+      out.push_back(toks[j]);
+      continue;
+    }
+    // The `>>` text is a 2-char view into the source buffer; each half is
+    // a valid 1-char view of its own `>`.
+    out.push_back(Token{Tok::kPunct, toks[j].text.substr(0, 1), toks[j].line});
+    out.push_back(Token{Tok::kPunct, toks[j].text.substr(1, 1), toks[j].line});
+  }
+  toks = std::move(out);
+}
 
 }  // namespace
 
@@ -192,6 +289,7 @@ std::vector<Token> lex(std::string_view src) {
     out.push_back(Token{Tok::kPunct, src.substr(i, len), line});
     i += len;
   }
+  split_template_closers(out);
   return out;
 }
 

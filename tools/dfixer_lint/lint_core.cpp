@@ -1231,6 +1231,11 @@ class Linter {
 
 }  // namespace
 
+bool line_suppressed(const FileAnalysis& fa, std::size_t line_index,
+                     std::string_view rule) {
+  return Suppressions{fa.raw_lines}.allows(line_index, rule);
+}
+
 namespace {
 
 /// Is the quote at `src[i]` a C++14 digit separator rather than the start

@@ -74,6 +74,13 @@ const char* severity_of(std::string_view rule);
 /// violate the rules on purpose). Sorted for deterministic reports.
 std::vector<std::string> collect_lintable_files(const std::string& root);
 
+/// Does `fa` carry a `// dfx-lint: allow(<rule>)` marker on `line_index`
+/// (0-based) or the line directly above? Exposed for the interprocedural
+/// pass (summaries.h), which reports findings outside the per-file Linter
+/// but must honor the same suppression syntax.
+bool line_suppressed(const FileAnalysis& fa, std::size_t line_index,
+                     std::string_view rule);
+
 /// Run every rule over one pre-analyzed file.
 std::vector<Violation> lint_file(const FileAnalysis& fa,
                                  const Options& options);

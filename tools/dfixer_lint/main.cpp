@@ -11,6 +11,14 @@
 //   --baseline FILE        diff findings against FILE (the ratchet): fresh
 //                          findings AND stale baseline entries both fail
 //   --update-baseline      rewrite the baseline file with current findings
+//   --callgraph-dump       print the resolved call graph (with the external
+//                          inventory) and exit
+//   --no-interprocedural   skip the callgraph/summaries pass and its three
+//                          rules (hot-path-cost, interprocedural-taint-flow,
+//                          static-lock-cycle)
+//
+// Unknown dash-prefixed arguments are an error (exit 2), not file names —
+// a typo'd flag must not be silently linted as a path.
 //
 // Exit code 0: clean (or ratchet matches). 1: violations / ratchet diff.
 // 2: usage or I/O error (including a malformed baseline).
@@ -18,7 +26,10 @@
 // Every file is read and lexed exactly once into a FileAnalysis shared by
 // all rule packs; the cross-TU symbol index is built from src/ before any
 // rule runs, so discarded-error-return and enum-switch exhaustiveness see
-// declarations from other translation units.
+// declarations from other translation units. The interprocedural pass runs
+// over the src/ analyses (product code only — test scaffolding deliberately
+// deadlocks in death tests) plus any explicitly listed files, so fixture
+// runs exercise the same program analysis a full sweep does.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -29,6 +40,7 @@
 
 #include "dfixer_lint/lint_core.h"
 #include "dfixer_lint/ratchet.h"
+#include "dfixer_lint/summaries.h"
 
 namespace fs = std::filesystem;
 
@@ -65,6 +77,8 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   bool emit_json = false;
   bool update_baseline = false;
+  bool dump_callgraph = false;
+  bool interprocedural = true;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -84,10 +98,19 @@ int main(int argc, char** argv) {
       emit_json = true;
     } else if (arg == "--update-baseline") {
       update_baseline = true;
+    } else if (arg == "--callgraph-dump") {
+      dump_callgraph = true;
+    } else if (arg == "--no-interprocedural") {
+      interprocedural = false;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: dfixer_lint [--root DIR] [--json] "
-                   "[--baseline FILE] [--update-baseline] [files...]\n";
+                   "[--baseline FILE] [--update-baseline] "
+                   "[--callgraph-dump] [--no-interprocedural] [files...]\n";
       return 0;
+    } else if (arg.starts_with("-")) {
+      std::cerr << "dfixer_lint: unknown flag " << arg
+                << " (see --help)\n";
+      return 2;
     } else {
       files.push_back(arg);
     }
@@ -96,6 +119,7 @@ int main(int argc, char** argv) {
     std::cerr << "dfixer_lint: --update-baseline needs --baseline FILE\n";
     return 2;
   }
+  const bool explicit_files = !files.empty();
 
   if (files.empty()) {
     files = dfx::lint::collect_lintable_files(root);
@@ -122,8 +146,11 @@ int main(int argc, char** argv) {
 
   // Cross-TU symbol index over all of src/ — even when linting an explicit
   // file list, so single-file runs resolve the same symbols a full sweep
-  // does. Files already analyzed above are reused, not re-lexed.
+  // does. Files already analyzed above are reused, not re-lexed; src files
+  // read only for the index are kept (extra_src) because the
+  // interprocedural pass needs their token streams too.
   dfx::lint::SymbolIndex index;
+  std::vector<dfx::lint::FileAnalysis> extra_src;
   {
     std::vector<std::string> src_files;
     for (const auto& fa : analyses) {
@@ -141,8 +168,9 @@ int main(int argc, char** argv) {
       }
       std::string content;
       if (!read_file(file, content)) continue;
-      const auto fa = dfx::lint::analyze_file(shown, std::move(content));
+      dfx::lint::FileAnalysis fa = dfx::lint::analyze_file(shown, std::move(content));
       index.index_source(fa.path, fa.tokens);
+      extra_src.push_back(std::move(fa));
     }
   }
 
@@ -150,12 +178,42 @@ int main(int argc, char** argv) {
   options.symbols = &index;
 
   std::vector<dfx::lint::Violation> findings;
+
+  // Interprocedural pass: call graph + summaries over the product code
+  // (src/ analyses) plus any explicitly listed files, then the three
+  // whole-program rules.
+  if (interprocedural || dump_callgraph) {
+    std::vector<const dfx::lint::FileAnalysis*> program;
+    for (const auto& fa : analyses) {
+      if (explicit_files || fa.path.find("src/") != std::string::npos) {
+        program.push_back(&fa);
+      }
+    }
+    for (const auto& fa : extra_src) program.push_back(&fa);
+    const dfx::lint::ProgramAnalysis pa =
+        dfx::lint::analyze_program(std::move(program), &index);
+    if (dump_callgraph) {
+      std::cout << pa.graph.dump();
+      return 0;
+    }
+    auto violations = dfx::lint::lint_interprocedural(pa);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(violations.begin()),
+                    std::make_move_iterator(violations.end()));
+  }
+
   for (const auto& fa : analyses) {
     auto violations = dfx::lint::lint_file(fa, options);
     findings.insert(findings.end(),
                     std::make_move_iterator(violations.begin()),
                     std::make_move_iterator(violations.end()));
   }
+  std::sort(findings.begin(), findings.end(),
+            [](const dfx::lint::Violation& a, const dfx::lint::Violation& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
 
   if (update_baseline) {
     std::ofstream out(baseline_path, std::ios::binary | std::ios::trunc);

@@ -79,6 +79,70 @@ void SymbolIndex::index_source(const std::string& path,
   index_enums(path, tokens);
   index_functions(path, tokens);
   index_taints(tokens);
+  index_hot_cold(tokens);
+}
+
+/// Classify DFX_HOT_PATH / DFX_COLD(reason) markers the same way
+/// index_taints() does: scan forward to the nearest declaration boundary
+/// and record the `name(` the annotation sits on. DFX_COLD's argument list
+/// is consumed first; the reason must be a string literal.
+void SymbolIndex::index_hot_cold(const std::vector<Token>& tokens) {
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  const std::size_t n = tokens.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tokens[i].kind != Tok::kIdent) continue;
+    const std::string_view w = tokens[i].text;
+    const bool cold = w == "DFX_COLD";
+    if (w != "DFX_HOT_PATH" && !cold) continue;
+    std::size_t scan_from = i + 1;
+    bool has_reason = false;
+    if (cold) {
+      if (i + 1 >= n || tokens[i + 1].text != "(") continue;
+      int depth = 0;
+      std::size_t j = i + 1;
+      for (; j < n; ++j) {
+        if (tokens[j].text == "(") ++depth;
+        if (tokens[j].kind == Tok::kString) has_reason = true;
+        if (tokens[j].text == ")" && --depth == 0) break;
+      }
+      scan_from = j + 1;
+    }
+    std::size_t last_ident = npos;
+    std::size_t fn_ident = npos;
+    for (std::size_t j = scan_from; j < n; ++j) {
+      const std::string_view s = tokens[j].text;
+      if (tokens[j].kind == Tok::kIdent) {
+        last_ident = j;
+        continue;
+      }
+      if (s == "<") {  // template arguments in the return type
+        int angle = 1;
+        while (++j < n && angle > 0) {
+          if (tokens[j].text == "<") ++angle;
+          if (tokens[j].text == ">") --angle;
+          if (tokens[j].text == ";" || tokens[j].text == "{") break;
+        }
+        --j;
+        continue;
+      }
+      if (s == "(") {
+        if (last_ident == j - 1) fn_ident = last_ident;
+        break;
+      }
+      if (s == ";" || s == "=" || s == "{" || s == ")" || s == ",") break;
+      // "::", "&", "*", ":" — part of the declared type, keep going.
+    }
+    if (fn_ident == npos) continue;
+    std::string name(tokens[fn_ident].text);
+    if (cold) {
+      const auto [it, inserted] = cold_fns_.try_emplace(name, has_reason);
+      // Several declarations of one function: the reason requirement is
+      // satisfied as soon as any of them carries it.
+      if (!inserted && has_reason) it->second = true;
+    } else {
+      hot_fns_.insert(std::move(name));
+    }
+  }
 }
 
 /// Classify every DFX_TAINTED / DFX_TAINT_PASSTHROUGH marker by scanning to

@@ -91,11 +91,23 @@ class SymbolIndex {
     return taint_passthrough_;
   }
 
+  /// Hot-path annotations (src/util/check.hpp), unqualified function names.
+  /// DFX_HOT_PATH marks a function as fast-path; DFX_COLD(reason) exempts
+  /// one from hot-path cost accounting. `cold_fns()` maps the name to
+  /// whether the annotation carried the mandatory reason string.
+  const std::set<std::string, std::less<>>& hot_path_fns() const {
+    return hot_fns_;
+  }
+  const std::map<std::string, bool, std::less<>>& cold_fns() const {
+    return cold_fns_;
+  }
+
  private:
   void index_enums(const std::string& path, const std::vector<Token>& tokens);
   void index_functions(const std::string& path,
                        const std::vector<Token>& tokens);
   void index_taints(const std::vector<Token>& tokens);
+  void index_hot_cold(const std::vector<Token>& tokens);
   void analyze_chunk(const std::string& path, const std::vector<Token>& tokens,
                      std::size_t begin, std::size_t end);
 
@@ -106,6 +118,8 @@ class SymbolIndex {
   std::set<std::string, std::less<>> taint_sources_;
   std::set<std::string, std::less<>> taint_fields_;
   std::set<std::string, std::less<>> taint_passthrough_;
+  std::set<std::string, std::less<>> hot_fns_;
+  std::map<std::string, bool, std::less<>> cold_fns_;  // name -> has reason
   std::size_t file_count_ = 0;
 };
 

@@ -7,8 +7,14 @@
 #   tools/run_lint.sh --json          # same, findings as JSON on stdout
 #   tools/run_lint.sh --update-baseline
 #                                     # accept the current findings
+#   tools/run_lint.sh --callgraph-dump file.cpp
+#                                     # inspect call resolution + externals
+#   tools/run_lint.sh --no-interprocedural
+#                                     # skip callgraph/summaries and the
+#                                     # three interprocedural rules
 #
-# Extra arguments are passed through to dfixer_lint.
+# Extra arguments are passed through to dfixer_lint verbatim (the binary
+# rejects unknown flags rather than treating them as file paths).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
