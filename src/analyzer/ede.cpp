@@ -19,6 +19,8 @@ std::string ede_code_name(EdeCode code) {
     case EdeCode::kRrsigsMissing: return "RRSIGs Missing";
     case EdeCode::kNoZoneKeyBitSet: return "No Zone Key Bit Set";
     case EdeCode::kNsecMissing: return "NSEC Missing";
+    case EdeCode::kValidationBudgetExceeded:
+      return "Validation Budget Exceeded";
   }
   return "?";
 }
@@ -45,6 +47,10 @@ std::string ede_purpose(EdeCode code) {
     case EdeCode::kDnssecBogus:
       return "The resolver attempted to perform DNSSEC validation, but "
              "validation ended in the BOGUS state.";
+    case EdeCode::kValidationBudgetExceeded:
+      return "The resolver attempted to perform DNSSEC validation, but the "
+             "zone demanded more signature validations or hash iterations "
+             "than the resolver's work budget allows (KeyTrap hardening).";
     default:
       return "See RFC 8914.";
   }
@@ -70,6 +76,15 @@ EdeCode ede_for_error(ErrorCode code) {
       return EdeCode::kNsecMissing;
     case ErrorCode::kUnsupportedNsec3Algorithm:
       return EdeCode::kDnssecIndeterminate;
+    // KeyTrap-class: the budgeted validator refuses the zone outright.
+    case ErrorCode::kExcessiveSignatureValidations:
+    case ErrorCode::kExcessiveNsec3Iterations:
+    case ErrorCode::kValidatorWorkBudgetExceeded:
+      return EdeCode::kValidationBudgetExceeded;
+    // Colliding tags alone are legal (tags are not unique identifiers);
+    // advisory until the pairing count actually blows up.
+    case ErrorCode::kCollidingKeyTags:
+      return EdeCode::kOther;
     // Advisory violations do not surface as EDEs on their own.
     case ErrorCode::kNonzeroIterationCount:
     case ErrorCode::kOriginalTtlExceedsRrsetTtl:

@@ -29,6 +29,11 @@ enum class EdeCode : std::uint16_t {
   kRrsigsMissing = 10,
   kNoZoneKeyBitSet = 11,
   kNsecMissing = 12,
+  // Local extension (no IANA assignment yet): the budgeted validator
+  // abandoned the zone because its KeyTrap-class resource cost exceeded
+  // the configured work budget. Picked from the first-come-first-served
+  // range well above the registered codes.
+  kValidationBudgetExceeded = 49,
 };
 
 std::string ede_code_name(EdeCode code);

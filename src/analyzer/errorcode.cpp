@@ -74,6 +74,15 @@ constexpr CodeInfo kCodes[] = {
      0, true},
     {ErrorCode::kMissingNsInParent, ErrorCategory::kCompanion,
      "Missing NS in Parent", 0, true},
+    // Resource limits (KeyTrap-class).
+    {ErrorCode::kCollidingKeyTags, ErrorCategory::kResourceLimit,
+     "Colliding Key Tags", 0, false},
+    {ErrorCode::kExcessiveSignatureValidations, ErrorCategory::kResourceLimit,
+     "Excessive Signature Validations", 0, true},
+    {ErrorCode::kExcessiveNsec3Iterations, ErrorCategory::kResourceLimit,
+     "Excessive NSEC3 Iterations", 0, true},
+    {ErrorCode::kValidatorWorkBudgetExceeded, ErrorCategory::kResourceLimit,
+     "Validator Work Budget Exceeded", 0, true},
 };
 
 const CodeInfo& info(ErrorCode code) {
@@ -109,6 +118,8 @@ std::string error_category_name(ErrorCategory category) {
       return "NSEC3(Only)";
     case ErrorCategory::kCompanion:
       return "Companion";
+    case ErrorCategory::kResourceLimit:
+      return "Resource Limit";
   }
   return "?";
 }
@@ -125,7 +136,11 @@ const std::vector<ErrorCode>& table3_codes() {
   static const std::vector<ErrorCode> codes = [] {
     std::vector<ErrorCode> out;
     for (const auto& ci : kCodes) {
-      if (ci.category != ErrorCategory::kCompanion) out.push_back(ci.code);
+      if (ci.category == ErrorCategory::kCompanion ||
+          ci.category == ErrorCategory::kResourceLimit) {
+        continue;
+      }
+      out.push_back(ci.code);
     }
     return out;
   }();

@@ -22,7 +22,8 @@ enum class ErrorCategory : std::uint8_t {
   kNsecCommon,  // "NSEC(3)" in the paper
   kNsecOnly,
   kNsec3Only,
-  kCompanion,   // not counted in Table 3
+  kCompanion,      // not counted in Table 3
+  kResourceLimit,  // KeyTrap-class resource-cost findings, outside Table 3
 };
 
 enum class ErrorCode : std::uint8_t {
@@ -66,6 +67,12 @@ enum class ErrorCode : std::uint8_t {
   kMissingDnskeyForDs,
   kLameDelegation,
   kMissingNsInParent,
+  // Resource-limit codes (KeyTrap-class, CVE-2023-50387/50868; outside
+  // Table 3 — the paper's dataset predates the attack class).
+  kCollidingKeyTags,                // >=2 DNSKEYs share (key tag, algorithm)
+  kExcessiveSignatureValidations,   // keys x RRSIGs pairing blowup
+  kExcessiveNsec3Iterations,        // iteration count above validator caps
+  kValidatorWorkBudgetExceeded,     // budgeted validator gave up mid-zone
 };
 
 /// Count of Table 3 subcategory codes (companions excluded).

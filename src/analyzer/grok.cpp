@@ -147,9 +147,49 @@ struct ZoneChecker {
   std::vector<const dns::DnskeyRdata*> sep_keys{};  // DS-validated keys
   bool any_validation_failure = false;
 
+  // KeyTrap work accounting (per zone; see GrokConfig).
+  std::size_t sig_validations_spent = 0;
+  std::size_t hash_cost_spent = 0;
+  bool budget_exhausted = false;
+
   const dns::Name& apex() const { return zp.apex; }
 
   void note_failure() { any_validation_failure = true; }
+
+  void note_budget_exhausted(const std::string& what) {
+    budget_exhausted = true;
+    sink.add(ErrorCode::kValidatorWorkBudgetExceeded, apex(), what);
+    note_failure();
+  }
+
+  /// Charge one signature-verification attempt; false once the budget is
+  /// gone (the caller must skip the crypto).
+  bool charge_sig_validation() {
+    if (budget_exhausted) return false;
+    if (sig_validations_spent >= config.max_sig_validations) {
+      note_budget_exhausted(
+          "signature-validation budget of " +
+          std::to_string(config.max_sig_validations) +
+          " attempts exhausted while validating the zone");
+      return false;
+    }
+    ++sig_validations_spent;
+    return true;
+  }
+
+  /// Charge `cost` SHA-1 applications of NSEC3 hashing; false once the
+  /// budget is gone.
+  bool charge_hash_cost(std::size_t cost) {
+    if (budget_exhausted) return false;
+    if (hash_cost_spent + cost > config.max_hash_cost) {
+      note_budget_exhausted(
+          "NSEC3 hashing budget of " + std::to_string(config.max_hash_cost) +
+          " SHA-1 applications exhausted while validating the zone");
+      return false;
+    }
+    hash_cost_spent += cost;
+    return true;
+  }
 
   // ---- DNSKEY gathering & key-level checks -----------------------------
 
@@ -191,6 +231,21 @@ struct ZoneChecker {
                      std::to_string(key.algorithm));
         note_failure();
       }
+    }
+    // Colliding key tags (KeyTrap): tags are only hints, so collisions are
+    // legal — but every extra key sharing an RRSIG's (tag, algorithm) pair
+    // multiplies the validation attempts a resolver must make. Advisory on
+    // its own; the pairing blowup check in check_rrset is what bites.
+    std::map<std::pair<std::uint16_t, std::uint8_t>, std::size_t> tag_count;
+    for (const auto& key : dnskeys) {
+      ++tag_count[{key.key_tag(), key.algorithm}];
+    }
+    for (const auto& [tag_alg, count] : tag_count) {
+      if (count < 2) continue;
+      sink.add(ErrorCode::kCollidingKeyTags, apex(),
+               std::to_string(count) + " DNSKEYs share key_tag=" +
+                   std::to_string(tag_alg.first) + " algorithm=" +
+                   std::to_string(tag_alg.second));
     }
   }
 
@@ -315,6 +370,27 @@ struct ZoneChecker {
       }
       return !require_signature;
     }
+    // KeyTrap pairing blowup: the work a validator may have to perform on
+    // this RRset is the number of (RRSIG, candidate DNSKEY) pairings, not
+    // the number of RRSIGs — colliding key tags multiply candidates.
+    std::size_t pairings = 0;
+    for (const auto& sig : view.sigs) {
+      for (const auto* key : allowed_keys) {
+        if (key->key_tag() == sig.key_tag &&
+            key->algorithm == sig.algorithm) {
+          ++pairings;
+        }
+      }
+    }
+    if (pairings > config.sig_pairing_threshold) {
+      sink.add(ErrorCode::kExcessiveSignatureValidations, apex(),
+               "RRset " + view.rrset.owner().to_string() + "/" +
+                   dns::rrtype_to_string(view.rrset.type()) + " demands " +
+                   std::to_string(pairings) +
+                   " candidate signature validations (threshold " +
+                   std::to_string(config.sig_pairing_threshold) + ")");
+      note_failure();
+    }
     bool any_valid = false;
     for (const auto& sig : view.sigs) {
       bool sig_ok = true;
@@ -379,16 +455,18 @@ struct ZoneChecker {
         sink.add(ErrorCode::kTtlBeyondExpiration, apex(),
                  sig_id + " allows caching beyond signature expiration");
       }
-      // Find the signing key among the allowed keys.
-      const dns::DnskeyRdata* signer = nullptr;
+      // Find the candidate signing keys among the allowed keys. Key tags
+      // are not unique identifiers (RFC 4034 App. B), so a validator must
+      // try *every* key matching the RRSIG's (tag, algorithm) pair — the
+      // lever KeyTrap pulls. Each attempt is charged against the budget.
+      std::vector<const dns::DnskeyRdata*> candidates;
       for (const auto* key : allowed_keys) {
         if (key->key_tag() == sig.key_tag &&
             key->algorithm == sig.algorithm) {
-          signer = key;
-          break;
+          candidates.push_back(key);
         }
       }
-      if (signer == nullptr) {
+      if (candidates.empty()) {
         bool known_elsewhere = std::any_of(
             dnskeys.begin(), dnskeys.end(), [&](const dns::DnskeyRdata& k) {
               return k.key_tag() == sig.key_tag &&
@@ -406,9 +484,26 @@ struct ZoneChecker {
         dns::RRset canonical(signing_owner, view.rrset.type(),
                              view.rrset.ttl());
         for (const auto& rdata : view.rrset.rdatas()) canonical.add(rdata);
-        if (!zone::verify_rrsig(canonical, sig, *signer)) {
-          sink.add(ErrorCode::kInvalidSignature, apex(),
-                   sig_id + " failed cryptographic verification");
+        bool verified = false;
+        bool abandoned = false;
+        for (const auto* signer : candidates) {
+          if (!charge_sig_validation()) {
+            abandoned = true;
+            break;
+          }
+          if (zone::verify_rrsig(canonical, sig, *signer)) {
+            verified = true;
+            break;
+          }
+        }
+        if (!verified) {
+          // Only claim the signature is invalid when every candidate was
+          // actually tried; an abandoned check is a budget failure, not a
+          // crypto one.
+          if (!abandoned) {
+            sink.add(ErrorCode::kInvalidSignature, apex(),
+                     sig_id + " failed cryptographic verification");
+          }
           sig_ok = false;
         }
       }
@@ -501,6 +596,13 @@ void validate_negative(ZoneChecker& checker, const ServerProbe& sp,
                  " (RFC 9276 requires 0)");
         if (config.nzic_is_fatal) zone_state = TrustState::kBogus;
       }
+      if (param != nullptr &&
+          param->iterations > config.max_nsec3_iterations) {
+        fail(ErrorCode::kExcessiveNsec3Iterations,
+             "NSEC3PARAM iterations=" + std::to_string(param->iterations) +
+                 " exceeds the validator cap of " +
+                 std::to_string(config.max_nsec3_iterations));
+      }
     }
   }
 
@@ -569,6 +671,16 @@ void validate_negative(ZoneChecker& checker, const ServerProbe& sp,
                    " (RFC 9276 requires 0)");
           if (config.nzic_is_fatal) zone_state = TrustState::kBogus;
         }
+        if (n3->iterations > config.max_nsec3_iterations) {
+          // KeyTrap hash variant: refuse oversized iteration counts before
+          // hashing anything (patched validators treat the zone as bogus
+          // rather than paying the per-lookup SHA-1 bill).
+          fail(ErrorCode::kExcessiveNsec3Iterations,
+               "NSEC3 iterations=" + std::to_string(n3->iterations) +
+                   " exceeds the validator cap of " +
+                   std::to_string(config.max_nsec3_iterations));
+          params_ok = false;
+        }
         if (n3->next_hashed.size() != 20) {
           fail(ErrorCode::kInvalidNsec3Hash,
                "NSEC3 next-hashed field has length " +
@@ -597,11 +709,19 @@ void validate_negative(ZoneChecker& checker, const ServerProbe& sp,
     if (!params_ok || entries.empty()) return;
     const Bytes& salt = entries.front().rdata->salt;
     const std::uint16_t iterations = entries.front().rdata->iterations;
-    const auto hash_of = [&](const dns::Name& name) {
+    // Every hash costs iterations+1 SHA-1 applications, charged against
+    // the zone's hashing budget; once exhausted, hash_of yields empty and
+    // the walk below bails out instead of emitting bogus proof errors.
+    const auto hash_of = [&](const dns::Name& name) -> Bytes {
+      if (!checker.charge_hash_cost(static_cast<std::size_t>(iterations) +
+                                    1)) {
+        return {};
+      }
       return zone::nsec3_hash(name, salt, iterations);
     };
     const auto find_match = [&](const dns::Name& name) -> const Entry* {
       const Bytes h = hash_of(name);
+      if (h.empty()) return nullptr;
       for (const auto& e : entries) {
         if (e.owner_hash == h) return &e;
       }
@@ -609,6 +729,7 @@ void validate_negative(ZoneChecker& checker, const ServerProbe& sp,
     };
     const auto find_cover = [&](const dns::Name& name) -> const Entry* {
       const Bytes h = hash_of(name);
+      if (h.empty()) return nullptr;
       for (const auto& e : entries) {
         if (hash_covers(e.owner_hash, e.rdata->next_hashed, h)) return &e;
       }
@@ -628,6 +749,10 @@ void validate_negative(ZoneChecker& checker, const ServerProbe& sp,
         if (ce_name.is_root()) break;
         ce_name = ce_name.parent();
       }
+      if (checker.budget_exhausted) {
+        zone_state = TrustState::kBogus;
+        return;
+      }
       if (ce == nullptr) {
         if (find_cover(nx_name) != nullptr) {
           fail(ErrorCode::kInconsistentAncestorForNxdomain,
@@ -643,6 +768,10 @@ void validate_negative(ZoneChecker& checker, const ServerProbe& sp,
         next_closer = next_closer.parent();
       }
       const Entry* nc_cover = find_cover(next_closer);
+      if (checker.budget_exhausted) {
+        zone_state = TrustState::kBogus;
+        return;
+      }
       if (nc_cover == nullptr) {
         fail(ErrorCode::kIncorrectClosestEncloserProof,
              "no NSEC3 record covers the next-closer name " +
@@ -651,9 +780,14 @@ void validate_negative(ZoneChecker& checker, const ServerProbe& sp,
       }
       const dns::Name wildcard = ce_name.child("*");
       if (find_cover(wildcard) == nullptr &&
-          find_match(wildcard) == nullptr && !nc_cover->rdata->opt_out()) {
+          find_match(wildcard) == nullptr && !nc_cover->rdata->opt_out() &&
+          !checker.budget_exhausted) {
         fail(ErrorCode::kBadNonexistenceProof,
              "no NSEC3 record denies the wildcard " + wildcard.to_string());
+      }
+      if (checker.budget_exhausted) {
+        zone_state = TrustState::kBogus;
+        return;
       }
     }
 

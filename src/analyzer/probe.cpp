@@ -35,6 +35,10 @@ dns::Name nx_probe_name(const dns::Name& apex) {
   return apex.child(kNxLabel);
 }
 
+dns::Name last_probe_name(const dns::Name& apex) {
+  return apex.child(kNxLastLabel);
+}
+
 ProbeData probe(const authserver::ServerFarm& farm,
                 const std::vector<dns::Name>& zone_chain,
                 const dns::Name& query_domain, UnixTime now) {

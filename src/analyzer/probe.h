@@ -58,4 +58,8 @@ ProbeData probe(const authserver::ServerFarm& farm,
 /// turns it into a synthesized positive answer).
 dns::Name nx_probe_name(const dns::Name& apex);
 
+/// The sorts-last probe name (`zzzzzzzz-…`) whose covering NSEC must be the
+/// chain's wrap-around record.
+dns::Name last_probe_name(const dns::Name& apex);
+
 }  // namespace dfx::analyzer

@@ -285,6 +285,45 @@ void handle_inconsistent_dnskey(const Snapshot& snapshot,
             {zone::cmd_sync_servers(snapshot.target_meta.apex)}));
 }
 
+/// Prune colliding-tag key groups down to a single key each (the cheapest
+/// KeyTrap repair: one key per (tag, algorithm) pair bounds the candidate
+/// pairings a validator can be forced through). Driven by the zonelint
+/// kRemoveCollidingKeys fix spec as well as the grok-derived codes.
+void handle_colliding_keys(const Snapshot& snapshot, RemediationPlan& plan) {
+  const auto& meta = snapshot.target_meta;
+  plan.root_cause =
+      "multiple DNSKEYs share a (key tag, algorithm) pair, multiplying the "
+      "signature validations a resolver must attempt (KeyTrap)";
+  std::map<std::pair<std::uint16_t, std::uint8_t>, std::size_t> groups;
+  for (const auto& key : meta.keys) {
+    ++groups[{key.key_tag, key.algorithm}];
+  }
+  for (const auto& [tag_alg, count] : groups) {
+    if (count < 2) continue;
+    // Each command removes one key file with that tag; keep one survivor.
+    std::vector<BindCommand> removals(
+        count - 1, zone::cmd_remove_key_file(meta.apex, tag_alg.first));
+    plan.instructions.push_back(instr(
+        InstructionKind::kRemoveRevokedKey,
+        "Remove " + std::to_string(count - 1) + " of the " +
+            std::to_string(count) + " DNSKEYs sharing key_tag=" +
+            std::to_string(tag_alg.first) + " (algorithm " +
+            std::to_string(tag_alg.second) + ")",
+        std::move(removals)));
+  }
+  plan.instructions.push_back(sign_instruction(meta, false));
+}
+
+/// Clamp an oversized NSEC3 iteration count (the hash-variant KeyTrap
+/// repair): re-sign with zero iterations per RFC 9276.
+void handle_excessive_iterations(const Snapshot& snapshot,
+                                 RemediationPlan& plan) {
+  plan.root_cause =
+      "the NSEC3 iteration count exceeds validator caps, turning every "
+      "negative lookup into a CPU-exhaustion vector (KeyTrap)";
+  plan.instructions.push_back(sign_instruction(snapshot.target_meta, true));
+}
+
 void handle_ttl(const Snapshot& snapshot, RemediationPlan& plan) {
   plan.root_cause = "record TTLs are inconsistent with the RRSIG validity "
                     "window";
@@ -373,8 +412,17 @@ int dependency_rank(ErrorCode code) {
     case EC::kLameDelegation:
     case EC::kMissingNsInParent:
       return 9;
+    // KeyTrap resource-limit findings: prune colliding keys after every
+    // structural fault is gone (re-signs along the way already shrink the
+    // blowup), clamp iterations last (usually fixed by the NZIC re-sign).
+    case EC::kCollidingKeyTags:
+    case EC::kExcessiveSignatureValidations:
+    case EC::kValidatorWorkBudgetExceeded:
+      return 10;
+    case EC::kExcessiveNsec3Iterations:
+      return 11;
   }
-  return 10;
+  return 12;
 }
 
 RemediationPlan resolve(const Snapshot& snapshot) {
@@ -428,6 +476,12 @@ RemediationPlan resolve(const Snapshot& snapshot) {
       break;
     case 8:
       handle_ttl(snapshot, plan);
+      break;
+    case 10:
+      handle_colliding_keys(snapshot, plan);
+      break;
+    case 11:
+      handle_excessive_iterations(snapshot, plan);
       break;
     default:
       break;  // lame/incomplete delegations are out of DNSSEC scope

@@ -93,12 +93,28 @@ void ZoneStore::commit() {
   for (const auto& listener : listeners_) listener(generation);
 }
 
-void ZoneStore::upsert(zone::Zone zone) {
+bool ZoneStore::upsert(zone::Zone zone) {
   const MutexLock lock(writer_mu_);
+  if (admission_) {
+    const AdmissionVerdict verdict = admission_(zone);
+    if (verdict.action == AdmissionVerdict::Action::kReject) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (verdict.action == AdmissionVerdict::Action::kFlag) {
+      flagged_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   const std::size_t shard = shard_of(zone.apex());
   master_.insert_or_assign(zone.apex(), std::move(zone));
   publish_shard(shard);
   commit();
+  return true;
+}
+
+void ZoneStore::set_admission_policy(AdmissionPolicy policy) {
+  const MutexLock lock(writer_mu_);
+  admission_ = std::move(policy);
 }
 
 bool ZoneStore::remove(const dns::Name& apex) {

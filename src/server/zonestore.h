@@ -28,6 +28,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "authserver/authserver.h"
@@ -45,6 +46,21 @@ namespace dfx::server {
 struct ShardSnapshot {
   authserver::AuthServer server{"zonestore"};
 };
+
+/// Outcome of an admission check run against a zone before it is hosted.
+/// kFlag admits the zone but counts it as suspicious (operator telemetry);
+/// kReject refuses to host it at all.
+struct AdmissionVerdict {
+  enum class Action { kAdmit, kFlag, kReject };
+  Action action = Action::kAdmit;
+  std::string reason;
+};
+
+/// Policy consulted by `upsert` under the writer lock. Policies must be
+/// pure functions of the zone: they run with `writer_mu_` held and must
+/// not call back into the store. The zonelint admission check
+/// (zonelint/admission.h) is the canonical implementation.
+using AdmissionPolicy = std::function<AdmissionVerdict(const zone::Zone&)>;
 
 class ZoneStore {
  public:
@@ -87,7 +103,24 @@ class ZoneStore {
   // ---- Writer path (serialized) ----
 
   /// Install or replace one zone and publish a new snapshot of its shard.
-  void upsert(zone::Zone zone) DFX_EXCLUDES(writer_mu_);
+  /// Returns false (and publishes nothing) when the admission policy
+  /// rejects the zone; flagged zones are admitted but counted.
+  bool upsert(zone::Zone zone) DFX_EXCLUDES(writer_mu_);
+
+  /// Install the policy consulted on every subsequent upsert. A default
+  /// (empty) policy admits everything. Replacing the policy does not
+  /// re-examine already-hosted zones.
+  void set_admission_policy(AdmissionPolicy policy)
+      DFX_EXCLUDES(writer_mu_);
+
+  /// Lifetime admission telemetry (upserts flagged / rejected by the
+  /// policy since construction).
+  std::uint64_t flagged_count() const {
+    return flagged_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rejected_count() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
 
   /// Drop a zone; false (and no swap) if the apex was not hosted.
   bool remove(const dns::Name& apex) DFX_EXCLUDES(writer_mu_);
@@ -111,8 +144,11 @@ class ZoneStore {
       shards_;
 
   std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::uint64_t> flagged_{0};
+  std::atomic<std::uint64_t> rejected_{0};
 
   mutable Mutex writer_mu_;
+  AdmissionPolicy admission_ DFX_GUARDED_BY(writer_mu_);
   /// Writer-side master copy the snapshots are compiled from.
   std::map<dns::Name, zone::Zone, dns::Name::Less> master_
       DFX_GUARDED_BY(writer_mu_);

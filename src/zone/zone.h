@@ -53,6 +53,16 @@ class Zone {
   /// Owner names in canonical order.
   std::vector<dns::Name> owner_names() const;
 
+  /// Visit every RRset in canonical owner order without materializing the
+  /// pointer vector all_rrsets() builds — for hot paths that walk the zone
+  /// once (e.g. the zonelint admission scan on every ZoneStore upsert).
+  template <typename Fn>
+  void for_each_rrset(Fn&& fn) const {
+    for (const auto& [name, by_type] : records_) {
+      for (const auto& [type, rrset] : by_type) fn(rrset);
+    }
+  }
+
   /// All RRsets in canonical owner order.
   std::vector<const dns::RRset*> all_rrsets() const;
 

@@ -1,0 +1,48 @@
+#include "zonelint/costmodel.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace dfx::zonelint {
+
+ValidationCost estimate_cost(const TrustGraph& graph) {
+  ValidationCost cost;
+
+  for (const auto& node : graph.rrsets) {
+    if (!node.authoritative) continue;
+    std::size_t pairings = 0;
+    for (const auto& sig : node.sigs) {
+      pairings += sig.candidates.size();
+    }
+    cost.signature_attempts += pairings;
+    cost.max_rrset_pairings = std::max(cost.max_rrset_pairings, pairings);
+  }
+
+  std::map<std::pair<std::uint16_t, std::uint8_t>, std::size_t> tag_count;
+  for (const auto& key : graph.keys) {
+    ++tag_count[{key.tag, key.rdata.algorithm}];
+  }
+  for (const auto& [tag_alg, count] : tag_count) {
+    if (count < 2) continue;
+    ++cost.colliding_tag_groups;
+    cost.surplus_colliding_keys += count - 1;
+  }
+
+  std::uint16_t iterations = 0;
+  if (graph.denial.params.has_value()) {
+    iterations = graph.denial.params->iterations;
+  }
+  for (const auto& span : graph.denial.nsec3) {
+    iterations = std::max(iterations, span.rdata.iterations);
+  }
+  cost.nsec3_iterations = iterations;
+  if (graph.denial.uses_nsec3()) {
+    cost.negative_proof_hash_cost =
+        kHashProbesPerNegativeLookup *
+        (static_cast<std::size_t>(iterations) + 1);
+  }
+  return cost;
+}
+
+}  // namespace dfx::zonelint

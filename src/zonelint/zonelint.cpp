@@ -1,0 +1,994 @@
+#include "zonelint/zonelint.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "analyzer/probe.h"
+#include "crypto/algorithm.h"
+#include "dnscore/rr.h"
+#include "util/codec.h"
+#include "zone/nsec3.h"
+
+namespace dfx::zonelint {
+namespace {
+
+using analyzer::ErrorCategory;
+using analyzer::ErrorCode;
+
+/// Expected signature length plausibility by algorithm family (the same
+/// judgement grok applies to probed RRSIGs).
+bool plausible_signature_length(std::uint8_t algorithm, std::size_t size) {
+  const auto info = crypto::algorithm_info(algorithm);
+  if (!info) return size > 0;
+  if (info->rsa_family) return size >= 24;
+  return size == 16;
+}
+
+// ---- Fix-spec builders ----------------------------------------------------
+
+/// Re-sign the zone with its current denial parameters (optionally forcing
+/// the NSEC3 iteration count down) and push to every server.
+zone::Instruction fix_resign(const TrustGraph& g, const dns::Name& apex,
+                             std::optional<std::uint16_t> iterations = {}) {
+  zone::Instruction ins;
+  ins.kind = zone::InstructionKind::kSignZone;
+  zone::SignZoneParams p;
+  p.zone = apex;
+  if (g.denial.uses_nsec3()) {
+    p.nsec3 = true;
+    std::uint16_t current = 0;
+    if (g.denial.params.has_value()) {
+      current = g.denial.params->iterations;
+      if (!g.denial.params->salt.empty()) {
+        p.nsec3_salt_hex = hex_encode(g.denial.params->salt);
+      }
+    }
+    p.nsec3_iterations = iterations.value_or(current);
+    for (const auto& span : g.denial.nsec3) {
+      if (span.rdata.opt_out()) {
+        p.opt_out = true;
+        break;
+      }
+    }
+  }
+  ins.description = iterations.has_value()
+                        ? "re-sign the zone with NSEC3 iterations=" +
+                              std::to_string(*iterations) +
+                              " and synchronize all servers"
+                        : "re-sign the zone and synchronize all servers";
+  ins.commands.push_back(zone::cmd_signzone(p));
+  ins.commands.push_back(zone::cmd_sync_servers(apex));
+  return ins;
+}
+
+/// Remove every surplus key of each colliding (key tag, algorithm) group,
+/// then re-sign. This is the DFixer repair for the KeyTrap pairing shapes.
+zone::Instruction fix_prune_colliding(const TrustGraph& g,
+                                      const dns::Name& apex) {
+  zone::Instruction ins;
+  ins.kind = zone::InstructionKind::kRemoveRevokedKey;
+  ins.description =
+      "remove the surplus DNSKEYs sharing a (key tag, algorithm) pair, "
+      "then re-sign";
+  std::map<std::pair<std::uint16_t, std::uint8_t>, std::size_t> tag_count;
+  for (const auto& key : g.keys) {
+    ++tag_count[{key.tag, key.rdata.algorithm}];
+  }
+  for (const auto& [tag_alg, count] : tag_count) {
+    if (count < 2) continue;
+    ins.commands.push_back(zone::cmd_remove_key_file(apex, tag_alg.first));
+  }
+  const auto resign = fix_resign(g, apex);
+  for (const auto& cmd : resign.commands) ins.commands.push_back(cmd);
+  return ins;
+}
+
+zone::Instruction fix_remove_key(const dns::Name& apex, std::uint16_t tag) {
+  zone::Instruction ins;
+  ins.kind = zone::InstructionKind::kRemoveRevokedKey;
+  ins.description = "remove DNSKEY key_tag=" + std::to_string(tag) +
+                    " and re-sign the zone";
+  ins.commands.push_back(zone::cmd_remove_key_file(apex, tag));
+  ins.commands.push_back(zone::cmd_signzone({.zone = apex}));
+  ins.commands.push_back(zone::cmd_sync_servers(apex));
+  return ins;
+}
+
+zone::Instruction fix_remove_ds(const dns::Name& apex,
+                                const dns::DsRdata& ds) {
+  zone::Instruction ins;
+  ins.kind = zone::InstructionKind::kRemoveIncorrectDs;
+  ins.description = "remove the stale DS key_tag=" +
+                    std::to_string(ds.key_tag) + " at the parent";
+  ins.commands.push_back(
+      zone::cmd_remove_ds(apex, ds.key_tag, hex_encode(ds.digest)));
+  return ins;
+}
+
+// ---- Finding sink ---------------------------------------------------------
+
+/// Mirrors grok's ErrorSink: de-duplicate by code (one zone here), route
+/// companion-category codes to the companion list.
+class Sink {
+ public:
+  explicit Sink(Report& report) : report_(report) {}
+
+  void add(ErrorCode code, const dns::Name& zone, std::string detail,
+           zone::Instruction fix = {}) {
+    auto& dst = analyzer::category_of(code) == ErrorCategory::kCompanion
+                    ? report_.companions
+                    : report_.findings;
+    for (const auto& f : dst) {
+      if (f.code == code) return;
+    }
+    dst.push_back(Finding{code, zone, std::move(detail), std::move(fix)});
+  }
+
+ private:
+  Report& report_;
+};
+
+// ---- Server-response emulation --------------------------------------------
+//
+// grok judges the proof records a *server selects for a response*, not the
+// whole chain in the zone file. An authoritative server picks proofs by
+// predecessor in canonical (NSEC) or hash (NSEC3) order, wrapping to the
+// last record, and serves whatever its chain says is adjacent — validation
+// is the resolver's job. Running grok's walk over the full zone chain would
+// diverge (e.g. a salt-tampered NSEC3 ring always yields *some* cover
+// zone-wide, flipping kBadNonexistenceProof into
+// kInconsistentAncestorForNxdomain), so the lint reproduces the selection
+// first and applies grok's rules to exactly that subset.
+
+/// One simulated negative-probe response: the rcode the server would return
+/// and the proof-record owners it would serve, in emission order.
+struct SimResponse {
+  dns::RCode rcode = dns::RCode::kNoError;
+  std::vector<dns::Name> owners;
+  bool positive = false;  // answered from an existing RRset
+  bool wildcard = false;  // wildcard-synthesized positive answer
+};
+
+void select_nsec(const zone::Zone& zone, const dns::Name& qname,
+                 bool nxdomain, std::vector<dns::Name>& out) {
+  struct Entry {
+    dns::Name owner;
+    const dns::NsecRdata* rdata;
+  };
+  std::vector<Entry> chain;
+  for (const auto* rrset : zone.all_rrsets()) {
+    if (rrset->type() != dns::RRType::kNSEC || rrset->empty()) continue;
+    const auto* nsec = std::get_if<dns::NsecRdata>(&rrset->rdatas().front());
+    if (nsec != nullptr) chain.push_back({rrset->owner(), nsec});
+  }
+  std::sort(chain.begin(), chain.end(),
+            [](const Entry& a, const Entry& b) { return a.owner < b.owner; });
+  const auto predecessor = [&](const dns::Name& name) -> const Entry* {
+    const Entry* best = nullptr;
+    for (const auto& entry : chain) {
+      if (entry.owner <= name) best = &entry;
+    }
+    if (best == nullptr && !chain.empty()) best = &chain.back();  // wrap
+    return best;
+  };
+  if (chain.empty()) return;
+  if (!nxdomain) {
+    for (const auto& entry : chain) {
+      if (entry.owner == qname) {
+        out.push_back(entry.owner);
+        return;
+      }
+    }
+  }
+  if (const auto* cover = predecessor(qname)) out.push_back(cover->owner);
+  if (nxdomain) {
+    const dns::Name wildcard = zone.apex().child("*");
+    if (const auto* cover = predecessor(wildcard)) out.push_back(cover->owner);
+  }
+}
+
+void select_nsec3(const zone::Zone& zone, const dns::Name& qname,
+                  bool nxdomain, std::vector<dns::Name>& out) {
+  const auto* param_set =
+      zone.find(zone.apex(), dns::RRType::kNSEC3PARAM);
+  if (param_set == nullptr || param_set->empty()) return;
+  const auto* param =
+      std::get_if<dns::Nsec3ParamRdata>(&param_set->rdatas().front());
+  if (param == nullptr) return;
+
+  struct Entry {
+    dns::Name owner;
+    Bytes owner_hash;
+  };
+  std::vector<Entry> chain;
+  std::vector<dns::Name> undecodable;
+  for (const auto* rrset : zone.all_rrsets()) {
+    if (rrset->type() != dns::RRType::kNSEC3 || rrset->empty()) continue;
+    if (std::get_if<dns::Nsec3Rdata>(&rrset->rdatas().front()) == nullptr) {
+      continue;
+    }
+    auto decoded = base32hex_decode(rrset->owner().leftmost_label());
+    if (!decoded) {
+      undecodable.push_back(rrset->owner());
+      continue;
+    }
+    chain.push_back({rrset->owner(), *std::move(decoded)});
+  }
+  std::sort(chain.begin(), chain.end(), [](const Entry& a, const Entry& b) {
+    return a.owner_hash < b.owner_hash;
+  });
+  const auto hash_of = [&](const dns::Name& name) {
+    return zone::nsec3_hash(name, param->salt, param->iterations);
+  };
+  const auto emit_match = [&](const dns::Name& name) {
+    const Bytes h = hash_of(name);
+    for (const auto& e : chain) {
+      if (e.owner_hash == h) {
+        out.push_back(e.owner);
+        return;
+      }
+    }
+  };
+  const auto emit_cover = [&](const dns::Name& name) {
+    if (chain.empty()) return;
+    const Bytes h = hash_of(name);
+    const Entry* best = nullptr;
+    for (const auto& e : chain) {
+      if (e.owner_hash <= h) best = &e;
+    }
+    if (best == nullptr) best = &chain.back();  // wrap-around
+    out.push_back(best->owner);
+  };
+
+  for (const auto& owner : undecodable) out.push_back(owner);
+
+  if (!nxdomain) {
+    emit_match(qname);
+    return;
+  }
+  dns::Name closest = qname;
+  while (closest.label_count() > zone.apex().label_count()) {
+    closest = closest.parent();
+    if (zone.name_exists(closest) ||
+        zone.name_or_descendant_exists(closest) ||
+        closest == zone.apex()) {
+      break;
+    }
+  }
+  emit_match(closest);
+  const std::size_t next_labels = closest.label_count() + 1;
+  dns::Name next_closer = qname;
+  while (next_closer.label_count() > next_labels) {
+    next_closer = next_closer.parent();
+  }
+  emit_cover(next_closer);
+  emit_cover(closest.child("*"));
+}
+
+/// Emulate one negative probe against the zone, mirroring the auth server's
+/// answer path (positive / NODATA / wildcard synthesis / NXDOMAIN) and its
+/// proof selection. `out.owners` is de-duplicated in emission order, like
+/// grok's per-owner view extraction.
+SimResponse simulate_probe(const zone::Zone& zone, const dns::Name& qname,
+                           dns::RRType qtype, bool nsec3_path) {
+  SimResponse out;
+  std::vector<dns::Name> raw;
+  const auto select = [&](const dns::Name& name, bool nxdomain) {
+    if (nsec3_path) {
+      select_nsec3(zone, name, nxdomain, raw);
+    } else {
+      select_nsec(zone, name, nxdomain, raw);
+    }
+  };
+  if (zone.find(qname, qtype) != nullptr ||
+      (qtype != dns::RRType::kCNAME &&
+       zone.find(qname, dns::RRType::kCNAME) != nullptr)) {
+    out.rcode = dns::RCode::kNoError;
+    out.positive = true;
+  } else if (zone.name_exists(qname) ||
+             zone.name_or_descendant_exists(qname)) {
+    out.rcode = dns::RCode::kNoError;
+    select(qname, /*nxdomain=*/false);
+  } else {
+    dns::Name closest = qname.parent();
+    while (closest.label_count() > zone.apex().label_count() &&
+           !zone.name_or_descendant_exists(closest)) {
+      closest = closest.parent();
+    }
+    if (zone.find(closest.child("*"), qtype) != nullptr) {
+      out.rcode = dns::RCode::kNoError;
+      out.wildcard = true;
+      select(qname, /*nxdomain=*/true);
+    } else {
+      out.rcode = dns::RCode::kNXDomain;
+      select(qname, /*nxdomain=*/true);
+    }
+  }
+  std::vector<dns::Name> deduped;
+  for (const auto& owner : raw) {
+    if (std::find(deduped.begin(), deduped.end(), owner) == deduped.end()) {
+      deduped.push_back(owner);
+    }
+  }
+  out.owners = std::move(deduped);
+  return out;
+}
+
+// ---- The rules engine -----------------------------------------------------
+
+class Linter {
+ public:
+  Linter(const zone::Zone& zone, const TrustGraph& g,
+         const LintOptions& options, Report& report)
+      : zone_(zone),
+        g_(g),
+        options_(options),
+        apex_(zone.apex()),
+        sink_(report) {
+    for (std::size_t i = 0; i < g_.keys.size(); ++i) all_keys_.push_back(i);
+  }
+
+  void run() {
+    check_keys();
+    check_ds();
+    if (!g_.is_signed()) return;
+    check_visible_rrsets();
+    check_algorithm_completeness();
+    check_denial();
+    check_budget();
+  }
+
+ private:
+  const RRsetNode* find_node(const dns::Name& owner, dns::RRType type) const {
+    for (const auto& node : g_.rrsets) {
+      if (node.rrset->owner() == owner && node.rrset->type() == type) {
+        return &node;
+      }
+    }
+    return nullptr;
+  }
+
+  // Rule A — key-level checks (grok's gather_dnskeys).
+  void check_keys() {
+    if (!g_.is_signed()) return;
+    for (const auto& key : g_.keys) {
+      if (!key.plausible_length) {
+        sink_.add(ErrorCode::kBadKeyLength, apex_,
+                  "DNSKEY key_tag=" + std::to_string(key.tag) +
+                      " has an invalid key length for algorithm " +
+                      std::to_string(key.rdata.algorithm),
+                  fix_remove_key(apex_, key.tag));
+      }
+    }
+    std::map<std::pair<std::uint16_t, std::uint8_t>, std::size_t> tag_count;
+    for (const auto& key : g_.keys) {
+      ++tag_count[{key.tag, key.rdata.algorithm}];
+    }
+    for (const auto& [tag_alg, count] : tag_count) {
+      if (count < 2) continue;
+      sink_.add(ErrorCode::kCollidingKeyTags, apex_,
+                std::to_string(count) + " DNSKEYs share key_tag=" +
+                    std::to_string(tag_alg.first) + " algorithm=" +
+                    std::to_string(tag_alg.second),
+                fix_prune_colliding(g_, apex_));
+    }
+  }
+
+  // Rule B — DS ↔ DNSKEY linkage (grok's validate_ds), per parent DS link.
+  void check_ds() {
+    if (g_.ds_links.empty()) return;
+    for (const auto& link : g_.ds_links) {
+      const auto& ds = link.rdata;
+      const std::string ds_id = "DS key_tag=" + std::to_string(ds.key_tag) +
+                                " algorithm=" + std::to_string(ds.algorithm);
+      if (!link.matched_key.has_value()) {
+        if (link.revoked_link.has_value()) {
+          const auto& key = g_.keys[*link.revoked_link];
+          sink_.add(ErrorCode::kRevokedKey, apex_,
+                    ds_id + " is linked to a revoked DNSKEY (key_tag=" +
+                        std::to_string(key.tag) + ")",
+                    fix_remove_key(apex_, key.tag));
+          sink_.add(ErrorCode::kNoSecureEntryPoint, apex_,
+                    ds_id + " provides no secure entry point (key revoked)");
+        } else if (!link.algorithm_present) {
+          sink_.add(ErrorCode::kMissingKskForAlgorithm, apex_,
+                    ds_id + " references an algorithm with no DNSKEY",
+                    fix_remove_ds(apex_, ds));
+        } else {
+          sink_.add(ErrorCode::kMissingDnskeyForDs, apex_,
+                    g_.keys.empty() ? ds_id + " has no DNSKEY RRset to match"
+                                    : ds_id + " matches no DNSKEY",
+                    fix_remove_ds(apex_, ds));
+        }
+        continue;
+      }
+      const KeyNode& matched = g_.keys[*link.matched_key];
+      if (matched.revoked) {
+        sink_.add(ErrorCode::kRevokedKey, apex_,
+                  ds_id + " references a DNSKEY with the REVOKE flag set",
+                  fix_remove_key(apex_, matched.tag));
+        sink_.add(ErrorCode::kNoSecureEntryPoint, apex_,
+                  ds_id + " provides no secure entry point (key revoked)");
+        continue;
+      }
+      if (!link.digest_supported) continue;  // unsupported digest: DS ignored
+      if (!link.digest_ok) {
+        sink_.add(ErrorCode::kInvalidDigest, apex_,
+                  ds_id + " digest does not match the DNSKEY",
+                  fix_remove_ds(apex_, ds));
+        continue;
+      }
+      sep_keys_.push_back(*link.matched_key);
+    }
+    if (g_.keys.empty()) {
+      sink_.add(ErrorCode::kMissingDnskeyForDs, apex_,
+                "DS present at the parent but the zone has no DNSKEY RRset");
+    }
+    if (sep_keys_.empty()) {
+      sink_.add(ErrorCode::kNoSecureEntryPoint, apex_,
+                "no DS record establishes a secure entry point");
+    }
+  }
+
+  // Rule C — signature checks over the RRsets a validator actually
+  // inspects: the apex DNSKEY/SOA/NS/A sets, a wildcard-synthesized
+  // answer, and the proof records the server would select (Rule E calls
+  // back in for those). Mirrors grok's check_rrset.
+  void check_rrset_node(const RRsetNode* node,
+                        const std::vector<std::size_t>& allowed,
+                        bool require_signature) {
+    if (node == nullptr || node->rrset->empty()) return;
+    const auto& rrset = *node->rrset;
+    if (node->sigs.empty()) {
+      if (require_signature) {
+        sink_.add(ErrorCode::kMissingSignature, apex_,
+                  "no RRSIG covering " + rrset.owner().to_string() + "/" +
+                      dns::rrtype_to_string(rrset.type()),
+                  fix_resign(g_, apex_));
+      }
+      return;
+    }
+    const auto allowed_candidates = [&](const SigEdge& sig) {
+      std::vector<std::size_t> out;
+      for (std::size_t ki : sig.candidates) {
+        if (std::find(allowed.begin(), allowed.end(), ki) != allowed.end()) {
+          out.push_back(ki);
+        }
+      }
+      return out;
+    };
+    std::size_t pairings = 0;
+    for (const auto& sig : node->sigs) {
+      pairings += allowed_candidates(sig).size();
+    }
+    if (pairings > options_.budget.sig_pairing_threshold) {
+      sink_.add(ErrorCode::kExcessiveSignatureValidations, apex_,
+                "RRset " + rrset.owner().to_string() + "/" +
+                    dns::rrtype_to_string(rrset.type()) + " demands " +
+                    std::to_string(pairings) +
+                    " candidate signature validations (threshold " +
+                    std::to_string(options_.budget.sig_pairing_threshold) +
+                    ")",
+                fix_prune_colliding(g_, apex_));
+    }
+    for (const auto& edge : node->sigs) {
+      const auto& sig = edge.rdata;
+      const std::string sig_id =
+          "RRSIG " + rrset.owner().to_string() + "/" +
+          dns::rrtype_to_string(rrset.type()) +
+          " key_tag=" + std::to_string(sig.key_tag);
+      if (options_.now != 0) {
+        if (sig.expiration < options_.now) {
+          sink_.add(ErrorCode::kExpiredSignature, apex_, sig_id + " expired",
+                    fix_resign(g_, apex_));
+        }
+        if (sig.inception > options_.now) {
+          sink_.add(ErrorCode::kNotYetValidSignature, apex_,
+                    sig_id + " is not yet valid", fix_resign(g_, apex_));
+        }
+      }
+      if (sig.signer != apex_) {
+        sink_.add(ErrorCode::kIncorrectSigner, apex_,
+                  sig_id + " signer " + sig.signer.to_string() +
+                      " is not the zone apex",
+                  fix_resign(g_, apex_));
+      }
+      const std::size_t expected_labels =
+          rrset.owner().label_count() -
+          (rrset.owner().leftmost_label() == "*" ? 1 : 0);
+      if (sig.labels > expected_labels) {
+        sink_.add(ErrorCode::kIncorrectSignatureLabels, apex_,
+                  sig_id + " labels field " + std::to_string(sig.labels) +
+                      " exceeds the owner's label count " +
+                      std::to_string(expected_labels),
+                  fix_resign(g_, apex_));
+      }
+      if (!plausible_signature_length(sig.algorithm, sig.signature.size())) {
+        sink_.add(ErrorCode::kBadSignatureLength, apex_,
+                  sig_id + " has an implausible signature length " +
+                      std::to_string(sig.signature.size()),
+                  fix_resign(g_, apex_));
+      }
+      if (sig.original_ttl < rrset.ttl()) {
+        sink_.add(ErrorCode::kOriginalTtlExceedsRrsetTtl, apex_,
+                  sig_id + " original TTL " +
+                      std::to_string(sig.original_ttl) +
+                      " is below the served RRset TTL " +
+                      std::to_string(rrset.ttl()),
+                  fix_resign(g_, apex_));
+      }
+      if (options_.now != 0 && sig.expiration > options_.now &&
+          static_cast<UnixTime>(rrset.ttl()) > sig.expiration - options_.now) {
+        sink_.add(ErrorCode::kTtlBeyondExpiration, apex_,
+                  sig_id + " allows caching beyond signature expiration",
+                  fix_resign(g_, apex_));
+      }
+      // A signature by a key entirely absent from the DNSKEY RRset is the
+      // one kInvalidSignature case visible without cryptography.
+      if (allowed_candidates(edge).empty() && edge.candidates.empty()) {
+        sink_.add(ErrorCode::kInvalidSignature, apex_,
+                  sig_id + " was made by a key not in the DNSKEY RRset",
+                  fix_resign(g_, apex_));
+      }
+    }
+  }
+
+  void check_visible_rrsets() {
+    // DNSKEY RRset: when DS-anchored, only SEP keys may sign it; islands
+    // of trust fall back to internal consistency against all keys.
+    const std::vector<std::size_t>& dnskey_signers =
+        g_.ds_links.empty() ? all_keys_ : sep_keys_;
+    check_rrset_node(find_node(apex_, dns::RRType::kDNSKEY), dnskey_signers,
+                     true);
+    for (dns::RRType type :
+         {dns::RRType::kSOA, dns::RRType::kNS, dns::RRType::kA}) {
+      check_rrset_node(find_node(apex_, type), all_keys_, true);
+    }
+  }
+
+  // Rule D — RFC 4035 algorithm completeness (grok's
+  // check_algorithm_completeness over the apex data RRsets).
+  void check_algorithm_completeness() {
+    std::set<std::uint8_t> dnskey_algorithms;
+    for (const auto& key : g_.keys) {
+      if (key.revoked) continue;
+      dnskey_algorithms.insert(key.rdata.algorithm);
+    }
+    for (dns::RRType type :
+         {dns::RRType::kSOA, dns::RRType::kNS, dns::RRType::kA}) {
+      const RRsetNode* node = find_node(apex_, type);
+      if (node == nullptr || node->rrset->empty() || node->sigs.empty()) {
+        continue;
+      }
+      std::set<std::uint8_t> sig_algorithms;
+      for (const auto& sig : node->sigs) {
+        sig_algorithms.insert(sig.rdata.algorithm);
+      }
+      for (std::uint8_t alg : dnskey_algorithms) {
+        if (!sig_algorithms.contains(alg)) {
+          sink_.add(ErrorCode::kIncompleteAlgorithmSetup, apex_,
+                    "RRset " + node->rrset->owner().to_string() + "/" +
+                        dns::rrtype_to_string(node->rrset->type()) +
+                        " lacks an RRSIG with algorithm " +
+                        std::to_string(alg),
+                    fix_resign(g_, apex_));
+        }
+      }
+    }
+    std::set<std::uint8_t> ds_algorithms;
+    for (const auto& link : g_.ds_links) {
+      ds_algorithms.insert(link.rdata.algorithm);
+    }
+    const RRsetNode* dnskey_node = find_node(apex_, dns::RRType::kDNSKEY);
+    if (dnskey_node != nullptr && !dnskey_node->rrset->empty()) {
+      std::set<std::uint8_t> sig_algorithms;
+      for (const auto& sig : dnskey_node->sigs) {
+        sig_algorithms.insert(sig.rdata.algorithm);
+      }
+      for (std::uint8_t alg : ds_algorithms) {
+        if (!sig_algorithms.contains(alg)) {
+          sink_.add(ErrorCode::kMissingSignatureForAlgorithm, apex_,
+                    "no RRSIG with DS algorithm " + std::to_string(alg) +
+                        " covers the DNSKEY RRset");
+        }
+      }
+    }
+  }
+
+  // Rule E — denial-of-existence (grok's validate_negative, run over the
+  // emulated server responses to the three negative probes).
+  void check_denial() {
+    // The NSEC3PARAM advertisement is checked regardless of which proofs a
+    // negative answer would carry.
+    if (g_.denial.params.has_value()) {
+      const auto& p = *g_.denial.params;
+      if (p.iterations > 0) {
+        sink_.add(ErrorCode::kNonzeroIterationCount, apex_,
+                  "NSEC3PARAM iterations=" + std::to_string(p.iterations) +
+                      " (RFC 9276 requires 0)",
+                  fix_resign(g_, apex_, std::uint16_t{0}));
+      }
+      if (p.iterations > options_.budget.max_nsec3_iterations) {
+        sink_.add(ErrorCode::kExcessiveNsec3Iterations, apex_,
+                  "NSEC3PARAM iterations=" + std::to_string(p.iterations) +
+                      " exceeds the validator cap of " +
+                      std::to_string(options_.budget.max_nsec3_iterations),
+                  fix_resign(g_, apex_, std::uint16_t{0}));
+      }
+    }
+
+    // The server picks the proof mechanism off the apex NSEC3PARAM RRset.
+    const bool nsec3_path =
+        zone_.find(apex_, dns::RRType::kNSEC3PARAM) != nullptr;
+    const dns::Name nx_name = analyzer::nx_probe_name(apex_);
+    const dns::Name last_name = analyzer::last_probe_name(apex_);
+    const SimResponse nx =
+        simulate_probe(zone_, nx_name, dns::RRType::kA, nsec3_path);
+    const SimResponse last =
+        simulate_probe(zone_, last_name, dns::RRType::kA, nsec3_path);
+    const SimResponse nodata =
+        simulate_probe(zone_, apex_, dns::RRType::kMX, nsec3_path);
+    const dns::RRType proof_type =
+        nsec3_path ? dns::RRType::kNSEC3 : dns::RRType::kNSEC;
+
+    // A wildcard-synthesized positive answer must be signed and carry the
+    // next-closer proof (RFC 4035 §3.1.3.3).
+    if (nx.wildcard) {
+      check_rrset_node(find_node(apex_.child("*"), dns::RRType::kA),
+                       all_keys_, true);
+      if (nx.owners.empty()) {
+        sink_.add(ErrorCode::kMissingNonexistenceProof, apex_,
+                  "wildcard-synthesized answer lacks the proof that the "
+                  "query name itself does not exist",
+                  fix_resign(g_, apex_));
+      }
+    }
+
+    // Proof signatures of the NXDOMAIN response.
+    for (const auto& owner : nx.owners) {
+      check_rrset_node(find_node(owner, proof_type), all_keys_, true);
+    }
+    if (nx.rcode == dns::RCode::kNXDomain && nx.owners.empty()) {
+      sink_.add(ErrorCode::kMissingNonexistenceProof, apex_,
+                "NXDOMAIN response carries no NSEC or NSEC3 records",
+                fix_resign(g_, apex_));
+      return;
+    }
+
+    const bool uses_nsec3 = nsec3_path && !nx.owners.empty();
+    if (uses_nsec3) {
+      check_denial_nsec3(nx, last, nodata, nx_name);
+    } else {
+      check_denial_nsec(nx, last, nodata, nx_name, last_name);
+    }
+  }
+
+  void check_denial_nsec3(const SimResponse& nx, const SimResponse& last,
+                          const SimResponse& nodata,
+                          const dns::Name& nx_name) {
+    struct Entry {
+      Bytes owner_hash;
+      const dns::Nsec3Rdata* rdata;
+    };
+    std::vector<Entry> entries;
+    bool params_ok = true;
+    std::optional<bool> opt_out_seen;
+    // Sanity runs over the union of every NSEC3 any negative response
+    // serves, de-duplicated by owner in response order.
+    std::vector<dns::Name> sanity_owners;
+    for (const auto* sim : {&nx, &last, &nodata}) {
+      for (const auto& owner : sim->owners) {
+        if (std::find(sanity_owners.begin(), sanity_owners.end(), owner) ==
+            sanity_owners.end()) {
+          sanity_owners.push_back(owner);
+        }
+      }
+    }
+    for (const auto& owner : sanity_owners) {
+      const bool in_nxdomain =
+          std::find(nx.owners.begin(), nx.owners.end(), owner) !=
+          nx.owners.end();
+      const auto* rrset = zone_.find(owner, dns::RRType::kNSEC3);
+      if (rrset == nullptr) continue;
+      for (const auto& rdata : rrset->rdatas()) {
+        const auto* n3 = std::get_if<dns::Nsec3Rdata>(&rdata);
+        if (n3 == nullptr) continue;
+        if (n3->hash_algorithm != 1) {
+          sink_.add(ErrorCode::kUnsupportedNsec3Algorithm, apex_,
+                    "NSEC3 hash algorithm " +
+                        std::to_string(n3->hash_algorithm) +
+                        " is not defined",
+                    fix_resign(g_, apex_));
+          params_ok = false;
+        }
+        if (n3->iterations > 0) {
+          sink_.add(ErrorCode::kNonzeroIterationCount, apex_,
+                    "NSEC3 iterations=" + std::to_string(n3->iterations) +
+                        " (RFC 9276 requires 0)",
+                    fix_resign(g_, apex_, std::uint16_t{0}));
+        }
+        if (n3->iterations > options_.budget.max_nsec3_iterations) {
+          sink_.add(ErrorCode::kExcessiveNsec3Iterations, apex_,
+                    "NSEC3 iterations=" + std::to_string(n3->iterations) +
+                        " exceeds the validator cap of " +
+                        std::to_string(
+                            options_.budget.max_nsec3_iterations),
+                    fix_resign(g_, apex_, std::uint16_t{0}));
+          params_ok = false;
+        }
+        if (n3->next_hashed.size() != 20) {
+          sink_.add(ErrorCode::kInvalidNsec3Hash, apex_,
+                    "NSEC3 next-hashed field has length " +
+                        std::to_string(n3->next_hashed.size()) +
+                        ", expected 20 (SHA-1)",
+                    fix_resign(g_, apex_));
+          params_ok = false;
+        }
+        auto decoded = base32hex_decode(owner.leftmost_label());
+        if (!decoded || decoded->size() != 20) {
+          sink_.add(ErrorCode::kInvalidNsec3OwnerName, apex_,
+                    "NSEC3 owner label " + owner.leftmost_label() +
+                        " is not a valid SHA-1 base32hex hash",
+                    fix_resign(g_, apex_));
+          params_ok = false;
+          continue;
+        }
+        if (opt_out_seen.has_value() && *opt_out_seen != n3->opt_out()) {
+          sink_.add(ErrorCode::kIncorrectOptOutFlag, apex_,
+                    "NSEC3 records disagree on the opt-out flag",
+                    fix_resign(g_, apex_));
+        }
+        opt_out_seen = n3->opt_out();
+        if (in_nxdomain) entries.push_back({*std::move(decoded), n3});
+      }
+    }
+    if (!params_ok || entries.empty()) return;
+    const Bytes& salt = entries.front().rdata->salt;
+    const std::uint16_t iterations = entries.front().rdata->iterations;
+    const auto hash_of = [&](const dns::Name& name) {
+      return zone::nsec3_hash(name, salt, iterations);
+    };
+    const auto find_match = [&](const dns::Name& name) -> const Entry* {
+      const Bytes h = hash_of(name);
+      for (const auto& e : entries) {
+        if (e.owner_hash == h) return &e;
+      }
+      return nullptr;
+    };
+    const auto hash_covers = [](const Bytes& owner_hash,
+                                const Bytes& next_hash, const Bytes& target) {
+      if (owner_hash < next_hash) {
+        return owner_hash < target && target < next_hash;
+      }
+      return target > owner_hash || target < next_hash;
+    };
+    const auto find_cover = [&](const dns::Name& name) -> const Entry* {
+      const Bytes h = hash_of(name);
+      for (const auto& e : entries) {
+        if (hash_covers(e.owner_hash, e.rdata->next_hashed, h)) return &e;
+      }
+      return nullptr;
+    };
+
+    if (nx.rcode == dns::RCode::kNXDomain) {
+      // Closest-encloser proof (RFC 5155 §8.4) over the served subset.
+      const Entry* ce = nullptr;
+      dns::Name ce_name = nx_name;
+      while (ce_name.label_count() >= apex_.label_count()) {
+        if (ce_name.label_count() < nx_name.label_count()) {
+          ce = find_match(ce_name);
+          if (ce != nullptr) break;
+        }
+        if (ce_name.is_root()) break;
+        ce_name = ce_name.parent();
+      }
+      if (ce == nullptr) {
+        if (find_cover(nx_name) != nullptr) {
+          sink_.add(ErrorCode::kInconsistentAncestorForNxdomain, apex_,
+                    "no NSEC3 record matches any ancestor of the denied name",
+                    fix_resign(g_, apex_));
+        } else {
+          sink_.add(ErrorCode::kBadNonexistenceProof, apex_,
+                    "NSEC3 records neither match nor cover the denied name",
+                    fix_resign(g_, apex_));
+        }
+        return;
+      }
+      dns::Name next_closer = nx_name;
+      while (next_closer.label_count() > ce_name.label_count() + 1) {
+        next_closer = next_closer.parent();
+      }
+      const Entry* nc_cover = find_cover(next_closer);
+      if (nc_cover == nullptr) {
+        sink_.add(ErrorCode::kIncorrectClosestEncloserProof, apex_,
+                  "no NSEC3 record covers the next-closer name " +
+                      next_closer.to_string(),
+                  fix_resign(g_, apex_));
+        return;
+      }
+      const dns::Name wildcard = ce_name.child("*");
+      if (find_cover(wildcard) == nullptr && find_match(wildcard) == nullptr &&
+          !nc_cover->rdata->opt_out()) {
+        sink_.add(ErrorCode::kBadNonexistenceProof, apex_,
+                  "no NSEC3 record denies the wildcard " +
+                      wildcard.to_string(),
+                  fix_resign(g_, apex_));
+      }
+    }
+
+    // NODATA probe: the NSEC3 matching the apex owns the type bitmap.
+    for (const auto& owner : nodata.owners) {
+      check_rrset_node(find_node(owner, dns::RRType::kNSEC3), all_keys_,
+                       true);
+      const auto* rrset = zone_.find(owner, dns::RRType::kNSEC3);
+      if (rrset == nullptr) continue;
+      for (const auto& rdata : rrset->rdatas()) {
+        const auto* n3 = std::get_if<dns::Nsec3Rdata>(&rdata);
+        if (n3 == nullptr) continue;
+        auto decoded = base32hex_decode(owner.leftmost_label());
+        if (!decoded || *decoded != hash_of(apex_)) continue;
+        if (n3->types.contains(dns::RRType::kMX)) {
+          sink_.add(ErrorCode::kIncorrectTypeBitmap, apex_,
+                    "NSEC3 bitmap asserts MX exists at the apex, but the "
+                    "server answered NODATA",
+                    fix_resign(g_, apex_));
+        }
+        if (!n3->types.contains(dns::RRType::kSOA) ||
+            !n3->types.contains(dns::RRType::kNS)) {
+          sink_.add(ErrorCode::kIncorrectTypeBitmap, apex_,
+                    "NSEC3 bitmap at the apex omits SOA/NS",
+                    fix_resign(g_, apex_));
+        }
+      }
+    }
+    if (nodata.rcode == dns::RCode::kNoError && !nodata.positive &&
+        nodata.owners.empty()) {
+      sink_.add(ErrorCode::kMissingNonexistenceProof, apex_,
+                "NODATA response carries no NSEC or NSEC3 records",
+                fix_resign(g_, apex_));
+    }
+  }
+
+  void check_denial_nsec(const SimResponse& nx, const SimResponse& last,
+                         const SimResponse& nodata, const dns::Name& nx_name,
+                         const dns::Name& last_name) {
+    const auto nsec_covers = [](const dns::Name& owner, const dns::Name& next,
+                                const dns::Name& name) {
+      if (owner < next) return owner < name && name < next;
+      return name > owner || name < next;
+    };
+    if (nx.rcode == dns::RCode::kNXDomain) {
+      bool covered = false;
+      for (const auto& owner : nx.owners) {
+        const auto* rrset = zone_.find(owner, dns::RRType::kNSEC);
+        if (rrset == nullptr) continue;
+        for (const auto& rdata : rrset->rdatas()) {
+          const auto* nsec = std::get_if<dns::NsecRdata>(&rdata);
+          if (nsec == nullptr) continue;
+          if (nsec_covers(owner, nsec->next, nx_name)) covered = true;
+        }
+      }
+      if (!covered) {
+        sink_.add(ErrorCode::kBadNonexistenceProof, apex_,
+                  "no NSEC record covers the denied name " +
+                      nx_name.to_string(),
+                  fix_resign(g_, apex_));
+      }
+      // Wrap-around sanity via the sorts-last probe.
+      for (const auto& owner : last.owners) {
+        check_rrset_node(find_node(owner, dns::RRType::kNSEC), all_keys_,
+                         true);
+        const auto* rrset = zone_.find(owner, dns::RRType::kNSEC);
+        if (rrset == nullptr) continue;
+        for (const auto& rdata : rrset->rdatas()) {
+          const auto* nsec = std::get_if<dns::NsecRdata>(&rdata);
+          if (nsec == nullptr) continue;
+          if (nsec_covers(owner, nsec->next, last_name) &&
+              owner > nsec->next && nsec->next != apex_) {
+            sink_.add(ErrorCode::kIncorrectLastNsec, apex_,
+                      "the final NSEC record points to " +
+                          nsec->next.to_string() +
+                          " instead of the zone apex",
+                      fix_resign(g_, apex_));
+          }
+        }
+      }
+    }
+    // NODATA bitmap check at the apex.
+    for (const auto& owner : nodata.owners) {
+      check_rrset_node(find_node(owner, dns::RRType::kNSEC), all_keys_,
+                       true);
+      if (owner != apex_) continue;
+      const auto* rrset = zone_.find(owner, dns::RRType::kNSEC);
+      if (rrset == nullptr) continue;
+      for (const auto& rdata : rrset->rdatas()) {
+        const auto* nsec = std::get_if<dns::NsecRdata>(&rdata);
+        if (nsec == nullptr) continue;
+        if (nsec->types.contains(dns::RRType::kMX)) {
+          sink_.add(ErrorCode::kIncorrectTypeBitmap, apex_,
+                    "NSEC bitmap asserts MX exists at the apex, but the "
+                    "server answered NODATA",
+                    fix_resign(g_, apex_));
+        }
+        if (!nsec->types.contains(dns::RRType::kSOA) ||
+            !nsec->types.contains(dns::RRType::kNS)) {
+          sink_.add(ErrorCode::kIncorrectTypeBitmap, apex_,
+                    "NSEC bitmap at the apex omits SOA/NS",
+                    fix_resign(g_, apex_));
+        }
+      }
+    }
+    if (nodata.rcode == dns::RCode::kNoError && !nodata.positive &&
+        nodata.owners.empty()) {
+      sink_.add(ErrorCode::kMissingNonexistenceProof, apex_,
+                "NODATA response carries no NSEC or NSEC3 records",
+                fix_resign(g_, apex_));
+    }
+  }
+
+  // Rule F — the validator work budget. The cost model prices the whole
+  // zone's worst case; a validator enforcing the same budgets would abandon
+  // the zone with kValidatorWorkBudgetExceeded (EDE 49). The hashing side
+  // only applies when the iteration count is *under* the refusal cap — at
+  // or above the cap a validator refuses before hashing anything.
+  void check_budget() {
+    if (cost_.signature_attempts > options_.budget.max_sig_validations) {
+      sink_.add(ErrorCode::kValidatorWorkBudgetExceeded, apex_,
+                "worst-case signature validations " +
+                    std::to_string(cost_.signature_attempts) +
+                    " exceed the budget of " +
+                    std::to_string(options_.budget.max_sig_validations),
+                fix_prune_colliding(g_, apex_));
+      return;
+    }
+    if (g_.denial.uses_nsec3() &&
+        cost_.nsec3_iterations <= options_.budget.max_nsec3_iterations &&
+        cost_.negative_proof_hash_cost > options_.budget.max_hash_cost) {
+      sink_.add(ErrorCode::kValidatorWorkBudgetExceeded, apex_,
+                "worst-case NSEC3 hashing cost " +
+                    std::to_string(cost_.negative_proof_hash_cost) +
+                    " exceeds the budget of " +
+                    std::to_string(options_.budget.max_hash_cost),
+                fix_resign(g_, apex_, std::uint16_t{0}));
+    }
+  }
+
+ public:
+  void set_cost(const ValidationCost& cost) { cost_ = cost; }
+
+ private:
+  const zone::Zone& zone_;
+  const TrustGraph& g_;
+  const LintOptions& options_;
+  dns::Name apex_;
+  Sink sink_;
+  std::vector<std::size_t> all_keys_;
+  std::vector<std::size_t> sep_keys_;
+  ValidationCost cost_;
+};
+
+}  // namespace
+
+Report lint_zone(const zone::Zone& zone,
+                 std::span<const dns::DsRdata> parent_ds,
+                 const LintOptions& options) {
+  Report report;
+  report.apex = zone.apex();
+  const TrustGraph graph = build_trust_graph(zone, parent_ds);
+  report.zone_signed = graph.is_signed();
+  report.cost = estimate_cost(graph);
+  Linter linter(zone, graph, options, report);
+  linter.set_cost(report.cost);
+  linter.run();
+  return report;
+}
+
+std::set<analyzer::ErrorCode> finding_codes(const Report& report) {
+  std::set<analyzer::ErrorCode> codes;
+  for (const auto& f : report.findings) codes.insert(f.code);
+  return codes;
+}
+
+}  // namespace dfx::zonelint

@@ -598,6 +598,120 @@ bool inject_unsupported_nsec3_algorithm(Sandbox& sb) {
   return true;
 }
 
+// ---- KeyTrap-class injectors (CVE-2023-50387/50868) -----------------------
+
+/// Adopt `count` publish-only ZSKs that all share one key tag distinct from
+/// every real key's tag. The RFC 4034 App. B tag is a plain 16-bit-word
+/// checksum, so the final two bytes of otherwise-valid key material can be
+/// brute-forced (<= 65536 tag computations) onto any target value — exactly
+/// the forgeability KeyTrap exploits. The crafted keys are published but
+/// never activate, so they appear in the DNSKEY RRset without signing.
+/// Returns the shared tag, or nullopt on (unlikely) failure.
+std::optional<std::uint16_t> adopt_colliding_keys(Sandbox& sb,
+                                                  std::size_t count) {
+  const dns::Name child = sb.child_apex();
+  auto& mz = sb.managed(child);
+  const UnixTime now = sb.clock().now();
+  Rng rng = sb.rng().fork("keytrap-collide");
+  const auto algorithm = mz.keys.keys().empty()
+                             ? crypto::DnssecAlgorithm::kEcdsaP256Sha256
+                             : mz.keys.keys().front().algorithm();
+  std::set<std::uint16_t> taken;
+  for (const auto& key : mz.keys.keys()) taken.insert(key.tag());
+
+  std::uint16_t target = 0;
+  bool have_target = false;
+  std::vector<crypto::KeyPair> crafted;
+  for (int attempts = 0; crafted.size() < count && attempts < 64;
+       ++attempts) {
+    auto material = crypto::generate_key(rng, algorithm);
+    if (material.public_key.size() < 2) return std::nullopt;
+    dns::DnskeyRdata rdata;
+    rdata.flags = dns::kDnskeyFlagZone;
+    rdata.protocol = 3;
+    rdata.algorithm = static_cast<std::uint8_t>(algorithm);
+    rdata.public_key = material.public_key;
+    if (!have_target) {
+      target = rdata.key_tag();
+      if (taken.contains(target)) continue;  // want a fresh, shared tag
+      have_target = true;
+      crafted.push_back(std::move(material));
+      continue;
+    }
+    bool hit = false;
+    const std::size_t n = rdata.public_key.size();
+    for (std::uint32_t w = 0; w < 0x10000; ++w) {
+      rdata.public_key[n - 2] = static_cast<std::uint8_t>(w >> 8);
+      rdata.public_key[n - 1] = static_cast<std::uint8_t>(w & 0xFF);
+      if (rdata.key_tag() == target) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) continue;  // carry pattern missed the tag; fresh material
+    material.public_key = rdata.public_key;
+    crafted.push_back(std::move(material));
+  }
+  if (crafted.size() < count) return std::nullopt;
+  for (auto& material : crafted) {
+    auto& key = mz.keys.adopt(
+        zone::ZoneKey(child, zone::KeyRole::kZsk, std::move(material), now));
+    key.set_activate_time(now + 3650 * kDay);  // published, never signs
+  }
+  sb.resign_and_sync(child);
+  return target;
+}
+
+bool inject_colliding_key_tags(Sandbox& sb) {
+  return adopt_colliding_keys(sb, 3).has_value();
+}
+
+/// The many-keys x many-RRSIGs pairing blowup: every garbage RRSIG names
+/// the shared tag, so a pre-KeyTrap validator tries keys x sigs candidate
+/// pairings before giving up on the RRset.
+bool inject_excessive_sig_validations(Sandbox& sb) {
+  const dns::Name child = sb.child_apex();
+  const auto tag = adopt_colliding_keys(sb, 14);
+  if (!tag) return false;
+  auto& mz = sb.managed(child);
+  zone::Zone z = mz.signed_zone;
+  const auto* soa = z.find(child, dns::RRType::kSOA);
+  if (soa == nullptr) return false;
+  const UnixTime now = sb.clock().now();
+  const auto algorithm = mz.keys.keys().empty()
+                             ? crypto::DnssecAlgorithm::kEcdsaP256Sha256
+                             : mz.keys.keys().front().algorithm();
+  const auto info = crypto::algorithm_info(algorithm);
+  const std::size_t sig_len = info && info->rsa_family ? 64 : 16;
+  Rng rng = sb.rng().fork("keytrap-sigs");
+  for (int i = 0; i < 16; ++i) {
+    dns::RrsigRdata sig;
+    sig.type_covered = dns::RRType::kSOA;
+    sig.algorithm = static_cast<std::uint8_t>(algorithm);
+    sig.labels = static_cast<std::uint8_t>(child.label_count());
+    sig.original_ttl = soa->ttl();
+    sig.expiration = now + 30 * kDay;
+    sig.inception = now - kHour;
+    sig.key_tag = *tag;
+    sig.signer = child;
+    sig.signature.resize(sig_len);
+    rng.fill(sig.signature);
+    z.add(child, dns::RRType::kRRSIG, soa->ttl(), sig);
+  }
+  sb.push_signed(child, std::move(z));
+  return true;
+}
+
+/// CVE-2023-50868 shape: NSEC3 iteration counts far beyond the caps of
+/// patched validators (and of RFC 9276, which wants zero).
+bool inject_excessive_nsec3_iterations(Sandbox& sb) {
+  auto& mz = sb.managed(sb.child_apex());
+  mz.config.denial = zone::DenialMode::kNsec3;
+  if (mz.config.nsec3_iterations <= 150) mz.config.nsec3_iterations = 2500;
+  sb.resign_and_sync(sb.child_apex());
+  return true;
+}
+
 }  // namespace
 
 std::vector<analyzer::ErrorCode> injection_order(
@@ -611,8 +725,14 @@ std::vector<analyzer::ErrorCode> injection_order(
       case ErrorCode::kExpiredSignature:
       case ErrorCode::kNotYetValidSignature:
       case ErrorCode::kTtlBeyondExpiration:
+      case ErrorCode::kExcessiveNsec3Iterations:
         return 0;
+      // Key-set mutations (these re-sign internally, so they must precede
+      // record-level tampering; the pairing injector also tampers records,
+      // but only after its own internal re-sign).
       case ErrorCode::kRevokedKey:
+      case ErrorCode::kCollidingKeyTags:
+      case ErrorCode::kExcessiveSignatureValidations:
         return 1;
       // The one-server push must come last: anything after it would sync
       // both servers and erase the inconsistency.
@@ -681,8 +801,16 @@ bool inject_error(Sandbox& sb, ErrorCode code) {
       return inject_incorrect_opt_out(sb);
     case ErrorCode::kUnsupportedNsec3Algorithm:
       return inject_unsupported_nsec3_algorithm(sb);
+    case ErrorCode::kCollidingKeyTags:
+      return inject_colliding_key_tags(sb);
+    case ErrorCode::kExcessiveSignatureValidations:
+      return inject_excessive_sig_validations(sb);
+    case ErrorCode::kExcessiveNsec3Iterations:
+      return inject_excessive_nsec3_iterations(sb);
     default:
-      return false;  // companion codes are not injected directly
+      // Companion codes are not injected directly; in particular
+      // kValidatorWorkBudgetExceeded rides along the pairing blowup.
+      return false;
   }
 }
 

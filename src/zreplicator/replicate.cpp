@@ -97,7 +97,8 @@ ReplicationResult replicate(const SnapshotSpec& spec, std::uint64_t seed,
       spec.intended_errors.begin(), spec.intended_errors.end(),
       [](ErrorCode c) {
         return analyzer::category_of(c) ==
-               analyzer::ErrorCategory::kNsec3Only;
+                   analyzer::ErrorCategory::kNsec3Only ||
+               c == ErrorCode::kExcessiveNsec3Iterations;
       });
   const bool need_nsec =
       spec.intended_errors.contains(ErrorCode::kIncorrectLastNsec);
@@ -184,6 +185,12 @@ ReplicationResult replicate(const SnapshotSpec& spec, std::uint64_t seed,
   bool all_injected = true;
   for (const auto code : injection_order(spec.intended_errors)) {
     if (code == ErrorCode::kNonzeroIterationCount) continue;  // via config
+    // The budget companion materialises from the pairing blowup itself.
+    if (code == ErrorCode::kValidatorWorkBudgetExceeded &&
+        spec.intended_errors.contains(
+            ErrorCode::kExcessiveSignatureValidations)) {
+      continue;
+    }
     if (spec.unreplicable_variants.contains(code)) {
       all_injected = false;
       if (result.failure_reason.empty()) {

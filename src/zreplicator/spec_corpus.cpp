@@ -81,6 +81,20 @@ std::vector<EvalSpec> generate_eval_specs(const SpecCorpusOptions& options) {
         eval.spec.meta.nsec3_iterations = 1;
       }
       eval.spec.buggy_artifact = rng.chance(options.s1_artifact_rate);
+    } else if (options.keytrap_rate > 0 && rng.chance(options.keytrap_rate)) {
+      // Adversarial KeyTrap-class shapes (opt-in; the guard keeps the rng
+      // stream — and so the calibrated corpus — untouched at rate zero).
+      const auto shape = rng.uniform(3);
+      if (shape == 0) {
+        eval.spec.intended_errors = {ErrorCode::kCollidingKeyTags};
+      } else if (shape == 1) {
+        eval.spec.intended_errors = {
+            ErrorCode::kExcessiveSignatureValidations,
+            ErrorCode::kValidatorWorkBudgetExceeded};
+      } else {
+        eval.spec.intended_errors = {ErrorCode::kExcessiveNsec3Iterations};
+      }
+      eval.spec.meta = sample_meta(rng, /*nsec3=*/shape == 2);
     } else {
       eval.spec.intended_errors = sample_combination(rng);
       const bool nsec3 =

@@ -31,6 +31,11 @@ struct SpecCorpusOptions {
   double s2_variant_rate = 0.115;
   /// Parent-zone-bogus rate (paper: 5 unfixable of ~101K fixed S2 zones).
   double parent_bogus_rate = 0.00005;
+  /// Share of S2 snapshots replaced by KeyTrap-class adversarial shapes
+  /// (colliding key tags, pairing blowups, oversized NSEC3 iterations).
+  /// Defaults to zero: the paper's dataset predates the attack class, so
+  /// the calibrated corpus stays byte-identical unless a caller opts in.
+  double keytrap_rate = 0.0;
 };
 
 std::vector<EvalSpec> generate_eval_specs(const SpecCorpusOptions& options);

@@ -309,6 +309,23 @@ TEST(Lint, AuthserverPathIsNotSwallowedByTheServerModule) {
   EXPECT_EQ(vs.size(), 1u);
 }
 
+TEST(Lint, ZonelintLayerSitsBesideDfixerAboveAnalyzer) {
+  const auto vs = lint_fixture("zonelint/bad_layering.cpp");
+  EXPECT_TRUE(has(vs, "layering-violation", 6));  // zonelint -> dfixer
+  EXPECT_TRUE(has(vs, "layering-violation", 7));  // zonelint -> zreplicator
+  EXPECT_EQ(vs.size(), 2u)
+      << "analyzer and same-module includes are legal from zonelint";
+}
+
+TEST(Lint, LowerLayersMustNotIncludeZonelint) {
+  // The other direction of the ratchet: analyzer (7) reaching up into
+  // zonelint (8) is a violation even though the reverse is legal.
+  const std::string content = "#include \"zonelint/zonelint.h\"\n";
+  const auto vs = dfx::lint::lint_file("src/analyzer/fixture.cpp", content,
+                                       fixture_options());
+  EXPECT_TRUE(has(vs, "layering-violation", 1));
+}
+
 TEST(Lint, LayeringRuleExemptsFilesOutsideSrcModules) {
   // tools/tests/bench/examples sit above every layer; the same includes
   // are legal there.

@@ -20,8 +20,8 @@ namespace {
 // violation. Keep this table in dependency order when adding modules:
 //
 //   json(0) ← util(1) ← crypto(2) ← dnscore(3) ← zone(4) ← authserver(5)
-//   ← server(6) ← analyzer(7) ← {dataset, dfixer}(8) ← {zreplicator,
-//   measure}(9)
+//   ← server(6) ← analyzer(7) ← {dataset, dfixer, zonelint}(8) ←
+//   {zreplicator, measure}(9)
 //
 // In particular: dnscore/crypto can never include measure/dfixer/
 // zreplicator, and util includes nothing above it (json only).
@@ -37,7 +37,7 @@ constexpr Layer kLayers[] = {
     {"json", 0},        {"util", 1},    {"crypto", 2},
     {"dnscore", 3},     {"zone", 4},    {"authserver", 5},
     {"server", 6},      {"analyzer", 7},
-    {"dataset", 8},     {"dfixer", 8},
+    {"dataset", 8},     {"dfixer", 8}, {"zonelint", 8},
     {"zreplicator", 9}, {"measure", 9},
 };
 // ---------------------------------------------------------------------------

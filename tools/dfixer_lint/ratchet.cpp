@@ -15,7 +15,8 @@ Key key_of(const Violation& v) { return {v.file, v.rule, v.line}; }
 
 }  // namespace
 
-std::string findings_to_json(const std::vector<Violation>& findings) {
+std::string findings_to_json(const std::vector<Violation>& findings,
+                             std::string_view tool) {
   json::Array arr;
   arr.reserve(findings.size());
   for (const Violation& v : findings) {
@@ -30,7 +31,7 @@ std::string findings_to_json(const std::vector<Violation>& findings) {
   }
   json::Object doc;
   doc["schema_version"] = std::int64_t{1};
-  doc["tool"] = "dfixer_lint";
+  doc["tool"] = std::string(tool);
   doc["findings"] = std::move(arr);
   return json::serialize_pretty(json::Value(std::move(doc))) + "\n";
 }

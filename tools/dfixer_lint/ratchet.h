@@ -15,9 +15,12 @@
 namespace dfx::lint {
 
 /// Serialize findings to the ratchet JSON schema:
-///   { "schema_version": 1, "tool": "dfixer_lint",
+///   { "schema_version": 1, "tool": "<tool>",
 ///     "findings": [{"rule","file","line","severity","excerpt"}, ...] }
-std::string findings_to_json(const std::vector<Violation>& findings);
+/// `tool` names the producer; zonelint shares the schema (and this code)
+/// with dfixer_lint, so its baseline diffs the same way in CI.
+std::string findings_to_json(const std::vector<Violation>& findings,
+                             std::string_view tool = "dfixer_lint");
 
 /// Parse a ratchet JSON document. Returns nullopt (and sets *error when
 /// non-null) on malformed JSON or a schema mismatch.

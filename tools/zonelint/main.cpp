@@ -1,0 +1,226 @@
+// zonelint CLI: static trust-chain analysis over zone master files.
+//
+//   zonelint --root <dir>                lint every *.zone under <dir>
+//   zonelint [--root <dir>] FILES        lint exactly FILES
+//   zonelint --json ...                  print findings as ratchet JSON
+//   --baseline FILE        diff findings against FILE (the ratchet): fresh
+//                          findings fail, stale baseline entries fail
+//   --update-baseline      rewrite the baseline file with current findings
+//   --now UNIXTIME         enable the signature-window rules at this time
+//
+// The origin of each zone is derived from the file name: `par.a.com.zone`
+// is parsed with $ORIGIN par.a.com. Findings map onto the dfixer_lint
+// ratchet schema (rule = error-code name, severity from the analyzer's
+// criticality table) so CI diffs both tools' baselines with the same logic.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer/errorcode.h"
+#include "dfixer_lint/ratchet.h"
+#include "dnscore/masterfile.h"
+#include "zonelint/zonelint.h"
+
+namespace fs = std::filesystem;
+using dfx::analyzer::ErrorCode;
+
+namespace {
+
+struct Args {
+  fs::path root = fs::current_path();
+  std::vector<fs::path> files;
+  std::string baseline;
+  bool update_baseline = false;
+  bool as_json = false;
+  dfx::UnixTime now = 0;
+};
+
+std::string relative_to(const fs::path& path, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(path, root, ec);
+  if (ec || rel.empty()) return path.generic_string();
+  return rel.generic_string();
+}
+
+/// `par.a.com.zone` → origin `par.a.com.`; unparsable stems fall back to
+/// the root origin (relative names then fail loudly in the parser).
+dfx::dns::Name origin_from_filename(const fs::path& path) {
+  std::string stem = path.stem().string();
+  auto parsed = dfx::dns::Name::parse(stem);
+  return parsed.value_or(dfx::dns::Name::root());
+}
+
+bool lint_file(const fs::path& path, const fs::path& root, dfx::UnixTime now,
+               std::vector<dfx::lint::Violation>& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "zonelint: cannot read " << path << "\n";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const dfx::dns::Name origin = origin_from_filename(path);
+  auto parsed = dfx::dns::parse_master_file(buffer.str(), origin);
+  if (const auto* err = std::get_if<dfx::dns::MasterFileError>(&parsed)) {
+    dfx::lint::Violation v;
+    v.file = relative_to(path, root);
+    v.line = err->line == 0 ? 1 : err->line;
+    v.rule = "unparsable-zone-file";
+    v.severity = "error";
+    v.excerpt = err->message;
+    out.push_back(std::move(v));
+    return true;
+  }
+  dfx::zone::Zone zone(origin);
+  for (const auto& rr : std::get<std::vector<dfx::dns::ResourceRecord>>(
+           std::move(parsed))) {
+    zone.add(rr);
+  }
+  dfx::zonelint::LintOptions options;
+  options.now = now;
+  const dfx::zonelint::Report report = dfx::zonelint::lint_zone(zone, {},
+                                                                options);
+  const std::string file = relative_to(path, root);
+  const auto push = [&](const dfx::zonelint::Finding& f, bool companion) {
+    dfx::lint::Violation v;
+    v.file = file;
+    v.line = 1;  // master files carry no per-finding anchor; key on rule
+    v.rule = dfx::analyzer::error_code_name(f.code);
+    v.severity = companion || !dfx::analyzer::is_critical(f.code)
+                     ? "warning"
+                     : "error";
+    v.excerpt = f.detail;
+    out.push_back(std::move(v));
+  };
+  for (const auto& f : report.findings) push(f, false);
+  for (const auto& f : report.companions) push(f, true);
+  return true;
+}
+
+std::string read_file(const std::string& path, bool& ok) {
+  std::ifstream in(path);
+  ok = static_cast<bool>(in);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (++i >= argc) {
+        std::cerr << "zonelint: --root needs an argument\n";
+        return 2;
+      }
+      args.root = argv[i];
+    } else if (arg == "--baseline") {
+      if (++i >= argc) {
+        std::cerr << "zonelint: --baseline needs an argument\n";
+        return 2;
+      }
+      args.baseline = argv[i];
+    } else if (arg == "--update-baseline") {
+      args.update_baseline = true;
+    } else if (arg == "--json") {
+      args.as_json = true;
+    } else if (arg == "--now") {
+      if (++i >= argc) {
+        std::cerr << "zonelint: --now needs an argument\n";
+        return 2;
+      }
+      args.now = static_cast<dfx::UnixTime>(std::atoll(argv[i]));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: zonelint [--root DIR] [--json] [--now UNIXTIME] "
+                   "[--baseline FILE] [--update-baseline] [FILES...]\n";
+      return 0;
+    } else {
+      args.files.emplace_back(arg);
+    }
+  }
+  if (args.update_baseline && args.baseline.empty()) {
+    std::cerr << "zonelint: --update-baseline needs --baseline FILE\n";
+    return 2;
+  }
+
+  if (args.files.empty()) {
+    std::error_code ec;
+    for (fs::recursive_directory_iterator it(args.root, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      if (it->is_regular_file() && it->path().extension() == ".zone") {
+        args.files.push_back(it->path());
+      }
+    }
+    std::sort(args.files.begin(), args.files.end());
+  }
+
+  std::vector<dfx::lint::Violation> findings;
+  for (const auto& file : args.files) {
+    if (!lint_file(file, args.root, args.now, findings)) return 2;
+  }
+
+  if (args.as_json) {
+    std::cout << dfx::lint::findings_to_json(findings, "zonelint");
+  }
+
+  if (args.baseline.empty()) {
+    for (const auto& v : findings) {
+      if (!args.as_json) {
+        std::cout << v.file << ":" << v.line << ": " << v.severity << " ["
+                  << v.rule << "] " << v.excerpt << "\n";
+      }
+    }
+    return findings.empty() ? 0 : 1;
+  }
+
+  if (args.update_baseline) {
+    std::ofstream out(args.baseline);
+    if (!out) {
+      std::cerr << "zonelint: cannot write " << args.baseline << "\n";
+      return 2;
+    }
+    out << dfx::lint::findings_to_json(findings, "zonelint");
+    std::cout << "zonelint: baseline updated (" << findings.size()
+              << " findings)\n";
+    return 0;
+  }
+
+  bool ok = false;
+  const std::string text = read_file(args.baseline, ok);
+  if (!ok) {
+    std::cerr << "zonelint: cannot read baseline " << args.baseline << "\n";
+    return 2;
+  }
+  std::string error;
+  auto baseline = dfx::lint::findings_from_json(text, &error);
+  if (!baseline.has_value()) {
+    std::cerr << "zonelint: bad baseline: " << error << "\n";
+    return 2;
+  }
+  const auto diff = dfx::lint::ratchet_diff(findings, *baseline);
+  for (const auto& v : diff.fresh) {
+    std::cout << "fresh: " << v.file << ":" << v.line << " [" << v.rule
+              << "] " << v.excerpt << "\n";
+  }
+  for (const auto& v : diff.stale) {
+    std::cout << "stale: " << v.file << ":" << v.line << " [" << v.rule
+              << "] (baseline entry no longer found — prune it)\n";
+  }
+  if (!diff.clean()) {
+    std::cout << "zonelint: ratchet violated (" << diff.fresh.size()
+              << " fresh, " << diff.stale.size() << " stale)\n";
+    return 1;
+  }
+  std::cout << "zonelint: clean against baseline (" << findings.size()
+            << " findings)\n";
+  return 0;
+}
